@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: energy cost of ordering enforcement (extension beyond
+ * the paper's evaluation).
+ *
+ * OrderLight adds packets to the memory pipe; fences add none but
+ * stretch execution. This bench reports the first-order energy
+ * breakdown for both primitives on the Add kernel — showing that
+ * the OrderLight packets themselves are a negligible fraction of
+ * total energy, while the row-activation and column energy are
+ * identical (the same DRAM work is done either way).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common.hh"
+#include "core/energy.hh"
+#include "core/system.hh"
+#include "workloads/registry.hh"
+
+using namespace olight;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
+    bench::printHeader("Ablation: energy cost of ordering "
+                       "enforcement (model extension)",
+                       cfg);
+
+    std::uint64_t elements = bench::defaultElements();
+
+    std::cout << std::left << std::setw(12) << "Mode"
+              << std::right << std::setw(12) << "rowOps(uJ)"
+              << std::setw(13) << "columns(uJ)" << std::setw(13)
+              << "compute(uJ)" << std::setw(11) << "pipe(uJ)"
+              << std::setw(14) << "ordering(uJ)" << std::setw(12)
+              << "ord. frac" << "\n";
+
+    for (auto mode : {OrderingMode::Fence, OrderingMode::SeqNum,
+                      OrderingMode::OrderLight}) {
+        SystemConfig run_cfg = configFor(mode, 256, 16);
+        auto w = makeWorkload("Add");
+        w->build(run_cfg, elements);
+        System sys(run_cfg);
+        w->initMemory(sys.mem());
+        sys.loadPimKernel(w->streams());
+        sys.run();
+        EnergyBreakdown e = computeEnergy(sys.stats(), run_cfg);
+        std::cout << std::left << std::setw(12) << toString(mode)
+                  << std::right << std::fixed << std::setprecision(1)
+                  << std::setw(12) << e.rowOps / 1e3 << std::setw(13)
+                  << e.columns / 1e3 << std::setw(13)
+                  << e.compute / 1e3 << std::setw(11) << e.pipe / 1e3
+                  << std::setprecision(3) << std::setw(14)
+                  << e.ordering / 1e3 << std::setw(11)
+                  << 100.0 * e.orderingFraction() << "%"
+                  << std::defaultfloat << "\n";
+    }
+    std::cout << "\nOrderLight's packets cost well under 1% of run "
+                 "energy; the DRAM work (rows,\ncolumns, ALU) is "
+                 "identical across primitives — ordering choice is "
+                 "a pure\nperformance question at equal energy.\n\n";
+
+    bench::registerSimBenchmark("sim/Add/OrderLight/energy", "Add",
+                                OrderingMode::OrderLight, 256, 16,
+                                elements);
+    return bench::runBenchmarkMain(argc, argv);
+}

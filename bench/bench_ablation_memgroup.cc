@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation: memory-group scoping of OrderLight (Section 5.3.1).
+ *
+ * The memory-group ID field lets the architecture "not constrain
+ * non-PIM requests whenever possible". This bench runs the Add PIM
+ * kernel (memory group 0) concurrently with host traffic mapped
+ * either to the same group (ordering constraints apply to the host
+ * requests too) or to a different group (host requests flow around
+ * the OrderLight barriers), and reports the host slowdown the
+ * scoping avoids.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common.hh"
+#include "core/system.hh"
+#include "workloads/registry.hh"
+
+using namespace olight;
+
+namespace
+{
+
+struct Outcome
+{
+    double hostLatencyCycles;
+    double hostFinishMs;
+    double pimFinishMs;
+};
+
+Outcome
+run(std::uint8_t hostGroup, std::uint64_t elements)
+{
+    SystemConfig base;
+    // A latency-sensitive host: shallow per-channel window, so each
+    // request's end-to-end latency is visible rather than hidden by
+    // deep MLP.
+    base.hostWindowPerChannel = 8;
+    SystemConfig cfg =
+        configFor(OrderingMode::OrderLight, 256, 16, base);
+    auto w = makeWorkload("Gen_Fil");
+    w->build(cfg, elements);
+    System sys(cfg);
+    w->initMemory(sys.mem());
+    sys.loadPimKernel(w->streams());
+    // A short host burst that fully overlaps the PIM kernel, so
+    // every host request experiences the concurrent-PIM regime.
+    auto traffic = w->hostTraffic();
+    traffic.resize(1);
+    traffic[0].bytes /= 8;
+    traffic[0].memGroup = hostGroup;
+    sys.setHostTraffic(std::move(traffic));
+    sys.run();
+    return {sys.hostStream().meanLatencyCycles(),
+            ticksToMs(sys.hostStream().finishTick()),
+            ticksToMs(sys.pimFinishTick())};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
+    bench::printHeader(
+        "Ablation: memory-group scoping of OrderLight ordering",
+        cfg);
+
+    std::uint64_t elements = bench::defaultElements();
+    Outcome same = run(/*hostGroup=*/0, elements);
+    Outcome scoped = run(/*hostGroup=*/1, elements);
+
+    std::cout << std::left << std::setw(26) << "Host group"
+              << std::right << std::setw(18) << "Host lat.(cyc)"
+              << std::setw(16) << "Host done(ms)" << std::setw(16)
+              << "PIM done(ms)" << "\n" << std::fixed;
+    std::cout << std::left << std::setw(26) << "same as PIM (0)"
+              << std::right << std::setprecision(1) << std::setw(18)
+              << same.hostLatencyCycles << std::setprecision(4)
+              << std::setw(16) << same.hostFinishMs << std::setw(16)
+              << same.pimFinishMs << "\n";
+    std::cout << std::left << std::setw(26) << "own group (1)"
+              << std::right << std::setprecision(1) << std::setw(18)
+              << scoped.hostLatencyCycles << std::setprecision(4)
+              << std::setw(16) << scoped.hostFinishMs
+              << std::setw(16) << scoped.pimFinishMs << "\n";
+    std::cout << std::setprecision(2)
+              << "\nWithout scoping, host requests are dragged into "
+                 "the PIM ordering epochs and wait\nbehind "
+                 "OrderLight barriers: "
+              << same.hostLatencyCycles / scoped.hostLatencyCycles
+              << "x the per-request latency of the scoped "
+                 "configuration.\nThe effect is modest here because "
+                 "PIM phases drain in tens of cycles; it grows\n"
+                 "with slower-draining phases (Section 5.3.1: the "
+                 "memory-group ID informs the\narchitecture to not "
+                 "constrain non-PIM requests whenever "
+                 "possible).\n\n"
+              << std::defaultfloat;
+
+    bench::registerSimBenchmark("sim/Gen_Fil/OrderLight/grouped",
+                                "Gen_Fil",
+                                OrderingMode::OrderLight, 256, 16,
+                                elements);
+    return bench::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 5: fence overhead for the vector_add kernel. Reproduces the
+ * bars (execution time) and the line (waiting cycles per fence
+ * instruction) for No-Fence and Fence at TS = 1/16..1/2 RB, and
+ * flags the No-Fence configuration as functionally incorrect by
+ * actually verifying the computed result.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common.hh"
+
+using namespace olight;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg = configFor(OrderingMode::Fence, 256, 16);
+    bench::printHeader(
+        "Figure 5: fence overhead for the vector_add kernel", cfg);
+
+    std::uint64_t elements = bench::defaultElements();
+
+    std::cout << std::left << std::setw(18) << "Config" << std::right
+              << std::setw(12) << "Exec(ms)" << std::setw(16)
+              << "Wait/fence(cyc)" << std::setw(10) << "Fences"
+              << std::setw(14) << "Slowdown" << std::setw(14)
+              << "Functional" << "\n";
+
+    RunOptions none;
+    none.workload = "Add";
+    none.mode = OrderingMode::None;
+    none.elements = elements;
+    none.verify = true;
+    RunResult no_fence = runWorkload(none);
+
+    std::cout << std::left << std::setw(18) << "No Fence"
+              << std::right << std::fixed << std::setprecision(4)
+              << std::setw(12) << no_fence.metrics.execMs
+              << std::setw(16) << "-" << std::setw(10) << 0
+              << std::setw(14) << "1.00x" << std::setw(14)
+              << (no_fence.correct ? "correct" : "INCORRECT")
+              << "\n";
+
+    for (std::uint32_t ts : bench::tsSizes()) {
+        RunOptions opts;
+        opts.workload = "Add";
+        opts.mode = OrderingMode::Fence;
+        opts.tsBytes = ts;
+        opts.elements = elements;
+        opts.verify = true;
+        RunResult r = runWorkload(opts);
+        double slowdown =
+            r.metrics.execMs / no_fence.metrics.execMs;
+        std::cout << std::left << std::setw(18)
+                  << ("Fence " + bench::tsName(ts)) << std::right
+                  << std::setw(12) << r.metrics.execMs
+                  << std::setprecision(1) << std::setw(16)
+                  << r.metrics.waitPerFence << std::setw(10)
+                  << r.metrics.fenceCount << std::setprecision(2)
+                  << std::setw(13) << slowdown << "x"
+                  << std::setprecision(4) << std::setw(14)
+                  << (r.correct ? "correct" : "INCORRECT") << "\n";
+    }
+    std::cout << std::defaultfloat
+              << "\nPaper: fences slow vector_add down by 4.5x-25x "
+                 "and wait 165-245 cycles per fence;\nthe No-Fence "
+                 "point is fast but functionally incorrect.\n\n";
+
+    bench::registerSimBenchmark("sim/Add/None", "Add",
+                                OrderingMode::None, 256, 16,
+                                elements);
+    bench::registerSimBenchmark("sim/Add/Fence/ts128", "Add",
+                                OrderingMode::Fence, 128, 16,
+                                elements);
+    return bench::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 1 + Figure 1: print the simulated configuration and the PIM
+ * taxonomy with literature placements, and benchmark a reference
+ * simulation to document simulator throughput at this config.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common.hh"
+#include "core/taxonomy.hh"
+
+using namespace olight;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
+    bench::printHeader(
+        "Table 1: simulator configuration (GPU + PIM-enabled HBM)",
+        cfg);
+
+    std::cout << "\nFigure 1: taxonomy of PIM designs "
+                 "(offload x arbitration granularity)\n\n";
+    for (auto offload : {OffloadGranularity::Fine,
+                         OffloadGranularity::Coarse}) {
+        for (auto arb : {ArbitrationGranularity::Fine,
+                         ArbitrationGranularity::Coarse}) {
+            DesignPoint point{offload, arb};
+            std::cout << "  " << std::left << std::setw(8)
+                      << quadrantName(point) << ": ";
+            bool first = true;
+            for (const auto &ex : examplesIn(point)) {
+                std::cout << (first ? "" : ", ") << ex.name;
+                first = false;
+            }
+            std::cout << "\n";
+        }
+    }
+    std::cout << "\nThis work targets FGO/FGA (Section 3.5).\n\n";
+
+    bench::registerSimBenchmark("sim/Add/OrderLight/ts256", "Add",
+                                OrderingMode::OrderLight, 256, 16,
+                                bench::defaultElements());
+    bench::registerSimBenchmark("sim/Add/Fence/ts256", "Add",
+                                OrderingMode::Fence, 256, 16,
+                                bench::defaultElements());
+    return bench::runBenchmarkMain(argc, argv);
+}

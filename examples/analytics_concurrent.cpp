@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Data-analytics scenario: PIM clustering concurrent with host work.
+ *
+ * A data-analytics pipeline extracts features on the host (compute
+ * intensive) while clustering earlier batches on PIM (KMeans
+ * distance evaluation, data intensive). This is exactly the
+ * concurrency the taxonomy argues FGO/FGA designs enable: the demo
+ * runs the KMeans PIM kernel with concurrent host memory traffic
+ * under fine-grained and coarse-grained arbitration and shows what
+ * CGA costs the host.
+ *
+ *   ./example_analytics_concurrent
+ */
+
+#include <cstdio>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "core/taxonomy.hh"
+#include "workloads/registry.hh"
+
+using namespace olight;
+
+namespace
+{
+
+struct Outcome
+{
+    double hostFirstMs;
+    double hostDoneMs;
+    double pimDoneMs;
+};
+
+Outcome
+run(ArbitrationGranularity arb)
+{
+    SystemConfig base;
+    applyDesignPoint(base,
+                     {OffloadGranularity::Fine, arb});
+    SystemConfig cfg =
+        configFor(OrderingMode::OrderLight, 256, 16, base);
+
+    auto workload = makeWorkload("KMeans");
+    workload->build(cfg, 1ull << 18);
+
+    System sys(cfg);
+    workload->initMemory(sys.mem());
+    sys.loadPimKernel(workload->streams());
+    sys.setHostTraffic(workload->hostTraffic());
+    sys.run();
+    return {ticksToMs(sys.hostStream().firstDoneTick()),
+            ticksToMs(sys.hostStream().finishTick()),
+            ticksToMs(sys.pimFinishTick())};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Analytics pipeline: PIM clustering + host traffic\n");
+    std::printf("==================================================\n\n");
+
+    std::printf("Taxonomy (Figure 1): this system is %s.\n\n",
+                quadrantName({OffloadGranularity::Fine,
+                              ArbitrationGranularity::Fine})
+                    .c_str());
+
+    Outcome fga = run(ArbitrationGranularity::Fine);
+    Outcome cga = run(ArbitrationGranularity::Coarse);
+
+    std::printf("%-28s %14s %14s %14s\n", "Arbitration",
+                "host 1st (ms)", "host done (ms)", "PIM done (ms)");
+    std::printf("%-28s %14.4f %14.4f %14.4f\n",
+                "fine-grained (FGA)", fga.hostFirstMs,
+                fga.hostDoneMs, fga.pimDoneMs);
+    std::printf("%-28s %14.4f %14.4f %14.4f\n",
+                "coarse-grained (CGA)", cga.hostFirstMs,
+                cga.hostDoneMs, cga.pimDoneMs);
+
+    std::printf(
+        "\nUnder CGA the host's first memory access waits %.1fx "
+        "longer — the QoS cost that\nmakes coarse arbitration "
+        "\"undesirable in datacenters\" (Section 3.2). FGA keeps\n"
+        "host and PIM requests interleaving at the memory "
+        "controller, and OrderLight makes\nthat interleaving safe "
+        "for the PIM computation.\n",
+        cga.hostFirstMs / fga.hostFirstMs);
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Genomics scenario: GRIM-style seed-location filtering on PIM.
+ *
+ * Sequence alignment filters candidate locations by comparing query
+ * bit-vectors against the reference genome's bit-vectors (popcount
+ * of the AND) — 65% of alignment runtime per the paper. The access
+ * pattern is irregular (candidates land in arbitrary DRAM rows) and
+ * each candidate needs several ordering points, so it is the
+ * workload where OrderLight helps most (Figure 12).
+ *
+ * This example runs the filter on PIM, reads the filter verdicts
+ * back from simulated memory, and reports the pass rate plus the
+ * fence-vs-OrderLight comparison.
+ *
+ *   ./example_genomics_filter
+ */
+
+#include <cstdio>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "workloads/registry.hh"
+
+using namespace olight;
+
+int
+main()
+{
+    std::printf("GRIM-style genomic seed filtering on PIM\n");
+    std::printf("=========================================\n\n");
+
+    constexpr std::uint64_t elements = 1ull << 19; // 2 MB genome
+
+    // Run the full filter with OrderLight and inspect the verdicts.
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 128, 16);
+    auto workload = makeWorkload("Gen_Fil");
+    workload->build(cfg, elements);
+
+    System sys(cfg);
+    workload->initMemory(sys.mem());
+    sys.loadPimKernel(workload->streams());
+    RunMetrics metrics = sys.run();
+
+    std::string why;
+    bool correct = workload->check(sys.mem(), why);
+
+    // The second array is the filter output: one block per candidate
+    // per channel, verdict in float[0] of every lane.
+    const PimArray &out = workload->arrays()[1];
+    const AddressMap &map = workload->map();
+    std::uint64_t candidates = 0, passed = 0;
+    for (std::uint16_t ch = 0; ch < cfg.numChannels; ++ch) {
+        KernelBuilder kb(map, ch);
+        std::uint64_t blocks = kb.blocksPerChannel(out);
+        for (std::uint64_t t = 0; t < blocks; ++t) {
+            for (std::uint32_t lane = 0; lane < cfg.bmf; ++lane) {
+                float verdict = sys.mem().readFloat(
+                    kb.blockAddr(out, t) + lane * map.laneStride());
+                ++candidates;
+                passed += verdict == 1.0f;
+            }
+        }
+    }
+
+    std::printf("genome size          : %llu bytes/channel-lane\n",
+                (unsigned long long)(elements * 4 /
+                                     (cfg.numChannels * cfg.bmf)));
+    std::printf("candidate locations  : %llu\n",
+                (unsigned long long)candidates);
+    std::printf("passed the filter    : %llu (%.1f%%)\n",
+                (unsigned long long)passed,
+                100.0 * double(passed) / double(candidates));
+    std::printf("simulated time       : %.4f ms\n", metrics.execMs);
+    std::printf("verification         : %s\n\n",
+                correct ? "bit-exact" : why.c_str());
+
+    // Compare against the fence baseline and the GPU.
+    RunOptions fence_opts;
+    fence_opts.workload = "Gen_Fil";
+    fence_opts.mode = OrderingMode::Fence;
+    fence_opts.tsBytes = 128;
+    fence_opts.elements = elements;
+    fence_opts.verify = false;
+    RunResult fence = runWorkload(fence_opts);
+    double gpu_ms = gpuBaselineMs("Gen_Fil", elements);
+
+    std::printf("fence-based PIM      : %.4f ms (%.1fx slower than "
+                "OrderLight)\n",
+                fence.metrics.execMs,
+                fence.metrics.execMs / metrics.execMs);
+    std::printf("GPU host execution   : %.4f ms\n", gpu_ms);
+    std::printf(
+        "\nGen_Fil issues ordering points per candidate regardless "
+        "of TS size (128 B\ngranularity), which is why the paper "
+        "reports its largest OrderLight gains here.\n");
+    return correct ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: build a PIM kernel by hand with the public API.
+ *
+ * Computes c = a + b on a small vector using fine-grained PIM
+ * commands with OrderLight ordering (Figure 4 of the paper):
+ * per tile, N PIM_Loads of a, an ordering point, N fetch-and-adds of
+ * b, an ordering point, N PIM_Stores of c, an ordering point.
+ *
+ *   ./example_quickstart
+ */
+
+#include <cstdio>
+
+#include "core/kernel_builder.hh"
+#include "core/system.hh"
+
+using namespace olight;
+
+int
+main()
+{
+    // 1. Configure the system (Table 1 defaults: 16-channel HBM,
+    //    BMF 16, TS 256 B, OrderLight ordering).
+    SystemConfig cfg;
+    cfg.orderingMode = OrderingMode::OrderLight;
+    System sys(cfg);
+    const AddressMap &map = sys.map();
+
+    // 2. Allocate PIM-resident arrays (aligned so all three share
+    //    banks but occupy different DRAM rows).
+    constexpr std::uint64_t elements = 1 << 16;
+    ArrayAllocator alloc(map);
+    PimArray a = alloc.alloc("a", elements, /*memGroup=*/0);
+    PimArray b = alloc.alloc("b", elements, 0);
+    PimArray c = alloc.alloc("c", elements, 0);
+
+    // 3. Initialize the functional memory.
+    for (std::uint64_t i = 0; i < elements; ++i) {
+        sys.mem().writeFloat(a.base + 4 * i, float(i % 97));
+        sys.mem().writeFloat(b.base + 4 * i, float(i % 31));
+    }
+
+    // 4. Emit the per-channel PIM instruction streams.
+    std::vector<std::vector<PimInstr>> streams;
+    std::uint32_t n = cfg.tsSlots(); // commands per phase (N)
+    for (std::uint16_t ch = 0; ch < cfg.numChannels; ++ch) {
+        KernelBuilder kb(map, ch);
+        std::uint64_t blocks = kb.blocksPerChannel(a);
+        for (std::uint64_t j0 = 0; j0 < blocks; j0 += n) {
+            std::uint32_t m = std::uint32_t(
+                std::min<std::uint64_t>(n, blocks - j0));
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.load(std::uint8_t(k), a, j0 + k);
+            kb.orderPoint(0);
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.fetchOp(AluOp::Add, std::uint8_t(k),
+                           std::uint8_t(k), b, j0 + k);
+            kb.orderPoint(0);
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.store(std::uint8_t(k), c, j0 + k);
+            kb.orderPoint(0);
+        }
+        streams.push_back(kb.take());
+    }
+
+    // 5. Run and verify.
+    sys.loadPimKernel(std::move(streams));
+    RunMetrics metrics = sys.run();
+
+    std::uint64_t wrong = 0;
+    for (std::uint64_t i = 0; i < elements; ++i) {
+        float want = float(i % 97) + float(i % 31);
+        if (sys.mem().readFloat(c.base + 4 * i) != want)
+            ++wrong;
+    }
+
+    std::printf("vector_add of %llu elements on PIM:\n",
+                (unsigned long long)elements);
+    std::printf("  simulated time     : %.4f ms\n", metrics.execMs);
+    std::printf("  PIM command BW     : %.2f GC/s\n",
+                metrics.commandBwGCs);
+    std::printf("  PIM data BW        : %.1f GB/s\n",
+                metrics.dataBwGBs);
+    std::printf("  OrderLight packets : %llu\n",
+                (unsigned long long)metrics.olPackets);
+    std::printf("  core stall cycles  : %llu\n",
+                (unsigned long long)metrics.stallCycles);
+    std::printf("  result             : %s\n",
+                wrong == 0 ? "correct" : "INCORRECT");
+    return wrong == 0 ? 0 : 1;
+}

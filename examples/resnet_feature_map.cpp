@@ -1,0 +1,87 @@
+/**
+ * @file
+ * ML scenario: the data-intensive tail of a residual block.
+ *
+ * The paper's motivating ML workloads are the low compute-to-byte
+ * layers of CNNs: feature-map addition (residual connections) and
+ * batch normalization. This example offloads both to PIM and
+ * compares the three ways of running them: GPU host execution,
+ * PIM with fences, and PIM with OrderLight — across TS sizes,
+ * like a user sizing a PIM deployment would.
+ *
+ *   ./example_resnet_feature_map
+ */
+
+#include <cstdio>
+
+#include "core/runner.hh"
+
+using namespace olight;
+
+namespace
+{
+
+void
+evaluate(const char *label, const char *workload,
+         std::uint64_t elements)
+{
+    double gpu_ms = gpuBaselineMs(workload, elements);
+    std::printf("%s (%llu activations)\n", label,
+                (unsigned long long)elements);
+    std::printf("  GPU host execution: %.4f ms\n", gpu_ms);
+    std::printf("  %-10s %10s %12s %10s %10s\n", "TS", "Fence(ms)",
+                "OrderLight(ms)", "OLvsFence", "OLvsGPU");
+    for (std::uint32_t ts : {128u, 256u, 512u, 1024u}) {
+        RunOptions fence_opts;
+        fence_opts.workload = workload;
+        fence_opts.mode = OrderingMode::Fence;
+        fence_opts.tsBytes = ts;
+        fence_opts.elements = elements;
+        fence_opts.verify = false;
+        RunResult fence = runWorkload(fence_opts);
+
+        RunOptions ol_opts = fence_opts;
+        ol_opts.mode = OrderingMode::OrderLight;
+        ol_opts.verify = true; // trust but verify the offload
+        RunResult ol = runWorkload(ol_opts);
+        if (!ol.correct) {
+            std::printf("  verification FAILED: %s\n",
+                        ol.why.c_str());
+            return;
+        }
+
+        SystemConfig label_cfg;
+        label_cfg.tsBytes = ts;
+        std::printf("  %-10s %10.4f %12.4f %9.2fx %9.2fx\n",
+                    tsLabel(label_cfg).c_str(),
+                    fence.metrics.execMs, ol.metrics.execMs,
+                    fence.metrics.execMs / ol.metrics.execMs,
+                    gpu_ms / ol.metrics.execMs);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Residual-block tail on PIM-enabled HBM\n");
+    std::printf("=======================================\n\n");
+
+    // Feature-map addition: out = branch_a + branch_b (the "Add"
+    // kernel; 1:3 compute-to-memory per Table 2).
+    evaluate("1. Feature-map addition (residual connection)", "Add",
+             1ull << 18);
+
+    // Batch normalization forward (7:3).
+    evaluate("2. Batch normalization (inference)", "BN_Fwd",
+             1ull << 18);
+
+    std::printf(
+        "Takeaway: with fences the PIM offload barely beats the GPU "
+        "(and loses at small TS);\nOrderLight makes even small "
+        "temporary storage profitable — the paper's argument for\n"
+        "memory-centric ordering in fine-grained PIM.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+#include "core/config.hh"
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace olight
+{
+
+const char *
+toString(OrderingMode mode)
+{
+    switch (mode) {
+      case OrderingMode::None:
+        return "None";
+      case OrderingMode::Fence:
+        return "Fence";
+      case OrderingMode::OrderLight:
+        return "OrderLight";
+      case OrderingMode::SeqNum:
+        return "SeqNum";
+    }
+    return "?";
+}
+
+void
+SystemConfig::validate() const
+{
+    auto pow2 = [](std::uint32_t v) { return v && !(v & (v - 1)); };
+
+    if (!pow2(numChannels) || numChannels > 64)
+        olight_fatal("numChannels must be a power of two <= 64");
+    if (!pow2(banksPerChannel))
+        olight_fatal("banksPerChannel must be a power of two");
+    if (!pow2(bmf) || bmf == 0)
+        olight_fatal("bmf must be a power of two >= 1");
+    if (rowBufferBytes % busWidthBytes != 0)
+        olight_fatal("rowBufferBytes must be a multiple of the bus width");
+    if (tsBytes % busWidthBytes != 0 || tsBytes == 0)
+        olight_fatal("tsBytes must be a non-zero multiple of bus width");
+    if (tsBytes > rowBufferBytes)
+        olight_fatal("tsBytes larger than a row buffer is not modeled");
+    if (channelInterleaveBytes % busWidthBytes != 0)
+        olight_fatal("channel interleave must be a multiple of bus width");
+    if (numMemGroups == 0 || numMemGroups > 16)
+        olight_fatal("numMemGroups must be in [1,16] (4-bit field)");
+    if (numSms == 0 || warpsPerSm == 0)
+        olight_fatal("need at least one SM and one warp");
+    if (numSms * warpsPerSm < numChannels)
+        olight_fatal("need one PIM warp per memory channel (", numChannels,
+                     " channels, ", numSms * warpsPerSm, " warps)");
+    if (orderingMode == OrderingMode::SeqNum &&
+        (seqNumCredits == 0 ||
+         seqNumCredits > readQueueSize ||
+         seqNumCredits > writeQueueSize)) {
+        olight_fatal("seqNumCredits must be in [1, min(R/W queue "
+                     "size)] to avoid reorder-buffer deadlock");
+    }
+}
+
+void
+SystemConfig::print(std::ostream &os) const
+{
+    os << "GPU: SMs(PIM)=" << numSms << " warps/SM=" << warpsPerSm
+       << " coreClk=1200MHz icnt->L2=" << interconnectLatency
+       << "cyc L2->DRAM=" << l2ToDramLatency
+       << "cyc L2queue=" << l2QueueSize << "\n"
+       << "Mem: HBM channels=" << numChannels
+       << " banks/ch=" << banksPerChannel << " bus=" << busWidthBytes
+       << "B memClk=850MHz RQ/WQ=" << readQueueSize << "/"
+       << writeQueueSize << " sched=FRFCFS\n"
+       << "Timing(mem cyc): CCD=" << timing.ccd << " CCDL=" << timing.ccdl
+       << " RRD=" << timing.rrd << " RCDW=" << timing.rcdw
+       << " RAS=" << timing.ras << " RP=" << timing.rp
+       << " CL=" << timing.cl << " WL=" << timing.wl
+       << " CDLR=" << timing.cdlr << " WR=" << timing.wr
+       << " WTP=" << timing.wtp << "\n"
+       << "PIM: BMF=" << bmf << "x TS=" << tsBytes << "B/lane ("
+       << tsLabel(*this) << ") ordering=" << toString(orderingMode)
+       << " memGroups=" << numMemGroups << "\n";
+}
+
+std::string
+tsLabel(const SystemConfig &cfg)
+{
+    if (cfg.rowBufferBytes % cfg.tsBytes == 0) {
+        std::uint32_t denom = cfg.rowBufferBytes / cfg.tsBytes;
+        if (denom == 1)
+            return "1 RB";
+        return "1/" + std::to_string(denom) + " RB";
+    }
+    return std::to_string(cfg.tsBytes) + "B";
+}
+
+} // namespace olight

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * System configuration mirroring Table 1 of the paper, plus the
+ * parameters the evaluation sweeps (temporary-storage size, bandwidth
+ * multiplication factor, ordering mode).
+ */
+
+#ifndef OLIGHT_CORE_CONFIG_HH
+#define OLIGHT_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace olight
+{
+
+/** How ordering between PIM instructions is enforced. */
+enum class OrderingMode : std::uint8_t
+{
+    None,       ///< no enforcement: fast but functionally incorrect
+    Fence,      ///< core-centric baseline: SM stalls on acks
+    OrderLight, ///< memory-centric: OrderLight packets (this paper)
+    SeqNum,     ///< per-channel sequence numbers with credit-based
+                ///< buffering at the MC (Kim et al., Section 8.1)
+};
+
+const char *toString(OrderingMode mode);
+
+/** Temporal arbitration granularity between host and PIM (taxonomy). */
+enum class ArbitrationGranularity : std::uint8_t
+{
+    Coarse, ///< CGA: host memory access disallowed during PIM phases
+    Fine,   ///< FGA: host and PIM requests interleave at the MC
+};
+
+/** Temporal offload granularity (taxonomy; this work models FGO). */
+enum class OffloadGranularity : std::uint8_t
+{
+    Coarse, ///< CGO: whole computations shipped to memory-side logic
+    Fine,   ///< FGO: host issues individual PIM instructions
+};
+
+/**
+ * HBM timing parameters in memory cycles (Table 1).
+ *
+ * tRCDR and tRTP are not listed in the paper's table; we use typical
+ * HBM2 values (documented in DESIGN.md).
+ */
+struct DramTiming
+{
+    std::uint32_t ccd = 1;   ///< column-to-column, different bank
+    std::uint32_t ccdl = 2;  ///< column-to-column, same bank
+    std::uint32_t rrd = 3;   ///< ACT-to-ACT, different banks
+    std::uint32_t rcdw = 9;  ///< ACT to WRITE
+    std::uint32_t rcdr = 12; ///< ACT to READ (assumed; not in Table 1)
+    std::uint32_t ras = 28;  ///< ACT to PRE, same bank
+    std::uint32_t rp = 12;   ///< PRE to ACT, same bank
+    std::uint32_t cl = 12;   ///< read CAS latency
+    std::uint32_t wl = 2;    ///< write CAS latency
+    std::uint32_t cdlr = 3;  ///< write-to-read turnaround, same bank
+    std::uint32_t wr = 10;   ///< write recovery (data end to PRE)
+    std::uint32_t wtp = 9;   ///< write command to PRE
+    std::uint32_t rtp = 2;   ///< read command to PRE (assumed)
+
+    // All-bank refresh (not in Table 1; typical HBM2 values at
+    // 850 MHz: tREFI 3.9 us, tRFC 260 ns).
+    bool refreshEnabled = true;
+    std::uint32_t refi = 3315; ///< refresh interval (mem cycles)
+    std::uint32_t rfc = 221;   ///< refresh cycle time (mem cycles)
+};
+
+/** Full system configuration (defaults reproduce Table 1). */
+struct SystemConfig
+{
+    // --- GPU host (SMs devoted to the PIM kernel) ---
+    std::uint32_t numSms = 8;            ///< SMs issuing PIM kernels
+    std::uint32_t warpsPerSm = 2;        ///< PIM warps per SM
+    std::uint32_t collectorUnits = 8;    ///< operand collector units/SM
+    std::uint32_t collectorLatency = 4;  ///< base collect cycles
+    std::uint32_t collectorJitter = 8;   ///< extra 0..j-1 cycles (OoO)
+    std::uint32_t smQueueSize = 16;      ///< LDST/inject queue depth
+    std::uint32_t interconnectLatency = 120; ///< core cycles to L2
+    std::uint32_t l2ToDramLatency = 100; ///< core cycles to scheduler
+    std::uint32_t ackLatency = 40;       ///< response network latency
+    std::uint32_t l2SubPartitions = 2;   ///< sub-partitions per slice
+    std::uint32_t l2QueueSize = 64;      ///< per-queue capacity
+    std::uint32_t subPartJitter = 8;     ///< service jitter (reorders)
+
+    // --- Memory (HBM) ---
+    std::uint32_t numChannels = 16;
+    std::uint32_t banksPerChannel = 16;
+    std::uint32_t rowBufferBytes = 2048;
+    std::uint32_t busWidthBytes = 32;
+    std::uint32_t channelInterleaveBytes = 256;
+    std::uint32_t readQueueSize = 64;
+    std::uint32_t writeQueueSize = 64;
+    std::uint32_t writeDrainWatermark = 48; ///< start draining above
+    std::uint32_t writeDrainLow = 16;       ///< stop draining below
+    std::uint32_t schedulerSlackCycles = 8; ///< MC lookahead (mem cyc)
+    DramTiming timing;
+
+    // --- PIM (generic parameterized unit, Section 4.1) ---
+    std::uint32_t bmf = 16;     ///< bandwidth multiplication factor
+    std::uint32_t tsBytes = 256; ///< temporary storage per lane
+
+    // --- Ordering / taxonomy knobs ---
+    OrderingMode orderingMode = OrderingMode::OrderLight;
+    ArbitrationGranularity arbitration = ArbitrationGranularity::Fine;
+    std::uint32_t numMemGroups = 4;
+    /** SeqNum mode: per-channel reorder-buffer credits at the MC.
+     *  Must stay below the R/W queue capacity to avoid deadlock
+     *  (the "credit-based buffer management" of Kim et al.). */
+    std::uint32_t seqNumCredits = 32;
+
+    // --- Host-execution baseline ---
+    std::uint32_t hostWindowPerChannel = 256; ///< host MLP per channel
+    std::uint32_t totalSms = 80;  ///< whole-GPU SMs (compute roofline)
+
+    std::uint64_t seed = 1;
+
+    /** TS slots (32B commands buffered per phase); the paper's N. */
+    std::uint32_t tsSlots() const { return tsBytes / busWidthBytes; }
+
+    /** Columns (32B) per DRAM row. */
+    std::uint32_t
+    colsPerRow() const
+    {
+        return rowBufferBytes / busWidthBytes;
+    }
+
+    /** Bytes a single PIM column command processes across lanes. */
+    std::uint32_t commandBytes() const { return busWidthBytes * bmf; }
+
+    /** Validate invariants; calls fatal() on bad configurations. */
+    void validate() const;
+
+    /** Print a Table 1-style summary. */
+    void print(std::ostream &os) const;
+};
+
+/** TS size expressed as a fraction of the row buffer, e.g. "1/8 RB". */
+std::string tsLabel(const SystemConfig &cfg);
+
+} // namespace olight
+
+#endif // OLIGHT_CORE_CONFIG_HH

@@ -1,0 +1,104 @@
+#include "core/disasm.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace olight
+{
+
+namespace
+{
+
+void
+appendAddr(std::ostringstream &os, const PimInstr &instr,
+           const AddressMap *map)
+{
+    os << "0x" << std::hex << instr.addr << std::dec;
+    if (map) {
+        DramCoord c = map->decode(instr.addr);
+        os << " (ch" << c.channel << " b" << c.bank << " r" << c.row
+           << " c" << c.col << ")";
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const PimInstr &instr, const AddressMap *map)
+{
+    std::ostringstream os;
+    switch (instr.type) {
+      case PimOpType::PimLoad:
+        os << "PIM_LOAD    ts[" << unsigned(instr.dstSlot) << "] <- ";
+        appendAddr(os, instr, map);
+        break;
+      case PimOpType::PimStore:
+        os << "PIM_STORE   ";
+        appendAddr(os, instr, map);
+        os << " <- ts[" << unsigned(instr.srcSlot) << "]";
+        break;
+      case PimOpType::PimFetchOp:
+        os << "PIM_FETCH." << toString(instr.alu) << "  ts["
+           << unsigned(instr.dstSlot) << "] <- f(ts["
+           << unsigned(instr.srcSlot) << "], ";
+        appendAddr(os, instr, map);
+        if (instr.scalar != 0.0f)
+            os << ", " << instr.scalar;
+        os << ")";
+        break;
+      case PimOpType::PimCompute:
+        os << "PIM_OP." << toString(instr.alu) << "  ts["
+           << unsigned(instr.dstSlot) << "] <- f(ts["
+           << unsigned(isThreeOperandCompute(instr.alu)
+                           ? instr.aux
+                           : instr.dstSlot)
+           << "], ts[" << unsigned(instr.srcSlot) << "]";
+        if (instr.scalar != 0.0f || instr.scalar2 != 0.0f)
+            os << ", " << instr.scalar << ", " << instr.scalar2;
+        os << ")";
+        break;
+      case PimOpType::OrderPoint:
+        os << "ORDER_POINT grp" << unsigned(instr.memGroup);
+        if (int g2 = instr.secondOrderGroup(); g2 >= 0)
+            os << "+grp" << g2;
+        break;
+      case PimOpType::HostLoad:
+        os << "HOST_LOAD   ";
+        appendAddr(os, instr, map);
+        break;
+      case PimOpType::HostStore:
+        os << "HOST_STORE  ";
+        appendAddr(os, instr, map);
+        break;
+    }
+    if (instr.type != PimOpType::OrderPoint &&
+        instr.type != PimOpType::HostLoad &&
+        instr.type != PimOpType::HostStore)
+        os << "  [grp" << unsigned(instr.memGroup) << "]";
+    return os.str();
+}
+
+void
+dumpKernel(std::ostream &os,
+           const std::vector<std::vector<PimInstr>> &streams,
+           const AddressMap &map, std::size_t maxPerChannel)
+{
+    for (std::size_t ch = 0; ch < streams.size(); ++ch) {
+        const auto &stream = streams[ch];
+        os << "; channel " << ch << ": " << stream.size()
+           << " instructions\n";
+        std::size_t limit = maxPerChannel == 0
+                                ? stream.size()
+                                : std::min(maxPerChannel,
+                                           stream.size());
+        for (std::size_t i = 0; i < limit; ++i) {
+            os << std::setw(6) << i << ": "
+               << disassemble(stream[i], &map) << "\n";
+        }
+        if (limit < stream.size())
+            os << "       ... (" << (stream.size() - limit)
+               << " more)\n";
+    }
+}
+
+} // namespace olight

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * PIM-kernel disassembler: renders instruction streams in a
+ * human-readable form, optionally annotating memory operands with
+ * their decoded DRAM coordinates. Used by the CLI's --dump-kernel
+ * and by debugging sessions; doubles as executable documentation of
+ * the ISA.
+ */
+
+#ifndef OLIGHT_CORE_DISASM_HH
+#define OLIGHT_CORE_DISASM_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/pim_isa.hh"
+#include "dram/address_map.hh"
+
+namespace olight
+{
+
+/** One instruction, e.g. "PIM_LOAD  ts[2] <- 0x1a40 (b3 r7 c12)". */
+std::string disassemble(const PimInstr &instr,
+                        const AddressMap *map = nullptr);
+
+/**
+ * Dump up to @p maxPerChannel instructions of each channel's stream.
+ * Pass 0 for no limit.
+ */
+void dumpKernel(std::ostream &os,
+                const std::vector<std::vector<PimInstr>> &streams,
+                const AddressMap &map,
+                std::size_t maxPerChannel = 64);
+
+} // namespace olight
+
+#endif // OLIGHT_CORE_DISASM_HH

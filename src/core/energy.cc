@@ -1,0 +1,52 @@
+#include "core/energy.hh"
+
+#include <iomanip>
+
+namespace olight
+{
+
+EnergyBreakdown
+computeEnergy(const StatSet &stats, const SystemConfig &cfg,
+              const EnergyParams &params)
+{
+    EnergyBreakdown e;
+
+    double acts = stats.sumScalars("dram", ".acts");
+    e.rowOps = acts * params.actPreNj;
+
+    // Each PIM memory command transfers one 32 B column on the
+    // channel plus (BMF - 1) lane-local columns inside the module;
+    // host requests transfer a single column.
+    double pim_mem = stats.sumScalars("pim", ".memCommands");
+    double host = stats.sumScalars("mc", ".hostScheduled");
+    e.columns = (pim_mem + host) * params.columnNj +
+                pim_mem * double(cfg.bmf - 1) * params.laneColumnNj;
+
+    // Every PIM command does one 32 B ALU op per lane (loads and
+    // stores move through the ALU datapath as well).
+    double pim_all = stats.sumScalars("pim", ".commands");
+    e.compute = pim_all * double(cfg.bmf) * params.computeNj;
+
+    // Pipe traversal: each acceptance into a queue is one hop.
+    double hops = stats.sumScalars("icnt", ".accepted") +
+                  stats.sumScalars("l2s", ".accepted");
+    e.pipe = hops * params.pipeHopNj;
+
+    double ol = stats.sumScalars("mc", ".olPackets") +
+                stats.sumScalars("l2s", ".olCopies");
+    e.ordering = ol * params.orderLightNj;
+    return e;
+}
+
+void
+EnergyBreakdown::print(std::ostream &os) const
+{
+    os << std::fixed << std::setprecision(1)
+       << "energy (nJ): rowOps=" << rowOps << " columns=" << columns
+       << " compute=" << compute << " pipe=" << pipe
+       << " ordering=" << ordering << " total=" << totalNj()
+       << " (ordering " << std::setprecision(3)
+       << 100.0 * orderingFraction() << "%)" << std::defaultfloat;
+}
+
+} // namespace olight

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * First-order DRAM/PIM energy model.
+ *
+ * An extension beyond the paper's evaluation: accounts the energy of
+ * row activations, column accesses, PIM ALU operations, memory-pipe
+ * packet hops, and OrderLight packets, from the counters the
+ * simulator already collects. Default coefficients are
+ * representative HBM2 figures (per-operation energies in the
+ * nanojoule range for row ops, sub-nJ for 32 B column transfers);
+ * they are configurable because the model's purpose is *relative*
+ * comparisons — e.g. showing that OrderLight packets add negligible
+ * energy while the row-locality it preserves saves activation
+ * energy.
+ */
+
+#ifndef OLIGHT_CORE_ENERGY_HH
+#define OLIGHT_CORE_ENERGY_HH
+
+#include <ostream>
+
+#include "core/config.hh"
+#include "sim/stats.hh"
+
+namespace olight
+{
+
+/** Per-operation energy coefficients (nanojoules). */
+struct EnergyParams
+{
+    double actPreNj = 1.7;     ///< one ACT+PRE pair
+    double columnNj = 0.39;    ///< one 32 B column access
+    double laneColumnNj = 0.35; ///< per extra PIM lane column
+    double computeNj = 0.02;   ///< one 32 B SIMD ALU op (per lane)
+    double pipeHopNj = 0.01;   ///< one packet through one pipe queue
+    double orderLightNj = 0.004; ///< one OrderLight packet/copy
+};
+
+/** Energy breakdown of one run (nanojoules). */
+struct EnergyBreakdown
+{
+    double rowOps = 0.0;      ///< ACT/PRE
+    double columns = 0.0;     ///< DRAM column transfers (all lanes)
+    double compute = 0.0;     ///< PIM ALU work
+    double pipe = 0.0;        ///< memory-pipe traversal
+    double ordering = 0.0;    ///< OrderLight packets and copies
+
+    double
+    totalNj() const
+    {
+        return rowOps + columns + compute + pipe + ordering;
+    }
+
+    /** Ordering overhead as a fraction of total energy. */
+    double
+    orderingFraction() const
+    {
+        double total = totalNj();
+        return total > 0.0 ? ordering / total : 0.0;
+    }
+
+    void print(std::ostream &os) const;
+};
+
+/** Harvest the breakdown from a finished run's statistics. */
+EnergyBreakdown computeEnergy(const StatSet &stats,
+                              const SystemConfig &cfg,
+                              const EnergyParams &params = {});
+
+} // namespace olight
+
+#endif // OLIGHT_CORE_ENERGY_HH

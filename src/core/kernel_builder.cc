@@ -1,0 +1,111 @@
+#include "core/kernel_builder.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+ArrayAllocator::ArrayAllocator(const AddressMap &map)
+    : map_(map), next_(map.bankGroupStride())
+{
+}
+
+PimArray
+ArrayAllocator::alloc(const std::string &name, std::uint64_t elements,
+                      std::uint8_t memGroup)
+{
+    // Pad to whole (bank,row) row-groups per channel: the lane-major
+    // command sweep covers a contiguous channel-local prefix only in
+    // units of colsPerRow commands (one full row across all lanes).
+    std::uint64_t sweep = map_.channelSweepBytes() *
+                          map_.colsPerRow();
+    std::uint64_t bytes = elements * sizeof(float);
+    bytes = (bytes + sweep - 1) / sweep * sweep;
+
+    std::uint64_t stride = map_.bankGroupStride();
+    PimArray arr;
+    arr.name = name;
+    arr.base = next_;
+    arr.bytes = bytes;
+    arr.elements = elements;
+    arr.memGroup = memGroup;
+    next_ += (bytes + stride - 1) / stride * stride;
+    return arr;
+}
+
+KernelBuilder::KernelBuilder(const AddressMap &map,
+                             std::uint16_t channel)
+    : map_(map), channel_(channel)
+{
+}
+
+std::uint64_t
+KernelBuilder::blocksPerChannel(const PimArray &array) const
+{
+    return array.bytes / map_.channelSweepBytes();
+}
+
+std::uint64_t
+KernelBuilder::blockAddr(const PimArray &array, std::uint64_t j) const
+{
+    if (j >= blocksPerChannel(array))
+        olight_panic("block index ", j, " out of range for array ",
+                     array.name);
+    std::uint64_t local = array.base / map_.numChannels() +
+                          map_.laneZeroBlockLocal(j);
+    return map_.localToGlobal(local, channel_);
+}
+
+KernelBuilder &
+KernelBuilder::load(std::uint8_t slot, const PimArray &array,
+                    std::uint64_t j)
+{
+    instrs_.push_back(
+        PimInstr::load(slot, blockAddr(array, j), array.memGroup));
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::store(std::uint8_t slot, const PimArray &array,
+                     std::uint64_t j)
+{
+    instrs_.push_back(
+        PimInstr::store(slot, blockAddr(array, j), array.memGroup));
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::fetchOp(AluOp op, std::uint8_t dst, std::uint8_t src,
+                       const PimArray &array, std::uint64_t j,
+                       float scalar, float scalar2, std::uint16_t aux)
+{
+    PimInstr instr = PimInstr::fetchOp(op, dst, src,
+                                       blockAddr(array, j),
+                                       array.memGroup, scalar);
+    instr.scalar2 = scalar2;
+    instr.aux = aux;
+    instrs_.push_back(instr);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::compute(AluOp op, std::uint8_t dst, std::uint8_t src,
+                       std::uint8_t memGroup, float scalar,
+                       float scalar2, std::uint16_t aux)
+{
+    PimInstr instr = PimInstr::compute(op, dst, src, scalar);
+    instr.memGroup = memGroup;
+    instr.scalar2 = scalar2;
+    instr.aux = aux;
+    instrs_.push_back(instr);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::orderPoint(std::uint8_t memGroup)
+{
+    instrs_.push_back(PimInstr::orderPoint(memGroup));
+    return *this;
+}
+
+} // namespace olight

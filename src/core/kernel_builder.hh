@@ -1,0 +1,99 @@
+/**
+ * @file
+ * PIM-kernel construction helpers (the near-term "intrinsics-like
+ * low level primitives" of Section 5.4).
+ *
+ * ArrayAllocator hands out array placements that satisfy the
+ * assumptions the paper states for PIM kernels: the driver allocates
+ * large pages, operands align within the memory regions associated
+ * with each PIM unit, and distinct arrays map to the same banks but
+ * different DRAM rows. KernelBuilder turns per-array block indices
+ * into lane-0 command addresses for one channel and accumulates the
+ * instruction stream.
+ */
+
+#ifndef OLIGHT_CORE_KERNEL_BUILDER_HH
+#define OLIGHT_CORE_KERNEL_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/pim_isa.hh"
+#include "dram/address_map.hh"
+
+namespace olight
+{
+
+/** A PIM-resident array. */
+struct PimArray
+{
+    std::string name;
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;     ///< padded size
+    std::uint64_t elements = 0;  ///< requested fp32 element count
+    std::uint8_t memGroup = 0;
+};
+
+/** Aligned allocator for PIM data structures. */
+class ArrayAllocator
+{
+  public:
+    explicit ArrayAllocator(const AddressMap &map);
+
+    /**
+     * Allocate an array of @p elements fp32 values in @p memGroup.
+     * The base is aligned to the bank-group stride and the size is
+     * padded to a whole number of channel sweeps, so every channel
+     * owns the same number of command blocks.
+     */
+    PimArray alloc(const std::string &name, std::uint64_t elements,
+                   std::uint8_t memGroup);
+
+  private:
+    const AddressMap &map_;
+    std::uint64_t next_;
+};
+
+/** Builds the PIM instruction stream of one channel. */
+class KernelBuilder
+{
+  public:
+    KernelBuilder(const AddressMap &map, std::uint16_t channel);
+
+    /** Lane-0 command blocks one channel owns for @p array. */
+    std::uint64_t blocksPerChannel(const PimArray &array) const;
+
+    /** Address of the j-th command block of @p array on this
+     *  channel (covers 32*BMF bytes across lanes). */
+    std::uint64_t blockAddr(const PimArray &array,
+                            std::uint64_t j) const;
+
+    KernelBuilder &load(std::uint8_t slot, const PimArray &array,
+                        std::uint64_t j);
+    KernelBuilder &store(std::uint8_t slot, const PimArray &array,
+                         std::uint64_t j);
+    KernelBuilder &fetchOp(AluOp op, std::uint8_t dst,
+                           std::uint8_t src, const PimArray &array,
+                           std::uint64_t j, float scalar = 0.0f,
+                           float scalar2 = 0.0f,
+                           std::uint16_t aux = 0);
+    KernelBuilder &compute(AluOp op, std::uint8_t dst,
+                           std::uint8_t src, std::uint8_t memGroup,
+                           float scalar = 0.0f, float scalar2 = 0.0f,
+                           std::uint16_t aux = 0);
+    KernelBuilder &orderPoint(std::uint8_t memGroup);
+
+    std::size_t size() const { return instrs_.size(); }
+    std::vector<PimInstr> take() { return std::move(instrs_); }
+
+  private:
+    const AddressMap &map_;
+    std::uint16_t channel_;
+    std::vector<PimInstr> instrs_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_CORE_KERNEL_BUILDER_HH

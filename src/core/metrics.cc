@@ -1,0 +1,78 @@
+#include "core/metrics.hh"
+
+#include <iomanip>
+
+namespace olight
+{
+
+RunMetrics
+collectMetrics(const StatSet &stats, const SystemConfig &cfg,
+               Tick finishTick, Tick hostFinishTick)
+{
+    RunMetrics m;
+    m.finishTick = finishTick;
+    m.execMs = ticksToMs(finishTick);
+
+    m.pimCommands = std::uint64_t(stats.sumScalars("pim", ".commands"));
+    m.pimMemCommands =
+        std::uint64_t(stats.sumScalars("pim", ".memCommands"));
+    double seconds = ticksToSeconds(finishTick);
+    if (seconds > 0.0) {
+        m.commandBwGCs = double(m.pimCommands) / seconds / 1e9;
+        m.dataBwGBs = double(m.pimMemCommands) * 32.0 * cfg.bmf /
+                      seconds / 1e9;
+    }
+
+    m.stallCycles =
+        std::uint64_t(stats.sumScalars("sm", ".stallCycles"));
+    m.fenceCount = std::uint64_t(stats.sumScalars("sm", ".fences"));
+    m.olPackets = std::uint64_t(stats.sumScalars("sm", ".olIssued"));
+
+    double fence_wait_sum = 0.0, ol_wait_sum = 0.0;
+    std::uint64_t fence_n = 0, ol_n = 0;
+    for (std::uint32_t sm = 0; sm < cfg.numSms; ++sm) {
+        std::string prefix = "sm" + std::to_string(sm);
+        if (const auto *d =
+                stats.findDistribution(prefix + ".fenceWait")) {
+            fence_wait_sum += d->sum();
+            fence_n += d->count();
+        }
+        if (const auto *d =
+                stats.findDistribution(prefix + ".olWait")) {
+            ol_wait_sum += d->sum();
+            ol_n += d->count();
+        }
+    }
+    m.waitPerFence = fence_n ? fence_wait_sum / double(fence_n) : 0.0;
+    m.waitPerOl = ol_n ? ol_wait_sum / double(ol_n) : 0.0;
+
+    m.rowHits = std::uint64_t(stats.sumScalars("dram", ".rowHits"));
+    m.rowMisses =
+        std::uint64_t(stats.sumScalars("dram", ".rowMisses"));
+    m.acts = std::uint64_t(stats.sumScalars("dram", ".acts"));
+
+    m.hostRequests = std::uint64_t(stats.sumScalars("host", ".issued"));
+    m.hostFinishTick = hostFinishTick;
+    m.hostMs = ticksToMs(hostFinishTick);
+    return m;
+}
+
+void
+RunMetrics::print(std::ostream &os) const
+{
+    os << std::fixed << std::setprecision(3)
+       << "exec=" << execMs << "ms"
+       << " cmdBW=" << commandBwGCs << "GC/s"
+       << " dataBW=" << std::setprecision(1) << dataBwGBs << "GB/s"
+       << " pimCmds=" << pimCommands
+       << " stalls=" << stallCycles
+       << " fences=" << fenceCount
+       << " olPkts=" << olPackets;
+    if (fenceCount)
+        os << " wait/fence=" << std::setprecision(1) << waitPerFence;
+    if (olPackets)
+        os << " wait/OL=" << std::setprecision(1) << waitPerOl;
+    os << std::defaultfloat;
+}
+
+} // namespace olight

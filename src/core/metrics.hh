@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Evaluation metrics (Section 6: PIM Command Bandwidth in
+ * GigaCommands/s, PIM Data Bandwidth in GB/s, execution time, core
+ * stall cycles, ordering primitives per PIM instruction).
+ */
+
+#ifndef OLIGHT_CORE_METRICS_HH
+#define OLIGHT_CORE_METRICS_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "core/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace olight
+{
+
+/** Aggregated results of one simulation run. */
+struct RunMetrics
+{
+    Tick finishTick = 0;
+    double execMs = 0.0;
+
+    std::uint64_t pimCommands = 0;    ///< all PIM commands executed
+    std::uint64_t pimMemCommands = 0; ///< PIM commands touching DRAM
+    double commandBwGCs = 0.0;        ///< GigaCommands/s
+    double dataBwGBs = 0.0;           ///< GB/s processed by PIM
+
+    std::uint64_t stallCycles = 0;    ///< core ordering stalls
+    std::uint64_t fenceCount = 0;
+    std::uint64_t olPackets = 0;      ///< OrderLight packets injected
+    double waitPerFence = 0.0;        ///< cycles
+    double waitPerOl = 0.0;           ///< cycles
+
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t acts = 0;
+
+    std::uint64_t hostRequests = 0;
+    Tick hostFinishTick = 0;
+    double hostMs = 0.0;
+
+    /** Fences or OrderLight packets, whichever mode ran. */
+    std::uint64_t
+    orderingPrimitives() const
+    {
+        return fenceCount + olPackets;
+    }
+
+    /** Ordering primitives per PIM instruction (Figure 12 line). */
+    double
+    orderingPerPimInstr() const
+    {
+        return pimCommands ? double(orderingPrimitives()) /
+                                 double(pimCommands)
+                           : 0.0;
+    }
+
+    void print(std::ostream &os) const;
+};
+
+/** Harvest metrics from a finished run's statistics. */
+RunMetrics collectMetrics(const StatSet &stats,
+                          const SystemConfig &cfg, Tick finishTick,
+                          Tick hostFinishTick);
+
+} // namespace olight
+
+#endif // OLIGHT_CORE_METRICS_HH

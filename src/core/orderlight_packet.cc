@@ -1,0 +1,64 @@
+#include "core/orderlight_packet.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+namespace
+{
+
+constexpr unsigned pktNumberBits = 32;
+constexpr unsigned memGrpBits = 4;
+constexpr unsigned chBits = 4;
+
+constexpr unsigned memGrpShift = pktNumberBits;
+constexpr unsigned memGrp2Shift = memGrpShift + memGrpBits;
+constexpr unsigned chShift = memGrp2Shift + memGrpBits;
+constexpr unsigned pktIdShift = chShift + chBits;
+
+} // namespace
+
+std::uint64_t
+encodeOrderLight(const OrderLightPacket &pkt)
+{
+    if (pkt.channelId >= (1u << chBits))
+        olight_panic("OrderLight channel id out of range: ",
+                     unsigned(pkt.channelId));
+    if (pkt.memGroupId >= (1u << memGrpBits) ||
+        pkt.memGroupId2 >= (1u << memGrpBits))
+        olight_panic("OrderLight memory-group id out of range");
+
+    auto id = pkt.hasSecondGroup ? PacketId::Extended
+                                 : PacketId::OrderLight;
+    std::uint64_t wire = 0;
+    wire |= std::uint64_t(static_cast<std::uint8_t>(id)) << pktIdShift;
+    wire |= std::uint64_t(pkt.channelId) << chShift;
+    wire |= std::uint64_t(pkt.memGroupId2) << memGrp2Shift;
+    wire |= std::uint64_t(pkt.memGroupId) << memGrpShift;
+    wire |= std::uint64_t(pkt.pktNumber);
+    return wire;
+}
+
+bool
+decodeOrderLight(std::uint64_t wire, OrderLightPacket &out)
+{
+    PacketId id = wirePacketId(wire);
+    if (id != PacketId::OrderLight && id != PacketId::Extended)
+        return false;
+
+    out.channelId = (wire >> chShift) & ((1u << chBits) - 1);
+    out.memGroupId = (wire >> memGrpShift) & ((1u << memGrpBits) - 1);
+    out.memGroupId2 = (wire >> memGrp2Shift) & ((1u << memGrpBits) - 1);
+    out.hasSecondGroup = (id == PacketId::Extended);
+    out.pktNumber = static_cast<std::uint32_t>(wire);
+    return true;
+}
+
+PacketId
+wirePacketId(std::uint64_t wire)
+{
+    return static_cast<PacketId>((wire >> pktIdShift) & 0x3);
+}
+
+} // namespace olight

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The OrderLight packet (Figure 8 of the paper).
+ *
+ * A 46-bit wire format carried through the memory pipe:
+ *   [45:44] packet id       - distinguishes OrderLight from load/store
+ *   [43:40] channel id      - channel whose ordering is enforced
+ *   [39:36] memory-group id2- optional second group (Extended id)
+ *   [35:32] memory-group id - scope of the ordering constraint
+ *   [31:0]  packet number   - per (channel, group) sequence number,
+ *                             used for sanity checks and statistics
+ *
+ * The second memory-group field supports ordering across two groups
+ * at once (the paper's "partial results from two different PIM
+ * kernels" example); the Extended packet id marks its presence.
+ */
+
+#ifndef OLIGHT_CORE_ORDERLIGHT_PACKET_HH
+#define OLIGHT_CORE_ORDERLIGHT_PACKET_HH
+
+#include <cstdint>
+
+namespace olight
+{
+
+/** Values of the 2-bit packet-id field. */
+enum class PacketId : std::uint8_t
+{
+    Load = 0,       ///< normal load request
+    Store = 1,      ///< normal store request
+    OrderLight = 2, ///< OrderLight ordering packet
+    Extended = 3,   ///< OrderLight with a second memory-group field
+};
+
+/** Decoded OrderLight packet. */
+struct OrderLightPacket
+{
+    std::uint8_t channelId = 0;  ///< 4 bits
+    std::uint8_t memGroupId = 0; ///< 4 bits
+    std::uint8_t memGroupId2 = 0; ///< second group (Extended only)
+    bool hasSecondGroup = false;
+    std::uint32_t pktNumber = 0; ///< 32 bits
+
+    bool operator==(const OrderLightPacket &o) const = default;
+};
+
+/** Encode to the wire format (returns a 64-bit container). */
+std::uint64_t encodeOrderLight(const OrderLightPacket &pkt);
+
+/**
+ * Decode a wire word.
+ *
+ * @retval true when the packet-id field marks an OrderLight packet
+ *         and all fields are in range; @p out is filled in.
+ * @retval false for load/store packet ids (out untouched).
+ */
+bool decodeOrderLight(std::uint64_t wire, OrderLightPacket &out);
+
+/** Extract just the 2-bit packet id from a wire word. */
+PacketId wirePacketId(std::uint64_t wire);
+
+} // namespace olight
+
+#endif // OLIGHT_CORE_ORDERLIGHT_PACKET_HH

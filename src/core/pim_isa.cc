@@ -1,0 +1,84 @@
+#include "core/pim_isa.hh"
+
+#include <sstream>
+
+namespace olight
+{
+
+const char *
+toString(AluOp op)
+{
+    switch (op) {
+      case AluOp::Copy: return "Copy";
+      case AluOp::Add: return "Add";
+      case AluOp::Sub: return "Sub";
+      case AluOp::Mul: return "Mul";
+      case AluOp::Fma: return "Fma";
+      case AluOp::FmaRev: return "FmaRev";
+      case AluOp::Affine: return "Affine";
+      case AluOp::Scale: return "Scale";
+      case AluOp::ScaleBias: return "ScaleBias";
+      case AluOp::Relu: return "Relu";
+      case AluOp::DotAcc: return "DotAcc";
+      case AluOp::Dot: return "Dot";
+      case AluOp::SqDiffAcc: return "SqDiffAcc";
+      case AluOp::SqDist: return "SqDist";
+      case AluOp::PopcntAcc: return "PopcntAcc";
+      case AluOp::Popcnt: return "Popcnt";
+      case AluOp::BinCount: return "BinCount";
+      case AluOp::MaxAcc: return "MaxAcc";
+      case AluOp::MinAcc: return "MinAcc";
+      case AluOp::Threshold: return "Threshold";
+      case AluOp::Zero: return "Zero";
+    }
+    return "?";
+}
+
+const char *
+toString(PimOpType type)
+{
+    switch (type) {
+      case PimOpType::PimLoad: return "PimLoad";
+      case PimOpType::PimStore: return "PimStore";
+      case PimOpType::PimFetchOp: return "PimFetchOp";
+      case PimOpType::PimCompute: return "PimCompute";
+      case PimOpType::OrderPoint: return "OrderPoint";
+      case PimOpType::HostLoad: return "HostLoad";
+      case PimOpType::HostStore: return "HostStore";
+    }
+    return "?";
+}
+
+bool
+isThreeOperandCompute(AluOp op)
+{
+    switch (op) {
+      case AluOp::Dot:
+      case AluOp::DotAcc:
+      case AluOp::SqDist:
+      case AluOp::SqDiffAcc:
+      case AluOp::Popcnt:
+      case AluOp::PopcntAcc:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Packet::describe() const
+{
+    std::ostringstream os;
+    if (kind == PacketKind::OrderLight) {
+        os << "OL[ch=" << unsigned(ol.channelId)
+           << " grp=" << unsigned(ol.memGroupId)
+           << " #" << ol.pktNumber << "]";
+    } else {
+        os << toString(instr.type) << "[ch=" << channel << " addr=0x"
+           << std::hex << instr.addr << std::dec << " grp="
+           << unsigned(instr.memGroup) << " id=" << id << "]";
+    }
+    return os.str();
+}
+
+} // namespace olight

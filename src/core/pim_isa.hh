@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The fine-grained PIM instruction set (Section 4.2 of the paper).
+ *
+ * A host PIM kernel is a per-channel stream of PimInstr. Memory
+ * instructions (Load/Store/FetchOp) translate into DRAM column
+ * accesses executed by the channel's PIM unit across all BMF lanes;
+ * Compute instructions operate only on the temporary storage (TS).
+ * OrderPoint is the abstract ordering marker the KernelBuilder emits
+ * wherever a data dependence requires enforcement; the SM lowers it
+ * according to the configured OrderingMode (fence stall, OrderLight
+ * packet, or nothing).
+ */
+
+#ifndef OLIGHT_CORE_PIM_ISA_HH
+#define OLIGHT_CORE_PIM_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/orderlight_packet.hh"
+#include "sim/types.hh"
+
+namespace olight
+{
+
+/** Element-wise / reduction operations of the PIM SIMD ALU. */
+enum class AluOp : std::uint8_t
+{
+    Copy,      ///< dst = operand
+    Add,       ///< dst = src + operand
+    Sub,       ///< dst = src - operand
+    Mul,       ///< dst = src * operand
+    Fma,       ///< dst = src + scalar * operand (triad)
+    FmaRev,    ///< dst = operand + scalar * src (daxpy)
+    Affine,    ///< dst = scalar * operand + scalar2 (batch norm)
+    Scale,     ///< dst = scalar * operand
+    ScaleBias, ///< dst = scalar * operand + src (batch norm)
+    Relu,      ///< dst = max(operand, 0)
+    DotAcc,    ///< dst[0] += sum(src * operand) (FC)
+    Dot,       ///< dst[0] = scalar + sum(src * operand) (SVM)
+    SqDiffAcc, ///< dst[0] += sum((src - operand)^2) (KMeans)
+    SqDist,    ///< dst[0] = sum((src - operand)^2)
+    PopcntAcc, ///< dst[0] += popcount(src & operand), as float
+    Popcnt,    ///< dst[0] = popcount(src & operand), as float
+    BinCount,  ///< histogram: ++dst[bin(operand, scalar)]
+    MaxAcc,    ///< dst[0] = max(dst[0], max(operand))
+    MinAcc,    ///< dst[0] = min(dst[0], operand[0])
+    Threshold, ///< dst = operand >= scalar ? 1 : 0
+    Zero,      ///< dst = 0 (full block)
+};
+
+/**
+ * True for reduction-style ops where a TS-internal PimCompute names
+ * its first source in the aux field (dst, srcSlot and aux are three
+ * distinct TS slots): dst[0] = f(TS[aux], TS[srcSlot]).
+ */
+bool isThreeOperandCompute(AluOp op);
+
+/** Kinds of host-issued instructions in a PIM kernel stream. */
+enum class PimOpType : std::uint8_t
+{
+    PimLoad,    ///< DRAM -> TS (one column across all lanes)
+    PimStore,   ///< TS -> DRAM
+    PimFetchOp, ///< DRAM operand fetched straight into the ALU
+    PimCompute, ///< TS-only ALU operation (no DRAM column access)
+    OrderPoint, ///< ordering marker (lowered per OrderingMode)
+    HostLoad,   ///< plain 32B host read (baseline / concurrent host)
+    HostStore,  ///< plain 32B host write
+};
+
+const char *toString(AluOp op);
+const char *toString(PimOpType type);
+
+/** One host-issued instruction of a PIM kernel. */
+struct PimInstr
+{
+    PimOpType type = PimOpType::PimLoad;
+    AluOp alu = AluOp::Copy;
+    std::uint8_t dstSlot = 0;  ///< TS destination slot (32B units)
+    std::uint8_t srcSlot = 0;  ///< TS source slot
+    std::uint8_t memGroup = 0; ///< memory group of the target address
+    std::uint64_t addr = 0;    ///< lane-0 global byte address
+    float scalar = 0.0f;       ///< immediate operand
+    float scalar2 = 0.0f;      ///< second immediate (Affine bias)
+    std::uint16_t aux = 0;     ///< extra immediate (e.g., #hist bins)
+
+    static PimInstr
+    load(std::uint8_t dst, std::uint64_t addr, std::uint8_t group)
+    {
+        PimInstr i;
+        i.type = PimOpType::PimLoad;
+        i.dstSlot = dst;
+        i.addr = addr;
+        i.memGroup = group;
+        return i;
+    }
+
+    static PimInstr
+    store(std::uint8_t src, std::uint64_t addr, std::uint8_t group)
+    {
+        PimInstr i;
+        i.type = PimOpType::PimStore;
+        i.srcSlot = src;
+        i.addr = addr;
+        i.memGroup = group;
+        return i;
+    }
+
+    static PimInstr
+    fetchOp(AluOp op, std::uint8_t dst, std::uint8_t src,
+            std::uint64_t addr, std::uint8_t group, float scalar = 0.0f)
+    {
+        PimInstr i;
+        i.type = PimOpType::PimFetchOp;
+        i.alu = op;
+        i.dstSlot = dst;
+        i.srcSlot = src;
+        i.addr = addr;
+        i.memGroup = group;
+        i.scalar = scalar;
+        return i;
+    }
+
+    static PimInstr
+    compute(AluOp op, std::uint8_t dst, std::uint8_t src,
+            float scalar = 0.0f)
+    {
+        PimInstr i;
+        i.type = PimOpType::PimCompute;
+        i.alu = op;
+        i.dstSlot = dst;
+        i.srcSlot = src;
+        i.scalar = scalar;
+        return i;
+    }
+
+    static PimInstr
+    orderPoint(std::uint8_t group)
+    {
+        PimInstr i;
+        i.type = PimOpType::OrderPoint;
+        i.memGroup = group;
+        return i;
+    }
+
+    /**
+     * Ordering across two memory groups at once (e.g. combining
+     * partial results from two different PIM kernels); lowered to an
+     * Extended OrderLight packet with a second memory-group field.
+     */
+    static PimInstr
+    orderPointDual(std::uint8_t group, std::uint8_t group2)
+    {
+        PimInstr i;
+        i.type = PimOpType::OrderPoint;
+        i.memGroup = group;
+        i.aux = std::uint16_t(0x100u | group2);
+        return i;
+    }
+
+    /** Second ordering group of a dual OrderPoint, or -1. */
+    int
+    secondOrderGroup() const
+    {
+        return (type == PimOpType::OrderPoint && (aux & 0x100u))
+                   ? int(aux & 0xfu)
+                   : -1;
+    }
+
+    /** True for instruction types that access DRAM. */
+    bool
+    isMemAccess() const
+    {
+        return type == PimOpType::PimLoad ||
+               type == PimOpType::PimStore ||
+               type == PimOpType::PimFetchOp ||
+               type == PimOpType::HostLoad ||
+               type == PimOpType::HostStore;
+    }
+
+    /** True for any PIM command sent to memory (incl. compute). */
+    bool
+    isPimCommand() const
+    {
+        return type == PimOpType::PimLoad ||
+               type == PimOpType::PimStore ||
+               type == PimOpType::PimFetchOp ||
+               type == PimOpType::PimCompute;
+    }
+
+    /** True when the DRAM access is a write. */
+    bool
+    isWrite() const
+    {
+        return type == PimOpType::PimStore ||
+               type == PimOpType::HostStore;
+    }
+};
+
+/** What travels through the memory pipe. */
+enum class PacketKind : std::uint8_t
+{
+    Request,    ///< a PIM or host memory request
+    OrderLight, ///< an OrderLight marker packet
+};
+
+/** An in-flight memory-pipe packet. */
+struct Packet
+{
+    PacketKind kind = PacketKind::Request;
+    std::uint64_t id = 0;     ///< unique, for jitter + debugging
+    std::uint32_t smId = 0;
+    std::uint32_t warpId = 0; ///< global warp id (ack routing)
+    std::uint16_t channel = 0;
+    std::uint32_t seq = 0;    ///< per-channel sequence number
+                              ///< (SeqNum ordering baseline)
+    PimInstr instr;           ///< valid when kind == Request
+    OrderLightPacket ol;      ///< valid when kind == OrderLight
+    Tick createdAt = 0;
+
+    bool isOrderLight() const { return kind == PacketKind::OrderLight; }
+
+    std::string describe() const;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_CORE_PIM_ISA_HH

@@ -1,0 +1,125 @@
+#include "core/runner.hh"
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "workloads/reference.hh"
+#include "workloads/registry.hh"
+
+namespace olight
+{
+
+SystemConfig
+configFor(OrderingMode mode, std::uint32_t tsBytes, std::uint32_t bmf,
+          const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    cfg.orderingMode = mode;
+    cfg.tsBytes = tsBytes;
+    cfg.bmf = bmf;
+    // Section 6: the fence baseline keeps the core idle, so eight
+    // context-switched warps share an SM (two SMs for 16 channels);
+    // OrderLight's issue throughput needs one SM per two warps.
+    if (cfg.collectorUnits >= 32) {
+        // CPU-like host: one hardware context per core, one core
+        // per channel, regardless of ordering mode.
+        cfg.warpsPerSm = 1;
+        cfg.numSms = cfg.numChannels;
+    } else if (mode == OrderingMode::Fence) {
+        cfg.warpsPerSm = 8;
+        cfg.numSms = std::max(1u, cfg.numChannels / 8u);
+    } else {
+        // OrderLight, SeqNum and None issue at full rate.
+        cfg.warpsPerSm = 2;
+        cfg.numSms = std::max(1u, cfg.numChannels / 2u);
+    }
+    return cfg;
+}
+
+RunResult
+runWorkload(const RunOptions &opts)
+{
+    SystemConfig cfg =
+        configFor(opts.mode, opts.tsBytes, opts.bmf, opts.base);
+
+    auto workload = makeWorkload(opts.workload);
+    workload->build(cfg, opts.elements);
+
+    RunResult result;
+    for (const auto &stream : workload->streams()) {
+        for (const auto &instr : stream) {
+            if (instr.type == PimOpType::OrderPoint)
+                ++result.orderPoints;
+            else
+                ++result.pimInstrCount;
+        }
+    }
+
+    System sys(cfg);
+    workload->initMemory(sys.mem());
+    sys.loadPimKernel(workload->streams());
+    result.metrics = sys.run();
+
+    if (opts.verify) {
+        result.verified = true;
+        result.correct = true;
+
+        SparseMemory golden;
+        workload->initMemory(golden);
+        runGolden(cfg, workload->map(), workload->streams(), golden);
+        for (const auto &arr : workload->arrays()) {
+            if (!compareArray(sys.mem(), golden, arr, result.why)) {
+                result.correct = false;
+                break;
+            }
+        }
+        if (result.correct &&
+            !workload->check(sys.mem(), result.why)) {
+            result.correct = false;
+        }
+    }
+
+    if (opts.runGpuBaseline)
+        result.gpuMs =
+            gpuBaselineMs(opts.workload, opts.elements, opts.base);
+    return result;
+}
+
+SystemConfig
+cpuHostBase()
+{
+    SystemConfig cfg;
+    cfg.interconnectLatency = 30; // on-chip NoC, not a GPU crossbar
+    cfg.l2ToDramLatency = 25;
+    cfg.ackLatency = 15;
+    cfg.collectorUnits = 32;      // reservation stations
+    cfg.collectorJitter = 16;     // OoO issue reorders aggressively
+    cfg.smQueueSize = 32;
+    return cfg;
+}
+
+double
+gpuBaselineMs(const std::string &workloadName, std::uint64_t elements,
+              const SystemConfig &base)
+{
+    // The host executes the kernel itself: plain loads/stores at
+    // BMF=1-equivalent bandwidth through the same memory system.
+    SystemConfig cfg = base;
+    cfg.orderingMode = OrderingMode::None;
+
+    auto workload = makeWorkload(workloadName);
+    workload->build(cfg, elements);
+
+    System sys(cfg);
+    workload->initMemory(sys.mem());
+    sys.setHostTraffic(workload->hostTraffic());
+    RunMetrics metrics = sys.run();
+
+    double mem_ms = metrics.hostMs;
+    // Compute roofline: the full GPU's SIMD throughput.
+    double flops = workload->hostFlops();
+    double compute_ms =
+        flops / (double(cfg.totalSms) * 32.0 * 1.2e9) * 1e3;
+    return std::max(mem_ms, compute_ms);
+}
+
+} // namespace olight

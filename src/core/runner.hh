@@ -1,0 +1,81 @@
+/**
+ * @file
+ * High-level experiment harness: configure a system for an ordering
+ * mode (including the paper's SM/warp provisioning — Section 6 uses
+ * 8 SMs x 2 warps for OrderLight's command throughput and 2 SMs x 8
+ * context-switched warps for the fence baseline), run a workload,
+ * verify functional correctness against the golden program-order
+ * execution and the workload's mathematical reference, and measure
+ * the GPU host-execution baseline.
+ */
+
+#ifndef OLIGHT_CORE_RUNNER_HH
+#define OLIGHT_CORE_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hh"
+#include "core/metrics.hh"
+
+namespace olight
+{
+
+/** What to run. */
+struct RunOptions
+{
+    std::string workload = "Add";
+    std::uint64_t elements = 1ull << 20;
+    OrderingMode mode = OrderingMode::OrderLight;
+    std::uint32_t tsBytes = 256;
+    std::uint32_t bmf = 16;
+    bool verify = true;          ///< golden + mathematical check
+    bool runGpuBaseline = false; ///< also time host execution
+    SystemConfig base{};         ///< remaining configuration knobs
+};
+
+/** What happened. */
+struct RunResult
+{
+    RunMetrics metrics;
+    bool correct = false;  ///< verification outcome (if requested)
+    bool verified = false; ///< whether verification ran
+    std::string why;       ///< first mismatch, when incorrect
+
+    double gpuMs = 0.0;    ///< host-execution time (roofline applied)
+    std::uint64_t pimInstrCount = 0; ///< host PIM instructions
+    std::uint64_t orderPoints = 0;   ///< ordering markers in streams
+};
+
+/**
+ * Derive the full configuration for an ordering mode / TS / BMF
+ * point, applying the paper's per-mode SM provisioning.
+ */
+SystemConfig configFor(OrderingMode mode, std::uint32_t tsBytes,
+                       std::uint32_t bmf,
+                       const SystemConfig &base = {});
+
+/** Build, run, and (optionally) verify one workload point. */
+RunResult runWorkload(const RunOptions &opts);
+
+/**
+ * GPU host-execution time for a workload in milliseconds:
+ * max(simulated memory-stream time, compute roofline).
+ */
+double gpuBaselineMs(const std::string &workload,
+                     std::uint64_t elements,
+                     const SystemConfig &base = {});
+
+/**
+ * Base configuration approximating an out-of-order CPU host (the
+ * paper's conclusion: OrderLight applies beyond GPUs — OoO cores
+ * still pay ~100-cycle fences, and reservation stations reorder
+ * requests like the operand collector does). Shorter uncore
+ * latencies, one hardware context per core, a larger reservation-
+ * station-like collector with more reordering.
+ */
+SystemConfig cpuHostBase();
+
+} // namespace olight
+
+#endif // OLIGHT_CORE_RUNNER_HH

@@ -1,0 +1,93 @@
+#include "core/sweep.hh"
+
+#include <map>
+
+namespace olight
+{
+
+std::vector<SweepRow>
+runSweep(const SweepSpec &spec, std::ostream *progress)
+{
+    std::vector<SweepRow> rows;
+    rows.reserve(spec.points());
+
+    std::map<std::string, double> gpu_cache;
+
+    for (const auto &workload : spec.workloads) {
+        double gpu_ms = 0.0;
+        if (spec.gpuBaseline) {
+            auto it = gpu_cache.find(workload);
+            if (it == gpu_cache.end()) {
+                gpu_ms = gpuBaselineMs(workload, spec.elements,
+                                       spec.base);
+                gpu_cache.emplace(workload, gpu_ms);
+            } else {
+                gpu_ms = it->second;
+            }
+        }
+        for (OrderingMode mode : spec.modes) {
+            for (std::uint32_t ts : spec.tsSizes) {
+                for (std::uint32_t bmf : spec.bmfs) {
+                    RunOptions opts;
+                    opts.workload = workload;
+                    opts.mode = mode;
+                    opts.tsBytes = ts;
+                    opts.bmf = bmf;
+                    opts.elements = spec.elements;
+                    opts.verify = spec.verify;
+                    opts.base = spec.base;
+                    RunResult r = runWorkload(opts);
+
+                    SweepRow row;
+                    row.workload = workload;
+                    row.mode = mode;
+                    row.tsBytes = ts;
+                    row.bmf = bmf;
+                    row.metrics = r.metrics;
+                    row.verified = r.verified;
+                    row.correct = r.correct;
+                    row.gpuMs = gpu_ms;
+                    rows.push_back(row);
+
+                    if (progress) {
+                        *progress << workload << "/"
+                                  << toString(mode) << "/ts" << ts
+                                  << "/bmf" << bmf << ": "
+                                  << r.metrics.execMs << " ms";
+                        if (r.verified)
+                            *progress << (r.correct ? " [ok]"
+                                                    : " [WRONG]");
+                        *progress << "\n";
+                    }
+                }
+            }
+        }
+    }
+    return rows;
+}
+
+void
+writeCsv(std::ostream &os, const std::vector<SweepRow> &rows)
+{
+    os << "workload,mode,ts_bytes,bmf,exec_ms,command_bw_gcs,"
+          "data_bw_gbs,pim_commands,stall_cycles,fences,ol_packets,"
+          "wait_per_fence,wait_per_ol,ordering_per_instr,row_hits,"
+          "row_misses,verified,correct,gpu_ms\n";
+    for (const SweepRow &row : rows) {
+        os << row.workload << "," << toString(row.mode) << ","
+           << row.tsBytes << "," << row.bmf << ","
+           << row.metrics.execMs << "," << row.metrics.commandBwGCs
+           << "," << row.metrics.dataBwGBs << ","
+           << row.metrics.pimCommands << ","
+           << row.metrics.stallCycles << ","
+           << row.metrics.fenceCount << "," << row.metrics.olPackets
+           << "," << row.metrics.waitPerFence << ","
+           << row.metrics.waitPerOl << ","
+           << row.metrics.orderingPerPimInstr() << ","
+           << row.metrics.rowHits << "," << row.metrics.rowMisses
+           << "," << (row.verified ? 1 : 0) << ","
+           << (row.correct ? 1 : 0) << "," << row.gpuMs << "\n";
+    }
+}
+
+} // namespace olight

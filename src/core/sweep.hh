@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Batch experiment driver: runs a grid of (workload, ordering mode,
+ * TS size, BMF) points — the shape of every figure in the paper —
+ * and emits the results as CSV for external plotting. This is the
+ * machinery behind the `olight_sweep` tool; the bench binaries use
+ * narrower, figure-specific loops so their output mirrors the
+ * paper's tables directly.
+ */
+
+#ifndef OLIGHT_CORE_SWEEP_HH
+#define OLIGHT_CORE_SWEEP_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace olight
+{
+
+/** The experiment grid. */
+struct SweepSpec
+{
+    std::vector<std::string> workloads = {"Add"};
+    std::vector<OrderingMode> modes = {OrderingMode::Fence,
+                                       OrderingMode::OrderLight};
+    std::vector<std::uint32_t> tsSizes = {128, 256, 512, 1024};
+    std::vector<std::uint32_t> bmfs = {16};
+    std::uint64_t elements = 1ull << 18;
+    bool verify = false;
+    bool gpuBaseline = false; ///< time host execution per workload
+    SystemConfig base{};
+
+    std::size_t
+    points() const
+    {
+        return workloads.size() * modes.size() * tsSizes.size() *
+               bmfs.size();
+    }
+};
+
+/** One grid point's outcome. */
+struct SweepRow
+{
+    std::string workload;
+    OrderingMode mode;
+    std::uint32_t tsBytes = 0;
+    std::uint32_t bmf = 0;
+    RunMetrics metrics;
+    bool verified = false;
+    bool correct = false;
+    double gpuMs = 0.0; ///< only when SweepSpec::gpuBaseline
+};
+
+/**
+ * Run the full grid (row-major: workload, mode, ts, bmf). When
+ * @p progress is non-null, one line per completed point is written.
+ */
+std::vector<SweepRow> runSweep(const SweepSpec &spec,
+                               std::ostream *progress = nullptr);
+
+/** Emit rows as CSV (with header). */
+void writeCsv(std::ostream &os, const std::vector<SweepRow> &rows);
+
+} // namespace olight
+
+#endif // OLIGHT_CORE_SWEEP_HH

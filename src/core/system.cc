@@ -1,0 +1,221 @@
+#include "core/system.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), map_(cfg)
+{
+    cfg_.validate();
+
+    std::vector<L2Slice *> slice_ptrs;
+    for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+        std::string ch_str = std::to_string(ch);
+        timings_.push_back(std::make_unique<ChannelTiming>(
+            cfg_, "dram" + ch_str, stats_));
+        pims_.push_back(std::make_unique<PimUnit>(
+            cfg_, map_, mem_, ch, "pim" + ch_str, stats_));
+        mcs_.push_back(std::make_unique<MemoryController>(
+            cfg_, map_, ch, eq_, *timings_[ch], *pims_[ch],
+            "mc" + ch_str, stats_));
+        slices_.push_back(
+            std::make_unique<L2Slice>(cfg_, ch, eq_, stats_));
+        slices_[ch]->setDownstream(mcs_[ch].get());
+        slice_ptrs.push_back(slices_[ch].get());
+    }
+
+    icnt_ = std::make_unique<Interconnect>(cfg_, eq_, slice_ptrs,
+                                           stats_);
+
+    for (std::uint32_t sm = 0; sm < cfg_.numSms; ++sm)
+        sms_.push_back(std::make_unique<Sm>(cfg_, sm, eq_,
+                                            icnt_->smPort(sm),
+                                            stats_));
+
+    host_ = std::make_unique<HostStream>(cfg_, map_, eq_, stats_);
+    std::vector<AcceptPort *> slice_inputs;
+    for (auto &slice : slices_)
+        slice_inputs.push_back(&slice->input());
+    host_->connect(std::move(slice_inputs));
+
+    for (auto &mc : mcs_) {
+        mc->setAckFn([this](const Packet &pkt) {
+            if (pkt.smId < sms_.size())
+                sms_[pkt.smId]->onAck(pkt);
+        });
+        mc->setHostDoneFn([this](const Packet &pkt) {
+            host_->onDone(pkt);
+        });
+    }
+}
+
+void
+System::loadPimKernel(std::vector<std::vector<PimInstr>> streams)
+{
+    if (hasKernel_)
+        olight_fatal("a PIM kernel is already loaded");
+    if (streams.size() != cfg_.numChannels)
+        olight_fatal("need one instruction stream per channel (got ",
+                     streams.size(), ", expected ", cfg_.numChannels,
+                     ")");
+    streams_ = std::move(streams);
+    hasKernel_ = true;
+    for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+        std::uint32_t sm = ch / cfg_.warpsPerSm;
+        sms_.at(sm)->addWarp(ch, &streams_[ch]);
+    }
+}
+
+void
+System::setHostTraffic(std::vector<HostArraySpec> arrays)
+{
+    host_->setTraffic(std::move(arrays));
+    hasHostTraffic_ = true;
+}
+
+void
+System::setCoherenceFlush(std::vector<HostArraySpec> arrays)
+{
+    if (hasHostTraffic_)
+        olight_fatal("coherence flush and concurrent host traffic "
+                     "share the host engine; use one or the other");
+    for (auto &spec : arrays)
+        spec.write = true; // write-backs of dirty lines
+    host_->setTraffic(std::move(arrays));
+    hasFlush_ = true;
+}
+
+void
+System::enableTrace(std::ostream &os)
+{
+    trace_ = std::make_unique<TraceWriter>(os);
+    for (auto &mc : mcs_)
+        mc->setTrace(trace_.get());
+}
+
+bool
+System::smsDone() const
+{
+    for (const auto &sm : sms_)
+        if (!sm->done())
+            return false;
+    return true;
+}
+
+bool
+System::pimDrained() const
+{
+    if (!smsDone())
+        return false;
+    for (const auto &mc : mcs_)
+        if (!mc->idle())
+            return false;
+    for (const auto &slice : slices_)
+        if (!slice->idle())
+            return false;
+    return icnt_->idle();
+}
+
+Tick
+System::pimFinishTick() const
+{
+    Tick latest = 0;
+    for (const auto &pim : pims_)
+        latest = std::max(latest, pim->lastExecTick());
+    return latest;
+}
+
+RunMetrics
+System::run()
+{
+    if (ran_)
+        olight_fatal("System::run() may only be called once");
+    ran_ = true;
+
+    bool cga_phase =
+        cfg_.arbitration == ArbitrationGranularity::Coarse &&
+        hasKernel_ && hasHostTraffic_;
+
+    if (hasFlush_) {
+        // Section 5.4: flush dirty PIM operands to memory before
+        // launching the PIM kernel.
+        host_->start();
+        while (!host_->done() && eq_.step()) {
+        }
+        if (!host_->done())
+            olight_panic("coherence flush did not complete");
+        flushDoneTick_ = eq_.now();
+    }
+
+    if (hasKernel_) {
+        for (auto &sm : sms_)
+            sm->start();
+    }
+    if (hasHostTraffic_ && !cga_phase) {
+        host_->start();
+    } else if (cga_phase) {
+        for (auto &mc : mcs_)
+            mc->setHostBlocked(true);
+    }
+
+    while (eq_.step()) {
+        if (cga_phase && pimDrained()) {
+            // PIM kernel complete: admit the host's memory traffic.
+            cga_phase = false;
+            pimDoneTick_ = pimFinishTick();
+            for (auto &mc : mcs_)
+                mc->setHostBlocked(false);
+            host_->start();
+        }
+    }
+    if (cga_phase && pimDrained()) {
+        cga_phase = false;
+        for (auto &mc : mcs_)
+            mc->setHostBlocked(false);
+        host_->start();
+        while (eq_.step()) {
+        }
+    }
+
+    checkCompletion();
+    if (pimDoneTick_ == 0)
+        pimDoneTick_ = pimFinishTick();
+
+    Tick finish = std::max(eq_.now(), pimDoneTick_);
+    return collectMetrics(stats_, cfg_, finish, host_->finishTick());
+}
+
+void
+System::checkCompletion() const
+{
+    std::ostringstream why;
+    bool stuck = false;
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
+        if (!sms_[i]->done()) {
+            stuck = true;
+            why << " sm" << i << " not done;";
+        }
+    }
+    if ((hasHostTraffic_ || hasFlush_) && !host_->done()) {
+        stuck = true;
+        why << " host stream not done;";
+    }
+    for (std::size_t ch = 0; ch < mcs_.size(); ++ch) {
+        if (!mcs_[ch]->idle()) {
+            stuck = true;
+            why << " mc" << ch << " not idle;";
+        }
+        if (!slices_[ch]->idle()) {
+            stuck = true;
+            why << " l2s" << ch << " not idle;";
+        }
+    }
+    if (stuck)
+        olight_panic("simulation deadlocked:", why.str());
+}
+
+} // namespace olight

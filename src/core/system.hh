@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Top-level simulated system: a GPU host (SMs, operand collectors),
+ * the memory pipe (interconnect, L2 slices with sub-partitions and
+ * copy-and-merge FSMs), per-channel memory controllers with
+ * OrderLight tracking, the HBM timing model, and functional PIM
+ * units — the full Figure 6 plus the host-execution baseline.
+ */
+
+#ifndef OLIGHT_CORE_SYSTEM_HH
+#define OLIGHT_CORE_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "core/pim_isa.hh"
+#include "dram/address_map.hh"
+#include "dram/channel_timing.hh"
+#include "dram/storage.hh"
+#include "gpu/host_stream.hh"
+#include "gpu/sm.hh"
+#include "memctrl/memory_controller.hh"
+#include "noc/interconnect.hh"
+#include "noc/l2_slice.hh"
+#include "pim/pim_unit.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace olight
+{
+
+/** A complete host + PIM-enabled-memory system. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    const SystemConfig &config() const { return cfg_; }
+    SparseMemory &mem() { return mem_; }
+    const AddressMap &map() const { return map_; }
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+    EventQueue &eq() { return eq_; }
+
+    /**
+     * Load the PIM kernel: one instruction stream per memory
+     * channel. Each channel's stream is bound to one dedicated warp
+     * (Section 5.4's synchronization-free model).
+     */
+    void loadPimKernel(std::vector<std::vector<PimInstr>> streams);
+
+    /** Background / baseline host traffic. */
+    void setHostTraffic(std::vector<HostArraySpec> arrays);
+
+    /** Stream a CSV packet trace of all memory controllers. */
+    void enableTrace(std::ostream &os);
+
+    /**
+     * Model the coherence flush of Section 5.4: before the PIM
+     * kernel starts, dirty lines of the PIM operands are written
+     * back through the memory system (and host copies invalidated,
+     * which is free). Mutually exclusive with setHostTraffic().
+     */
+    void setCoherenceFlush(std::vector<HostArraySpec> arrays);
+
+    /** When the pre-kernel flush completed (0 if none ran). */
+    Tick flushDoneTick() const { return flushDoneTick_; }
+
+    /**
+     * Run to completion and harvest metrics. Under coarse-grained
+     * arbitration (CGA) with both a PIM kernel and host traffic, the
+     * host stream is blocked until the PIM kernel finishes.
+     */
+    RunMetrics run();
+
+    /** Last tick at which any PIM unit executed a command. */
+    Tick pimFinishTick() const;
+
+    HostStream &hostStream() { return *host_; }
+
+    PimUnit &pimUnit(std::uint16_t channel)
+    {
+        return *pims_.at(channel);
+    }
+    MemoryController &controller(std::uint16_t channel)
+    {
+        return *mcs_.at(channel);
+    }
+
+  private:
+    bool smsDone() const;
+    bool pimDrained() const;
+    void checkCompletion() const;
+
+    SystemConfig cfg_;
+    EventQueue eq_;
+    StatSet stats_;
+    SparseMemory mem_;
+    AddressMap map_;
+
+    std::vector<std::unique_ptr<ChannelTiming>> timings_;
+    std::vector<std::unique_ptr<PimUnit>> pims_;
+    std::vector<std::unique_ptr<MemoryController>> mcs_;
+    std::vector<std::unique_ptr<L2Slice>> slices_;
+    std::unique_ptr<Interconnect> icnt_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    std::unique_ptr<HostStream> host_;
+
+    std::unique_ptr<TraceWriter> trace_;
+    std::vector<std::vector<PimInstr>> streams_;
+    bool hasKernel_ = false;
+    bool hasHostTraffic_ = false;
+    bool hasFlush_ = false;
+    bool ran_ = false;
+    Tick pimDoneTick_ = 0;
+    Tick flushDoneTick_ = 0;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_CORE_SYSTEM_HH

@@ -1,0 +1,75 @@
+#include "core/taxonomy.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+namespace
+{
+
+constexpr DesignPoint cgoCga{OffloadGranularity::Coarse,
+                             ArbitrationGranularity::Coarse};
+constexpr DesignPoint cgoFga{OffloadGranularity::Coarse,
+                             ArbitrationGranularity::Fine};
+constexpr DesignPoint fgoCga{OffloadGranularity::Fine,
+                             ArbitrationGranularity::Coarse};
+constexpr DesignPoint fgoFga{OffloadGranularity::Fine,
+                             ArbitrationGranularity::Fine};
+
+} // namespace
+
+std::string
+quadrantName(const DesignPoint &point)
+{
+    std::string name =
+        point.offload == OffloadGranularity::Coarse ? "CGO" : "FGO";
+    name += "/";
+    name += point.arbitration == ArbitrationGranularity::Coarse
+                ? "CGA"
+                : "FGA";
+    return name;
+}
+
+const std::vector<LiteratureExample> &
+literatureExamples()
+{
+    // Placement per Figure 1 of the paper.
+    static const std::vector<LiteratureExample> examples = {
+        {"Terasys", cgoCga},      {"DRISA", cgoCga},
+        {"DIVA", cgoCga},         {"Execube", cgoCga},
+        {"FlexRAM", cgoCga},      {"Upmem", cgoCga},
+        {"Active Pages", cgoCga}, {"NDA", cgoCga},
+        {"FIMDRAM(dev)", cgoCga}, {"GRIM", cgoFga},
+        {"GraphPIM", cgoFga},     {"Tesseract", cgoFga},
+        {"TOM", cgoFga},          {"Neurocube", cgoFga},
+        {"NDP", cgoFga},          {"LazyPIM", cgoFga},
+        {"Tetris", cgoFga},       {"IMPICA", cgoFga},
+        {"Cho et al.", cgoFga},   {"McDRAM", fgoCga},
+        {"ComputeDRAM", fgoCga},  {"Lee et al.", fgoFga},
+        {"PEI", fgoFga},          {"FIMDRAM(sys)", fgoFga},
+        {"OrderLight", fgoFga},
+    };
+    return examples;
+}
+
+std::vector<LiteratureExample>
+examplesIn(const DesignPoint &point)
+{
+    std::vector<LiteratureExample> out;
+    for (const auto &ex : literatureExamples())
+        if (ex.point == point)
+            out.push_back(ex);
+    return out;
+}
+
+void
+applyDesignPoint(SystemConfig &cfg, const DesignPoint &point)
+{
+    if (point.offload == OffloadGranularity::Coarse)
+        olight_fatal("coarse-grained offload is not modeled: it needs "
+                     "memory-side orchestration logic (Section 3)");
+    cfg.arbitration = point.arbitration;
+}
+
+} // namespace olight

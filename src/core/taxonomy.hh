@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The paper's taxonomy of PIM designs (Section 3, Figure 1):
+ * temporal granularity of computation offload crossed with temporal
+ * granularity of host/PIM memory-access arbitration.
+ */
+
+#ifndef OLIGHT_CORE_TAXONOMY_HH
+#define OLIGHT_CORE_TAXONOMY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+
+namespace olight
+{
+
+/** One point of the taxonomy plane. */
+struct DesignPoint
+{
+    OffloadGranularity offload = OffloadGranularity::Fine;
+    ArbitrationGranularity arbitration = ArbitrationGranularity::Fine;
+
+    bool operator==(const DesignPoint &o) const = default;
+};
+
+/** Quadrant label, e.g. "FGO/FGA". */
+std::string quadrantName(const DesignPoint &point);
+
+/** A design from the literature placed on the plane (Figure 1). */
+struct LiteratureExample
+{
+    const char *name;
+    DesignPoint point;
+};
+
+/** The Figure 1 registry. */
+const std::vector<LiteratureExample> &literatureExamples();
+
+/** Examples in one quadrant. */
+std::vector<LiteratureExample> examplesIn(const DesignPoint &point);
+
+/**
+ * Configure a system for a taxonomy point. Offload granularity is
+ * fixed at Fine in this simulator (CGO would require memory-side
+ * orchestration logic the paper argues against); arbitration
+ * granularity selects whether host traffic interleaves with PIM
+ * requests (FGA) or is blocked during PIM execution (CGA).
+ */
+void applyDesignPoint(SystemConfig &cfg, const DesignPoint &point);
+
+} // namespace olight
+
+#endif // OLIGHT_CORE_TAXONOMY_HH

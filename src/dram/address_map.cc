@@ -1,0 +1,105 @@
+#include "dram/address_map.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+AddressMap::AddressMap(const SystemConfig &cfg)
+    : channels_(cfg.numChannels),
+      banks_(cfg.banksPerChannel),
+      lanes_(cfg.bmf),
+      colsPerRow_(cfg.rowBufferBytes / cfg.busWidthBytes),
+      blockBytes_(cfg.busWidthBytes),
+      interleave_(cfg.channelInterleaveBytes)
+{
+}
+
+DramCoord
+AddressMap::decode(std::uint64_t addr) const
+{
+    std::uint64_t chunk = addr / interleave_;
+    std::uint64_t byte_in_chunk = addr % interleave_;
+
+    DramCoord c;
+    c.channel = static_cast<std::uint16_t>(chunk % channels_);
+
+    std::uint64_t local = (chunk / channels_) * interleave_ +
+                          byte_in_chunk;
+    std::uint64_t col32 = local / blockBytes_;
+
+    c.col = static_cast<std::uint16_t>(col32 % colsPerRow_);
+    std::uint64_t t = col32 / colsPerRow_;
+    c.lane = static_cast<std::uint16_t>(t % lanes_);
+    std::uint64_t u = t / lanes_;
+    c.bank = static_cast<std::uint16_t>(u % banks_);
+    c.row = static_cast<std::uint32_t>(u / banks_);
+    return c;
+}
+
+std::uint64_t
+AddressMap::encode(const DramCoord &coord) const
+{
+    if (coord.channel >= channels_ || coord.bank >= banks_ ||
+        coord.lane >= lanes_ || coord.col >= colsPerRow_)
+        olight_panic("encode: DRAM coordinate out of range");
+
+    std::uint64_t u = std::uint64_t(coord.row) * banks_ + coord.bank;
+    std::uint64_t t = u * lanes_ + coord.lane;
+    std::uint64_t col32 = t * colsPerRow_ + coord.col;
+    std::uint64_t local = col32 * blockBytes_;
+
+    std::uint64_t chunk_local = local / interleave_;
+    std::uint64_t byte_in_chunk = local % interleave_;
+    return (chunk_local * channels_ + coord.channel) * interleave_ +
+           byte_in_chunk;
+}
+
+std::uint64_t
+AddressMap::laneStride() const
+{
+    // Advancing the lane index by one moves the channel-local address
+    // by one full row worth of bytes, which in global address space
+    // is multiplied by the channel count.
+    return std::uint64_t(colsPerRow_) * blockBytes_ * channels_;
+}
+
+std::uint64_t
+AddressMap::bankGroupStride() const
+{
+    return laneStride() * lanes_ * banks_;
+}
+
+std::uint64_t
+AddressMap::channelSweepBytes() const
+{
+    return std::uint64_t(blockBytes_) * lanes_ * channels_;
+}
+
+std::uint64_t
+AddressMap::localToGlobal(std::uint64_t local,
+                          std::uint16_t channel) const
+{
+    std::uint64_t chunk_local = local / interleave_;
+    std::uint64_t byte_in_chunk = local % interleave_;
+    return (chunk_local * channels_ + channel) * interleave_ +
+           byte_in_chunk;
+}
+
+std::uint64_t
+AddressMap::globalToLocal(std::uint64_t addr) const
+{
+    std::uint64_t chunk = addr / interleave_;
+    return (chunk / channels_) * interleave_ + addr % interleave_;
+}
+
+std::uint64_t
+AddressMap::laneZeroBlockLocal(std::uint64_t j) const
+{
+    std::uint64_t col = j % colsPerRow_;
+    std::uint64_t u = j / colsPerRow_; // (bank,row) index
+    std::uint64_t col32 = (u * lanes_) * colsPerRow_ + col;
+    return col32 * blockBytes_;
+}
+
+} // namespace olight

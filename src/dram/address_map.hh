@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Physical address mapping for the PIM-enabled HBM system.
+ *
+ * Physical memory is interleaved across channels at 256 B chunks
+ * (Section 2.2). Within a channel the per-channel byte space is
+ * decomposed, lowest bits first, into:
+ *
+ *   column-in-row (32 B blocks, 64 per 2 KB row)
+ *   lane          (BMF PIM lanes; a lane-broadcast PIM command
+ *                  touches the same (bank,row,col) in every lane)
+ *   bank          (16 per channel)
+ *   row
+ *
+ * Consequently one (bank,row) "row group" holds rowBytes * BMF bytes
+ * of the channel-local space, and two arrays whose bases differ by a
+ * multiple of the bank-group stride land in the same banks but
+ * different rows — the layout the paper assumes for the stream
+ * kernels ("each [vector] mapped to a different DRAM row").
+ */
+
+#ifndef OLIGHT_DRAM_ADDRESS_MAP_HH
+#define OLIGHT_DRAM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "core/config.hh"
+
+namespace olight
+{
+
+/** A fully decoded DRAM location. */
+struct DramCoord
+{
+    std::uint16_t channel = 0;
+    std::uint16_t bank = 0;
+    std::uint32_t row = 0;
+    std::uint16_t col = 0;  ///< 32 B column within the row
+    std::uint16_t lane = 0; ///< PIM lane (BMF replication)
+
+    bool operator==(const DramCoord &o) const = default;
+};
+
+/** Address encode/decode per the scheme above. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const SystemConfig &cfg);
+
+    DramCoord decode(std::uint64_t addr) const;
+    std::uint64_t encode(const DramCoord &coord) const;
+
+    std::uint32_t numChannels() const { return channels_; }
+    std::uint32_t numBanks() const { return banks_; }
+    std::uint32_t numLanes() const { return lanes_; }
+    std::uint32_t colsPerRow() const { return colsPerRow_; }
+    std::uint32_t blockBytes() const { return blockBytes_; }
+
+    /**
+     * Global-address stride between lane l and lane l+1 of the same
+     * (channel,bank,row,col). PIM units use this to find the data a
+     * lane-broadcast command covers.
+     */
+    std::uint64_t laneStride() const;
+
+    /**
+     * Global-address stride that advances the row index by one while
+     * keeping channel/bank/lane/col fixed. Array allocation aligns
+     * bases to this so different arrays share banks but not rows.
+     */
+    std::uint64_t bankGroupStride() const;
+
+    /** Bytes of one array covered by a single lane-0 block sweep
+     *  across all channels (used to size arrays). */
+    std::uint64_t channelSweepBytes() const;
+
+    /** Map a channel-local byte offset back to a global address. */
+    std::uint64_t localToGlobal(std::uint64_t local,
+                                std::uint16_t channel) const;
+
+    /** Global address to channel-local byte offset. */
+    std::uint64_t globalToLocal(std::uint64_t addr) const;
+
+    /**
+     * Channel-local byte offset of the j-th lane-0 32 B block: walks
+     * columns within a (bank,row), then banks, then rows, always at
+     * lane 0 — the address sequence of a streaming PIM kernel.
+     */
+    std::uint64_t laneZeroBlockLocal(std::uint64_t j) const;
+
+  private:
+    std::uint32_t channels_;
+    std::uint32_t banks_;
+    std::uint32_t lanes_;
+    std::uint32_t colsPerRow_;
+    std::uint32_t blockBytes_;   ///< bus width (32 B)
+    std::uint32_t interleave_;   ///< channel interleave (256 B)
+};
+
+} // namespace olight
+
+#endif // OLIGHT_DRAM_ADDRESS_MAP_HH

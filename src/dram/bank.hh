@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-bank DRAM timing state.
+ */
+
+#ifndef OLIGHT_DRAM_BANK_HH
+#define OLIGHT_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace olight
+{
+
+/** Kind of a column access for timing purposes. */
+enum class AccessKind : std::uint8_t
+{
+    Read,    ///< PIM load / fetch-op / host load
+    Write,   ///< PIM store / host store
+    Compute, ///< command-bus slot only (TS-internal ALU op)
+};
+
+/**
+ * Timing state of one DRAM bank.
+ *
+ * All fields are absolute ticks of the earliest allowed issue time
+ * for the next command of each type; the ChannelTiming engine updates
+ * them as it reserves command slots.
+ */
+class Bank
+{
+  public:
+    bool rowOpen = false;
+    std::uint32_t openRow = 0;
+
+    Tick actAllowedAt = 0;  ///< earliest next ACT
+    Tick preAllowedAt = 0;  ///< earliest next PRE
+    Tick rdAllowedAt = 0;   ///< earliest next READ column
+    Tick wrAllowedAt = 0;   ///< earliest next WRITE column
+    Tick lastColTick = 0;   ///< last column command to this bank
+    AccessKind lastColKind = AccessKind::Read;
+    bool hasIssuedCol = false;
+
+    /** Row activations observed (stats). */
+    std::uint64_t acts = 0;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_DRAM_BANK_HH

@@ -1,0 +1,161 @@
+#include "dram/channel_timing.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+ChannelTiming::ChannelTiming(const SystemConfig &cfg,
+                             const std::string &name, StatSet &stats)
+    : t_(cfg.timing),
+      numBanks_(cfg.banksPerChannel),
+      banks_(cfg.banksPerChannel),
+      statActs_(stats.scalar(name + ".acts", "row activations")),
+      statPres_(stats.scalar(name + ".pres", "precharges")),
+      statRowHits_(stats.scalar(name + ".rowHits", "row-hit columns")),
+      statRowMisses_(stats.scalar(name + ".rowMisses",
+                                  "row-miss columns")),
+      statRefreshes_(stats.scalar(name + ".refreshes",
+                                  "all-bank refreshes"))
+{
+    nextRefreshAt_ = cyc(t_.refi);
+}
+
+void
+ChannelTiming::refreshUpTo(Tick when)
+{
+    if (!t_.refreshEnabled)
+        return;
+    while (nextRefreshAt_ <= when) {
+        // All-bank refresh: every bank is precharged and the whole
+        // channel is unavailable for tRFC.
+        Tick done = nextRefreshAt_ + cyc(t_.rfc);
+        for (Bank &bank : banks_) {
+            bank.rowOpen = false;
+            bank.actAllowedAt = std::max(bank.actAllowedAt, done);
+            bank.rdAllowedAt = std::max(bank.rdAllowedAt, done);
+            bank.wrAllowedAt = std::max(bank.wrAllowedAt, done);
+            bank.preAllowedAt = std::max(bank.preAllowedAt, done);
+        }
+        cmdBusNext_ = std::max(cmdBusNext_, done);
+        nextRefreshAt_ += cyc(t_.refi);
+        ++refreshes_;
+        ++statRefreshes_;
+    }
+}
+
+Tick
+ChannelTiming::precharge(Bank &bank, Tick earliest)
+{
+    Tick when = std::max({earliest, bank.preAllowedAt, cmdBusNext_});
+    when = align(when);
+    cmdBusNext_ = when + cyc(1);
+    bank.rowOpen = false;
+    bank.actAllowedAt = std::max(bank.actAllowedAt, when + cyc(t_.rp));
+    ++statPres_;
+    return when;
+}
+
+Tick
+ChannelTiming::activate(Bank &bank, std::uint32_t row, Tick earliest)
+{
+    Tick when = std::max({earliest, bank.actAllowedAt, cmdBusNext_});
+    if (hasIssuedAct_)
+        when = std::max(when, lastActAnyBank_ + cyc(t_.rrd));
+    when = align(when);
+    cmdBusNext_ = when + cyc(1);
+    lastActAnyBank_ = when;
+    hasIssuedAct_ = true;
+    bank.rowOpen = true;
+    bank.openRow = row;
+    bank.preAllowedAt = std::max(bank.preAllowedAt, when + cyc(t_.ras));
+    bank.rdAllowedAt = std::max(bank.rdAllowedAt, when + cyc(t_.rcdr));
+    bank.wrAllowedAt = std::max(bank.wrAllowedAt, when + cyc(t_.rcdw));
+    ++bank.acts;
+    ++statActs_;
+    return when;
+}
+
+Reservation
+ChannelTiming::reserve(AccessKind kind, std::uint16_t bankIdx,
+                       std::uint32_t row, Tick earliest)
+{
+    if (kind == AccessKind::Compute)
+        olight_panic("use reserveComputeSlot for compute commands");
+    if (bankIdx >= numBanks_)
+        olight_panic("bank index out of range: ", bankIdx);
+
+    Bank &bank = banks_[bankIdx];
+    refreshUpTo(std::max(earliest, cmdBusNext_));
+    Reservation res;
+
+    if (!bank.rowOpen || bank.openRow != row) {
+        if (bank.rowOpen)
+            precharge(bank, earliest);
+        activate(bank, row, earliest);
+        ++res.actsIssued;
+        ++statRowMisses_;
+    } else {
+        res.rowHit = true;
+        ++statRowHits_;
+    }
+
+    Tick when = std::max(earliest, cmdBusNext_);
+    when = std::max(when, kind == AccessKind::Read ? bank.rdAllowedAt
+                                                   : bank.wrAllowedAt);
+    if (bank.hasIssuedCol)
+        when = std::max(when, bank.lastColTick + cyc(t_.ccdl));
+    if (hasIssuedCol_)
+        when = std::max(when, lastColAnyBank_ + cyc(t_.ccd));
+
+    // Shared data-bus turnarounds (channel-wide).
+    if (kind == AccessKind::Read && hasWrite_) {
+        when = std::max(when,
+                        lastWriteCol_ + cyc(t_.wl + 1 + t_.cdlr));
+    }
+    if (kind == AccessKind::Write && hasRead_) {
+        std::uint32_t gap = t_.cl >= t_.wl ? (t_.cl - t_.wl + 2) : 2;
+        when = std::max(when, lastReadCol_ + cyc(gap));
+    }
+
+    when = align(when);
+    res.colTick = when;
+
+    cmdBusNext_ = when + cyc(1);
+    lastColAnyBank_ = when;
+    hasIssuedCol_ = true;
+    bank.lastColTick = when;
+    bank.lastColKind = kind;
+    bank.hasIssuedCol = true;
+
+    if (kind == AccessKind::Write) {
+        lastWriteCol_ = when;
+        hasWrite_ = true;
+        bank.preAllowedAt = std::max(bank.preAllowedAt,
+                                     when + cyc(t_.wtp));
+    } else {
+        lastReadCol_ = when;
+        hasRead_ = true;
+        bank.preAllowedAt = std::max(bank.preAllowedAt,
+                                     when + cyc(t_.rtp));
+    }
+    return res;
+}
+
+Tick
+ChannelTiming::reserveComputeSlot(Tick earliest)
+{
+    refreshUpTo(std::max(earliest, cmdBusNext_));
+    Tick when = std::max(earliest, cmdBusNext_);
+    if (hasIssuedCol_)
+        when = std::max(when, lastColAnyBank_ + cyc(t_.ccd));
+    when = align(when);
+    cmdBusNext_ = when + cyc(1);
+    lastColAnyBank_ = when;
+    hasIssuedCol_ = true;
+    return when;
+}
+
+} // namespace olight

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * DRAM command timing engine for one memory channel.
+ *
+ * The engine reserves command-bus slots in call order: every PRE,
+ * ACT and column command occupies one memory-clock slot on a single
+ * in-order command bus, and column commands additionally respect
+ * bank timing (CCDL, tRCD*, tRAS/tRP, write/read turnarounds) and a
+ * global in-order column watermark. Because column slots are
+ * reserved monotonically, the order in which the memory controller
+ * schedules requests is exactly the order their data phases occur —
+ * the property OrderLight's flag/counter mechanism relies on.
+ *
+ * Figure 11 of the paper is reproduced directly by this engine: with
+ * Table 1 timings, opening a row, issuing 8 writes and switching to
+ * another row takes tRCDW + 7*tCCDL + tWTP + tRP = 44 memory cycles.
+ */
+
+#ifndef OLIGHT_DRAM_CHANNEL_TIMING_HH
+#define OLIGHT_DRAM_CHANNEL_TIMING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "dram/bank.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace olight
+{
+
+/** Result of reserving one column access. */
+struct Reservation
+{
+    Tick colTick = 0;  ///< when the column command issues (data phase)
+    bool rowHit = false;
+    std::uint32_t actsIssued = 0; ///< row activations this reservation
+};
+
+/** Timing engine for one channel (16 banks, shared cmd + data bus). */
+class ChannelTiming
+{
+  public:
+    ChannelTiming(const SystemConfig &cfg, const std::string &name,
+                  StatSet &stats);
+
+    /**
+     * Reserve the command slots needed for a column access of @p kind
+     * to (@p bank, @p row), starting no earlier than @p earliest.
+     */
+    Reservation reserve(AccessKind kind, std::uint16_t bank,
+                        std::uint32_t row, Tick earliest);
+
+    /** Reserve a command-bus slot for a TS-internal compute command. */
+    Tick reserveComputeSlot(Tick earliest);
+
+    /** Earliest tick at which the command bus has a free slot. */
+    Tick cmdBusFreeAt() const { return cmdBusNext_; }
+
+    /** All-bank refreshes performed so far. */
+    std::uint64_t refreshes() const { return refreshes_; }
+
+    /** Open row of @p bank, or -1 when the bank is precharged. */
+    std::int64_t
+    openRowOf(std::uint16_t bank) const
+    {
+        const Bank &b = banks_[bank];
+        return b.rowOpen ? std::int64_t(b.openRow) : -1;
+    }
+
+    std::uint32_t numBanks() const { return numBanks_; }
+
+  private:
+    Tick cyc(std::uint32_t n) const { return Tick(n) * memPeriod; }
+    Tick align(Tick t) const { return memClock.nextEdge(t); }
+
+    /** Perform any all-bank refreshes due before @p when. */
+    void refreshUpTo(Tick when);
+
+    /** Close the open row of @p bank; returns the PRE slot tick. */
+    Tick precharge(Bank &bank, Tick earliest);
+
+    /** Open @p row in @p bank; returns the ACT slot tick. */
+    Tick activate(Bank &bank, std::uint32_t row, Tick earliest);
+
+    const DramTiming t_;
+    std::uint32_t numBanks_;
+    std::vector<Bank> banks_;
+
+    Tick cmdBusNext_ = 0;      ///< next free command-bus slot
+    Tick lastColAnyBank_ = 0;  ///< global in-order column watermark
+    bool hasIssuedCol_ = false;
+    Tick lastActAnyBank_ = 0;  ///< for tRRD
+    bool hasIssuedAct_ = false;
+    Tick lastReadCol_ = 0;     ///< channel-wide bus turnaround state
+    Tick lastWriteCol_ = 0;
+    bool hasRead_ = false, hasWrite_ = false;
+    Tick nextRefreshAt_ = 0;   ///< next all-bank refresh deadline
+    std::uint64_t refreshes_ = 0;
+
+    Scalar &statActs_;
+    Scalar &statPres_;
+    Scalar &statRowHits_;
+    Scalar &statRowMisses_;
+    Scalar &statRefreshes_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_DRAM_CHANNEL_TIMING_HH

@@ -1,0 +1,99 @@
+#include "dram/storage.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+const SparseMemory::Block SparseMemory::zeroBlock_{};
+
+SparseMemory::Block &
+SparseMemory::block(std::uint64_t addr)
+{
+    if (addr % blockBytes != 0)
+        olight_panic("unaligned block access: 0x", std::hex, addr);
+    return blocks_[addr / blockBytes];
+}
+
+const SparseMemory::Block &
+SparseMemory::blockOrZero(std::uint64_t addr) const
+{
+    auto it = blocks_.find(addr / blockBytes);
+    return it == blocks_.end() ? zeroBlock_ : it->second;
+}
+
+void
+SparseMemory::read(std::uint64_t addr, void *out, std::size_t n) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (n > 0) {
+        std::uint64_t base = addr - addr % blockBytes;
+        std::size_t off = addr % blockBytes;
+        std::size_t take = std::min<std::size_t>(n, blockBytes - off);
+        const Block &b = blockOrZero(base);
+        std::memcpy(dst, b.data() + off, take);
+        dst += take;
+        addr += take;
+        n -= take;
+    }
+}
+
+void
+SparseMemory::write(std::uint64_t addr, const void *in, std::size_t n)
+{
+    auto *src = static_cast<const std::uint8_t *>(in);
+    while (n > 0) {
+        std::uint64_t base = addr - addr % blockBytes;
+        std::size_t off = addr % blockBytes;
+        std::size_t take = std::min<std::size_t>(n, blockBytes - off);
+        Block &b = blocks_[base / blockBytes];
+        std::memcpy(b.data() + off, src, take);
+        src += take;
+        addr += take;
+        n -= take;
+    }
+}
+
+float
+SparseMemory::readFloat(std::uint64_t addr) const
+{
+    float v;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+SparseMemory::writeFloat(std::uint64_t addr, float v)
+{
+    write(addr, &v, sizeof(v));
+}
+
+std::uint32_t
+SparseMemory::readU32(std::uint64_t addr) const
+{
+    std::uint32_t v;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+SparseMemory::writeU32(std::uint64_t addr, std::uint32_t v)
+{
+    write(addr, &v, sizeof(v));
+}
+
+std::vector<float>
+SparseMemory::readFloats(std::uint64_t addr, std::size_t count) const
+{
+    std::vector<float> out(count);
+    read(addr, out.data(), count * sizeof(float));
+    return out;
+}
+
+void
+SparseMemory::writeFloats(std::uint64_t addr, const std::vector<float> &v)
+{
+    write(addr, v.data(), v.size() * sizeof(float));
+}
+
+} // namespace olight

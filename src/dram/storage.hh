@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Functional backing store for simulated DRAM.
+ *
+ * The simulator is not timing-only: PIM units and host accesses
+ * operate on real data so that ordering violations are observable as
+ * wrong results (the "functionally incorrect" bar of Figure 5).
+ * Storage is sparse — 32 B blocks allocated on first touch — so the
+ * multi-terabyte aligned layouts the allocator produces cost nothing.
+ */
+
+#ifndef OLIGHT_DRAM_STORAGE_HH
+#define OLIGHT_DRAM_STORAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace olight
+{
+
+/** Sparse byte-addressable memory with 32 B block granularity. */
+class SparseMemory
+{
+  public:
+    static constexpr std::uint32_t blockBytes = 32;
+
+    using Block = std::array<std::uint8_t, blockBytes>;
+
+    /** Mutable reference to the block containing @p addr (zero-filled
+     *  on first touch). @p addr must be block-aligned. */
+    Block &block(std::uint64_t addr);
+
+    /** Read-only block access; returns zeros for untouched blocks. */
+    const Block &blockOrZero(std::uint64_t addr) const;
+
+    /** Read @p n bytes starting at arbitrary @p addr. */
+    void read(std::uint64_t addr, void *out, std::size_t n) const;
+
+    /** Write @p n bytes starting at arbitrary @p addr. */
+    void write(std::uint64_t addr, const void *in, std::size_t n);
+
+    /** Typed helpers (fp32 is the simulator's element type). */
+    float readFloat(std::uint64_t addr) const;
+    void writeFloat(std::uint64_t addr, float v);
+    std::uint32_t readU32(std::uint64_t addr) const;
+    void writeU32(std::uint64_t addr, std::uint32_t v);
+
+    /** Bulk typed helpers over contiguous addresses. */
+    std::vector<float> readFloats(std::uint64_t addr,
+                                  std::size_t count) const;
+    void writeFloats(std::uint64_t addr, const std::vector<float> &v);
+
+    std::size_t numBlocks() const { return blocks_.size(); }
+    void clear() { blocks_.clear(); }
+
+  private:
+    std::unordered_map<std::uint64_t, Block> blocks_;
+    static const Block zeroBlock_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_DRAM_STORAGE_HH

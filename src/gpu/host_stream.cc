@@ -1,0 +1,148 @@
+#include "gpu/host_stream.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+HostStream::HostStream(const SystemConfig &cfg, const AddressMap &map,
+                       EventQueue &eq, StatSet &stats)
+    : cfg_(cfg),
+      map_(map),
+      eq_(eq),
+      channels_(cfg.numChannels),
+      statIssued_(stats.scalar("host.issued",
+                               "host requests issued")),
+      statCompleted_(stats.scalar("host.completed",
+                                  "host requests completed")),
+      statLatency_(stats.distribution("host.latency",
+                                      "request latency (ticks)"))
+{
+}
+
+void
+HostStream::setTraffic(std::vector<HostArraySpec> arrays)
+{
+    arrays_ = std::move(arrays);
+    if (arrays_.empty())
+        olight_fatal("host stream needs at least one array");
+
+    std::uint64_t bytes = arrays_.front().bytes;
+    for (const auto &a : arrays_) {
+        if (a.bytes != bytes)
+            olight_fatal("host stream arrays must be equally sized");
+        if (a.base % map_.channelSweepBytes() != 0)
+            olight_fatal("host stream array base not aligned");
+    }
+    // 32 B blocks of one array owned by one channel.
+    blocksPerChannel_ = bytes / (32ull * cfg_.numChannels);
+    for (auto &ch : channels_) {
+        ch.cursor = 0;
+        ch.outstanding = 0;
+        ch.total = blocksPerChannel_ * arrays_.size();
+    }
+}
+
+void
+HostStream::connect(std::vector<AcceptPort *> sliceInputs)
+{
+    ports_ = std::move(sliceInputs);
+    if (ports_.size() != cfg_.numChannels)
+        olight_fatal("host stream needs one port per channel");
+}
+
+void
+HostStream::start()
+{
+    started_ = true;
+    for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch)
+        pump(ch);
+}
+
+Packet
+HostStream::makeRequest(std::uint16_t channel, std::uint64_t index)
+{
+    // Interleave the arrays block-by-block: a[j], b[j], c[j], ...
+    std::uint64_t j = index / arrays_.size();
+    const HostArraySpec &arr = arrays_[index % arrays_.size()];
+    std::uint64_t local = arr.base / cfg_.numChannels + j * 32;
+
+    Packet pkt;
+    pkt.kind = PacketKind::Request;
+    pkt.id = 0x4057000000000000ULL | packetSeq_++;
+    pkt.smId = 0xffffffff; // host engine, not a PIM SM
+    pkt.warpId = 0xffffffff;
+    pkt.channel = channel;
+    pkt.instr.type = arr.write ? PimOpType::HostStore
+                               : PimOpType::HostLoad;
+    pkt.instr.addr = map_.localToGlobal(local, channel);
+    pkt.instr.memGroup = arr.memGroup;
+    pkt.createdAt = eq_.now();
+    return pkt;
+}
+
+void
+HostStream::pump(std::uint16_t channel)
+{
+    ChannelState &st = channels_[channel];
+    st.pumpScheduled = false;
+    if (st.waitingPort)
+        return;
+
+    while (st.cursor < st.total &&
+           st.outstanding < cfg_.hostWindowPerChannel) {
+        Tick slot = std::max(eq_.now(), st.lastInject + corePeriod);
+        slot = coreClock.nextEdge(slot);
+        if (slot > eq_.now()) {
+            if (!st.pumpScheduled) {
+                st.pumpScheduled = true;
+                eq_.schedule(slot, [this, channel] { pump(channel); });
+            }
+            return;
+        }
+        Packet pkt = makeRequest(channel, st.cursor);
+        if (!ports_[channel]->tryReserve(pkt)) {
+            st.waitingPort = true;
+            ports_[channel]->subscribe(pkt, [this, channel] {
+                channels_[channel].waitingPort = false;
+                pump(channel);
+            });
+            return;
+        }
+        ports_[channel]->deliver(
+            std::move(pkt),
+            eq_.now() + Tick(cfg_.interconnectLatency) * corePeriod);
+        ++st.cursor;
+        ++st.outstanding;
+        st.lastInject = eq_.now();
+        ++statIssued_;
+    }
+}
+
+void
+HostStream::onDone(const Packet &pkt)
+{
+    ChannelState &st = channels_[pkt.channel];
+    if (st.outstanding == 0)
+        olight_panic("host stream completion underflow");
+    --st.outstanding;
+    ++statCompleted_;
+    statLatency_.sample(double(eq_.now() - pkt.createdAt));
+    firstDoneTick_ = std::min(firstDoneTick_, eq_.now());
+    finishTick_ = std::max(finishTick_, eq_.now());
+    if (st.cursor < st.total)
+        pump(pkt.channel);
+}
+
+bool
+HostStream::done() const
+{
+    if (!started_)
+        return arrays_.empty();
+    for (const auto &st : channels_)
+        if (st.cursor < st.total || st.outstanding > 0)
+            return false;
+    return true;
+}
+
+} // namespace olight

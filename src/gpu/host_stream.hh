@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Host-execution engine.
+ *
+ * Serves two roles:
+ *
+ *  1. The "GPU" baseline of Figure 10b/13: the whole GPU executes
+ *     the data-intensive kernel itself with plain 32 B loads/stores
+ *     streaming through the same memory pipe and controllers (BMF=1,
+ *     deep memory-level parallelism, no ordering packets). A
+ *     compute-roofline term is applied by the harness on top of the
+ *     simulated memory time.
+ *
+ *  2. Concurrent host traffic for the arbitration-granularity and
+ *     memory-group ablations: background load the MC arbitrates with
+ *     PIM requests (FGA) or that must wait for PIM completion (CGA).
+ *
+ * The engine keeps a window of outstanding requests per channel
+ * (Table 1-scale MLP) and issues the next request as completions
+ * return.
+ */
+
+#ifndef OLIGHT_GPU_HOST_STREAM_HH
+#define OLIGHT_GPU_HOST_STREAM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "dram/address_map.hh"
+#include "noc/port.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace olight
+{
+
+/** One array the host streams over (all lanes, 32 B granularity). */
+struct HostArraySpec
+{
+    std::uint64_t base = 0;  ///< aligned to the bank-group stride
+    std::uint64_t bytes = 0;
+    bool write = false;
+    std::uint8_t memGroup = 0;
+};
+
+/** Window-based host load/store generator. */
+class HostStream
+{
+  public:
+    HostStream(const SystemConfig &cfg, const AddressMap &map,
+               EventQueue &eq, StatSet &stats);
+
+    /** Set the arrays to stream; blocks of the arrays are
+     *  interleaved per index (a[i], b[i], c[i], ...) as warp-coalesced
+     *  accesses would be. */
+    void setTraffic(std::vector<HostArraySpec> arrays);
+
+    /** Connect per-channel slice input ports. */
+    void connect(std::vector<AcceptPort *> sliceInputs);
+
+    void start();
+
+    /** Completion callback from the MC for host requests. */
+    void onDone(const Packet &pkt);
+
+    bool started() const { return started_; }
+    bool done() const;
+    Tick finishTick() const { return finishTick_; }
+
+    /** Tick of the first completed host request (maxTick if none);
+     *  under CGA this exposes how long the host was denied memory. */
+    Tick firstDoneTick() const { return firstDoneTick_; }
+
+    /** Mean end-to-end host request latency in core cycles. */
+    double meanLatencyCycles() const
+    {
+        return statLatency_.mean() / double(corePeriod);
+    }
+
+    std::uint64_t requestsIssued() const
+    {
+        return std::uint64_t(statIssued_.value());
+    }
+
+  private:
+    struct ChannelState
+    {
+        std::uint64_t cursor = 0; ///< next (block, array) pair index
+        std::uint64_t total = 0;  ///< total requests for this channel
+        std::uint32_t outstanding = 0;
+        Tick lastInject = 0;
+        bool pumpScheduled = false;
+        bool waitingPort = false;
+    };
+
+    void pump(std::uint16_t channel);
+    Packet makeRequest(std::uint16_t channel, std::uint64_t index);
+
+    const SystemConfig &cfg_;
+    const AddressMap &map_;
+    EventQueue &eq_;
+    std::vector<HostArraySpec> arrays_;
+    std::vector<AcceptPort *> ports_;
+    std::vector<ChannelState> channels_;
+    std::uint64_t blocksPerChannel_ = 0; ///< per array
+    std::uint64_t packetSeq_ = 0;
+    bool started_ = false;
+    Tick finishTick_ = 0;
+    Tick firstDoneTick_ = maxTick;
+
+    Scalar &statIssued_;
+    Scalar &statCompleted_;
+    Distribution &statLatency_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_GPU_HOST_STREAM_HH

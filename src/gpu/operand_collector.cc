@@ -1,0 +1,108 @@
+#include "gpu/operand_collector.hh"
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace olight
+{
+
+OperandCollector::OperandCollector(const SystemConfig &cfg,
+                                   std::uint32_t smId, EventQueue &eq,
+                                   AcceptPort &injectPort,
+                                   StatSet &stats)
+    : cfg_(cfg),
+      eq_(eq),
+      injectPort_(injectPort),
+      jitterSalt_(0xc011ec7000ULL + smId),
+      pending_(std::size_t(cfg.numChannels) * cfg.numMemGroups, 0),
+      statCollected_(stats.scalar(
+          "sm" + std::to_string(smId) + ".collected",
+          "requests through the operand collector")),
+      statResidency_(stats.distribution(
+          "sm" + std::to_string(smId) + ".collectorResidency",
+          "busy collector units at allocate"))
+{
+}
+
+std::size_t
+OperandCollector::key(std::uint16_t channel, std::uint8_t group) const
+{
+    return std::size_t(channel) * cfg_.numMemGroups + group;
+}
+
+bool
+OperandCollector::tryAllocate(const Packet &pkt)
+{
+    if (busyUnits_ >= cfg_.collectorUnits)
+        return false;
+    statResidency_.sample(double(busyUnits_));
+    ++busyUnits_;
+    ++pending_[key(pkt.channel, pkt.instr.memGroup)];
+
+    Tick collect = Tick(cfg_.collectorLatency) * corePeriod;
+    if (cfg_.collectorJitter > 0) {
+        collect += Tick(jitter(jitterSalt_, pkt.id,
+                               cfg_.collectorJitter)) * corePeriod;
+    }
+    eq_.schedule(eq_.now() + collect, [this, pkt] {
+        onCollected(pkt);
+    });
+    return true;
+}
+
+std::uint32_t
+OperandCollector::pendingFor(std::uint16_t channel,
+                             std::uint8_t group) const
+{
+    return pending_[key(channel, group)];
+}
+
+void
+OperandCollector::onCollected(Packet pkt)
+{
+    ready_.push_back(std::move(pkt));
+    tryInject();
+}
+
+void
+OperandCollector::tryInject()
+{
+    if (injectScheduled_ || waitingPort_)
+        return;
+    while (!ready_.empty()) {
+        Tick slot = std::max(eq_.now(), lastInjectTick_ + corePeriod);
+        slot = coreClock.nextEdge(slot);
+        if (slot > eq_.now()) {
+            injectScheduled_ = true;
+            eq_.schedule(slot, [this] {
+                injectScheduled_ = false;
+                tryInject();
+            });
+            return;
+        }
+        Packet &head = ready_.front();
+        if (!injectPort_.tryReserve(head)) {
+            waitingPort_ = true;
+            injectPort_.subscribe(head, [this] {
+                waitingPort_ = false;
+                tryInject();
+            });
+            return;
+        }
+        Packet pkt = std::move(head);
+        ready_.pop_front();
+        lastInjectTick_ = eq_.now();
+        if (busyUnits_ == 0)
+            olight_panic("operand collector underflow");
+        --busyUnits_;
+        --pending_[key(pkt.channel, pkt.instr.memGroup)];
+        ++statCollected_;
+        injectPort_.deliver(pkt, eq_.now());
+        if (injectedFn_)
+            injectedFn_(pkt);
+        if (changedFn_)
+            changedFn_();
+    }
+}
+
+} // namespace olight

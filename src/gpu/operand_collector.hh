@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Operand collector of an SM (Section 5.3.1).
+ *
+ * Each memory instruction occupies a collector unit while its
+ * register operands are gathered; the arbitration logic services
+ * register banks out of order, so instructions *leave* the collector
+ * out of order (modeled as a deterministic per-packet jitter on the
+ * collect latency). This is the core-side reordering source.
+ *
+ * For OrderLight, the collector keeps a count of PIM requests
+ * resident per (channel, memory-group); the SM may inject an
+ * OrderLight packet only when the count for its channel/group reads
+ * zero — a much shorter wait than a fence's full round trip.
+ */
+
+#ifndef OLIGHT_GPU_OPERAND_COLLECTOR_HH
+#define OLIGHT_GPU_OPERAND_COLLECTOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "noc/port.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace olight
+{
+
+/** The collector-unit pool of one SM. */
+class OperandCollector
+{
+  public:
+    /** Fired when a request leaves the collector into the LDST
+     *  queue (the packet is now outstanding toward memory). */
+    using InjectedFn = std::function<void(const Packet &)>;
+    /** Fired whenever collector state changes (SM re-evaluates). */
+    using ChangedFn = std::function<void()>;
+
+    OperandCollector(const SystemConfig &cfg, std::uint32_t smId,
+                     EventQueue &eq, AcceptPort &injectPort,
+                     StatSet &stats);
+
+    void setInjectedFn(InjectedFn fn) { injectedFn_ = std::move(fn); }
+    void setChangedFn(ChangedFn fn) { changedFn_ = std::move(fn); }
+
+    /** Allocate a collector unit for @p pkt; false when all busy. */
+    bool tryAllocate(const Packet &pkt);
+
+    /** Whether tryAllocate() would currently succeed. */
+    bool hasFreeUnit() const
+    {
+        return busyUnits_ < cfg_.collectorUnits;
+    }
+
+    /** PIM requests resident for (channel, group) — the OrderLight
+     *  gate counter. */
+    std::uint32_t pendingFor(std::uint16_t channel,
+                             std::uint8_t group) const;
+
+    /** Total requests resident (any channel/group). */
+    std::uint32_t pendingTotal() const { return busyUnits_; }
+
+    bool empty() const { return busyUnits_ == 0 && ready_.empty(); }
+
+  private:
+    void onCollected(Packet pkt);
+    void tryInject();
+    std::size_t key(std::uint16_t channel, std::uint8_t group) const;
+
+    const SystemConfig &cfg_;
+    EventQueue &eq_;
+    AcceptPort &injectPort_;
+    std::uint64_t jitterSalt_;
+
+    std::uint32_t busyUnits_ = 0; ///< allocated, incl. ready-to-inject
+    std::deque<Packet> ready_;    ///< collected, awaiting LDST issue
+    std::vector<std::uint32_t> pending_; ///< per (channel, group)
+    Tick lastInjectTick_ = 0;
+    bool injectScheduled_ = false;
+    bool waitingPort_ = false;
+
+    InjectedFn injectedFn_;
+    ChangedFn changedFn_;
+
+    Scalar &statCollected_;
+    Distribution &statResidency_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_GPU_OPERAND_COLLECTOR_HH

@@ -1,0 +1,25 @@
+#include "gpu/warp.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+Warp::Warp(std::uint32_t globalId, std::uint16_t channel,
+           const std::vector<PimInstr> *stream)
+    : globalId_(globalId), channel_(channel), stream_(stream),
+      olNumbers_(16, 0)
+{
+    if (!stream)
+        olight_panic("warp created without an instruction stream");
+}
+
+std::uint32_t
+Warp::nextOlNumber(std::uint8_t group)
+{
+    if (group >= olNumbers_.size())
+        olight_panic("memory group out of range: ", unsigned(group));
+    return olNumbers_[group]++;
+}
+
+} // namespace olight

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * One PIM warp: the hardware context that orchestrates the PIM
+ * computation of a single memory channel (Section 5.4: "each PIM
+ * unit receives PIM instructions from a single host warp").
+ */
+
+#ifndef OLIGHT_GPU_WARP_HH
+#define OLIGHT_GPU_WARP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pim_isa.hh"
+#include "sim/types.hh"
+
+namespace olight
+{
+
+/** Execution state of one PIM warp. */
+class Warp
+{
+  public:
+    Warp(std::uint32_t globalId, std::uint16_t channel,
+         const std::vector<PimInstr> *stream);
+
+    std::uint32_t globalId() const { return globalId_; }
+    std::uint16_t channel() const { return channel_; }
+
+    bool done() const { return pc_ >= stream_->size(); }
+    const PimInstr &current() const { return (*stream_)[pc_]; }
+    void advance() { ++pc_; }
+    std::size_t pc() const { return pc_; }
+    std::size_t streamSize() const { return stream_->size(); }
+
+    // --- tracking for fence / OrderLight gating ---
+    std::uint32_t outstandingAcks = 0; ///< injected, not yet acked
+    std::uint32_t inCollector = 0;     ///< allocated, not yet injected
+
+    // --- ordering-stall bookkeeping ---
+    bool blocked = false;
+    Tick blockStart = 0;
+
+    /** Next OrderLight pktNumber per memory group (one warp per
+     *  channel, so the per-warp counter is the channel counter). */
+    std::uint32_t nextOlNumber(std::uint8_t group);
+
+    /** Next per-channel sequence number (SeqNum baseline). */
+    std::uint32_t nextSeq() { return seq_++; }
+
+  private:
+    std::uint32_t globalId_;
+    std::uint16_t channel_;
+    const std::vector<PimInstr> *stream_;
+    std::size_t pc_ = 0;
+    std::uint32_t seq_ = 0;
+    std::vector<std::uint32_t> olNumbers_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_GPU_WARP_HH

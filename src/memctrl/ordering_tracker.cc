@@ -1,0 +1,114 @@
+#include "memctrl/ordering_tracker.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+OrderingTracker::OrderingTracker(std::uint32_t numGroups)
+    : groups_(numGroups)
+{
+    if (numGroups == 0)
+        olight_fatal("OrderingTracker needs at least one group");
+}
+
+std::uint32_t
+OrderingTracker::currentEpoch(std::uint32_t group) const
+{
+    return groups_.at(group).epoch;
+}
+
+std::uint32_t
+OrderingTracker::onRequestArrive(std::uint32_t group)
+{
+    GroupState &g = groups_.at(group);
+    ++g.unscheduled[g.epoch];
+    return g.epoch;
+}
+
+void
+OrderingTracker::onOrderLightArrive(std::uint32_t group)
+{
+    ++groups_.at(group).epoch;
+}
+
+void
+OrderingTracker::onDualOrderLightArrive(std::uint32_t groupA,
+                                        std::uint32_t groupB)
+{
+    GroupState &ga = groups_.at(groupA);
+    GroupState &gb = groups_.at(groupB);
+    std::uint32_t a_bound = ga.epoch + 1;
+    std::uint32_t b_bound = gb.epoch + 1;
+    ++ga.epoch;
+    ++gb.epoch;
+    if (groupA == groupB)
+        return; // degenerate: behaves like a single-group packet
+    ga.crossDeps.push_back({ga.epoch, groupB, b_bound});
+    gb.crossDeps.push_back({gb.epoch, groupA, a_bound});
+}
+
+bool
+OrderingTracker::hasUnscheduledBelow(std::uint32_t group,
+                                     std::uint32_t bound) const
+{
+    const GroupState &g = groups_.at(group);
+    return !g.unscheduled.empty() &&
+           g.unscheduled.begin()->first < bound;
+}
+
+bool
+OrderingTracker::eligible(std::uint32_t group,
+                          std::uint32_t epoch) const
+{
+    const GroupState &g = groups_.at(group);
+    if (!g.unscheduled.empty() &&
+        g.unscheduled.begin()->first < epoch)
+        return false;
+    for (const CrossDep &dep : g.crossDeps) {
+        if (epoch >= dep.sinceEpoch &&
+            hasUnscheduledBelow(dep.otherGroup, dep.otherBound))
+            return false;
+    }
+    return true;
+}
+
+void
+OrderingTracker::onScheduled(std::uint32_t group, std::uint32_t epoch)
+{
+    GroupState &g = groups_.at(group);
+    auto it = g.unscheduled.find(epoch);
+    if (it == g.unscheduled.end() || it->second == 0)
+        olight_panic("scheduling untracked request: group=", group,
+                     " epoch=", epoch);
+    if (--it->second == 0)
+        g.unscheduled.erase(it);
+
+    // Retire permanently-satisfied cross-group dependencies.
+    for (auto &other : groups_) {
+        std::erase_if(other.crossDeps, [this](const CrossDep &dep) {
+            return !hasUnscheduledBelow(dep.otherGroup,
+                                        dep.otherBound);
+        });
+    }
+}
+
+bool
+OrderingTracker::flagSet(std::uint32_t group) const
+{
+    const GroupState &g = groups_.at(group);
+    return !g.unscheduled.empty() &&
+           g.unscheduled.begin()->first < g.epoch;
+}
+
+std::uint32_t
+OrderingTracker::pendingCount(std::uint32_t group) const
+{
+    const GroupState &g = groups_.at(group);
+    std::uint32_t total = 0;
+    for (const auto &[epoch, count] : g.unscheduled)
+        total += count;
+    return total;
+}
+
+} // namespace olight

@@ -1,0 +1,65 @@
+#include "memctrl/transaction_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+TransactionQueue::TransactionQueue(std::uint32_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity == 0)
+        olight_fatal("transaction queue needs capacity > 0");
+}
+
+bool
+TransactionQueue::reserve()
+{
+    if (reserved_ >= capacity_)
+        return false;
+    ++reserved_;
+    return true;
+}
+
+void
+TransactionQueue::push(Transaction txn)
+{
+    if (entries_.size() >= capacity_)
+        olight_panic("transaction queue overflow");
+    entries_.push_back(std::move(txn));
+}
+
+std::optional<std::size_t>
+TransactionQueue::pick(
+    const std::function<bool(const Transaction &)> &eligible,
+    const std::function<bool(std::uint16_t, std::uint32_t)> &rowHit)
+    const
+{
+    std::optional<std::size_t> oldest;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Transaction &txn = entries_[i];
+        if (!eligible(txn))
+            continue;
+        if (!oldest)
+            oldest = i;
+        if (txn.pkt.instr.isMemAccess() && rowHit(txn.bank, txn.row))
+            return i; // oldest eligible row hit
+    }
+    return oldest;
+}
+
+Transaction
+TransactionQueue::pop(std::size_t index)
+{
+    if (index >= entries_.size())
+        olight_panic("transaction pop out of range");
+    Transaction txn = std::move(entries_[index]);
+    entries_.erase(entries_.begin() +
+                   static_cast<std::ptrdiff_t>(index));
+    if (reserved_ == 0)
+        olight_panic("transaction queue credit underflow");
+    --reserved_;
+    return txn;
+}
+
+} // namespace olight

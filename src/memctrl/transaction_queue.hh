@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bounded transaction queue of the memory controller (one for reads,
+ * one for writes — Table 1: R/W queue size 64), with the FR-FCFS
+ * candidate search used by the scheduler.
+ */
+
+#ifndef OLIGHT_MEMCTRL_TRANSACTION_QUEUE_HH
+#define OLIGHT_MEMCTRL_TRANSACTION_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "core/pim_isa.hh"
+#include "sim/types.hh"
+
+namespace olight
+{
+
+/** One queued transaction (a request with its ordering epoch). */
+struct Transaction
+{
+    Packet pkt;
+    std::uint32_t epoch = 0;
+    Tick arrival = 0;
+    std::uint16_t bank = 0; ///< decoded once at arrival
+    std::uint32_t row = 0;
+};
+
+/** Bounded FIFO with FR-FCFS search over eligible entries. */
+class TransactionQueue
+{
+  public:
+    explicit TransactionQueue(std::uint32_t capacity);
+
+    /** Credits available for reservation (capacity minus in-flight
+     *  reservations and queued entries). */
+    bool reserve();
+    void push(Transaction txn);
+
+    /**
+     * FR-FCFS pick: the oldest *eligible* row-hit transaction, or the
+     * oldest eligible transaction when no eligible entry hits an
+     * open row.
+     *
+     * @param eligible      scheduling predicate (ordering, CGA, ...)
+     * @param rowHit        open-row predicate for (bank, row)
+     * @return index into the queue, or nullopt
+     */
+    std::optional<std::size_t>
+    pick(const std::function<bool(const Transaction &)> &eligible,
+         const std::function<bool(std::uint16_t, std::uint32_t)>
+             &rowHit) const;
+
+    /** Remove and return entry @p index (releases its credit). */
+    Transaction pop(std::size_t index);
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::uint32_t reserved() const { return reserved_; }
+    std::uint32_t capacity() const { return capacity_; }
+
+    const Transaction &at(std::size_t i) const { return entries_.at(i); }
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t reserved_ = 0; ///< credits out (incl. queued)
+    std::deque<Transaction> entries_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_MEMCTRL_TRANSACTION_QUEUE_HH

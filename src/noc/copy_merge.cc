@@ -1,0 +1,264 @@
+#include "noc/copy_merge.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+// --------------------------------------------------------------------
+// DivergencePoint
+// --------------------------------------------------------------------
+
+DivergencePoint::DivergencePoint(std::string name,
+                                 std::vector<PipeStage *> paths,
+                                 RouteFn route, StatSet &stats)
+    : name_(std::move(name)),
+      paths_(std::move(paths)),
+      routeFn_(std::move(route)),
+      statCopies_(stats.scalar(name_ + ".olCopies",
+                               "OrderLight copies generated"))
+{
+    if (paths_.empty())
+        olight_fatal("divergence point ", name_, " has no sub-paths");
+}
+
+PipeStage *
+DivergencePoint::route(const Packet &pkt) const
+{
+    std::uint32_t idx = routeFn_(pkt);
+    if (idx >= paths_.size())
+        olight_panic("divergence ", name_, ": route index ", idx,
+                     " out of range");
+    return paths_[idx];
+}
+
+bool
+DivergencePoint::tryReserve(const Packet &pkt)
+{
+    if (!pkt.isOrderLight())
+        return route(pkt)->tryReserve(pkt);
+
+    // Replicating the packet needs a credit on *every* sub-path;
+    // reservation must be all-or-nothing.
+    for (PipeStage *path : paths_)
+        if (!path->hasCredit())
+            return false;
+    for (PipeStage *path : paths_) {
+        if (!path->tryReserve(pkt))
+            olight_panic("divergence ", name_,
+                         ": lost a checked credit");
+    }
+    return true;
+}
+
+void
+DivergencePoint::deliver(Packet pkt, Tick when)
+{
+    if (!pkt.isOrderLight()) {
+        route(pkt)->deliver(std::move(pkt), when);
+        return;
+    }
+    statCopies_ += double(paths_.size());
+    for (PipeStage *path : paths_)
+        path->deliver(pkt, when);
+}
+
+void
+DivergencePoint::subscribe(const Packet &pkt,
+                           std::function<void()> cb)
+{
+    if (!pkt.isOrderLight()) {
+        route(pkt)->subscribe(pkt, std::move(cb));
+        return;
+    }
+    // The retry is idempotent at the caller, so subscribing the same
+    // callback on every full sub-path is safe.
+    bool subscribed = false;
+    for (PipeStage *path : paths_) {
+        if (!path->hasCredit()) {
+            path->subscribe(pkt, cb);
+            subscribed = true;
+        }
+    }
+    if (!subscribed)
+        paths_.front()->subscribe(pkt, std::move(cb));
+}
+
+// --------------------------------------------------------------------
+// ConvergencePoint
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Adapter giving each sub-path its own identity at the merge FSM. */
+class ConvergenceInputPort : public AcceptPort
+{
+  public:
+    ConvergenceInputPort(ConvergencePoint &parent, std::uint32_t idx)
+        : parent_(parent), idx_(idx)
+    {}
+
+    bool tryReserve(const Packet &pkt) override;
+    void deliver(Packet pkt, Tick when) override;
+    void subscribe(const Packet &pkt,
+                   std::function<void()> cb) override;
+
+  private:
+    ConvergencePoint &parent_;
+    std::uint32_t idx_;
+};
+
+} // namespace
+
+/** Friend shim so the anonymous-namespace adapter can reach the
+ *  private per-path entry points. */
+class ConvergenceInput
+{
+  public:
+    static bool
+    tryReserve(ConvergencePoint &c, std::uint32_t i, const Packet &p)
+    {
+        return c.tryReserveFrom(i, p);
+    }
+    static void
+    deliver(ConvergencePoint &c, std::uint32_t i, Packet p, Tick w)
+    {
+        c.deliverFrom(i, std::move(p), w);
+    }
+    static void
+    subscribe(ConvergencePoint &c, std::uint32_t i, const Packet &p,
+              std::function<void()> cb)
+    {
+        c.subscribeFrom(i, p, std::move(cb));
+    }
+};
+
+namespace
+{
+
+bool
+ConvergenceInputPort::tryReserve(const Packet &pkt)
+{
+    return ConvergenceInput::tryReserve(parent_, idx_, pkt);
+}
+
+void
+ConvergenceInputPort::deliver(Packet pkt, Tick when)
+{
+    ConvergenceInput::deliver(parent_, idx_, std::move(pkt), when);
+}
+
+void
+ConvergenceInputPort::subscribe(const Packet &pkt,
+                                std::function<void()> cb)
+{
+    ConvergenceInput::subscribe(parent_, idx_, pkt, std::move(cb));
+}
+
+} // namespace
+
+ConvergencePoint::ConvergencePoint(EventQueue &eq, std::string name,
+                                   std::uint32_t numPaths,
+                                   StatSet &stats)
+    : eq_(eq),
+      name_(std::move(name)),
+      held_(numPaths, false),
+      pathWaiters_(numPaths),
+      statMerges_(stats.scalar(name_ + ".olMerges",
+                               "OrderLight merges completed"))
+{
+    if (numPaths == 0)
+        olight_fatal("convergence point ", name_, " has no paths");
+    for (std::uint32_t i = 0; i < numPaths; ++i)
+        inputs_.push_back(
+            std::make_unique<ConvergenceInputPort>(*this, i));
+}
+
+AcceptPort &
+ConvergencePoint::input(std::uint32_t index)
+{
+    return *inputs_.at(index);
+}
+
+bool
+ConvergencePoint::tryReserveFrom(std::uint32_t path, const Packet &pkt)
+{
+    if (held_[path])
+        return false; // blocked behind an unmerged OrderLight copy
+    if (pkt.isOrderLight())
+        return true;  // copies are absorbed by the FSM itself
+    return downstream_->tryReserve(pkt);
+}
+
+void
+ConvergencePoint::deliverFrom(std::uint32_t path, Packet pkt,
+                              Tick when)
+{
+    if (pkt.isOrderLight()) {
+        eq_.schedule(when, [this, path, pkt = std::move(pkt)] {
+            onOlCopy(path, pkt);
+        });
+        return;
+    }
+    downstream_->deliver(std::move(pkt), when);
+}
+
+void
+ConvergencePoint::subscribeFrom(std::uint32_t path, const Packet &pkt,
+                                std::function<void()> cb)
+{
+    if (held_[path]) {
+        pathWaiters_[path].push_back(std::move(cb));
+        return;
+    }
+    downstream_->subscribe(pkt, std::move(cb));
+}
+
+void
+ConvergencePoint::onOlCopy(std::uint32_t path, const Packet &pkt)
+{
+    if (held_[path])
+        olight_panic("convergence ", name_, ": second OrderLight copy"
+                     " on a held sub-path");
+    if (!olPending_) {
+        olPending_ = true;
+        pendingOl_ = pkt;
+        arrivedCopies_ = 0;
+    } else if (pendingOl_.ol.pktNumber != pkt.ol.pktNumber ||
+               pendingOl_.ol.memGroupId != pkt.ol.memGroupId) {
+        olight_panic("convergence ", name_,
+                     ": mismatched OrderLight copies (#",
+                     pendingOl_.ol.pktNumber, " vs #",
+                     pkt.ol.pktNumber, ")");
+    }
+    held_[path] = true;
+    ++arrivedCopies_;
+    if (arrivedCopies_ == held_.size())
+        tryEmitMerged();
+}
+
+void
+ConvergencePoint::tryEmitMerged()
+{
+    if (!downstream_->tryReserve(pendingOl_)) {
+        downstream_->subscribe(pendingOl_,
+                               [this] { tryEmitMerged(); });
+        return;
+    }
+    downstream_->deliver(pendingOl_, eq_.now());
+    ++statMerges_;
+    olPending_ = false;
+    arrivedCopies_ = 0;
+    for (std::size_t i = 0; i < held_.size(); ++i) {
+        held_[i] = false;
+        if (!pathWaiters_[i].empty()) {
+            std::vector<std::function<void()>> waiters;
+            waiters.swap(pathWaiters_[i]);
+            for (auto &cb : waiters)
+                cb();
+        }
+    }
+}
+
+} // namespace olight

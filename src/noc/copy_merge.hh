@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The copy-and-merge technique for OrderLight packets (Figure 9).
+ *
+ * The memory pipe diverges (e.g., into L2 sub-partitions) and later
+ * converges; requests on different sub-paths can overtake each
+ * other. At a divergence point the FSM replicates an OrderLight
+ * packet onto every relevant sub-path; at the convergence point the
+ * copies are merged back into a single packet, and any request that
+ * follows an OrderLight copy on its sub-path is blocked until the
+ * merge completes and the merged packet moves forward.
+ */
+
+#ifndef OLIGHT_NOC_COPY_MERGE_HH
+#define OLIGHT_NOC_COPY_MERGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/pipe_stage.hh"
+#include "noc/port.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace olight
+{
+
+/**
+ * Divergence-point FSM: routes requests to one sub-path and
+ * replicates OrderLight packets onto all of them.
+ */
+class DivergencePoint : public AcceptPort
+{
+  public:
+    /** Chooses the sub-path index of a request packet. */
+    using RouteFn = std::function<std::uint32_t(const Packet &)>;
+
+    DivergencePoint(std::string name, std::vector<PipeStage *> paths,
+                    RouteFn route, StatSet &stats);
+
+    bool tryReserve(const Packet &pkt) override;
+    void deliver(Packet pkt, Tick when) override;
+    void subscribe(const Packet &pkt,
+                   std::function<void()> cb) override;
+
+  private:
+    PipeStage *route(const Packet &pkt) const;
+
+    std::string name_;
+    std::vector<PipeStage *> paths_;
+    RouteFn routeFn_;
+    Scalar &statCopies_;
+};
+
+/**
+ * Convergence-point FSM: forwards requests, holds each sub-path
+ * after its OrderLight copy arrives, and emits one merged packet
+ * once all copies are in.
+ */
+class ConvergencePoint
+{
+  public:
+    ConvergencePoint(EventQueue &eq, std::string name,
+                     std::uint32_t numPaths, StatSet &stats);
+
+    void setDownstream(AcceptPort *port) { downstream_ = port; }
+
+    /** The port sub-path @p index feeds into. */
+    AcceptPort &input(std::uint32_t index);
+
+    /** True when no merge is in progress. */
+    bool idle() const { return !olPending_; }
+
+  private:
+    friend class ConvergenceInput;
+
+    bool tryReserveFrom(std::uint32_t path, const Packet &pkt);
+    void deliverFrom(std::uint32_t path, Packet pkt, Tick when);
+    void subscribeFrom(std::uint32_t path, const Packet &pkt,
+                       std::function<void()> cb);
+    void onOlCopy(std::uint32_t path, const Packet &pkt);
+    void tryEmitMerged();
+
+    EventQueue &eq_;
+    std::string name_;
+    AcceptPort *downstream_ = nullptr;
+
+    std::vector<std::unique_ptr<AcceptPort>> inputs_;
+    std::vector<bool> held_;
+    std::vector<std::vector<std::function<void()>>> pathWaiters_;
+
+    bool olPending_ = false;
+    Packet pendingOl_;
+    std::uint32_t arrivedCopies_ = 0;
+
+    Scalar &statMerges_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_NOC_COPY_MERGE_HH

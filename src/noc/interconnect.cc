@@ -1,0 +1,31 @@
+#include "noc/interconnect.hh"
+
+namespace olight
+{
+
+Interconnect::Interconnect(const SystemConfig &cfg, EventQueue &eq,
+                           std::vector<L2Slice *> slices,
+                           StatSet &stats)
+    : router_(std::make_unique<ChannelRouter>(std::move(slices)))
+{
+    for (std::uint32_t sm = 0; sm < cfg.numSms; ++sm) {
+        PipeStage::Params params;
+        params.capacity = cfg.smQueueSize;
+        params.wireLatency =
+            Tick(cfg.interconnectLatency) * corePeriod;
+        smQueues_.push_back(std::make_unique<PipeStage>(
+            eq, "icnt.sm" + std::to_string(sm), params, stats));
+        smQueues_.back()->setDownstream(router_.get());
+    }
+}
+
+bool
+Interconnect::idle() const
+{
+    for (const auto &q : smQueues_)
+        if (!q->idle())
+            return false;
+    return true;
+}
+
+} // namespace olight

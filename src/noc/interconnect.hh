@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SM-to-L2 interconnection network.
+ *
+ * Each SM has an injection queue (its LDST output) that forwards one
+ * packet per core cycle into the crossbar; the crossbar adds the
+ * interconnect-to-L2 latency (120 cycles, Table 1) and routes by the
+ * packet's memory channel to the corresponding L2 slice.
+ */
+
+#ifndef OLIGHT_NOC_INTERCONNECT_HH
+#define OLIGHT_NOC_INTERCONNECT_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "noc/l2_slice.hh"
+#include "noc/pipe_stage.hh"
+
+namespace olight
+{
+
+/** Routes packets to the L2 slice of their memory channel. */
+class ChannelRouter : public AcceptPort
+{
+  public:
+    explicit ChannelRouter(std::vector<L2Slice *> slices)
+        : slices_(std::move(slices))
+    {}
+
+    bool
+    tryReserve(const Packet &pkt) override
+    {
+        return slice(pkt).input().tryReserve(pkt);
+    }
+
+    void
+    deliver(Packet pkt, Tick when) override
+    {
+        slice(pkt).input().deliver(std::move(pkt), when);
+    }
+
+    void
+    subscribe(const Packet &pkt, std::function<void()> cb) override
+    {
+        slice(pkt).input().subscribe(pkt, std::move(cb));
+    }
+
+  private:
+    L2Slice &slice(const Packet &pkt) { return *slices_.at(pkt.channel); }
+
+    std::vector<L2Slice *> slices_;
+};
+
+/** Per-SM injection queues plus the shared router. */
+class Interconnect
+{
+  public:
+    Interconnect(const SystemConfig &cfg, EventQueue &eq,
+                 std::vector<L2Slice *> slices, StatSet &stats);
+
+    /** Injection port of SM @p sm (the SM's LDST queue). */
+    AcceptPort &smPort(std::uint32_t sm) { return *smQueues_.at(sm); }
+
+    bool idle() const;
+
+  private:
+    std::unique_ptr<ChannelRouter> router_;
+    std::vector<std::unique_ptr<PipeStage>> smQueues_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_NOC_INTERCONNECT_HH

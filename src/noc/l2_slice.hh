@@ -1,0 +1,56 @@
+/**
+ * @file
+ * One L2 slice of the memory pipe (Figure 6).
+ *
+ * Each memory channel has one L2 slice. PIM requests bypass the
+ * cache arrays (they behave like non-temporal accesses), but they
+ * still traverse the slice's queues: an input queue fed by the
+ * interconnect, a divergence into per-sub-partition queues (whose
+ * independent, jittered service is the pipe's main reordering
+ * source), a convergence point, and the L2-to-DRAM queue that feeds
+ * the memory controller after the 100-cycle scheduler latency.
+ * OrderLight packets are handled by the copy-and-merge FSMs at the
+ * divergence/convergence points.
+ */
+
+#ifndef OLIGHT_NOC_L2_SLICE_HH
+#define OLIGHT_NOC_L2_SLICE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "noc/copy_merge.hh"
+#include "noc/pipe_stage.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace olight
+{
+
+/** The per-channel slice: input -> sub-partitions -> L2-to-DRAM. */
+class L2Slice
+{
+  public:
+    L2Slice(const SystemConfig &cfg, std::uint16_t channel,
+            EventQueue &eq, StatSet &stats);
+
+    /** Connect the L2-to-DRAM queue to the memory controller. */
+    void setDownstream(AcceptPort *mc);
+
+    /** Entry port for the interconnect (and the host-stream engine). */
+    AcceptPort &input() { return *input_; }
+
+    bool idle() const;
+
+  private:
+    std::unique_ptr<PipeStage> input_;
+    std::vector<std::unique_ptr<PipeStage>> subParts_;
+    std::unique_ptr<DivergencePoint> diverge_;
+    std::unique_ptr<ConvergencePoint> converge_;
+    std::unique_ptr<PipeStage> toDram_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_NOC_L2_SLICE_HH

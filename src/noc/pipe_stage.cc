@@ -1,0 +1,111 @@
+#include "noc/pipe_stage.hh"
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace olight
+{
+
+PipeStage::PipeStage(EventQueue &eq, std::string name,
+                     const Params &params, StatSet &stats)
+    : eq_(eq),
+      name_(std::move(name)),
+      params_(params),
+      statAccepted_(stats.scalar(name_ + ".accepted",
+                                 "packets accepted")),
+      statForwarded_(stats.scalar(name_ + ".forwarded",
+                                  "packets forwarded")),
+      statOccupancy_(stats.distribution(name_ + ".occupancy",
+                                        "queue occupancy at arrival"))
+{
+    if (params_.capacity == 0)
+        olight_fatal("pipe stage ", name_, " needs capacity > 0");
+}
+
+bool
+PipeStage::tryReserve(const Packet &)
+{
+    if (reserved_ >= params_.capacity)
+        return false;
+    ++reserved_;
+    return true;
+}
+
+void
+PipeStage::deliver(Packet pkt, Tick when)
+{
+    eq_.schedule(when, [this, pkt = std::move(pkt)]() mutable {
+        Tick ready = eq_.now();
+        if (params_.jitterCycles > 0 && !pkt.isOrderLight()) {
+            ready += Tick(jitter(params_.jitterSalt, pkt.id,
+                                 params_.jitterCycles)) * corePeriod;
+        }
+        statOccupancy_.sample(double(queue_.size()));
+        ++statAccepted_;
+        queue_.push_back(Entry{std::move(pkt), ready});
+        scheduleService();
+    });
+}
+
+void
+PipeStage::subscribe(const Packet &, std::function<void()> cb)
+{
+    spaceWaiters_.push_back(std::move(cb));
+}
+
+void
+PipeStage::scheduleService()
+{
+    if (serviceScheduled_ || waitingDownstream_ || queue_.empty())
+        return;
+    Tick when = std::max(queue_.front().readyAt,
+                         lastServiceTick_ + corePeriod);
+    when = coreClock.nextEdge(std::max(when, eq_.now()));
+    serviceScheduled_ = true;
+    eq_.schedule(when, [this] { service(); });
+}
+
+void
+PipeStage::service()
+{
+    serviceScheduled_ = false;
+    if (queue_.empty() || waitingDownstream_)
+        return;
+
+    Entry &head = queue_.front();
+    if (!downstream_)
+        olight_panic("pipe stage ", name_, " has no downstream");
+
+    if (!downstream_->tryReserve(head.pkt)) {
+        waitingDownstream_ = true;
+        downstream_->subscribe(head.pkt, [this] {
+            waitingDownstream_ = false;
+            scheduleService();
+        });
+        return;
+    }
+
+    downstream_->deliver(std::move(head.pkt),
+                         eq_.now() + params_.wireLatency);
+    queue_.pop_front();
+    lastServiceTick_ = eq_.now();
+    ++statForwarded_;
+    releaseCredit();
+    scheduleService();
+}
+
+void
+PipeStage::releaseCredit()
+{
+    if (reserved_ == 0)
+        olight_panic("pipe stage ", name_, ": credit underflow");
+    --reserved_;
+    if (!spaceWaiters_.empty()) {
+        std::vector<std::function<void()>> waiters;
+        waiters.swap(spaceWaiters_);
+        for (auto &cb : waiters)
+            cb();
+    }
+}
+
+} // namespace olight

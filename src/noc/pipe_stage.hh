@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A generic queued stage of the memory pipe.
+ *
+ * Models one FIFO queue of the GPU memory pipe (LDST queue,
+ * interconnect input, L2 sub-partition queue, L2-to-DRAM queue...):
+ * bounded capacity with credit-based acceptance, one packet serviced
+ * per core clock cycle, an optional deterministic per-packet service
+ * jitter (this is the mechanism that reorders requests *across*
+ * parallel stages, e.g. L2 sub-partitions), and a wire latency added
+ * when forwarding to the downstream port.
+ *
+ * Within a single stage order is always preserved (it is a FIFO);
+ * reordering only arises from path divergence, which is exactly the
+ * situation OrderLight's copy-and-merge FSM (Figure 9) handles.
+ */
+
+#ifndef OLIGHT_NOC_PIPE_STAGE_HH
+#define OLIGHT_NOC_PIPE_STAGE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "noc/port.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace olight
+{
+
+/** One bounded FIFO queue with rate-1 service and wire latency. */
+class PipeStage : public AcceptPort
+{
+  public:
+    struct Params
+    {
+        std::uint32_t capacity = 64;
+        Tick wireLatency = 0;      ///< added when forwarding downstream
+        std::uint32_t jitterCycles = 0; ///< 0..j-1 extra service cycles
+        std::uint64_t jitterSalt = 0;   ///< keys the per-packet jitter
+    };
+
+    PipeStage(EventQueue &eq, std::string name, const Params &params,
+              StatSet &stats);
+
+    void setDownstream(AcceptPort *port) { downstream_ = port; }
+
+    // AcceptPort
+    bool tryReserve(const Packet &pkt) override;
+    void deliver(Packet pkt, Tick when) override;
+    void subscribe(const Packet &pkt,
+                   std::function<void()> cb) override;
+
+    std::uint32_t occupancy() const
+    {
+        return static_cast<std::uint32_t>(queue_.size());
+    }
+
+    /** Whether tryReserve() would currently succeed (used by the
+     *  divergence FSM to reserve all sub-paths atomically). */
+    bool hasCredit() const { return reserved_ < params_.capacity; }
+
+    bool
+    idle() const
+    {
+        return queue_.empty() && reserved_ == 0;
+    }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        Packet pkt;
+        Tick readyAt; ///< arrival + jitter; earliest service tick
+    };
+
+    void scheduleService();
+    void service();
+    void releaseCredit();
+
+    EventQueue &eq_;
+    std::string name_;
+    Params params_;
+    AcceptPort *downstream_ = nullptr;
+
+    std::deque<Entry> queue_;
+    std::uint32_t reserved_ = 0;   ///< credits handed out (incl. queued)
+    Tick lastServiceTick_ = 0;
+    bool serviceScheduled_ = false;
+    bool waitingDownstream_ = false;
+    std::vector<std::function<void()>> spaceWaiters_;
+
+    Scalar &statAccepted_;
+    Scalar &statForwarded_;
+    Distribution &statOccupancy_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_NOC_PIPE_STAGE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Flow-controlled port abstraction for the memory pipe.
+ *
+ * Every hop in the pipe (Figure 6) is credit-based: a sender first
+ * reserves buffer space at the receiver with tryReserve(), then
+ * hands the packet over with deliver() (the wire latency is folded
+ * into the delivery tick). When reservation fails the sender
+ * subscribes for a space notification and retries — this is how
+ * backpressure propagates all the way back to the SM, which the
+ * paper observes as "backward pressure on queues in the memory
+ * pipe".
+ */
+
+#ifndef OLIGHT_NOC_PORT_HH
+#define OLIGHT_NOC_PORT_HH
+
+#include <functional>
+
+#include "core/pim_isa.hh"
+#include "sim/types.hh"
+
+namespace olight
+{
+
+/** Receiving side of a flow-controlled hop. */
+class AcceptPort
+{
+  public:
+    virtual ~AcceptPort() = default;
+
+    /**
+     * Reserve buffer space for @p pkt.
+     *
+     * @retval true space reserved; the caller must follow up with
+     *         deliver() exactly once.
+     * @retval false no space; subscribe() for a retry notification.
+     */
+    virtual bool tryReserve(const Packet &pkt) = 0;
+
+    /** Hand over a reserved packet, arriving at absolute @p when. */
+    virtual void deliver(Packet pkt, Tick when) = 0;
+
+    /**
+     * Register a one-shot callback fired when space relevant to
+     * @p pkt may have become available.
+     */
+    virtual void subscribe(const Packet &pkt,
+                           std::function<void()> cb) = 0;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_NOC_PORT_HH

@@ -1,0 +1,231 @@
+#include "pim/alu.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+namespace
+{
+
+constexpr std::uint32_t elems = 8; // fp32 per 32 B block
+
+void
+loadF(const std::uint8_t *p, float *out)
+{
+    std::memcpy(out, p, elems * sizeof(float));
+}
+
+void
+storeF(std::uint8_t *p, const float *in)
+{
+    std::memcpy(p, in, elems * sizeof(float));
+}
+
+} // namespace
+
+std::uint32_t
+histBin(float v, float width, std::uint32_t bins)
+{
+    if (bins == 0)
+        return 0;
+    if (width <= 0.0f || !(v > 0.0f))
+        return 0;
+    float idx = std::floor(v / width);
+    if (idx >= float(bins))
+        return bins - 1;
+    return static_cast<std::uint32_t>(idx);
+}
+
+void
+aluApply(AluOp op, const AluArgs &args)
+{
+    float s[elems], o[elems], d[elems];
+
+    switch (op) {
+      case AluOp::Copy:
+        std::memcpy(args.dst, args.operand, 32);
+        return;
+
+      case AluOp::Add:
+        loadF(args.src, s);
+        loadF(args.operand, o);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            d[i] = s[i] + o[i];
+        storeF(args.dst, d);
+        return;
+
+      case AluOp::Sub:
+        loadF(args.src, s);
+        loadF(args.operand, o);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            d[i] = s[i] - o[i];
+        storeF(args.dst, d);
+        return;
+
+      case AluOp::Mul:
+        loadF(args.src, s);
+        loadF(args.operand, o);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            d[i] = s[i] * o[i];
+        storeF(args.dst, d);
+        return;
+
+      case AluOp::Fma:
+        loadF(args.src, s);
+        loadF(args.operand, o);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            d[i] = s[i] + args.scalar * o[i];
+        storeF(args.dst, d);
+        return;
+
+      case AluOp::FmaRev:
+        loadF(args.src, s);
+        loadF(args.operand, o);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            d[i] = o[i] + args.scalar * s[i];
+        storeF(args.dst, d);
+        return;
+
+      case AluOp::Affine:
+        loadF(args.operand, o);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            d[i] = args.scalar * o[i] + args.scalar2;
+        storeF(args.dst, d);
+        return;
+
+      case AluOp::Scale:
+        loadF(args.operand, o);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            d[i] = args.scalar * o[i];
+        storeF(args.dst, d);
+        return;
+
+      case AluOp::ScaleBias:
+        loadF(args.src, s);
+        loadF(args.operand, o);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            d[i] = args.scalar * o[i] + s[i];
+        storeF(args.dst, d);
+        return;
+
+      case AluOp::Relu:
+        loadF(args.operand, o);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            d[i] = std::max(o[i], 0.0f);
+        storeF(args.dst, d);
+        return;
+
+      case AluOp::DotAcc: {
+        loadF(args.src, s);
+        loadF(args.operand, o);
+        float acc;
+        std::memcpy(&acc, args.dst, sizeof(acc));
+        for (std::uint32_t i = 0; i < elems; ++i)
+            acc += s[i] * o[i];
+        std::memcpy(args.dst, &acc, sizeof(acc));
+        return;
+      }
+
+      case AluOp::Dot: {
+        loadF(args.src, s);
+        loadF(args.operand, o);
+        float acc = args.scalar;
+        for (std::uint32_t i = 0; i < elems; ++i)
+            acc += s[i] * o[i];
+        std::memcpy(args.dst, &acc, sizeof(acc));
+        return;
+      }
+
+      case AluOp::SqDiffAcc: {
+        loadF(args.src, s);
+        loadF(args.operand, o);
+        float acc;
+        std::memcpy(&acc, args.dst, sizeof(acc));
+        for (std::uint32_t i = 0; i < elems; ++i) {
+            float diff = s[i] - o[i];
+            acc += diff * diff;
+        }
+        std::memcpy(args.dst, &acc, sizeof(acc));
+        return;
+      }
+
+      case AluOp::SqDist: {
+        loadF(args.src, s);
+        loadF(args.operand, o);
+        float acc = 0.0f;
+        for (std::uint32_t i = 0; i < elems; ++i) {
+            float diff = s[i] - o[i];
+            acc += diff * diff;
+        }
+        std::memcpy(args.dst, &acc, sizeof(acc));
+        return;
+      }
+
+      case AluOp::PopcntAcc:
+      case AluOp::Popcnt: {
+        std::uint32_t bits = 0;
+        for (std::uint32_t i = 0; i < 32; ++i)
+            bits += std::popcount(
+                std::uint8_t(args.src[i] & args.operand[i]));
+        float acc = 0.0f;
+        if (op == AluOp::PopcntAcc)
+            std::memcpy(&acc, args.dst, sizeof(acc));
+        acc += float(bits);
+        std::memcpy(args.dst, &acc, sizeof(acc));
+        return;
+      }
+
+      case AluOp::BinCount: {
+        std::uint32_t bins = std::min<std::uint32_t>(
+            args.aux, args.dstSpanBytes / 4);
+        loadF(args.operand, o);
+        for (std::uint32_t i = 0; i < elems; ++i) {
+            std::uint32_t bin = histBin(o[i], args.scalar, bins);
+            std::uint32_t cnt;
+            std::memcpy(&cnt, args.dst + 4 * bin, sizeof(cnt));
+            ++cnt;
+            std::memcpy(args.dst + 4 * bin, &cnt, sizeof(cnt));
+        }
+        return;
+      }
+
+      case AluOp::MaxAcc: {
+        loadF(args.operand, o);
+        float acc;
+        std::memcpy(&acc, args.dst, sizeof(acc));
+        for (std::uint32_t i = 0; i < elems; ++i)
+            acc = std::max(acc, o[i]);
+        std::memcpy(args.dst, &acc, sizeof(acc));
+        return;
+      }
+
+      case AluOp::MinAcc: {
+        loadF(args.operand, o);
+        float acc;
+        std::memcpy(&acc, args.dst, sizeof(acc));
+        acc = std::min(acc, o[0]);
+        std::memcpy(args.dst, &acc, sizeof(acc));
+        return;
+      }
+
+      case AluOp::Threshold:
+        loadF(args.operand, o);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            d[i] = o[i] >= args.scalar ? 1.0f : 0.0f;
+        storeF(args.dst, d);
+        return;
+
+      case AluOp::Zero:
+        std::memset(args.dst, 0, 32);
+        return;
+    }
+    olight_panic("unhandled ALU op ", int(op));
+}
+
+} // namespace olight

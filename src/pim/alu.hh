@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SIMD ALU of the generic PIM compute unit.
+ *
+ * Operates on 32 B blocks (8 fp32 elements, or raw bytes/u32 for the
+ * bitwise and histogram operations). The ALU is purely functional —
+ * timing is handled by the channel command-bus model — and is shared
+ * by the PIM unit and the workload reference checkers, so the
+ * arithmetic definition of every operation exists in exactly one
+ * place.
+ */
+
+#ifndef OLIGHT_PIM_ALU_HH
+#define OLIGHT_PIM_ALU_HH
+
+#include <cstdint>
+
+#include "core/pim_isa.hh"
+
+namespace olight
+{
+
+/** Arguments of one 32 B-wide ALU application. */
+struct AluArgs
+{
+    std::uint8_t *dst;          ///< destination block (may alias src)
+    const std::uint8_t *src;    ///< first source block (TS)
+    const std::uint8_t *operand; ///< second source (memory or TS)
+    float scalar = 0.0f;
+    float scalar2 = 0.0f;
+    std::uint16_t aux = 0;      ///< op-specific immediate
+    std::uint32_t dstSpanBytes = 32; ///< writable bytes at dst
+                                     ///< (BinCount spills over slots)
+};
+
+/** Apply @p op element-wise / as a reduction over one 32 B block. */
+void aluApply(AluOp op, const AluArgs &args);
+
+/** Histogram bin index for value @p v with bin width @p width and
+ *  @p bins bins (shared with the reference implementation). */
+std::uint32_t histBin(float v, float width, std::uint32_t bins);
+
+} // namespace olight
+
+#endif // OLIGHT_PIM_ALU_HH

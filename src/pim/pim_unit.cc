@@ -1,0 +1,100 @@
+#include "pim/pim_unit.hh"
+
+#include <cstring>
+
+#include "pim/alu.hh"
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+PimUnit::PimUnit(const SystemConfig &cfg, const AddressMap &map,
+                 SparseMemory &mem, std::uint16_t channel,
+                 const std::string &name, StatSet &stats)
+    : map_(map),
+      mem_(mem),
+      channel_(channel),
+      ts_(cfg.bmf, cfg.tsBytes),
+      laneStride_(map.laneStride()),
+      lanes_(cfg.bmf),
+      statCommands_(stats.scalar(name + ".commands",
+                                 "PIM commands executed")),
+      statMemCommands_(stats.scalar(name + ".memCommands",
+                                    "PIM commands accessing DRAM")),
+      statBytes_(stats.scalar(name + ".bytes",
+                              "bytes processed across lanes"))
+{
+}
+
+void
+PimUnit::execute(const PimInstr &instr, Tick when)
+{
+    if (when < lastExecTick_)
+        olight_panic("PIM unit ", channel_,
+                     ": command executed out of bus order (", when,
+                     " < ", lastExecTick_, ")");
+    lastExecTick_ = when;
+    ++commands_;
+    ++statCommands_;
+
+    if (instr.isMemAccess()) {
+        DramCoord c = map_.decode(instr.addr);
+        if (c.channel != channel_)
+            olight_panic("PIM command routed to wrong channel: ",
+                         c.channel, " != ", channel_);
+        if (c.lane != 0)
+            olight_panic("PIM command address must be lane 0");
+        ++statMemCommands_;
+        statBytes_ += double(32u * lanes_);
+    }
+
+    for (std::uint32_t lane = 0; lane < lanes_; ++lane) {
+        std::uint64_t lane_addr = instr.addr + lane * laneStride_;
+
+        switch (instr.type) {
+          case PimOpType::PimLoad: {
+            auto &blk = mem_.block(lane_addr);
+            std::memcpy(ts_.slot(lane, instr.dstSlot), blk.data(), 32);
+            break;
+          }
+          case PimOpType::PimStore: {
+            auto &blk = mem_.block(lane_addr);
+            std::memcpy(blk.data(), ts_.slot(lane, instr.srcSlot), 32);
+            break;
+          }
+          case PimOpType::PimFetchOp: {
+            const auto &blk = mem_.blockOrZero(lane_addr);
+            AluArgs args;
+            args.dst = ts_.slot(lane, instr.dstSlot);
+            args.src = ts_.slot(lane, instr.srcSlot);
+            args.operand = blk.data();
+            args.scalar = instr.scalar;
+            args.scalar2 = instr.scalar2;
+            args.aux = instr.aux;
+            args.dstSpanBytes = ts_.slotsFrom(instr.dstSlot) * 32;
+            aluApply(instr.alu, args);
+            break;
+          }
+          case PimOpType::PimCompute: {
+            AluArgs args;
+            args.dst = ts_.slot(lane, instr.dstSlot);
+            args.src = ts_.slot(
+                lane, isThreeOperandCompute(instr.alu)
+                          ? std::uint32_t(instr.aux)
+                          : std::uint32_t(instr.dstSlot));
+            args.operand = ts_.slot(lane, instr.srcSlot);
+            args.scalar = instr.scalar;
+            args.scalar2 = instr.scalar2;
+            args.aux = instr.aux;
+            args.dstSpanBytes = ts_.slotsFrom(instr.dstSlot) * 32;
+            aluApply(instr.alu, args);
+            break;
+          }
+          default:
+            olight_panic("PIM unit cannot execute ",
+                         toString(instr.type));
+        }
+    }
+}
+
+} // namespace olight

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Generic parameterized PIM compute unit (Section 4.1, Figure 3).
+ *
+ * One logical unit per channel; the bandwidth multiplication factor
+ * (BMF) is modeled as BMF lanes that execute every command in
+ * lockstep on lane-strided data, so a single 32 B column command
+ * processes 32*BMF bytes. Execution is functional: commands read and
+ * write the SparseMemory backing store, which is how ordering
+ * violations become observable as wrong results.
+ *
+ * The unit executes commands in the order the memory controller's
+ * command bus issues them (enforced by an assertion) — it contains
+ * no orchestration logic of its own, which is precisely the FGO
+ * property the taxonomy argues for.
+ */
+
+#ifndef OLIGHT_PIM_PIM_UNIT_HH
+#define OLIGHT_PIM_PIM_UNIT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hh"
+#include "core/pim_isa.hh"
+#include "dram/address_map.hh"
+#include "dram/storage.hh"
+#include "pim/ts_buffer.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace olight
+{
+
+/** The per-channel PIM compute unit (SIMD ALU + TS). */
+class PimUnit
+{
+  public:
+    PimUnit(const SystemConfig &cfg, const AddressMap &map,
+            SparseMemory &mem, std::uint16_t channel,
+            const std::string &name, StatSet &stats);
+
+    /**
+     * Execute one PIM command functionally at @p when (the column
+     * command's issue tick). Calls must be made in non-decreasing
+     * tick order — the command bus is in-order.
+     */
+    void execute(const PimInstr &instr, Tick when);
+
+    TsBuffer &ts() { return ts_; }
+    const TsBuffer &ts() const { return ts_; }
+
+    std::uint64_t commandsExecuted() const { return commands_; }
+
+    /** Tick of the most recent command execution. */
+    Tick lastExecTick() const { return lastExecTick_; }
+
+  private:
+    const AddressMap &map_;
+    SparseMemory &mem_;
+    std::uint16_t channel_;
+    TsBuffer ts_;
+    std::uint64_t laneStride_;
+    std::uint32_t lanes_;
+
+    Tick lastExecTick_ = 0;
+    std::uint64_t commands_ = 0;
+
+    Scalar &statCommands_;
+    Scalar &statMemCommands_;
+    Scalar &statBytes_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_PIM_PIM_UNIT_HH

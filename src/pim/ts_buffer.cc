@@ -1,0 +1,41 @@
+#include "pim/ts_buffer.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+TsBuffer::TsBuffer(std::uint32_t lanes, std::uint32_t bytesPerLane)
+    : lanes_(lanes), slots_(bytesPerLane / slotBytes)
+{
+    if (lanes == 0 || slots_ == 0 || bytesPerLane % slotBytes != 0)
+        olight_fatal("bad TS geometry: lanes=", lanes, " bytes=",
+                     bytesPerLane);
+    data_.assign(std::size_t(lanes_) * slots_ * slotBytes, 0);
+}
+
+std::uint8_t *
+TsBuffer::slot(std::uint32_t lane, std::uint32_t slot)
+{
+    if (lane >= lanes_ || slot >= slots_)
+        olight_panic("TS slot out of range: lane=", lane, " slot=",
+                     slot, " (lanes=", lanes_, " slots=", slots_, ")");
+    return data_.data() +
+           (std::size_t(lane) * slots_ + slot) * slotBytes;
+}
+
+const std::uint8_t *
+TsBuffer::slot(std::uint32_t lane, std::uint32_t slot) const
+{
+    return const_cast<TsBuffer *>(this)->slot(lane, slot);
+}
+
+void
+TsBuffer::clear()
+{
+    std::memset(data_.data(), 0, data_.size());
+}
+
+} // namespace olight

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Temporary storage (TS) of a generic PIM compute unit (Figure 3).
+ *
+ * Each of the BMF lanes has a private TS of tsBytes, addressed in
+ * 32 B slots. The TS size is the paper's key sweep parameter: it
+ * bounds how many PIM commands can be issued per ordering point.
+ */
+
+#ifndef OLIGHT_PIM_TS_BUFFER_HH
+#define OLIGHT_PIM_TS_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace olight
+{
+
+/** Per-lane temporary storage of one PIM unit. */
+class TsBuffer
+{
+  public:
+    static constexpr std::uint32_t slotBytes = 32;
+
+    TsBuffer(std::uint32_t lanes, std::uint32_t bytesPerLane);
+
+    std::uint32_t lanes() const { return lanes_; }
+    std::uint32_t slotsPerLane() const { return slots_; }
+    std::uint32_t bytesPerLane() const { return slots_ * slotBytes; }
+
+    /** Pointer to the 32 B slot @p slot of lane @p lane. */
+    std::uint8_t *slot(std::uint32_t lane, std::uint32_t slot);
+    const std::uint8_t *slot(std::uint32_t lane,
+                             std::uint32_t slot) const;
+
+    /** Slots remaining at or after @p slot (for multi-slot ops). */
+    std::uint32_t
+    slotsFrom(std::uint32_t slot) const
+    {
+        return slot < slots_ ? slots_ - slot : 0;
+    }
+
+    void clear();
+
+  private:
+    std::uint32_t lanes_;
+    std::uint32_t slots_;
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_PIM_TS_BUFFER_HH

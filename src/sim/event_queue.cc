@@ -1,0 +1,43 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    if (when < now_)
+        olight_panic("event scheduled in the past: when=", when,
+                     " now=", now_);
+    heap_.push(Entry{when, static_cast<int>(prio), nextSeq_++,
+                     std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which
+    // is safe because we pop immediately afterwards.
+    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    now_ = entry.when;
+    ++numExecuted_;
+    entry.cb();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        if (!step())
+            break;
+    }
+    return now_;
+}
+
+} // namespace olight

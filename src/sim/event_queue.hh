@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A single global-order EventQueue drives the whole system. Events
+ * are callbacks scheduled at absolute ticks; same-tick events are
+ * ordered by (priority, insertion sequence) which keeps simulations
+ * fully deterministic.
+ */
+
+#ifndef OLIGHT_SIM_EVENT_QUEUE_HH
+#define OLIGHT_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace olight
+{
+
+/** Scheduling priorities for same-tick events (lower runs first). */
+enum class EventPriority : int
+{
+    DramTiming = 0,   ///< DRAM command issue / PIM execution
+    Default = 10,     ///< most component callbacks
+    Wakeup = 20,      ///< scheduler/retry wakeups, run after arrivals
+    Stats = 30,       ///< end-of-quantum statistics
+};
+
+/**
+ * The global event queue.
+ *
+ * Each System owns one. Components capture a reference and schedule
+ * closures; there is no threading, so no locking is required.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events executed so far (for stats / debugging). */
+    std::uint64_t numExecuted() const { return numExecuted_; }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * @pre when >= now(); scheduling in the past is a simulator bug.
+     */
+    void schedule(Tick when, Callback cb,
+                  EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(now_ + delta, std::move(cb), prio);
+    }
+
+    /**
+     * Run events until the queue is empty or @p limit is reached.
+     *
+     * @return the tick of the last executed event.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Run a single event; returns false if the queue was empty. */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t numExecuted_ = 0;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic, fatal, warn,
+ * inform. panic() indicates a simulator bug (aborts); fatal()
+ * indicates a user/configuration error (exits cleanly).
+ */
+
+#ifndef OLIGHT_SIM_LOGGING_HH
+#define OLIGHT_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace olight
+{
+
+namespace detail
+{
+
+/** Join any streamable arguments into a single string. */
+template <typename... Args>
+std::string
+joinMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Verbosity control: when false, inform() output is suppressed. */
+void setVerbose(bool verbose);
+bool isVerbose();
+
+/** Report an internal simulator bug and abort. */
+#define olight_panic(...) \
+    ::olight::detail::panicImpl(__FILE__, __LINE__, \
+        ::olight::detail::joinMessage(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit. */
+#define olight_fatal(...) \
+    ::olight::detail::fatalImpl(__FILE__, __LINE__, \
+        ::olight::detail::joinMessage(__VA_ARGS__))
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::joinMessage(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::joinMessage(std::forward<Args>(args)...));
+}
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_LOGGING_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic pseudo-random utilities.
+ *
+ * The simulator never uses std::random_device; every source of
+ * randomness is a seeded SplitMix64/xoshiro-style generator so runs
+ * are exactly reproducible. A cheap stateless hash is also provided
+ * for per-packet jitter (e.g., operand-collector bank conflicts and
+ * L2 sub-partition service variation) so jitter depends only on the
+ * packet identity, not on event interleaving.
+ */
+
+#ifndef OLIGHT_SIM_RANDOM_HH
+#define OLIGHT_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace olight
+{
+
+/** SplitMix64 step; good avalanche, used as a stateless hash too. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Stateless hash of two values; used for deterministic jitter. */
+constexpr std::uint64_t
+hashMix(std::uint64_t a, std::uint64_t b)
+{
+    return splitMix64(a * 0x9e3779b97f4a7c15ULL + b);
+}
+
+/** Deterministic jitter in [0, bound) keyed on (salt, id). */
+constexpr std::uint32_t
+jitter(std::uint64_t salt, std::uint64_t id, std::uint32_t bound)
+{
+    if (bound == 0)
+        return 0;
+    return static_cast<std::uint32_t>(hashMix(salt, id) % bound);
+}
+
+/** Small seedable PRNG (SplitMix64 stream). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    nextRange(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform float in [0, 1). */
+    double
+    nextDouble()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextFloat(float lo, float hi)
+    {
+        return lo + float(nextDouble()) * (hi - lo);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_RANDOM_HH

@@ -1,0 +1,93 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace olight
+{
+
+Scalar &
+StatSet::scalar(const std::string &name, const std::string &desc)
+{
+    for (auto &s : scalars_)
+        if (s.name() == name)
+            return s;
+    scalars_.emplace_back(name, desc);
+    return scalars_.back();
+}
+
+Distribution &
+StatSet::distribution(const std::string &name, const std::string &desc)
+{
+    for (auto &d : dists_)
+        if (d.name() == name)
+            return d;
+    dists_.emplace_back(name, desc);
+    return dists_.back();
+}
+
+const Scalar *
+StatSet::findScalar(const std::string &name) const
+{
+    for (const auto &s : scalars_)
+        if (s.name() == name)
+            return &s;
+    return nullptr;
+}
+
+const Distribution *
+StatSet::findDistribution(const std::string &name) const
+{
+    for (const auto &d : dists_)
+        if (d.name() == name)
+            return &d;
+    return nullptr;
+}
+
+double
+StatSet::sumScalars(const std::string &prefix,
+                    const std::string &suffix) const
+{
+    double total = 0.0;
+    for (const auto &s : scalars_) {
+        const std::string &n = s.name();
+        if (n.size() >= prefix.size() + suffix.size() &&
+            n.compare(0, prefix.size(), prefix) == 0 &&
+            n.compare(n.size() - suffix.size(), suffix.size(),
+                      suffix) == 0) {
+            total += s.value();
+        }
+    }
+    return total;
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &s : scalars_)
+        s.reset();
+    for (auto &d : dists_)
+        d.reset();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    os << std::left;
+    for (const auto &s : scalars_) {
+        os << std::setw(44) << s.name() << " " << std::setw(16)
+           << s.value();
+        if (!s.desc().empty())
+            os << " # " << s.desc();
+        os << "\n";
+    }
+    for (const auto &d : dists_) {
+        os << std::setw(44) << d.name() << " count=" << d.count()
+           << " mean=" << d.mean() << " min=" << d.minValue()
+           << " max=" << d.maxValue();
+        if (!d.desc().empty())
+            os << " # " << d.desc();
+        os << "\n";
+    }
+}
+
+} // namespace olight

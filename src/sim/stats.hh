@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Components register named scalars and distributions with a
+ * StatSet; the System dumps the set at end of simulation and the
+ * bench harnesses read individual stats by name. Registration
+ * returns stable references (deque storage), so components can keep
+ * a Scalar& and bump it on the hot path.
+ */
+
+#ifndef OLIGHT_SIM_STATS_HH
+#define OLIGHT_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+
+namespace olight
+{
+
+/** A named scalar statistic (count or accumulated value). */
+class Scalar
+{
+  public:
+    Scalar(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+    double value() const { return value_; }
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_ = 0.0;
+};
+
+/** A named sample distribution (tracks count/sum/min/max). */
+class Distribution
+{
+  public:
+    Distribution(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = 1e300;
+        max_ = -1e300;
+    }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+/**
+ * A registry of statistics for one simulated system.
+ *
+ * Names are conventionally dotted paths, e.g.
+ * "mc3.orderLightPackets" or "sm0.fenceWaitCycles".
+ */
+class StatSet
+{
+  public:
+    /** Register (or look up) a scalar stat. */
+    Scalar &scalar(const std::string &name, const std::string &desc = "");
+
+    /** Register (or look up) a distribution stat. */
+    Distribution &distribution(const std::string &name,
+                               const std::string &desc = "");
+
+    /** Find a scalar by exact name; nullptr when absent. */
+    const Scalar *findScalar(const std::string &name) const;
+
+    /** Find a distribution by exact name; nullptr when absent. */
+    const Distribution *findDistribution(const std::string &name) const;
+
+    /** Sum of all scalars whose name matches "prefix*suffix". */
+    double sumScalars(const std::string &prefix,
+                      const std::string &suffix) const;
+
+    /** Reset every stat to its initial state. */
+    void resetAll();
+
+    /** Human-readable dump of all stats. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::deque<Scalar> scalars_;
+    std::deque<Distribution> dists_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_STATS_HH

@@ -1,0 +1,21 @@
+#include "sim/trace.hh"
+
+namespace olight
+{
+
+TraceWriter::TraceWriter(std::ostream &os) : os_(os)
+{
+    os_ << "tick,component,event,detail\n";
+}
+
+void
+TraceWriter::record(Tick tick, const std::string &component,
+                    const std::string &event,
+                    const std::string &detail)
+{
+    os_ << tick << "," << component << "," << event << ",\""
+        << detail << "\"\n";
+    ++rows_;
+}
+
+} // namespace olight

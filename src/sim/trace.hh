@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CSV packet tracing for debugging ordering behavior.
+ *
+ * When enabled on a System, the memory controllers record every
+ * packet arrival and every scheduling decision with its tick,
+ * channel, sequence/epoch information, and a human-readable
+ * description — enough to reconstruct exactly how an OrderLight
+ * barrier constrained the schedule.
+ */
+
+#ifndef OLIGHT_SIM_TRACE_HH
+#define OLIGHT_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace olight
+{
+
+/** Streaming CSV trace sink. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(std::ostream &os);
+
+    /** Append one trace row. */
+    void record(Tick tick, const std::string &component,
+                const std::string &event,
+                const std::string &detail);
+
+    std::uint64_t rows() const { return rows_; }
+
+  private:
+    std::ostream &os_;
+    std::uint64_t rows_ = 0;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_TRACE_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles, and clock domains.
+ *
+ * The simulator runs two clock domains (GPU core at 1200 MHz, HBM at
+ * 850 MHz, Table 1 of the paper). To keep cross-domain scheduling
+ * exact we use an integer tick base chosen so both periods are
+ * integral: 1200/850 = 24/17, so the core period is 17 ticks and the
+ * memory period is 24 ticks. One tick is 1/(1200 MHz * 17) =
+ * ~49.0196 ps.
+ */
+
+#ifndef OLIGHT_SIM_TYPES_HH
+#define OLIGHT_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace olight
+{
+
+/** Absolute simulated time in base ticks. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycle = std::uint64_t;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Picoseconds per tick (exact value is 1e6/(1200*17) ps). */
+constexpr double tickPs = 1.0e6 / (1200.0 * 17.0);
+
+/** Core (SM) clock period in ticks: 1200 MHz. */
+constexpr Tick corePeriod = 17;
+
+/** Memory (HBM) clock period in ticks: 850 MHz. */
+constexpr Tick memPeriod = 24;
+
+/**
+ * A fixed-frequency clock domain.
+ *
+ * Provides conversions between cycles and ticks plus edge alignment
+ * so components can schedule events only on their own clock edges.
+ */
+class Clock
+{
+  public:
+    explicit constexpr Clock(Tick period) : period_(period) {}
+
+    constexpr Tick period() const { return period_; }
+
+    /** Ticks corresponding to @p cycles cycles of this clock. */
+    constexpr Tick
+    cyclesToTicks(Cycle cycles) const
+    {
+        return cycles * period_;
+    }
+
+    /** Whole cycles elapsed at absolute time @p t. */
+    constexpr Cycle
+    ticksToCycles(Tick t) const
+    {
+        return t / period_;
+    }
+
+    /** First clock edge at or after @p t. */
+    constexpr Tick
+    nextEdge(Tick t) const
+    {
+        Tick rem = t % period_;
+        return rem == 0 ? t : t + (period_ - rem);
+    }
+
+    /** First clock edge strictly after @p t. */
+    constexpr Tick
+    edgeAfter(Tick t) const
+    {
+        return nextEdge(t + 1);
+    }
+
+  private:
+    Tick period_;
+};
+
+constexpr Clock coreClock{corePeriod};
+constexpr Clock memClock{memPeriod};
+
+/** Convert a tick count to simulated milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return double(t) * tickPs * 1e-9;
+}
+
+/** Convert a tick count to simulated seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return double(t) * tickPs * 1e-12;
+}
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_TYPES_HH

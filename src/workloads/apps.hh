@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Factories for the application kernels of Table 2: batch
+ * normalization (forward/backward), fully-connected inference,
+ * KMeans clustering, SVM, Histogram, and genomic sequence filtering
+ * (the GRIM algorithm).
+ */
+
+#ifndef OLIGHT_WORKLOADS_APPS_HH
+#define OLIGHT_WORKLOADS_APPS_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace olight
+{
+
+std::unique_ptr<Workload> makeBnFwd();
+std::unique_ptr<Workload> makeBnBwd();
+std::unique_ptr<Workload> makeFc();
+std::unique_ptr<Workload> makeKmeans();
+std::unique_ptr<Workload> makeSvm();
+std::unique_ptr<Workload> makeHist();
+std::unique_ptr<Workload> makeGenFil();
+
+} // namespace olight
+
+#endif // OLIGHT_WORKLOADS_APPS_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Batch normalization kernels (BN_Fwd 7:3, BN_Bwd 14:6 in Table 2).
+ *
+ * BN_Fwd folds the normalization into two affine passes applied to a
+ * streamed activation tensor: y = g2*(g1*x + b1) + b2 (the scale and
+ * bias of inference-time batch norm with running statistics).
+ * BN_Bwd streams two tensors (dy and x) and produces dx = g*(dy +
+ * c*x) — the gradient's data-access structure (three streams, per
+ * the backward pass touching dy, x and dx).
+ */
+
+#include <sstream>
+
+#include "workloads/apps.hh"
+
+namespace olight
+{
+
+namespace
+{
+
+constexpr float bnG1 = 2.0f, bnB1 = 3.0f;
+constexpr float bnG2 = 2.0f, bnB2 = -1.0f;
+constexpr float bnC = 2.0f, bnG = 3.0f;
+
+class BnFwd : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"BN_Fwd", "batch normalization forward", "7:3", true};
+    }
+
+    void
+    initMemory(SparseMemory &mem) const override
+    {
+        fillIntFloats(mem, arrays_[0], -8, 8, 303);
+    }
+
+    double
+    hostFlops() const override
+    {
+        return 4.0 * double(elements_);
+    }
+
+    bool
+    check(const SparseMemory &mem, std::string &why) const override
+    {
+        SparseMemory init;
+        initMemory(init);
+        const PimArray &x = arrays_[0];
+        const PimArray &y = arrays_[1];
+        for (std::uint64_t i = 0; i < elements_; ++i) {
+            std::uint64_t off = i * sizeof(float);
+            float xv = init.readFloat(x.base + off);
+            float want = bnG2 * (bnG1 * xv + bnB1) + bnB2;
+            float got = mem.readFloat(y.base + off);
+            if (got != want) {
+                std::ostringstream os;
+                os << "BN_Fwd[" << i << "]: got " << got << ", want "
+                   << want;
+                why = os.str();
+                return false;
+            }
+        }
+        return true;
+    }
+
+  protected:
+    void
+    buildImpl() override
+    {
+        addArray("x", elements_, 0);
+        addArray("out_y", elements_, 0);
+        const PimArray &x = arrays_[0];
+        const PimArray &y = arrays_[1];
+
+        std::uint32_t n = cfg_.tsSlots();
+        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+            KernelBuilder kb(*map_, ch);
+            std::uint64_t blocks = kb.blocksPerChannel(x);
+            for (std::uint64_t j0 = 0; j0 < blocks; j0 += n) {
+                std::uint32_t m = std::uint32_t(
+                    std::min<std::uint64_t>(n, blocks - j0));
+                for (std::uint32_t k = 0; k < m; ++k)
+                    kb.load(std::uint8_t(k), x, j0 + k);
+                kb.orderPoint(x.memGroup);
+                for (std::uint32_t k = 0; k < m; ++k)
+                    kb.compute(AluOp::Affine, std::uint8_t(k),
+                               std::uint8_t(k), x.memGroup, bnG1,
+                               bnB1);
+                kb.orderPoint(x.memGroup);
+                for (std::uint32_t k = 0; k < m; ++k)
+                    kb.compute(AluOp::Affine, std::uint8_t(k),
+                               std::uint8_t(k), x.memGroup, bnG2,
+                               bnB2);
+                kb.orderPoint(x.memGroup);
+                for (std::uint32_t k = 0; k < m; ++k)
+                    kb.store(std::uint8_t(k), y, j0 + k);
+                kb.orderPoint(x.memGroup);
+            }
+            streams_[ch] = kb.take();
+        }
+    }
+};
+
+class BnBwd : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"BN_Bwd", "batch normalization backward", "14:6",
+                true};
+    }
+
+    void
+    initMemory(SparseMemory &mem) const override
+    {
+        fillIntFloats(mem, arrays_[0], -8, 8, 404); // dy
+        fillIntFloats(mem, arrays_[1], -8, 8, 505); // x
+    }
+
+    double
+    hostFlops() const override
+    {
+        return 4.0 * double(elements_);
+    }
+
+    bool
+    check(const SparseMemory &mem, std::string &why) const override
+    {
+        SparseMemory init;
+        initMemory(init);
+        const PimArray &dy = arrays_[0];
+        const PimArray &x = arrays_[1];
+        const PimArray &dx = arrays_[2];
+        for (std::uint64_t i = 0; i < elements_; ++i) {
+            std::uint64_t off = i * sizeof(float);
+            float dyv = init.readFloat(dy.base + off);
+            float xv = init.readFloat(x.base + off);
+            float want = bnG * (dyv + bnC * xv);
+            float got = mem.readFloat(dx.base + off);
+            if (got != want) {
+                std::ostringstream os;
+                os << "BN_Bwd[" << i << "]: got " << got << ", want "
+                   << want;
+                why = os.str();
+                return false;
+            }
+        }
+        return true;
+    }
+
+  protected:
+    void
+    buildImpl() override
+    {
+        addArray("dy", elements_, 0);
+        addArray("x", elements_, 0);
+        addArray("out_dx", elements_, 0);
+        const PimArray &dy = arrays_[0];
+        const PimArray &x = arrays_[1];
+        const PimArray &dx = arrays_[2];
+
+        std::uint32_t n = cfg_.tsSlots();
+        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+            KernelBuilder kb(*map_, ch);
+            std::uint64_t blocks = kb.blocksPerChannel(dy);
+            for (std::uint64_t j0 = 0; j0 < blocks; j0 += n) {
+                std::uint32_t m = std::uint32_t(
+                    std::min<std::uint64_t>(n, blocks - j0));
+                for (std::uint32_t k = 0; k < m; ++k)
+                    kb.load(std::uint8_t(k), dy, j0 + k);
+                kb.orderPoint(dy.memGroup);
+                // TS = dy + c * x  (x fetched from memory)
+                for (std::uint32_t k = 0; k < m; ++k)
+                    kb.fetchOp(AluOp::Fma, std::uint8_t(k),
+                               std::uint8_t(k), x, j0 + k, bnC);
+                kb.orderPoint(dy.memGroup);
+                for (std::uint32_t k = 0; k < m; ++k)
+                    kb.compute(AluOp::Affine, std::uint8_t(k),
+                               std::uint8_t(k), dy.memGroup, bnG,
+                               0.0f);
+                kb.orderPoint(dy.memGroup);
+                for (std::uint32_t k = 0; k < m; ++k)
+                    kb.store(std::uint8_t(k), dx, j0 + k);
+                kb.orderPoint(dy.memGroup);
+            }
+            streams_[ch] = kb.take();
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBnFwd()
+{
+    return std::make_unique<BnFwd>();
+}
+
+std::unique_ptr<Workload>
+makeBnBwd()
+{
+    return std::make_unique<BnBwd>();
+}
+
+} // namespace olight

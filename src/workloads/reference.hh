@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Golden (program-order) execution and result comparison.
+ *
+ * runGolden() executes the per-channel PIM instruction streams
+ * strictly in program order on a copy of memory, using the same
+ * PimUnit/ALU implementation as the timing simulator. A timing run
+ * with a correct ordering primitive must produce bit-identical
+ * memory; each workload additionally carries an independent
+ * mathematical check, so an error in the shared ALU cannot hide.
+ */
+
+#ifndef OLIGHT_WORKLOADS_REFERENCE_HH
+#define OLIGHT_WORKLOADS_REFERENCE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/kernel_builder.hh"
+#include "core/pim_isa.hh"
+#include "dram/address_map.hh"
+#include "dram/storage.hh"
+
+namespace olight
+{
+
+/** Execute @p streams in program order against @p mem. */
+void runGolden(const SystemConfig &cfg, const AddressMap &map,
+               const std::vector<std::vector<PimInstr>> &streams,
+               SparseMemory &mem);
+
+/**
+ * Bit-exact comparison of an array region between two memories.
+ *
+ * @retval true regions identical; otherwise @p why describes the
+ *         first mismatching element.
+ */
+bool compareArray(const SparseMemory &got, const SparseMemory &want,
+                  const PimArray &array, std::string &why);
+
+} // namespace olight
+
+#endif // OLIGHT_WORKLOADS_REFERENCE_HH

@@ -1,0 +1,69 @@
+#include "workloads/registry.hh"
+
+#include "sim/logging.hh"
+#include "workloads/apps.hh"
+#include "workloads/stream_kernels.hh"
+
+namespace olight
+{
+
+const std::vector<std::string> &
+streamWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "Scale", "Copy", "Daxpy", "Triad", "Add"};
+    return names;
+}
+
+const std::vector<std::string> &
+appWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "BN_Fwd", "BN_Bwd", "FC", "KMeans", "SVM", "Hist",
+        "Gen_Fil"};
+    return names;
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> all = streamWorkloadNames();
+        for (const auto &name : appWorkloadNames())
+            all.push_back(name);
+        return all;
+    }();
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "Scale")
+        return makeStreamWorkload(StreamKernel::Scale);
+    if (name == "Copy")
+        return makeStreamWorkload(StreamKernel::Copy);
+    if (name == "Daxpy")
+        return makeStreamWorkload(StreamKernel::Daxpy);
+    if (name == "Triad")
+        return makeStreamWorkload(StreamKernel::Triad);
+    if (name == "Add")
+        return makeStreamWorkload(StreamKernel::Add);
+    if (name == "BN_Fwd")
+        return makeBnFwd();
+    if (name == "BN_Bwd")
+        return makeBnBwd();
+    if (name == "FC")
+        return makeFc();
+    if (name == "KMeans")
+        return makeKmeans();
+    if (name == "SVM")
+        return makeSvm();
+    if (name == "Hist")
+        return makeHist();
+    if (name == "Gen_Fil")
+        return makeGenFil();
+    olight_fatal("unknown workload: ", name);
+}
+
+} // namespace olight

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Name-based workload registry (the rows of Table 2).
+ */
+
+#ifndef OLIGHT_WORKLOADS_REGISTRY_HH
+#define OLIGHT_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace olight
+{
+
+/** Names of all registered workloads, in Table 2 order. */
+const std::vector<std::string> &workloadNames();
+
+/** Names of the STREAM subset (Figure 10). */
+const std::vector<std::string> &streamWorkloadNames();
+
+/** Names of the application subset (Figure 12). */
+const std::vector<std::string> &appWorkloadNames();
+
+/** Instantiate a workload by name; fatal on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace olight
+
+#endif // OLIGHT_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,252 @@
+#include "workloads/stream_kernels.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+const char *
+toString(StreamKernel kernel)
+{
+    switch (kernel) {
+      case StreamKernel::Scale: return "Scale";
+      case StreamKernel::Copy: return "Copy";
+      case StreamKernel::Daxpy: return "Daxpy";
+      case StreamKernel::Triad: return "Triad";
+      case StreamKernel::Add: return "Add";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr float streamScalar = 3.0f;
+
+/** All five STREAM kernels share the tiled three-phase structure. */
+class StreamWorkload : public Workload
+{
+  public:
+    explicit StreamWorkload(StreamKernel kernel) : kernel_(kernel) {}
+
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo wi;
+        wi.name = toString(kernel_);
+        switch (kernel_) {
+          case StreamKernel::Scale:
+            wi.description = "a[i] = scalar*a[i]";
+            wi.ratio = "1:1";
+            wi.multiStructure = false;
+            break;
+          case StreamKernel::Copy:
+            wi.description = "b[i] = a[i]";
+            wi.ratio = "0:2";
+            wi.multiStructure = true;
+            break;
+          case StreamKernel::Daxpy:
+            wi.description = "b[i] = b[i] + scalar*a[i]";
+            wi.ratio = "2:2";
+            wi.multiStructure = true;
+            break;
+          case StreamKernel::Triad:
+            wi.description = "c[i] = a[i] + scalar*b[i]";
+            wi.ratio = "2:3";
+            wi.multiStructure = true;
+            break;
+          case StreamKernel::Add:
+            wi.description = "c[i] = a[i] + b[i]";
+            wi.ratio = "1:3";
+            wi.multiStructure = true;
+            break;
+        }
+        return wi;
+    }
+
+    void
+    initMemory(SparseMemory &mem) const override
+    {
+        fillIntFloats(mem, arrays_[0], -8, 8, 101);
+        if (arrays_.size() > 1 && kernel_ != StreamKernel::Copy)
+            fillIntFloats(mem, arrays_[1], -8, 8, 202);
+    }
+
+    double
+    hostFlops() const override
+    {
+        switch (kernel_) {
+          case StreamKernel::Scale: return double(elements_);
+          case StreamKernel::Copy: return 0.0;
+          case StreamKernel::Daxpy:
+          case StreamKernel::Triad: return 2.0 * double(elements_);
+          case StreamKernel::Add: return double(elements_);
+        }
+        return 0.0;
+    }
+
+    bool
+    check(const SparseMemory &mem, std::string &why) const override
+    {
+        // Recompute the inputs from their deterministic seeds.
+        SparseMemory init;
+        initMemory(init);
+        for (std::uint64_t i = 0; i < elements_; ++i) {
+            std::uint64_t off = i * sizeof(float);
+            float a = init.readFloat(arrays_[0].base + off);
+            float want = 0.0f, got = 0.0f;
+            switch (kernel_) {
+              case StreamKernel::Scale:
+                want = streamScalar * a;
+                got = mem.readFloat(arrays_[0].base + off);
+                break;
+              case StreamKernel::Copy:
+                want = a;
+                got = mem.readFloat(arrays_[1].base + off);
+                break;
+              case StreamKernel::Daxpy: {
+                float b = init.readFloat(arrays_[1].base + off);
+                want = b + streamScalar * a;
+                got = mem.readFloat(arrays_[1].base + off);
+                break;
+              }
+              case StreamKernel::Triad: {
+                float b = init.readFloat(arrays_[1].base + off);
+                want = a + streamScalar * b;
+                got = mem.readFloat(arrays_[2].base + off);
+                break;
+              }
+              case StreamKernel::Add: {
+                float b = init.readFloat(arrays_[1].base + off);
+                want = a + b;
+                got = mem.readFloat(arrays_[2].base + off);
+                break;
+              }
+            }
+            if (got != want) {
+                std::ostringstream os;
+                os << info().name << "[" << i << "]: got " << got
+                   << ", want " << want;
+                why = os.str();
+                return false;
+            }
+        }
+        return true;
+    }
+
+  protected:
+    void
+    buildImpl() override
+    {
+        // Allocate everything first: addArray() may reallocate the
+        // arrays_ vector, so references are taken afterwards.
+        addArray("a", elements_, 0);
+        if (kernel_ != StreamKernel::Scale)
+            addArray(kernel_ == StreamKernel::Copy ? "out_b" : "b",
+                     elements_, 0);
+        if (kernel_ == StreamKernel::Triad ||
+            kernel_ == StreamKernel::Add)
+            addArray("out_c", elements_, 0);
+        const PimArray &a = arrays_[0];
+        const PimArray *b = arrays_.size() > 1 ? &arrays_[1] : nullptr;
+        const PimArray *c = arrays_.size() > 2 ? &arrays_[2] : nullptr;
+
+        std::uint32_t n = cfg_.tsSlots();
+        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+            KernelBuilder kb(*map_, ch);
+            std::uint64_t blocks = kb.blocksPerChannel(a);
+            for (std::uint64_t j0 = 0; j0 < blocks; j0 += n) {
+                std::uint32_t m = std::uint32_t(
+                    std::min<std::uint64_t>(n, blocks - j0));
+                emitTile(kb, a, b, c, j0, m);
+            }
+            streams_[ch] = kb.take();
+        }
+    }
+
+  private:
+    void
+    emitTile(KernelBuilder &kb, const PimArray &a, const PimArray *b,
+             const PimArray *c, std::uint64_t j0, std::uint32_t m)
+    {
+        switch (kernel_) {
+          case StreamKernel::Scale:
+            // Fetch-and-scale, then write back to the same row.
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.fetchOp(AluOp::Scale, std::uint8_t(k), 0, a,
+                           j0 + k, streamScalar);
+            kb.orderPoint(a.memGroup);
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.store(std::uint8_t(k), a, j0 + k);
+            kb.orderPoint(a.memGroup);
+            return;
+
+          case StreamKernel::Copy:
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.load(std::uint8_t(k), a, j0 + k);
+            kb.orderPoint(a.memGroup);
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.store(std::uint8_t(k), *b, j0 + k);
+            kb.orderPoint(a.memGroup);
+            return;
+
+          case StreamKernel::Daxpy:
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.load(std::uint8_t(k), a, j0 + k);
+            kb.orderPoint(a.memGroup);
+            // dst = b[i] + scalar * TS(a[i])
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.fetchOp(AluOp::FmaRev, std::uint8_t(k),
+                           std::uint8_t(k), *b, j0 + k,
+                           streamScalar);
+            kb.orderPoint(a.memGroup);
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.store(std::uint8_t(k), *b, j0 + k);
+            kb.orderPoint(a.memGroup);
+            return;
+
+          case StreamKernel::Triad:
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.load(std::uint8_t(k), a, j0 + k);
+            kb.orderPoint(a.memGroup);
+            // dst = TS(a[i]) + scalar * b[i]
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.fetchOp(AluOp::Fma, std::uint8_t(k),
+                           std::uint8_t(k), *b, j0 + k,
+                           streamScalar);
+            kb.orderPoint(a.memGroup);
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.store(std::uint8_t(k), *c, j0 + k);
+            kb.orderPoint(a.memGroup);
+            return;
+
+          case StreamKernel::Add:
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.load(std::uint8_t(k), a, j0 + k);
+            kb.orderPoint(a.memGroup);
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.fetchOp(AluOp::Add, std::uint8_t(k),
+                           std::uint8_t(k), *b, j0 + k);
+            kb.orderPoint(a.memGroup);
+            for (std::uint32_t k = 0; k < m; ++k)
+                kb.store(std::uint8_t(k), *c, j0 + k);
+            kb.orderPoint(a.memGroup);
+            return;
+        }
+        olight_panic("unhandled stream kernel");
+    }
+
+    StreamKernel kernel_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStreamWorkload(StreamKernel kernel)
+{
+    return std::make_unique<StreamWorkload>(kernel);
+}
+
+} // namespace olight

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The STREAM benchmark kernels (Table 2): Scale, Copy, Daxpy, Triad,
+ * Add. These are the paper's primary vehicle for studying ordering
+ * primitives — each is a tiled sequence of load / fetch-op / store
+ * phases with an ordering point between phases (Figure 4), and the
+ * number of data structures touched controls DRAM row locality.
+ */
+
+#ifndef OLIGHT_WORKLOADS_STREAM_KERNELS_HH
+#define OLIGHT_WORKLOADS_STREAM_KERNELS_HH
+
+#include <memory>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace olight
+{
+
+/** Which STREAM kernel. */
+enum class StreamKernel
+{
+    Scale, ///< a[i] = s * a[i]        (1:1, one structure)
+    Copy,  ///< b[i] = a[i]            (0:2)
+    Daxpy, ///< b[i] = b[i] + s * a[i] (2:2)
+    Triad, ///< c[i] = a[i] + s * b[i] (2:3)
+    Add,   ///< c[i] = a[i] + b[i]     (1:3)
+};
+
+const char *toString(StreamKernel kernel);
+
+/** Factory for a STREAM workload instance. */
+std::unique_ptr<Workload> makeStreamWorkload(StreamKernel kernel);
+
+} // namespace olight
+
+#endif // OLIGHT_WORKLOADS_STREAM_KERNELS_HH

@@ -1,0 +1,148 @@
+/** @file Unit and property tests for the DRAM address mapping. */
+
+#include <gtest/gtest.h>
+
+#include "dram/address_map.hh"
+#include "sim/random.hh"
+
+namespace olight
+{
+namespace
+{
+
+SystemConfig
+defaultCfg()
+{
+    return SystemConfig{};
+}
+
+TEST(AddressMap, ChannelInterleaveAt256B)
+{
+    AddressMap map(defaultCfg());
+    EXPECT_EQ(map.decode(0).channel, 0);
+    EXPECT_EQ(map.decode(255).channel, 0);
+    EXPECT_EQ(map.decode(256).channel, 1);
+    EXPECT_EQ(map.decode(256 * 15).channel, 15);
+    EXPECT_EQ(map.decode(256 * 16).channel, 0);
+}
+
+TEST(AddressMap, EncodeDecodeRoundTripSweep)
+{
+    AddressMap map(defaultCfg());
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t addr =
+            (rng.next() % (1ull << 36)) & ~std::uint64_t(31);
+        DramCoord c = map.decode(addr);
+        EXPECT_EQ(map.encode(c), addr);
+    }
+}
+
+TEST(AddressMap, DecodeEncodeRoundTripCoords)
+{
+    AddressMap map(defaultCfg());
+    Rng rng(13);
+    for (int i = 0; i < 20000; ++i) {
+        DramCoord c;
+        c.channel = rng.next() % 16;
+        c.bank = rng.next() % 16;
+        c.lane = rng.next() % 16;
+        c.col = rng.next() % 64;
+        c.row = rng.next() % 4096;
+        EXPECT_EQ(map.decode(map.encode(c)), c);
+    }
+}
+
+TEST(AddressMap, LaneStrideAdvancesOnlyTheLane)
+{
+    AddressMap map(defaultCfg());
+    DramCoord c;
+    c.channel = 5;
+    c.bank = 3;
+    c.row = 17;
+    c.col = 9;
+    c.lane = 0;
+    std::uint64_t base = map.encode(c);
+    for (std::uint16_t lane = 1; lane < 16; ++lane) {
+        DramCoord got = map.decode(base + lane * map.laneStride());
+        c.lane = lane;
+        EXPECT_EQ(got, c);
+    }
+}
+
+TEST(AddressMap, BankGroupStrideAdvancesOnlyTheRow)
+{
+    AddressMap map(defaultCfg());
+    DramCoord c = map.decode(map.bankGroupStride() * 3);
+    EXPECT_EQ(c.channel, 0);
+    EXPECT_EQ(c.bank, 0);
+    EXPECT_EQ(c.lane, 0);
+    EXPECT_EQ(c.col, 0);
+    EXPECT_EQ(c.row, 3u);
+}
+
+TEST(AddressMap, LaneZeroBlockWalkHasRowLocality)
+{
+    AddressMap map(defaultCfg());
+    // The first 64 lane-0 blocks of a channel fill one row of bank 0.
+    for (std::uint64_t j = 0; j < 64; ++j) {
+        DramCoord c =
+            map.decode(map.localToGlobal(map.laneZeroBlockLocal(j),
+                                         2));
+        EXPECT_EQ(c.channel, 2);
+        EXPECT_EQ(c.bank, 0);
+        EXPECT_EQ(c.row, 0u);
+        EXPECT_EQ(c.lane, 0);
+        EXPECT_EQ(c.col, j);
+    }
+    // Block 64 moves to the next bank, same row, lane 0.
+    DramCoord c =
+        map.decode(map.localToGlobal(map.laneZeroBlockLocal(64), 2));
+    EXPECT_EQ(c.bank, 1);
+    EXPECT_EQ(c.row, 0u);
+    EXPECT_EQ(c.lane, 0);
+    EXPECT_EQ(c.col, 0);
+}
+
+TEST(AddressMap, LocalGlobalRoundTrip)
+{
+    AddressMap map(defaultCfg());
+    Rng rng(21);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t local = rng.next() % (1ull << 30);
+        for (std::uint16_t ch : {0, 7, 15}) {
+            std::uint64_t global = map.localToGlobal(local, ch);
+            EXPECT_EQ(map.globalToLocal(global), local);
+            EXPECT_EQ(map.decode(global).channel, ch);
+        }
+    }
+}
+
+TEST(AddressMap, BmfChangesLaneCount)
+{
+    SystemConfig cfg;
+    cfg.bmf = 4;
+    AddressMap map(cfg);
+    EXPECT_EQ(map.numLanes(), 4u);
+    // With 4 lanes the bank advances after 4 rows worth of local
+    // address space instead of 16.
+    std::uint64_t bank_stride_local =
+        std::uint64_t(map.colsPerRow()) * 32 * 4;
+    DramCoord c = map.decode(
+        map.localToGlobal(bank_stride_local, 0));
+    EXPECT_EQ(c.bank, 1);
+    EXPECT_EQ(c.lane, 0);
+}
+
+TEST(AddressMap, DistinctCoordsDistinctAddresses)
+{
+    AddressMap map(defaultCfg());
+    // channelSweepBytes covers exactly one lane-0 block per channel
+    // in every lane: 32 * lanes * channels.
+    EXPECT_EQ(map.channelSweepBytes(), 32ull * 16 * 16);
+    EXPECT_EQ(map.bankGroupStride(),
+              map.laneStride() * map.numLanes() * map.numBanks());
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,216 @@
+/** @file Unit tests for the TS buffer and SIMD ALU. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pim/alu.hh"
+#include "pim/ts_buffer.hh"
+
+namespace olight
+{
+namespace
+{
+
+struct Blocks
+{
+    alignas(4) std::uint8_t dst[32] = {};
+    alignas(4) std::uint8_t src[32] = {};
+    alignas(4) std::uint8_t operand[32] = {};
+
+    void
+    setF(std::uint8_t *block, std::initializer_list<float> vals)
+    {
+        float tmp[8] = {};
+        std::size_t i = 0;
+        for (float v : vals)
+            tmp[i++] = v;
+        std::memcpy(block, tmp, 32);
+    }
+
+    float
+    f(const std::uint8_t *block, int i) const
+    {
+        float v;
+        std::memcpy(&v, block + 4 * i, 4);
+        return v;
+    }
+
+    AluArgs
+    args(float scalar = 0.0f, float scalar2 = 0.0f,
+         std::uint16_t aux = 0)
+    {
+        AluArgs a;
+        a.dst = dst;
+        a.src = src;
+        a.operand = operand;
+        a.scalar = scalar;
+        a.scalar2 = scalar2;
+        a.aux = aux;
+        return a;
+    }
+};
+
+TEST(Alu, ElementwiseOps)
+{
+    Blocks b;
+    b.setF(b.src, {1, 2, 3, 4, 5, 6, 7, 8});
+    b.setF(b.operand, {10, 20, 30, 40, 50, 60, 70, 80});
+
+    aluApply(AluOp::Add, b.args());
+    EXPECT_EQ(b.f(b.dst, 0), 11.0f);
+    EXPECT_EQ(b.f(b.dst, 7), 88.0f);
+
+    aluApply(AluOp::Sub, b.args());
+    EXPECT_EQ(b.f(b.dst, 2), -27.0f);
+
+    aluApply(AluOp::Mul, b.args());
+    EXPECT_EQ(b.f(b.dst, 1), 40.0f);
+
+    aluApply(AluOp::Fma, b.args(2.0f));
+    EXPECT_EQ(b.f(b.dst, 0), 1.0f + 2.0f * 10.0f);
+
+    aluApply(AluOp::FmaRev, b.args(2.0f));
+    EXPECT_EQ(b.f(b.dst, 0), 10.0f + 2.0f * 1.0f);
+
+    aluApply(AluOp::Scale, b.args(3.0f));
+    EXPECT_EQ(b.f(b.dst, 3), 120.0f);
+
+    aluApply(AluOp::Affine, b.args(2.0f, -5.0f));
+    EXPECT_EQ(b.f(b.dst, 0), 15.0f);
+
+    aluApply(AluOp::ScaleBias, b.args(2.0f));
+    EXPECT_EQ(b.f(b.dst, 0), 2.0f * 10.0f + 1.0f);
+
+    aluApply(AluOp::Copy, b.args());
+    EXPECT_EQ(b.f(b.dst, 5), 60.0f);
+}
+
+TEST(Alu, ReluAndThreshold)
+{
+    Blocks b;
+    b.setF(b.operand, {-3, 5, 0, -1, 2, -8, 7, 1});
+    aluApply(AluOp::Relu, b.args());
+    EXPECT_EQ(b.f(b.dst, 0), 0.0f);
+    EXPECT_EQ(b.f(b.dst, 1), 5.0f);
+
+    aluApply(AluOp::Threshold, b.args(2.0f));
+    EXPECT_EQ(b.f(b.dst, 1), 1.0f);
+    EXPECT_EQ(b.f(b.dst, 0), 0.0f);
+    EXPECT_EQ(b.f(b.dst, 4), 1.0f); // 2 >= 2
+}
+
+TEST(Alu, Reductions)
+{
+    Blocks b;
+    b.setF(b.src, {1, 1, 1, 1, 1, 1, 1, 1});
+    b.setF(b.operand, {1, 2, 3, 4, 5, 6, 7, 8});
+    b.setF(b.dst, {100});
+
+    aluApply(AluOp::DotAcc, b.args());
+    EXPECT_EQ(b.f(b.dst, 0), 136.0f); // 100 + 36
+
+    aluApply(AluOp::Dot, b.args(5.0f));
+    EXPECT_EQ(b.f(b.dst, 0), 41.0f); // 5 + 36 (overwrite)
+
+    b.setF(b.dst, {2});
+    aluApply(AluOp::SqDiffAcc, b.args());
+    // sum((1-k)^2, k=1..8) = 0+1+4+9+16+25+36+49 = 140
+    EXPECT_EQ(b.f(b.dst, 0), 142.0f);
+
+    aluApply(AluOp::SqDist, b.args());
+    EXPECT_EQ(b.f(b.dst, 0), 140.0f);
+
+    b.setF(b.dst, {3});
+    aluApply(AluOp::MaxAcc, b.args());
+    EXPECT_EQ(b.f(b.dst, 0), 8.0f);
+
+    b.setF(b.dst, {3});
+    aluApply(AluOp::MinAcc, b.args());
+    EXPECT_EQ(b.f(b.dst, 0), 1.0f);
+}
+
+TEST(Alu, Popcounts)
+{
+    Blocks b;
+    std::memset(b.src, 0xff, 32);
+    std::memset(b.operand, 0x0f, 32);
+    b.setF(b.dst, {0});
+    aluApply(AluOp::Popcnt, b.args());
+    EXPECT_EQ(b.f(b.dst, 0), 128.0f); // 32 bytes * 4 bits
+
+    aluApply(AluOp::PopcntAcc, b.args());
+    EXPECT_EQ(b.f(b.dst, 0), 256.0f);
+}
+
+TEST(Alu, BinCountSpillsAcrossSlots)
+{
+    // 64 writable bytes => up to 16 bins.
+    std::uint8_t bins[64] = {};
+    Blocks b;
+    b.setF(b.operand, {0, 1, 15, 15, 3, 3, 3, 20});
+    AluArgs a = b.args(1.0f, 0.0f, 16);
+    a.dst = bins;
+    a.dstSpanBytes = 64;
+    aluApply(AluOp::BinCount, a);
+
+    auto bin = [&](int i) {
+        std::uint32_t v;
+        std::memcpy(&v, bins + 4 * i, 4);
+        return v;
+    };
+    EXPECT_EQ(bin(0), 1u);
+    EXPECT_EQ(bin(1), 1u);
+    EXPECT_EQ(bin(3), 3u);
+    EXPECT_EQ(bin(15), 3u); // 15, 15, and clamped 20
+}
+
+TEST(Alu, ZeroClearsBlock)
+{
+    Blocks b;
+    std::memset(b.dst, 0xab, 32);
+    aluApply(AluOp::Zero, b.args());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(b.f(b.dst, i), 0.0f);
+}
+
+TEST(Alu, HistBinEdgeCases)
+{
+    EXPECT_EQ(histBin(0.0f, 1.0f, 16), 0u);
+    EXPECT_EQ(histBin(-5.0f, 1.0f, 16), 0u);
+    EXPECT_EQ(histBin(15.9f, 1.0f, 16), 15u);
+    EXPECT_EQ(histBin(100.0f, 1.0f, 16), 15u);
+    EXPECT_EQ(histBin(3.0f, 2.0f, 16), 1u);
+    EXPECT_EQ(histBin(1.0f, 0.0f, 16), 0u);
+    EXPECT_EQ(histBin(1.0f, 1.0f, 0), 0u);
+}
+
+TEST(TsBuffer, GeometryAndAccess)
+{
+    TsBuffer ts(4, 256);
+    EXPECT_EQ(ts.lanes(), 4u);
+    EXPECT_EQ(ts.slotsPerLane(), 8u);
+    EXPECT_EQ(ts.slotsFrom(3), 5u);
+    EXPECT_EQ(ts.slotsFrom(8), 0u);
+
+    // Lanes and slots are disjoint.
+    ts.slot(1, 2)[0] = 0x55;
+    ts.slot(2, 2)[0] = 0x66;
+    ts.slot(1, 3)[0] = 0x77;
+    EXPECT_EQ(ts.slot(1, 2)[0], 0x55);
+    EXPECT_EQ(ts.slot(2, 2)[0], 0x66);
+    EXPECT_EQ(ts.slot(1, 3)[0], 0x77);
+
+    ts.clear();
+    EXPECT_EQ(ts.slot(1, 2)[0], 0);
+}
+
+TEST(TsBufferDeath, OutOfRangePanics)
+{
+    TsBuffer ts(2, 128);
+    EXPECT_DEATH(ts.slot(2, 0), "out of range");
+    EXPECT_DEATH(ts.slot(0, 4), "out of range");
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Operand-collector unit tests (the core-side reordering source and
+ * OrderLight gate) and the CPU-host preset of the paper's
+ * conclusion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "gpu/operand_collector.hh"
+
+namespace olight
+{
+namespace
+{
+
+class RecordingPort : public AcceptPort
+{
+  public:
+    bool
+    tryReserve(const Packet &) override
+    {
+        if (credits == 0)
+            return false;
+        --credits;
+        return true;
+    }
+
+    void
+    deliver(Packet pkt, Tick) override
+    {
+        injected.push_back(pkt.id);
+    }
+
+    void
+    subscribe(const Packet &, std::function<void()> cb) override
+    {
+        waiters.push_back(std::move(cb));
+    }
+
+    void
+    release(std::uint32_t n)
+    {
+        credits += n;
+        auto copy = std::move(waiters);
+        waiters.clear();
+        for (auto &cb : copy)
+            cb();
+    }
+
+    std::uint32_t credits = 1u << 30;
+    std::vector<std::uint64_t> injected;
+    std::vector<std::function<void()>> waiters;
+};
+
+Packet
+pimReq(std::uint64_t id, std::uint16_t channel = 0,
+       std::uint8_t group = 0)
+{
+    Packet pkt;
+    pkt.id = id;
+    pkt.channel = channel;
+    pkt.instr.type = PimOpType::PimLoad;
+    pkt.instr.memGroup = group;
+    return pkt;
+}
+
+struct CollectorFixture : public ::testing::Test
+{
+    CollectorFixture() : collector(cfg, 0, eq, port, stats) {}
+
+    SystemConfig cfg;
+    EventQueue eq;
+    StatSet stats;
+    RecordingPort port;
+    OperandCollector collector{cfg, 0, eq, port, stats};
+};
+
+TEST_F(CollectorFixture, CapacityIsEnforced)
+{
+    for (std::uint32_t i = 0; i < cfg.collectorUnits; ++i) {
+        EXPECT_TRUE(collector.hasFreeUnit());
+        EXPECT_TRUE(collector.tryAllocate(pimReq(i)));
+    }
+    EXPECT_FALSE(collector.hasFreeUnit());
+    EXPECT_FALSE(collector.tryAllocate(pimReq(99)));
+    eq.run();
+    EXPECT_TRUE(collector.hasFreeUnit());
+    EXPECT_EQ(port.injected.size(), cfg.collectorUnits);
+}
+
+TEST_F(CollectorFixture, PendingCountsTrackChannelAndGroup)
+{
+    EXPECT_EQ(collector.pendingFor(3, 1), 0u);
+    ASSERT_TRUE(collector.tryAllocate(pimReq(1, 3, 1)));
+    ASSERT_TRUE(collector.tryAllocate(pimReq(2, 3, 1)));
+    ASSERT_TRUE(collector.tryAllocate(pimReq(3, 5, 1)));
+    EXPECT_EQ(collector.pendingFor(3, 1), 2u);
+    EXPECT_EQ(collector.pendingFor(5, 1), 1u);
+    EXPECT_EQ(collector.pendingFor(3, 0), 0u);
+    eq.run();
+    EXPECT_EQ(collector.pendingFor(3, 1), 0u);
+    EXPECT_TRUE(collector.empty());
+}
+
+TEST_F(CollectorFixture, JitterReordersDepartures)
+{
+    // Allocate many requests in one cycle; the per-packet jitter on
+    // the collect latency must produce at least one inversion (this
+    // is the reordering that makes ordering primitives necessary).
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t i = 0; i < cfg.collectorUnits; ++i) {
+        ids.push_back(i * 7919); // spread the jitter hash
+        ASSERT_TRUE(collector.tryAllocate(pimReq(ids.back())));
+    }
+    eq.run();
+    ASSERT_EQ(port.injected.size(), ids.size());
+    EXPECT_NE(port.injected, ids)
+        << "collector departures should not match allocation order";
+}
+
+TEST_F(CollectorFixture, BlockedPortBackpressures)
+{
+    port.credits = 0;
+    ASSERT_TRUE(collector.tryAllocate(pimReq(1)));
+    ASSERT_TRUE(collector.tryAllocate(pimReq(2)));
+    eq.run();
+    EXPECT_TRUE(port.injected.empty());
+    EXPECT_FALSE(collector.empty());
+    port.release(10);
+    eq.run();
+    EXPECT_EQ(port.injected.size(), 2u);
+    EXPECT_TRUE(collector.empty());
+}
+
+TEST_F(CollectorFixture, InjectionRateIsOnePerCycle)
+{
+    std::vector<Tick> times;
+    collector.setInjectedFn([&](const Packet &) {
+        times.push_back(eq.now());
+    });
+    for (std::uint64_t i = 0; i < 6; ++i)
+        ASSERT_TRUE(collector.tryAllocate(pimReq(i)));
+    eq.run();
+    ASSERT_EQ(times.size(), 6u);
+    for (std::size_t i = 1; i < times.size(); ++i)
+        EXPECT_GE(times[i], times[i - 1] + corePeriod);
+}
+
+TEST(CpuHost, PresetShrinksFenceWaits)
+{
+    std::uint64_t elements = 1ull << 16;
+    RunOptions gpu;
+    gpu.workload = "Add";
+    gpu.mode = OrderingMode::Fence;
+    gpu.elements = elements;
+    gpu.verify = false;
+    RunResult gpu_r = runWorkload(gpu);
+
+    RunOptions cpu = gpu;
+    cpu.base = cpuHostBase();
+    RunResult cpu_r = runWorkload(cpu);
+
+    EXPECT_LT(cpu_r.metrics.waitPerFence, gpu_r.metrics.waitPerFence)
+        << "the CPU's shorter uncore must shrink fence waits";
+    EXPECT_GT(cpu_r.metrics.waitPerFence, 50.0)
+        << "even OoO cores pay on the order of 100 cycles per fence";
+}
+
+TEST(CpuHost, OrderLightStillWinsOnCpu)
+{
+    RunOptions fence;
+    fence.workload = "Add";
+    fence.mode = OrderingMode::Fence;
+    fence.elements = 1ull << 16;
+    fence.base = cpuHostBase();
+    fence.verify = false;
+    RunOptions ol = fence;
+    ol.mode = OrderingMode::OrderLight;
+    ol.verify = true;
+    RunResult fence_r = runWorkload(fence);
+    RunResult ol_r = runWorkload(ol);
+    EXPECT_TRUE(ol_r.correct) << ol_r.why;
+    EXPECT_LT(ol_r.metrics.execMs, fence_r.metrics.execMs);
+}
+
+} // namespace
+} // namespace olight

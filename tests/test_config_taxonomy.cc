@@ -1,0 +1,173 @@
+/** @file Tests for configuration defaults (Table 1) and taxonomy. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "core/taxonomy.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(Config, Table1Defaults)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.numChannels, 16u);
+    EXPECT_EQ(cfg.banksPerChannel, 16u);
+    EXPECT_EQ(cfg.busWidthBytes, 32u);
+    EXPECT_EQ(cfg.readQueueSize, 64u);
+    EXPECT_EQ(cfg.writeQueueSize, 64u);
+    EXPECT_EQ(cfg.l2QueueSize, 64u);
+    EXPECT_EQ(cfg.interconnectLatency, 120u);
+    EXPECT_EQ(cfg.l2ToDramLatency, 100u);
+    EXPECT_EQ(cfg.timing.ccd, 1u);
+    EXPECT_EQ(cfg.timing.rrd, 3u);
+    EXPECT_EQ(cfg.timing.rcdw, 9u);
+    EXPECT_EQ(cfg.timing.ras, 28u);
+    EXPECT_EQ(cfg.timing.rp, 12u);
+    EXPECT_EQ(cfg.timing.cl, 12u);
+    EXPECT_EQ(cfg.timing.wl, 2u);
+    EXPECT_EQ(cfg.timing.cdlr, 3u);
+    EXPECT_EQ(cfg.timing.wr, 10u);
+    EXPECT_EQ(cfg.timing.ccdl, 2u);
+    EXPECT_EQ(cfg.timing.wtp, 9u);
+    cfg.validate(); // must not die
+}
+
+TEST(Config, DerivedQuantities)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.tsSlots(), 8u);      // 256 B / 32 B
+    EXPECT_EQ(cfg.colsPerRow(), 64u);  // 2 KB / 32 B
+    EXPECT_EQ(cfg.commandBytes(), 512u); // 32 B * BMF 16
+}
+
+TEST(Config, TsLabels)
+{
+    SystemConfig cfg;
+    cfg.tsBytes = 128;
+    EXPECT_EQ(tsLabel(cfg), "1/16 RB");
+    cfg.tsBytes = 256;
+    EXPECT_EQ(tsLabel(cfg), "1/8 RB");
+    cfg.tsBytes = 1024;
+    EXPECT_EQ(tsLabel(cfg), "1/2 RB");
+    cfg.tsBytes = 2048;
+    EXPECT_EQ(tsLabel(cfg), "1 RB");
+}
+
+TEST(Config, PrintMentionsKeyParameters)
+{
+    SystemConfig cfg;
+    std::ostringstream os;
+    cfg.print(os);
+    EXPECT_NE(os.str().find("HBM channels=16"), std::string::npos);
+    EXPECT_NE(os.str().find("FRFCFS"), std::string::npos);
+    EXPECT_NE(os.str().find("BMF=16x"), std::string::npos);
+}
+
+TEST(ConfigDeath, ValidationCatchesBadSetups)
+{
+    SystemConfig cfg;
+    cfg.tsBytes = 48;
+    EXPECT_DEATH(cfg.validate(), "tsBytes");
+    cfg = SystemConfig{};
+    cfg.bmf = 3;
+    EXPECT_DEATH(cfg.validate(), "bmf");
+    cfg = SystemConfig{};
+    cfg.numSms = 1;
+    cfg.warpsPerSm = 2;
+    EXPECT_DEATH(cfg.validate(), "one PIM warp per memory channel");
+    cfg = SystemConfig{};
+    cfg.tsBytes = 4096;
+    EXPECT_DEATH(cfg.validate(), "larger than a row buffer");
+}
+
+TEST(Taxonomy, QuadrantNames)
+{
+    EXPECT_EQ(quadrantName({OffloadGranularity::Fine,
+                            ArbitrationGranularity::Fine}),
+              "FGO/FGA");
+    EXPECT_EQ(quadrantName({OffloadGranularity::Coarse,
+                            ArbitrationGranularity::Coarse}),
+              "CGO/CGA");
+}
+
+TEST(Taxonomy, Figure1RegistryCoversAllQuadrants)
+{
+    for (auto offload : {OffloadGranularity::Coarse,
+                         OffloadGranularity::Fine}) {
+        for (auto arb : {ArbitrationGranularity::Coarse,
+                         ArbitrationGranularity::Fine}) {
+            auto in = examplesIn({offload, arb});
+            EXPECT_FALSE(in.empty())
+                << "no literature examples in "
+                << quadrantName({offload, arb});
+        }
+    }
+    // OrderLight itself is FGO/FGA.
+    bool found = false;
+    for (const auto &ex : examplesIn({OffloadGranularity::Fine,
+                                      ArbitrationGranularity::Fine}))
+        found = found || std::string(ex.name) == "OrderLight";
+    EXPECT_TRUE(found);
+}
+
+TEST(Taxonomy, ApplyDesignPointSetsArbitration)
+{
+    SystemConfig cfg;
+    applyDesignPoint(cfg, {OffloadGranularity::Fine,
+                           ArbitrationGranularity::Coarse});
+    EXPECT_EQ(cfg.arbitration, ArbitrationGranularity::Coarse);
+    applyDesignPoint(cfg, {OffloadGranularity::Fine,
+                           ArbitrationGranularity::Fine});
+    EXPECT_EQ(cfg.arbitration, ArbitrationGranularity::Fine);
+}
+
+TEST(TaxonomyDeath, CoarseOffloadIsRejected)
+{
+    SystemConfig cfg;
+    EXPECT_DEATH(applyDesignPoint(cfg,
+                                  {OffloadGranularity::Coarse,
+                                   ArbitrationGranularity::Fine}),
+                 "coarse-grained offload");
+}
+
+TEST(Metrics, CollectFromSyntheticStats)
+{
+    StatSet stats;
+    stats.scalar("pim0.commands") += 1000;
+    stats.scalar("pim1.commands") += 500;
+    stats.scalar("pim0.memCommands") += 900;
+    stats.scalar("sm0.stallCycles") += 123;
+    stats.scalar("sm0.fences") += 10;
+    stats.scalar("sm1.olIssued") += 7;
+    stats.distribution("sm0.fenceWait").sample(100);
+    stats.distribution("sm0.fenceWait").sample(300);
+    stats.scalar("dram0.rowHits") += 42;
+    stats.scalar("host.issued") += 11;
+
+    SystemConfig cfg;
+    Tick finish = Tick(1.2e6) * corePeriod; // 1 ms
+    RunMetrics m = collectMetrics(stats, cfg, finish, finish / 2);
+
+    EXPECT_EQ(m.pimCommands, 1500u);
+    EXPECT_EQ(m.pimMemCommands, 900u);
+    EXPECT_NEAR(m.execMs, 1.0, 1e-9);
+    EXPECT_NEAR(m.commandBwGCs, 1500.0 / 1e-3 / 1e9, 1e-9);
+    EXPECT_NEAR(m.dataBwGBs, 900.0 * 32 * 16 / 1e-3 / 1e9, 1e-6);
+    EXPECT_EQ(m.stallCycles, 123u);
+    EXPECT_EQ(m.fenceCount, 10u);
+    EXPECT_EQ(m.olPackets, 7u);
+    EXPECT_EQ(m.orderingPrimitives(), 17u);
+    EXPECT_NEAR(m.waitPerFence, 200.0, 1e-9);
+    EXPECT_EQ(m.rowHits, 42u);
+    EXPECT_EQ(m.hostRequests, 11u);
+    EXPECT_NEAR(m.orderingPerPimInstr(), 17.0 / 1500.0, 1e-12);
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the copy-and-merge FSMs (Figure 9): replication at
+ * divergence, per-sub-path holds at convergence, single merged
+ * packet emission, and blocking of requests that follow a copy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/copy_merge.hh"
+
+namespace olight
+{
+namespace
+{
+
+class RecordingSink : public AcceptPort
+{
+  public:
+    bool
+    tryReserve(const Packet &) override
+    {
+        if (credits == 0)
+            return false;
+        --credits;
+        return true;
+    }
+
+    void
+    deliver(Packet pkt, Tick) override
+    {
+        arrivals.push_back(pkt);
+    }
+
+    void
+    subscribe(const Packet &, std::function<void()> cb) override
+    {
+        waiters.push_back(std::move(cb));
+    }
+
+    void
+    release(std::uint32_t n)
+    {
+        credits += n;
+        auto copy = std::move(waiters);
+        waiters.clear();
+        for (auto &cb : copy)
+            cb();
+    }
+
+    std::uint32_t credits = 1u << 30;
+    std::vector<Packet> arrivals;
+    std::vector<std::function<void()>> waiters;
+};
+
+Packet
+request(std::uint64_t id, std::uint64_t addr)
+{
+    Packet pkt;
+    pkt.id = id;
+    pkt.instr.addr = addr;
+    return pkt;
+}
+
+Packet
+marker(std::uint32_t number)
+{
+    Packet pkt;
+    pkt.kind = PacketKind::OrderLight;
+    pkt.ol.pktNumber = number;
+    return pkt;
+}
+
+struct CopyMergeFixture : public ::testing::Test
+{
+    static constexpr std::uint32_t numPaths = 2;
+
+    CopyMergeFixture()
+    {
+        PipeStage::Params params;
+        params.capacity = 8;
+        for (std::uint32_t i = 0; i < numPaths; ++i)
+            paths.push_back(std::make_unique<PipeStage>(
+                eq, "p" + std::to_string(i), params, stats));
+        std::vector<PipeStage *> ptrs;
+        for (auto &p : paths)
+            ptrs.push_back(p.get());
+        div = std::make_unique<DivergencePoint>(
+            "div", ptrs,
+            [](const Packet &pkt) {
+                return std::uint32_t((pkt.instr.addr / 32) %
+                                     numPaths);
+            },
+            stats);
+        conv = std::make_unique<ConvergencePoint>(eq, "conv",
+                                                  numPaths, stats);
+        for (std::uint32_t i = 0; i < numPaths; ++i)
+            paths[i]->setDownstream(&conv->input(i));
+        conv->setDownstream(&sink);
+    }
+
+    void
+    send(Packet pkt)
+    {
+        ASSERT_TRUE(div->tryReserve(pkt));
+        div->deliver(std::move(pkt), eq.now());
+    }
+
+    EventQueue eq;
+    StatSet stats;
+    std::vector<std::unique_ptr<PipeStage>> paths;
+    std::unique_ptr<DivergencePoint> div;
+    std::unique_ptr<ConvergencePoint> conv;
+    RecordingSink sink;
+};
+
+TEST_F(CopyMergeFixture, RequestsRouteBySubPath)
+{
+    send(request(1, 0));   // path 0
+    send(request(2, 32));  // path 1
+    send(request(3, 64));  // path 0
+    eq.run();
+    EXPECT_EQ(sink.arrivals.size(), 3u);
+}
+
+TEST_F(CopyMergeFixture, MarkerIsReplicatedAndMergedOnce)
+{
+    send(marker(0));
+    eq.run();
+    ASSERT_EQ(sink.arrivals.size(), 1u)
+        << "exactly one merged packet must emerge";
+    EXPECT_TRUE(sink.arrivals[0].isOrderLight());
+    EXPECT_EQ(stats.findScalar("div.olCopies")->value(), 2.0);
+    EXPECT_EQ(stats.findScalar("conv.olMerges")->value(), 1.0);
+    EXPECT_TRUE(conv->idle());
+}
+
+TEST_F(CopyMergeFixture, MergedMarkerOrdersAfterPredecessors)
+{
+    send(request(1, 0));
+    send(request(2, 32));
+    send(marker(0));
+    send(request(3, 0));
+    eq.run();
+    ASSERT_EQ(sink.arrivals.size(), 4u);
+    EXPECT_FALSE(sink.arrivals[0].isOrderLight());
+    EXPECT_FALSE(sink.arrivals[1].isOrderLight());
+    EXPECT_TRUE(sink.arrivals[2].isOrderLight());
+    EXPECT_EQ(sink.arrivals[3].id, 3u)
+        << "a request after the marker cannot overtake it";
+}
+
+TEST_F(CopyMergeFixture, FollowerOnHeldPathWaitsForMerge)
+{
+    // Stall path 1 by filling it with slow traffic is hard to do
+    // directly; instead block the sink so the first copies park the
+    // paths, then check nothing leaks before the merge completes.
+    sink.credits = 0;
+    send(request(1, 0));
+    send(marker(0));
+    send(request(2, 0));
+    send(request(3, 32));
+    eq.run();
+    EXPECT_TRUE(sink.arrivals.empty());
+
+    sink.release(100);
+    eq.run();
+    ASSERT_EQ(sink.arrivals.size(), 4u);
+    EXPECT_EQ(sink.arrivals[0].id, 1u);
+    EXPECT_TRUE(sink.arrivals[1].isOrderLight());
+}
+
+TEST_F(CopyMergeFixture, BackToBackMarkersMergeInOrder)
+{
+    send(marker(0));
+    send(request(1, 0));
+    send(marker(1));
+    eq.run();
+    ASSERT_EQ(sink.arrivals.size(), 3u);
+    EXPECT_TRUE(sink.arrivals[0].isOrderLight());
+    EXPECT_EQ(sink.arrivals[0].ol.pktNumber, 0u);
+    EXPECT_EQ(sink.arrivals[1].id, 1u);
+    EXPECT_TRUE(sink.arrivals[2].isOrderLight());
+    EXPECT_EQ(sink.arrivals[2].ol.pktNumber, 1u);
+    EXPECT_EQ(stats.findScalar("conv.olMerges")->value(), 2.0);
+}
+
+TEST_F(CopyMergeFixture, MarkerReservationIsAllOrNothing)
+{
+    // Fill path 0 to capacity with requests so the marker cannot
+    // reserve all sub-paths.
+    sink.credits = 0;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        send(request(i, 0)); // all to path 0
+    eq.run();
+    Packet m = marker(0);
+    EXPECT_FALSE(div->tryReserve(m));
+    // Path 1 must not have a stranded copy: release the sink and
+    // verify only the 8 requests flow out.
+    sink.release(100);
+    eq.run();
+    EXPECT_EQ(sink.arrivals.size(), 8u);
+    EXPECT_TRUE(div->tryReserve(m));
+}
+
+} // namespace
+} // namespace olight

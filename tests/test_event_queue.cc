@@ -1,0 +1,113 @@
+/** @file Unit tests for the discrete-event core. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.numExecuted(), 3u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); },
+                EventPriority::Default);
+    eq.schedule(5, [&] { order.push_back(2); },
+                EventPriority::Default);
+    eq.schedule(5, [&] { order.push_back(0); },
+                EventPriority::DramTiming);
+    eq.schedule(5, [&] { order.push_back(3); },
+                EventPriority::Wakeup);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(4, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.step());
+    eq.schedule(0, [] {});
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "scheduled in the past");
+}
+
+TEST(ClockTypes, CycleTickConversions)
+{
+    EXPECT_EQ(coreClock.cyclesToTicks(10), 10 * corePeriod);
+    EXPECT_EQ(memClock.cyclesToTicks(10), 10 * memPeriod);
+    EXPECT_EQ(coreClock.ticksToCycles(3 * corePeriod + 5), 3u);
+}
+
+TEST(ClockTypes, EdgeAlignment)
+{
+    EXPECT_EQ(coreClock.nextEdge(0), 0u);
+    EXPECT_EQ(coreClock.nextEdge(1), corePeriod);
+    EXPECT_EQ(coreClock.nextEdge(corePeriod), corePeriod);
+    EXPECT_EQ(coreClock.edgeAfter(corePeriod), 2 * corePeriod);
+    EXPECT_EQ(memClock.nextEdge(memPeriod + 1), 2 * memPeriod);
+}
+
+TEST(ClockTypes, ExactFrequencyRatio)
+{
+    // 1200 MHz : 850 MHz == 24 : 17, so periods are 17 and 24 ticks.
+    EXPECT_EQ(corePeriod * 24u, memPeriod * 17u);
+    // 1 ms at 1200 MHz is 1.2e6 core cycles.
+    double ms = ticksToMs(Tick(1.2e6) * corePeriod);
+    EXPECT_NEAR(ms, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Host-stream engine tests and golden-executor / kernel-builder
+ * tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "workloads/reference.hh"
+#include "workloads/registry.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(HostStream, IssuesAllRequestsOnce)
+{
+    SystemConfig cfg;
+    auto w = makeWorkload("Copy"); // two equal arrays
+    w->build(cfg, 1ull << 15);
+    System sys(cfg);
+    w->initMemory(sys.mem());
+    sys.setHostTraffic(w->hostTraffic());
+    RunMetrics m = sys.run();
+
+    // Two arrays of padded bytes, one 32 B request per block.
+    std::uint64_t expect =
+        2 * w->arrays()[0].bytes / 32;
+    EXPECT_EQ(m.hostRequests, expect);
+    EXPECT_TRUE(sys.hostStream().done());
+    EXPECT_GT(sys.hostStream().finishTick(), 0u);
+    EXPECT_LE(sys.hostStream().firstDoneTick(),
+              sys.hostStream().finishTick());
+}
+
+TEST(HostStream, WindowBoundsLatency)
+{
+    // With a 1-deep window the stream serializes completely: the
+    // total time is roughly requests * round-trip, far slower than
+    // the deep-MLP default.
+    auto finish = [](std::uint32_t window) {
+        SystemConfig cfg;
+        cfg.hostWindowPerChannel = window;
+        auto w = makeWorkload("Scale");
+        w->build(cfg, 1ull << 14);
+        System sys(cfg);
+        w->initMemory(sys.mem());
+        sys.setHostTraffic(w->hostTraffic());
+        sys.run();
+        return sys.hostStream().finishTick();
+    };
+    Tick serial = finish(1);
+    Tick parallel = finish(256);
+    EXPECT_GT(serial, parallel * 20)
+        << "MLP must dominate host streaming throughput";
+}
+
+TEST(HostStream, MeanLatencyIsAtLeastThePipeLatency)
+{
+    SystemConfig cfg;
+    auto w = makeWorkload("Scale");
+    w->build(cfg, 1ull << 14);
+    System sys(cfg);
+    w->initMemory(sys.mem());
+    sys.setHostTraffic(w->hostTraffic());
+    sys.run();
+    // Forward wire latency alone is 220 core cycles.
+    EXPECT_GT(sys.hostStream().meanLatencyCycles(), 220.0);
+}
+
+TEST(GoldenExecutor, MatchesMathReferenceForEveryWorkload)
+{
+    // The golden program-order execution and the independent
+    // mathematical check() must agree with each other — this guards
+    // against a shared-ALU bug hiding in both the simulator and the
+    // golden run.
+    SystemConfig cfg;
+    for (const auto &name : workloadNames()) {
+        auto w = makeWorkload(name);
+        w->build(cfg, 1ull << 15);
+        SparseMemory golden;
+        w->initMemory(golden);
+        runGolden(cfg, w->map(), w->streams(), golden);
+        std::string why;
+        EXPECT_TRUE(w->check(golden, why)) << name << ": " << why;
+    }
+}
+
+TEST(GoldenExecutor, DetectsTamperedResults)
+{
+    SystemConfig cfg;
+    auto w = makeWorkload("Add");
+    w->build(cfg, 1ull << 14);
+    SparseMemory golden;
+    w->initMemory(golden);
+    runGolden(cfg, w->map(), w->streams(), golden);
+
+    SparseMemory tampered = golden;
+    const PimArray &out = w->arrays()[2];
+    tampered.writeFloat(out.base + 4 * 1000,
+                        golden.readFloat(out.base + 4 * 1000) +
+                            1.0f);
+    std::string why;
+    EXPECT_FALSE(compareArray(tampered, golden, out, why));
+    EXPECT_NE(why.find("out_c"), std::string::npos);
+    EXPECT_FALSE(w->check(tampered, why));
+}
+
+TEST(KernelBuilder, BlockAddressesAreChannelLocal)
+{
+    SystemConfig cfg;
+    AddressMap map(cfg);
+    ArrayAllocator alloc(map);
+    PimArray arr = alloc.alloc("x", 1ull << 16, 2);
+
+    for (std::uint16_t ch : {0, 3, 15}) {
+        KernelBuilder kb(map, ch);
+        std::uint64_t blocks = kb.blocksPerChannel(arr);
+        EXPECT_GT(blocks, 0u);
+        for (std::uint64_t j : {std::uint64_t(0), blocks / 2,
+                                blocks - 1}) {
+            DramCoord c = map.decode(kb.blockAddr(arr, j));
+            EXPECT_EQ(c.channel, ch);
+            EXPECT_EQ(c.lane, 0);
+        }
+    }
+}
+
+TEST(KernelBuilder, EmittedInstructionsCarryGroupAndOperands)
+{
+    SystemConfig cfg;
+    AddressMap map(cfg);
+    ArrayAllocator alloc(map);
+    PimArray arr = alloc.alloc("x", 1ull << 14, 3);
+
+    KernelBuilder kb(map, 0);
+    kb.load(1, arr, 0)
+        .fetchOp(AluOp::Fma, 1, 1, arr, 1, 2.5f)
+        .compute(AluOp::Relu, 1, 1, 3)
+        .orderPoint(3)
+        .store(1, arr, 2);
+    auto stream = kb.take();
+    ASSERT_EQ(stream.size(), 5u);
+    EXPECT_EQ(stream[0].type, PimOpType::PimLoad);
+    EXPECT_EQ(stream[0].memGroup, 3);
+    EXPECT_EQ(stream[1].scalar, 2.5f);
+    EXPECT_EQ(stream[2].type, PimOpType::PimCompute);
+    EXPECT_EQ(stream[3].type, PimOpType::OrderPoint);
+    EXPECT_EQ(stream[4].type, PimOpType::PimStore);
+    EXPECT_EQ(kb.size(), 0u) << "take() must move the stream out";
+}
+
+TEST(KernelBuilder, ArraysNeverOverlap)
+{
+    SystemConfig cfg;
+    AddressMap map(cfg);
+    ArrayAllocator alloc(map);
+    PimArray small = alloc.alloc("small", 16, 0);
+    PimArray big = alloc.alloc("big", 1ull << 22, 0);
+    PimArray next = alloc.alloc("next", 16, 0);
+    EXPECT_GE(big.base, small.base + small.bytes);
+    EXPECT_GE(next.base, big.base + big.bytes);
+    EXPECT_EQ(small.base % map.bankGroupStride(), 0u);
+    EXPECT_EQ(big.base % map.bankGroupStride(), 0u);
+}
+
+TEST(KernelBuilderDeath, OutOfRangeBlockPanics)
+{
+    SystemConfig cfg;
+    AddressMap map(cfg);
+    ArrayAllocator alloc(map);
+    PimArray arr = alloc.alloc("x", 64, 0);
+    KernelBuilder kb(map, 0);
+    EXPECT_DEATH(kb.blockAddr(arr, 1u << 20), "out of range");
+}
+
+} // namespace
+} // namespace olight

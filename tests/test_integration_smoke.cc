@@ -1,0 +1,74 @@
+/**
+ * @file
+ * End-to-end smoke tests: every ordering mode runs the Add kernel to
+ * completion on a small problem, OrderLight and Fence produce
+ * bit-exact results, and OrderLight outperforms the fence baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+
+namespace olight
+{
+namespace
+{
+
+RunOptions
+smallAdd(OrderingMode mode)
+{
+    RunOptions opts;
+    opts.workload = "Add";
+    opts.elements = 1ull << 17; // 512 KB per vector
+    opts.mode = mode;
+    opts.tsBytes = 256;
+    opts.bmf = 16;
+    return opts;
+}
+
+TEST(IntegrationSmoke, OrderLightAddIsCorrect)
+{
+    RunResult r = runWorkload(smallAdd(OrderingMode::OrderLight));
+    EXPECT_TRUE(r.verified);
+    EXPECT_TRUE(r.correct) << r.why;
+    EXPECT_GT(r.metrics.pimCommands, 0u);
+    EXPECT_GT(r.metrics.olPackets, 0u);
+    EXPECT_EQ(r.metrics.fenceCount, 0u);
+}
+
+TEST(IntegrationSmoke, FenceAddIsCorrect)
+{
+    RunResult r = runWorkload(smallAdd(OrderingMode::Fence));
+    EXPECT_TRUE(r.correct) << r.why;
+    EXPECT_GT(r.metrics.fenceCount, 0u);
+    EXPECT_EQ(r.metrics.olPackets, 0u);
+    // Fences cost a full round trip; the paper reports 165-245
+    // cycles per fence. Anything under ~50 would mean the stall is
+    // not being modeled.
+    EXPECT_GT(r.metrics.waitPerFence, 50.0);
+}
+
+TEST(IntegrationSmoke, OrderLightBeatsFence)
+{
+    RunResult ol = runWorkload(smallAdd(OrderingMode::OrderLight));
+    RunResult fence = runWorkload(smallAdd(OrderingMode::Fence));
+    ASSERT_TRUE(ol.correct) << ol.why;
+    ASSERT_TRUE(fence.correct) << fence.why;
+    EXPECT_LT(ol.metrics.execMs, fence.metrics.execMs);
+    EXPECT_GT(ol.metrics.commandBwGCs, fence.metrics.commandBwGCs);
+}
+
+TEST(IntegrationSmoke, NoOrderingIsFastButIncorrect)
+{
+    RunOptions opts = smallAdd(OrderingMode::None);
+    RunResult r = runWorkload(opts);
+    // The "No Fence" bar of Figure 5: fastest, functionally wrong.
+    EXPECT_FALSE(r.correct)
+        << "reordering did not corrupt the result; the pipe "
+           "reordering model is too weak";
+    RunResult ol = runWorkload(smallAdd(OrderingMode::OrderLight));
+    EXPECT_LE(r.metrics.execMs, ol.metrics.execMs * 1.05);
+}
+
+} // namespace
+} // namespace olight

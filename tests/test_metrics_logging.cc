@@ -1,0 +1,118 @@
+/** @file Coverage for metric printing, packet descriptions, and
+ *  the logging front-end. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.hh"
+#include "core/pim_isa.hh"
+#include "sim/logging.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(MetricsPrint, MentionsEveryHeadlineNumber)
+{
+    RunMetrics m;
+    m.finishTick = Tick(1.2e6) * corePeriod;
+    m.execMs = ticksToMs(m.finishTick);
+    m.pimCommands = 1000;
+    m.commandBwGCs = 2.5;
+    m.dataBwGBs = 1234.5;
+    m.stallCycles = 42;
+    m.fenceCount = 7;
+    m.waitPerFence = 250.0;
+
+    std::ostringstream os;
+    m.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("exec=1.000ms"), std::string::npos);
+    EXPECT_NE(text.find("cmdBW=2.500GC/s"), std::string::npos);
+    EXPECT_NE(text.find("dataBW=1234.5GB/s"), std::string::npos);
+    EXPECT_NE(text.find("fences=7"), std::string::npos);
+    EXPECT_NE(text.find("wait/fence=250.0"), std::string::npos);
+    EXPECT_EQ(text.find("wait/OL"), std::string::npos)
+        << "no OrderLight stats when none were issued";
+}
+
+TEST(PacketDescribe, RequestAndMarkerForms)
+{
+    Packet req;
+    req.id = 77;
+    req.channel = 3;
+    req.instr = PimInstr::load(1, 0xabc0, 2);
+    std::string r = req.describe();
+    EXPECT_NE(r.find("PimLoad"), std::string::npos);
+    EXPECT_NE(r.find("ch=3"), std::string::npos);
+    EXPECT_NE(r.find("0xabc0"), std::string::npos);
+    EXPECT_NE(r.find("grp=2"), std::string::npos);
+    EXPECT_NE(r.find("id=77"), std::string::npos);
+
+    Packet ol;
+    ol.kind = PacketKind::OrderLight;
+    ol.ol.channelId = 9;
+    ol.ol.memGroupId = 1;
+    ol.ol.pktNumber = 5;
+    std::string o = ol.describe();
+    EXPECT_NE(o.find("OL[ch=9"), std::string::npos);
+    EXPECT_NE(o.find("#5"), std::string::npos);
+}
+
+TEST(Logging, InformRespectsVerbosity)
+{
+    // inform() writes to stdout only when verbose.
+    testing::internal::CaptureStdout();
+    setVerbose(false);
+    inform("should not appear");
+    setVerbose(true);
+    inform("should appear ", 42);
+    setVerbose(false);
+    std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_EQ(out.find("should not appear"), std::string::npos);
+    EXPECT_NE(out.find("should appear 42"), std::string::npos);
+    EXPECT_FALSE(isVerbose());
+}
+
+TEST(Logging, WarnAlwaysEmits)
+{
+    testing::internal::CaptureStderr();
+    warn("watch out: ", 3, " things");
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: watch out: 3 things"),
+              std::string::npos);
+}
+
+TEST(LoggingDeath, PanicAndFatalTerminate)
+{
+    EXPECT_DEATH(olight_panic("boom ", 1), "panic: boom 1");
+    EXPECT_EXIT(olight_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "fatal: bad config");
+}
+
+TEST(ToStringCoverage, AllEnumsHaveNames)
+{
+    for (auto mode : {OrderingMode::None, OrderingMode::Fence,
+                      OrderingMode::OrderLight,
+                      OrderingMode::SeqNum})
+        EXPECT_STRNE(toString(mode), "?");
+    for (auto type :
+         {PimOpType::PimLoad, PimOpType::PimStore,
+          PimOpType::PimFetchOp, PimOpType::PimCompute,
+          PimOpType::OrderPoint, PimOpType::HostLoad,
+          PimOpType::HostStore})
+        EXPECT_STRNE(toString(type), "?");
+    for (auto op :
+         {AluOp::Copy, AluOp::Add, AluOp::Sub, AluOp::Mul,
+          AluOp::Fma, AluOp::FmaRev, AluOp::Affine, AluOp::Scale,
+          AluOp::ScaleBias, AluOp::Relu, AluOp::DotAcc, AluOp::Dot,
+          AluOp::SqDiffAcc, AluOp::SqDist, AluOp::PopcntAcc,
+          AluOp::Popcnt, AluOp::BinCount, AluOp::MaxAcc,
+          AluOp::MinAcc, AluOp::Threshold, AluOp::Zero})
+        EXPECT_STRNE(toString(op), "?");
+}
+
+} // namespace
+} // namespace olight

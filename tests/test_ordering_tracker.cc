@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the memory-controller ordering tracker, validated
+ * against the paper's flag/counter description (Section 5.3.2):
+ * "the counter associated with a memory-group is incremented when a
+ * request ... is dequeued ... and decremented when it is scheduled.
+ * When the scheduler receives an OrderLight packet, the flag ... is
+ * set. Any subsequent request to that memory-group is not scheduled
+ * until the flag is unset. The flag is unset when the counter ...
+ * is decremented to zero."
+ */
+
+#include <gtest/gtest.h>
+
+#include "memctrl/ordering_tracker.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(OrderingTracker, NoMarkersMeansAlwaysEligible)
+{
+    OrderingTracker t(4);
+    auto e0 = t.onRequestArrive(0);
+    auto e1 = t.onRequestArrive(0);
+    EXPECT_TRUE(t.eligible(0, e0));
+    EXPECT_TRUE(t.eligible(0, e1));
+    EXPECT_FALSE(t.flagSet(0));
+}
+
+TEST(OrderingTracker, FlagBlocksLaterEpochUntilDrained)
+{
+    OrderingTracker t(4);
+    auto a = t.onRequestArrive(0);
+    auto b = t.onRequestArrive(0);
+    t.onOrderLightArrive(0);
+    auto c = t.onRequestArrive(0);
+
+    EXPECT_TRUE(t.flagSet(0));
+    EXPECT_EQ(t.pendingCount(0), 3u);
+    EXPECT_TRUE(t.eligible(0, a));
+    EXPECT_TRUE(t.eligible(0, b));
+    EXPECT_FALSE(t.eligible(0, c));
+
+    t.onScheduled(0, a);
+    EXPECT_TRUE(t.flagSet(0)) << "one pre-marker request remains";
+    EXPECT_FALSE(t.eligible(0, c));
+
+    t.onScheduled(0, b);
+    EXPECT_FALSE(t.flagSet(0)) << "counter reached zero: flag unset";
+    EXPECT_TRUE(t.eligible(0, c));
+}
+
+TEST(OrderingTracker, GroupsAreIndependent)
+{
+    OrderingTracker t(4);
+    auto a = t.onRequestArrive(0);
+    t.onOrderLightArrive(0);
+    auto b = t.onRequestArrive(0);
+    auto other = t.onRequestArrive(1);
+
+    EXPECT_FALSE(t.eligible(0, b));
+    EXPECT_TRUE(t.eligible(1, other))
+        << "requests of other memory-groups must not be constrained";
+    t.onScheduled(0, a);
+    EXPECT_TRUE(t.eligible(0, b));
+}
+
+TEST(OrderingTracker, MultipleInFlightMarkers)
+{
+    OrderingTracker t(2);
+    auto e0 = t.onRequestArrive(0);
+    t.onOrderLightArrive(0);
+    auto e1 = t.onRequestArrive(0);
+    t.onOrderLightArrive(0);
+    auto e2 = t.onRequestArrive(0);
+
+    EXPECT_TRUE(t.eligible(0, e0));
+    EXPECT_FALSE(t.eligible(0, e1));
+    EXPECT_FALSE(t.eligible(0, e2));
+
+    t.onScheduled(0, e0);
+    EXPECT_TRUE(t.eligible(0, e1));
+    EXPECT_FALSE(t.eligible(0, e2));
+
+    t.onScheduled(0, e1);
+    EXPECT_TRUE(t.eligible(0, e2));
+}
+
+TEST(OrderingTracker, MarkerWithNoPriorRequestsIsFree)
+{
+    OrderingTracker t(2);
+    t.onOrderLightArrive(0);
+    auto e = t.onRequestArrive(0);
+    EXPECT_FALSE(t.flagSet(0));
+    EXPECT_TRUE(t.eligible(0, e));
+}
+
+TEST(OrderingTracker, EpochsWithinSamePhaseMayReorder)
+{
+    // Requests of the same epoch carry no mutual constraint — the
+    // FR-FCFS scheduler may pick row hits among them freely.
+    OrderingTracker t(2);
+    auto a = t.onRequestArrive(0);
+    auto b = t.onRequestArrive(0);
+    t.onScheduled(0, b); // schedule the *younger* one first
+    EXPECT_TRUE(t.eligible(0, a));
+    t.onScheduled(0, a);
+    EXPECT_EQ(t.pendingCount(0), 0u);
+}
+
+TEST(OrderingTrackerDeath, SchedulingUntrackedRequestPanics)
+{
+    OrderingTracker t(2);
+    EXPECT_DEATH(t.onScheduled(0, 0), "untracked");
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,98 @@
+/** @file Unit tests for the OrderLight packet wire format (Fig 8). */
+
+#include <gtest/gtest.h>
+
+#include "core/orderlight_packet.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(OrderLightPacket, RoundTripBasic)
+{
+    OrderLightPacket pkt;
+    pkt.channelId = 11;
+    pkt.memGroupId = 5;
+    pkt.pktNumber = 0xdeadbeef;
+
+    std::uint64_t wire = encodeOrderLight(pkt);
+    EXPECT_EQ(wirePacketId(wire), PacketId::OrderLight);
+
+    OrderLightPacket out;
+    ASSERT_TRUE(decodeOrderLight(wire, out));
+    EXPECT_EQ(out, pkt);
+}
+
+TEST(OrderLightPacket, RoundTripAllFieldValues)
+{
+    for (std::uint8_t ch = 0; ch < 16; ++ch) {
+        for (std::uint8_t grp = 0; grp < 16; ++grp) {
+            OrderLightPacket pkt;
+            pkt.channelId = ch;
+            pkt.memGroupId = grp;
+            pkt.pktNumber = 0x01020304u * ch + grp;
+            OrderLightPacket out;
+            ASSERT_TRUE(decodeOrderLight(encodeOrderLight(pkt), out));
+            EXPECT_EQ(out, pkt);
+        }
+    }
+}
+
+TEST(OrderLightPacket, ExtendedSecondGroup)
+{
+    OrderLightPacket pkt;
+    pkt.channelId = 3;
+    pkt.memGroupId = 1;
+    pkt.memGroupId2 = 9;
+    pkt.hasSecondGroup = true;
+    pkt.pktNumber = 42;
+
+    std::uint64_t wire = encodeOrderLight(pkt);
+    EXPECT_EQ(wirePacketId(wire), PacketId::Extended);
+    OrderLightPacket out;
+    ASSERT_TRUE(decodeOrderLight(wire, out));
+    EXPECT_EQ(out, pkt);
+}
+
+TEST(OrderLightPacket, LoadStoreWordsAreNotOrderLight)
+{
+    // Packet-id values 0 (load) and 1 (store) must be rejected.
+    OrderLightPacket out;
+    EXPECT_FALSE(decodeOrderLight(0x0, out));
+    std::uint64_t store_wire = std::uint64_t(1) << 44;
+    EXPECT_EQ(wirePacketId(store_wire), PacketId::Store);
+    EXPECT_FALSE(decodeOrderLight(store_wire, out));
+}
+
+TEST(OrderLightPacket, FieldsDoNotOverlap)
+{
+    OrderLightPacket a;
+    a.channelId = 15;
+    OrderLightPacket b;
+    b.memGroupId = 15;
+    OrderLightPacket c;
+    c.pktNumber = 0xffffffffu;
+    std::uint64_t wa = encodeOrderLight(a);
+    std::uint64_t wb = encodeOrderLight(b);
+    std::uint64_t wc = encodeOrderLight(c);
+    // Clearing the packet-id bits, the remaining payloads must be
+    // disjoint across fields.
+    std::uint64_t id_mask = std::uint64_t(0x3) << 44;
+    EXPECT_EQ((wa & ~id_mask) & (wb & ~id_mask), 0u);
+    EXPECT_EQ((wa & ~id_mask) & (wc & ~id_mask), 0u);
+    EXPECT_EQ((wb & ~id_mask) & (wc & ~id_mask), 0u);
+}
+
+TEST(OrderLightPacketDeath, OutOfRangeFieldsPanic)
+{
+    OrderLightPacket pkt;
+    pkt.channelId = 16; // only 4 bits
+    EXPECT_DEATH(encodeOrderLight(pkt), "channel id out of range");
+    pkt.channelId = 0;
+    pkt.memGroupId = 16;
+    EXPECT_DEATH(encodeOrderLight(pkt), "group id out of range");
+}
+
+} // namespace
+} // namespace olight

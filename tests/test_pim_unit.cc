@@ -1,0 +1,166 @@
+/** @file Direct functional tests of the PIM compute unit. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "dram/address_map.hh"
+#include "dram/storage.hh"
+#include "pim/pim_unit.hh"
+
+namespace olight
+{
+namespace
+{
+
+struct PimUnitFixture : public ::testing::Test
+{
+    PimUnitFixture()
+        : map(cfg), unit(cfg, map, mem, 0, "pim0", stats)
+    {
+    }
+
+    /** Lane-0 address of command block @p j on channel 0. */
+    std::uint64_t
+    addr(std::uint64_t j)
+    {
+        return map.localToGlobal(map.laneZeroBlockLocal(j), 0);
+    }
+
+    /** Write 8 floats to every lane of block @p j. */
+    void
+    fillBlock(std::uint64_t j, float base)
+    {
+        for (std::uint32_t lane = 0; lane < cfg.bmf; ++lane) {
+            float vals[8];
+            for (int i = 0; i < 8; ++i)
+                vals[i] = base + float(lane * 8 + i);
+            mem.write(addr(j) + lane * map.laneStride(), vals, 32);
+        }
+    }
+
+    float
+    laneFloat(std::uint64_t j, std::uint32_t lane, int i)
+    {
+        return mem.readFloat(addr(j) + lane * map.laneStride() +
+                             4 * i);
+    }
+
+    SystemConfig cfg;
+    StatSet stats;
+    SparseMemory mem;
+    AddressMap map;
+    PimUnit unit;
+};
+
+TEST_F(PimUnitFixture, LoadComputeStoreRoundTrip)
+{
+    fillBlock(0, 100.0f);
+    Tick t = 0;
+    unit.execute(PimInstr::load(0, addr(0), 0), t++);
+    unit.execute(PimInstr::compute(AluOp::Scale, 0, 0, 2.0f), t++);
+    unit.execute(PimInstr::store(0, addr(1), 0), t++);
+
+    for (std::uint32_t lane : {0u, 7u, 15u}) {
+        for (int i : {0, 3, 7}) {
+            float in = 100.0f + float(lane * 8 + i);
+            EXPECT_EQ(laneFloat(1, lane, i), 2.0f * in)
+                << "lane " << lane << " elem " << i;
+        }
+    }
+    EXPECT_EQ(unit.commandsExecuted(), 3u);
+    EXPECT_EQ(stats.findScalar("pim0.commands")->value(), 3.0);
+    EXPECT_EQ(stats.findScalar("pim0.memCommands")->value(), 2.0);
+    // Two memory commands move 32 B across 16 lanes each.
+    EXPECT_EQ(stats.findScalar("pim0.bytes")->value(),
+              2.0 * 32 * 16);
+}
+
+TEST_F(PimUnitFixture, FetchOpCombinesMemoryAndTs)
+{
+    fillBlock(0, 10.0f);
+    fillBlock(1, 1000.0f);
+    Tick t = 0;
+    unit.execute(PimInstr::load(2, addr(0), 0), t++);
+    unit.execute(
+        PimInstr::fetchOp(AluOp::Add, 2, 2, addr(1), 0), t++);
+    unit.execute(PimInstr::store(2, addr(2), 0), t++);
+    EXPECT_EQ(laneFloat(2, 0, 0), 10.0f + 1000.0f);
+    EXPECT_EQ(laneFloat(2, 15, 7), (10.0f + 127.0f) +
+                                       (1000.0f + 127.0f));
+}
+
+TEST_F(PimUnitFixture, LanesAreIsolated)
+{
+    fillBlock(0, 0.0f);
+    unit.execute(PimInstr::load(0, addr(0), 0), 0);
+    // Lane 3's slot 0 must hold lane 3's data, not lane 0's.
+    float got;
+    std::memcpy(&got, unit.ts().slot(3, 0), 4);
+    EXPECT_EQ(got, 24.0f); // lane*8 + 0
+}
+
+TEST_F(PimUnitFixture, ExecutesAtEqualTicksButNeverBackwards)
+{
+    unit.execute(PimInstr::load(0, addr(0), 0), 50);
+    unit.execute(PimInstr::load(1, addr(1), 0), 50); // same tick ok
+    EXPECT_EQ(unit.lastExecTick(), 50u);
+}
+
+TEST_F(PimUnitFixture, BmfFourProcessesFourLanes)
+{
+    SystemConfig small;
+    small.bmf = 4;
+    AddressMap map4(small);
+    SparseMemory mem4;
+    StatSet stats4;
+    PimUnit unit4(small, map4, mem4, 0, "pim0", stats4);
+    std::uint64_t a =
+        map4.localToGlobal(map4.laneZeroBlockLocal(0), 0);
+    for (std::uint32_t lane = 0; lane < 4; ++lane)
+        mem4.writeFloat(a + lane * map4.laneStride(),
+                        float(lane + 1));
+    unit4.execute(PimInstr::load(0, a, 0), 0);
+    unit4.execute(PimInstr::store(0,
+                                  map4.localToGlobal(
+                                      map4.laneZeroBlockLocal(1), 0),
+                                  0),
+                  1);
+    std::uint64_t b =
+        map4.localToGlobal(map4.laneZeroBlockLocal(1), 0);
+    for (std::uint32_t lane = 0; lane < 4; ++lane)
+        EXPECT_EQ(mem4.readFloat(b + lane * map4.laneStride()),
+                  float(lane + 1));
+    EXPECT_EQ(stats4.findScalar("pim0.bytes")->value(), 2.0 * 32 * 4);
+}
+
+TEST_F(PimUnitFixture, DeathOnOutOfOrderExecution)
+{
+    unit.execute(PimInstr::load(0, addr(0), 0), 100);
+    EXPECT_DEATH(unit.execute(PimInstr::load(0, addr(0), 0), 99),
+                 "out of bus order");
+}
+
+TEST_F(PimUnitFixture, DeathOnWrongChannel)
+{
+    std::uint64_t wrong =
+        map.localToGlobal(map.laneZeroBlockLocal(0), 5);
+    EXPECT_DEATH(unit.execute(PimInstr::load(0, wrong, 0), 0),
+                 "wrong channel");
+}
+
+TEST_F(PimUnitFixture, DeathOnNonLaneZeroAddress)
+{
+    std::uint64_t lane3 = addr(0) + 3 * map.laneStride();
+    EXPECT_DEATH(unit.execute(PimInstr::load(0, lane3, 0), 0),
+                 "lane 0");
+}
+
+TEST_F(PimUnitFixture, DeathOnOrderPointExecution)
+{
+    EXPECT_DEATH(unit.execute(PimInstr::orderPoint(0), 0),
+                 "cannot execute");
+}
+
+} // namespace
+} // namespace olight

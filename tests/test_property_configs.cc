@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Property sweep: ordering correctness must hold for every modeled
+ * configuration, not just Table 1 — channel counts, sub-partition
+ * counts, collector jitter, queue sizes, and clock-domain effects
+ * all change where reordering happens, and OrderLight must stay
+ * sufficient everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+
+namespace olight
+{
+namespace
+{
+
+struct ConfigPoint
+{
+    std::uint32_t channels;
+    std::uint32_t subParts;
+    std::uint32_t collectorJitter;
+    std::uint32_t l2QueueSize;
+    const char *name;
+};
+
+class ConfigSweep : public ::testing::TestWithParam<ConfigPoint>
+{
+};
+
+TEST_P(ConfigSweep, OrderLightStaysCorrect)
+{
+    const ConfigPoint &p = GetParam();
+    SystemConfig base;
+    base.numChannels = p.channels;
+    base.l2SubPartitions = p.subParts;
+    base.collectorJitter = p.collectorJitter;
+    base.l2QueueSize = p.l2QueueSize;
+
+    RunOptions opts;
+    opts.workload = "Triad";
+    opts.mode = OrderingMode::OrderLight;
+    opts.elements = 1ull << 15;
+    opts.base = base;
+    RunResult r = runWorkload(opts);
+    EXPECT_TRUE(r.correct) << p.name << ": " << r.why;
+    EXPECT_GT(r.metrics.olPackets, 0u);
+}
+
+TEST_P(ConfigSweep, FenceStaysCorrect)
+{
+    const ConfigPoint &p = GetParam();
+    SystemConfig base;
+    base.numChannels = p.channels;
+    base.l2SubPartitions = p.subParts;
+    base.collectorJitter = p.collectorJitter;
+    base.l2QueueSize = p.l2QueueSize;
+
+    RunOptions opts;
+    opts.workload = "Daxpy";
+    opts.mode = OrderingMode::Fence;
+    opts.elements = 1ull << 15;
+    opts.base = base;
+    RunResult r = runWorkload(opts);
+    EXPECT_TRUE(r.correct) << p.name << ": " << r.why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConfigSweep,
+    ::testing::Values(
+        ConfigPoint{4, 1, 0, 16, "small_noJitter"},
+        ConfigPoint{4, 4, 16, 8, "small_wild"},
+        ConfigPoint{8, 2, 8, 64, "mid_default"},
+        ConfigPoint{8, 8, 32, 4, "mid_divergent_tinyQueues"},
+        ConfigPoint{16, 1, 4, 64, "full_singlePath"},
+        ConfigPoint{16, 4, 16, 32, "full_fourPaths"},
+        ConfigPoint{32, 2, 8, 64, "wide"},
+        ConfigPoint{1, 2, 8, 64, "singleChannel"},
+        ConfigPoint{64, 2, 8, 64, "maxChannels"}),
+    [](const auto &info) { return std::string(info.param.name); });
+
+/** Tiny queues everywhere: backpressure-heavy, deadlock hunting. */
+TEST(ConfigStress, TinyQueuesStillComplete)
+{
+    SystemConfig base;
+    base.smQueueSize = 2;
+    base.l2QueueSize = 3;
+    base.readQueueSize = 4;
+    base.writeQueueSize = 4;
+    base.writeDrainWatermark = 3;
+    base.writeDrainLow = 1;
+    base.collectorUnits = 2;
+
+    for (auto mode :
+         {OrderingMode::Fence, OrderingMode::OrderLight}) {
+        RunOptions opts;
+        opts.workload = "Add";
+        opts.mode = mode;
+        opts.elements = 1ull << 14;
+        opts.base = base;
+        RunResult r = runWorkload(opts);
+        EXPECT_TRUE(r.correct)
+            << toString(mode) << ": " << r.why;
+    }
+}
+
+/** One warp per SM and many warps per SM both work. */
+TEST(ConfigStress, WarpPackingVariants)
+{
+    for (std::uint32_t warps : {1u, 4u, 16u}) {
+        SystemConfig base;
+        base.warpsPerSm = warps;
+        base.numSms = (base.numChannels + warps - 1) / warps;
+        RunOptions opts;
+        opts.workload = "Copy";
+        opts.mode = OrderingMode::OrderLight;
+        opts.elements = 1ull << 14;
+        opts.base = base;
+        // configFor() overrides provisioning; bypass it by running
+        // the system directly through runWorkload's base, then
+        // validating correctness only.
+        SystemConfig cfg = configFor(opts.mode, opts.tsBytes,
+                                     opts.bmf, base);
+        cfg.warpsPerSm = warps;
+        cfg.numSms = (cfg.numChannels + warps - 1) / warps;
+        cfg.validate();
+        RunResult r = runWorkload(opts);
+        EXPECT_TRUE(r.correct) << "warps=" << warps << ": " << r.why;
+    }
+}
+
+} // namespace
+} // namespace olight

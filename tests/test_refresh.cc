@@ -1,0 +1,82 @@
+/** @file Tests for the all-bank refresh model. */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "dram/channel_timing.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(Refresh, StealsBandwidthPeriodically)
+{
+    SystemConfig cfg;
+    StatSet stats;
+    ChannelTiming ct(cfg, "dram", stats);
+
+    // Stream row hits far past several refresh intervals.
+    Tick horizon = Tick(cfg.timing.refi) * memPeriod * 4;
+    std::uint64_t cols = 0;
+    while (ct.cmdBusFreeAt() < horizon) {
+        ct.reserve(AccessKind::Read, 0, 0, 0);
+        ++cols;
+    }
+    EXPECT_GE(ct.refreshes(), 3u);
+    EXPECT_EQ(stats.findScalar("dram.refreshes")->value(),
+              double(ct.refreshes()));
+
+    // Without refresh the same horizon fits more columns.
+    SystemConfig no_ref = cfg;
+    no_ref.timing.refreshEnabled = false;
+    StatSet stats2;
+    ChannelTiming ct2(no_ref, "dram", stats2);
+    std::uint64_t cols2 = 0;
+    while (ct2.cmdBusFreeAt() < horizon) {
+        ct2.reserve(AccessKind::Read, 0, 0, 0);
+        ++cols2;
+    }
+    EXPECT_GT(cols2, cols);
+    EXPECT_EQ(ct2.refreshes(), 0u);
+    // Refresh overhead is roughly tRFC / tREFI (~6-7%), plus the
+    // row reopen after each refresh.
+    double overhead = 1.0 - double(cols) / double(cols2);
+    EXPECT_GT(overhead, 0.04);
+    EXPECT_LT(overhead, 0.12);
+}
+
+TEST(Refresh, ClosesOpenRows)
+{
+    SystemConfig cfg;
+    StatSet stats;
+    ChannelTiming ct(cfg, "dram", stats);
+    ct.reserve(AccessKind::Read, 2, 7, 0);
+    EXPECT_EQ(ct.openRowOf(2), 7);
+
+    // Jump past a refresh deadline.
+    Tick past = Tick(cfg.timing.refi + 10) * memPeriod;
+    Reservation r = ct.reserve(AccessKind::Read, 2, 7, past);
+    EXPECT_FALSE(r.rowHit)
+        << "the refresh must have closed the open row";
+    EXPECT_GE(ct.refreshes(), 1u);
+}
+
+TEST(Refresh, EndToEndRunsStayCorrectAndSlightlySlower)
+{
+    RunOptions opts;
+    opts.workload = "Add";
+    opts.elements = 1ull << 18;
+    opts.verify = true;
+    RunResult with_refresh = runWorkload(opts);
+    EXPECT_TRUE(with_refresh.correct) << with_refresh.why;
+
+    RunOptions no_ref = opts;
+    no_ref.verify = false;
+    no_ref.base.timing.refreshEnabled = false;
+    RunResult without = runWorkload(no_ref);
+    EXPECT_GE(with_refresh.metrics.execMs, without.metrics.execMs);
+}
+
+} // namespace
+} // namespace olight

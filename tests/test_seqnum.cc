@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the sequence-number ordering baseline (Kim et al.,
+ * Section 8.1): functional correctness (a total per-channel order
+ * subsumes the required partial order), credit-throttled
+ * performance between Fence and OrderLight, and deadlock-freedom
+ * of the credit management.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "workloads/registry.hh"
+
+namespace olight
+{
+namespace
+{
+
+class SeqNumCorrectness
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SeqNumCorrectness, MatchesGoldenAndReference)
+{
+    RunOptions opts;
+    opts.workload = GetParam();
+    opts.mode = OrderingMode::SeqNum;
+    opts.elements = 1ull << 16;
+    RunResult r = runWorkload(opts);
+    EXPECT_TRUE(r.correct) << r.why;
+    EXPECT_EQ(r.metrics.olPackets, 0u);
+    EXPECT_EQ(r.metrics.fenceCount, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SeqNumCorrectness,
+    ::testing::ValuesIn(workloadNames()),
+    [](const auto &info) { return info.param; });
+
+TEST(SeqNum, LandsBetweenFenceAndOrderLight)
+{
+    // At large TS OrderLight's phases are long; SeqNum's credit
+    // round trip and total-order issue fall behind, while still
+    // beating the fence baseline.
+    auto exec = [](OrderingMode mode) {
+        RunOptions opts;
+        opts.workload = "Add";
+        opts.mode = mode;
+        opts.tsBytes = 1024;
+        opts.elements = 1ull << 18;
+        opts.verify = false;
+        return runWorkload(opts).metrics.execMs;
+    };
+    double fence = exec(OrderingMode::Fence);
+    double seq = exec(OrderingMode::SeqNum);
+    double ol = exec(OrderingMode::OrderLight);
+    EXPECT_LT(seq, fence);
+    EXPECT_LT(ol, seq);
+}
+
+TEST(SeqNum, TighterCreditsThrottleHarder)
+{
+    auto exec = [](std::uint32_t credits) {
+        SystemConfig base;
+        base.seqNumCredits = credits;
+        RunOptions opts;
+        opts.workload = "Add";
+        opts.mode = OrderingMode::SeqNum;
+        opts.elements = 1ull << 17;
+        opts.verify = false;
+        opts.base = base;
+        return runWorkload(opts).metrics.execMs;
+    };
+    EXPECT_GT(exec(4), exec(32))
+        << "fewer reorder-buffer credits must cost performance";
+}
+
+TEST(SeqNum, CompletesUnderMinimalCredits)
+{
+    // Deadlock-freedom at the pathological end of the sweep.
+    SystemConfig base;
+    base.seqNumCredits = 1;
+    RunOptions opts;
+    opts.workload = "Copy";
+    opts.mode = OrderingMode::SeqNum;
+    opts.elements = 1ull << 14;
+    opts.base = base;
+    RunResult r = runWorkload(opts);
+    EXPECT_TRUE(r.correct) << r.why;
+}
+
+TEST(SeqNumDeath, OversizedCreditsAreRejected)
+{
+    SystemConfig cfg;
+    cfg.orderingMode = OrderingMode::SeqNum;
+    cfg.seqNumCredits = cfg.readQueueSize + 1;
+    EXPECT_DEATH(cfg.validate(), "seqNumCredits");
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * SM-level behavioral tests through small full systems: fence-wait
+ * magnitudes, OrderLight wait magnitudes, round-robin fairness
+ * across warps, and the relationship between stall cycles and the
+ * ordering primitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "workloads/registry.hh"
+
+namespace olight
+{
+namespace
+{
+
+RunResult
+runAdd(OrderingMode mode, std::uint32_t ts = 256)
+{
+    RunOptions opts;
+    opts.workload = "Add";
+    opts.mode = mode;
+    opts.tsBytes = ts;
+    opts.elements = 1ull << 16;
+    opts.verify = false;
+    return runWorkload(opts);
+}
+
+TEST(SmBehavior, FenceWaitIsAFullRoundTrip)
+{
+    RunResult r = runAdd(OrderingMode::Fence);
+    // Forward pipe latency alone is 220 core cycles; the fence also
+    // waits for queue drain and the 40-cycle ack network.
+    EXPECT_GT(r.metrics.waitPerFence, 220.0);
+    EXPECT_LT(r.metrics.waitPerFence, 800.0)
+        << "waits should be a round trip, not a pathology";
+}
+
+TEST(SmBehavior, OrderLightWaitIsCollectorDrainOnly)
+{
+    RunResult r = runAdd(OrderingMode::OrderLight);
+    // The OrderLight gate waits only for the operand collector to
+    // drain: base collect latency (4) + jitter (<8) + a few issue
+    // slots — over an order of magnitude below the fence wait.
+    EXPECT_LT(r.metrics.waitPerOl, 40.0);
+    EXPECT_GT(r.metrics.waitPerOl, 0.0);
+}
+
+TEST(SmBehavior, StallCyclesScaleWithFenceCount)
+{
+    RunResult small_ts = runAdd(OrderingMode::Fence, 128);
+    RunResult big_ts = runAdd(OrderingMode::Fence, 1024);
+    // 8x fewer fences at 1/2 RB with roughly constant wait each.
+    EXPECT_EQ(small_ts.metrics.fenceCount,
+              8 * big_ts.metrics.fenceCount);
+    EXPECT_GT(small_ts.metrics.stallCycles,
+              4 * big_ts.metrics.stallCycles);
+}
+
+TEST(SmBehavior, OrderingPrimitiveCountsMatchStreams)
+{
+    for (auto mode :
+         {OrderingMode::Fence, OrderingMode::OrderLight}) {
+        RunResult r = runAdd(mode);
+        EXPECT_EQ(r.metrics.orderingPrimitives(), r.orderPoints)
+            << toString(mode)
+            << ": every order point lowers to exactly one primitive";
+    }
+}
+
+TEST(SmBehavior, AllWarpsMakeProgress)
+{
+    // 16 channels over 8 SMs x 2 warps: every channel's stream must
+    // complete, and per-channel PIM command counts must be equal
+    // (the kernels are balanced).
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
+    auto w = makeWorkload("Triad");
+    w->build(cfg, 1ull << 15);
+    System sys(cfg);
+    w->initMemory(sys.mem());
+    sys.loadPimKernel(w->streams());
+    sys.run();
+    std::uint64_t first = sys.pimUnit(0).commandsExecuted();
+    EXPECT_GT(first, 0u);
+    for (std::uint16_t ch = 1; ch < cfg.numChannels; ++ch)
+        EXPECT_EQ(sys.pimUnit(ch).commandsExecuted(), first)
+            << "channel " << ch;
+}
+
+TEST(SmBehavior, NoneModeHasZeroOrderingStalls)
+{
+    RunResult r = runAdd(OrderingMode::None);
+    EXPECT_EQ(r.metrics.stallCycles, 0u);
+    EXPECT_EQ(r.metrics.orderingPrimitives(), 0u);
+}
+
+TEST(SmBehavior, OrderLightThroughputInsensitiveToWarpPacking)
+{
+    // The paper runs OrderLight with 2 warps/SM; packing all 16
+    // channels onto fewer SMs halves issue bandwidth per warp and
+    // must not deadlock (and should slow things down).
+    SystemConfig base;
+    base.warpsPerSm = 8;
+    base.numSms = 2;
+    RunOptions opts;
+    opts.workload = "Add";
+    opts.mode = OrderingMode::OrderLight;
+    opts.elements = 1ull << 16;
+    opts.verify = true;
+
+    SystemConfig cfg = configFor(opts.mode, 256, 16);
+    auto w = makeWorkload("Add");
+    w->build(cfg, opts.elements);
+
+    // Packed variant built manually.
+    SystemConfig packed = cfg;
+    packed.warpsPerSm = 8;
+    packed.numSms = 2;
+    System sys(packed);
+    w->initMemory(sys.mem());
+    sys.loadPimKernel(w->streams());
+    RunMetrics packed_m = sys.run();
+
+    RunResult spread = runWorkload(opts);
+    ASSERT_TRUE(spread.correct) << spread.why;
+    EXPECT_GE(packed_m.execMs, spread.metrics.execMs)
+        << "2 SMs cannot beat 8 SMs at equal work";
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,159 @@
+/** @file Unit tests for SparseMemory, StatSet, Rng, and logging. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dram/storage.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(SparseMemory, ZeroOnFirstTouch)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.readFloat(0x1000), 0.0f);
+    EXPECT_EQ(mem.readU32(0xdeadbe0), 0u);
+    EXPECT_EQ(mem.numBlocks(), 0u);
+}
+
+TEST(SparseMemory, ReadWriteRoundTrip)
+{
+    SparseMemory mem;
+    mem.writeFloat(0x40, 3.5f);
+    EXPECT_EQ(mem.readFloat(0x40), 3.5f);
+    mem.writeU32(0x44, 0xabcdef01u);
+    EXPECT_EQ(mem.readU32(0x44), 0xabcdef01u);
+    EXPECT_EQ(mem.readFloat(0x40), 3.5f);
+}
+
+TEST(SparseMemory, UnalignedCrossBlockAccess)
+{
+    SparseMemory mem;
+    std::uint8_t data[100];
+    for (int i = 0; i < 100; ++i)
+        data[i] = std::uint8_t(i);
+    mem.write(0x3e, data, 100); // crosses several 32 B blocks
+    std::uint8_t out[100] = {};
+    mem.read(0x3e, out, 100);
+    EXPECT_EQ(std::memcmp(data, out, 100), 0);
+    // Bytes around the region stay zero.
+    std::uint8_t b;
+    mem.read(0x3d, &b, 1);
+    EXPECT_EQ(b, 0);
+}
+
+TEST(SparseMemory, BulkFloatHelpers)
+{
+    SparseMemory mem;
+    std::vector<float> vals = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    mem.writeFloats(0x100, vals);
+    EXPECT_EQ(mem.readFloats(0x100, 9), vals);
+}
+
+TEST(SparseMemoryDeath, UnalignedBlockPanics)
+{
+    SparseMemory mem;
+    EXPECT_DEATH(mem.block(0x21), "unaligned");
+}
+
+TEST(StatSet, ScalarRegistrationIsStable)
+{
+    StatSet stats;
+    Scalar &a = stats.scalar("x.count", "desc");
+    a += 2.0;
+    Scalar &b = stats.scalar("x.count");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 2.0);
+    ++b;
+    EXPECT_EQ(stats.findScalar("x.count")->value(), 3.0);
+    EXPECT_EQ(stats.findScalar("missing"), nullptr);
+}
+
+TEST(StatSet, SumScalarsByPrefixSuffix)
+{
+    StatSet stats;
+    stats.scalar("pim0.commands") += 10;
+    stats.scalar("pim1.commands") += 5;
+    stats.scalar("pim1.bytes") += 99;
+    stats.scalar("mc0.commands") += 7;
+    EXPECT_EQ(stats.sumScalars("pim", ".commands"), 15.0);
+    EXPECT_EQ(stats.sumScalars("", ".commands"), 22.0);
+    EXPECT_EQ(stats.sumScalars("pim", ".bytes"), 99.0);
+}
+
+TEST(StatSet, DistributionTracksMoments)
+{
+    StatSet stats;
+    Distribution &d = stats.distribution("lat", "latency");
+    d.sample(10);
+    d.sample(30);
+    d.sample(20);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.mean(), 20.0);
+    EXPECT_EQ(d.minValue(), 10.0);
+    EXPECT_EQ(d.maxValue(), 30.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(StatSet, DumpMentionsAllStats)
+{
+    StatSet stats;
+    stats.scalar("alpha.count", "things") += 4;
+    stats.distribution("beta.lat", "latencies").sample(2);
+    std::ostringstream os;
+    stats.dump(os);
+    EXPECT_NE(os.str().find("alpha.count"), std::string::npos);
+    EXPECT_NE(os.str().find("beta.lat"), std::string::npos);
+    EXPECT_NE(os.str().find("things"), std::string::npos);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(42), c2(43);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, RangesAreBounded)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextRange(17), 17u);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        float f = rng.nextFloat(-2.0f, 3.0f);
+        EXPECT_GE(f, -2.0f);
+        EXPECT_LT(f, 3.0f);
+    }
+}
+
+TEST(Rng, JitterIsDeterministicAndBounded)
+{
+    for (std::uint64_t id = 0; id < 1000; ++id) {
+        std::uint32_t j = jitter(5, id, 8);
+        EXPECT_LT(j, 8u);
+        EXPECT_EQ(j, jitter(5, id, 8));
+    }
+    EXPECT_EQ(jitter(5, 123, 0), 0u);
+    // Jitter should actually vary across ids.
+    bool varied = false;
+    for (std::uint64_t id = 1; id < 100 && !varied; ++id)
+        varied = jitter(5, id, 8) != jitter(5, 0, 8);
+    EXPECT_TRUE(varied);
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the sweep driver, the kernel disassembler, and the
+ * pre-kernel coherence-flush model (Section 5.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/disasm.hh"
+#include "core/sweep.hh"
+#include "core/system.hh"
+#include "workloads/registry.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(Sweep, RunsFullGridAndEmitsCsv)
+{
+    SweepSpec spec;
+    spec.workloads = {"Scale", "Copy"};
+    spec.modes = {OrderingMode::Fence, OrderingMode::OrderLight};
+    spec.tsSizes = {128, 1024};
+    spec.bmfs = {16};
+    spec.elements = 1ull << 14;
+    spec.verify = true;
+
+    std::ostringstream progress;
+    auto rows = runSweep(spec, &progress);
+    ASSERT_EQ(rows.size(), spec.points());
+    ASSERT_EQ(rows.size(), 8u);
+
+    for (const auto &row : rows) {
+        EXPECT_TRUE(row.correct)
+            << row.workload << "/" << toString(row.mode);
+        EXPECT_GT(row.metrics.pimCommands, 0u);
+    }
+    // Row-major order: workload outermost, bmf innermost.
+    EXPECT_EQ(rows[0].workload, "Scale");
+    EXPECT_EQ(rows[0].mode, OrderingMode::Fence);
+    EXPECT_EQ(rows[0].tsBytes, 128u);
+    EXPECT_EQ(rows[1].tsBytes, 1024u);
+    EXPECT_EQ(rows[2].mode, OrderingMode::OrderLight);
+    EXPECT_EQ(rows[4].workload, "Copy");
+
+    std::ostringstream csv;
+    writeCsv(csv, rows);
+    std::string text = csv.str();
+    EXPECT_NE(text.find("workload,mode,ts_bytes"),
+              std::string::npos);
+    // Header + 8 data rows.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 9);
+    EXPECT_NE(text.find("Scale,Fence,128,16,"), std::string::npos);
+    EXPECT_NE(progress.str().find("[ok]"), std::string::npos);
+}
+
+TEST(Sweep, GpuBaselineIsSharedAcrossModes)
+{
+    SweepSpec spec;
+    spec.workloads = {"Scale"};
+    spec.modes = {OrderingMode::Fence, OrderingMode::OrderLight};
+    spec.tsSizes = {256};
+    spec.elements = 1ull << 14;
+    spec.gpuBaseline = true;
+    auto rows = runSweep(spec);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_GT(rows[0].gpuMs, 0.0);
+    EXPECT_EQ(rows[0].gpuMs, rows[1].gpuMs);
+}
+
+TEST(Disasm, RendersEveryInstructionKind)
+{
+    SystemConfig cfg;
+    AddressMap map(cfg);
+
+    PimInstr load = PimInstr::load(3, 0x1000, 2);
+    EXPECT_NE(disassemble(load).find("PIM_LOAD"), std::string::npos);
+    EXPECT_NE(disassemble(load).find("ts[3]"), std::string::npos);
+    EXPECT_NE(disassemble(load, &map).find("b0"), std::string::npos);
+
+    PimInstr store = PimInstr::store(1, 0x2000, 0);
+    EXPECT_NE(disassemble(store).find("PIM_STORE"),
+              std::string::npos);
+
+    PimInstr fetch =
+        PimInstr::fetchOp(AluOp::Fma, 0, 1, 0x40, 0, 2.0f);
+    std::string f = disassemble(fetch);
+    EXPECT_NE(f.find("PIM_FETCH.Fma"), std::string::npos);
+    EXPECT_NE(f.find("2"), std::string::npos);
+
+    PimInstr compute = PimInstr::compute(AluOp::Relu, 5, 6);
+    EXPECT_NE(disassemble(compute).find("PIM_OP.Relu"),
+              std::string::npos);
+
+    PimInstr op = PimInstr::orderPoint(7);
+    EXPECT_NE(disassemble(op).find("ORDER_POINT grp7"),
+              std::string::npos);
+    PimInstr dual = PimInstr::orderPointDual(1, 2);
+    EXPECT_NE(disassemble(dual).find("grp1+grp2"),
+              std::string::npos);
+}
+
+TEST(Disasm, DumpKernelRespectsLimit)
+{
+    SystemConfig cfg;
+    auto w = makeWorkload("Add");
+    w->build(cfg, 1ull << 14);
+    std::ostringstream os;
+    dumpKernel(os, w->streams(), w->map(), 3);
+    std::string text = os.str();
+    EXPECT_NE(text.find("; channel 0:"), std::string::npos);
+    EXPECT_NE(text.find("; channel 15:"), std::string::npos);
+    EXPECT_NE(text.find("... ("), std::string::npos);
+    EXPECT_NE(text.find("PIM_LOAD"), std::string::npos);
+}
+
+TEST(CoherenceFlush, RunsBeforeTheKernel)
+{
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
+    auto w = makeWorkload("Add");
+    w->build(cfg, 1ull << 15);
+    System sys(cfg);
+    w->initMemory(sys.mem());
+    sys.loadPimKernel(w->streams());
+    sys.setCoherenceFlush(w->hostTraffic());
+    sys.run();
+
+    EXPECT_GT(sys.flushDoneTick(), 0u);
+    EXPECT_GT(sys.pimFinishTick(), sys.flushDoneTick())
+        << "the PIM kernel must start only after the flush";
+    std::string why;
+    EXPECT_TRUE(w->check(sys.mem(), why)) << why;
+}
+
+TEST(CoherenceFlush, OverheadAmortizesWithKernelSize)
+{
+    auto flush_fraction = [](std::uint64_t elements) {
+        SystemConfig cfg =
+            configFor(OrderingMode::OrderLight, 256, 16);
+        auto w = makeWorkload("Scale");
+        w->build(cfg, elements);
+        System sys(cfg);
+        w->initMemory(sys.mem());
+        sys.loadPimKernel(w->streams());
+        sys.setCoherenceFlush(w->hostTraffic());
+        RunMetrics m = sys.run();
+        return double(sys.flushDoneTick()) / double(m.finishTick);
+    };
+    // The flush is a host-bandwidth pass over the data while the
+    // kernel is a PIM-bandwidth pass, so its share shrinks only via
+    // fixed overheads — but it must never grow with size.
+    EXPECT_LE(flush_fraction(1ull << 18),
+              flush_fraction(1ull << 15) + 0.05);
+}
+
+TEST(CoherenceFlushDeath, ExclusiveWithHostTraffic)
+{
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
+    auto w = makeWorkload("Add");
+    w->build(cfg, 1ull << 14);
+    System sys(cfg);
+    sys.setHostTraffic(w->hostTraffic());
+    EXPECT_DEATH(sys.setCoherenceFlush(w->hostTraffic()),
+                 "one or the other");
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * System- and runner-level tests: per-mode SM provisioning,
+ * determinism, the host-execution baseline, CGA vs FGA arbitration,
+ * and PIM-unit functional execution through the full stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "workloads/registry.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(Runner, ConfigForAppliesPaperProvisioning)
+{
+    SystemConfig fence =
+        configFor(OrderingMode::Fence, 256, 16);
+    EXPECT_EQ(fence.warpsPerSm, 8u);
+    EXPECT_EQ(fence.numSms, 2u);
+    SystemConfig ol =
+        configFor(OrderingMode::OrderLight, 512, 8);
+    EXPECT_EQ(ol.warpsPerSm, 2u);
+    EXPECT_EQ(ol.numSms, 8u);
+    EXPECT_EQ(ol.tsBytes, 512u);
+    EXPECT_EQ(ol.bmf, 8u);
+}
+
+TEST(Runner, DeterministicAcrossRuns)
+{
+    RunOptions opts;
+    opts.workload = "Triad";
+    opts.elements = 1ull << 15;
+    opts.verify = false;
+    RunResult a = runWorkload(opts);
+    RunResult b = runWorkload(opts);
+    EXPECT_EQ(a.metrics.finishTick, b.metrics.finishTick);
+    EXPECT_EQ(a.metrics.pimCommands, b.metrics.pimCommands);
+    EXPECT_EQ(a.metrics.stallCycles, b.metrics.stallCycles);
+    EXPECT_EQ(a.metrics.olPackets, b.metrics.olPackets);
+}
+
+TEST(Runner, VerificationCatchesUnorderedExecution)
+{
+    RunOptions opts;
+    opts.workload = "Daxpy";
+    opts.elements = 1ull << 16;
+    opts.mode = OrderingMode::None;
+    RunResult r = runWorkload(opts);
+    EXPECT_TRUE(r.verified);
+    EXPECT_FALSE(r.correct)
+        << "with no ordering primitive the pipe reordering must "
+           "corrupt at least one element";
+    EXPECT_FALSE(r.why.empty());
+}
+
+TEST(Runner, GpuBaselineIsPositiveAndDeterministic)
+{
+    double a = gpuBaselineMs("Add", 1ull << 17);
+    double b = gpuBaselineMs("Add", 1ull << 17);
+    EXPECT_GT(a, 0.0);
+    EXPECT_DOUBLE_EQ(a, b);
+    double big = gpuBaselineMs("Add", 1ull << 19);
+    EXPECT_GT(big, a) << "4x the data should take longer";
+}
+
+TEST(System, HostOnlyRunReachesHighRowLocality)
+{
+    SystemConfig cfg;
+    auto w = makeWorkload("Add");
+    w->build(cfg, 1ull << 17);
+    System sys(cfg);
+    w->initMemory(sys.mem());
+    sys.setHostTraffic(w->hostTraffic());
+    RunMetrics m = sys.run();
+    EXPECT_GT(m.hostRequests, 0u);
+    EXPECT_GT(m.rowHits, m.rowMisses * 20)
+        << "bank-staggered host streams should be row-friendly";
+    EXPECT_EQ(m.pimCommands, 0u);
+}
+
+TEST(System, PimRunMovesRealData)
+{
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
+    auto w = makeWorkload("Copy");
+    w->build(cfg, 1ull << 14);
+    System sys(cfg);
+    w->initMemory(sys.mem());
+
+    // Destination region starts zeroed.
+    const PimArray &src = w->arrays()[0];
+    const PimArray &dst = w->arrays()[1];
+    EXPECT_EQ(sys.mem().readFloat(dst.base), 0.0f);
+
+    sys.loadPimKernel(w->streams());
+    sys.run();
+    EXPECT_EQ(sys.mem().readFloat(dst.base),
+              sys.mem().readFloat(src.base));
+    EXPECT_GT(sys.pimFinishTick(), 0u);
+}
+
+TEST(System, CgaDeniesHostMemoryDuringPim)
+{
+    struct Result
+    {
+        Tick hostFirstDone;
+        Tick pimFinish;
+    };
+    auto run = [](ArbitrationGranularity arb) {
+        SystemConfig base;
+        base.arbitration = arb;
+        SystemConfig cfg =
+            configFor(OrderingMode::OrderLight, 256, 16, base);
+        auto w = makeWorkload("Add");
+        w->build(cfg, 1ull << 16);
+        System sys(cfg);
+        w->initMemory(sys.mem());
+        sys.loadPimKernel(w->streams());
+        sys.setHostTraffic(w->hostTraffic());
+        sys.run();
+        return Result{sys.hostStream().firstDoneTick(),
+                      sys.pimFinishTick()};
+    };
+
+    Result fga = run(ArbitrationGranularity::Fine);
+    Result cga = run(ArbitrationGranularity::Coarse);
+    // Figure 2a: under CGA the host sees no memory service until the
+    // PIM computation completes; under FGA requests interleave.
+    EXPECT_LT(fga.hostFirstDone, cga.hostFirstDone);
+    EXPECT_LT(fga.hostFirstDone, fga.pimFinish)
+        << "FGA must service host requests while PIM is running";
+    EXPECT_GT(cga.hostFirstDone, cga.pimFinish)
+        << "CGA must not service host requests before PIM finishes";
+}
+
+TEST(System, StatsExposeComponentCounters)
+{
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
+    auto w = makeWorkload("Scale");
+    w->build(cfg, 1ull << 14);
+    System sys(cfg);
+    w->initMemory(sys.mem());
+    sys.loadPimKernel(w->streams());
+    sys.run();
+
+    const StatSet &stats = sys.stats();
+    EXPECT_GT(stats.sumScalars("pim", ".commands"), 0.0);
+    EXPECT_GT(stats.sumScalars("mc", ".olPackets"), 0.0);
+    EXPECT_GT(stats.sumScalars("l2s", ".olMerges"), 0.0);
+    EXPECT_GT(stats.sumScalars("l2s", ".olCopies"), 0.0);
+    EXPECT_GT(stats.sumScalars("sm", ".collected"), 0.0);
+    // Copies = merges * number of sub-partitions.
+    EXPECT_EQ(stats.sumScalars("l2s", ".olCopies"),
+              stats.sumScalars("l2s", ".olMerges") *
+                  cfg.l2SubPartitions);
+}
+
+TEST(SystemDeath, DoubleRunIsRejected)
+{
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
+    auto w = makeWorkload("Scale");
+    w->build(cfg, 1ull << 13);
+    System sys(cfg);
+    w->initMemory(sys.mem());
+    sys.loadPimKernel(w->streams());
+    sys.run();
+    EXPECT_DEATH(sys.run(), "only be called once");
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,91 @@
+/** @file Unit tests for dual-group (Extended) ordering barriers. */
+
+#include <gtest/gtest.h>
+
+#include "memctrl/ordering_tracker.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(DualTracker, BlocksBothGroupsUntilBothDrain)
+{
+    OrderingTracker t(4);
+    auto a0 = t.onRequestArrive(0);
+    auto b0 = t.onRequestArrive(1);
+    t.onDualOrderLightArrive(0, 1);
+    auto a1 = t.onRequestArrive(0);
+    auto b1 = t.onRequestArrive(1);
+
+    EXPECT_TRUE(t.eligible(0, a0));
+    EXPECT_TRUE(t.eligible(1, b0));
+    EXPECT_FALSE(t.eligible(0, a1));
+    EXPECT_FALSE(t.eligible(1, b1));
+
+    // Draining only group 0 must NOT release group-0's post-barrier
+    // requests: the cross dependency on group 1 still holds.
+    t.onScheduled(0, a0);
+    EXPECT_FALSE(t.eligible(0, a1))
+        << "post-barrier group-0 request must wait for group 1 too";
+    EXPECT_FALSE(t.eligible(1, b1));
+
+    t.onScheduled(1, b0);
+    EXPECT_TRUE(t.eligible(0, a1));
+    EXPECT_TRUE(t.eligible(1, b1));
+}
+
+TEST(DualTracker, UnrelatedGroupIsUnaffected)
+{
+    OrderingTracker t(4);
+    t.onRequestArrive(0);
+    t.onRequestArrive(1);
+    t.onDualOrderLightArrive(0, 1);
+    auto other = t.onRequestArrive(2);
+    EXPECT_TRUE(t.eligible(2, other));
+}
+
+TEST(DualTracker, SameGroupDualDegeneratesToSingle)
+{
+    OrderingTracker t(4);
+    auto a0 = t.onRequestArrive(0);
+    t.onDualOrderLightArrive(0, 0);
+    auto a1 = t.onRequestArrive(0);
+    // One dual packet on the same group must act like one barrier,
+    // not two nested ones.
+    EXPECT_FALSE(t.eligible(0, a1));
+    t.onScheduled(0, a0);
+    EXPECT_TRUE(t.eligible(0, a1));
+}
+
+TEST(DualTracker, SequentialDualBarriersCompose)
+{
+    OrderingTracker t(4);
+    auto a0 = t.onRequestArrive(0);
+    t.onDualOrderLightArrive(0, 1);
+    auto b1 = t.onRequestArrive(1);
+    t.onDualOrderLightArrive(0, 1);
+    auto a2 = t.onRequestArrive(0);
+
+    EXPECT_FALSE(t.eligible(1, b1)) << "waits for a0 via barrier 1";
+    EXPECT_FALSE(t.eligible(0, a2));
+
+    t.onScheduled(0, a0);
+    EXPECT_TRUE(t.eligible(1, b1));
+    EXPECT_FALSE(t.eligible(0, a2)) << "waits for b1 via barrier 2";
+    t.onScheduled(1, b1);
+    EXPECT_TRUE(t.eligible(0, a2));
+}
+
+TEST(DualTracker, DualWithEmptyGroupsIsFree)
+{
+    OrderingTracker t(4);
+    t.onDualOrderLightArrive(0, 1);
+    auto a = t.onRequestArrive(0);
+    auto b = t.onRequestArrive(1);
+    EXPECT_TRUE(t.eligible(0, a));
+    EXPECT_TRUE(t.eligible(1, b));
+}
+
+} // namespace
+} // namespace olight

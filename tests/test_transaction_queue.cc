@@ -1,0 +1,152 @@
+/** @file Unit tests for the MC transaction queue and FR-FCFS pick. */
+
+#include <gtest/gtest.h>
+
+#include "memctrl/transaction_queue.hh"
+
+namespace olight
+{
+namespace
+{
+
+Transaction
+txn(std::uint64_t id, std::uint16_t bank, std::uint32_t row,
+    std::uint32_t epoch = 0)
+{
+    Transaction t;
+    t.pkt.id = id;
+    t.pkt.instr.type = PimOpType::PimLoad;
+    t.bank = bank;
+    t.row = row;
+    t.epoch = epoch;
+    return t;
+}
+
+const auto anyEligible = [](const Transaction &) { return true; };
+
+TEST(TransactionQueue, CapacityViaCredits)
+{
+    TransactionQueue q(2);
+    EXPECT_TRUE(q.reserve());
+    EXPECT_TRUE(q.reserve());
+    EXPECT_FALSE(q.reserve()) << "third credit must be refused";
+    q.push(txn(1, 0, 0));
+    q.push(txn(2, 0, 0));
+    q.pop(0);
+    EXPECT_TRUE(q.reserve()) << "pop returns the credit";
+}
+
+TEST(TransactionQueue, PicksOldestRowHitFirst)
+{
+    TransactionQueue q(8);
+    for (int i = 0; i < 4; ++i)
+        q.reserve();
+    q.push(txn(0, 0, 5));  // row miss (open row will be 7)
+    q.push(txn(1, 0, 7));  // hit
+    q.push(txn(2, 0, 7));  // hit, younger
+    q.push(txn(3, 1, 9));  // other bank, miss
+
+    auto row_hit = [](std::uint16_t bank, std::uint32_t row) {
+        return bank == 0 && row == 7;
+    };
+    auto idx = q.pick(anyEligible, row_hit);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(q.at(*idx).pkt.id, 1u) << "oldest row hit wins";
+}
+
+TEST(TransactionQueue, FallsBackToOldestWithoutHits)
+{
+    TransactionQueue q(8);
+    for (int i = 0; i < 3; ++i)
+        q.reserve();
+    q.push(txn(7, 0, 1));
+    q.push(txn(8, 0, 2));
+    q.push(txn(9, 0, 3));
+    auto idx = q.pick(anyEligible, [](std::uint16_t, std::uint32_t) {
+        return false;
+    });
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(q.at(*idx).pkt.id, 7u);
+}
+
+TEST(TransactionQueue, EligibilityFiltersCandidates)
+{
+    TransactionQueue q(8);
+    for (int i = 0; i < 3; ++i)
+        q.reserve();
+    q.push(txn(1, 0, 0, /*epoch=*/1));
+    q.push(txn(2, 0, 0, /*epoch=*/0));
+    q.push(txn(3, 0, 0, /*epoch=*/1));
+
+    auto epoch0 = [](const Transaction &t) { return t.epoch == 0; };
+    auto idx = q.pick(epoch0, [](std::uint16_t, std::uint32_t) {
+        return true;
+    });
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(q.at(*idx).pkt.id, 2u);
+
+    auto none = [](const Transaction &) { return false; };
+    EXPECT_FALSE(q.pick(none, [](std::uint16_t, std::uint32_t) {
+                      return true;
+                  }).has_value());
+}
+
+TEST(TransactionQueue, ComputeCommandsNeverRowHit)
+{
+    TransactionQueue q(8);
+    q.reserve();
+    q.reserve();
+    Transaction compute;
+    compute.pkt.id = 1;
+    compute.pkt.instr.type = PimOpType::PimCompute;
+    q.push(std::move(compute));
+    q.push(txn(2, 0, 0));
+    // The row-hit predicate must never be consulted for compute
+    // commands (they carry no address); a genuine row hit elsewhere
+    // still wins FR-FCFS over the older compute entry.
+    bool asked_for_compute = false;
+    auto idx = q.pick(anyEligible,
+                      [&](std::uint16_t bank, std::uint32_t) {
+                          if (bank != 0)
+                              asked_for_compute = true;
+                          return true;
+                      });
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(q.at(*idx).pkt.id, 2u);
+    EXPECT_FALSE(asked_for_compute);
+
+    // Without any row hit, the compute command wins as oldest.
+    auto oldest = q.pick(anyEligible,
+                         [](std::uint16_t, std::uint32_t) {
+                             return false;
+                         });
+    ASSERT_TRUE(oldest.has_value());
+    EXPECT_EQ(q.at(*oldest).pkt.id, 1u);
+}
+
+TEST(TransactionQueue, PopRemovesByIndex)
+{
+    TransactionQueue q(8);
+    for (int i = 0; i < 3; ++i)
+        q.reserve();
+    q.push(txn(1, 0, 0));
+    q.push(txn(2, 0, 0));
+    q.push(txn(3, 0, 0));
+    Transaction t = q.pop(1);
+    EXPECT_EQ(t.pkt.id, 2u);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.at(0).pkt.id, 1u);
+    EXPECT_EQ(q.at(1).pkt.id, 3u);
+}
+
+TEST(TransactionQueueDeath, OverflowAndBadPopPanic)
+{
+    TransactionQueue q(1);
+    q.reserve();
+    q.push(txn(1, 0, 0));
+    EXPECT_DEATH(q.push(txn(2, 0, 0)), "overflow");
+    EXPECT_DEATH(q.pop(5), "out of range");
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Parameterized functional-correctness sweep: every workload of
+ * Table 2 runs under both real ordering primitives (Fence and
+ * OrderLight) and must produce results that are bit-identical to the
+ * golden program-order execution AND match the workload's
+ * independent mathematical reference. This is the central invariant
+ * of the reproduction — ordering enforcement is sufficient at every
+ * reordering point of the modeled pipe.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "workloads/registry.hh"
+
+namespace olight
+{
+namespace
+{
+
+struct Param
+{
+    std::string workload;
+    OrderingMode mode;
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<Param> &info)
+{
+    return info.param.workload + "_" + toString(info.param.mode);
+}
+
+class WorkloadCorrectness : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(WorkloadCorrectness, MatchesGoldenAndReference)
+{
+    RunOptions opts;
+    opts.workload = GetParam().workload;
+    opts.mode = GetParam().mode;
+    opts.elements = 1ull << 16; // small but multi-tile
+    opts.tsBytes = 256;
+    opts.bmf = 16;
+
+    RunResult r = runWorkload(opts);
+    ASSERT_TRUE(r.verified);
+    EXPECT_TRUE(r.correct) << r.why;
+    EXPECT_GT(r.metrics.pimCommands, 0u);
+    EXPECT_GT(r.orderPoints, 0u);
+    if (GetParam().mode == OrderingMode::Fence) {
+        EXPECT_GT(r.metrics.fenceCount, 0u);
+        EXPECT_EQ(r.metrics.olPackets, 0u);
+    } else {
+        EXPECT_GT(r.metrics.olPackets, 0u);
+        EXPECT_EQ(r.metrics.fenceCount, 0u);
+    }
+}
+
+std::vector<Param>
+allParams()
+{
+    std::vector<Param> params;
+    for (const auto &name : workloadNames()) {
+        params.push_back({name, OrderingMode::OrderLight});
+        params.push_back({name, OrderingMode::Fence});
+    }
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadCorrectness,
+                         ::testing::ValuesIn(allParams()),
+                         paramName);
+
+/** TS-size sweep on representative kernels (OrderLight). */
+class TsSweepCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::string,
+                                                 std::uint32_t>>
+{
+};
+
+TEST_P(TsSweepCorrectness, CorrectAtEveryTsSize)
+{
+    RunOptions opts;
+    opts.workload = std::get<0>(GetParam());
+    opts.tsBytes = std::get<1>(GetParam());
+    opts.mode = OrderingMode::OrderLight;
+    opts.elements = 1ull << 15;
+    RunResult r = runWorkload(opts);
+    EXPECT_TRUE(r.correct) << r.why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TsSizes, TsSweepCorrectness,
+    ::testing::Combine(::testing::Values("Add", "Scale", "Hist",
+                                         "Gen_Fil", "FC"),
+                       ::testing::Values(128u, 256u, 512u, 1024u)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_ts" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+/** BMF sweep: the lane-parallel model stays correct at 4x/8x/16x. */
+class BmfSweepCorrectness
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(BmfSweepCorrectness, CorrectAtEveryBmf)
+{
+    for (const char *name : {"Add", "KMeans"}) {
+        RunOptions opts;
+        opts.workload = name;
+        opts.bmf = GetParam();
+        opts.elements = 1ull << 15;
+        RunResult r = runWorkload(opts);
+        EXPECT_TRUE(r.correct) << name << ": " << r.why;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bmf, BmfSweepCorrectness,
+                         ::testing::Values(4u, 8u, 16u));
+
+} // namespace
+} // namespace olight

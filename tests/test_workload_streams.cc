@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Structural tests on generated PIM kernels: instruction mixes,
+ * ordering-point scaling with TS size (the Figure 12 right axis),
+ * per-channel balance, and Table 2 metadata.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/registry.hh"
+
+namespace olight
+{
+namespace
+{
+
+struct StreamShape
+{
+    std::uint64_t mem = 0;
+    std::uint64_t compute = 0;
+    std::uint64_t orderPoints = 0;
+
+    double
+    orderRate() const
+    {
+        return double(orderPoints) / double(mem + compute);
+    }
+};
+
+StreamShape
+shapeOf(const std::string &name, std::uint32_t tsBytes)
+{
+    SystemConfig cfg;
+    cfg.tsBytes = tsBytes;
+    auto w = makeWorkload(name);
+    w->build(cfg, 1ull << 16);
+    StreamShape s;
+    for (const auto &stream : w->streams()) {
+        for (const auto &instr : stream) {
+            if (instr.type == PimOpType::OrderPoint)
+                ++s.orderPoints;
+            else if (instr.type == PimOpType::PimCompute)
+                ++s.compute;
+            else
+                ++s.mem;
+        }
+    }
+    return s;
+}
+
+TEST(WorkloadStreams, Table2Metadata)
+{
+    EXPECT_EQ(workloadNames().size(), 12u);
+    for (const auto &name : workloadNames()) {
+        auto w = makeWorkload(name);
+        WorkloadInfo info = w->info();
+        EXPECT_EQ(info.name, name);
+        EXPECT_FALSE(info.ratio.empty());
+        EXPECT_FALSE(info.description.empty());
+    }
+    EXPECT_FALSE(makeWorkload("Scale")->info().multiStructure);
+    EXPECT_TRUE(makeWorkload("Add")->info().multiStructure);
+    EXPECT_FALSE(makeWorkload("FC")->info().multiStructure);
+    EXPECT_TRUE(makeWorkload("Hist")->info().multiStructure);
+}
+
+TEST(WorkloadStreams, CopyHasNoComputeInstructions)
+{
+    StreamShape s = shapeOf("Copy", 256);
+    EXPECT_EQ(s.compute, 0u) << "Copy is 0:2 in Table 2";
+    StreamShape scale = shapeOf("Scale", 256);
+    EXPECT_EQ(scale.compute, 0u)
+        << "Scale folds its multiply into a fetch-op";
+}
+
+TEST(WorkloadStreams, AddUsesThreePhasesPerTile)
+{
+    SystemConfig cfg; // TS 256 B -> 8 slots
+    auto w = makeWorkload("Add");
+    w->build(cfg, 1ull << 16);
+    // Per tile: 8 loads, OL, 8 fetch-adds, OL, 8 stores, OL.
+    const auto &stream = w->streams()[0];
+    ASSERT_GE(stream.size(), 27u);
+    for (int k = 0; k < 8; ++k)
+        EXPECT_EQ(stream[k].type, PimOpType::PimLoad);
+    EXPECT_EQ(stream[8].type, PimOpType::OrderPoint);
+    for (int k = 9; k < 17; ++k)
+        EXPECT_EQ(stream[k].type, PimOpType::PimFetchOp);
+    EXPECT_EQ(stream[17].type, PimOpType::OrderPoint);
+    for (int k = 18; k < 26; ++k)
+        EXPECT_EQ(stream[k].type, PimOpType::PimStore);
+    EXPECT_EQ(stream[26].type, PimOpType::OrderPoint);
+}
+
+TEST(WorkloadStreams, OrderingRateHalvesWithTsForStreamKernels)
+{
+    for (const auto &name : streamWorkloadNames()) {
+        double r128 = shapeOf(name, 128).orderRate();
+        double r256 = shapeOf(name, 256).orderRate();
+        double r1024 = shapeOf(name, 1024).orderRate();
+        EXPECT_NEAR(r256 / r128, 0.5, 0.05) << name;
+        EXPECT_LT(r1024, r128 / 4.0) << name;
+    }
+}
+
+TEST(WorkloadStreams, FcKmeansGenFilRatesAreTsInsensitive)
+{
+    // Figure 12: "the number of ordering primitives issued per PIM
+    // instruction decreases with TS at a much slower rate for these
+    // kernels" (FC 33%, KMeans 22%, Gen_Fil 0% vs ~50% for others).
+    for (const char *name : {"FC", "KMeans", "Gen_Fil"}) {
+        double r128 = shapeOf(name, 128).orderRate();
+        double r1024 = shapeOf(name, 1024).orderRate();
+        EXPECT_GT(r1024, r128 * 0.6)
+            << name << " should barely depend on TS";
+    }
+    double gf128 = shapeOf("Gen_Fil", 128).orderRate();
+    double gf1024 = shapeOf("Gen_Fil", 1024).orderRate();
+    EXPECT_DOUBLE_EQ(gf128, gf1024)
+        << "Gen_Fil works at fixed 128 B granularity";
+}
+
+TEST(WorkloadStreams, EveryChannelGetsWork)
+{
+    SystemConfig cfg;
+    for (const auto &name : workloadNames()) {
+        auto w = makeWorkload(name);
+        w->build(cfg, 1ull << 16);
+        ASSERT_EQ(w->streams().size(), cfg.numChannels);
+        std::size_t first = w->streams()[0].size();
+        EXPECT_GT(first, 0u) << name;
+        for (const auto &stream : w->streams())
+            EXPECT_EQ(stream.size(), first)
+                << name << ": channels must be balanced";
+    }
+}
+
+TEST(WorkloadStreams, AllCommandAddressesAreLaneZeroAndOwnChannel)
+{
+    SystemConfig cfg;
+    for (const char *name : {"Add", "Gen_Fil", "Hist"}) {
+        auto w = makeWorkload(name);
+        w->build(cfg, 1ull << 15);
+        for (std::uint16_t ch = 0; ch < cfg.numChannels; ++ch) {
+            for (const auto &instr : w->streams()[ch]) {
+                if (!instr.isMemAccess())
+                    continue;
+                DramCoord c = w->map().decode(instr.addr);
+                ASSERT_EQ(c.channel, ch) << name;
+                ASSERT_EQ(c.lane, 0) << name;
+            }
+        }
+    }
+}
+
+TEST(WorkloadStreams, GenFilUsesIrregularRows)
+{
+    SystemConfig cfg;
+    auto w = makeWorkload("Gen_Fil");
+    w->build(cfg, 1ull << 21); // 8 MB genome, many rows
+    // Count distinct transitions between successive fetch rows; an
+    // irregular pattern switches rows for nearly every candidate.
+    const auto &stream = w->streams()[0];
+    std::int64_t last_row = -1;
+    std::uint64_t fetches = 0, switches = 0;
+    for (const auto &instr : stream) {
+        if (instr.type != PimOpType::PimFetchOp)
+            continue;
+        auto c = w->map().decode(instr.addr);
+        std::int64_t key = (std::int64_t(c.bank) << 32) | c.row;
+        if (key != last_row)
+            ++switches;
+        last_row = key;
+        ++fetches;
+    }
+    EXPECT_GT(switches, fetches / 8)
+        << "candidates should land in scattered rows";
+}
+
+} // namespace
+} // namespace olight

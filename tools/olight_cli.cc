@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Command-line driver for the OrderLight simulator.
+ *
+ * Runs any registered workload at any experiment point and reports
+ * metrics, optionally with full statistics, energy breakdown,
+ * verification, the GPU host baseline, and a CSV packet trace.
+ *
+ *   olight_cli --workload Add --mode orderlight --ts 256 --bmf 16
+ *   olight_cli --workload Gen_Fil --mode fence --verify --energy
+ *   olight_cli --list
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/disasm.hh"
+#include "core/energy.hh"
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "workloads/reference.hh"
+#include "workloads/registry.hh"
+
+using namespace olight;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "usage: olight_cli [options]\n"
+        "  --workload NAME   Table 2 kernel (default Add)\n"
+        "  --mode MODE       none | fence | orderlight | seqnum\n"
+        "  --ts BYTES        temporary storage per lane (default 256)\n"
+        "  --bmf N           bandwidth multiplication factor (16)\n"
+        "  --elements N      fp32 elements per array (default 2^18)\n"
+        "  --channels N      memory channels (default 16)\n"
+        "  --cpu-host        use the OoO-CPU host preset\n"
+        "  --verify          golden + mathematical verification\n"
+        "  --gpu-baseline    also time GPU host execution\n"
+        "  --stats           dump all statistics\n"
+        "  --energy          print the energy breakdown\n"
+        "  --trace FILE      write a CSV packet trace\n"
+        "  --dump-kernel N   disassemble N instrs per channel\n"
+        "  --flush           model the pre-kernel coherence flush\n"
+        "  --list            list workloads and exit\n";
+}
+
+OrderingMode
+parseMode(const std::string &text)
+{
+    if (text == "none")
+        return OrderingMode::None;
+    if (text == "fence")
+        return OrderingMode::Fence;
+    if (text == "orderlight")
+        return OrderingMode::OrderLight;
+    if (text == "seqnum")
+        return OrderingMode::SeqNum;
+    std::cerr << "unknown mode: " << text << "\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "Add";
+    OrderingMode mode = OrderingMode::OrderLight;
+    std::uint32_t ts = 256, bmf = 16, channels = 16;
+    std::uint64_t elements = 1ull << 18;
+    bool cpu_host = false, verify = false, gpu_baseline = false;
+    bool dump_stats = false, energy = false, flush = false;
+    std::size_t dump_kernel = 0;
+    std::string trace_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload")
+            workload = next();
+        else if (arg == "--mode")
+            mode = parseMode(next());
+        else if (arg == "--ts")
+            ts = std::uint32_t(std::stoul(next()));
+        else if (arg == "--bmf")
+            bmf = std::uint32_t(std::stoul(next()));
+        else if (arg == "--elements")
+            elements = std::stoull(next());
+        else if (arg == "--channels")
+            channels = std::uint32_t(std::stoul(next()));
+        else if (arg == "--cpu-host")
+            cpu_host = true;
+        else if (arg == "--verify")
+            verify = true;
+        else if (arg == "--gpu-baseline")
+            gpu_baseline = true;
+        else if (arg == "--stats")
+            dump_stats = true;
+        else if (arg == "--energy")
+            energy = true;
+        else if (arg == "--trace")
+            trace_path = next();
+        else if (arg == "--dump-kernel")
+            dump_kernel = std::stoull(next());
+        else if (arg == "--flush")
+            flush = true;
+        else if (arg == "--list") {
+            for (const auto &name : workloadNames()) {
+                auto w = makeWorkload(name);
+                WorkloadInfo info = w->info();
+                std::cout << name << "\t" << info.ratio << "\t"
+                          << info.description << "\n";
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    SystemConfig base = cpu_host ? cpuHostBase() : SystemConfig{};
+    base.numChannels = channels;
+    SystemConfig cfg = configFor(mode, ts, bmf, base);
+    cfg.print(std::cout);
+
+    auto w = makeWorkload(workload);
+    w->build(cfg, elements);
+
+    System sys(cfg);
+    std::ofstream trace_file;
+    if (!trace_path.empty()) {
+        trace_file.open(trace_path);
+        if (!trace_file) {
+            std::cerr << "cannot open trace file " << trace_path
+                      << "\n";
+            return 2;
+        }
+        sys.enableTrace(trace_file);
+    }
+
+    if (dump_kernel > 0)
+        dumpKernel(std::cout, w->streams(), w->map(), dump_kernel);
+
+    w->initMemory(sys.mem());
+    sys.loadPimKernel(w->streams());
+    if (flush)
+        sys.setCoherenceFlush(w->hostTraffic());
+    RunMetrics m = sys.run();
+
+    std::cout << "\n" << workload << " / " << toString(mode) << " / "
+              << tsLabel(cfg) << " / BMF " << bmf << ":\n  ";
+    m.print(std::cout);
+    std::cout << "\n";
+    if (flush)
+        std::cout << "  coherence flush: "
+                  << ticksToMs(sys.flushDoneTick()) << " ms\n";
+
+    if (verify) {
+        SparseMemory golden;
+        w->initMemory(golden);
+        runGolden(cfg, w->map(), w->streams(), golden);
+        std::string why;
+        bool ok = true;
+        for (const auto &arr : w->arrays()) {
+            if (!compareArray(sys.mem(), golden, arr, why)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok && !w->check(sys.mem(), why))
+            ok = false;
+        std::cout << "  verification: "
+                  << (ok ? "bit-exact" : ("FAILED: " + why)) << "\n";
+        if (!ok)
+            return 1;
+    }
+
+    if (gpu_baseline) {
+        double gpu_ms = gpuBaselineMs(workload, elements, base);
+        std::cout << "  GPU host execution: " << gpu_ms
+                  << " ms (PIM speedup "
+                  << gpu_ms / m.execMs << "x)\n";
+    }
+
+    if (energy) {
+        EnergyBreakdown e = computeEnergy(sys.stats(), cfg);
+        std::cout << "  ";
+        e.print(std::cout);
+        std::cout << "\n";
+    }
+
+    if (dump_stats) {
+        std::cout << "\n";
+        sys.stats().dump(std::cout);
+    }
+    return 0;
+}

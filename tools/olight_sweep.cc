@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Grid-sweep driver: runs (workloads x modes x TS x BMF) and emits
+ * CSV — the raw data behind any of the paper's figures, ready for
+ * external plotting.
+ *
+ *   olight_sweep --workloads Add,Scale --modes fence,orderlight \
+ *                --ts 128,256,512,1024 --bmf 16 --out sweep.csv
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/sweep.hh"
+#include "workloads/registry.hh"
+
+using namespace olight;
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+OrderingMode
+parseMode(const std::string &text)
+{
+    if (text == "none")
+        return OrderingMode::None;
+    if (text == "fence")
+        return OrderingMode::Fence;
+    if (text == "orderlight")
+        return OrderingMode::OrderLight;
+    if (text == "seqnum")
+        return OrderingMode::SeqNum;
+    std::cerr << "unknown mode: " << text << "\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepSpec spec;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workloads") {
+            std::string v = next();
+            spec.workloads =
+                v == "all" ? workloadNames() : splitCsv(v);
+        } else if (arg == "--modes") {
+            spec.modes.clear();
+            for (const auto &m : splitCsv(next()))
+                spec.modes.push_back(parseMode(m));
+        } else if (arg == "--ts") {
+            spec.tsSizes.clear();
+            for (const auto &t : splitCsv(next()))
+                spec.tsSizes.push_back(
+                    std::uint32_t(std::stoul(t)));
+        } else if (arg == "--bmf") {
+            spec.bmfs.clear();
+            for (const auto &b : splitCsv(next()))
+                spec.bmfs.push_back(std::uint32_t(std::stoul(b)));
+        } else if (arg == "--elements") {
+            spec.elements = std::stoull(next());
+        } else if (arg == "--verify") {
+            spec.verify = true;
+        } else if (arg == "--gpu-baseline") {
+            spec.gpuBaseline = true;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: olight_sweep [--workloads a,b|all] "
+                   "[--modes fence,orderlight,seqnum,none]\n"
+                   "  [--ts 128,256,...] [--bmf 4,8,16] "
+                   "[--elements N] [--verify]\n"
+                   "  [--gpu-baseline] [--out FILE]\n";
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            return 2;
+        }
+    }
+
+    std::cerr << "sweeping " << spec.points() << " points...\n";
+    auto rows = runSweep(spec, &std::cerr);
+
+    if (out_path.empty()) {
+        writeCsv(std::cout, rows);
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "cannot open " << out_path << "\n";
+            return 2;
+        }
+        writeCsv(out, rows);
+        std::cerr << "wrote " << rows.size() << " rows to "
+                  << out_path << "\n";
+    }
+
+    if (spec.verify) {
+        for (const auto &row : rows) {
+            if (row.verified && !row.correct) {
+                std::cerr << "VERIFICATION FAILED at "
+                          << row.workload << "/"
+                          << toString(row.mode) << "\n";
+                return 1;
+            }
+        }
+    }
+    return 0;
+}
