@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_arbitration.dir/bench_ablation_arbitration.cc.o"
+  "CMakeFiles/bench_ablation_arbitration.dir/bench_ablation_arbitration.cc.o.d"
+  "CMakeFiles/bench_ablation_arbitration.dir/common.cc.o"
+  "CMakeFiles/bench_ablation_arbitration.dir/common.cc.o.d"
+  "bench_ablation_arbitration"
+  "bench_ablation_arbitration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cpu_host.dir/bench_ablation_cpu_host.cc.o"
+  "CMakeFiles/bench_ablation_cpu_host.dir/bench_ablation_cpu_host.cc.o.d"
+  "CMakeFiles/bench_ablation_cpu_host.dir/common.cc.o"
+  "CMakeFiles/bench_ablation_cpu_host.dir/common.cc.o.d"
+  "bench_ablation_cpu_host"
+  "bench_ablation_cpu_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cpu_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

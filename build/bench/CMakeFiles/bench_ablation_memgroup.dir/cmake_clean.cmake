@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memgroup.dir/bench_ablation_memgroup.cc.o"
+  "CMakeFiles/bench_ablation_memgroup.dir/bench_ablation_memgroup.cc.o.d"
+  "CMakeFiles/bench_ablation_memgroup.dir/common.cc.o"
+  "CMakeFiles/bench_ablation_memgroup.dir/common.cc.o.d"
+  "bench_ablation_memgroup"
+  "bench_ablation_memgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

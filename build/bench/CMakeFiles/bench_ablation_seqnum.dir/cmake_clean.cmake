@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_seqnum.dir/bench_ablation_seqnum.cc.o"
+  "CMakeFiles/bench_ablation_seqnum.dir/bench_ablation_seqnum.cc.o.d"
+  "CMakeFiles/bench_ablation_seqnum.dir/common.cc.o"
+  "CMakeFiles/bench_ablation_seqnum.dir/common.cc.o.d"
+  "bench_ablation_seqnum"
+  "bench_ablation_seqnum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seqnum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

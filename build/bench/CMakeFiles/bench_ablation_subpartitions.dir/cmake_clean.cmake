@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subpartitions.dir/bench_ablation_subpartitions.cc.o"
+  "CMakeFiles/bench_ablation_subpartitions.dir/bench_ablation_subpartitions.cc.o.d"
+  "CMakeFiles/bench_ablation_subpartitions.dir/common.cc.o"
+  "CMakeFiles/bench_ablation_subpartitions.dir/common.cc.o.d"
+  "bench_ablation_subpartitions"
+  "bench_ablation_subpartitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subpartitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_stream_bandwidth.dir/bench_fig10a_stream_bandwidth.cc.o"
+  "CMakeFiles/bench_fig10a_stream_bandwidth.dir/bench_fig10a_stream_bandwidth.cc.o.d"
+  "CMakeFiles/bench_fig10a_stream_bandwidth.dir/common.cc.o"
+  "CMakeFiles/bench_fig10a_stream_bandwidth.dir/common.cc.o.d"
+  "bench_fig10a_stream_bandwidth"
+  "bench_fig10a_stream_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_stream_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

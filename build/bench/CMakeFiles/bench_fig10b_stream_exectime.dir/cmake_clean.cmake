@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_stream_exectime.dir/bench_fig10b_stream_exectime.cc.o"
+  "CMakeFiles/bench_fig10b_stream_exectime.dir/bench_fig10b_stream_exectime.cc.o.d"
+  "CMakeFiles/bench_fig10b_stream_exectime.dir/common.cc.o"
+  "CMakeFiles/bench_fig10b_stream_exectime.dir/common.cc.o.d"
+  "bench_fig10b_stream_exectime"
+  "bench_fig10b_stream_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_stream_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

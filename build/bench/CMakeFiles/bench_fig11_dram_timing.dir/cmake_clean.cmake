@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dram_timing.dir/bench_fig11_dram_timing.cc.o"
+  "CMakeFiles/bench_fig11_dram_timing.dir/bench_fig11_dram_timing.cc.o.d"
+  "CMakeFiles/bench_fig11_dram_timing.dir/common.cc.o"
+  "CMakeFiles/bench_fig11_dram_timing.dir/common.cc.o.d"
+  "bench_fig11_dram_timing"
+  "bench_fig11_dram_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dram_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_apps.dir/bench_fig12_apps.cc.o"
+  "CMakeFiles/bench_fig12_apps.dir/bench_fig12_apps.cc.o.d"
+  "CMakeFiles/bench_fig12_apps.dir/common.cc.o"
+  "CMakeFiles/bench_fig12_apps.dir/common.cc.o.d"
+  "bench_fig12_apps"
+  "bench_fig12_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

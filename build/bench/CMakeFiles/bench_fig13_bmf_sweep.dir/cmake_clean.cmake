@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_bmf_sweep.dir/bench_fig13_bmf_sweep.cc.o"
+  "CMakeFiles/bench_fig13_bmf_sweep.dir/bench_fig13_bmf_sweep.cc.o.d"
+  "CMakeFiles/bench_fig13_bmf_sweep.dir/common.cc.o"
+  "CMakeFiles/bench_fig13_bmf_sweep.dir/common.cc.o.d"
+  "bench_fig13_bmf_sweep"
+  "bench_fig13_bmf_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_bmf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

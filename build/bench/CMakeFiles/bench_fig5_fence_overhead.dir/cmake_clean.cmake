@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fence_overhead.dir/bench_fig5_fence_overhead.cc.o"
+  "CMakeFiles/bench_fig5_fence_overhead.dir/bench_fig5_fence_overhead.cc.o.d"
+  "CMakeFiles/bench_fig5_fence_overhead.dir/common.cc.o"
+  "CMakeFiles/bench_fig5_fence_overhead.dir/common.cc.o.d"
+  "bench_fig5_fence_overhead"
+  "bench_fig5_fence_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fence_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

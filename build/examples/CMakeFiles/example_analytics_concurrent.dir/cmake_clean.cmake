@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analytics_concurrent.dir/analytics_concurrent.cpp.o"
+  "CMakeFiles/example_analytics_concurrent.dir/analytics_concurrent.cpp.o.d"
+  "example_analytics_concurrent"
+  "example_analytics_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analytics_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_genomics_filter.dir/genomics_filter.cpp.o"
+  "CMakeFiles/example_genomics_filter.dir/genomics_filter.cpp.o.d"
+  "example_genomics_filter"
+  "example_genomics_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_genomics_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_dual_group.dir/pipeline_dual_group.cpp.o"
+  "CMakeFiles/example_pipeline_dual_group.dir/pipeline_dual_group.cpp.o.d"
+  "example_pipeline_dual_group"
+  "example_pipeline_dual_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_dual_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_resnet_feature_map.dir/resnet_feature_map.cpp.o"
+  "CMakeFiles/example_resnet_feature_map.dir/resnet_feature_map.cpp.o.d"
+  "example_resnet_feature_map"
+  "example_resnet_feature_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_resnet_feature_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/olsim.dir/core/config.cc.o" "gcc" "src/CMakeFiles/olsim.dir/core/config.cc.o.d"
+  "/root/repo/src/core/disasm.cc" "src/CMakeFiles/olsim.dir/core/disasm.cc.o" "gcc" "src/CMakeFiles/olsim.dir/core/disasm.cc.o.d"
+  "/root/repo/src/core/energy.cc" "src/CMakeFiles/olsim.dir/core/energy.cc.o" "gcc" "src/CMakeFiles/olsim.dir/core/energy.cc.o.d"
+  "/root/repo/src/core/kernel_builder.cc" "src/CMakeFiles/olsim.dir/core/kernel_builder.cc.o" "gcc" "src/CMakeFiles/olsim.dir/core/kernel_builder.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/olsim.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/olsim.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/orderlight_packet.cc" "src/CMakeFiles/olsim.dir/core/orderlight_packet.cc.o" "gcc" "src/CMakeFiles/olsim.dir/core/orderlight_packet.cc.o.d"
+  "/root/repo/src/core/pim_isa.cc" "src/CMakeFiles/olsim.dir/core/pim_isa.cc.o" "gcc" "src/CMakeFiles/olsim.dir/core/pim_isa.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/olsim.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/olsim.dir/core/runner.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/CMakeFiles/olsim.dir/core/sweep.cc.o" "gcc" "src/CMakeFiles/olsim.dir/core/sweep.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/olsim.dir/core/system.cc.o" "gcc" "src/CMakeFiles/olsim.dir/core/system.cc.o.d"
+  "/root/repo/src/core/taxonomy.cc" "src/CMakeFiles/olsim.dir/core/taxonomy.cc.o" "gcc" "src/CMakeFiles/olsim.dir/core/taxonomy.cc.o.d"
+  "/root/repo/src/dram/address_map.cc" "src/CMakeFiles/olsim.dir/dram/address_map.cc.o" "gcc" "src/CMakeFiles/olsim.dir/dram/address_map.cc.o.d"
+  "/root/repo/src/dram/channel_timing.cc" "src/CMakeFiles/olsim.dir/dram/channel_timing.cc.o" "gcc" "src/CMakeFiles/olsim.dir/dram/channel_timing.cc.o.d"
+  "/root/repo/src/dram/storage.cc" "src/CMakeFiles/olsim.dir/dram/storage.cc.o" "gcc" "src/CMakeFiles/olsim.dir/dram/storage.cc.o.d"
+  "/root/repo/src/gpu/host_stream.cc" "src/CMakeFiles/olsim.dir/gpu/host_stream.cc.o" "gcc" "src/CMakeFiles/olsim.dir/gpu/host_stream.cc.o.d"
+  "/root/repo/src/gpu/operand_collector.cc" "src/CMakeFiles/olsim.dir/gpu/operand_collector.cc.o" "gcc" "src/CMakeFiles/olsim.dir/gpu/operand_collector.cc.o.d"
+  "/root/repo/src/gpu/sm.cc" "src/CMakeFiles/olsim.dir/gpu/sm.cc.o" "gcc" "src/CMakeFiles/olsim.dir/gpu/sm.cc.o.d"
+  "/root/repo/src/gpu/warp.cc" "src/CMakeFiles/olsim.dir/gpu/warp.cc.o" "gcc" "src/CMakeFiles/olsim.dir/gpu/warp.cc.o.d"
+  "/root/repo/src/memctrl/memory_controller.cc" "src/CMakeFiles/olsim.dir/memctrl/memory_controller.cc.o" "gcc" "src/CMakeFiles/olsim.dir/memctrl/memory_controller.cc.o.d"
+  "/root/repo/src/memctrl/ordering_tracker.cc" "src/CMakeFiles/olsim.dir/memctrl/ordering_tracker.cc.o" "gcc" "src/CMakeFiles/olsim.dir/memctrl/ordering_tracker.cc.o.d"
+  "/root/repo/src/memctrl/transaction_queue.cc" "src/CMakeFiles/olsim.dir/memctrl/transaction_queue.cc.o" "gcc" "src/CMakeFiles/olsim.dir/memctrl/transaction_queue.cc.o.d"
+  "/root/repo/src/noc/copy_merge.cc" "src/CMakeFiles/olsim.dir/noc/copy_merge.cc.o" "gcc" "src/CMakeFiles/olsim.dir/noc/copy_merge.cc.o.d"
+  "/root/repo/src/noc/interconnect.cc" "src/CMakeFiles/olsim.dir/noc/interconnect.cc.o" "gcc" "src/CMakeFiles/olsim.dir/noc/interconnect.cc.o.d"
+  "/root/repo/src/noc/l2_slice.cc" "src/CMakeFiles/olsim.dir/noc/l2_slice.cc.o" "gcc" "src/CMakeFiles/olsim.dir/noc/l2_slice.cc.o.d"
+  "/root/repo/src/noc/pipe_stage.cc" "src/CMakeFiles/olsim.dir/noc/pipe_stage.cc.o" "gcc" "src/CMakeFiles/olsim.dir/noc/pipe_stage.cc.o.d"
+  "/root/repo/src/pim/alu.cc" "src/CMakeFiles/olsim.dir/pim/alu.cc.o" "gcc" "src/CMakeFiles/olsim.dir/pim/alu.cc.o.d"
+  "/root/repo/src/pim/pim_unit.cc" "src/CMakeFiles/olsim.dir/pim/pim_unit.cc.o" "gcc" "src/CMakeFiles/olsim.dir/pim/pim_unit.cc.o.d"
+  "/root/repo/src/pim/ts_buffer.cc" "src/CMakeFiles/olsim.dir/pim/ts_buffer.cc.o" "gcc" "src/CMakeFiles/olsim.dir/pim/ts_buffer.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/olsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/olsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/olsim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/olsim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/olsim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/olsim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/olsim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/olsim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workloads/bn.cc" "src/CMakeFiles/olsim.dir/workloads/bn.cc.o" "gcc" "src/CMakeFiles/olsim.dir/workloads/bn.cc.o.d"
+  "/root/repo/src/workloads/fc.cc" "src/CMakeFiles/olsim.dir/workloads/fc.cc.o" "gcc" "src/CMakeFiles/olsim.dir/workloads/fc.cc.o.d"
+  "/root/repo/src/workloads/genfil.cc" "src/CMakeFiles/olsim.dir/workloads/genfil.cc.o" "gcc" "src/CMakeFiles/olsim.dir/workloads/genfil.cc.o.d"
+  "/root/repo/src/workloads/hist.cc" "src/CMakeFiles/olsim.dir/workloads/hist.cc.o" "gcc" "src/CMakeFiles/olsim.dir/workloads/hist.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/CMakeFiles/olsim.dir/workloads/kmeans.cc.o" "gcc" "src/CMakeFiles/olsim.dir/workloads/kmeans.cc.o.d"
+  "/root/repo/src/workloads/reference.cc" "src/CMakeFiles/olsim.dir/workloads/reference.cc.o" "gcc" "src/CMakeFiles/olsim.dir/workloads/reference.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/olsim.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/olsim.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/stream_kernels.cc" "src/CMakeFiles/olsim.dir/workloads/stream_kernels.cc.o" "gcc" "src/CMakeFiles/olsim.dir/workloads/stream_kernels.cc.o.d"
+  "/root/repo/src/workloads/svm.cc" "src/CMakeFiles/olsim.dir/workloads/svm.cc.o" "gcc" "src/CMakeFiles/olsim.dir/workloads/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

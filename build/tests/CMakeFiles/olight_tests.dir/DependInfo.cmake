@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_map.cc" "tests/CMakeFiles/olight_tests.dir/test_address_map.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_address_map.cc.o.d"
+  "/root/repo/tests/test_alu_ts.cc" "tests/CMakeFiles/olight_tests.dir/test_alu_ts.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_alu_ts.cc.o.d"
+  "/root/repo/tests/test_channel_timing.cc" "tests/CMakeFiles/olight_tests.dir/test_channel_timing.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_channel_timing.cc.o.d"
+  "/root/repo/tests/test_collector_cpu.cc" "tests/CMakeFiles/olight_tests.dir/test_collector_cpu.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_collector_cpu.cc.o.d"
+  "/root/repo/tests/test_concurrent_traffic.cc" "tests/CMakeFiles/olight_tests.dir/test_concurrent_traffic.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_concurrent_traffic.cc.o.d"
+  "/root/repo/tests/test_config_taxonomy.cc" "tests/CMakeFiles/olight_tests.dir/test_config_taxonomy.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_config_taxonomy.cc.o.d"
+  "/root/repo/tests/test_copy_merge.cc" "tests/CMakeFiles/olight_tests.dir/test_copy_merge.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_copy_merge.cc.o.d"
+  "/root/repo/tests/test_dual_group.cc" "tests/CMakeFiles/olight_tests.dir/test_dual_group.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_dual_group.cc.o.d"
+  "/root/repo/tests/test_energy_trace.cc" "tests/CMakeFiles/olight_tests.dir/test_energy_trace.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_energy_trace.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/olight_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_host_golden.cc" "tests/CMakeFiles/olight_tests.dir/test_host_golden.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_host_golden.cc.o.d"
+  "/root/repo/tests/test_integration_smoke.cc" "tests/CMakeFiles/olight_tests.dir/test_integration_smoke.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_integration_smoke.cc.o.d"
+  "/root/repo/tests/test_l2_interconnect.cc" "tests/CMakeFiles/olight_tests.dir/test_l2_interconnect.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_l2_interconnect.cc.o.d"
+  "/root/repo/tests/test_memory_controller.cc" "tests/CMakeFiles/olight_tests.dir/test_memory_controller.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_memory_controller.cc.o.d"
+  "/root/repo/tests/test_metrics_logging.cc" "tests/CMakeFiles/olight_tests.dir/test_metrics_logging.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_metrics_logging.cc.o.d"
+  "/root/repo/tests/test_ordering_tracker.cc" "tests/CMakeFiles/olight_tests.dir/test_ordering_tracker.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_ordering_tracker.cc.o.d"
+  "/root/repo/tests/test_orderlight_packet.cc" "tests/CMakeFiles/olight_tests.dir/test_orderlight_packet.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_orderlight_packet.cc.o.d"
+  "/root/repo/tests/test_pim_unit.cc" "tests/CMakeFiles/olight_tests.dir/test_pim_unit.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_pim_unit.cc.o.d"
+  "/root/repo/tests/test_pipe_stage.cc" "tests/CMakeFiles/olight_tests.dir/test_pipe_stage.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_pipe_stage.cc.o.d"
+  "/root/repo/tests/test_property_configs.cc" "tests/CMakeFiles/olight_tests.dir/test_property_configs.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_property_configs.cc.o.d"
+  "/root/repo/tests/test_random_kernels.cc" "tests/CMakeFiles/olight_tests.dir/test_random_kernels.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_random_kernels.cc.o.d"
+  "/root/repo/tests/test_refresh.cc" "tests/CMakeFiles/olight_tests.dir/test_refresh.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_refresh.cc.o.d"
+  "/root/repo/tests/test_seqnum.cc" "tests/CMakeFiles/olight_tests.dir/test_seqnum.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_seqnum.cc.o.d"
+  "/root/repo/tests/test_sm_behavior.cc" "tests/CMakeFiles/olight_tests.dir/test_sm_behavior.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_sm_behavior.cc.o.d"
+  "/root/repo/tests/test_storage_stats.cc" "tests/CMakeFiles/olight_tests.dir/test_storage_stats.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_storage_stats.cc.o.d"
+  "/root/repo/tests/test_sweep_disasm_flush.cc" "tests/CMakeFiles/olight_tests.dir/test_sweep_disasm_flush.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_sweep_disasm_flush.cc.o.d"
+  "/root/repo/tests/test_system_runner.cc" "tests/CMakeFiles/olight_tests.dir/test_system_runner.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_system_runner.cc.o.d"
+  "/root/repo/tests/test_tracker_dual.cc" "tests/CMakeFiles/olight_tests.dir/test_tracker_dual.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_tracker_dual.cc.o.d"
+  "/root/repo/tests/test_transaction_queue.cc" "tests/CMakeFiles/olight_tests.dir/test_transaction_queue.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_transaction_queue.cc.o.d"
+  "/root/repo/tests/test_workload_correctness.cc" "tests/CMakeFiles/olight_tests.dir/test_workload_correctness.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_workload_correctness.cc.o.d"
+  "/root/repo/tests/test_workload_streams.cc" "tests/CMakeFiles/olight_tests.dir/test_workload_streams.cc.o" "gcc" "tests/CMakeFiles/olight_tests.dir/test_workload_streams.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/olsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

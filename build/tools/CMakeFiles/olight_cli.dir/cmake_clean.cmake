@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olight_cli.dir/olight_cli.cc.o"
+  "CMakeFiles/olight_cli.dir/olight_cli.cc.o.d"
+  "olight_cli"
+  "olight_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olight_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olight_sweep.dir/olight_sweep.cc.o"
+  "CMakeFiles/olight_sweep.dir/olight_sweep.cc.o.d"
+  "olight_sweep"
+  "olight_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olight_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

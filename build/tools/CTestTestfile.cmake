@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_verify "/root/repo/build/tools/olight_cli" "--workload" "Triad" "--mode" "orderlight" "--elements" "16384" "--verify" "--energy")
+set_tests_properties(cli_verify PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_list "/root/repo/build/tools/olight_cli" "--list")
+set_tests_properties(cli_list PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_seqnum_cpu "/root/repo/build/tools/olight_cli" "--workload" "Scale" "--mode" "seqnum" "--cpu-host" "--elements" "16384" "--verify")
+set_tests_properties(cli_seqnum_cpu PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sweep_smoke "/root/repo/build/tools/olight_sweep" "--workloads" "Copy" "--modes" "orderlight" "--ts" "256" "--elements" "16384" "--verify")
+set_tests_properties(sweep_smoke PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
