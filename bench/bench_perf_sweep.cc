@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Simulator-performance microbenchmark: times the sweep driver
+ * itself (wall clock, not simulated time) at several worker counts
+ * and writes the results to BENCH_sweep.json so the speedup is
+ * tracked across commits.
+ *
+ * The grid is 16 points (4 STREAM workloads x 2 modes x 2 TS), each
+ * an independent System, so the sweep should scale near-linearly
+ * with cores until memory bandwidth saturates. The run also checks
+ * that every worker count produces byte-identical CSV — the
+ * determinism guarantee the parallel sweep makes.
+ *
+ * Environment:
+ *   OLIGHT_BENCH_ELEMENTS   problem size (default 2^18)
+ *   OLIGHT_BENCH_JSON       output path (default BENCH_sweep.json)
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "sim/thread_pool.hh"
+
+using namespace olight;
+
+namespace
+{
+
+SweepSpec
+benchSpec(unsigned jobs)
+{
+    SweepSpec spec;
+    spec.workloads = {"Add", "Scale", "Copy", "Daxpy"};
+    spec.modes = {OrderingMode::Fence, OrderingMode::OrderLight};
+    spec.tsSizes = {128, 512};
+    spec.bmfs = {16};
+    spec.elements = [] {
+        if (const char *env = std::getenv("OLIGHT_BENCH_ELEMENTS"))
+            return std::strtoull(env, nullptr, 0);
+        return 1ull << 18;
+    }();
+    spec.jobs = jobs;
+    return spec;
+}
+
+struct Sample
+{
+    unsigned jobs;
+    double seconds;
+    std::uint64_t events;
+    std::string csv;
+};
+
+Sample
+timeSweep(unsigned jobs)
+{
+    Sample s;
+    s.jobs = jobs;
+    auto start = std::chrono::steady_clock::now();
+    auto rows = runSweep(benchSpec(jobs));
+    s.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    s.events = 0;
+    for (const auto &row : rows)
+        s.events += row.eventsExecuted;
+    std::ostringstream csv;
+    writeCsv(csv, rows);
+    s.csv = csv.str();
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned hw = ThreadPool::defaultThreads();
+    std::vector<unsigned> job_counts = {1, 4};
+    if (hw > 4)
+        job_counts.push_back(hw);
+
+    std::cout << "perf sweep: " << benchSpec(1).points()
+              << " points, " << benchSpec(1).elements
+              << " elements, " << hw << " hardware threads\n";
+
+    std::vector<Sample> samples;
+    for (unsigned jobs : job_counts) {
+        samples.push_back(timeSweep(jobs));
+        const Sample &s = samples.back();
+        std::cout << "  jobs=" << s.jobs << ": " << s.seconds
+                  << " s, "
+                  << double(s.events) / s.seconds / 1e6
+                  << " M events/s\n";
+    }
+
+    bool identical = true;
+    for (const Sample &s : samples)
+        identical = identical && s.csv == samples.front().csv;
+    double speedup = samples.front().seconds /
+                     samples.back().seconds;
+    std::cout << "  speedup (jobs=" << samples.back().jobs
+              << " vs 1): " << speedup << "x, csv "
+              << (identical ? "identical" : "DIVERGED") << "\n";
+
+    const char *json_env = std::getenv("OLIGHT_BENCH_JSON");
+    std::string json_path =
+        json_env ? json_env : "BENCH_sweep.json";
+    std::ofstream json(json_path);
+    if (!json) {
+        std::cerr << "cannot open " << json_path << "\n";
+        return 2;
+    }
+    json << "{\n"
+         << "  \"points\": " << benchSpec(1).points() << ",\n"
+         << "  \"elements\": " << benchSpec(1).elements << ",\n"
+         << "  \"hardware_threads\": " << hw << ",\n"
+         << "  \"events_total\": " << samples.front().events
+         << ",\n"
+         << "  \"csv_identical\": "
+         << (identical ? "true" : "false") << ",\n"
+         << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        json << "    {\"jobs\": " << s.jobs
+             << ", \"host_seconds\": " << s.seconds
+             << ", \"events_per_second\": "
+             << double(s.events) / s.seconds << "}"
+             << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"speedup_max_jobs_vs_1\": " << speedup << "\n"
+         << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+
+    return identical ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "core/runner.hh"
 
+#include <chrono>
+
 #include "core/system.hh"
 #include "sim/logging.hh"
 #include "workloads/reference.hh"
@@ -57,7 +59,13 @@ runWorkload(const RunOptions &opts)
     System sys(cfg);
     workload->initMemory(sys.mem());
     sys.loadPimKernel(workload->streams());
+    auto wall_start = std::chrono::steady_clock::now();
     result.metrics = sys.run();
+    result.hostSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    result.eventsExecuted = sys.eq().numExecuted();
 
     if (opts.verify) {
         result.verified = true;

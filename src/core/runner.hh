@@ -45,6 +45,10 @@ struct RunResult
     double gpuMs = 0.0;    ///< host-execution time (roofline applied)
     std::uint64_t pimInstrCount = 0; ///< host PIM instructions
     std::uint64_t orderPoints = 0;   ///< ordering markers in streams
+
+    /// Simulator self-measurement (wall clock, not simulated time).
+    double hostSeconds = 0.0;          ///< wall time of System::run()
+    std::uint64_t eventsExecuted = 0;  ///< events the run processed
 };
 
 /**

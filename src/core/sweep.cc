@@ -1,81 +1,147 @@
 #include "core/sweep.hh"
 
 #include <map>
+#include <mutex>
+#include <utility>
+
+#include "sim/thread_pool.hh"
 
 namespace olight
 {
 
+namespace
+{
+
+/** RFC-4180 quoting for fields that would break the CSV schema. */
+std::string
+csvField(const std::string &text)
+{
+    if (text.find_first_of(",\"\n") == std::string::npos)
+        return text;
+    std::string quoted = "\"";
+    for (char c : text) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+/** One enumerated grid point (row-major index order). */
+struct SweepPoint
+{
+    std::size_t workloadIdx;
+    OrderingMode mode;
+    std::uint32_t tsBytes;
+    std::uint32_t bmf;
+};
+
+std::vector<SweepPoint>
+enumeratePoints(const SweepSpec &spec)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(spec.points());
+    for (std::size_t w = 0; w < spec.workloads.size(); ++w)
+        for (OrderingMode mode : spec.modes)
+            for (std::uint32_t ts : spec.tsSizes)
+                for (std::uint32_t bmf : spec.bmfs)
+                    points.push_back({w, mode, ts, bmf});
+    return points;
+}
+
+} // namespace
+
 std::vector<SweepRow>
 runSweep(const SweepSpec &spec, std::ostream *progress)
 {
-    std::vector<SweepRow> rows;
-    rows.reserve(spec.points());
+    const std::vector<SweepPoint> points = enumeratePoints(spec);
+    std::vector<SweepRow> rows(points.size());
 
-    std::map<std::string, double> gpu_cache;
+    unsigned jobs =
+        spec.jobs ? spec.jobs : ThreadPool::defaultThreads();
 
-    for (const auto &workload : spec.workloads) {
-        double gpu_ms = 0.0;
-        if (spec.gpuBaseline) {
-            auto it = gpu_cache.find(workload);
-            if (it == gpu_cache.end()) {
-                gpu_ms = gpuBaselineMs(workload, spec.elements,
-                                       spec.base);
-                gpu_cache.emplace(workload, gpu_ms);
-            } else {
-                gpu_ms = it->second;
-            }
+    // GPU-baseline cache, keyed on (workload, elements): the
+    // baseline simulates the host streaming the workload's arrays,
+    // so it is invariant across modes/TS/BMF but not across problem
+    // sizes. Filling it up front (in parallel) leaves the grid phase
+    // reading an immutable map — no locking on the hot path.
+    std::map<std::pair<std::string, std::uint64_t>, double>
+        gpu_cache;
+    if (spec.gpuBaseline) {
+        for (const auto &workload : spec.workloads)
+            gpu_cache.emplace(
+                std::make_pair(workload, spec.elements), 0.0);
+        std::vector<double *> slots;
+        std::vector<const std::pair<std::string, std::uint64_t> *>
+            keys;
+        for (auto &entry : gpu_cache) {
+            keys.push_back(&entry.first);
+            slots.push_back(&entry.second);
         }
-        for (OrderingMode mode : spec.modes) {
-            for (std::uint32_t ts : spec.tsSizes) {
-                for (std::uint32_t bmf : spec.bmfs) {
-                    RunOptions opts;
-                    opts.workload = workload;
-                    opts.mode = mode;
-                    opts.tsBytes = ts;
-                    opts.bmf = bmf;
-                    opts.elements = spec.elements;
-                    opts.verify = spec.verify;
-                    opts.base = spec.base;
-                    RunResult r = runWorkload(opts);
-
-                    SweepRow row;
-                    row.workload = workload;
-                    row.mode = mode;
-                    row.tsBytes = ts;
-                    row.bmf = bmf;
-                    row.metrics = r.metrics;
-                    row.verified = r.verified;
-                    row.correct = r.correct;
-                    row.gpuMs = gpu_ms;
-                    rows.push_back(row);
-
-                    if (progress) {
-                        *progress << workload << "/"
-                                  << toString(mode) << "/ts" << ts
-                                  << "/bmf" << bmf << ": "
-                                  << r.metrics.execMs << " ms";
-                        if (r.verified)
-                            *progress << (r.correct ? " [ok]"
-                                                    : " [WRONG]");
-                        *progress << "\n";
-                    }
-                }
-            }
-        }
+        parallelFor(jobs, slots.size(), [&](std::size_t i) {
+            *slots[i] = gpuBaselineMs(keys[i]->first,
+                                      keys[i]->second, spec.base);
+        });
     }
+
+    std::mutex progress_mutex;
+    parallelFor(jobs, points.size(), [&](std::size_t i) {
+        const SweepPoint &pt = points[i];
+        const std::string &workload = spec.workloads[pt.workloadIdx];
+
+        RunOptions opts;
+        opts.workload = workload;
+        opts.mode = pt.mode;
+        opts.tsBytes = pt.tsBytes;
+        opts.bmf = pt.bmf;
+        opts.elements = spec.elements;
+        opts.verify = spec.verify;
+        opts.base = spec.base;
+        RunResult r = runWorkload(opts);
+
+        SweepRow &row = rows[i];
+        row.workload = workload;
+        row.mode = pt.mode;
+        row.tsBytes = pt.tsBytes;
+        row.bmf = pt.bmf;
+        row.metrics = r.metrics;
+        row.verified = r.verified;
+        row.correct = r.correct;
+        row.hostSeconds = r.hostSeconds;
+        row.eventsExecuted = r.eventsExecuted;
+        if (spec.gpuBaseline)
+            row.gpuMs =
+                gpu_cache.at({workload, spec.elements});
+
+        if (progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            *progress << workload << "/" << toString(pt.mode)
+                      << "/ts" << pt.tsBytes << "/bmf" << pt.bmf
+                      << ": " << r.metrics.execMs << " ms";
+            if (r.verified)
+                *progress << (r.correct ? " [ok]" : " [WRONG]");
+            *progress << "\n";
+        }
+    });
+
     return rows;
 }
 
 void
-writeCsv(std::ostream &os, const std::vector<SweepRow> &rows)
+writeCsv(std::ostream &os, const std::vector<SweepRow> &rows,
+         bool timingColumns)
 {
     os << "workload,mode,ts_bytes,bmf,exec_ms,command_bw_gcs,"
           "data_bw_gbs,pim_commands,stall_cycles,fences,ol_packets,"
           "wait_per_fence,wait_per_ol,ordering_per_instr,row_hits,"
-          "row_misses,verified,correct,gpu_ms\n";
+          "row_misses,verified,correct,gpu_ms";
+    if (timingColumns)
+        os << ",host_seconds,events_per_second";
+    os << "\n";
     for (const SweepRow &row : rows) {
-        os << row.workload << "," << toString(row.mode) << ","
-           << row.tsBytes << "," << row.bmf << ","
+        os << csvField(row.workload) << "," << toString(row.mode)
+           << "," << row.tsBytes << "," << row.bmf << ","
            << row.metrics.execMs << "," << row.metrics.commandBwGCs
            << "," << row.metrics.dataBwGBs << ","
            << row.metrics.pimCommands << ","
@@ -86,7 +152,11 @@ writeCsv(std::ostream &os, const std::vector<SweepRow> &rows)
            << row.metrics.orderingPerPimInstr() << ","
            << row.metrics.rowHits << "," << row.metrics.rowMisses
            << "," << (row.verified ? 1 : 0) << ","
-           << (row.correct ? 1 : 0) << "," << row.gpuMs << "\n";
+           << (row.correct ? 1 : 0) << "," << row.gpuMs;
+        if (timingColumns)
+            os << "," << row.hostSeconds << ","
+               << row.eventsPerSecond();
+        os << "\n";
     }
 }
 

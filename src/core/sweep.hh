@@ -6,6 +6,14 @@
  * machinery behind the `olight_sweep` tool; the bench binaries use
  * narrower, figure-specific loops so their output mirrors the
  * paper's tables directly.
+ *
+ * Points are independent (one System each), so the grid runs on a
+ * worker pool when SweepSpec::jobs > 1. Results are emitted in the
+ * same deterministic row-major order regardless of the worker
+ * count, and every metric is bit-identical to a serial run; only
+ * the wall-clock self-measurement columns (host_seconds,
+ * events_per_second) vary run to run, which is why writeCsv() omits
+ * them unless asked.
  */
 
 #ifndef OLIGHT_CORE_SWEEP_HH
@@ -33,6 +41,12 @@ struct SweepSpec
     bool gpuBaseline = false; ///< time host execution per workload
     SystemConfig base{};
 
+    /**
+     * Worker threads for the grid: 1 = serial (legacy behavior),
+     * 0 = one per hardware thread, N = exactly N.
+     */
+    unsigned jobs = 1;
+
     std::size_t
     points() const
     {
@@ -52,17 +66,37 @@ struct SweepRow
     bool verified = false;
     bool correct = false;
     double gpuMs = 0.0; ///< only when SweepSpec::gpuBaseline
+
+    /// Simulator self-measurement for this point (wall clock).
+    double hostSeconds = 0.0;
+    std::uint64_t eventsExecuted = 0;
+
+    double
+    eventsPerSecond() const
+    {
+        return hostSeconds > 0.0 ? double(eventsExecuted) /
+                                       hostSeconds
+                                 : 0.0;
+    }
 };
 
 /**
- * Run the full grid (row-major: workload, mode, ts, bmf). When
- * @p progress is non-null, one line per completed point is written.
+ * Run the full grid (row-major: workload, mode, ts, bmf) on
+ * SweepSpec::jobs workers. Row order and all simulated metrics are
+ * identical for every jobs value. When @p progress is non-null, one
+ * line per completed point is written (completion order; serialized
+ * through a mutex when parallel).
  */
 std::vector<SweepRow> runSweep(const SweepSpec &spec,
                                std::ostream *progress = nullptr);
 
-/** Emit rows as CSV (with header). */
-void writeCsv(std::ostream &os, const std::vector<SweepRow> &rows);
+/**
+ * Emit rows as CSV (with header). Fields containing commas, quotes,
+ * or newlines are RFC-4180 quoted. @p timingColumns appends the
+ * non-deterministic host_seconds / events_per_second columns.
+ */
+void writeCsv(std::ostream &os, const std::vector<SweepRow> &rows,
+              bool timingColumns = false);
 
 } // namespace olight
 

@@ -142,12 +142,16 @@ MemoryController::scheduleWake(Tick when)
     if (wakeScheduled_)
         return;
     wakeScheduled_ = true;
-    eq_.schedule(std::max(when, eq_.now()),
-                 [this] {
-                     wakeScheduled_ = false;
-                     wake();
-                 },
-                 EventPriority::Wakeup);
+    // Raw-pointer fast path: this fires once per scheduler stall on
+    // every channel, the queue's single heaviest event source.
+    eq_.scheduleAt(
+        std::max(when, eq_.now()),
+        [](void *self) {
+            auto *mc = static_cast<MemoryController *>(self);
+            mc->wakeScheduled_ = false;
+            mc->wake();
+        },
+        this, EventPriority::Wakeup);
 }
 
 void

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable for the event queue.
+ *
+ * The simulator schedules millions of short-lived closures; wrapping
+ * them in std::function heap-allocates for anything larger than two
+ * pointers. EventCallback keeps captures up to kInlineCapacity bytes
+ * (sized to fit the common [this, Packet] capture) inside the event
+ * itself and falls back to the heap only for oversized captures. A
+ * raw (function-pointer, context) form is provided for per-cycle
+ * wakeups that need no capture machinery at all.
+ */
+
+#ifndef OLIGHT_SIM_CALLBACK_HH
+#define OLIGHT_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace olight
+{
+
+/** Move-only `void()` callable with inline storage. */
+class EventCallback
+{
+  public:
+    /**
+     * Inline capture budget. A memory-pipe [this, Packet] capture is
+     * 88 bytes; anything at or below this rides in the event with no
+     * allocation.
+     */
+    static constexpr std::size_t kInlineCapacity = 96;
+
+    /** Raw fast-path form: no capture, just (fn, ctx). */
+    using RawFn = void (*)(void *);
+
+    EventCallback() noexcept = default;
+
+    EventCallback(RawFn fn, void *ctx) noexcept
+    {
+        auto *raw = ::new (buf_) RawPair{fn, ctx};
+        (void)raw;
+        ops_ = &rawOps();
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventCallback(F &&f) // NOLINT: implicit by design
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (buf_) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>();
+        } else {
+            ::new (buf_) Fn *(new Fn(std::forward<F>(f)));
+            ops_ = &heapOps<Fn>();
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    /** Invoke the callable. @pre *this is non-empty. */
+    void operator()() { ops_->invoke(*this); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** True when the capture lives in the inline buffer. */
+    bool
+    isInline() const noexcept
+    {
+        return ops_ != nullptr && ops_->inlineStorage;
+    }
+
+  private:
+    struct RawPair
+    {
+        RawFn fn;
+        void *ctx;
+    };
+
+    struct Ops
+    {
+        void (*invoke)(EventCallback &);
+        /** Move-construct dst's storage from src, destroying src. */
+        void (*relocate)(EventCallback &dst,
+                         EventCallback &src) noexcept;
+        void (*destroy)(EventCallback &) noexcept;
+        bool inlineStorage;
+    };
+
+    template <typename Fn>
+    Fn &
+    asInline() noexcept
+    {
+        return *std::launder(reinterpret_cast<Fn *>(buf_));
+    }
+
+    template <typename Fn>
+    Fn *&
+    asHeap() noexcept
+    {
+        return *std::launder(reinterpret_cast<Fn **>(buf_));
+    }
+
+    template <typename Fn>
+    static const Ops &
+    inlineOps() noexcept
+    {
+        static constexpr Ops ops = {
+            [](EventCallback &self) { self.asInline<Fn>()(); },
+            [](EventCallback &dst, EventCallback &src) noexcept {
+                ::new (dst.buf_)
+                    Fn(std::move(src.asInline<Fn>()));
+                src.asInline<Fn>().~Fn();
+            },
+            [](EventCallback &self) noexcept {
+                self.asInline<Fn>().~Fn();
+            },
+            true,
+        };
+        return ops;
+    }
+
+    template <typename Fn>
+    static const Ops &
+    heapOps() noexcept
+    {
+        static constexpr Ops ops = {
+            [](EventCallback &self) { (*self.asHeap<Fn>())(); },
+            [](EventCallback &dst, EventCallback &src) noexcept {
+                ::new (dst.buf_) Fn *(src.asHeap<Fn>());
+            },
+            [](EventCallback &self) noexcept {
+                delete self.asHeap<Fn>();
+            },
+            false,
+        };
+        return ops;
+    }
+
+    static const Ops &
+    rawOps() noexcept
+    {
+        static constexpr Ops ops = {
+            [](EventCallback &self) {
+                RawPair p = self.asInline<RawPair>();
+                p.fn(p.ctx);
+            },
+            [](EventCallback &dst, EventCallback &src) noexcept {
+                ::new (dst.buf_)
+                    RawPair(src.asInline<RawPair>());
+            },
+            [](EventCallback &) noexcept {},
+            true,
+        };
+        return ops;
+    }
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(*this, other);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(*this);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_CALLBACK_HH

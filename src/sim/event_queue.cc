@@ -1,9 +1,60 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace olight
 {
+
+void
+EventQueue::push(Entry entry)
+{
+    // Hole-based sift-up: move parents down into the hole until the
+    // new entry's slot is found; one move per level instead of the
+    // three a swap would cost.
+    std::size_t hole = heap_.size();
+    heap_.emplace_back(); // default entry; overwritten below
+    while (hole > 0) {
+        std::size_t parent = (hole - 1) / kArity;
+        if (!entry.before(heap_[parent]))
+            break;
+        heap_[hole] = std::move(heap_[parent]);
+        hole = parent;
+    }
+    heap_[hole] = std::move(entry);
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    Entry top = std::move(heap_.front());
+    Entry last = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        // Sift the former last element down from the root hole.
+        std::size_t hole = 0;
+        const std::size_t size = heap_.size();
+        while (true) {
+            std::size_t first_child = hole * kArity + 1;
+            if (first_child >= size)
+                break;
+            std::size_t best = first_child;
+            std::size_t end =
+                std::min(first_child + kArity, size);
+            for (std::size_t c = first_child + 1; c < end; ++c) {
+                if (heap_[c].before(heap_[best]))
+                    best = c;
+            }
+            if (!heap_[best].before(last))
+                break;
+            heap_[hole] = std::move(heap_[best]);
+            hole = best;
+        }
+        heap_[hole] = std::move(last);
+    }
+    return top;
+}
 
 void
 EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
@@ -11,8 +62,27 @@ EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
     if (when < now_)
         olight_panic("event scheduled in the past: when=", when,
                      " now=", now_);
-    heap_.push(Entry{when, static_cast<int>(prio), nextSeq_++,
-                     std::move(cb)});
+    push(Entry{when, makeOrder(prio, nextSeq_++), std::move(cb)});
+}
+
+void
+EventQueue::scheduleAt(Tick when, RawFn fn, void *ctx,
+                       EventPriority prio)
+{
+    if (when < now_)
+        olight_panic("event scheduled in the past: when=", when,
+                     " now=", now_);
+    push(Entry{when, makeOrder(prio, nextSeq_++),
+               Callback(fn, ctx)});
+}
+
+void
+EventQueue::scheduleAtBatch(const Tick *whens, std::size_t n,
+                            RawFn fn, void *ctx, EventPriority prio)
+{
+    heap_.reserve(heap_.size() + n);
+    for (std::size_t i = 0; i < n; ++i)
+        scheduleAt(whens[i], fn, ctx, prio);
 }
 
 bool
@@ -20,10 +90,7 @@ EventQueue::step()
 {
     if (heap_.empty())
         return false;
-    // priority_queue::top() is const; move out via const_cast, which
-    // is safe because we pop immediately afterwards.
-    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
+    Entry entry = popTop();
     now_ = entry.when;
     ++numExecuted_;
     entry.cb();
@@ -33,7 +100,7 @@ EventQueue::step()
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit) {
+    while (!heap_.empty() && heap_.front().when <= limit) {
         if (!step())
             break;
     }

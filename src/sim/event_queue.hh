@@ -6,16 +6,21 @@
  * are callbacks scheduled at absolute ticks; same-tick events are
  * ordered by (priority, insertion sequence) which keeps simulations
  * fully deterministic.
+ *
+ * The hot path is allocation-free: callbacks are small-buffer
+ * optimized (sim/callback.hh) and the pending set is a hand-rolled
+ * 4-ary heap over a reserved vector — shallower than a binary heap
+ * and sifted with moves into a hole instead of element swaps, which
+ * matters when every element carries an inline capture buffer.
  */
 
 #ifndef OLIGHT_SIM_EVENT_QUEUE_HH
 #define OLIGHT_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace olight
@@ -34,14 +39,17 @@ enum class EventPriority : int
  * The global event queue.
  *
  * Each System owns one. Components capture a reference and schedule
- * closures; there is no threading, so no locking is required.
+ * closures; there is no threading within one System, so no locking
+ * is required. (Distinct Systems on distinct threads are fine: the
+ * queue has no global state.)
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
+    using RawFn = EventCallback::RawFn;
 
-    EventQueue() = default;
+    EventQueue() { heap_.reserve(1024); }
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -54,6 +62,9 @@ class EventQueue
     /** True when no events remain. */
     bool empty() const { return heap_.empty(); }
 
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
     /**
      * Schedule @p cb to run at absolute tick @p when.
      *
@@ -61,6 +72,23 @@ class EventQueue
      */
     void schedule(Tick when, Callback cb,
                   EventPriority prio = EventPriority::Default);
+
+    /**
+     * Raw fast path: schedule `fn(ctx)` at @p when with zero capture
+     * machinery — two words stored inline in the event. This is the
+     * right call for recurring per-cycle wakeups (the memory
+     * controller's scheduler is the heaviest user).
+     */
+    void scheduleAt(Tick when, RawFn fn, void *ctx,
+                    EventPriority prio = EventPriority::Wakeup);
+
+    /**
+     * Batch form of scheduleAt(): one `fn(ctx)` firing per tick in
+     * @p whens. Grows the heap once for the whole batch.
+     */
+    void scheduleAtBatch(const Tick *whens, std::size_t n, RawFn fn,
+                         void *ctx,
+                         EventPriority prio = EventPriority::Wakeup);
 
     /** Schedule @p cb @p delta ticks from now. */
     void
@@ -84,25 +112,31 @@ class EventQueue
     struct Entry
     {
         Tick when;
-        int prio;
-        std::uint64_t seq;
+        std::uint64_t order; ///< (priority << 56) | sequence
         Callback cb;
-    };
 
-    struct Later
-    {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        before(const Entry &other) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.seq > b.seq;
+            if (when != other.when)
+                return when < other.when;
+            return order < other.order;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    static std::uint64_t
+    makeOrder(EventPriority prio, std::uint64_t seq)
+    {
+        return (std::uint64_t(static_cast<int>(prio)) << 56) | seq;
+    }
+
+    void push(Entry entry);
+    Entry popTop();
+
+    /** 4-ary min-heap on (when, order) over heap_. */
+    static constexpr std::size_t kArity = 4;
+
+    std::vector<Entry> heap_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t numExecuted_ = 0;

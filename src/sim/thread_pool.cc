@@ -1,0 +1,105 @@
+#include "sim/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace olight
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned n = threads ? threads : defaultThreads();
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(Job job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++unfinished_;
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this] { return unfinished_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        workCv_.wait(lock,
+                     [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stop_)
+                return;
+            continue;
+        }
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        try {
+            job();
+        } catch (...) {
+            std::lock_guard<std::mutex> guard(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        lock.lock();
+        if (--unfinished_ == 0)
+            idleCv_.notify_all();
+    }
+}
+
+void
+parallelFor(unsigned jobs, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (jobs == 0)
+        jobs = ThreadPool::defaultThreads();
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(unsigned(std::min<std::size_t>(jobs, n)));
+    // One claim-next-index job per worker keeps the queue tiny and
+    // load-balances uneven point costs.
+    std::atomic<std::size_t> next{0};
+    for (unsigned w = 0; w < pool.size(); ++w) {
+        pool.submit([&] {
+            for (std::size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1))
+                fn(i);
+        });
+    }
+    pool.wait();
+}
+
+} // namespace olight

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal worker pool for host-side parallelism.
+ *
+ * The simulator itself is single-threaded per System; the pool is
+ * for running *independent* Systems concurrently — one sweep point
+ * each — plus auxiliary work like golden-reference verification.
+ * Jobs go through a plain mutex-protected queue; the first exception
+ * a job throws is captured and rethrown from wait().
+ */
+
+#ifndef OLIGHT_SIM_THREAD_POOL_HH
+#define OLIGHT_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace olight
+{
+
+/** Fixed-size worker pool with a FIFO work queue. */
+class ThreadPool
+{
+  public:
+    using Job = std::function<void()>;
+
+    /** Threads to use when the caller asks for "auto" (0). */
+    static unsigned
+    defaultThreads()
+    {
+        unsigned hc = std::thread::hardware_concurrency();
+        return hc ? hc : 1u;
+    }
+
+    /** @param threads worker count; 0 means defaultThreads(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job; runs as soon as a worker is free. */
+    void submit(Job job);
+
+    /**
+     * Block until every submitted job has finished, then rethrow the
+     * first exception any job raised (if any).
+     */
+    void wait();
+
+    unsigned size() const { return unsigned(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<Job> queue_;
+    std::mutex mutex_;
+    std::condition_variable workCv_; ///< signals workers
+    std::condition_variable idleCv_; ///< signals wait()
+    std::size_t unfinished_ = 0;     ///< queued + running jobs
+    std::exception_ptr firstError_;
+    bool stop_ = false;
+};
+
+/**
+ * Run fn(0..n-1) across @p jobs workers (serially when jobs <= 1 or
+ * n <= 1 — the serial path is exactly the legacy loop, so callers
+ * keep bit-identical behavior at jobs=1). Iteration order across
+ * workers is unspecified; each index runs exactly once.
+ */
+void parallelFor(unsigned jobs, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_THREAD_POOL_HH

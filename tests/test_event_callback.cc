@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the small-buffer-optimized EventCallback: capture
+ * lifetime (destructors run exactly once, via a ref-counted
+ * sentinel), inline-vs-heap storage selection, the raw
+ * function-pointer fast path, and the batch wakeup API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "sim/callback.hh"
+#include "sim/event_queue.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(EventCallback, DestructorRunsExactlyOnceAfterInvocation)
+{
+    auto sentinel = std::make_shared<int>(42);
+    ASSERT_EQ(sentinel.use_count(), 1);
+    {
+        EventQueue eq;
+        eq.schedule(5, [keep = sentinel] { (void)*keep; });
+        EXPECT_EQ(sentinel.use_count(), 2);
+        eq.run();
+        // The capture was destroyed when the event fired — not
+        // leaked, not destroyed twice (use_count would underflow
+        // into heap corruption long before this check).
+        EXPECT_EQ(sentinel.use_count(), 1);
+    }
+    EXPECT_EQ(sentinel.use_count(), 1);
+}
+
+TEST(EventCallback, DestructorRunsOnceWhenNeverInvoked)
+{
+    auto sentinel = std::make_shared<int>(7);
+    {
+        EventCallback cb([keep = sentinel] { (void)*keep; });
+        EXPECT_EQ(sentinel.use_count(), 2);
+        // cb destroyed without being called.
+    }
+    EXPECT_EQ(sentinel.use_count(), 1);
+}
+
+TEST(EventCallback, MoveTransfersOwnershipWithoutDoubleDestroy)
+{
+    auto sentinel = std::make_shared<int>(1);
+    {
+        EventCallback a([keep = sentinel] { (void)*keep; });
+        EXPECT_EQ(sentinel.use_count(), 2);
+        EventCallback b(std::move(a));
+        // Still exactly one live capture.
+        EXPECT_EQ(sentinel.use_count(), 2);
+        EXPECT_FALSE(bool(a));
+        ASSERT_TRUE(bool(b));
+        b();
+        EventCallback c = std::move(b);
+        EXPECT_FALSE(bool(b));
+        c = EventCallback([] {});
+        EXPECT_EQ(sentinel.use_count(), 1);
+    }
+    EXPECT_EQ(sentinel.use_count(), 1);
+}
+
+TEST(EventCallback, SmallCapturesStayInline)
+{
+    // A capture the size of the memory pipe's [this, Packet] pair.
+    std::array<char, 88> big_enough{};
+    EventCallback cb([big_enough] { (void)big_enough; });
+    EXPECT_TRUE(cb.isInline());
+    cb();
+}
+
+TEST(EventCallback, OversizedCapturesFallBackToHeap)
+{
+    std::array<char, EventCallback::kInlineCapacity + 1> oversized{};
+    oversized.back() = 99;
+    int seen = 0;
+    EventCallback cb([oversized, &seen] { seen = oversized.back(); });
+    EXPECT_FALSE(cb.isInline());
+    cb();
+    EXPECT_EQ(seen, 99);
+
+    // Heap captures still destroy exactly once through moves.
+    auto sentinel = std::make_shared<int>(3);
+    {
+        EventCallback big(
+            [oversized, keep = sentinel] { (void)*keep; });
+        EXPECT_FALSE(big.isInline());
+        EXPECT_EQ(sentinel.use_count(), 2);
+        EventCallback moved(std::move(big));
+        EXPECT_EQ(sentinel.use_count(), 2);
+        moved();
+        EXPECT_EQ(sentinel.use_count(), 2);
+    }
+    EXPECT_EQ(sentinel.use_count(), 1);
+}
+
+TEST(EventCallback, InlineCapacityMeetsFloor)
+{
+    // The issue floor: inline storage must be at least 48 bytes.
+    static_assert(EventCallback::kInlineCapacity >= 48);
+    SUCCEED();
+}
+
+TEST(EventQueueFastPath, RawFunctionPointerEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto bump = [](void *ctx) { ++*static_cast<int *>(ctx); };
+    eq.scheduleAt(10, bump, &fired);
+    eq.scheduleAt(5, bump, &fired);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueueFastPath, BatchSchedulesOneEventPerTick)
+{
+    EventQueue eq;
+    std::vector<Tick> fired_at;
+    struct Ctx
+    {
+        EventQueue *eq;
+        std::vector<Tick> *out;
+    } ctx{&eq, &fired_at};
+    const Tick whens[] = {30, 10, 20};
+    eq.scheduleAtBatch(
+        whens, 3,
+        [](void *c) {
+            auto *x = static_cast<Ctx *>(c);
+            x->out->push_back(x->eq->now());
+        },
+        &ctx);
+    eq.run();
+    EXPECT_EQ(fired_at, (std::vector<Tick>{10, 20, 30}));
+}
+
+TEST(EventQueueFastPath, RawAndClosureEventsInterleaveByPriority)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&order] { order.push_back(1); },
+                EventPriority::Default);
+    // Raw events default to Wakeup priority: after same-tick
+    // arrivals, matching the memory controller's usage.
+    eq.scheduleAt(5,
+                  [](void *o) {
+                      static_cast<std::vector<int> *>(o)->push_back(
+                          2);
+                  },
+                  &order);
+    eq.schedule(5, [&order] { order.push_back(0); },
+                EventPriority::DramTiming);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+} // namespace
+} // namespace olight

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the parallel sweep driver and the worker pool: the
+ * determinism guarantee (N workers produce bit-identical rows to 1
+ * worker), the (workload, elements)-keyed GPU-baseline cache, CSV
+ * comma guarding, and ThreadPool semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/sweep.hh"
+#include "sim/thread_pool.hh"
+
+namespace olight
+{
+namespace
+{
+
+SweepSpec
+smallSpec()
+{
+    SweepSpec spec;
+    spec.workloads = {"Scale", "Copy"};
+    spec.modes = {OrderingMode::Fence, OrderingMode::OrderLight};
+    spec.tsSizes = {128, 256};
+    spec.bmfs = {16};
+    spec.elements = 1ull << 12;
+    spec.verify = true;
+    return spec;
+}
+
+TEST(ParallelSweep, BitIdenticalRowsAcrossWorkerCounts)
+{
+    SweepSpec serial = smallSpec();
+    serial.jobs = 1;
+    auto rows1 = runSweep(serial);
+
+    SweepSpec parallel = smallSpec();
+    parallel.jobs = 4;
+    auto rows4 = runSweep(parallel);
+
+    ASSERT_EQ(rows1.size(), rows4.size());
+    for (std::size_t i = 0; i < rows1.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(rows1[i].workload, rows4[i].workload);
+        EXPECT_EQ(rows1[i].mode, rows4[i].mode);
+        EXPECT_EQ(rows1[i].tsBytes, rows4[i].tsBytes);
+        EXPECT_EQ(rows1[i].bmf, rows4[i].bmf);
+        // Simulated metrics must be bit-identical, not just close.
+        EXPECT_EQ(rows1[i].metrics.finishTick,
+                  rows4[i].metrics.finishTick);
+        EXPECT_EQ(rows1[i].metrics.execMs, rows4[i].metrics.execMs);
+        EXPECT_EQ(rows1[i].metrics.pimCommands,
+                  rows4[i].metrics.pimCommands);
+        EXPECT_EQ(rows1[i].metrics.stallCycles,
+                  rows4[i].metrics.stallCycles);
+        EXPECT_EQ(rows1[i].metrics.rowHits,
+                  rows4[i].metrics.rowHits);
+        EXPECT_EQ(rows1[i].eventsExecuted,
+                  rows4[i].eventsExecuted);
+        EXPECT_TRUE(rows4[i].correct);
+    }
+
+    // The acceptance-level check: default CSV output (which omits
+    // the wall-clock columns) is byte-identical.
+    std::ostringstream csv1, csv4;
+    writeCsv(csv1, rows1);
+    writeCsv(csv4, rows4);
+    EXPECT_EQ(csv1.str(), csv4.str());
+}
+
+TEST(ParallelSweep, ProgressLinesStayWholeUnderParallelism)
+{
+    SweepSpec spec = smallSpec();
+    spec.verify = false;
+    spec.jobs = 4;
+    std::ostringstream progress;
+    auto rows = runSweep(spec, &progress);
+    ASSERT_EQ(rows.size(), spec.points());
+
+    // One complete line per point; every line carries the " ms"
+    // suffix, so no interleaved/torn writes.
+    std::istringstream in(progress.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_NE(line.find(" ms"), std::string::npos) << line;
+    }
+    EXPECT_EQ(lines, spec.points());
+}
+
+TEST(ParallelSweep, GpuBaselineCachedPerWorkloadAndElements)
+{
+    SweepSpec spec;
+    // The same workload listed twice must share one baseline run
+    // and both copies must get the same value.
+    spec.workloads = {"Scale", "Scale"};
+    spec.modes = {OrderingMode::OrderLight};
+    spec.tsSizes = {256};
+    spec.bmfs = {16};
+    spec.elements = 1ull << 12;
+    spec.gpuBaseline = true;
+    spec.jobs = 2;
+    auto rows = runSweep(spec);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_GT(rows[0].gpuMs, 0.0);
+    EXPECT_EQ(rows[0].gpuMs, rows[1].gpuMs);
+
+    // A different problem size is a different cache key: the
+    // baseline must be recomputed, and longer streams take longer.
+    // (Sizes below ~2^16 clamp to the same minimum per-channel
+    // layout, so use a contrast large enough to actually differ.)
+    SweepSpec bigger = spec;
+    bigger.workloads = {"Scale"};
+    bigger.elements = 1ull << 18;
+    auto big_rows = runSweep(bigger);
+    ASSERT_EQ(big_rows.size(), 1u);
+    EXPECT_GT(big_rows[0].gpuMs, rows[0].gpuMs);
+}
+
+TEST(ParallelSweep, CsvEscapesCommasInWorkloadNames)
+{
+    SweepRow row;
+    row.workload = "Weird,Name\"quoted\"";
+    row.mode = OrderingMode::Fence;
+    row.tsBytes = 128;
+    row.bmf = 16;
+    std::ostringstream csv;
+    writeCsv(csv, {row});
+    // RFC 4180: the field is quoted and inner quotes doubled, so
+    // the schema still has a fixed column count.
+    EXPECT_NE(csv.str().find("\"Weird,Name\"\"quoted\"\"\",Fence"),
+              std::string::npos)
+        << csv.str();
+    std::string header = csv.str().substr(0, csv.str().find('\n'));
+    std::string data = csv.str().substr(csv.str().find('\n') + 1);
+    // Count unquoted commas in the data row: must match the header.
+    std::size_t header_commas =
+        std::size_t(std::count(header.begin(), header.end(), ','));
+    std::size_t data_commas = 0;
+    bool in_quotes = false;
+    for (char c : data) {
+        if (c == '"')
+            in_quotes = !in_quotes;
+        else if (c == ',' && !in_quotes)
+            ++data_commas;
+    }
+    EXPECT_EQ(data_commas, header_commas);
+}
+
+TEST(ParallelSweep, TimingColumnsAreOptIn)
+{
+    SweepRow row;
+    row.workload = "Add";
+    row.mode = OrderingMode::OrderLight;
+    row.hostSeconds = 0.5;
+    row.eventsExecuted = 1000;
+
+    std::ostringstream plain, timed;
+    writeCsv(plain, {row});
+    writeCsv(timed, {row}, true);
+    EXPECT_EQ(plain.str().find("host_seconds"), std::string::npos);
+    EXPECT_NE(timed.str().find(",host_seconds,events_per_second"),
+              std::string::npos);
+    EXPECT_NE(timed.str().find(",0.5,2000"), std::string::npos);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJobExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+
+    // The pool is reusable after wait().
+    pool.submit([&counter] { counter += 10; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 110);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstJobException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed; the pool remains usable.
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    for (unsigned jobs : {1u, 3u, 8u}) {
+        std::vector<std::atomic<int>> hits(37);
+        parallelFor(jobs, hits.size(),
+                    [&](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs
+                                         << " i=" << i;
+    }
+}
+
+} // namespace
+} // namespace olight

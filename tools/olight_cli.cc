@@ -20,6 +20,7 @@
 #include "core/energy.hh"
 #include "core/runner.hh"
 #include "core/system.hh"
+#include "sim/thread_pool.hh"
 #include "workloads/reference.hh"
 #include "workloads/registry.hh"
 
@@ -44,6 +45,8 @@ usage()
         "  --gpu-baseline    also time GPU host execution\n"
         "  --stats           dump all statistics\n"
         "  --energy          print the energy breakdown\n"
+        "  --jobs N          worker threads for verification and\n"
+        "                    baseline runs (0 = auto, default 1)\n"
         "  --trace FILE      write a CSV packet trace\n"
         "  --dump-kernel N   disassemble N instrs per channel\n"
         "  --flush           model the pre-kernel coherence flush\n"
@@ -77,6 +80,7 @@ main(int argc, char **argv)
     bool cpu_host = false, verify = false, gpu_baseline = false;
     bool dump_stats = false, energy = false, flush = false;
     std::size_t dump_kernel = 0;
+    unsigned jobs = 1;
     std::string trace_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -110,6 +114,8 @@ main(int argc, char **argv)
             dump_stats = true;
         else if (arg == "--energy")
             energy = true;
+        else if (arg == "--jobs" || arg == "-j")
+            jobs = unsigned(std::stoul(next()));
         else if (arg == "--trace")
             trace_path = next();
         else if (arg == "--dump-kernel")
@@ -161,7 +167,36 @@ main(int argc, char **argv)
     sys.loadPimKernel(w->streams());
     if (flush)
         sys.setCoherenceFlush(w->hostTraffic());
+
+    // With --jobs > 1, the golden-reference execution and the GPU
+    // host baseline are independent of the main simulation, so they
+    // run on pool workers while sys.run() occupies this thread.
+    if (jobs == 0)
+        jobs = ThreadPool::defaultThreads();
+    ThreadPool pool(jobs > 1 ? jobs - 1 : 1);
+    bool overlap = jobs > 1;
+
+    SparseMemory golden;
+    bool golden_ready = false;
+    auto run_golden = [&] {
+        w->initMemory(golden);
+        runGolden(cfg, w->map(), w->streams(), golden);
+        golden_ready = true;
+    };
+    double gpu_ms = 0.0;
+    auto run_gpu = [&] {
+        gpu_ms = gpuBaselineMs(workload, elements, base);
+    };
+    if (overlap) {
+        if (verify)
+            pool.submit(run_golden);
+        if (gpu_baseline)
+            pool.submit(run_gpu);
+    }
+
     RunMetrics m = sys.run();
+    if (overlap)
+        pool.wait();
 
     std::cout << "\n" << workload << " / " << toString(mode) << " / "
               << tsLabel(cfg) << " / BMF " << bmf << ":\n  ";
@@ -172,9 +207,8 @@ main(int argc, char **argv)
                   << ticksToMs(sys.flushDoneTick()) << " ms\n";
 
     if (verify) {
-        SparseMemory golden;
-        w->initMemory(golden);
-        runGolden(cfg, w->map(), w->streams(), golden);
+        if (!golden_ready)
+            run_golden();
         std::string why;
         bool ok = true;
         for (const auto &arr : w->arrays()) {
@@ -192,7 +226,8 @@ main(int argc, char **argv)
     }
 
     if (gpu_baseline) {
-        double gpu_ms = gpuBaselineMs(workload, elements, base);
+        if (!overlap)
+            run_gpu();
         std::cout << "  GPU host execution: " << gpu_ms
                   << " ms (PIM speedup "
                   << gpu_ms / m.execMs << "x)\n";

@@ -6,6 +6,10 @@
  *
  *   olight_sweep --workloads Add,Scale --modes fence,orderlight \
  *                --ts 128,256,512,1024 --bmf 16 --out sweep.csv
+ *
+ * Grid points are independent simulations, so the sweep runs on a
+ * worker pool (--jobs N, default one per hardware thread); the CSV
+ * is byte-identical for every worker count.
  */
 
 #include <fstream>
@@ -13,6 +17,7 @@
 #include <sstream>
 
 #include "core/sweep.hh"
+#include "sim/thread_pool.hh"
 #include "workloads/registry.hh"
 
 using namespace olight;
@@ -53,7 +58,9 @@ int
 main(int argc, char **argv)
 {
     SweepSpec spec;
+    spec.jobs = 0; // one worker per hardware thread
     std::string out_path;
+    bool timing = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -89,13 +96,18 @@ main(int argc, char **argv)
             spec.gpuBaseline = true;
         } else if (arg == "--out") {
             out_path = next();
+        } else if (arg == "--jobs" || arg == "-j") {
+            spec.jobs = unsigned(std::stoul(next()));
+        } else if (arg == "--timing") {
+            timing = true;
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: olight_sweep [--workloads a,b|all] "
                    "[--modes fence,orderlight,seqnum,none]\n"
                    "  [--ts 128,256,...] [--bmf 4,8,16] "
                    "[--elements N] [--verify]\n"
-                   "  [--gpu-baseline] [--out FILE]\n";
+                   "  [--gpu-baseline] [--out FILE] "
+                   "[--jobs N (0 = auto)] [--timing]\n";
             return 0;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
@@ -103,18 +115,21 @@ main(int argc, char **argv)
         }
     }
 
-    std::cerr << "sweeping " << spec.points() << " points...\n";
+    std::cerr << "sweeping " << spec.points() << " points ("
+              << (spec.jobs ? spec.jobs
+                            : ThreadPool::defaultThreads())
+              << " workers)...\n";
     auto rows = runSweep(spec, &std::cerr);
 
     if (out_path.empty()) {
-        writeCsv(std::cout, rows);
+        writeCsv(std::cout, rows, timing);
     } else {
         std::ofstream out(out_path);
         if (!out) {
             std::cerr << "cannot open " << out_path << "\n";
             return 2;
         }
-        writeCsv(out, rows);
+        writeCsv(out, rows, timing);
         std::cerr << "wrote " << rows.size() << " rows to "
                   << out_path << "\n";
     }
