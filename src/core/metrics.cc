@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "sim/json.hh"
+
 namespace olight
 {
 
@@ -19,7 +21,10 @@ collectMetrics(const StatSet &stats, const SystemConfig &cfg,
     double seconds = ticksToSeconds(finishTick);
     if (seconds > 0.0) {
         m.commandBwGCs = double(m.pimCommands) / seconds / 1e9;
-        m.dataBwGBs = double(m.pimMemCommands) * 32.0 * cfg.bmf /
+        // Each PIM memory command moves one bus-width column per
+        // lane across all BMF lanes (not a hardcoded 32 bytes).
+        m.dataBwGBs = double(m.pimMemCommands) *
+                      double(cfg.busWidthBytes) * cfg.bmf /
                       seconds / 1e9;
     }
 
@@ -73,6 +78,34 @@ RunMetrics::print(std::ostream &os) const
     if (olPackets)
         os << " wait/OL=" << std::setprecision(1) << waitPerOl;
     os << std::defaultfloat;
+}
+
+void
+RunMetrics::writeJson(std::ostream &os) const
+{
+    os << "{\"finish_tick\":" << finishTick << ",\"exec_ms\":";
+    jsonNumber(os, execMs);
+    os << ",\"command_bw_gcs\":";
+    jsonNumber(os, commandBwGCs);
+    os << ",\"data_bw_gbs\":";
+    jsonNumber(os, dataBwGBs);
+    os << ",\"pim_commands\":" << pimCommands
+       << ",\"pim_mem_commands\":" << pimMemCommands
+       << ",\"stall_cycles\":" << stallCycles
+       << ",\"fences\":" << fenceCount
+       << ",\"ol_packets\":" << olPackets << ",\"wait_per_fence\":";
+    jsonNumber(os, waitPerFence);
+    os << ",\"wait_per_ol\":";
+    jsonNumber(os, waitPerOl);
+    os << ",\"ordering_per_instr\":";
+    jsonNumber(os, orderingPerPimInstr());
+    os << ",\"row_hits\":" << rowHits
+       << ",\"row_misses\":" << rowMisses << ",\"acts\":" << acts
+       << ",\"host_requests\":" << hostRequests
+       << ",\"host_finish_tick\":" << hostFinishTick
+       << ",\"host_ms\":";
+    jsonNumber(os, hostMs);
+    os << "}";
 }
 
 } // namespace olight

@@ -60,6 +60,13 @@ struct RunMetrics
     }
 
     void print(std::ostream &os) const;
+
+    /**
+     * Emit one JSON object with every metric, keys matching the
+     * sweep CSV columns (exec_ms, command_bw_gcs, ...). Used by the
+     * --stats-json outputs of both tools.
+     */
+    void writeJson(std::ostream &os) const;
 };
 
 /** Harvest metrics from a finished run's statistics. */

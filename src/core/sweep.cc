@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "sim/json.hh"
 #include "sim/thread_pool.hh"
 
 namespace olight
@@ -158,6 +159,35 @@ writeCsv(std::ostream &os, const std::vector<SweepRow> &rows,
                << row.eventsPerSecond();
         os << "\n";
     }
+}
+
+void
+writeJsonRows(std::ostream &os, const std::vector<SweepRow> &rows,
+              bool timingColumns)
+{
+    os << "[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &row = rows[i];
+        os << (i ? ",\n" : "\n") << "{\"workload\":";
+        jsonString(os, row.workload);
+        os << ",\"mode\":";
+        jsonString(os, toString(row.mode));
+        os << ",\"ts_bytes\":" << row.tsBytes
+           << ",\"bmf\":" << row.bmf << ",\"verified\":"
+           << (row.verified ? "true" : "false") << ",\"correct\":"
+           << (row.correct ? "true" : "false") << ",\"gpu_ms\":";
+        jsonNumber(os, row.gpuMs);
+        os << ",\"metrics\":";
+        row.metrics.writeJson(os);
+        if (timingColumns) {
+            os << ",\"host_seconds\":";
+            jsonNumber(os, row.hostSeconds);
+            os << ",\"events_per_second\":";
+            jsonNumber(os, row.eventsPerSecond());
+        }
+        os << "}";
+    }
+    os << "\n]\n";
 }
 
 } // namespace olight

@@ -98,6 +98,16 @@ std::vector<SweepRow> runSweep(const SweepSpec &spec,
 void writeCsv(std::ostream &os, const std::vector<SweepRow> &rows,
               bool timingColumns = false);
 
+/**
+ * Emit rows as a JSON array; each element carries the grid point,
+ * verification outcome, and a nested "metrics" object (full
+ * RunMetrics, see RunMetrics::writeJson). @p timingColumns appends
+ * the non-deterministic host_seconds / events_per_second fields.
+ */
+void writeJsonRows(std::ostream &os,
+                   const std::vector<SweepRow> &rows,
+                   bool timingColumns = false);
+
 } // namespace olight
 
 #endif // OLIGHT_CORE_SWEEP_HH

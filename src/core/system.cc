@@ -90,11 +90,69 @@ System::setCoherenceFlush(std::vector<HostArraySpec> arrays)
 }
 
 void
-System::enableTrace(std::ostream &os)
+System::enableTrace(std::ostream &os, TraceFormat format)
 {
-    trace_ = std::make_unique<TraceWriter>(os);
+    trace_ = std::make_unique<TraceWriter>(os, format);
     for (auto &mc : mcs_)
         mc->setTrace(trace_.get());
+    for (auto &slice : slices_)
+        slice->setTrace(trace_.get());
+    icnt_->setTrace(trace_.get());
+    for (auto &sm : sms_)
+        sm->setTrace(trace_.get());
+}
+
+void
+System::enableSampling(std::ostream &os, Tick interval)
+{
+    if (sampler_)
+        olight_fatal("sampling is already enabled on this system");
+    std::vector<Sampler::Probe> probes;
+    for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+        std::string mc = "mc" + std::to_string(ch);
+        MemoryController *mcp = mcs_[ch].get();
+        probes.push_back({mc + ".readq", [mcp] {
+                              return double(mcp->readQueueDepth());
+                          }});
+        probes.push_back({mc + ".writeq", [mcp] {
+                              return double(mcp->writeQueueDepth());
+                          }});
+        probes.push_back({mc + ".olFlags", [mcp] {
+            const OrderingTracker &t = mcp->tracker();
+            double set = 0.0;
+            for (std::uint32_t g = 0; g < t.numGroups(); ++g)
+                set += t.flagSet(g) ? 1.0 : 0.0;
+            return set;
+        }});
+        probes.push_back({mc + ".olPending", [mcp] {
+            const OrderingTracker &t = mcp->tracker();
+            double pending = 0.0;
+            for (std::uint32_t g = 0; g < t.numGroups(); ++g)
+                pending += double(t.pendingCount(g));
+            return pending;
+        }});
+        std::string dram = "dram" + std::to_string(ch);
+        const Scalar *hits = stats_.findScalar(dram + ".rowHits");
+        const Scalar *misses = stats_.findScalar(dram + ".rowMisses");
+        probes.push_back({dram + ".rowHitRate", [hits, misses] {
+            double h = hits ? hits->value() : 0.0;
+            double m = misses ? misses->value() : 0.0;
+            return h + m > 0.0 ? h / (h + m) : 0.0;
+        }});
+    }
+    sampler_ =
+        std::make_unique<Sampler>(eq_, os, interval, std::move(probes));
+    sampler_->start();
+}
+
+bool
+System::stepSim()
+{
+    if (!eq_.step())
+        return false;
+    if (sampler_)
+        sampler_->poll();
+    return true;
 }
 
 bool
@@ -144,7 +202,7 @@ System::run()
         // Section 5.4: flush dirty PIM operands to memory before
         // launching the PIM kernel.
         host_->start();
-        while (!host_->done() && eq_.step()) {
+        while (!host_->done() && stepSim()) {
         }
         if (!host_->done())
             olight_panic("coherence flush did not complete");
@@ -162,7 +220,7 @@ System::run()
             mc->setHostBlocked(true);
     }
 
-    while (eq_.step()) {
+    while (stepSim()) {
         if (cga_phase && pimDrained()) {
             // PIM kernel complete: admit the host's memory traffic.
             cga_phase = false;
@@ -177,7 +235,7 @@ System::run()
         for (auto &mc : mcs_)
             mc->setHostBlocked(false);
         host_->start();
-        while (eq_.step()) {
+        while (stepSim()) {
         }
     }
 

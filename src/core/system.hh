@@ -26,6 +26,7 @@
 #include "noc/l2_slice.hh"
 #include "pim/pim_unit.hh"
 #include "sim/event_queue.hh"
+#include "sim/sampler.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -57,8 +58,26 @@ class System
     /** Background / baseline host traffic. */
     void setHostTraffic(std::vector<HostArraySpec> arrays);
 
-    /** Stream a CSV packet trace of all memory controllers. */
-    void enableTrace(std::ostream &os);
+    /**
+     * Stream a packet trace. Csv keeps the original MC-level rows
+     * (plus per-stage span rows); ChromeJson emits a trace_event
+     * file with a span per pipeline stage of every packet's life
+     * (SM collect -> interconnect -> L2 -> MC queue -> scheduled),
+     * ready for Perfetto / chrome://tracing.
+     */
+    void enableTrace(std::ostream &os,
+                     TraceFormat format = TraceFormat::Csv);
+
+    /**
+     * Sample per-channel observability probes (read/write queue
+     * depth, OrderLight flags and pending counts, row-hit rate)
+     * every @p interval ticks into @p os as time-series CSV. Call
+     * before run().
+     */
+    void enableSampling(std::ostream &os, Tick interval);
+
+    /** The sampler, when sampling is enabled (else nullptr). */
+    const Sampler *sampler() const { return sampler_.get(); }
 
     /**
      * Model the coherence flush of Section 5.4: before the PIM
@@ -95,6 +114,7 @@ class System
   private:
     bool smsDone() const;
     bool pimDrained() const;
+    bool stepSim();
     void checkCompletion() const;
 
     SystemConfig cfg_;
@@ -112,6 +132,7 @@ class System
     std::unique_ptr<HostStream> host_;
 
     std::unique_ptr<TraceWriter> trace_;
+    std::unique_ptr<Sampler> sampler_;
     std::vector<std::vector<PimInstr>> streams_;
     bool hasKernel_ = false;
     bool hasHostTraffic_ = false;

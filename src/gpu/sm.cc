@@ -24,10 +24,11 @@ Sm::Sm(const SystemConfig &cfg, std::uint32_t id, EventQueue &eq,
           "core cycles warps spent blocked on ordering")),
       statFenceWait_(stats.distribution(
           "sm" + std::to_string(id) + ".fenceWait",
-          "waiting cycles per fence instruction")),
+          "waiting cycles per fence instruction", 0.0, 1024.0, 32)),
       statOlWait_(stats.distribution(
           "sm" + std::to_string(id) + ".olWait",
-          "waiting cycles per OrderLight instruction")),
+          "waiting cycles per OrderLight instruction", 0.0, 1024.0,
+          32)),
       statCreditWait_(stats.distribution(
           "sm" + std::to_string(id) + ".creditWait",
           "waiting cycles per credit-stalled request (SeqNum)"))
@@ -41,6 +42,10 @@ Sm::Sm(const SystemConfig &cfg, std::uint32_t id, EventQueue &eq,
             olight_panic("sm", id_, ": collector count underflow");
         --warp.inCollector;
         ++warp.outstandingAcks;
+        if (trace_)
+            trace_->span(pkt.createdAt, eq_.now(),
+                         "sm" + std::to_string(id_) + ".collect",
+                         pkt.id, pkt.describe());
     });
     collector_->setChangedFn([this] { scheduleTick(); });
 }

@@ -30,6 +30,7 @@
 #include "noc/port.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace olight
 {
@@ -51,6 +52,10 @@ class Sm
     /** MC acknowledgement for a request of one of our warps. */
     void onAck(const Packet &pkt);
 
+    /** Attach a packet tracer: each request emits a collect span
+     *  from issue to interconnect injection (nullptr disables). */
+    void setTrace(TraceWriter *trace) { trace_ = trace; }
+
     bool done() const;
 
     std::uint32_t id() const { return id_; }
@@ -70,6 +75,7 @@ class Sm
     EventQueue &eq_;
     AcceptPort &injectPort_;
     StatSet &stats_;
+    TraceWriter *trace_ = nullptr;
 
     std::vector<std::unique_ptr<Warp>> warps_;
     std::unique_ptr<OperandCollector> collector_;

@@ -45,9 +45,11 @@ MemoryController::MemoryController(const SystemConfig &cfg,
           name + ".orderingBlocked",
           "scheduler passes blocked by ordering")),
       statQueueLatency_(stats.distribution(
-          name + ".queueLatency", "ticks from arrival to schedule")),
+          name + ".queueLatency", "ticks from arrival to schedule",
+          0.0, double(2000 * memPeriod), 25)),
       statReadOcc_(stats.distribution(name + ".readQueueOcc",
-                                      "read queue occupancy"))
+                                      "read queue occupancy", 0.0,
+                                      double(cfg.readQueueSize), 16))
 {
 }
 
@@ -211,9 +213,12 @@ void
 MemoryController::issue(Transaction txn)
 {
     const Packet &pkt = txn.pkt;
-    if (trace_)
+    if (trace_) {
         trace_->record(eq_.now(), name_, "schedule",
                        pkt.describe());
+        trace_->span(txn.arrival, eq_.now(), name_ + ".queue",
+                     pkt.id, pkt.describe());
+    }
     std::uint32_t group = pkt.instr.memGroup;
     tracker_.onScheduled(group, txn.epoch);
     if (cfg_.orderingMode == OrderingMode::SeqNum &&
@@ -231,6 +236,9 @@ MemoryController::issue(Transaction txn)
             timing_.reserve(kind, txn.bank, txn.row, eq_.now());
         col_tick = res.colTick;
     }
+    if (trace_)
+        trace_->span(eq_.now(), col_tick, name_ + ".sched", pkt.id,
+                     pkt.describe());
 
     if (pkt.instr.isPimCommand()) {
         ++statPimScheduled_;

@@ -76,6 +76,12 @@ class MemoryController : public AcceptPort
     /** True when no queued or reserved transactions remain. */
     bool idle() const;
 
+    /** Current read-queue depth (interval sampling probe). */
+    std::size_t readQueueDepth() const { return readQ_.size(); }
+
+    /** Current write-queue depth (interval sampling probe). */
+    std::size_t writeQueueDepth() const { return writeQ_.size(); }
+
     const OrderingTracker &tracker() const { return tracker_; }
 
   private:

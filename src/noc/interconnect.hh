@@ -63,6 +63,14 @@ class Interconnect
     /** Injection port of SM @p sm (the SM's LDST queue). */
     AcceptPort &smPort(std::uint32_t sm) { return *smQueues_.at(sm); }
 
+    /** Attach a packet tracer to every SM injection queue. */
+    void
+    setTrace(TraceWriter *trace)
+    {
+        for (auto &q : smQueues_)
+            q->setTrace(trace);
+    }
+
     bool idle() const;
 
   private:

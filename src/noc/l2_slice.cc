@@ -54,6 +54,15 @@ L2Slice::setDownstream(AcceptPort *mc)
     toDram_->setDownstream(mc);
 }
 
+void
+L2Slice::setTrace(TraceWriter *trace)
+{
+    input_->setTrace(trace);
+    for (auto &sp : subParts_)
+        sp->setTrace(trace);
+    toDram_->setTrace(trace);
+}
+
 bool
 L2Slice::idle() const
 {

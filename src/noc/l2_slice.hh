@@ -38,6 +38,9 @@ class L2Slice
     /** Connect the L2-to-DRAM queue to the memory controller. */
     void setDownstream(AcceptPort *mc);
 
+    /** Attach a packet tracer to every stage of the slice. */
+    void setTrace(TraceWriter *trace);
+
     /** Entry port for the interconnect (and the host-stream engine). */
     AcceptPort &input() { return *input_; }
 

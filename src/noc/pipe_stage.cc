@@ -15,8 +15,9 @@ PipeStage::PipeStage(EventQueue &eq, std::string name,
                                  "packets accepted")),
       statForwarded_(stats.scalar(name_ + ".forwarded",
                                   "packets forwarded")),
-      statOccupancy_(stats.distribution(name_ + ".occupancy",
-                                        "queue occupancy at arrival"))
+      statOccupancy_(stats.distribution(
+          name_ + ".occupancy", "queue occupancy at arrival", 0.0,
+          double(params.capacity ? params.capacity : 1), 16))
 {
     if (params_.capacity == 0)
         olight_fatal("pipe stage ", name_, " needs capacity > 0");
@@ -42,7 +43,7 @@ PipeStage::deliver(Packet pkt, Tick when)
         }
         statOccupancy_.sample(double(queue_.size()));
         ++statAccepted_;
-        queue_.push_back(Entry{std::move(pkt), ready});
+        queue_.push_back(Entry{std::move(pkt), ready, eq_.now()});
         scheduleService();
     });
 }
@@ -85,6 +86,9 @@ PipeStage::service()
         return;
     }
 
+    if (trace_)
+        trace_->span(head.arrivedAt, eq_.now(), name_, head.pkt.id,
+                     head.pkt.describe());
     downstream_->deliver(std::move(head.pkt),
                          eq_.now() + params_.wireLatency);
     queue_.pop_front();

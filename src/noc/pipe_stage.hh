@@ -26,6 +26,7 @@
 #include "noc/port.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace olight
 {
@@ -46,6 +47,10 @@ class PipeStage : public AcceptPort
               StatSet &stats);
 
     void setDownstream(AcceptPort *port) { downstream_ = port; }
+
+    /** Attach a packet tracer: each serviced packet emits one span
+     *  covering its time in this stage (nullptr disables). */
+    void setTrace(TraceWriter *trace) { trace_ = trace; }
 
     // AcceptPort
     bool tryReserve(const Packet &pkt) override;
@@ -74,7 +79,8 @@ class PipeStage : public AcceptPort
     struct Entry
     {
         Packet pkt;
-        Tick readyAt; ///< arrival + jitter; earliest service tick
+        Tick readyAt;   ///< arrival + jitter; earliest service tick
+        Tick arrivedAt; ///< arrival tick (trace span begin)
     };
 
     void scheduleService();
@@ -85,6 +91,7 @@ class PipeStage : public AcceptPort
     std::string name_;
     Params params_;
     AcceptPort *downstream_ = nullptr;
+    TraceWriter *trace_ = nullptr;
 
     std::deque<Entry> queue_;
     std::uint32_t reserved_ = 0;   ///< credits handed out (incl. queued)

@@ -59,8 +59,11 @@ EventQueue::popTop()
 void
 EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
 {
+    // olight_fatal, not a debug-only assert: scheduling in the past
+    // would silently misorder the simulation, so the check must stay
+    // visible in release builds too.
     if (when < now_)
-        olight_panic("event scheduled in the past: when=", when,
+        olight_fatal("event scheduled in the past: when=", when,
                      " now=", now_);
     push(Entry{when, makeOrder(prio, nextSeq_++), std::move(cb)});
 }
@@ -70,7 +73,7 @@ EventQueue::scheduleAt(Tick when, RawFn fn, void *ctx,
                        EventPriority prio)
 {
     if (when < now_)
-        olight_panic("event scheduled in the past: when=", when,
+        olight_fatal("event scheduled in the past: when=", when,
                      " now=", now_);
     push(Entry{when, makeOrder(prio, nextSeq_++),
                Callback(fn, ctx)});

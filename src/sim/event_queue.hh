@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/callback.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace olight
@@ -64,6 +65,9 @@ class EventQueue
 
     /** Number of pending events. */
     std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event. @pre !empty() */
+    Tick nextTick() const { return heap_.front().when; }
 
     /**
      * Schedule @p cb to run at absolute tick @p when.
@@ -127,6 +131,12 @@ class EventQueue
     static std::uint64_t
     makeOrder(EventPriority prio, std::uint64_t seq)
     {
+        // The sequence must stay out of the priority bits, or
+        // same-tick ordering silently degrades to sequence-only once
+        // seq reaches 2^56 (~7e16 events). Fail loudly instead.
+        if (seq >> 56)
+            olight_fatal("event sequence counter overflowed into "
+                         "the priority bits: seq=", seq);
         return (std::uint64_t(static_cast<int>(prio)) << 56) | seq;
     }
 

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the observability layer
+ * (stats export, chrome trace_event backend, sweep output). Writing
+ * only — the simulator never parses JSON; consumers are Python /
+ * trace viewers / CI.
+ */
+
+#ifndef OLIGHT_SIM_JSON_HH
+#define OLIGHT_SIM_JSON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace olight
+{
+
+/** Escape a string for inclusion inside JSON double quotes. */
+inline std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Emit a quoted, escaped JSON string. */
+inline void
+jsonString(std::ostream &os, const std::string &text)
+{
+    os << '"' << jsonEscape(text) << '"';
+}
+
+/**
+ * Emit a double as a JSON number. Round-trips exactly (max_digits10)
+ * and never produces the invalid tokens nan/inf (emits null instead,
+ * which every JSON parser accepts).
+ */
+inline void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    // Integral values (counters, queue depths) print as integers:
+    // "40", not the shorter-but-ugly scientific form "4e+01".
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char ibuf[32];
+        std::snprintf(ibuf, sizeof(ibuf), "%.0f", v);
+        os << ibuf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Trim to the shortest representation that round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[32];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v) {
+            os << probe;
+            return;
+        }
+    }
+    os << buf;
+}
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_JSON_HH

@@ -1,0 +1,50 @@
+#include "sim/sampler.hh"
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+Sampler::Sampler(EventQueue &eq, std::ostream &os, Tick interval,
+                 std::vector<Probe> probes)
+    : eq_(eq), os_(os), interval_(interval), probes_(std::move(probes))
+{
+    if (interval_ == 0)
+        olight_fatal("sampler interval must be > 0 ticks");
+}
+
+void
+Sampler::start()
+{
+    os_ << "tick";
+    for (const auto &probe : probes_)
+        os_ << "," << probe.name;
+    os_ << "\n";
+    next_ = interval_;
+}
+
+void
+Sampler::poll()
+{
+    if (eq_.empty())
+        return; // the run is over; no trailing rows
+    // A boundary B is due once every event with tick <= B has
+    // executed and the next pending event lies beyond it — the same
+    // ordering an EventPriority::Stats event at B would see. State
+    // cannot change between events, so sampling here reads exactly
+    // the post-activity snapshot at B.
+    const Tick horizon = eq_.nextTick();
+    while (next_ < horizon) {
+        os_ << next_;
+        for (const auto &probe : probes_) {
+            os_ << ",";
+            jsonNumber(os_, probe.fn());
+        }
+        os_ << "\n";
+        ++samples_;
+        next_ += interval_;
+    }
+}
+
+} // namespace olight

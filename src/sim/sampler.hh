@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Interval time-series sampling.
+ *
+ * A Sampler snapshots a set of named probes into one CSV row every
+ * @p interval ticks — the data behind "why is this phase slow":
+ * per-channel queue depths, OrderLight flag state, row-hit rates
+ * over time.
+ *
+ * The sampler is driven by System::run polling it between events
+ * rather than by events of its own: a boundary is emitted once
+ * every event at or before it has executed (the ordering an
+ * EventPriority::Stats event would see), so sampling is pure
+ * observation — it never advances simulated time, never keeps a
+ * drained simulation alive, and the reported metrics are identical
+ * with and without it. Output is a pure function of the simulated
+ * system, hence byte-identical regardless of host threading.
+ */
+
+#ifndef OLIGHT_SIM_SAMPLER_HH
+#define OLIGHT_SIM_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace olight
+{
+
+/** Periodic probe snapshotter writing a time-series CSV. */
+class Sampler
+{
+  public:
+    /** One sampled quantity: a column name and its reader. */
+    struct Probe
+    {
+        std::string name;
+        std::function<double()> fn;
+    };
+
+    Sampler(EventQueue &eq, std::ostream &os, Tick interval,
+            std::vector<Probe> probes);
+
+    /** Write the header and arm the first sample boundary. */
+    void start();
+
+    /**
+     * Emit every due sample row. Call after each executed event;
+     * rows are written for each boundary the next pending event has
+     * moved past (none once the queue is empty).
+     */
+    void poll();
+
+    std::uint64_t samples() const { return samples_; }
+
+  private:
+    EventQueue &eq_;
+    std::ostream &os_;
+    Tick interval_;
+    Tick next_ = 0; ///< next sample boundary
+    std::vector<Probe> probes_;
+    std::uint64_t samples_ = 0;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_SAMPLER_HH

@@ -2,15 +2,18 @@
 
 #include <iomanip>
 
+#include "sim/json.hh"
+
 namespace olight
 {
 
 Scalar &
 StatSet::scalar(const std::string &name, const std::string &desc)
 {
-    for (auto &s : scalars_)
-        if (s.name() == name)
-            return s;
+    auto it = scalarIndex_.find(name);
+    if (it != scalarIndex_.end())
+        return scalars_[it->second];
+    scalarIndex_.emplace(name, scalars_.size());
     scalars_.emplace_back(name, desc);
     return scalars_.back();
 }
@@ -18,29 +21,35 @@ StatSet::scalar(const std::string &name, const std::string &desc)
 Distribution &
 StatSet::distribution(const std::string &name, const std::string &desc)
 {
-    for (auto &d : dists_)
-        if (d.name() == name)
-            return d;
+    auto it = distIndex_.find(name);
+    if (it != distIndex_.end())
+        return dists_[it->second];
+    distIndex_.emplace(name, dists_.size());
     dists_.emplace_back(name, desc);
     return dists_.back();
+}
+
+Distribution &
+StatSet::distribution(const std::string &name, const std::string &desc,
+                      double lo, double hi, std::uint32_t buckets)
+{
+    Distribution &d = distribution(name, desc);
+    d.initBuckets(lo, hi, buckets);
+    return d;
 }
 
 const Scalar *
 StatSet::findScalar(const std::string &name) const
 {
-    for (const auto &s : scalars_)
-        if (s.name() == name)
-            return &s;
-    return nullptr;
+    auto it = scalarIndex_.find(name);
+    return it != scalarIndex_.end() ? &scalars_[it->second] : nullptr;
 }
 
 const Distribution *
 StatSet::findDistribution(const std::string &name) const
 {
-    for (const auto &d : dists_)
-        if (d.name() == name)
-            return &d;
-    return nullptr;
+    auto it = distIndex_.find(name);
+    return it != distIndex_.end() ? &dists_[it->second] : nullptr;
 }
 
 double
@@ -88,6 +97,54 @@ StatSet::dump(std::ostream &os) const
             os << " # " << d.desc();
         os << "\n";
     }
+}
+
+void
+StatSet::dumpJson(std::ostream &os) const
+{
+    os << "{\"scalars\":{";
+    bool first = true;
+    for (const auto &s : scalars_) {
+        if (!first)
+            os << ",";
+        first = false;
+        jsonString(os, s.name());
+        os << ":";
+        jsonNumber(os, s.value());
+    }
+    os << "},\"distributions\":{";
+    first = true;
+    for (const auto &d : dists_) {
+        if (!first)
+            os << ",";
+        first = false;
+        jsonString(os, d.name());
+        os << ":{\"count\":" << d.count() << ",\"sum\":";
+        jsonNumber(os, d.sum());
+        os << ",\"mean\":";
+        jsonNumber(os, d.mean());
+        os << ",\"min\":";
+        jsonNumber(os, d.minValue());
+        os << ",\"max\":";
+        jsonNumber(os, d.maxValue());
+        if (d.hasBuckets()) {
+            os << ",\"buckets\":{\"lo\":";
+            jsonNumber(os, d.bucketLo());
+            os << ",\"hi\":";
+            jsonNumber(os, d.bucketHi());
+            os << ",\"counts\":[";
+            const auto &counts = d.bucketCounts();
+            for (std::size_t i = 0; i < counts.size(); ++i) {
+                if (i)
+                    os << ",";
+                os << counts[i];
+            }
+            os << "],\"underflow\":" << d.underflow()
+               << ",\"overflow\":" << d.overflow() << "}";
+        }
+        os << "}";
+    }
+    os << "}}";
 }
 
 } // namespace olight

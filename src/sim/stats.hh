@@ -6,7 +6,15 @@
  * StatSet; the System dumps the set at end of simulation and the
  * bench harnesses read individual stats by name. Registration
  * returns stable references (deque storage), so components can keep
- * a Scalar& and bump it on the hot path.
+ * a Scalar& and bump it on the hot path. A hash index over the
+ * deques makes registration and lookup O(1) — per-channel/per-SM
+ * stat registration used to be a linear scan, i.e. quadratic setup
+ * for wide systems.
+ *
+ * Distributions optionally carry a fixed-width bucketed histogram
+ * (queue occupancies, wait-cycle distributions); StatSet::dumpJson()
+ * exports everything as machine-readable JSON so benches and CI
+ * need not string-parse the human dump.
  */
 
 #ifndef OLIGHT_SIM_STATS_HH
@@ -17,6 +25,8 @@
 #include <deque>
 #include <ostream>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace olight
 {
@@ -44,7 +54,10 @@ class Scalar
     double value_ = 0.0;
 };
 
-/** A named sample distribution (tracks count/sum/min/max). */
+/**
+ * A named sample distribution (count/sum/min/max, plus an optional
+ * fixed-width histogram configured via initBuckets()).
+ */
 class Distribution
 {
   public:
@@ -55,6 +68,21 @@ class Distribution
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
+    /**
+     * Attach @p n equal-width buckets covering [lo, hi); samples
+     * outside the range land in underflow()/overflow(). No-op when
+     * a histogram is already configured (first registration wins).
+     */
+    void
+    initBuckets(double lo, double hi, std::uint32_t n)
+    {
+        if (!bucketCounts_.empty() || n == 0 || !(hi > lo))
+            return;
+        bucketLo_ = lo;
+        bucketHi_ = hi;
+        bucketCounts_.assign(n, 0);
+    }
+
     void
     sample(double v)
     {
@@ -62,6 +90,19 @@ class Distribution
         sum_ += v;
         min_ = std::min(min_, v);
         max_ = std::max(max_, v);
+        if (!bucketCounts_.empty()) {
+            if (v < bucketLo_) {
+                ++underflow_;
+            } else if (v >= bucketHi_) {
+                ++overflow_;
+            } else {
+                auto idx = std::size_t((v - bucketLo_) /
+                                       (bucketHi_ - bucketLo_) *
+                                       double(bucketCounts_.size()));
+                idx = std::min(idx, bucketCounts_.size() - 1);
+                ++bucketCounts_[idx];
+            }
+        }
     }
 
     std::uint64_t count() const { return count_; }
@@ -70,6 +111,16 @@ class Distribution
     double minValue() const { return count_ ? min_ : 0.0; }
     double maxValue() const { return count_ ? max_ : 0.0; }
 
+    bool hasBuckets() const { return !bucketCounts_.empty(); }
+    double bucketLo() const { return bucketLo_; }
+    double bucketHi() const { return bucketHi_; }
+    const std::vector<std::uint64_t> &bucketCounts() const
+    {
+        return bucketCounts_;
+    }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
     void
     reset()
     {
@@ -77,6 +128,9 @@ class Distribution
         sum_ = 0.0;
         min_ = 1e300;
         max_ = -1e300;
+        underflow_ = 0;
+        overflow_ = 0;
+        std::fill(bucketCounts_.begin(), bucketCounts_.end(), 0);
     }
 
   private:
@@ -86,6 +140,12 @@ class Distribution
     double sum_ = 0.0;
     double min_ = 1e300;
     double max_ = -1e300;
+
+    double bucketLo_ = 0.0;
+    double bucketHi_ = 0.0;
+    std::vector<std::uint64_t> bucketCounts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
 };
 
 /**
@@ -104,6 +164,15 @@ class StatSet
     Distribution &distribution(const std::string &name,
                                const std::string &desc = "");
 
+    /**
+     * Register a distribution with a bucketed histogram: @p buckets
+     * equal-width buckets over [lo, hi). If the name already exists
+     * without buckets, they are attached now.
+     */
+    Distribution &distribution(const std::string &name,
+                               const std::string &desc, double lo,
+                               double hi, std::uint32_t buckets);
+
     /** Find a scalar by exact name; nullptr when absent. */
     const Scalar *findScalar(const std::string &name) const;
 
@@ -120,9 +189,21 @@ class StatSet
     /** Human-readable dump of all stats. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Machine-readable dump:
+     *   {"scalars": {name: value, ...},
+     *    "distributions": {name: {"count":..,"sum":..,"mean":..,
+     *     "min":..,"max":..[,"buckets":{"lo":..,"hi":..,
+     *     "counts":[..],"underflow":..,"overflow":..}]}, ...}}
+     * Stats appear in registration order (deterministic output).
+     */
+    void dumpJson(std::ostream &os) const;
+
   private:
     std::deque<Scalar> scalars_;
     std::deque<Distribution> dists_;
+    std::unordered_map<std::string, std::size_t> scalarIndex_;
+    std::unordered_map<std::string, std::size_t> distIndex_;
 };
 
 } // namespace olight

@@ -90,13 +90,26 @@ parallelFor(unsigned jobs, std::size_t n,
     }
     ThreadPool pool(unsigned(std::min<std::size_t>(jobs, n)));
     // One claim-next-index job per worker keeps the queue tiny and
-    // load-balances uneven point costs.
+    // load-balances uneven point costs. Once any index throws, the
+    // abort flag stops every worker's claim loop, so the pool drains
+    // promptly instead of grinding through the rest of the grid;
+    // wait() still rethrows the first error.
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
     for (unsigned w = 0; w < pool.size(); ++w) {
         pool.submit([&] {
-            for (std::size_t i = next.fetch_add(1); i < n;
-                 i = next.fetch_add(1))
-                fn(i);
+            while (!abort.load(std::memory_order_relaxed)) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    break;
+                try {
+                    fn(i);
+                } catch (...) {
+                    abort.store(true, std::memory_order_relaxed);
+                    throw;
+                }
+            }
         });
     }
     pool.wait();

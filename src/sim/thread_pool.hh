@@ -75,7 +75,9 @@ class ThreadPool
  * Run fn(0..n-1) across @p jobs workers (serially when jobs <= 1 or
  * n <= 1 — the serial path is exactly the legacy loop, so callers
  * keep bit-identical behavior at jobs=1). Iteration order across
- * workers is unspecified; each index runs exactly once.
+ * workers is unspecified; each index runs at most once. When an
+ * index throws, no further indices are claimed (in-flight ones
+ * finish) and the first exception is rethrown.
  */
 void parallelFor(unsigned jobs, std::size_t n,
                  const std::function<void(std::size_t)> &fn);

@@ -1,11 +1,62 @@
 #include "sim/trace.hh"
 
+#include <cstdio>
+
+#include "sim/json.hh"
+
 namespace olight
 {
 
-TraceWriter::TraceWriter(std::ostream &os) : os_(os)
+namespace
 {
-    os_ << "tick,component,event,detail\n";
+
+/** Chrome trace timestamps are microseconds; keep ns resolution. */
+std::string
+ticksToUs(Tick t)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", double(t) * tickPs * 1e-6);
+    return buf;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(std::ostream &os, TraceFormat format)
+    : os_(os), format_(format)
+{
+    if (format_ == TraceFormat::Csv)
+        os_ << "tick,component,event,detail\n";
+    else
+        os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    if (format_ == TraceFormat::ChromeJson)
+        os_ << "\n]}\n";
+    os_.flush();
+}
+
+void
+TraceWriter::chromeEventHead(const char *ph, Tick ts,
+                             const std::string &name,
+                             std::uint64_t tid)
+{
+    os_ << (firstEvent_ ? "\n" : ",\n");
+    firstEvent_ = false;
+    os_ << "{\"name\":";
+    jsonString(os_, name);
+    os_ << ",\"ph\":\"" << ph << "\",\"ts\":" << ticksToUs(ts)
+        << ",\"pid\":0,\"tid\":" << tid;
 }
 
 void
@@ -13,9 +64,36 @@ TraceWriter::record(Tick tick, const std::string &component,
                     const std::string &event,
                     const std::string &detail)
 {
-    os_ << tick << "," << component << "," << event << ",\""
-        << detail << "\"\n";
+    if (format_ == TraceFormat::Csv) {
+        os_ << tick << "," << component << "," << event << ",\""
+            << detail << "\"\n";
+    } else {
+        chromeEventHead("i", tick, component + "." + event, 0);
+        os_ << ",\"s\":\"g\",\"args\":{\"detail\":";
+        jsonString(os_, detail);
+        os_ << "}}";
+    }
     ++rows_;
+}
+
+void
+TraceWriter::span(Tick begin, Tick end, const std::string &stage,
+                  std::uint64_t pktId, const std::string &detail)
+{
+    if (format_ == TraceFormat::Csv) {
+        os_ << end << "," << stage << ",span,\"pkt=" << pktId
+            << " begin=" << begin << " dur=" << (end - begin) << " "
+            << detail << "\"\n";
+        ++rows_;
+        return;
+    }
+    chromeEventHead("B", begin, stage, pktId);
+    os_ << ",\"args\":{\"detail\":";
+    jsonString(os_, detail);
+    os_ << "}}";
+    chromeEventHead("E", end, stage, pktId);
+    os_ << "}";
+    rows_ += 2;
 }
 
 } // namespace olight

@@ -1,12 +1,22 @@
 /**
  * @file
- * CSV packet tracing for debugging ordering behavior.
+ * Packet tracing for debugging ordering behavior.
  *
- * When enabled on a System, the memory controllers record every
- * packet arrival and every scheduling decision with its tick,
- * channel, sequence/epoch information, and a human-readable
- * description — enough to reconstruct exactly how an OrderLight
- * barrier constrained the schedule.
+ * Two backends share one TraceWriter interface:
+ *
+ *  - Csv (the original format): every record() appends one flat row
+ *    with tick, component, event, and a human-readable description.
+ *
+ *  - ChromeJson: a Chrome trace_event JSON file (open it in Perfetto
+ *    or chrome://tracing). span() emits a balanced "B"/"E" duration
+ *    pair whose track ("tid") is the packet id, so a packet's
+ *    SM-issue -> interconnect -> L2 sub-partition -> MC queue ->
+ *    scheduled -> PIM-execute lifetime reads as a timeline row, and
+ *    an OrderLight stall is visible as a gap between spans.
+ *
+ * record() marks point events (packet arrivals, scheduler picks);
+ * span() marks an interval of a packet's life. In Csv mode spans
+ * become single "span" rows carrying the begin tick and duration.
  */
 
 #ifndef OLIGHT_SIM_TRACE_HH
@@ -21,21 +31,53 @@
 namespace olight
 {
 
-/** Streaming CSV trace sink. */
+/** Output format of a TraceWriter. */
+enum class TraceFormat : std::uint8_t
+{
+    Csv,        ///< flat rows: tick,component,event,detail
+    ChromeJson, ///< chrome://tracing / Perfetto trace_event JSON
+};
+
+/** Streaming trace sink. */
 class TraceWriter
 {
   public:
-    explicit TraceWriter(std::ostream &os);
+    explicit TraceWriter(std::ostream &os,
+                         TraceFormat format = TraceFormat::Csv);
+    ~TraceWriter();
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
 
-    /** Append one trace row. */
+    TraceFormat format() const { return format_; }
+
+    /** Append one point event. */
     void record(Tick tick, const std::string &component,
                 const std::string &event,
                 const std::string &detail);
 
+    /**
+     * Append one duration span of packet @p pktId covering
+     * [begin, end], labelled @p stage. Spans of one packet must be
+     * emitted in chronological order (every component emits a span
+     * when the packet leaves it, so this holds by construction).
+     */
+    void span(Tick begin, Tick end, const std::string &stage,
+              std::uint64_t pktId, const std::string &detail);
+
+    /** Finish the output (writes the JSON footer); idempotent. */
+    void close();
+
     std::uint64_t rows() const { return rows_; }
 
   private:
+    void chromeEventHead(const char *ph, Tick ts,
+                         const std::string &name,
+                         std::uint64_t tid);
+
     std::ostream &os_;
+    TraceFormat format_;
+    bool firstEvent_ = true;
+    bool closed_ = false;
     std::uint64_t rows_ = 0;
 };
 

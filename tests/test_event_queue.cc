@@ -84,6 +84,19 @@ TEST(EventQueueDeath, SchedulingInThePastPanics)
     EXPECT_DEATH(eq.schedule(5, [] {}), "scheduled in the past");
 }
 
+TEST(EventQueueDeath, PastSchedulingIsFatalInRelease)
+{
+    // The guard is olight_fatal (clean exit 1, active in release
+    // builds), not an NDEBUG-stripped assert or an abort().
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_EXIT(eq.schedule(5, [] {}),
+                ::testing::ExitedWithCode(1), "scheduled in the past");
+    EXPECT_EXIT(eq.scheduleAt(5, [](void *) {}, nullptr),
+                ::testing::ExitedWithCode(1), "scheduled in the past");
+}
+
 TEST(ClockTypes, CycleTickConversions)
 {
     EXPECT_EQ(coreClock.cyclesToTicks(10), 10 * corePeriod);

@@ -8,6 +8,7 @@
 #include "core/metrics.hh"
 #include "core/pim_isa.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace olight
 {
@@ -36,6 +37,30 @@ TEST(MetricsPrint, MentionsEveryHeadlineNumber)
     EXPECT_NE(text.find("wait/fence=250.0"), std::string::npos);
     EXPECT_EQ(text.find("wait/OL"), std::string::npos)
         << "no OrderLight stats when none were issued";
+}
+
+TEST(CollectMetrics, DataBandwidthUsesConfiguredBusWidth)
+{
+    // Regression: dataBwGBs was computed with a hardcoded 32-byte
+    // bus, so any config with a different busWidthBytes reported
+    // wrong bandwidth. Fabricate the one stat the formula reads and
+    // check the exact value for a non-32B bus.
+    StatSet stats;
+    stats.scalar("pim0.memCommands") += 1000;
+    SystemConfig cfg;
+    cfg.bmf = 16;
+    cfg.busWidthBytes = 64;
+    const Tick finish = Tick(1'000'000);
+    const double seconds = ticksToSeconds(finish);
+
+    RunMetrics wide = collectMetrics(stats, cfg, finish, 0);
+    EXPECT_DOUBLE_EQ(wide.dataBwGBs,
+                     1000.0 * 64.0 * 16.0 / seconds / 1e9);
+
+    cfg.busWidthBytes = 32;
+    RunMetrics narrow = collectMetrics(stats, cfg, finish, 0);
+    EXPECT_DOUBLE_EQ(wide.dataBwGBs, 2.0 * narrow.dataBwGBs)
+        << "doubling the bus width must double the data bandwidth";
 }
 
 TEST(PacketDescribe, RequestAndMarkerForms)

@@ -10,9 +10,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "core/sweep.hh"
 #include "sim/thread_pool.hh"
@@ -210,6 +212,30 @@ TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
             EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs
                                          << " i=" << i;
     }
+}
+
+TEST(ThreadPool, ParallelForStopsClaimingAfterException)
+{
+    // Regression: after one grid point threw, the workers kept
+    // claiming and running the remaining indices, so a failed sweep
+    // still simulated the entire grid before wait() rethrew.
+    const std::size_t n = 1024;
+    std::atomic<std::size_t> executed{0};
+    try {
+        parallelFor(4, n, [&](std::size_t i) {
+            if (i == 0) // the first index claimed by any worker
+                throw std::runtime_error("grid point failed");
+            ++executed;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        });
+        FAIL() << "parallelFor must rethrow the job exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "grid point failed");
+    }
+    // In-flight calls may finish, but no further points start.
+    EXPECT_LT(executed.load(), n / 2)
+        << "workers kept claiming grid points after the failure";
 }
 
 } // namespace

@@ -48,6 +48,12 @@ usage()
         "  --jobs N          worker threads for verification and\n"
         "                    baseline runs (0 = auto, default 1)\n"
         "  --trace FILE      write a CSV packet trace\n"
+        "  --trace-json FILE write a Chrome trace_event JSON trace\n"
+        "                    (open in Perfetto / chrome://tracing)\n"
+        "  --stats-json FILE write metrics + all statistics as JSON\n"
+        "  --sample FILE     write an interval time-series CSV\n"
+        "  --sample-interval N  sampling period in core cycles\n"
+        "                    (default 1000)\n"
         "  --dump-kernel N   disassemble N instrs per channel\n"
         "  --flush           model the pre-kernel coherence flush\n"
         "  --list            list workloads and exit\n";
@@ -81,7 +87,9 @@ main(int argc, char **argv)
     bool dump_stats = false, energy = false, flush = false;
     std::size_t dump_kernel = 0;
     unsigned jobs = 1;
-    std::string trace_path;
+    std::string trace_path, trace_json_path, stats_json_path;
+    std::string sample_path;
+    std::uint64_t sample_interval_cycles = 1000;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -118,6 +126,14 @@ main(int argc, char **argv)
             jobs = unsigned(std::stoul(next()));
         else if (arg == "--trace")
             trace_path = next();
+        else if (arg == "--trace-json")
+            trace_json_path = next();
+        else if (arg == "--stats-json")
+            stats_json_path = next();
+        else if (arg == "--sample")
+            sample_path = next();
+        else if (arg == "--sample-interval")
+            sample_interval_cycles = std::stoull(next());
         else if (arg == "--dump-kernel")
             dump_kernel = std::stoull(next());
         else if (arg == "--flush")
@@ -148,16 +164,38 @@ main(int argc, char **argv)
     auto w = makeWorkload(workload);
     w->build(cfg, elements);
 
-    System sys(cfg);
-    std::ofstream trace_file;
-    if (!trace_path.empty()) {
-        trace_file.open(trace_path);
-        if (!trace_file) {
-            std::cerr << "cannot open trace file " << trace_path
-                      << "\n";
-            return 2;
+    if (!trace_path.empty() && !trace_json_path.empty()) {
+        std::cerr << "--trace and --trace-json are exclusive (one "
+                     "trace sink per run)\n";
+        return 2;
+    }
+
+    // Output streams are declared before the System so the
+    // TraceWriter can still flush its JSON footer when the System
+    // (which owns it) is destroyed.
+    auto open_out = [](std::ofstream &file, const std::string &path) {
+        file.open(path);
+        if (!file) {
+            std::cerr << "cannot open output file " << path << "\n";
+            std::exit(2);
         }
-        sys.enableTrace(trace_file);
+    };
+    std::ofstream trace_file, sample_file, stats_json_file;
+    if (!stats_json_path.empty())
+        open_out(stats_json_file, stats_json_path);
+
+    System sys(cfg);
+    if (!trace_path.empty()) {
+        open_out(trace_file, trace_path);
+        sys.enableTrace(trace_file, TraceFormat::Csv);
+    } else if (!trace_json_path.empty()) {
+        open_out(trace_file, trace_json_path);
+        sys.enableTrace(trace_file, TraceFormat::ChromeJson);
+    }
+    if (!sample_path.empty()) {
+        open_out(sample_file, sample_path);
+        sys.enableSampling(sample_file,
+                           Tick(sample_interval_cycles) * corePeriod);
     }
 
     if (dump_kernel > 0)
@@ -243,6 +281,14 @@ main(int argc, char **argv)
     if (dump_stats) {
         std::cout << "\n";
         sys.stats().dump(std::cout);
+    }
+
+    if (stats_json_file.is_open()) {
+        stats_json_file << "{\"metrics\":";
+        m.writeJson(stats_json_file);
+        stats_json_file << ",\"stats\":";
+        sys.stats().dumpJson(stats_json_file);
+        stats_json_file << "}\n";
     }
     return 0;
 }

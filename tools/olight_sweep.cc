@@ -59,7 +59,7 @@ main(int argc, char **argv)
 {
     SweepSpec spec;
     spec.jobs = 0; // one worker per hardware thread
-    std::string out_path;
+    std::string out_path, json_path;
     bool timing = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -96,6 +96,8 @@ main(int argc, char **argv)
             spec.gpuBaseline = true;
         } else if (arg == "--out") {
             out_path = next();
+        } else if (arg == "--stats-json") {
+            json_path = next();
         } else if (arg == "--jobs" || arg == "-j") {
             spec.jobs = unsigned(std::stoul(next()));
         } else if (arg == "--timing") {
@@ -107,7 +109,8 @@ main(int argc, char **argv)
                    "  [--ts 128,256,...] [--bmf 4,8,16] "
                    "[--elements N] [--verify]\n"
                    "  [--gpu-baseline] [--out FILE] "
-                   "[--jobs N (0 = auto)] [--timing]\n";
+                   "[--stats-json FILE]\n"
+                   "  [--jobs N (0 = auto)] [--timing]\n";
             return 0;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
@@ -132,6 +135,17 @@ main(int argc, char **argv)
         writeCsv(out, rows, timing);
         std::cerr << "wrote " << rows.size() << " rows to "
                   << out_path << "\n";
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "cannot open " << json_path << "\n";
+            return 2;
+        }
+        writeJsonRows(out, rows, timing);
+        std::cerr << "wrote " << rows.size() << " rows to "
+                  << json_path << "\n";
     }
 
     if (spec.verify) {
