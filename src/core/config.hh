@@ -117,7 +117,14 @@ struct SystemConfig
     std::uint32_t hostWindowPerChannel = 256; ///< host MLP per channel
     std::uint32_t totalSms = 80;  ///< whole-GPU SMs (compute roofline)
 
+    /** Perturbs the deterministic schedule jitters (operand
+     *  collector, L2 sub-partitions) without changing the timing
+     *  model; the litmus harness sweeps it to explore reorderings. */
     std::uint64_t seed = 1;
+
+    /** Run the ordering-invariant oracle (verify/oracle.hh) inside
+     *  the pipe. Off by default: hooks then cost one pointer test. */
+    bool verifyOracle = false;
 
     /** TS slots (32B commands buffered per phase); the paper's N. */
     std::uint32_t tsSlots() const { return tsBytes / busWidthBytes; }

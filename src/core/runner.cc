@@ -1,6 +1,7 @@
 #include "core/runner.hh"
 
 #include <chrono>
+#include <sstream>
 
 #include "core/system.hh"
 #include "sim/logging.hh"
@@ -42,6 +43,7 @@ runWorkload(const RunOptions &opts)
 {
     SystemConfig cfg =
         configFor(opts.mode, opts.tsBytes, opts.bmf, opts.base);
+    cfg.verifyOracle = opts.oracle || cfg.verifyOracle;
 
     auto workload = makeWorkload(opts.workload);
     workload->build(cfg, opts.elements);
@@ -66,6 +68,16 @@ runWorkload(const RunOptions &opts)
             std::chrono::steady_clock::now() - wall_start)
             .count();
     result.eventsExecuted = sys.eq().numExecuted();
+
+    if (const OrderingOracle *oracle = sys.oracle()) {
+        result.oracleViolations = oracle->violationCount();
+        result.oracleChecks = oracle->checksPerformed();
+        if (!oracle->clean()) {
+            std::ostringstream os;
+            oracle->report(os);
+            result.oracleReport = os.str();
+        }
+    }
 
     if (opts.verify) {
         result.verified = true;

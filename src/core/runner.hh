@@ -30,6 +30,7 @@ struct RunOptions
     std::uint32_t tsBytes = 256;
     std::uint32_t bmf = 16;
     bool verify = true;          ///< golden + mathematical check
+    bool oracle = false;         ///< ordering oracle inside the pipe
     bool runGpuBaseline = false; ///< also time host execution
     SystemConfig base{};         ///< remaining configuration knobs
 };
@@ -41,6 +42,10 @@ struct RunResult
     bool correct = false;  ///< verification outcome (if requested)
     bool verified = false; ///< whether verification ran
     std::string why;       ///< first mismatch, when incorrect
+
+    std::uint64_t oracleViolations = 0; ///< ordering-oracle findings
+    std::uint64_t oracleChecks = 0;     ///< invariants evaluated
+    std::string oracleReport;           ///< report, when violations
 
     double gpuMs = 0.0;    ///< host-execution time (roofline applied)
     std::uint64_t pimInstrCount = 0; ///< host PIM instructions

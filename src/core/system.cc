@@ -51,6 +51,17 @@ System::System(const SystemConfig &cfg)
             host_->onDone(pkt);
         });
     }
+
+    if (cfg_.verifyOracle) {
+        oracle_ = std::make_unique<OrderingOracle>(cfg_);
+        for (auto &mc : mcs_)
+            mc->setObserver(oracle_.get());
+        for (auto &slice : slices_)
+            slice->setObserver(oracle_.get());
+        icnt_->setObserver(oracle_.get());
+        for (auto &sm : sms_)
+            sm->setObserver(oracle_.get());
+    }
 }
 
 void
@@ -240,6 +251,8 @@ System::run()
     }
 
     checkCompletion();
+    if (oracle_)
+        oracle_->finalize();
     if (pimDoneTick_ == 0)
         pimDoneTick_ = pimFinishTick();
 

@@ -29,6 +29,7 @@
 #include "sim/sampler.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
+#include "verify/oracle.hh"
 
 namespace olight
 {
@@ -78,6 +79,10 @@ class System
 
     /** The sampler, when sampling is enabled (else nullptr). */
     const Sampler *sampler() const { return sampler_.get(); }
+
+    /** The ordering oracle, when cfg.verifyOracle is set (else
+     *  nullptr). Finalized automatically at the end of run(). */
+    const OrderingOracle *oracle() const { return oracle_.get(); }
 
     /**
      * Model the coherence flush of Section 5.4: before the PIM
@@ -133,6 +138,7 @@ class System
 
     std::unique_ptr<TraceWriter> trace_;
     std::unique_ptr<Sampler> sampler_;
+    std::unique_ptr<OrderingOracle> oracle_;
     std::vector<std::vector<PimInstr>> streams_;
     bool hasKernel_ = false;
     bool hasHostTraffic_ = false;

@@ -13,7 +13,10 @@ OperandCollector::OperandCollector(const SystemConfig &cfg,
     : cfg_(cfg),
       eq_(eq),
       injectPort_(injectPort),
-      jitterSalt_(0xc011ec7000ULL + smId),
+      // cfg.seed perturbs the collect-latency schedule (the core-side
+      // reordering source) so seed sweeps explore distinct
+      // interleavings of the same kernel.
+      jitterSalt_(hashMix(cfg.seed, 0xc011ec7000ULL + smId)),
       pending_(std::size_t(cfg.numChannels) * cfg.numMemGroups, 0),
       statCollected_(stats.scalar(
           "sm" + std::to_string(smId) + ".collected",

@@ -1,6 +1,7 @@
 #include "gpu/sm.hh"
 
 #include "sim/logging.hh"
+#include "verify/observer.hh"
 
 namespace olight
 {
@@ -46,6 +47,9 @@ Sm::Sm(const SystemConfig &cfg, std::uint32_t id, EventQueue &eq,
             trace_->span(pkt.createdAt, eq_.now(),
                          "sm" + std::to_string(id_) + ".collect",
                          pkt.id, pkt.describe());
+        if (observer_)
+            observer_->onCollectorInject(pkt, pkt.createdAt,
+                                         eq_.now());
     });
     collector_->setChangedFn([this] { scheduleTick(); });
 }
@@ -88,6 +92,8 @@ Sm::stallCycles() const
 void
 Sm::onAck(const Packet &pkt)
 {
+    if (observer_)
+        observer_->onAck(pkt);
     std::uint32_t local = pkt.warpId - id_ * cfg_.warpsPerSm;
     Warp &warp = *warps_.at(local);
     if (warp.outstandingAcks == 0)
@@ -197,6 +203,8 @@ Sm::tryIssue(Warp &warp)
 
     if (!collector_->tryAllocate(pkt))
         olight_panic("collector refused after hasFreeUnit()");
+    if (observer_)
+        observer_->onWarpIssue(pkt);
     if (warp.blocked) {
         // Credit stall released.
         std::uint64_t cycles =
@@ -218,7 +226,12 @@ Sm::issueOrderPoint(Warp &warp)
       case OrderingMode::None:
       case OrderingMode::SeqNum:
         // SeqNum enforces a total per-channel order implicitly; the
-        // explicit marker is dropped.
+        // explicit marker is dropped. The observer still sees the
+        // program-order position of the constraint — under None that
+        // is what lets the oracle detect what nothing enforces.
+        if (observer_)
+            observer_->onOrderPoint(warp.channel(), instr.memGroup,
+                                    instr.secondOrderGroup());
         warp.advance();
         return true;
 
@@ -251,6 +264,11 @@ Sm::issueOrderPoint(Warp &warp)
             return false;
         }
         pkt.ol.pktNumber = warp.nextOlNumber(instr.memGroup);
+        if (observer_) {
+            observer_->onOrderPoint(warp.channel(), instr.memGroup,
+                                    group2);
+            observer_->onOlInject(pkt);
+        }
         injectPort_.deliver(std::move(pkt), eq_.now());
         releaseBlocked(warp, false);
         ++statOlIssued_;
@@ -264,6 +282,9 @@ Sm::issueOrderPoint(Warp &warp)
             return false;
         }
         releaseBlocked(warp, true);
+        if (observer_)
+            observer_->onOrderPoint(warp.channel(), instr.memGroup,
+                                    instr.secondOrderGroup());
         ++statFences_;
         warp.advance();
         return true;

@@ -35,6 +35,8 @@
 namespace olight
 {
 
+class PipeObserver;
+
 /** One SM driving PIM warps. */
 class Sm
 {
@@ -56,6 +58,10 @@ class Sm
      *  from issue to interconnect injection (nullptr disables). */
     void setTrace(TraceWriter *trace) { trace_ = trace; }
 
+    /** Attach a pipe observer: issue, order-point, collector-inject
+     *  and ack hooks fire on this SM (nullptr disables). */
+    void setObserver(PipeObserver *obs) { observer_ = obs; }
+
     bool done() const;
 
     std::uint32_t id() const { return id_; }
@@ -76,6 +82,7 @@ class Sm
     AcceptPort &injectPort_;
     StatSet &stats_;
     TraceWriter *trace_ = nullptr;
+    PipeObserver *observer_ = nullptr;
 
     std::vector<std::unique_ptr<Warp>> warps_;
     std::unique_ptr<OperandCollector> collector_;

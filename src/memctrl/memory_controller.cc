@@ -1,6 +1,7 @@
 #include "memctrl/memory_controller.hh"
 
 #include "sim/logging.hh"
+#include "verify/observer.hh"
 
 namespace olight
 {
@@ -90,6 +91,8 @@ MemoryController::arrive(Packet pkt)
         trace_->record(eq_.now(), name_, "arrive", pkt.describe());
     if (pkt.isOrderLight()) {
         ++statOlPackets_;
+        if (observer_)
+            observer_->onMcOrderLight(channel_, pkt);
         if (pkt.ol.channelId != (channel_ & 0xf))
             olight_panic(name_, ": OrderLight packet for channel ",
                          unsigned(pkt.ol.channelId));
@@ -120,6 +123,8 @@ MemoryController::arrive(Packet pkt)
     std::uint32_t group = pkt.instr.memGroup;
     if (group >= tracker_.numGroups())
         olight_panic(name_, ": request group out of range: ", group);
+    if (observer_)
+        observer_->onMcAdmit(channel_, pkt);
 
     Transaction txn;
     txn.epoch = tracker_.onRequestArrive(group);
@@ -239,6 +244,8 @@ MemoryController::issue(Transaction txn)
     if (trace_)
         trace_->span(eq_.now(), col_tick, name_ + ".sched", pkt.id,
                      pkt.describe());
+    if (observer_)
+        observer_->onMcCommit(channel_, pkt, col_tick);
 
     if (pkt.instr.isPimCommand()) {
         ++statPimScheduled_;

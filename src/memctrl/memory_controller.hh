@@ -43,6 +43,8 @@
 namespace olight
 {
 
+class PipeObserver;
+
 /** The memory controller of one HBM channel. */
 class MemoryController : public AcceptPort
 {
@@ -63,6 +65,10 @@ class MemoryController : public AcceptPort
 
     /** Attach a packet tracer (nullptr disables tracing). */
     void setTrace(TraceWriter *trace) { trace_ = trace; }
+
+    /** Attach a pipe observer: admit, OrderLight-arrive and commit
+     *  hooks fire on this channel (nullptr disables). */
+    void setObserver(PipeObserver *obs) { observer_ = obs; }
 
     /** CGA arbitration: block host requests during PIM phases. */
     void setHostBlocked(bool blocked);
@@ -114,6 +120,7 @@ class MemoryController : public AcceptPort
     AckFn ackFn_;
     HostDoneFn hostDoneFn_;
     TraceWriter *trace_ = nullptr;
+    PipeObserver *observer_ = nullptr;
 
     bool wakeScheduled_ = false;
     Tick wakeAt_ = 0;

@@ -1,6 +1,7 @@
 #include "noc/copy_merge.hh"
 
 #include "sim/logging.hh"
+#include "verify/observer.hh"
 
 namespace olight
 {
@@ -59,6 +60,9 @@ DivergencePoint::deliver(Packet pkt, Tick when)
         return;
     }
     statCopies_ += double(paths_.size());
+    if (observer_)
+        observer_->onOlReplicate(name_, pkt,
+                                 std::uint32_t(paths_.size()));
     for (PipeStage *path : paths_)
         path->deliver(pkt, when);
 }
@@ -218,6 +222,8 @@ ConvergencePoint::subscribeFrom(std::uint32_t path, const Packet &pkt,
 void
 ConvergencePoint::onOlCopy(std::uint32_t path, const Packet &pkt)
 {
+    if (observer_)
+        observer_->onOlMergeIn(name_, path, pkt);
     if (held_[path])
         olight_panic("convergence ", name_, ": second OrderLight copy"
                      " on a held sub-path");
@@ -246,6 +252,8 @@ ConvergencePoint::tryEmitMerged()
                                [this] { tryEmitMerged(); });
         return;
     }
+    if (observer_)
+        observer_->onOlMergeOut(name_, pendingOl_, arrivedCopies_);
     downstream_->deliver(pendingOl_, eq_.now());
     ++statMerges_;
     olPending_ = false;

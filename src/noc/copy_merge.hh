@@ -41,6 +41,10 @@ class DivergencePoint : public AcceptPort
     DivergencePoint(std::string name, std::vector<PipeStage *> paths,
                     RouteFn route, StatSet &stats);
 
+    /** Attach a pipe observer: onOlReplicate fires per replicated
+     *  OrderLight packet (nullptr disables). */
+    void setObserver(PipeObserver *obs) { observer_ = obs; }
+
     bool tryReserve(const Packet &pkt) override;
     void deliver(Packet pkt, Tick when) override;
     void subscribe(const Packet &pkt,
@@ -52,6 +56,7 @@ class DivergencePoint : public AcceptPort
     std::string name_;
     std::vector<PipeStage *> paths_;
     RouteFn routeFn_;
+    PipeObserver *observer_ = nullptr;
     Scalar &statCopies_;
 };
 
@@ -67,6 +72,10 @@ class ConvergencePoint
                      std::uint32_t numPaths, StatSet &stats);
 
     void setDownstream(AcceptPort *port) { downstream_ = port; }
+
+    /** Attach a pipe observer: onOlMergeIn / onOlMergeOut fire as
+     *  copies arrive and merge (nullptr disables). */
+    void setObserver(PipeObserver *obs) { observer_ = obs; }
 
     /** The port sub-path @p index feeds into. */
     AcceptPort &input(std::uint32_t index);
@@ -87,6 +96,7 @@ class ConvergencePoint
     EventQueue &eq_;
     std::string name_;
     AcceptPort *downstream_ = nullptr;
+    PipeObserver *observer_ = nullptr;
 
     std::vector<std::unique_ptr<AcceptPort>> inputs_;
     std::vector<bool> held_;

@@ -71,6 +71,14 @@ class Interconnect
             q->setTrace(trace);
     }
 
+    /** Attach a pipe observer to every SM injection queue. */
+    void
+    setObserver(PipeObserver *obs)
+    {
+        for (auto &q : smQueues_)
+            q->setObserver(obs);
+    }
+
     bool idle() const;
 
   private:

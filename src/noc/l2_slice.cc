@@ -1,5 +1,8 @@
 #include "noc/l2_slice.hh"
 
+#include "sim/random.hh"
+#include "verify/observer.hh"
+
 namespace olight
 {
 
@@ -18,7 +21,11 @@ L2Slice::L2Slice(const SystemConfig &cfg, std::uint16_t channel,
         PipeStage::Params sp;
         sp.capacity = cfg.l2QueueSize;
         sp.jitterCycles = cfg.subPartJitter;
-        sp.jitterSalt = (std::uint64_t(channel) << 8) | i;
+        // Mixing in cfg.seed perturbs the sub-partition service
+        // schedule without touching the timing model itself; the
+        // litmus harness sweeps it to explore reorderings.
+        sp.jitterSalt =
+            hashMix(cfg.seed, (std::uint64_t(channel) << 8) | i);
         subParts_.push_back(std::make_unique<PipeStage>(
             eq, base + ".sp" + std::to_string(i), sp, stats));
         path_ptrs.push_back(subParts_.back().get());
@@ -61,6 +68,17 @@ L2Slice::setTrace(TraceWriter *trace)
     for (auto &sp : subParts_)
         sp->setTrace(trace);
     toDram_->setTrace(trace);
+}
+
+void
+L2Slice::setObserver(PipeObserver *obs)
+{
+    input_->setObserver(obs);
+    for (auto &sp : subParts_)
+        sp->setObserver(obs);
+    toDram_->setObserver(obs);
+    diverge_->setObserver(obs);
+    converge_->setObserver(obs);
 }
 
 bool

@@ -41,6 +41,9 @@ class L2Slice
     /** Attach a packet tracer to every stage of the slice. */
     void setTrace(TraceWriter *trace);
 
+    /** Attach a pipe observer to every stage and both FSMs. */
+    void setObserver(PipeObserver *obs);
+
     /** Entry port for the interconnect (and the host-stream engine). */
     AcceptPort &input() { return *input_; }
 

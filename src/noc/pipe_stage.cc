@@ -2,6 +2,7 @@
 
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "verify/observer.hh"
 
 namespace olight
 {
@@ -89,6 +90,9 @@ PipeStage::service()
     if (trace_)
         trace_->span(head.arrivedAt, eq_.now(), name_, head.pkt.id,
                      head.pkt.describe());
+    if (observer_)
+        observer_->onStageEgress(name_, head.pkt, head.arrivedAt,
+                                 eq_.now());
     downstream_->deliver(std::move(head.pkt),
                          eq_.now() + params_.wireLatency);
     queue_.pop_front();

@@ -31,6 +31,8 @@
 namespace olight
 {
 
+class PipeObserver;
+
 /** One bounded FIFO queue with rate-1 service and wire latency. */
 class PipeStage : public AcceptPort
 {
@@ -51,6 +53,10 @@ class PipeStage : public AcceptPort
     /** Attach a packet tracer: each serviced packet emits one span
      *  covering its time in this stage (nullptr disables). */
     void setTrace(TraceWriter *trace) { trace_ = trace; }
+
+    /** Attach a pipe observer: onStageEgress fires per serviced
+     *  packet (nullptr disables). */
+    void setObserver(PipeObserver *obs) { observer_ = obs; }
 
     // AcceptPort
     bool tryReserve(const Packet &pkt) override;
@@ -92,6 +98,7 @@ class PipeStage : public AcceptPort
     Params params_;
     AcceptPort *downstream_ = nullptr;
     TraceWriter *trace_ = nullptr;
+    PipeObserver *observer_ = nullptr;
 
     std::deque<Entry> queue_;
     std::uint32_t reserved_ = 0;   ///< credits handed out (incl. queued)

@@ -1,0 +1,263 @@
+#include "verify/litmus.hh"
+
+#include <sstream>
+
+#include "core/kernel_builder.hh"
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace olight
+{
+
+namespace
+{
+
+constexpr std::uint8_t kGroupA = 0;
+constexpr std::uint8_t kGroupB = 1;
+constexpr std::uint8_t kHostGroup = 2;
+constexpr std::uint64_t kWindows = 8;
+
+/** What a pattern builder produces for one run. */
+struct LitmusProgram
+{
+    std::vector<std::vector<PimInstr>> streams;
+    std::vector<HostArraySpec> host;
+};
+
+std::uint64_t
+windowsFor(const KernelBuilder &kb, const PimArray &array,
+           std::uint64_t per_window)
+{
+    std::uint64_t blocks = kb.blocksPerChannel(array);
+    return std::min(kWindows, blocks / per_window);
+}
+
+/**
+ * load -> compute -> store chains over the same rows, every link
+ * separated by an ordering point. Stresses the collector and
+ * sub-partition reordering of dependent same-group requests; the
+ * compute and store carry TS RAW dependences on their predecessors.
+ */
+LitmusProgram
+sameRowChain(const SystemConfig &cfg, const AddressMap &map)
+{
+    ArrayAllocator alloc(map);
+    std::uint64_t elems = 1024 * cfg.numChannels;
+    PimArray a = alloc.alloc("lit.a", elems, kGroupA);
+    PimArray b = alloc.alloc("lit.b", elems, kGroupA);
+
+    LitmusProgram prog;
+    for (std::uint16_t ch = 0; ch < cfg.numChannels; ++ch) {
+        KernelBuilder kb(map, ch);
+        std::vector<PimInstr> s;
+        std::uint64_t w = windowsFor(kb, a, 1);
+        for (std::uint64_t j = 0; j < w; ++j) {
+            s.push_back(
+                PimInstr::load(0, kb.blockAddr(a, j), kGroupA));
+            s.push_back(PimInstr::orderPoint(kGroupA));
+            s.push_back(PimInstr::compute(AluOp::Copy, 1, 0));
+            s.back().memGroup = kGroupA;
+            s.push_back(PimInstr::orderPoint(kGroupA));
+            s.push_back(
+                PimInstr::store(1, kb.blockAddr(b, j), kGroupA));
+            s.push_back(PimInstr::orderPoint(kGroupA));
+        }
+        prog.streams.push_back(std::move(s));
+    }
+    return prog;
+}
+
+/**
+ * Message passing across two memory groups of one channel: publish
+ * data (group A), dual ordering point, publish flag (group B), then
+ * read flag and data back. Without enforcement the flag store can
+ * commit while the data stores still sit in the write queue.
+ */
+LitmusProgram
+msgPassing(const SystemConfig &cfg, const AddressMap &map)
+{
+    ArrayAllocator alloc(map);
+    std::uint64_t elems = 2048 * cfg.numChannels;
+    PimArray data = alloc.alloc("lit.data", elems, kGroupA);
+    PimArray flag = alloc.alloc("lit.flag", elems / 2, kGroupB);
+
+    LitmusProgram prog;
+    for (std::uint16_t ch = 0; ch < cfg.numChannels; ++ch) {
+        KernelBuilder kb(map, ch);
+        std::vector<PimInstr> s;
+        std::uint64_t w = windowsFor(kb, data, 2);
+        for (std::uint64_t j = 0; j < w; ++j) {
+            s.push_back(PimInstr::store(
+                0, kb.blockAddr(data, 2 * j), kGroupA));
+            s.push_back(PimInstr::store(
+                0, kb.blockAddr(data, 2 * j + 1), kGroupA));
+            s.push_back(PimInstr::orderPointDual(kGroupA, kGroupB));
+            s.push_back(
+                PimInstr::store(0, kb.blockAddr(flag, j), kGroupB));
+            s.push_back(PimInstr::orderPoint(kGroupB));
+            s.push_back(
+                PimInstr::load(2, kb.blockAddr(flag, j), kGroupB));
+            s.push_back(PimInstr::load(
+                3, kb.blockAddr(data, 2 * j), kGroupA));
+        }
+        prog.streams.push_back(std::move(s));
+    }
+    return prog;
+}
+
+/**
+ * Store buffering: a store, an ordering point, then a load of a
+ * different row of the same group. FR-FCFS keeps writes buffered
+ * while it serves row-hitting reads, so without enforcement the
+ * young load overtakes the old store.
+ */
+LitmusProgram
+storeBuffer(const SystemConfig &cfg, const AddressMap &map)
+{
+    ArrayAllocator alloc(map);
+    std::uint64_t elems = 1024 * cfg.numChannels;
+    PimArray a = alloc.alloc("lit.a", elems, kGroupA);
+    PimArray b = alloc.alloc("lit.b", elems, kGroupA);
+
+    LitmusProgram prog;
+    for (std::uint16_t ch = 0; ch < cfg.numChannels; ++ch) {
+        KernelBuilder kb(map, ch);
+        std::vector<PimInstr> s;
+        std::uint64_t w = windowsFor(kb, a, 1);
+        for (std::uint64_t j = 0; j < w; ++j) {
+            s.push_back(
+                PimInstr::store(0, kb.blockAddr(a, j), kGroupA));
+            s.push_back(PimInstr::orderPoint(kGroupA));
+            s.push_back(
+                PimInstr::load(1, kb.blockAddr(b, j), kGroupA));
+        }
+        prog.streams.push_back(std::move(s));
+    }
+    return prog;
+}
+
+/**
+ * The store-buffer pattern with concurrent host traffic on a third
+ * memory group interleaving at the MC (fine-grained arbitration) —
+ * host requests add scheduler pressure but obey no PIM ordering.
+ */
+LitmusProgram
+hostPimMix(const SystemConfig &cfg, const AddressMap &map)
+{
+    LitmusProgram prog = storeBuffer(cfg, map);
+    ArrayAllocator alloc(map);
+    // Separate allocator walk: skip the PIM arrays first so the host
+    // region does not alias them.
+    alloc.alloc("lit.a", 1024 * cfg.numChannels, kGroupA);
+    alloc.alloc("lit.b", 1024 * cfg.numChannels, kGroupA);
+    PimArray hr =
+        alloc.alloc("lit.hostr", 2048 * cfg.numChannels, kHostGroup);
+    PimArray hw =
+        alloc.alloc("lit.hostw", 2048 * cfg.numChannels, kHostGroup);
+    prog.host.push_back({hr.base, hr.bytes, false, kHostGroup});
+    prog.host.push_back({hw.base, hw.bytes, true, kHostGroup});
+    return prog;
+}
+
+LitmusProgram
+buildProgram(const std::string &name, const SystemConfig &cfg,
+             const AddressMap &map)
+{
+    if (name == "same_row_chain")
+        return sameRowChain(cfg, map);
+    if (name == "msg_passing")
+        return msgPassing(cfg, map);
+    if (name == "store_buffer")
+        return storeBuffer(cfg, map);
+    if (name == "host_pim_mix")
+        return hostPimMix(cfg, map);
+    olight_fatal("unknown litmus pattern: ", name);
+    return {};
+}
+
+} // namespace
+
+const std::vector<LitmusSpec> &
+litmusTable()
+{
+    static const std::vector<LitmusSpec> table = {
+        {"same_row_chain",
+         "load->compute->store chains on the same rows; every link "
+         "crosses an ordering point (TS RAW dependences)"},
+        {"msg_passing",
+         "data stores (group A), dual ordering point, flag store "
+         "(group B), reads of both — message passing across two "
+         "memory groups of one channel"},
+        {"store_buffer",
+         "store, ordering point, load of another row of the same "
+         "group; reads overtake buffered writes without enforcement"},
+        {"host_pim_mix",
+         "store_buffer with concurrent host traffic on a third "
+         "memory group interleaving at the MC"},
+    };
+    return table;
+}
+
+const LitmusSpec *
+findLitmus(const std::string &name)
+{
+    for (const LitmusSpec &spec : litmusTable())
+        if (name == spec.name)
+            return &spec;
+    return nullptr;
+}
+
+SystemConfig
+litmusConfig(OrderingMode mode, std::uint64_t seed)
+{
+    SystemConfig cfg;
+    cfg.orderingMode = mode;
+    cfg.verifyOracle = true;
+    cfg.seed = seed;
+    cfg.numChannels = 2;
+    cfg.numSms = 1;
+    cfg.warpsPerSm = 2;
+
+    // Structural schedule perturbations: each seed gets a different
+    // jitter range, sub-partition count, and queue geometry, on top
+    // of the jitter-salt mixing cfg.seed already applies.
+    std::uint64_t r = splitMix64(seed);
+    cfg.collectorJitter = 4 + std::uint32_t(r % 12);
+    r = splitMix64(r);
+    cfg.subPartJitter = 4 + std::uint32_t(r % 12);
+    r = splitMix64(r);
+    cfg.l2SubPartitions = (r & 1) ? 4 : 2;
+    r = splitMix64(r);
+    cfg.smQueueSize = (r & 1) ? 16 : 8;
+    r = splitMix64(r);
+    cfg.l2QueueSize = (r & 1) ? 32 : 16;
+    return cfg;
+}
+
+LitmusResult
+runLitmus(const std::string &name, OrderingMode mode,
+          std::uint64_t seed)
+{
+    SystemConfig cfg = litmusConfig(mode, seed);
+    System sys(cfg);
+    LitmusProgram prog =
+        buildProgram(name, sys.config(), sys.map());
+    sys.loadPimKernel(std::move(prog.streams));
+    if (!prog.host.empty())
+        sys.setHostTraffic(std::move(prog.host));
+    sys.run();
+
+    const OrderingOracle *oracle = sys.oracle();
+    LitmusResult res;
+    res.violations = oracle->violationCount();
+    res.checks = oracle->checksPerformed();
+    if (res.violations > 0) {
+        std::ostringstream os;
+        oracle->report(os);
+        res.report = os.str();
+    }
+    return res;
+}
+
+} // namespace olight

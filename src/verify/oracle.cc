@@ -1,0 +1,477 @@
+#include "verify/oracle.hh"
+
+#include <sstream>
+
+namespace olight
+{
+
+const char *
+toString(ViolationKind kind)
+{
+    switch (kind) {
+      case ViolationKind::CommitOrder: return "commit-order";
+      case ViolationKind::CrossGroupOrder: return "cross-group-order";
+      case ViolationKind::OlSequence: return "ol-sequence";
+      case ViolationKind::Conservation: return "conservation";
+      case ViolationKind::CrossGroupMerge: return "cross-group-merge";
+      case ViolationKind::TsRaw: return "ts-raw";
+      case ViolationKind::AckConservation: return "ack-conservation";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** TS slots a PIM command reads / writes. The destination of an ALU
+ *  command counts as read too: accumulating ops (DotAcc, MaxAcc...)
+ *  consume it, and claiming the extra dependence is sound — every
+ *  cross-ordering-point same-group dependence is enforced whether or
+ *  not the value is actually consumed. */
+void
+slotUse(const PimInstr &instr, std::vector<std::uint8_t> &reads,
+        std::vector<std::uint8_t> &writes)
+{
+    reads.clear();
+    writes.clear();
+    switch (instr.type) {
+      case PimOpType::PimLoad:
+        writes.push_back(instr.dstSlot);
+        break;
+      case PimOpType::PimStore:
+        reads.push_back(instr.srcSlot);
+        break;
+      case PimOpType::PimFetchOp:
+        reads.push_back(instr.srcSlot);
+        reads.push_back(instr.dstSlot);
+        writes.push_back(instr.dstSlot);
+        break;
+      case PimOpType::PimCompute:
+        reads.push_back(instr.srcSlot);
+        reads.push_back(isThreeOperandCompute(instr.alu)
+                            ? std::uint8_t(instr.aux)
+                            : instr.dstSlot);
+        writes.push_back(instr.dstSlot);
+        break;
+      default:
+        break; // host requests do not touch the TS
+    }
+}
+
+} // namespace
+
+OrderingOracle::OrderingOracle(const SystemConfig &cfg)
+    : numGroups_(cfg.numMemGroups), historyLimit_(16)
+{
+}
+
+OrderingOracle::GroupState &
+OrderingOracle::groupState(std::uint16_t channel, std::uint8_t group)
+{
+    return groups_[std::uint32_t(channel) * numGroups_ + group];
+}
+
+OrderingOracle::PktState *
+OrderingOracle::find(std::uint64_t pktId)
+{
+    auto it = pkts_.find(pktId);
+    return it == pkts_.end() ? nullptr : &it->second;
+}
+
+void
+OrderingOracle::addHistory(std::uint64_t pktId, Tick begin, Tick end,
+                           const std::string &stage)
+{
+    PktState *ps = find(pktId);
+    if (!ps || ps->history.size() >= historyLimit_)
+        return;
+    ps->history.push_back(HistEntry{begin, end, stage});
+}
+
+std::string
+OrderingOracle::describeHistory(const PktState &ps) const
+{
+    std::ostringstream os;
+    os << "\n    packet: " << ps.pkt.describe() << " (epoch "
+       << ps.epoch << ")\n    history:";
+    if (ps.history.empty())
+        os << " (none recorded)";
+    for (const HistEntry &h : ps.history) {
+        os << "\n      ";
+        if (h.begin != 0 || h.end != 0)
+            os << "[" << h.begin << ".." << h.end << "] ";
+        os << h.stage;
+    }
+    return os.str();
+}
+
+void
+OrderingOracle::addViolation(ViolationKind kind, const Packet &pkt,
+                             const std::string &stage,
+                             std::string message)
+{
+    ++violationCount_;
+    if (violations_.size() >= maxStoredViolations)
+        return;
+    Violation v;
+    v.kind = kind;
+    v.pktId = pkt.id;
+    v.channel = pkt.channel;
+    v.group = pkt.isOrderLight() ? pkt.ol.memGroupId
+                                 : pkt.instr.memGroup;
+    v.stage = stage;
+    if (const PktState *ps = find(pkt.id))
+        message += describeHistory(*ps);
+    v.message = std::move(message);
+    violations_.push_back(std::move(v));
+}
+
+bool
+OrderingOracle::hasOutstandingBelow(const GroupState &gs,
+                                    std::uint32_t bound) const
+{
+    auto it = gs.outstanding.begin();
+    return it != gs.outstanding.end() && it->first < bound;
+}
+
+void
+OrderingOracle::onWarpIssue(const Packet &pkt)
+{
+    if (!pkt.instr.isPimCommand())
+        return;
+    GroupState &gs = groupState(pkt.channel, pkt.instr.memGroup);
+    PktState ps;
+    ps.pkt = pkt;
+    ps.epoch = gs.epoch;
+    ++gs.outstanding[gs.epoch];
+
+    // Register RAW dependences crossing an ordering point: the
+    // program-order writer of each slot this command reads must
+    // commit first whenever an ordering point of their shared group
+    // separates them.
+    static thread_local std::vector<std::uint8_t> reads, writes;
+    slotUse(pkt.instr, reads, writes);
+    for (std::uint8_t slot : reads) {
+        auto it = slotWriter_.find(
+            std::uint32_t(pkt.channel) * 256 + slot);
+        if (it == slotWriter_.end())
+            continue;
+        const PktState *writer = find(it->second);
+        if (writer &&
+            writer->pkt.instr.memGroup == pkt.instr.memGroup &&
+            writer->epoch < ps.epoch)
+            ps.rawDeps.push_back(it->second);
+    }
+    for (std::uint8_t slot : writes)
+        slotWriter_[std::uint32_t(pkt.channel) * 256 + slot] = pkt.id;
+
+    pkts_.emplace(pkt.id, std::move(ps));
+}
+
+void
+OrderingOracle::onOrderPoint(std::uint16_t channel,
+                             std::uint8_t group, int group2)
+{
+    GroupState &ga = groupState(channel, group);
+    ++ga.epoch;
+    if (group2 < 0)
+        return;
+    GroupState &gb = groupState(channel, std::uint8_t(group2));
+    ++gb.epoch;
+    // Requests of either group issued after a dual marker wait for
+    // the other group's pre-marker requests as well.
+    ga.crossDeps.push_back(
+        {ga.epoch, std::uint8_t(group2), gb.epoch});
+    gb.crossDeps.push_back({gb.epoch, group, ga.epoch});
+}
+
+void
+OrderingOracle::onOlInject(const Packet &pkt)
+{
+    PktState ps;
+    ps.pkt = pkt;
+    ps.isOl = true;
+    ps.epoch = groupState(pkt.channel, pkt.ol.memGroupId).epoch;
+    pkts_.emplace(pkt.id, std::move(ps));
+}
+
+void
+OrderingOracle::onCollectorInject(const Packet &pkt, Tick begin,
+                                  Tick end)
+{
+    addHistory(pkt.id, begin, end,
+               "sm" + std::to_string(pkt.smId) + ".collect");
+}
+
+void
+OrderingOracle::onStageEgress(const std::string &stage,
+                              const Packet &pkt, Tick begin, Tick end)
+{
+    addHistory(pkt.id, begin, end, stage);
+}
+
+void
+OrderingOracle::onOlReplicate(const std::string &point,
+                              const Packet &pkt, std::uint32_t copies)
+{
+    MergeState &ms = merges_[pkt.id];
+    ms.expected = copies;
+    ms.group = pkt.ol.memGroupId;
+    ms.pktNumber = pkt.ol.pktNumber;
+    ms.point = point;
+    addHistory(pkt.id, 0, 0, point + " (x" + std::to_string(copies) +
+                                 ")");
+}
+
+void
+OrderingOracle::onOlMergeIn(const std::string &point,
+                            std::uint32_t path, const Packet &pkt)
+{
+    ++checks_;
+    MergeState &ms = merges_[pkt.id];
+    if (ms.seen == 0 && ms.expected == 0) {
+        ms.group = pkt.ol.memGroupId;
+        ms.pktNumber = pkt.ol.pktNumber;
+        ms.point = point;
+    } else if (ms.group != pkt.ol.memGroupId ||
+               ms.pktNumber != pkt.ol.pktNumber) {
+        std::ostringstream os;
+        os << "copy on sub-path " << path << " of " << point
+           << " carries (group " << unsigned(pkt.ol.memGroupId)
+           << ", #" << pkt.ol.pktNumber
+           << ") but the pending merge holds (group "
+           << unsigned(ms.group) << ", #" << ms.pktNumber << ")";
+        addViolation(ViolationKind::CrossGroupMerge, pkt, point,
+                     os.str());
+    }
+    if (ms.merged) {
+        addViolation(ViolationKind::Conservation, pkt, point,
+                     "OrderLight copy arrived on sub-path " +
+                         std::to_string(path) +
+                         " after its merge already completed "
+                         "(duplicated copy)");
+    }
+    // Two different packets assembling at one convergence point at
+    // once means the FSM is mixing copies of distinct markers.
+    auto active = activeMerge_.find(point);
+    if (active != activeMerge_.end() && active->second != pkt.id) {
+        std::ostringstream os;
+        os << "copy of packet " << pkt.id << " arrived at " << point
+           << " while packet " << active->second
+           << " is still assembling there";
+        addViolation(ViolationKind::CrossGroupMerge, pkt, point,
+                     os.str());
+    } else {
+        activeMerge_[point] = pkt.id;
+    }
+    ++ms.seen;
+    if (ms.expected != 0 && ms.seen > ms.expected) {
+        std::ostringstream os;
+        os << "OrderLight packet merged from " << ms.seen
+           << " copies but only " << ms.expected
+           << " were created at the divergence point";
+        addViolation(ViolationKind::Conservation, pkt, point,
+                     os.str());
+    }
+}
+
+void
+OrderingOracle::onOlMergeOut(const std::string &point,
+                             const Packet &pkt, std::uint32_t copies)
+{
+    ++checks_;
+    MergeState &ms = merges_[pkt.id];
+    std::uint32_t expected = ms.expected ? ms.expected : ms.seen;
+    if (copies < expected || ms.seen < expected) {
+        std::ostringstream os;
+        os << "merge completed with "
+           << std::min(copies, ms.seen) << " of " << expected
+           << " copies (a copy was dropped on some sub-path)";
+        addViolation(ViolationKind::Conservation, pkt, point,
+                     os.str());
+    }
+    ms.merged = true;
+    activeMerge_.erase(point);
+    addHistory(pkt.id, 0, 0, point + " (merged)");
+}
+
+void
+OrderingOracle::onMcAdmit(std::uint16_t channel, const Packet &pkt)
+{
+    (void)channel;
+    addHistory(pkt.id, 0, 0,
+               "mc" + std::to_string(channel) + ".admit");
+}
+
+void
+OrderingOracle::onMcOrderLight(std::uint16_t channel,
+                               const Packet &pkt)
+{
+    ++checks_;
+    GroupState &gs = groupState(channel, pkt.ol.memGroupId);
+    if (std::int64_t(pkt.ol.pktNumber) != gs.nextOlAtMc) {
+        std::ostringstream os;
+        os << "OrderLight packet #" << pkt.ol.pktNumber
+           << " reached mc" << channel << " for group "
+           << unsigned(pkt.ol.memGroupId) << " but #" << gs.nextOlAtMc
+           << " was expected (pkt-number order broken)";
+        addViolation(ViolationKind::OlSequence, pkt,
+                     "mc" + std::to_string(channel) + ".ol",
+                     os.str());
+    }
+    gs.nextOlAtMc = std::int64_t(pkt.ol.pktNumber) + 1;
+    if (PktState *ps = find(pkt.id))
+        ps->committed = true;
+    addHistory(pkt.id, 0, 0, "mc" + std::to_string(channel) + ".ol");
+}
+
+void
+OrderingOracle::onMcCommit(std::uint16_t channel, const Packet &pkt,
+                           Tick colTick)
+{
+    PktState *ps = find(pkt.id);
+    if (!ps)
+        return; // host request: no program-order constraints
+    std::string stage = "mc" + std::to_string(channel) + ".commit";
+    addHistory(pkt.id, colTick, colTick, stage);
+
+    GroupState &gs = groupState(channel, pkt.instr.memGroup);
+
+    // Invariant 1: per-group commit order follows ordering-point
+    // (epoch) order.
+    ++checks_;
+    if (hasOutstandingBelow(gs, ps->epoch)) {
+        std::uint32_t stranded = 0;
+        for (auto it = gs.outstanding.begin();
+             it != gs.outstanding.end() && it->first < ps->epoch;
+             ++it)
+            stranded += it->second;
+        std::ostringstream os;
+        os << "request of epoch " << ps->epoch
+           << " committed while " << stranded
+           << " earlier-epoch request(s) of (channel " << channel
+           << ", group " << unsigned(pkt.instr.memGroup)
+           << ") were still uncommitted — the scheduler reordered "
+              "across an ordering point";
+        addViolation(ViolationKind::CommitOrder, pkt, stage,
+                     os.str());
+    }
+
+    // Invariant 2: dual ordering points order both groups.
+    for (std::size_t i = 0; i < gs.crossDeps.size();) {
+        const GroupState::CrossDep &dep = gs.crossDeps[i];
+        GroupState &other = groupState(channel, dep.otherGroup);
+        if (!hasOutstandingBelow(other, dep.otherBound)) {
+            // Permanently satisfied: later issues of the other group
+            // carry epochs at or above the bound.
+            gs.crossDeps[i] = gs.crossDeps.back();
+            gs.crossDeps.pop_back();
+            continue;
+        }
+        ++checks_;
+        if (ps->epoch >= dep.sinceEpoch) {
+            std::ostringstream os;
+            os << "request of (group "
+               << unsigned(pkt.instr.memGroup) << ", epoch "
+               << ps->epoch
+               << ") committed past a dual ordering point while "
+                  "group "
+               << unsigned(dep.otherGroup)
+               << " still has uncommitted pre-marker requests";
+            addViolation(ViolationKind::CrossGroupOrder, pkt, stage,
+                         os.str());
+        }
+        ++i;
+    }
+
+    // Invariant 3: TS RAW — every ordered program-order writer of a
+    // slot this command reads has already executed.
+    for (std::uint64_t dep : ps->rawDeps) {
+        ++checks_;
+        const PktState *writer = find(dep);
+        if (writer && !writer->committed) {
+            std::ostringstream os;
+            os << "command reads a TS slot whose ordered writer "
+                  "(packet "
+               << dep << ", " << writer->pkt.describe()
+               << ") has not executed yet — read-after-write hazard "
+                  "at pim"
+               << channel;
+            addViolation(ViolationKind::TsRaw, pkt,
+                         "pim" + std::to_string(channel) + ".exec",
+                         os.str());
+        }
+    }
+
+    auto out = gs.outstanding.find(ps->epoch);
+    if (out != gs.outstanding.end() && --out->second == 0)
+        gs.outstanding.erase(out);
+    ps->committed = true;
+    ++warpAcks_[pkt.warpId].first;
+}
+
+void
+OrderingOracle::onAck(const Packet &pkt)
+{
+    ++checks_;
+    auto &wa = warpAcks_[pkt.warpId];
+    ++wa.second;
+    if (wa.second > wa.first) {
+        std::ostringstream os;
+        os << "warp " << pkt.warpId << " received ack #" << wa.second
+           << " with only " << wa.first
+           << " commits at the MC — ack counter ran ahead";
+        addViolation(ViolationKind::AckConservation, pkt,
+                     "sm" + std::to_string(pkt.smId) + ".ack",
+                     os.str());
+    }
+}
+
+void
+OrderingOracle::finalize()
+{
+    for (auto &[id, ms] : merges_) {
+        ++checks_;
+        if (ms.merged)
+            continue;
+        PktState *ps = find(id);
+        std::ostringstream os;
+        os << "OrderLight packet " << id << " saw " << ms.seen
+           << " of " << ms.expected
+           << " copies at " << ms.point
+           << " and never merged (copy dropped in flight)";
+        Packet pkt = ps ? ps->pkt : Packet{};
+        if (!ps)
+            pkt.id = id;
+        addViolation(ViolationKind::Conservation, pkt, ms.point,
+                     os.str());
+    }
+    for (auto &[id, ps] : pkts_) {
+        ++checks_;
+        if (ps.committed)
+            continue;
+        addViolation(ViolationKind::Conservation, ps.pkt,
+                     ps.isOl ? "pipe" : "pipe",
+                     ps.isOl
+                         ? "OrderLight packet never reached the MC"
+                         : "request issued but never committed at "
+                           "the MC");
+    }
+}
+
+void
+OrderingOracle::report(std::ostream &os) const
+{
+    os << "ordering oracle: " << checks_ << " checks, "
+       << violationCount_ << " violation(s)";
+    if (violationCount_ > violations_.size())
+        os << " (first " << violations_.size() << " shown)";
+    os << "\n";
+    for (const Violation &v : violations_) {
+        os << "  [" << toString(v.kind) << "] pkt " << v.pktId
+           << " ch " << v.channel << " group " << unsigned(v.group)
+           << " at " << v.stage << ": " << v.message << "\n";
+    }
+}
+
+} // namespace olight

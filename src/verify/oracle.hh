@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Runtime ordering-invariant oracle.
+ *
+ * The end-to-end checks (golden memory image, mathematical
+ * reference) say *whether* a run was correct; the oracle says *why
+ * not*, live, at the pipe stage where an ordering guarantee first
+ * breaks. It consumes the PipeObserver hook stream and maintains an
+ * issue-side model of every ordering constraint the paper defines:
+ *
+ *  - Commit order: requests of one (channel, memory-group) separated
+ *    by an ordering point in program order must reach the MC command
+ *    bus in ordering-point order (the per-group flag/counter
+ *    guarantee of Section 5.3.2). Tracked as issue-side epochs, so
+ *    it holds the same meaning under Fence and under None — where
+ *    nothing enforces it and the oracle is expected to fire.
+ *  - Cross-group order: a dual (Extended) ordering point orders both
+ *    groups against each other's pre-marker requests.
+ *  - OrderLight sequence: OL packets of a group reach the MC in
+ *    pkt-number order (the wire field's stated purpose).
+ *  - Copy-and-merge conservation: every replicated OL packet is
+ *    merged from exactly the copies that were created — none
+ *    dropped, duplicated, or merged across different packets/groups.
+ *  - TS RAW hazards: a command reading a TS slot whose program-order
+ *    writer is separated from it by an ordering point must execute
+ *    after that writer (commit order == PIM execution order).
+ *  - Ack conservation: SM-side ack counters never run ahead of MC
+ *    commits (monotone, no phantom acks).
+ *
+ * Violations are collected, not thrown: each report carries the
+ * packet's full pipeline history (the same span data the TraceWriter
+ * emits) so a failure reads as a story, not a bare assert.
+ */
+
+#ifndef OLIGHT_VERIFY_ORACLE_HH
+#define OLIGHT_VERIFY_ORACLE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hh"
+#include "verify/observer.hh"
+
+namespace olight
+{
+
+/** The invariant classes the oracle checks. */
+enum class ViolationKind : std::uint8_t
+{
+    CommitOrder,     ///< same-group commit past an ordering point
+    CrossGroupOrder, ///< dual ordering point not respected
+    OlSequence,      ///< OL packets out of pkt-number order at MC
+    Conservation,    ///< OL copy dropped/duplicated/never merged,
+                     ///< or a request never committed
+    CrossGroupMerge, ///< mismatched OL copies merged into one packet
+    TsRaw,           ///< TS read executed before its ordered writer
+    AckConservation, ///< more acks than commits at an SM
+};
+
+const char *toString(ViolationKind kind);
+
+/** One detected invariant violation. */
+struct Violation
+{
+    ViolationKind kind;
+    std::uint64_t pktId = 0;   ///< the offending packet
+    std::uint16_t channel = 0;
+    std::uint8_t group = 0;
+    std::string stage;         ///< where it was detected
+    std::string message;       ///< report incl. pipeline history
+};
+
+/** Live ordering-invariant checker for one System. */
+class OrderingOracle : public PipeObserver
+{
+  public:
+    explicit OrderingOracle(const SystemConfig &cfg);
+
+    // PipeObserver
+    void onWarpIssue(const Packet &pkt) override;
+    void onOrderPoint(std::uint16_t channel, std::uint8_t group,
+                      int group2) override;
+    void onOlInject(const Packet &pkt) override;
+    void onCollectorInject(const Packet &pkt, Tick begin,
+                           Tick end) override;
+    void onStageEgress(const std::string &stage, const Packet &pkt,
+                       Tick begin, Tick end) override;
+    void onOlReplicate(const std::string &point, const Packet &pkt,
+                       std::uint32_t copies) override;
+    void onOlMergeIn(const std::string &point, std::uint32_t path,
+                     const Packet &pkt) override;
+    void onOlMergeOut(const std::string &point, const Packet &pkt,
+                      std::uint32_t copies) override;
+    void onMcAdmit(std::uint16_t channel, const Packet &pkt) override;
+    void onMcOrderLight(std::uint16_t channel,
+                        const Packet &pkt) override;
+    void onMcCommit(std::uint16_t channel, const Packet &pkt,
+                    Tick colTick) override;
+    void onAck(const Packet &pkt) override;
+
+    /**
+     * End-of-run conservation pass: every issued request committed,
+     * every replicated OL packet merged. Call once after the
+     * simulation drains.
+     */
+    void finalize();
+
+    /** All violations seen so far (capped; see droppedViolations). */
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Total violations, including ones past the storage cap. */
+    std::uint64_t violationCount() const { return violationCount_; }
+
+    /** Individual invariant evaluations performed. */
+    std::uint64_t checksPerformed() const { return checks_; }
+
+    bool clean() const { return violationCount_ == 0; }
+
+    /** Human-readable report of every stored violation. */
+    void report(std::ostream &os) const;
+
+  private:
+    /** One span of a packet's pipeline history. */
+    struct HistEntry
+    {
+        Tick begin;
+        Tick end;
+        std::string stage;
+    };
+
+    /** Issue-side state of one in-flight (or committed) packet. */
+    struct PktState
+    {
+        Packet pkt;
+        std::uint32_t epoch = 0;  ///< group epoch at issue
+        bool committed = false;
+        bool isOl = false;
+        std::vector<std::uint64_t> rawDeps; ///< writer pkt ids that
+                                            ///< must commit first
+        std::vector<HistEntry> history;
+    };
+
+    /** Epoch bookkeeping of one (channel, group), mirroring the
+     *  flag/counter formulation of OrderingTracker. */
+    struct GroupState
+    {
+        std::uint32_t epoch = 0;
+        /** epoch -> issued-but-uncommitted count (zeros erased). */
+        std::map<std::uint32_t, std::uint32_t> outstanding;
+        struct CrossDep
+        {
+            std::uint32_t sinceEpoch;
+            std::uint8_t otherGroup;
+            std::uint32_t otherBound;
+        };
+        std::vector<CrossDep> crossDeps;
+        std::int64_t nextOlAtMc = 0; ///< expected OL pktNumber
+    };
+
+    /** Merge bookkeeping of one replicated OL packet. */
+    struct MergeState
+    {
+        std::uint32_t expected = 0; ///< copies created (0 = unknown)
+        std::uint32_t seen = 0;
+        bool merged = false;
+        std::uint8_t group = 0;
+        std::uint32_t pktNumber = 0;
+        std::string point;
+    };
+
+    GroupState &groupState(std::uint16_t channel, std::uint8_t group);
+    PktState *find(std::uint64_t pktId);
+    void addHistory(std::uint64_t pktId, Tick begin, Tick end,
+                    const std::string &stage);
+    void addViolation(ViolationKind kind, const Packet &pkt,
+                      const std::string &stage, std::string message);
+    std::string describeHistory(const PktState &ps) const;
+    bool hasOutstandingBelow(const GroupState &gs,
+                             std::uint32_t bound) const;
+
+    std::uint32_t numGroups_;
+    std::size_t historyLimit_;
+
+    std::unordered_map<std::uint64_t, PktState> pkts_;
+    /** (channel * numGroups + group) -> state. */
+    std::unordered_map<std::uint32_t, GroupState> groups_;
+    std::unordered_map<std::uint64_t, MergeState> merges_;
+    /** (channel * 256 + TS slot) -> last program-order writer. */
+    std::unordered_map<std::uint32_t, std::uint64_t> slotWriter_;
+    /** convergence point -> OL packet currently assembling there. */
+    std::unordered_map<std::string, std::uint64_t> activeMerge_;
+    /** warp id -> {commits, acks}. */
+    std::unordered_map<std::uint32_t,
+                       std::pair<std::uint64_t, std::uint64_t>>
+        warpAcks_;
+
+    std::vector<Violation> violations_;
+    std::uint64_t violationCount_ = 0;
+    std::uint64_t checks_ = 0;
+
+    static constexpr std::size_t maxStoredViolations = 64;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_VERIFY_ORACLE_HH

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * OrderingOracle unit tests: drive the observer hooks by hand — a
+ * mock pipe — and inject every violation class the oracle claims to
+ * catch, checking it fires with the right kind, packet, and stage.
+ * Each clean counterpart is exercised too: an oracle is only
+ * trustworthy if it stays silent on correct event streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verify/oracle.hh"
+
+namespace olight
+{
+namespace
+{
+
+Packet
+pimPkt(std::uint64_t id, const PimInstr &instr,
+       std::uint16_t channel = 0, std::uint32_t warp = 0)
+{
+    Packet p;
+    p.id = id;
+    p.channel = channel;
+    p.warpId = warp;
+    p.instr = instr;
+    return p;
+}
+
+Packet
+olPkt(std::uint64_t id, std::uint8_t group, std::uint32_t number,
+      std::uint16_t channel = 0)
+{
+    Packet p;
+    p.kind = PacketKind::OrderLight;
+    p.id = id;
+    p.channel = channel;
+    p.ol.channelId = std::uint8_t(channel);
+    p.ol.memGroupId = group;
+    p.ol.pktNumber = number;
+    return p;
+}
+
+class OracleTest : public ::testing::Test
+{
+  protected:
+    SystemConfig cfg_;
+    OrderingOracle oracle_{cfg_};
+
+    /** Issue + commit, in order, with no marker: always legal. */
+    void
+    commitNow(const Packet &pkt)
+    {
+        oracle_.onMcCommit(pkt.channel, pkt, 0);
+    }
+};
+
+TEST_F(OracleTest, CleanRunStaysClean)
+{
+    Packet a = pimPkt(1, PimInstr::load(0, 0x0, 0));
+    Packet b = pimPkt(2, PimInstr::store(0, 0x40, 0));
+    oracle_.onWarpIssue(a);
+    oracle_.onOrderPoint(0, 0, -1);
+    oracle_.onWarpIssue(b);
+    commitNow(a);
+    commitNow(b);
+    oracle_.onAck(a);
+    oracle_.onAck(b);
+    oracle_.finalize();
+    EXPECT_TRUE(oracle_.clean());
+    EXPECT_GT(oracle_.checksPerformed(), 0u);
+}
+
+TEST_F(OracleTest, CommitPastOrderingPointFires)
+{
+    Packet a = pimPkt(10, PimInstr::load(0, 0x0, 0));
+    Packet b = pimPkt(11, PimInstr::load(1, 0x40, 0));
+    oracle_.onWarpIssue(a);
+    oracle_.onOrderPoint(0, 0, -1);
+    oracle_.onWarpIssue(b);
+    commitNow(b); // epoch-1 request commits before the epoch-0 one
+    commitNow(a);
+
+    ASSERT_EQ(oracle_.violationCount(), 1u);
+    const Violation &v = oracle_.violations()[0];
+    EXPECT_EQ(v.kind, ViolationKind::CommitOrder);
+    EXPECT_EQ(v.pktId, 11u);
+    EXPECT_EQ(v.stage, "mc0.commit");
+}
+
+TEST_F(OracleTest, ReorderWithoutMarkerIsLegal)
+{
+    // The same commit reversal with no ordering point between the
+    // issues: both are epoch 0 and any order is allowed.
+    Packet a = pimPkt(10, PimInstr::load(0, 0x0, 0));
+    Packet b = pimPkt(11, PimInstr::load(1, 0x40, 0));
+    oracle_.onWarpIssue(a);
+    oracle_.onWarpIssue(b);
+    commitNow(b);
+    commitNow(a);
+    EXPECT_TRUE(oracle_.clean());
+}
+
+TEST_F(OracleTest, IndependentGroupsAreNotOrdered)
+{
+    // A single-group marker orders only its group: group 1 may
+    // commit around it freely.
+    Packet a = pimPkt(20, PimInstr::load(0, 0x0, 1));
+    Packet b = pimPkt(21, PimInstr::load(1, 0x40, 1));
+    oracle_.onWarpIssue(a);
+    oracle_.onOrderPoint(0, 0, -1); // group 0, not group 1
+    oracle_.onWarpIssue(b);
+    commitNow(b);
+    commitNow(a);
+    EXPECT_TRUE(oracle_.clean());
+}
+
+TEST_F(OracleTest, DualOrderPointOrdersBothGroups)
+{
+    Packet a = pimPkt(30, PimInstr::store(0, 0x0, 0));  // group 0
+    Packet b = pimPkt(31, PimInstr::store(1, 0x40, 1)); // group 1
+    oracle_.onWarpIssue(a);
+    oracle_.onWarpIssue(b);
+    oracle_.onOrderPoint(0, 0, 1); // dual: orders 0 and 1 together
+    Packet c = pimPkt(32, PimInstr::load(2, 0x80, 0));
+    oracle_.onWarpIssue(c);
+
+    // a commits, so group 0 itself is fine — but group 1 still has
+    // b outstanding below the marker when c commits.
+    commitNow(a);
+    commitNow(c);
+
+    ASSERT_EQ(oracle_.violationCount(), 1u);
+    const Violation &v = oracle_.violations()[0];
+    EXPECT_EQ(v.kind, ViolationKind::CrossGroupOrder);
+    EXPECT_EQ(v.pktId, 32u);
+
+    commitNow(b);
+    oracle_.finalize();
+    EXPECT_EQ(oracle_.violationCount(), 1u); // nothing new
+}
+
+TEST_F(OracleTest, OlPacketsOutOfNumberOrderFire)
+{
+    Packet m0 = olPkt(40, 0, 0);
+    Packet m1 = olPkt(41, 0, 1);
+    oracle_.onOlInject(m0);
+    oracle_.onOlInject(m1);
+    oracle_.onMcOrderLight(0, m1); // #1 arrives before #0
+    oracle_.onMcOrderLight(0, m0);
+
+    ASSERT_GE(oracle_.violationCount(), 1u);
+    const Violation &v = oracle_.violations()[0];
+    EXPECT_EQ(v.kind, ViolationKind::OlSequence);
+    EXPECT_EQ(v.pktId, 41u);
+    EXPECT_EQ(v.stage, "mc0.ol");
+}
+
+TEST_F(OracleTest, DroppedMergeCopyFires)
+{
+    Packet m = olPkt(50, 0, 0);
+    oracle_.onOlInject(m);
+    oracle_.onOlReplicate("l2s0.dv", m, 2);
+    oracle_.onOlMergeIn("l2s0.cv", 0, m);
+    oracle_.onOlMergeOut("l2s0.cv", m, 1); // one copy went missing
+
+    ASSERT_EQ(oracle_.violationCount(), 1u);
+    const Violation &v = oracle_.violations()[0];
+    EXPECT_EQ(v.kind, ViolationKind::Conservation);
+    EXPECT_EQ(v.pktId, 50u);
+    EXPECT_EQ(v.stage, "l2s0.cv");
+}
+
+TEST_F(OracleTest, DuplicatedMergeCopyFires)
+{
+    Packet m = olPkt(51, 0, 0);
+    oracle_.onOlInject(m);
+    oracle_.onOlReplicate("l2s0.dv", m, 2);
+    oracle_.onOlMergeIn("l2s0.cv", 0, m);
+    oracle_.onOlMergeIn("l2s0.cv", 1, m);
+    oracle_.onOlMergeOut("l2s0.cv", m, 2);
+    EXPECT_TRUE(oracle_.clean()); // exact merge is fine
+
+    oracle_.onOlMergeIn("l2s0.cv", 1, m); // straggler duplicate
+    ASSERT_GE(oracle_.violationCount(), 1u);
+    EXPECT_EQ(oracle_.violations()[0].kind,
+              ViolationKind::Conservation);
+}
+
+TEST_F(OracleTest, NeverMergedCaughtAtFinalize)
+{
+    Packet m = olPkt(52, 0, 0);
+    oracle_.onOlInject(m);
+    oracle_.onOlReplicate("l2s0.dv", m, 4);
+    oracle_.onOlMergeIn("l2s0.cv", 0, m);
+    oracle_.onOlMergeIn("l2s0.cv", 1, m);
+    // Two of four copies vanish; the merge never completes. The
+    // report names the divergence point that created the copies.
+    oracle_.finalize();
+
+    bool found = false;
+    for (const Violation &v : oracle_.violations())
+        if (v.kind == ViolationKind::Conservation &&
+            v.pktId == 52u && v.stage == "l2s0.dv")
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST_F(OracleTest, MixedMergeCopiesFire)
+{
+    // Copies of two different markers interleave at one convergence
+    // point: the FSM would assemble a packet from mixed halves.
+    Packet m0 = olPkt(60, 0, 0);
+    Packet m1 = olPkt(61, 1, 0);
+    oracle_.onOlInject(m0);
+    oracle_.onOlInject(m1);
+    oracle_.onOlReplicate("l2s0.dv", m0, 2);
+    oracle_.onOlReplicate("l2s0.dv", m1, 2);
+    oracle_.onOlMergeIn("l2s0.cv", 0, m0);
+    oracle_.onOlMergeIn("l2s0.cv", 1, m1); // m0 still assembling
+
+    ASSERT_GE(oracle_.violationCount(), 1u);
+    const Violation &v = oracle_.violations()[0];
+    EXPECT_EQ(v.kind, ViolationKind::CrossGroupMerge);
+    EXPECT_EQ(v.pktId, 61u);
+    EXPECT_EQ(v.stage, "l2s0.cv");
+}
+
+TEST_F(OracleTest, TsRawHazardFires)
+{
+    // writer loads TS slot 3; an ordering point separates the reader
+    // that stores from slot 3 — committing the reader first means
+    // the PIM ALU read a slot its ordered producer never filled.
+    Packet writer = pimPkt(70, PimInstr::load(3, 0x0, 0));
+    Packet reader = pimPkt(71, PimInstr::store(3, 0x40, 0));
+    oracle_.onWarpIssue(writer);
+    oracle_.onOrderPoint(0, 0, -1);
+    oracle_.onWarpIssue(reader);
+    commitNow(reader);
+    commitNow(writer);
+
+    bool found = false;
+    for (const Violation &v : oracle_.violations())
+        if (v.kind == ViolationKind::TsRaw && v.pktId == 71u &&
+            v.stage == "pim0.exec")
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST_F(OracleTest, TsRawToleratesUnorderedSlotReuse)
+{
+    // Same slot reuse with no marker in between: no ordered
+    // dependence, any commit order is allowed.
+    Packet writer = pimPkt(72, PimInstr::load(3, 0x0, 0));
+    Packet reader = pimPkt(73, PimInstr::store(3, 0x40, 0));
+    oracle_.onWarpIssue(writer);
+    oracle_.onWarpIssue(reader);
+    commitNow(reader);
+    commitNow(writer);
+    EXPECT_TRUE(oracle_.clean());
+}
+
+TEST_F(OracleTest, PhantomAckFires)
+{
+    Packet a = pimPkt(80, PimInstr::load(0, 0x0, 0), 0, 5);
+    oracle_.onWarpIssue(a);
+    oracle_.onAck(a); // ack before any commit
+
+    ASSERT_EQ(oracle_.violationCount(), 1u);
+    const Violation &v = oracle_.violations()[0];
+    EXPECT_EQ(v.kind, ViolationKind::AckConservation);
+    EXPECT_EQ(v.stage, "sm0.ack");
+}
+
+TEST_F(OracleTest, LostRequestCaughtAtFinalize)
+{
+    Packet a = pimPkt(90, PimInstr::load(0, 0x0, 0));
+    oracle_.onWarpIssue(a);
+    oracle_.finalize(); // never committed
+
+    ASSERT_EQ(oracle_.violationCount(), 1u);
+    const Violation &v = oracle_.violations()[0];
+    EXPECT_EQ(v.kind, ViolationKind::Conservation);
+    EXPECT_EQ(v.pktId, 90u);
+}
+
+TEST_F(OracleTest, ViolationReportCarriesHistory)
+{
+    Packet a = pimPkt(100, PimInstr::load(0, 0x0, 0));
+    Packet b = pimPkt(101, PimInstr::load(1, 0x40, 0));
+    oracle_.onWarpIssue(a);
+    oracle_.onOrderPoint(0, 0, -1);
+    oracle_.onWarpIssue(b);
+    oracle_.onCollectorInject(b, 10, 14);
+    oracle_.onStageEgress("icnt.sm0", b, 14, 31);
+    oracle_.onMcAdmit(0, b);
+    commitNow(b);
+
+    ASSERT_EQ(oracle_.violationCount(), 1u);
+    const std::string &msg = oracle_.violations()[0].message;
+    EXPECT_NE(msg.find("sm0.collect"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("icnt.sm0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mc0.admit"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[10..14]"), std::string::npos) << msg;
+}
+
+TEST_F(OracleTest, ViolationStorageIsCappedButCounted)
+{
+    // 100 epoch-skipping commits: all counted, only 64 stored.
+    oracle_.onOrderPoint(0, 0, -1);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        Packet late = pimPkt(200 + i, PimInstr::load(0, 0x0, 0));
+        oracle_.onWarpIssue(pimPkt(500 + i,
+                                   PimInstr::load(1, 0x40, 0)));
+        oracle_.onOrderPoint(0, 0, -1);
+        oracle_.onWarpIssue(late);
+        commitNow(late);
+    }
+    EXPECT_GE(oracle_.violationCount(), 100u);
+    EXPECT_EQ(oracle_.violations().size(), 64u);
+}
+
+} // namespace
+} // namespace olight

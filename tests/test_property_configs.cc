@@ -4,7 +4,9 @@
  * configuration, not just Table 1 — channel counts, sub-partition
  * counts, collector jitter, queue sizes, and clock-domain effects
  * all change where reordering happens, and OrderLight must stay
- * sufficient everywhere.
+ * sufficient everywhere. Each point runs with the ordering oracle
+ * attached, so a failure names the pipe stage that broke order, not
+ * just the corrupted output array.
  */
 
 #include <gtest/gtest.h>
@@ -42,10 +44,14 @@ TEST_P(ConfigSweep, OrderLightStaysCorrect)
     opts.workload = "Triad";
     opts.mode = OrderingMode::OrderLight;
     opts.elements = 1ull << 15;
+    opts.oracle = true;
     opts.base = base;
     RunResult r = runWorkload(opts);
     EXPECT_TRUE(r.correct) << p.name << ": " << r.why;
     EXPECT_GT(r.metrics.olPackets, 0u);
+    EXPECT_EQ(r.oracleViolations, 0u)
+        << p.name << ":\n" << r.oracleReport;
+    EXPECT_GT(r.oracleChecks, 0u) << p.name;
 }
 
 TEST_P(ConfigSweep, FenceStaysCorrect)
@@ -61,9 +67,13 @@ TEST_P(ConfigSweep, FenceStaysCorrect)
     opts.workload = "Daxpy";
     opts.mode = OrderingMode::Fence;
     opts.elements = 1ull << 15;
+    opts.oracle = true;
     opts.base = base;
     RunResult r = runWorkload(opts);
     EXPECT_TRUE(r.correct) << p.name << ": " << r.why;
+    EXPECT_EQ(r.oracleViolations, 0u)
+        << p.name << ":\n" << r.oracleReport;
+    EXPECT_GT(r.oracleChecks, 0u) << p.name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -98,10 +108,13 @@ TEST(ConfigStress, TinyQueuesStillComplete)
         opts.workload = "Add";
         opts.mode = mode;
         opts.elements = 1ull << 14;
+        opts.oracle = true;
         opts.base = base;
         RunResult r = runWorkload(opts);
         EXPECT_TRUE(r.correct)
             << toString(mode) << ": " << r.why;
+        EXPECT_EQ(r.oracleViolations, 0u)
+            << toString(mode) << ":\n" << r.oracleReport;
     }
 }
 

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/disasm.hh"
 #include "core/energy.hh"
@@ -41,7 +42,8 @@ usage()
         "  --elements N      fp32 elements per array (default 2^18)\n"
         "  --channels N      memory channels (default 16)\n"
         "  --cpu-host        use the OoO-CPU host preset\n"
-        "  --verify          golden + mathematical verification\n"
+        "  --verify          golden + mathematical verification and\n"
+        "                    the in-pipe ordering oracle\n"
         "  --gpu-baseline    also time GPU host execution\n"
         "  --stats           dump all statistics\n"
         "  --energy          print the energy breakdown\n"
@@ -72,6 +74,24 @@ parseMode(const std::string &text)
         return OrderingMode::SeqNum;
     std::cerr << "unknown mode: " << text << "\n";
     std::exit(2);
+}
+
+/** Number parsing that survives typos: `--ts x` names the flag and
+ *  exits 2 instead of dying on an uncaught std::invalid_argument. */
+std::uint64_t
+parseNumber(const std::string &flag, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        std::uint64_t v = std::stoull(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        std::cerr << "olight_cli: " << flag
+                  << " needs a number, got: " << value << "\n";
+        std::exit(2);
+    }
 }
 
 } // namespace
@@ -105,13 +125,13 @@ main(int argc, char **argv)
         else if (arg == "--mode")
             mode = parseMode(next());
         else if (arg == "--ts")
-            ts = std::uint32_t(std::stoul(next()));
+            ts = std::uint32_t(parseNumber(arg, next()));
         else if (arg == "--bmf")
-            bmf = std::uint32_t(std::stoul(next()));
+            bmf = std::uint32_t(parseNumber(arg, next()));
         else if (arg == "--elements")
-            elements = std::stoull(next());
+            elements = parseNumber(arg, next());
         else if (arg == "--channels")
-            channels = std::uint32_t(std::stoul(next()));
+            channels = std::uint32_t(parseNumber(arg, next()));
         else if (arg == "--cpu-host")
             cpu_host = true;
         else if (arg == "--verify")
@@ -123,7 +143,7 @@ main(int argc, char **argv)
         else if (arg == "--energy")
             energy = true;
         else if (arg == "--jobs" || arg == "-j")
-            jobs = unsigned(std::stoul(next()));
+            jobs = unsigned(parseNumber(arg, next()));
         else if (arg == "--trace")
             trace_path = next();
         else if (arg == "--trace-json")
@@ -133,9 +153,9 @@ main(int argc, char **argv)
         else if (arg == "--sample")
             sample_path = next();
         else if (arg == "--sample-interval")
-            sample_interval_cycles = std::stoull(next());
+            sample_interval_cycles = parseNumber(arg, next());
         else if (arg == "--dump-kernel")
-            dump_kernel = std::stoull(next());
+            dump_kernel = std::size_t(parseNumber(arg, next()));
         else if (arg == "--flush")
             flush = true;
         else if (arg == "--list") {
@@ -159,6 +179,7 @@ main(int argc, char **argv)
     SystemConfig base = cpu_host ? cpuHostBase() : SystemConfig{};
     base.numChannels = channels;
     SystemConfig cfg = configFor(mode, ts, bmf, base);
+    cfg.verifyOracle = verify; // end-to-end check + live invariants
     cfg.print(std::cout);
 
     auto w = makeWorkload(workload);
@@ -259,6 +280,16 @@ main(int argc, char **argv)
             ok = false;
         std::cout << "  verification: "
                   << (ok ? "bit-exact" : ("FAILED: " + why)) << "\n";
+        if (const OrderingOracle *oracle = sys.oracle()) {
+            std::cout << "  ordering oracle: "
+                      << oracle->checksPerformed() << " checks, "
+                      << oracle->violationCount()
+                      << " violation(s)\n";
+            if (!oracle->clean()) {
+                oracle->report(std::cout);
+                ok = false;
+            }
+        }
         if (!ok)
             return 1;
     }

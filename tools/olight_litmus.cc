@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Litmus-test runner for the memory-ordering verification layer.
+ *
+ * Runs the declarative litmus table (verify/litmus.hh) under one or
+ * all ordering modes across a sweep of schedule seeds, with the
+ * OrderingOracle attached. The exit status encodes the harness's two
+ * meta-assertions:
+ *
+ *  - sensitivity: under --mode none every pattern must violate on at
+ *    least one seed (an oracle that cannot fail proves nothing);
+ *  - soundness: under --mode fence / --mode orderlight no pattern
+ *    may violate on any seed.
+ *
+ * Exit 0 when the selected assertion holds, 1 when it does not,
+ * 2 on bad usage.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "verify/litmus.hh"
+
+namespace
+{
+
+using namespace olight;
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: olight_litmus [options]\n"
+          "  --pattern NAME   run one pattern (default: all)\n"
+          "  --mode MODE      none | fence | orderlight (default: "
+          "all three)\n"
+          "  --seeds N        schedule seeds per pattern "
+          "(default 32)\n"
+          "  --list           print the litmus table and exit\n"
+          "  --verbose        print every per-seed result and the "
+          "first violation report\n";
+}
+
+[[noreturn]] void
+badFlag(const std::string &flag, const std::string &why)
+{
+    std::cerr << "olight_litmus: " << why << ": " << flag << "\n";
+    usage(std::cerr);
+    std::exit(2);
+}
+
+std::uint64_t
+parseCount(const std::string &flag, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        std::uint64_t v = std::stoull(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        badFlag(flag + " " + value, "not a number");
+    }
+}
+
+bool
+parseMode(const std::string &value, OrderingMode &out)
+{
+    if (value == "none") {
+        out = OrderingMode::None;
+    } else if (value == "fence") {
+        out = OrderingMode::Fence;
+    } else if (value == "orderlight") {
+        out = OrderingMode::OrderLight;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+modeName(OrderingMode mode)
+{
+    switch (mode) {
+      case OrderingMode::None: return "none";
+      case OrderingMode::Fence: return "fence";
+      case OrderingMode::OrderLight: return "orderlight";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string pattern;
+    std::vector<OrderingMode> modes = {OrderingMode::None,
+                                       OrderingMode::Fence,
+                                       OrderingMode::OrderLight};
+    std::uint64_t seeds = 32;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                badFlag(flag, "missing value for");
+            return argv[++i];
+        };
+        if (arg == "--pattern") {
+            pattern = next("--pattern");
+            if (!findLitmus(pattern))
+                badFlag(pattern, "unknown pattern");
+        } else if (arg == "--mode") {
+            OrderingMode m;
+            std::string v = next("--mode");
+            if (!parseMode(v, m))
+                badFlag(v, "unknown mode");
+            modes = {m};
+        } else if (arg == "--seeds") {
+            seeds = parseCount("--seeds", next("--seeds"));
+            if (seeds == 0)
+                badFlag("--seeds 0", "need at least one seed for");
+        } else if (arg == "--list") {
+            for (const LitmusSpec &spec : litmusTable())
+                std::cout << spec.name << "\n    "
+                          << spec.description << "\n";
+            return 0;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            badFlag(arg, "unknown flag");
+        }
+    }
+
+    bool failed = false;
+    for (OrderingMode mode : modes) {
+        for (const LitmusSpec &spec : litmusTable()) {
+            if (!pattern.empty() && pattern != spec.name)
+                continue;
+            std::uint64_t violating_seeds = 0;
+            std::uint64_t total_violations = 0;
+            std::string first_report;
+            for (std::uint64_t s = 1; s <= seeds; ++s) {
+                LitmusResult res = runLitmus(spec.name, mode, s);
+                if (res.violations > 0) {
+                    ++violating_seeds;
+                    total_violations += res.violations;
+                    if (first_report.empty())
+                        first_report = res.report;
+                }
+                if (verbose)
+                    std::cout << "  " << modeName(mode) << "/"
+                              << spec.name << " seed " << s << ": "
+                              << res.violations << " violation(s), "
+                              << res.checks << " checks\n";
+            }
+
+            // Sensitivity for None, soundness for the real modes.
+            bool ok = mode == OrderingMode::None
+                          ? violating_seeds > 0
+                          : violating_seeds == 0;
+            std::cout << modeName(mode) << "/" << spec.name << ": "
+                      << violating_seeds << "/" << seeds
+                      << " seeds violating (" << total_violations
+                      << " total) -> "
+                      << (ok ? "ok"
+                             : mode == OrderingMode::None
+                                   ? "FAIL (oracle not sensitive)"
+                                   : "FAIL (ordering violated)")
+                      << "\n";
+            if (!ok)
+                failed = true;
+            if ((verbose || !ok) && !first_report.empty())
+                std::cout << first_report;
+        }
+    }
+    return failed ? 1 : 0;
+}

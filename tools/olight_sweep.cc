@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/sweep.hh"
 #include "sim/thread_pool.hh"
@@ -52,6 +53,24 @@ parseMode(const std::string &text)
     std::exit(2);
 }
 
+/** Number parsing that survives typos: `--ts x` names the flag and
+ *  exits 2 instead of dying on an uncaught std::invalid_argument. */
+std::uint64_t
+parseNumber(const std::string &flag, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        std::uint64_t v = std::stoull(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        std::cerr << "olight_sweep: " << flag
+                  << " needs a number, got: " << value << "\n";
+        std::exit(2);
+    }
+}
+
 } // namespace
 
 int
@@ -83,13 +102,14 @@ main(int argc, char **argv)
             spec.tsSizes.clear();
             for (const auto &t : splitCsv(next()))
                 spec.tsSizes.push_back(
-                    std::uint32_t(std::stoul(t)));
+                    std::uint32_t(parseNumber(arg, t)));
         } else if (arg == "--bmf") {
             spec.bmfs.clear();
             for (const auto &b : splitCsv(next()))
-                spec.bmfs.push_back(std::uint32_t(std::stoul(b)));
+                spec.bmfs.push_back(
+                    std::uint32_t(parseNumber(arg, b)));
         } else if (arg == "--elements") {
-            spec.elements = std::stoull(next());
+            spec.elements = parseNumber(arg, next());
         } else if (arg == "--verify") {
             spec.verify = true;
         } else if (arg == "--gpu-baseline") {
@@ -99,7 +119,7 @@ main(int argc, char **argv)
         } else if (arg == "--stats-json") {
             json_path = next();
         } else if (arg == "--jobs" || arg == "-j") {
-            spec.jobs = unsigned(std::stoul(next()));
+            spec.jobs = unsigned(parseNumber(arg, next()));
         } else if (arg == "--timing") {
             timing = true;
         } else if (arg == "--help" || arg == "-h") {
