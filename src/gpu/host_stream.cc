@@ -46,14 +46,28 @@ HostStream::setTraffic(std::vector<HostArraySpec> arrays)
 void
 HostStream::connect(std::vector<AcceptPort *> sliceInputs)
 {
-    ports_ = std::move(sliceInputs);
-    if (ports_.size() != cfg_.numChannels)
+    if (sliceInputs.size() != cfg_.numChannels)
         olight_fatal("host stream needs one port per channel");
+    for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+        ChannelState &st = channels_[ch];
+        st.parent = this;
+        st.channel = ch;
+        st.port.bind(
+            *sliceInputs[ch],
+            [](void *self) {
+                auto *state = static_cast<ChannelState *>(self);
+                state->parent->pump(state->channel);
+            },
+            &st);
+    }
+    connected_ = true;
 }
 
 void
 HostStream::start()
 {
+    if (!connected_)
+        olight_fatal("host stream started before connect()");
     started_ = true;
     for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch)
         pump(ch);
@@ -86,7 +100,7 @@ HostStream::pump(std::uint16_t channel)
 {
     ChannelState &st = channels_[channel];
     st.pumpScheduled = false;
-    if (st.waitingPort)
+    if (st.port.waiting())
         return;
 
     while (st.cursor < st.total &&
@@ -101,15 +115,9 @@ HostStream::pump(std::uint16_t channel)
             return;
         }
         Packet pkt = makeRequest(channel, st.cursor);
-        if (!ports_[channel]->tryReserve(pkt)) {
-            st.waitingPort = true;
-            ports_[channel]->subscribe(pkt, [this, channel] {
-                channels_[channel].waitingPort = false;
-                pump(channel);
-            });
-            return;
-        }
-        ports_[channel]->deliver(
+        if (!st.port.tryReserve(pkt))
+            return; // parked; the wakeup re-enters pump()
+        st.port.deliver(
             std::move(pkt),
             eq_.now() + Tick(cfg_.interconnectLatency) * corePeriod);
         ++st.cursor;

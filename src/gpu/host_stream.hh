@@ -30,6 +30,7 @@
 
 #include "core/config.hh"
 #include "dram/address_map.hh"
+#include "noc/forwarder.hh"
 #include "noc/port.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -93,7 +94,9 @@ class HostStream
         std::uint32_t outstanding = 0;
         Tick lastInject = 0;
         bool pumpScheduled = false;
-        bool waitingPort = false;
+        HostStream *parent = nullptr; ///< wakeup context
+        std::uint16_t channel = 0;
+        Forwarder<> port; ///< slice input + backpressure waiter
     };
 
     void pump(std::uint16_t channel);
@@ -103,7 +106,7 @@ class HostStream
     const AddressMap &map_;
     EventQueue &eq_;
     std::vector<HostArraySpec> arrays_;
-    std::vector<AcceptPort *> ports_;
+    bool connected_ = false;
     std::vector<ChannelState> channels_;
     std::uint64_t blocksPerChannel_ = 0; ///< per array
     std::uint64_t packetSeq_ = 0;

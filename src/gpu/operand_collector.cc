@@ -12,7 +12,6 @@ OperandCollector::OperandCollector(const SystemConfig &cfg,
                                    StatSet &stats)
     : cfg_(cfg),
       eq_(eq),
-      injectPort_(injectPort),
       // cfg.seed perturbs the collect-latency schedule (the core-side
       // reordering source) so seed sweeps explore distinct
       // interleavings of the same kernel.
@@ -25,6 +24,12 @@ OperandCollector::OperandCollector(const SystemConfig &cfg,
           "sm" + std::to_string(smId) + ".collectorResidency",
           "busy collector units at allocate"))
 {
+    injectFwd_.bind(
+        injectPort,
+        [](void *self) {
+            static_cast<OperandCollector *>(self)->tryInject();
+        },
+        this);
 }
 
 std::size_t
@@ -70,7 +75,7 @@ OperandCollector::onCollected(Packet pkt)
 void
 OperandCollector::tryInject()
 {
-    if (injectScheduled_ || waitingPort_)
+    if (injectScheduled_ || injectFwd_.waiting())
         return;
     while (!ready_.empty()) {
         Tick slot = std::max(eq_.now(), lastInjectTick_ + corePeriod);
@@ -84,14 +89,8 @@ OperandCollector::tryInject()
             return;
         }
         Packet &head = ready_.front();
-        if (!injectPort_.tryReserve(head)) {
-            waitingPort_ = true;
-            injectPort_.subscribe(head, [this] {
-                waitingPort_ = false;
-                tryInject();
-            });
-            return;
-        }
+        if (!injectFwd_.tryReserve(head))
+            return; // parked; the wakeup re-enters tryInject()
         Packet pkt = std::move(head);
         ready_.pop_front();
         lastInjectTick_ = eq_.now();
@@ -100,7 +99,7 @@ OperandCollector::tryInject()
         --busyUnits_;
         --pending_[key(pkt.channel, pkt.instr.memGroup)];
         ++statCollected_;
-        injectPort_.deliver(pkt, eq_.now());
+        injectFwd_.deliver(pkt, eq_.now());
         if (injectedFn_)
             injectedFn_(pkt);
         if (changedFn_)

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "noc/forwarder.hh"
 #include "noc/port.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -74,7 +75,7 @@ class OperandCollector
 
     const SystemConfig &cfg_;
     EventQueue &eq_;
-    AcceptPort &injectPort_;
+    Forwarder<> injectFwd_;
     std::uint64_t jitterSalt_;
 
     std::uint32_t busyUnits_ = 0; ///< allocated, incl. ready-to-inject
@@ -82,7 +83,6 @@ class OperandCollector
     std::vector<std::uint32_t> pending_; ///< per (channel, group)
     Tick lastInjectTick_ = 0;
     bool injectScheduled_ = false;
-    bool waitingPort_ = false;
 
     InjectedFn injectedFn_;
     ChangedFn changedFn_;

@@ -34,6 +34,10 @@ Sm::Sm(const SystemConfig &cfg, std::uint32_t id, EventQueue &eq,
           "sm" + std::to_string(id) + ".creditWait",
           "waiting cycles per credit-stalled request (SeqNum)"))
 {
+    injectFwd_.bind(
+        injectPort_,
+        [](void *self) { static_cast<Sm *>(self)->scheduleTick(); },
+        this);
     collector_ = std::make_unique<OperandCollector>(cfg, id, eq,
                                                     injectPort, stats);
     collector_->setInjectedFn([this](const Packet &pkt) {
@@ -258,9 +262,8 @@ Sm::issueOrderPoint(Warp &warp)
             pkt.ol.memGroupId2 = std::uint8_t(group2);
         }
         pkt.createdAt = eq_.now();
-        if (!injectPort_.tryReserve(pkt)) {
+        if (!injectFwd_.tryReserve(pkt)) {
             markBlocked(warp);
-            injectPort_.subscribe(pkt, [this] { scheduleTick(); });
             return false;
         }
         pkt.ol.pktNumber = warp.nextOlNumber(instr.memGroup);
@@ -269,7 +272,7 @@ Sm::issueOrderPoint(Warp &warp)
                                     group2);
             observer_->onOlInject(pkt);
         }
-        injectPort_.deliver(std::move(pkt), eq_.now());
+        injectFwd_.deliver(std::move(pkt), eq_.now());
         releaseBlocked(warp, false);
         ++statOlIssued_;
         warp.advance();

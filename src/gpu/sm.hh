@@ -27,6 +27,7 @@
 #include "core/config.hh"
 #include "gpu/operand_collector.hh"
 #include "gpu/warp.hh"
+#include "noc/forwarder.hh"
 #include "noc/port.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -80,6 +81,7 @@ class Sm
     std::uint32_t id_;
     EventQueue &eq_;
     AcceptPort &injectPort_;
+    Forwarder<> injectFwd_; ///< OrderLight marker injection
     StatSet &stats_;
     TraceWriter *trace_ = nullptr;
     PipeObserver *observer_ = nullptr;

@@ -71,9 +71,9 @@ MemoryController::deliver(Packet pkt, Tick when)
 }
 
 void
-MemoryController::subscribe(const Packet &, std::function<void()> cb)
+MemoryController::enqueueWaiter(const Packet &, PortWaiter &w)
 {
-    spaceWaiters_.push_back(std::move(cb));
+    spaceWaiters_.enqueue(w);
 }
 
 void
@@ -284,12 +284,7 @@ MemoryController::issue(Transaction txn)
 void
 MemoryController::notifySpace()
 {
-    if (spaceWaiters_.empty())
-        return;
-    std::vector<std::function<void()>> waiters;
-    waiters.swap(spaceWaiters_);
-    for (auto &cb : waiters)
-        cb();
+    spaceWaiters_.wakeAll();
 }
 
 bool

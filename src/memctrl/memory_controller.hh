@@ -46,7 +46,7 @@ namespace olight
 class PipeObserver;
 
 /** The memory controller of one HBM channel. */
-class MemoryController : public AcceptPort
+class MemoryController final : public AcceptPort
 {
   public:
     /** Invoked (after the response-network latency) when a PIM
@@ -76,8 +76,7 @@ class MemoryController : public AcceptPort
     // AcceptPort (input from the L2-to-DRAM queue)
     bool tryReserve(const Packet &pkt) override;
     void deliver(Packet pkt, Tick when) override;
-    void subscribe(const Packet &pkt,
-                   std::function<void()> cb) override;
+    void enqueueWaiter(const Packet &pkt, PortWaiter &w) override;
 
     /** True when no queued or reserved transactions remain. */
     bool idle() const;
@@ -124,7 +123,7 @@ class MemoryController : public AcceptPort
 
     bool wakeScheduled_ = false;
     Tick wakeAt_ = 0;
-    std::vector<std::function<void()>> spaceWaiters_;
+    WaiterList spaceWaiters_;
 
     /** Expected next OrderLight pktNumber per group (sanity check,
      *  the paper's stated use of the packet-number field). */

@@ -9,6 +9,10 @@
  * copies are merged back into a single packet, and any request that
  * follows an OrderLight copy on its sub-path is blocked until the
  * merge completes and the merged packet moves forward.
+ *
+ * Both FSMs are templates over their concrete neighbours (the
+ * sub-path stage type, the post-merge stage type) so the statically
+ * wired pipe interior routes and merges with direct calls.
  */
 
 #ifndef OLIGHT_NOC_COPY_MERGE_HH
@@ -20,10 +24,12 @@
 #include <string>
 #include <vector>
 
-#include "noc/pipe_stage.hh"
+#include "noc/forwarder.hh"
 #include "noc/port.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "verify/observer.hh"
 
 namespace olight
 {
@@ -32,29 +38,98 @@ namespace olight
  * Divergence-point FSM: routes requests to one sub-path and
  * replicates OrderLight packets onto all of them.
  */
-class DivergencePoint : public AcceptPort
+template <class PathStage>
+class DivergencePoint final
 {
   public:
     /** Chooses the sub-path index of a request packet. */
     using RouteFn = std::function<std::uint32_t(const Packet &)>;
 
-    DivergencePoint(std::string name, std::vector<PipeStage *> paths,
-                    RouteFn route, StatSet &stats);
+    DivergencePoint(std::string name,
+                    std::vector<PathStage *> paths, RouteFn route,
+                    StatSet &stats)
+        : name_(std::move(name)),
+          paths_(std::move(paths)),
+          routeFn_(std::move(route)),
+          statCopies_(stats.scalar(name_ + ".olCopies",
+                                   "OrderLight copies generated"))
+    {
+        if (paths_.empty())
+            olight_fatal("divergence point ", name_,
+                         " has no sub-paths");
+    }
 
     /** Attach a pipe observer: onOlReplicate fires per replicated
      *  OrderLight packet (nullptr disables). */
     void setObserver(PipeObserver *obs) { observer_ = obs; }
 
-    bool tryReserve(const Packet &pkt) override;
-    void deliver(Packet pkt, Tick when) override;
-    void subscribe(const Packet &pkt,
-                   std::function<void()> cb) override;
+    bool
+    tryReserve(const Packet &pkt)
+    {
+        if (!pkt.isOrderLight())
+            return route(pkt)->tryReserve(pkt);
+
+        // Replicating the packet needs a credit on *every* sub-path;
+        // reservation must be all-or-nothing.
+        for (PathStage *path : paths_)
+            if (!path->hasCredit())
+                return false;
+        for (PathStage *path : paths_) {
+            if (!path->tryReserve(pkt))
+                olight_panic("divergence ", name_,
+                             ": lost a checked credit");
+        }
+        return true;
+    }
+
+    void
+    deliver(Packet pkt, Tick when)
+    {
+        if (!pkt.isOrderLight()) {
+            route(pkt)->deliver(std::move(pkt), when);
+            return;
+        }
+        statCopies_ += double(paths_.size());
+        if (observer_)
+            observer_->onOlReplicate(name_, pkt,
+                                     std::uint32_t(paths_.size()));
+        for (PathStage *path : paths_)
+            path->deliver(pkt, when);
+    }
+
+    void
+    enqueueWaiter(const Packet &pkt, PortWaiter &w)
+    {
+        if (!pkt.isOrderLight()) {
+            route(pkt)->enqueueWaiter(pkt, w);
+            return;
+        }
+        // An all-or-nothing reservation failed on *some* full
+        // sub-path; park on the first one only. Parking on every
+        // full path (as an earlier revision did) fired the same
+        // retry multiple times per stall.
+        for (PathStage *path : paths_) {
+            if (!path->hasCredit()) {
+                path->enqueueWaiter(pkt, w);
+                return;
+            }
+        }
+        paths_.front()->enqueueWaiter(pkt, w);
+    }
 
   private:
-    PipeStage *route(const Packet &pkt) const;
+    PathStage *
+    route(const Packet &pkt) const
+    {
+        std::uint32_t idx = routeFn_(pkt);
+        if (idx >= paths_.size())
+            olight_panic("divergence ", name_, ": route index ", idx,
+                         " out of range");
+        return paths_[idx];
+    }
 
     std::string name_;
-    std::vector<PipeStage *> paths_;
+    std::vector<PathStage *> paths_;
     RouteFn routeFn_;
     PipeObserver *observer_ = nullptr;
     Scalar &statCopies_;
@@ -65,42 +140,169 @@ class DivergencePoint : public AcceptPort
  * after its OrderLight copy arrives, and emits one merged packet
  * once all copies are in.
  */
-class ConvergencePoint
+template <class Downstream>
+class ConvergencePoint final
 {
   public:
-    ConvergencePoint(EventQueue &eq, std::string name,
-                     std::uint32_t numPaths, StatSet &stats);
+    /** Per-sub-path entry port (gives each path its identity). */
+    class Input final
+    {
+      public:
+        Input(ConvergencePoint &parent, std::uint32_t idx)
+            : parent_(parent), idx_(idx)
+        {}
 
-    void setDownstream(AcceptPort *port) { downstream_ = port; }
+        bool
+        tryReserve(const Packet &pkt)
+        {
+            return parent_.tryReserveFrom(idx_, pkt);
+        }
+
+        void
+        deliver(Packet pkt, Tick when)
+        {
+            parent_.deliverFrom(idx_, std::move(pkt), when);
+        }
+
+        void
+        enqueueWaiter(const Packet &pkt, PortWaiter &w)
+        {
+            parent_.enqueueWaiterFrom(idx_, pkt, w);
+        }
+
+      private:
+        ConvergencePoint &parent_;
+        std::uint32_t idx_;
+    };
+
+    ConvergencePoint(EventQueue &eq, std::string name,
+                     std::uint32_t numPaths, StatSet &stats)
+        : eq_(eq),
+          name_(std::move(name)),
+          held_(numPaths, false),
+          pathWaiters_(numPaths),
+          statMerges_(stats.scalar(name_ + ".olMerges",
+                                   "OrderLight merges completed"))
+    {
+        if (numPaths == 0)
+            olight_fatal("convergence point ", name_,
+                         " has no paths");
+        for (std::uint32_t i = 0; i < numPaths; ++i)
+            inputs_.push_back(std::make_unique<Input>(*this, i));
+    }
+
+    void
+    setDownstream(Downstream *port)
+    {
+        downstream_ = port;
+        emitFwd_.bind(
+            *port,
+            [](void *self) {
+                static_cast<ConvergencePoint *>(self)
+                    ->tryEmitMerged();
+            },
+            this);
+    }
 
     /** Attach a pipe observer: onOlMergeIn / onOlMergeOut fire as
      *  copies arrive and merge (nullptr disables). */
     void setObserver(PipeObserver *obs) { observer_ = obs; }
 
     /** The port sub-path @p index feeds into. */
-    AcceptPort &input(std::uint32_t index);
+    Input &input(std::uint32_t index) { return *inputs_.at(index); }
 
     /** True when no merge is in progress. */
     bool idle() const { return !olPending_; }
 
   private:
-    friend class ConvergenceInput;
+    friend class Input;
 
-    bool tryReserveFrom(std::uint32_t path, const Packet &pkt);
-    void deliverFrom(std::uint32_t path, Packet pkt, Tick when);
-    void subscribeFrom(std::uint32_t path, const Packet &pkt,
-                       std::function<void()> cb);
-    void onOlCopy(std::uint32_t path, const Packet &pkt);
-    void tryEmitMerged();
+    bool
+    tryReserveFrom(std::uint32_t path, const Packet &pkt)
+    {
+        if (held_[path])
+            return false; // blocked behind an unmerged OL copy
+        if (pkt.isOrderLight())
+            return true;  // copies are absorbed by the FSM itself
+        return downstream_->tryReserve(pkt);
+    }
+
+    void
+    deliverFrom(std::uint32_t path, Packet pkt, Tick when)
+    {
+        if (pkt.isOrderLight()) {
+            eq_.schedule(when, [this, path, pkt = std::move(pkt)] {
+                onOlCopy(path, pkt);
+            });
+            return;
+        }
+        downstream_->deliver(std::move(pkt), when);
+    }
+
+    void
+    enqueueWaiterFrom(std::uint32_t path, const Packet &pkt,
+                      PortWaiter &w)
+    {
+        if (held_[path]) {
+            pathWaiters_[path].enqueue(w);
+            return;
+        }
+        downstream_->enqueueWaiter(pkt, w);
+    }
+
+    void
+    onOlCopy(std::uint32_t path, const Packet &pkt)
+    {
+        if (observer_)
+            observer_->onOlMergeIn(name_, path, pkt);
+        if (held_[path])
+            olight_panic("convergence ", name_,
+                         ": second OrderLight copy"
+                         " on a held sub-path");
+        if (!olPending_) {
+            olPending_ = true;
+            pendingOl_ = pkt;
+            arrivedCopies_ = 0;
+        } else if (pendingOl_.ol.pktNumber != pkt.ol.pktNumber ||
+                   pendingOl_.ol.memGroupId != pkt.ol.memGroupId) {
+            olight_panic("convergence ", name_,
+                         ": mismatched OrderLight copies (#",
+                         pendingOl_.ol.pktNumber, " vs #",
+                         pkt.ol.pktNumber, ")");
+        }
+        held_[path] = true;
+        ++arrivedCopies_;
+        if (arrivedCopies_ == held_.size())
+            tryEmitMerged();
+    }
+
+    void
+    tryEmitMerged()
+    {
+        if (!emitFwd_.tryReserve(pendingOl_))
+            return; // parked; retried on the next space wakeup
+        if (observer_)
+            observer_->onOlMergeOut(name_, pendingOl_,
+                                    arrivedCopies_);
+        emitFwd_.deliver(pendingOl_, eq_.now());
+        ++statMerges_;
+        olPending_ = false;
+        arrivedCopies_ = 0;
+        for (std::size_t i = 0; i < held_.size(); ++i) {
+            held_[i] = false;
+            pathWaiters_[i].wakeAll();
+        }
+    }
 
     EventQueue &eq_;
     std::string name_;
-    AcceptPort *downstream_ = nullptr;
+    Downstream *downstream_ = nullptr;
+    Forwarder<Downstream> emitFwd_;
     PipeObserver *observer_ = nullptr;
 
-    std::vector<std::unique_ptr<AcceptPort>> inputs_;
+    std::vector<std::unique_ptr<Input>> inputs_;
     std::vector<bool> held_;
-    std::vector<std::vector<std::function<void()>>> pathWaiters_;
+    std::vector<WaiterList> pathWaiters_;
 
     bool olPending_ = false;
     Packet pendingOl_;

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The one reserve -> deliver -> wait retry loop of the memory pipe.
+ *
+ * Before this existed, every sender (SM OrderLight issue, the
+ * operand collector, each pipe stage, the convergence FSM, the host
+ * stream) re-implemented the same dance: tryReserve(), and on
+ * failure subscribe a retry callback downstream. Forwarder owns
+ * that dance once: it embeds the sender's reusable PortWaiter, parks
+ * it on reservation failure (duplicate parks are suppressed — the
+ * node is intrusive, it can only be in one list), and invokes the
+ * sender's raw retry function when the receiver signals space.
+ *
+ * The Port parameter is the *concrete* downstream type, so the
+ * statically wired interior of the pipe forwards with direct calls;
+ * the default AcceptPort keeps boundary senders polymorphic.
+ */
+
+#ifndef OLIGHT_NOC_FORWARDER_HH
+#define OLIGHT_NOC_FORWARDER_HH
+
+#include <cstdint>
+
+#include "noc/port.hh"
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+/** Backpressure-aware sender endpoint for one downstream port. */
+template <class Port = AcceptPort>
+class Forwarder
+{
+  public:
+    using RetryFn = void (*)(void *);
+
+    Forwarder() = default;
+    Forwarder(const Forwarder &) = delete;
+    Forwarder &operator=(const Forwarder &) = delete;
+
+    /** Wire to @p port; @p retry(owner) runs on each space wakeup. */
+    void
+    bind(Port &port, RetryFn retry, void *owner)
+    {
+        port_ = &port;
+        retry_ = retry;
+        owner_ = owner;
+        waiter_.bind(&Forwarder::onWake, this);
+    }
+
+    bool bound() const { return port_ != nullptr; }
+    Port *port() const { return port_; }
+
+    /** Whether a failed reservation is parked awaiting space. */
+    bool waiting() const { return waiter_.linked(); }
+
+    /**
+     * Reserve downstream space for @p pkt. On failure the embedded
+     * waiter is parked (once — re-entry while waiting is a no-op)
+     * and the retry function will run when space frees up.
+     */
+    bool
+    tryReserve(const Packet &pkt)
+    {
+        if (port_->tryReserve(pkt))
+            return true;
+        if (!waiter_.linked())
+            port_->enqueueWaiter(pkt, waiter_);
+        return false;
+    }
+
+    /** Forward a reserved packet, arriving at absolute @p when. */
+    void
+    deliver(Packet pkt, Tick when)
+    {
+        port_->deliver(static_cast<Packet &&>(pkt), when);
+    }
+
+    /** Space wakeups received over this forwarder's lifetime. */
+    std::uint64_t wakeups() const { return wakeups_; }
+
+  private:
+    static void
+    onWake(void *self)
+    {
+        auto *f = static_cast<Forwarder *>(self);
+        ++f->wakeups_;
+        f->retry_(f->owner_);
+    }
+
+    Port *port_ = nullptr;
+    RetryFn retry_ = nullptr;
+    void *owner_ = nullptr;
+    PortWaiter waiter_;
+    std::uint64_t wakeups_ = 0;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_NOC_FORWARDER_HH

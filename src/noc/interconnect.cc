@@ -6,14 +6,14 @@ namespace olight
 Interconnect::Interconnect(const SystemConfig &cfg, EventQueue &eq,
                            std::vector<L2Slice *> slices,
                            StatSet &stats)
-    : router_(std::make_unique<ChannelRouter>(std::move(slices)))
+    : router_(std::make_unique<ChannelRouter>(slices))
 {
     for (std::uint32_t sm = 0; sm < cfg.numSms; ++sm) {
-        PipeStage::Params params;
+        PipeParams params;
         params.capacity = cfg.smQueueSize;
         params.wireLatency =
             Tick(cfg.interconnectLatency) * corePeriod;
-        smQueues_.push_back(std::make_unique<PipeStage>(
+        smQueues_.push_back(std::make_unique<SmStage>(
             eq, "icnt.sm" + std::to_string(sm), params, stats));
         smQueues_.back()->setDownstream(router_.get());
     }

@@ -6,6 +6,10 @@
  * packet per core cycle into the crossbar; the crossbar adds the
  * interconnect-to-L2 latency (120 cycles, Table 1) and routes by the
  * packet's memory channel to the corresponding L2 slice.
+ *
+ * The router resolves each slice's concrete input stage at
+ * construction, so routing a packet is an array index plus direct
+ * calls — no per-hop virtual dispatch.
  */
 
 #ifndef OLIGHT_NOC_INTERCONNECT_HH
@@ -22,41 +26,50 @@ namespace olight
 {
 
 /** Routes packets to the L2 slice of their memory channel. */
-class ChannelRouter : public AcceptPort
+class ChannelRouter final
 {
   public:
-    explicit ChannelRouter(std::vector<L2Slice *> slices)
-        : slices_(std::move(slices))
-    {}
+    explicit ChannelRouter(const std::vector<L2Slice *> &slices)
+    {
+        inputs_.reserve(slices.size());
+        for (L2Slice *slice : slices)
+            inputs_.push_back(&slice->input());
+    }
 
     bool
-    tryReserve(const Packet &pkt) override
+    tryReserve(const Packet &pkt)
     {
-        return slice(pkt).input().tryReserve(pkt);
+        return input(pkt).tryReserve(pkt);
     }
 
     void
-    deliver(Packet pkt, Tick when) override
+    deliver(Packet pkt, Tick when)
     {
-        slice(pkt).input().deliver(std::move(pkt), when);
+        input(pkt).deliver(std::move(pkt), when);
     }
 
     void
-    subscribe(const Packet &pkt, std::function<void()> cb) override
+    enqueueWaiter(const Packet &pkt, PortWaiter &w)
     {
-        slice(pkt).input().subscribe(pkt, std::move(cb));
+        input(pkt).enqueueWaiter(pkt, w);
     }
 
   private:
-    L2Slice &slice(const Packet &pkt) { return *slices_.at(pkt.channel); }
+    L2Slice::InputStage &
+    input(const Packet &pkt)
+    {
+        return *inputs_.at(pkt.channel);
+    }
 
-    std::vector<L2Slice *> slices_;
+    std::vector<L2Slice::InputStage *> inputs_;
 };
 
 /** Per-SM injection queues plus the shared router. */
 class Interconnect
 {
   public:
+    using SmStage = PipeStage<ChannelRouter>;
+
     Interconnect(const SystemConfig &cfg, EventQueue &eq,
                  std::vector<L2Slice *> slices, StatSet &stats);
 
@@ -83,7 +96,7 @@ class Interconnect
 
   private:
     std::unique_ptr<ChannelRouter> router_;
-    std::vector<std::unique_ptr<PipeStage>> smQueues_;
+    std::vector<std::unique_ptr<SmStage>> smQueues_;
 };
 
 } // namespace olight

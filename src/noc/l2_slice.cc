@@ -11,14 +11,14 @@ L2Slice::L2Slice(const SystemConfig &cfg, std::uint16_t channel,
 {
     std::string base = "l2s" + std::to_string(channel);
 
-    PipeStage::Params in_params;
+    PipeParams in_params;
     in_params.capacity = cfg.l2QueueSize;
-    input_ = std::make_unique<PipeStage>(eq, base + ".in", in_params,
-                                         stats);
+    input_ = std::make_unique<InputStage>(eq, base + ".in",
+                                          in_params, stats);
 
-    std::vector<PipeStage *> path_ptrs;
+    std::vector<SubPathStage *> path_ptrs;
     for (std::uint32_t i = 0; i < cfg.l2SubPartitions; ++i) {
-        PipeStage::Params sp;
+        PipeParams sp;
         sp.capacity = cfg.l2QueueSize;
         sp.jitterCycles = cfg.subPartJitter;
         // Mixing in cfg.seed perturbs the sub-partition service
@@ -26,27 +26,27 @@ L2Slice::L2Slice(const SystemConfig &cfg, std::uint16_t channel,
         // litmus harness sweeps it to explore reorderings.
         sp.jitterSalt =
             hashMix(cfg.seed, (std::uint64_t(channel) << 8) | i);
-        subParts_.push_back(std::make_unique<PipeStage>(
+        subParts_.push_back(std::make_unique<SubPathStage>(
             eq, base + ".sp" + std::to_string(i), sp, stats));
         path_ptrs.push_back(subParts_.back().get());
     }
 
     std::uint32_t num_paths = cfg.l2SubPartitions;
     std::uint32_t block = cfg.busWidthBytes;
-    diverge_ = std::make_unique<DivergencePoint>(
+    diverge_ = std::make_unique<SplitPoint>(
         base + ".div", path_ptrs,
         [num_paths, block](const Packet &pkt) {
             return std::uint32_t((pkt.instr.addr / block) % num_paths);
         },
         stats);
 
-    converge_ = std::make_unique<ConvergencePoint>(
-        eq, base + ".conv", num_paths, stats);
+    converge_ = std::make_unique<MergePoint>(eq, base + ".conv",
+                                             num_paths, stats);
 
-    PipeStage::Params out_params;
+    PipeParams out_params;
     out_params.capacity = cfg.l2QueueSize;
     out_params.wireLatency = Tick(cfg.l2ToDramLatency) * corePeriod;
-    toDram_ = std::make_unique<PipeStage>(eq, base + ".toDram",
+    toDram_ = std::make_unique<DramStage>(eq, base + ".toDram",
                                           out_params, stats);
 
     input_->setDownstream(diverge_.get());

@@ -11,6 +11,13 @@
  * the memory controller after the 100-cycle scheduler latency.
  * OrderLight packets are handled by the copy-and-merge FSMs at the
  * divergence/convergence points.
+ *
+ * The slice interior is wired statically: each stage's downstream is
+ * a concrete final type fixed by the chain aliases below, so every
+ * intra-slice hop is a direct call. Only the two boundaries stay
+ * polymorphic — the input stage is fed through its AcceptPort base,
+ * and the L2-to-DRAM stage exits into an AcceptPort (the memory
+ * controller in production, a test double in unit tests).
  */
 
 #ifndef OLIGHT_NOC_L2_SLICE_HH
@@ -32,6 +39,15 @@ namespace olight
 class L2Slice
 {
   public:
+    // The concrete stage chain, innermost first: the L2-to-DRAM
+    // queue exits through the polymorphic MC boundary; everything
+    // upstream of it is statically typed.
+    using DramStage = PipeStage<AcceptPort>;
+    using MergePoint = ConvergencePoint<DramStage>;
+    using SubPathStage = PipeStage<MergePoint::Input>;
+    using SplitPoint = DivergencePoint<SubPathStage>;
+    using InputStage = PipeStage<SplitPoint>;
+
     L2Slice(const SystemConfig &cfg, std::uint16_t channel,
             EventQueue &eq, StatSet &stats);
 
@@ -44,17 +60,18 @@ class L2Slice
     /** Attach a pipe observer to every stage and both FSMs. */
     void setObserver(PipeObserver *obs);
 
-    /** Entry port for the interconnect (and the host-stream engine). */
-    AcceptPort &input() { return *input_; }
+    /** Entry stage for the interconnect (and the host-stream
+     *  engine); concrete so the router forwards with direct calls. */
+    InputStage &input() { return *input_; }
 
     bool idle() const;
 
   private:
-    std::unique_ptr<PipeStage> input_;
-    std::vector<std::unique_ptr<PipeStage>> subParts_;
-    std::unique_ptr<DivergencePoint> diverge_;
-    std::unique_ptr<ConvergencePoint> converge_;
-    std::unique_ptr<PipeStage> toDram_;
+    std::unique_ptr<InputStage> input_;
+    std::vector<std::unique_ptr<SubPathStage>> subParts_;
+    std::unique_ptr<SplitPoint> diverge_;
+    std::unique_ptr<MergePoint> converge_;
+    std::unique_ptr<DramStage> toDram_;
 };
 
 } // namespace olight

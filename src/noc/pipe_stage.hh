@@ -13,42 +13,79 @@
  * Within a single stage order is always preserved (it is a FIFO);
  * reordering only arises from path divergence, which is exactly the
  * situation OrderLight's copy-and-merge FSM (Figure 9) handles.
+ *
+ * The stage is a template over its concrete downstream type so the
+ * statically wired pipe interior forwards with direct (inlinable)
+ * calls; it still implements AcceptPort on its *receiving* side so
+ * polymorphic producers (SMs, the host stream, tests) can feed it.
+ * Queued entries live in a fixed ring sized at capacity — the credit
+ * protocol guarantees occupancy never exceeds outstanding credits —
+ * so the steady state allocates nothing.
  */
 
 #ifndef OLIGHT_NOC_PIPE_STAGE_HH
 #define OLIGHT_NOC_PIPE_STAGE_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "noc/forwarder.hh"
 #include "noc/port.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
+#include "verify/observer.hh"
 
 namespace olight
 {
 
-class PipeObserver;
+/** Construction parameters shared by every PipeStage instantiation. */
+struct PipeParams
+{
+    std::uint32_t capacity = 64;
+    Tick wireLatency = 0;      ///< added when forwarding downstream
+    std::uint32_t jitterCycles = 0; ///< 0..j-1 extra service cycles
+    std::uint64_t jitterSalt = 0;   ///< keys the per-packet jitter
+};
 
 /** One bounded FIFO queue with rate-1 service and wire latency. */
-class PipeStage : public AcceptPort
+template <class Downstream = AcceptPort>
+class PipeStage final : public AcceptPort
 {
   public:
-    struct Params
-    {
-        std::uint32_t capacity = 64;
-        Tick wireLatency = 0;      ///< added when forwarding downstream
-        std::uint32_t jitterCycles = 0; ///< 0..j-1 extra service cycles
-        std::uint64_t jitterSalt = 0;   ///< keys the per-packet jitter
-    };
+    using Params = PipeParams;
 
     PipeStage(EventQueue &eq, std::string name, const Params &params,
-              StatSet &stats);
+              StatSet &stats)
+        : eq_(eq),
+          name_(std::move(name)),
+          params_(params),
+          statAccepted_(stats.scalar(name_ + ".accepted",
+                                     "packets accepted")),
+          statForwarded_(stats.scalar(name_ + ".forwarded",
+                                      "packets forwarded")),
+          statOccupancy_(stats.distribution(
+              name_ + ".occupancy", "queue occupancy at arrival", 0.0,
+              double(params.capacity ? params.capacity : 1), 16))
+    {
+        if (params_.capacity == 0)
+            olight_fatal("pipe stage ", name_, " needs capacity > 0");
+        ring_.resize(params_.capacity);
+    }
 
-    void setDownstream(AcceptPort *port) { downstream_ = port; }
+    void
+    setDownstream(Downstream *port)
+    {
+        fwd_.bind(
+            *port,
+            [](void *self) {
+                static_cast<PipeStage *>(self)->scheduleService();
+            },
+            this);
+    }
 
     /** Attach a packet tracer: each serviced packet emits one span
      *  covering its time in this stage (nullptr disables). */
@@ -58,26 +95,49 @@ class PipeStage : public AcceptPort
      *  packet (nullptr disables). */
     void setObserver(PipeObserver *obs) { observer_ = obs; }
 
-    // AcceptPort
-    bool tryReserve(const Packet &pkt) override;
-    void deliver(Packet pkt, Tick when) override;
-    void subscribe(const Packet &pkt,
-                   std::function<void()> cb) override;
-
-    std::uint32_t occupancy() const
+    // AcceptPort (receiving side)
+    bool
+    tryReserve(const Packet &) override
     {
-        return static_cast<std::uint32_t>(queue_.size());
+        if (reserved_ >= params_.capacity)
+            return false;
+        ++reserved_;
+        return true;
     }
+
+    void
+    deliver(Packet pkt, Tick when) override
+    {
+        eq_.schedule(when, [this, pkt = std::move(pkt)]() mutable {
+            Tick ready = eq_.now();
+            if (params_.jitterCycles > 0 && !pkt.isOrderLight()) {
+                ready += Tick(jitter(params_.jitterSalt, pkt.id,
+                                     params_.jitterCycles)) *
+                         corePeriod;
+            }
+            statOccupancy_.sample(double(count_));
+            ++statAccepted_;
+            push(Entry{std::move(pkt), ready, eq_.now()});
+            scheduleService();
+        });
+    }
+
+    void
+    enqueueWaiter(const Packet &, PortWaiter &w) override
+    {
+        spaceWaiters_.enqueue(w);
+    }
+
+    std::uint32_t occupancy() const { return count_; }
 
     /** Whether tryReserve() would currently succeed (used by the
      *  divergence FSM to reserve all sub-paths atomically). */
     bool hasCredit() const { return reserved_ < params_.capacity; }
 
-    bool
-    idle() const
-    {
-        return queue_.empty() && reserved_ == 0;
-    }
+    bool idle() const { return count_ == 0 && reserved_ == 0; }
+
+    /** Space wakeups this stage received from its downstream. */
+    std::uint64_t downstreamWakeups() const { return fwd_.wakeups(); }
 
     const std::string &name() const { return name_; }
 
@@ -85,27 +145,98 @@ class PipeStage : public AcceptPort
     struct Entry
     {
         Packet pkt;
-        Tick readyAt;   ///< arrival + jitter; earliest service tick
-        Tick arrivedAt; ///< arrival tick (trace span begin)
+        Tick readyAt = 0;   ///< arrival + jitter; earliest service
+        Tick arrivedAt = 0; ///< arrival tick (trace span begin)
     };
 
-    void scheduleService();
-    void service();
-    void releaseCredit();
+    Entry &front() { return ring_[head_]; }
+
+    void
+    push(Entry e)
+    {
+        // reserved_ <= capacity and every queued entry holds a
+        // credit, so the ring can never wrap onto live entries.
+        std::uint32_t slot = head_ + count_;
+        if (slot >= params_.capacity)
+            slot -= params_.capacity;
+        ring_[slot] = std::move(e);
+        ++count_;
+    }
+
+    void
+    pop()
+    {
+        if (++head_ == params_.capacity)
+            head_ = 0;
+        --count_;
+    }
+
+    void
+    scheduleService()
+    {
+        if (serviceScheduled_ || fwd_.waiting() || count_ == 0)
+            return;
+        Tick when = std::max(front().readyAt,
+                             lastServiceTick_ + corePeriod);
+        when = coreClock.nextEdge(std::max(when, eq_.now()));
+        serviceScheduled_ = true;
+        eq_.schedule(when, [this] { service(); });
+    }
+
+    void
+    service()
+    {
+        serviceScheduled_ = false;
+        if (count_ == 0 || fwd_.waiting())
+            return;
+
+        Entry &head = front();
+        if (!fwd_.bound())
+            olight_panic("pipe stage ", name_, " has no downstream");
+
+        // Parks the embedded waiter on failure; the wakeup re-enters
+        // scheduleService().
+        if (!fwd_.tryReserve(head.pkt))
+            return;
+
+        if (trace_)
+            trace_->span(head.arrivedAt, eq_.now(), name_,
+                         head.pkt.id, head.pkt.describe());
+        if (observer_)
+            observer_->onStageEgress(name_, head.pkt, head.arrivedAt,
+                                     eq_.now());
+        fwd_.deliver(std::move(head.pkt),
+                     eq_.now() + params_.wireLatency);
+        pop();
+        lastServiceTick_ = eq_.now();
+        ++statForwarded_;
+        releaseCredit();
+        scheduleService();
+    }
+
+    void
+    releaseCredit()
+    {
+        if (reserved_ == 0)
+            olight_panic("pipe stage ", name_, ": credit underflow");
+        --reserved_;
+        spaceWaiters_.wakeAll();
+    }
 
     EventQueue &eq_;
     std::string name_;
     Params params_;
-    AcceptPort *downstream_ = nullptr;
+    Forwarder<Downstream> fwd_;
     TraceWriter *trace_ = nullptr;
     PipeObserver *observer_ = nullptr;
 
-    std::deque<Entry> queue_;
+    std::vector<Entry> ring_;      ///< fixed ring of `capacity` slots
+    std::uint32_t head_ = 0;
+    std::uint32_t count_ = 0;
     std::uint32_t reserved_ = 0;   ///< credits handed out (incl. queued)
     Tick lastServiceTick_ = 0;
     bool serviceScheduled_ = false;
-    bool waitingDownstream_ = false;
-    std::vector<std::function<void()>> spaceWaiters_;
+    WaiterList spaceWaiters_;
 
     Scalar &statAccepted_;
     Scalar &statForwarded_;

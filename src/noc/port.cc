@@ -1,0 +1,100 @@
+#include "noc/port.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+PortWaiter::~PortWaiter()
+{
+    cancel();
+}
+
+void
+PortWaiter::bind(WakeFn fn, void *ctx)
+{
+    if (linked())
+        olight_panic("PortWaiter rebound while parked");
+    fn_ = fn;
+    ctx_ = ctx;
+}
+
+void
+PortWaiter::cancel()
+{
+    if (list_)
+        list_->remove(*this);
+}
+
+WaiterList::~WaiterList()
+{
+    // Detach survivors so their destructors don't chase a dead list.
+    for (PortWaiter *w = head_; w != nullptr;) {
+        PortWaiter *next = w->next_;
+        w->prev_ = w->next_ = nullptr;
+        w->list_ = nullptr;
+        w = next;
+    }
+    head_ = tail_ = nullptr;
+}
+
+void
+WaiterList::enqueue(PortWaiter &w)
+{
+    if (w.list_ != nullptr)
+        olight_panic("PortWaiter enqueued while already parked");
+    if (w.fn_ == nullptr)
+        olight_panic("PortWaiter enqueued without a callback");
+    w.list_ = this;
+    w.prev_ = tail_;
+    w.next_ = nullptr;
+    if (tail_)
+        tail_->next_ = &w;
+    else
+        head_ = &w;
+    tail_ = &w;
+}
+
+void
+WaiterList::remove(PortWaiter &w)
+{
+    if (w.list_ != this)
+        olight_panic("PortWaiter cancelled on the wrong list");
+    if (w.prev_)
+        w.prev_->next_ = w.next_;
+    else
+        head_ = w.next_;
+    if (w.next_)
+        w.next_->prev_ = w.prev_;
+    else
+        tail_ = w.prev_;
+    w.prev_ = w.next_ = nullptr;
+    w.list_ = nullptr;
+}
+
+std::uint32_t
+WaiterList::wakeAll()
+{
+    if (!head_)
+        return 0;
+
+    // Detach the whole chain before firing anything: callbacks that
+    // re-park land on the (now empty) live list and wait for the
+    // next wakeAll() instead of looping inside this one.
+    PortWaiter *w = head_;
+    head_ = tail_ = nullptr;
+    for (PortWaiter *n = w; n != nullptr; n = n->next_)
+        n->list_ = nullptr;
+
+    std::uint32_t fired = 0;
+    while (w) {
+        PortWaiter *next = w->next_;
+        w->prev_ = w->next_ = nullptr;
+        ++fired;
+        w->fn_(w->ctx_);
+        w = next;
+    }
+    return fired;
+}
+
+} // namespace olight

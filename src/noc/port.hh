@@ -5,17 +5,32 @@
  * Every hop in the pipe (Figure 6) is credit-based: a sender first
  * reserves buffer space at the receiver with tryReserve(), then
  * hands the packet over with deliver() (the wire latency is folded
- * into the delivery tick). When reservation fails the sender
- * subscribes for a space notification and retries — this is how
- * backpressure propagates all the way back to the SM, which the
+ * into the delivery tick). When reservation fails the sender parks
+ * its PortWaiter on the receiver and retries when woken — this is
+ * how backpressure propagates all the way back to the SM, which the
  * paper observes as "backward pressure on queues in the memory
  * pipe".
+ *
+ * The wakeup protocol is intrusive and allocation-free: each sender
+ * embeds one reusable PortWaiter node, and a stall links that node
+ * into a WaiterList headed at the receiver. Enqueue, cancel and
+ * wake are pointer splices; no closure is constructed per stall.
+ *
+ * Wakeup semantics:
+ *  - one-shot: a waiter is unlinked before its callback fires, so a
+ *    single stall produces exactly one wakeup (re-parking requires
+ *    an explicit new enqueue after another failed tryReserve);
+ *  - FIFO: wakeAll() fires waiters in enqueue order, preserving the
+ *    retry order of multiple senders sharing one receiver;
+ *  - batch isolation: wakeAll() detaches the whole list first, so a
+ *    callback that re-parks its waiter waits for the *next* credit
+ *    release instead of being re-fired in the same batch.
  */
 
 #ifndef OLIGHT_NOC_PORT_HH
 #define OLIGHT_NOC_PORT_HH
 
-#include <functional>
+#include <cstdint>
 
 #include "core/pim_isa.hh"
 #include "sim/types.hh"
@@ -23,7 +38,96 @@
 namespace olight
 {
 
-/** Receiving side of a flow-controlled hop. */
+class WaiterList;
+
+/**
+ * One reusable, intrusive wakeup node embedded in a sender.
+ *
+ * The node carries a raw (function, context) pair instead of a
+ * std::function so parking on backpressure never allocates. A node
+ * can be linked into at most one WaiterList at a time; destroying a
+ * linked node cancels it.
+ */
+class PortWaiter
+{
+  public:
+    using WakeFn = void (*)(void *);
+
+    PortWaiter() = default;
+    PortWaiter(WakeFn fn, void *ctx) : fn_(fn), ctx_(ctx) {}
+    ~PortWaiter();
+
+    PortWaiter(const PortWaiter &) = delete;
+    PortWaiter &operator=(const PortWaiter &) = delete;
+
+    /** Set the wakeup callback; only valid while unlinked. */
+    void bind(WakeFn fn, void *ctx);
+
+    /** Whether the node is currently parked on a receiver. */
+    bool linked() const { return list_ != nullptr; }
+
+    /** Unlink from the current list, if any (idempotent). */
+    void cancel();
+
+  private:
+    friend class WaiterList;
+
+    WakeFn fn_ = nullptr;
+    void *ctx_ = nullptr;
+    PortWaiter *prev_ = nullptr;
+    PortWaiter *next_ = nullptr;
+    WaiterList *list_ = nullptr;
+};
+
+/**
+ * FIFO list of parked PortWaiters, headed at a receiver.
+ *
+ * Intrusive and doubly linked: enqueue/cancel are O(1) splices on
+ * nodes the senders own. The list must outlive linked nodes only in
+ * the sense that nodes self-cancel on destruction; destroying a
+ * non-empty list detaches the survivors.
+ */
+class WaiterList
+{
+  public:
+    WaiterList() = default;
+    ~WaiterList();
+
+    WaiterList(const WaiterList &) = delete;
+    WaiterList &operator=(const WaiterList &) = delete;
+
+    bool empty() const { return head_ == nullptr; }
+
+    /** Park @p w at the tail; panics if it is already linked. */
+    void enqueue(PortWaiter &w);
+
+    /**
+     * Wake every parked waiter, FIFO, one-shot.
+     *
+     * The whole chain is detached before any callback runs: a
+     * callback may re-enqueue its own (or another) node for the next
+     * batch, but cannot cancel a node already in this batch — those
+     * wakeups are in flight. @return the number of waiters fired.
+     */
+    std::uint32_t wakeAll();
+
+  private:
+    friend class PortWaiter;
+
+    void remove(PortWaiter &w);
+
+    PortWaiter *head_ = nullptr;
+    PortWaiter *tail_ = nullptr;
+};
+
+/** Receiving side of a flow-controlled hop.
+ *
+ * Interior hops of the pipe are wired statically (concrete final
+ * receiver types, no virtual dispatch); this polymorphic base is the
+ * boundary interface — SM / operand-collector / host injection and
+ * the L2-to-DRAM exit into the memory controller — so producers and
+ * test doubles can be plugged in without templating the whole pipe.
+ */
 class AcceptPort
 {
   public:
@@ -34,7 +138,7 @@ class AcceptPort
      *
      * @retval true space reserved; the caller must follow up with
      *         deliver() exactly once.
-     * @retval false no space; subscribe() for a retry notification.
+     * @retval false no space; enqueueWaiter() for a retry wakeup.
      */
     virtual bool tryReserve(const Packet &pkt) = 0;
 
@@ -42,11 +146,11 @@ class AcceptPort
     virtual void deliver(Packet pkt, Tick when) = 0;
 
     /**
-     * Register a one-shot callback fired when space relevant to
-     * @p pkt may have become available.
+     * Park @p w until space relevant to @p pkt may have become
+     * available; the wakeup is one-shot (the node is unlinked before
+     * its callback runs).
      */
-    virtual void subscribe(const Packet &pkt,
-                           std::function<void()> cb) = 0;
+    virtual void enqueueWaiter(const Packet &pkt, PortWaiter &w) = 0;
 };
 
 } // namespace olight

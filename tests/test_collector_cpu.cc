@@ -34,24 +34,21 @@ class RecordingPort : public AcceptPort
     }
 
     void
-    subscribe(const Packet &, std::function<void()> cb) override
+    enqueueWaiter(const Packet &, PortWaiter &w) override
     {
-        waiters.push_back(std::move(cb));
+        waiters.enqueue(w);
     }
 
     void
     release(std::uint32_t n)
     {
         credits += n;
-        auto copy = std::move(waiters);
-        waiters.clear();
-        for (auto &cb : copy)
-            cb();
+        waiters.wakeAll();
     }
 
     std::uint32_t credits = 1u << 30;
     std::vector<std::uint64_t> injected;
-    std::vector<std::function<void()>> waiters;
+    WaiterList waiters;
 };
 
 Packet

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "noc/copy_merge.hh"
+#include "noc/pipe_stage.hh"
 
 namespace olight
 {
@@ -33,25 +34,26 @@ class RecordingSink : public AcceptPort
     }
 
     void
-    subscribe(const Packet &, std::function<void()> cb) override
+    enqueueWaiter(const Packet &, PortWaiter &w) override
     {
-        waiters.push_back(std::move(cb));
+        waiters.enqueue(w);
     }
 
     void
     release(std::uint32_t n)
     {
         credits += n;
-        auto copy = std::move(waiters);
-        waiters.clear();
-        for (auto &cb : copy)
-            cb();
+        waiters.wakeAll();
     }
 
     std::uint32_t credits = 1u << 30;
     std::vector<Packet> arrivals;
-    std::vector<std::function<void()>> waiters;
+    WaiterList waiters;
 };
+
+using Merge = ConvergencePoint<RecordingSink>;
+using Path = PipeStage<Merge::Input>;
+using Split = DivergencePoint<Path>;
 
 Packet
 request(std::uint64_t id, std::uint64_t addr)
@@ -77,23 +79,22 @@ struct CopyMergeFixture : public ::testing::Test
 
     CopyMergeFixture()
     {
-        PipeStage::Params params;
+        PipeParams params;
         params.capacity = 8;
         for (std::uint32_t i = 0; i < numPaths; ++i)
-            paths.push_back(std::make_unique<PipeStage>(
+            paths.push_back(std::make_unique<Path>(
                 eq, "p" + std::to_string(i), params, stats));
-        std::vector<PipeStage *> ptrs;
+        std::vector<Path *> ptrs;
         for (auto &p : paths)
             ptrs.push_back(p.get());
-        div = std::make_unique<DivergencePoint>(
+        div = std::make_unique<Split>(
             "div", ptrs,
             [](const Packet &pkt) {
                 return std::uint32_t((pkt.instr.addr / 32) %
                                      numPaths);
             },
             stats);
-        conv = std::make_unique<ConvergencePoint>(eq, "conv",
-                                                  numPaths, stats);
+        conv = std::make_unique<Merge>(eq, "conv", numPaths, stats);
         for (std::uint32_t i = 0; i < numPaths; ++i)
             paths[i]->setDownstream(&conv->input(i));
         conv->setDownstream(&sink);
@@ -108,9 +109,9 @@ struct CopyMergeFixture : public ::testing::Test
 
     EventQueue eq;
     StatSet stats;
-    std::vector<std::unique_ptr<PipeStage>> paths;
-    std::unique_ptr<DivergencePoint> div;
-    std::unique_ptr<ConvergencePoint> conv;
+    std::vector<std::unique_ptr<Path>> paths;
+    std::unique_ptr<Split> div;
+    std::unique_ptr<Merge> conv;
     RecordingSink sink;
 };
 
@@ -200,6 +201,40 @@ TEST_F(CopyMergeFixture, MarkerReservationIsAllOrNothing)
     sink.release(100);
     eq.run();
     EXPECT_EQ(sink.arrivals.size(), 8u);
+    EXPECT_TRUE(div->tryReserve(m));
+}
+
+/** Regression: a stalled marker used to subscribe its retry on
+ *  *every* full sub-path, so one stall produced one wakeup per path
+ *  as they drained. The intrusive waiter parks on exactly one path
+ *  and must fire exactly once. */
+TEST_F(CopyMergeFixture, StalledMarkerWakesExactlyOnce)
+{
+    // Fill BOTH sub-paths to capacity while the sink is blocked.
+    sink.credits = 0;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        send(request(100 + i, 0)); // path 0
+    for (std::uint64_t i = 0; i < 8; ++i)
+        send(request(200 + i, 32)); // path 1
+    eq.run();
+
+    Packet m = marker(0);
+    ASSERT_FALSE(div->tryReserve(m))
+        << "both sub-paths must be full";
+
+    int wakeups = 0;
+    PortWaiter waiter([](void *n) { ++*static_cast<int *>(n); },
+                      &wakeups);
+    div->enqueueWaiter(m, waiter);
+
+    // Drain everything: both paths release credits repeatedly; the
+    // old multi-path subscription fired once per draining path.
+    sink.release(100);
+    eq.run();
+    EXPECT_EQ(sink.arrivals.size(), 16u);
+    EXPECT_EQ(wakeups, 1)
+        << "one stall must produce exactly one wakeup";
+    EXPECT_FALSE(waiter.linked());
     EXPECT_TRUE(div->tryReserve(m));
 }
 

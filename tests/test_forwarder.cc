@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Unit tests for the intrusive waiter protocol (PortWaiter /
+ * WaiterList) and the shared Forwarder retry loop: one-shot FIFO
+ * wakeups, duplicate-park suppression, cancellation, and the
+ * allocation-free guarantee on the steady-state backpressure path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "noc/forwarder.hh"
+#include "noc/pipe_stage.hh"
+
+// Count every global operator new in the test binary so the
+// steady-state tests below can assert the backpressure path does
+// not allocate. Counting is cheap and the remaining tests are
+// unaffected.
+namespace
+{
+std::atomic<std::uint64_t> g_news{0};
+}
+
+void *
+operator new(std::size_t n)
+{
+    ++g_news;
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    ++g_news;
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace olight
+{
+namespace
+{
+
+/** Minimal credit-gated receiver with a waiter list. */
+class ManualPort : public AcceptPort
+{
+  public:
+    bool
+    tryReserve(const Packet &) override
+    {
+        if (credits == 0)
+            return false;
+        --credits;
+        return true;
+    }
+
+    void
+    deliver(Packet, Tick) override { ++delivered; }
+
+    void
+    enqueueWaiter(const Packet &, PortWaiter &w) override
+    {
+        waiters.enqueue(w);
+    }
+
+    std::uint32_t
+    release(std::uint32_t n)
+    {
+        credits += n;
+        return waiters.wakeAll();
+    }
+
+    std::uint32_t credits = 0;
+    std::uint64_t delivered = 0;
+    WaiterList waiters;
+};
+
+struct RetryCounter
+{
+    int retries = 0;
+
+    static void
+    onRetry(void *self)
+    {
+        ++static_cast<RetryCounter *>(self)->retries;
+    }
+};
+
+Packet
+mkPkt(std::uint64_t id = 0)
+{
+    Packet pkt;
+    pkt.id = id;
+    return pkt;
+}
+
+TEST(Forwarder, ParksOnceAndWakesOnce)
+{
+    ManualPort port;
+    RetryCounter counter;
+    Forwarder<> fwd;
+    fwd.bind(port, &RetryCounter::onRetry, &counter);
+
+    EXPECT_FALSE(fwd.tryReserve(mkPkt()));
+    EXPECT_TRUE(fwd.waiting());
+    // A second failed attempt while parked must not double-park.
+    EXPECT_FALSE(fwd.tryReserve(mkPkt()));
+    EXPECT_EQ(port.release(1), 1u) << "exactly one waiter parked";
+    EXPECT_EQ(counter.retries, 1);
+    EXPECT_FALSE(fwd.waiting());
+    EXPECT_EQ(fwd.wakeups(), 1u);
+
+    // Nothing left parked: another release wakes nobody.
+    EXPECT_EQ(port.release(1), 0u);
+    EXPECT_EQ(counter.retries, 1);
+}
+
+TEST(Forwarder, SuccessfulReserveDoesNotPark)
+{
+    ManualPort port;
+    port.credits = 2;
+    RetryCounter counter;
+    Forwarder<> fwd;
+    fwd.bind(port, &RetryCounter::onRetry, &counter);
+
+    EXPECT_TRUE(fwd.tryReserve(mkPkt()));
+    EXPECT_FALSE(fwd.waiting());
+    fwd.deliver(mkPkt(), 0);
+    EXPECT_EQ(port.delivered, 1u);
+    EXPECT_EQ(port.release(0), 0u);
+}
+
+TEST(Forwarder, MultipleSendersWakeFifo)
+{
+    ManualPort port;
+    std::vector<int> order;
+    struct Sender
+    {
+        std::vector<int> *order;
+        int id;
+        static void
+        onRetry(void *self)
+        {
+            auto *s = static_cast<Sender *>(self);
+            s->order->push_back(s->id);
+        }
+    };
+    Sender s1{&order, 1}, s2{&order, 2}, s3{&order, 3};
+    Forwarder<> f1, f2, f3;
+    f1.bind(port, &Sender::onRetry, &s1);
+    f2.bind(port, &Sender::onRetry, &s2);
+    f3.bind(port, &Sender::onRetry, &s3);
+
+    EXPECT_FALSE(f2.tryReserve(mkPkt()));
+    EXPECT_FALSE(f1.tryReserve(mkPkt()));
+    EXPECT_FALSE(f3.tryReserve(mkPkt()));
+    EXPECT_EQ(port.release(3), 3u);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 2);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 3);
+}
+
+TEST(Forwarder, ReparkDuringWakeWaitsForNextRelease)
+{
+    ManualPort port;
+    // Retry that consumes the fresh credit and immediately fails
+    // again (credit granted, second reserve refused): the re-park
+    // must land in the *next* wake batch, not loop in this one.
+    struct Greedy
+    {
+        ManualPort *port;
+        Forwarder<> *fwd;
+        int retries = 0;
+        static void
+        onRetry(void *self)
+        {
+            auto *g = static_cast<Greedy *>(self);
+            ++g->retries;
+            if (g->fwd->tryReserve(mkPkt()))
+                g->fwd->deliver(mkPkt(), 0);
+            g->fwd->tryReserve(mkPkt()); // fails, re-parks
+        }
+    };
+    Forwarder<> fwd;
+    Greedy greedy{&port, &fwd};
+    fwd.bind(port, &Greedy::onRetry, &greedy);
+
+    EXPECT_FALSE(fwd.tryReserve(mkPkt()));
+    EXPECT_EQ(port.release(1), 1u);
+    EXPECT_EQ(greedy.retries, 1) << "no same-batch re-fire";
+    EXPECT_TRUE(fwd.waiting());
+    EXPECT_EQ(port.release(1), 1u);
+    EXPECT_EQ(greedy.retries, 2);
+}
+
+TEST(Forwarder, DestructionCancelsParkedWaiter)
+{
+    ManualPort port;
+    RetryCounter counter;
+    {
+        Forwarder<> fwd;
+        fwd.bind(port, &RetryCounter::onRetry, &counter);
+        EXPECT_FALSE(fwd.tryReserve(mkPkt()));
+        EXPECT_FALSE(port.waiters.empty());
+    }
+    EXPECT_TRUE(port.waiters.empty())
+        << "destroyed waiter must unlink itself";
+    EXPECT_EQ(port.release(1), 0u);
+    EXPECT_EQ(counter.retries, 0);
+}
+
+TEST(WaiterListDeath, DoubleEnqueuePanics)
+{
+    WaiterList a, b;
+    RetryCounter counter;
+    PortWaiter w(&RetryCounter::onRetry, &counter);
+    a.enqueue(w);
+    EXPECT_DEATH(b.enqueue(w), "already parked");
+    a.wakeAll();
+}
+
+TEST(Forwarder, SteadyStateBackpressureAllocatesNothing)
+{
+    ManualPort port;
+    RetryCounter counter;
+    Forwarder<> fwd;
+    fwd.bind(port, &RetryCounter::onRetry, &counter);
+
+    // No gtest macros inside the counted region — count raw
+    // outcomes and assert afterwards.
+    std::uint64_t parked = 0, woken = 0, reserved = 0;
+    std::uint64_t before = g_news.load();
+    for (int i = 0; i < 100000; ++i) {
+        parked += fwd.tryReserve(mkPkt()) ? 0 : 1; // parks
+        woken += port.release(1);                  // wakes
+        reserved += fwd.tryReserve(mkPkt()) ? 1 : 0;
+    }
+    EXPECT_EQ(g_news.load() - before, 0u)
+        << "park/wake cycles must not allocate";
+    EXPECT_EQ(parked, 100000u);
+    EXPECT_EQ(woken, 100000u);
+    EXPECT_EQ(reserved, 100000u);
+    EXPECT_EQ(counter.retries, 100000);
+}
+
+/** End-to-end: a saturated capacity-1 stage chain in steady state
+ *  (every hop stalling and waking) runs without a single heap
+ *  allocation — the property the std::function subscribe() path
+ *  could not provide. */
+TEST(Forwarder, SaturatedPipeSteadyStateAllocatesNothing)
+{
+    EventQueue eq;
+    StatSet stats;
+    using S2 = PipeStage<ManualPort>;
+    using S1 = PipeStage<S2>;
+    PipeParams p;
+    p.capacity = 1;
+
+    ManualPort sink;
+    S2 s2(eq, "s2", p, stats);
+    S1 s1(eq, "s1", p, stats);
+    s2.setDownstream(&sink);
+    s1.setDownstream(&s2);
+
+    std::uint64_t fed = 0;
+    auto feed = [&] {
+        Packet pkt = mkPkt(fed);
+        if (s1.tryReserve(pkt)) {
+            s1.deliver(std::move(pkt), eq.now());
+            ++fed;
+        }
+    };
+    auto drain = [&](std::uint64_t n) {
+        // Trickle credits so the chain keeps stalling and waking.
+        while (sink.delivered < n) {
+            feed();
+            sink.release(1);
+            eq.run();
+        }
+    };
+
+    drain(32); // warm-up: event-queue storage reaches steady depth
+
+    std::uint64_t before = g_news.load();
+    drain(96);
+    EXPECT_EQ(g_news.load() - before, 0u)
+        << "steady-state pipe movement must not allocate";
+    EXPECT_EQ(sink.delivered, 96u);
+}
+
+} // namespace
+} // namespace olight

@@ -30,7 +30,7 @@ class CountingSink : public AcceptPort
     }
 
     void
-    subscribe(const Packet &, std::function<void()>) override {}
+    enqueueWaiter(const Packet &, PortWaiter &) override {}
 
     std::vector<std::pair<Packet, Tick>> arrivals;
 };

@@ -1,0 +1,97 @@
+/** @file Shared flag-parsing helpers for the command-line tools. */
+
+#include "cli_common.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace olight
+{
+namespace cli
+{
+
+std::vector<std::string>
+splitCsv(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+bool
+tryParseNumber(const std::string &value, std::uint64_t &out)
+{
+    try {
+        std::size_t used = 0;
+        std::uint64_t v = std::stoull(value, &used);
+        if (used != value.size())
+            return false;
+        out = v;
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+std::uint64_t
+parseNumber(const char *tool, const std::string &flag,
+            const std::string &value)
+{
+    std::uint64_t out = 0;
+    if (!tryParseNumber(value, out)) {
+        std::cerr << tool << ": " << flag
+                  << " needs a number, got: " << value << "\n";
+        std::exit(2);
+    }
+    return out;
+}
+
+bool
+tryParseMode(const std::string &text, bool allowSeqnum,
+             OrderingMode &out)
+{
+    if (text == "none") {
+        out = OrderingMode::None;
+    } else if (text == "fence") {
+        out = OrderingMode::Fence;
+    } else if (text == "orderlight") {
+        out = OrderingMode::OrderLight;
+    } else if (allowSeqnum && text == "seqnum") {
+        out = OrderingMode::SeqNum;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+OrderingMode
+parseMode(const std::string &text)
+{
+    OrderingMode mode;
+    if (!tryParseMode(text, true, mode)) {
+        std::cerr << "unknown mode: " << text << "\n";
+        std::exit(2);
+    }
+    return mode;
+}
+
+const char *
+modeName(OrderingMode mode)
+{
+    switch (mode) {
+      case OrderingMode::None: return "none";
+      case OrderingMode::Fence: return "fence";
+      case OrderingMode::OrderLight: return "orderlight";
+      case OrderingMode::SeqNum: return "seqnum";
+    }
+    return "?";
+}
+
+} // namespace cli
+} // namespace olight

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Flag-parsing helpers shared by the command-line tools
+ * (olight_cli, olight_sweep, olight_litmus).
+ *
+ * All three drivers parse the same vocabulary — ordering modes,
+ * strict unsigned numbers, comma-separated lists — but surface
+ * errors in tool-specific wording. The helpers therefore come in
+ * two flavours: non-fatal `tryParse*` primitives for drivers that
+ * compose their own diagnostics, and fatal variants that print the
+ * canonical `<tool>: <flag> needs a number` message and exit 2.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+
+namespace olight
+{
+namespace cli
+{
+
+/** Split "a,b,c" into items, dropping empty fields. */
+std::vector<std::string> splitCsv(const std::string &text);
+
+/**
+ * Strict unsigned parse: the whole string must be numeric.
+ * Returns false (leaving @p out untouched) on any trailing junk,
+ * overflow, or empty input instead of throwing.
+ */
+bool tryParseNumber(const std::string &value, std::uint64_t &out);
+
+/**
+ * Fatal variant for drivers with uniform diagnostics: on bad input
+ * prints "<tool>: <flag> needs a number, got: <value>" to stderr
+ * and exits 2, so a typo like `--ts x` names the offending flag.
+ */
+std::uint64_t parseNumber(const char *tool, const std::string &flag,
+                          const std::string &value);
+
+/**
+ * Parse an ordering-mode name. SeqNum is the paper's strongest
+ * baseline and only meaningful for full workloads, so drivers that
+ * cannot honour it (the litmus harness) pass allowSeqnum = false.
+ */
+bool tryParseMode(const std::string &text, bool allowSeqnum,
+                  OrderingMode &out);
+
+/** Fatal variant: prints "unknown mode: <text>" and exits 2. */
+OrderingMode parseMode(const std::string &text);
+
+/** Canonical lowercase flag spelling of a mode (none/fence/...). */
+const char *modeName(OrderingMode mode);
+
+} // namespace cli
+} // namespace olight

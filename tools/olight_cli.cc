@@ -17,6 +17,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cli_common.hh"
 #include "core/disasm.hh"
 #include "core/energy.hh"
 #include "core/runner.hh"
@@ -61,37 +62,12 @@ usage()
         "  --list            list workloads and exit\n";
 }
 
-OrderingMode
-parseMode(const std::string &text)
-{
-    if (text == "none")
-        return OrderingMode::None;
-    if (text == "fence")
-        return OrderingMode::Fence;
-    if (text == "orderlight")
-        return OrderingMode::OrderLight;
-    if (text == "seqnum")
-        return OrderingMode::SeqNum;
-    std::cerr << "unknown mode: " << text << "\n";
-    std::exit(2);
-}
-
 /** Number parsing that survives typos: `--ts x` names the flag and
  *  exits 2 instead of dying on an uncaught std::invalid_argument. */
 std::uint64_t
 parseNumber(const std::string &flag, const std::string &value)
 {
-    try {
-        std::size_t used = 0;
-        std::uint64_t v = std::stoull(value, &used);
-        if (used != value.size())
-            throw std::invalid_argument(value);
-        return v;
-    } catch (const std::exception &) {
-        std::cerr << "olight_cli: " << flag
-                  << " needs a number, got: " << value << "\n";
-        std::exit(2);
-    }
+    return cli::parseNumber("olight_cli", flag, value);
 }
 
 } // namespace
@@ -123,7 +99,7 @@ main(int argc, char **argv)
         if (arg == "--workload")
             workload = next();
         else if (arg == "--mode")
-            mode = parseMode(next());
+            mode = cli::parseMode(next());
         else if (arg == "--ts")
             ts = std::uint32_t(parseNumber(arg, next()));
         else if (arg == "--bmf")

@@ -17,58 +17,23 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cli_common.hh"
 #include "core/sweep.hh"
 #include "sim/thread_pool.hh"
 #include "workloads/registry.hh"
 
 using namespace olight;
+using olight::cli::splitCsv;
 
 namespace
 {
-
-std::vector<std::string>
-splitCsv(const std::string &text)
-{
-    std::vector<std::string> out;
-    std::istringstream in(text);
-    std::string item;
-    while (std::getline(in, item, ','))
-        if (!item.empty())
-            out.push_back(item);
-    return out;
-}
-
-OrderingMode
-parseMode(const std::string &text)
-{
-    if (text == "none")
-        return OrderingMode::None;
-    if (text == "fence")
-        return OrderingMode::Fence;
-    if (text == "orderlight")
-        return OrderingMode::OrderLight;
-    if (text == "seqnum")
-        return OrderingMode::SeqNum;
-    std::cerr << "unknown mode: " << text << "\n";
-    std::exit(2);
-}
 
 /** Number parsing that survives typos: `--ts x` names the flag and
  *  exits 2 instead of dying on an uncaught std::invalid_argument. */
 std::uint64_t
 parseNumber(const std::string &flag, const std::string &value)
 {
-    try {
-        std::size_t used = 0;
-        std::uint64_t v = std::stoull(value, &used);
-        if (used != value.size())
-            throw std::invalid_argument(value);
-        return v;
-    } catch (const std::exception &) {
-        std::cerr << "olight_sweep: " << flag
-                  << " needs a number, got: " << value << "\n";
-        std::exit(2);
-    }
+    return cli::parseNumber("olight_sweep", flag, value);
 }
 
 } // namespace
@@ -97,7 +62,7 @@ main(int argc, char **argv)
         } else if (arg == "--modes") {
             spec.modes.clear();
             for (const auto &m : splitCsv(next()))
-                spec.modes.push_back(parseMode(m));
+                spec.modes.push_back(cli::parseMode(m));
         } else if (arg == "--ts") {
             spec.tsSizes.clear();
             for (const auto &t : splitCsv(next()))
