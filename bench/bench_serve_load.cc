@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Serving-path load benchmark: how many requests/second the daemon
+ * sustains once the content-addressed cache is warm, and what hit
+ * rate a small cycling grid achieves. This times the *service*
+ * overhead (socket round-trip, JSON parse, fingerprint, cache
+ * lookup, reply flush) — the simulation itself runs exactly once
+ * per distinct grid point, which is the entire point of the cache.
+ *
+ * An in-process Server listens on a private Unix socket; K client
+ * threads run closed-loop, each issuing M requests cycling over a
+ * few distinct run points. Writes BENCH_serve.json.
+ *
+ * Environment:
+ *   OLIGHT_BENCH_CLIENTS    client threads (default 4)
+ *   OLIGHT_BENCH_REQUESTS   requests per client (default 500)
+ *   OLIGHT_BENCH_JSON       output path (default BENCH_serve.json)
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/net.hh"
+#include "serve/server.hh"
+
+using namespace olight;
+using namespace olight::serve;
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    if (const char *env = std::getenv(name))
+        return std::strtoull(env, nullptr, 0);
+    return fallback;
+}
+
+/** The cycling grid: four distinct points, all tiny. */
+std::string
+request(std::size_t i)
+{
+    static const char *kPoints[] = {
+        R"({"cmd":"run","workload":"Copy","elements":4096,"mode":"orderlight"})",
+        R"({"cmd":"run","workload":"Add","elements":4096,"mode":"orderlight"})",
+        R"({"cmd":"run","workload":"Copy","elements":4096,"mode":"fence"})",
+        R"({"cmd":"run","workload":"Add","elements":4096,"mode":"fence"})",
+    };
+    return kPoints[i % 4];
+}
+
+/** One blocking round trip; empty string on transport failure. */
+std::string
+roundTrip(int fd, std::string &carry, const std::string &line)
+{
+    if (!writeAll(fd, line + "\n"))
+        return "";
+    std::string reply;
+    if (readLine(fd, reply, carry) != ReadStatus::Line)
+        return "";
+    return reply;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t clients = envU64("OLIGHT_BENCH_CLIENTS", 4);
+    const std::uint64_t perClient =
+        envU64("OLIGHT_BENCH_REQUESTS", 500);
+
+    ServeOptions opts;
+    opts.unixPath = "/tmp/olight_bench_" +
+                    std::to_string(::getpid()) + ".sock";
+    opts.jobs = 2;
+    Server server(opts);
+    std::string err;
+    if (!server.start(err)) {
+        std::cerr << "bench_serve_load: " << err << "\n";
+        return 2;
+    }
+
+    std::cout << "serve load: " << clients << " clients x "
+              << perClient << " requests, 4-point grid\n";
+
+    // Warm the cache serially so the timed section measures serving
+    // overhead, not the four one-off simulations.
+    {
+        Fd fd = connectUnix(opts.unixPath, err);
+        std::string carry;
+        for (std::size_t i = 0; i < 4; ++i)
+            if (roundTrip(fd.get(), carry, request(i)).empty()) {
+                std::cerr << "bench_serve_load: warmup failed\n";
+                return 2;
+            }
+    }
+
+    std::atomic<std::uint64_t> okCount{0}, failCount{0};
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (std::uint64_t t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+            std::string cerr2;
+            Fd fd = connectUnix(opts.unixPath, cerr2);
+            std::string carry;
+            for (std::uint64_t i = 0; i < perClient; ++i) {
+                std::string reply =
+                    roundTrip(fd.get(), carry, request(t + i));
+                if (!reply.empty() &&
+                    reply.find("\"ok\":true") != std::string::npos)
+                    okCount.fetch_add(
+                        1, std::memory_order_relaxed);
+                else
+                    failCount.fetch_add(
+                        1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+    server.requestDrain();
+    server.join();
+
+    ServeSnapshot s = server.snapshot();
+    const std::uint64_t total = clients * perClient;
+    const double rps = seconds > 0 ? double(total) / seconds : 0;
+    const double hitRate =
+        s.cache.hits + s.cache.misses
+            ? double(s.cache.hits) /
+                  double(s.cache.hits + s.cache.misses)
+            : 0.0;
+    const bool ok = failCount.load() == 0 &&
+                    okCount.load() == total &&
+                    s.internalErrors == 0;
+
+    std::cout << "  " << seconds << " s, " << rps
+              << " requests/s, cache hit rate " << hitRate << " ("
+              << s.cache.hits << "/"
+              << s.cache.hits + s.cache.misses << "), "
+              << s.runsExecuted << " simulations for " << total + 4
+              << " requests\n";
+
+    const char *json_env = std::getenv("OLIGHT_BENCH_JSON");
+    std::string json_path =
+        json_env ? json_env : "BENCH_serve.json";
+    std::ofstream json(json_path);
+    if (!json) {
+        std::cerr << "cannot open " << json_path << "\n";
+        return 2;
+    }
+    json << "{\n"
+         << "  \"clients\": " << clients << ",\n"
+         << "  \"requests\": " << total << ",\n"
+         << "  \"host_seconds\": " << seconds << ",\n"
+         << "  \"requests_per_second\": " << rps << ",\n"
+         << "  \"cache_hits\": " << s.cache.hits << ",\n"
+         << "  \"cache_hit_rate\": " << hitRate << ",\n"
+         << "  \"simulations\": " << s.runsExecuted << ",\n"
+         << "  \"busy_rejected\": " << s.busyRejected << ",\n"
+         << "  \"ok\": " << (ok ? "true" : "false") << "\n"
+         << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+
+    ::unlink(opts.unixPath.c_str());
+    return ok ? 0 : 1;
+}

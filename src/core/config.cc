@@ -1,5 +1,8 @@
 #include "core/config.hh"
 
+#include <cstdio>
+#include <sstream>
+
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -22,39 +25,62 @@ toString(OrderingMode mode)
     return "?";
 }
 
-void
-SystemConfig::validate() const
+bool
+SystemConfig::check(std::string &why) const
 {
     auto pow2 = [](std::uint32_t v) { return v && !(v & (v - 1)); };
+    auto fail = [&why](std::string msg) {
+        why = std::move(msg);
+        return false;
+    };
 
+    if (busWidthBytes == 0)
+        return fail("busWidthBytes must be non-zero");
     if (!pow2(numChannels) || numChannels > 64)
-        olight_fatal("numChannels must be a power of two <= 64");
+        return fail("numChannels must be a power of two <= 64");
     if (!pow2(banksPerChannel))
-        olight_fatal("banksPerChannel must be a power of two");
+        return fail("banksPerChannel must be a power of two");
     if (!pow2(bmf) || bmf == 0)
-        olight_fatal("bmf must be a power of two >= 1");
+        return fail("bmf must be a power of two >= 1");
     if (rowBufferBytes % busWidthBytes != 0)
-        olight_fatal("rowBufferBytes must be a multiple of the bus width");
+        return fail("rowBufferBytes must be a multiple of the bus "
+                    "width");
     if (tsBytes % busWidthBytes != 0 || tsBytes == 0)
-        olight_fatal("tsBytes must be a non-zero multiple of bus width");
+        return fail("tsBytes must be a non-zero multiple of bus "
+                    "width");
     if (tsBytes > rowBufferBytes)
-        olight_fatal("tsBytes larger than a row buffer is not modeled");
+        return fail("tsBytes larger than a row buffer is not "
+                    "modeled");
     if (channelInterleaveBytes % busWidthBytes != 0)
-        olight_fatal("channel interleave must be a multiple of bus width");
+        return fail("channel interleave must be a multiple of bus "
+                    "width");
     if (numMemGroups == 0 || numMemGroups > 16)
-        olight_fatal("numMemGroups must be in [1,16] (4-bit field)");
+        return fail("numMemGroups must be in [1,16] (4-bit field)");
     if (numSms == 0 || warpsPerSm == 0)
-        olight_fatal("need at least one SM and one warp");
-    if (numSms * warpsPerSm < numChannels)
-        olight_fatal("need one PIM warp per memory channel (", numChannels,
-                     " channels, ", numSms * warpsPerSm, " warps)");
+        return fail("need at least one SM and one warp");
+    if (numSms * warpsPerSm < numChannels) {
+        std::ostringstream os;
+        os << "need one PIM warp per memory channel ("
+           << numChannels << " channels, " << numSms * warpsPerSm
+           << " warps)";
+        return fail(os.str());
+    }
     if (orderingMode == OrderingMode::SeqNum &&
         (seqNumCredits == 0 ||
          seqNumCredits > readQueueSize ||
          seqNumCredits > writeQueueSize)) {
-        olight_fatal("seqNumCredits must be in [1, min(R/W queue "
-                     "size)] to avoid reorder-buffer deadlock");
+        return fail("seqNumCredits must be in [1, min(R/W queue "
+                    "size)] to avoid reorder-buffer deadlock");
     }
+    return true;
+}
+
+void
+SystemConfig::validate() const
+{
+    std::string why;
+    if (!check(why))
+        olight_fatal(why);
 }
 
 void
@@ -77,6 +103,123 @@ SystemConfig::print(std::ostream &os) const
        << "PIM: BMF=" << bmf << "x TS=" << tsBytes << "B/lane ("
        << tsLabel(*this) << ") ordering=" << toString(orderingMode)
        << " memGroups=" << numMemGroups << "\n";
+}
+
+const char *
+modeFlagName(OrderingMode mode)
+{
+    switch (mode) {
+      case OrderingMode::None: return "none";
+      case OrderingMode::Fence: return "fence";
+      case OrderingMode::OrderLight: return "orderlight";
+      case OrderingMode::SeqNum: return "seqnum";
+    }
+    return "?";
+}
+
+bool
+modeFromName(const std::string &text, bool allowSeqnum,
+             OrderingMode &out)
+{
+    if (text == "none") {
+        out = OrderingMode::None;
+    } else if (text == "fence") {
+        out = OrderingMode::Fence;
+    } else if (text == "orderlight") {
+        out = OrderingMode::OrderLight;
+    } else if (allowSeqnum && text == "seqnum") {
+        out = OrderingMode::SeqNum;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+SystemConfig::canonicalize(std::ostream &os) const
+{
+    auto kv = [&os](const char *key, std::uint64_t value) {
+        os << key << '=' << value << ';';
+    };
+    kv("numSms", numSms);
+    kv("warpsPerSm", warpsPerSm);
+    kv("collectorUnits", collectorUnits);
+    kv("collectorLatency", collectorLatency);
+    kv("collectorJitter", collectorJitter);
+    kv("smQueueSize", smQueueSize);
+    kv("interconnectLatency", interconnectLatency);
+    kv("l2ToDramLatency", l2ToDramLatency);
+    kv("ackLatency", ackLatency);
+    kv("l2SubPartitions", l2SubPartitions);
+    kv("l2QueueSize", l2QueueSize);
+    kv("subPartJitter", subPartJitter);
+    kv("numChannels", numChannels);
+    kv("banksPerChannel", banksPerChannel);
+    kv("rowBufferBytes", rowBufferBytes);
+    kv("busWidthBytes", busWidthBytes);
+    kv("channelInterleaveBytes", channelInterleaveBytes);
+    kv("readQueueSize", readQueueSize);
+    kv("writeQueueSize", writeQueueSize);
+    kv("writeDrainWatermark", writeDrainWatermark);
+    kv("writeDrainLow", writeDrainLow);
+    kv("schedulerSlackCycles", schedulerSlackCycles);
+    kv("timing.ccd", timing.ccd);
+    kv("timing.ccdl", timing.ccdl);
+    kv("timing.rrd", timing.rrd);
+    kv("timing.rcdw", timing.rcdw);
+    kv("timing.rcdr", timing.rcdr);
+    kv("timing.ras", timing.ras);
+    kv("timing.rp", timing.rp);
+    kv("timing.cl", timing.cl);
+    kv("timing.wl", timing.wl);
+    kv("timing.cdlr", timing.cdlr);
+    kv("timing.wr", timing.wr);
+    kv("timing.wtp", timing.wtp);
+    kv("timing.rtp", timing.rtp);
+    kv("timing.refreshEnabled", timing.refreshEnabled ? 1 : 0);
+    kv("timing.refi", timing.refi);
+    kv("timing.rfc", timing.rfc);
+    kv("bmf", bmf);
+    kv("tsBytes", tsBytes);
+    os << "orderingMode=" << modeFlagName(orderingMode) << ';';
+    os << "arbitration="
+       << (arbitration == ArbitrationGranularity::Coarse ? "coarse"
+                                                         : "fine")
+       << ';';
+    kv("numMemGroups", numMemGroups);
+    kv("seqNumCredits", seqNumCredits);
+    kv("hostWindowPerChannel", hostWindowPerChannel);
+    kv("totalSms", totalSms);
+    kv("seed", seed);
+    kv("verifyOracle", verifyOracle ? 1 : 0);
+}
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fingerprint(const SystemConfig &cfg)
+{
+    std::ostringstream os;
+    cfg.canonicalize(os);
+    return fnv1a64(os.str());
+}
+
+std::string
+fingerprintHex(std::uint64_t fp)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
 }
 
 std::string

@@ -27,6 +27,18 @@ enum class OrderingMode : std::uint8_t
 
 const char *toString(OrderingMode mode);
 
+/** Canonical lowercase flag spelling of a mode (none/fence/...). */
+const char *modeFlagName(OrderingMode mode);
+
+/**
+ * Parse an ordering-mode flag name. SeqNum is the paper's strongest
+ * baseline and only meaningful for full workloads, so callers that
+ * cannot honour it (the litmus harness) pass allowSeqnum = false.
+ * Returns false (leaving @p out untouched) on unknown names.
+ */
+bool modeFromName(const std::string &text, bool allowSeqnum,
+                  OrderingMode &out);
+
 /** Temporal arbitration granularity between host and PIM (taxonomy). */
 enum class ArbitrationGranularity : std::uint8_t
 {
@@ -139,12 +151,45 @@ struct SystemConfig
     /** Bytes a single PIM column command processes across lanes. */
     std::uint32_t commandBytes() const { return busWidthBytes * bmf; }
 
+    /**
+     * Check invariants without dying: returns false and fills
+     * @p why on the first violated constraint. This is the
+     * validation the serving daemon runs on untrusted requests —
+     * every constraint validate() enforces fatally must live here
+     * so a bad request becomes an error reply, not an exit.
+     */
+    bool check(std::string &why) const;
+
     /** Validate invariants; calls fatal() on bad configurations. */
     void validate() const;
 
     /** Print a Table 1-style summary. */
     void print(std::ostream &os) const;
+
+    /**
+     * Stable canonical serialization: every field as `key=value;`
+     * in declaration order. Two configs serialize identically iff
+     * they are semantically identical, independent of padding or
+     * process; this is what fingerprint() hashes. New fields MUST
+     * be added here (the fingerprint golden test enforces it).
+     */
+    void canonicalize(std::ostream &os) const;
 };
+
+/** FNV-1a 64-bit hash (stable across platforms and processes). */
+std::uint64_t fnv1a64(const std::string &text);
+
+/**
+ * Content fingerprint of a configuration: fnv1a64 over
+ * canonicalize(). Keys the serving daemon's result cache and is
+ * emitted in --stats-json headers / sweep JSON rows so offline
+ * consumers can tell whether two result files came from the same
+ * configuration.
+ */
+std::uint64_t fingerprint(const SystemConfig &cfg);
+
+/** "0x%016x" rendering used everywhere a fingerprint is printed. */
+std::string fingerprintHex(std::uint64_t fp);
 
 /** TS size expressed as a fraction of the row buffer, e.g. "1/8 RB". */
 std::string tsLabel(const SystemConfig &cfg);

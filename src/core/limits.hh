@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Single source of truth for request-size bounds shared by the
+ * command-line tools and the serving daemon.
+ *
+ * The simulator allocates host memory proportional to `elements`
+ * (several fp32 arrays plus a golden copy under --verify) and runs
+ * one System per grid point, so an oversized request is an OOM or a
+ * multi-hour stall, not an error message — unless it is rejected up
+ * front. The tools turn a violation into a clean exit-2 diagnostic;
+ * the daemon turns it into a structured `limit_exceeded` reply.
+ */
+
+#ifndef OLIGHT_CORE_LIMITS_HH
+#define OLIGHT_CORE_LIMITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace olight
+{
+namespace limits
+{
+
+/** Max fp32 elements per principal array (2^26 = 256 MiB/array). */
+inline constexpr std::uint64_t kMaxElements = 1ull << 26;
+
+/** Max worker threads a single request/tool invocation may ask for. */
+inline constexpr std::uint64_t kMaxJobs = 256;
+
+/** Max grid points in one sweep (each point is a full System run). */
+inline constexpr std::uint64_t kMaxSweepPoints = 4096;
+
+/**
+ * Check a request's size knobs against the bounds above. Returns
+ * false and fills @p why (e.g. "elements 134217728 exceeds limit
+ * 67108864") on the first violation. @p points is 1 for single-run
+ * requests.
+ */
+inline bool
+checkRequest(std::uint64_t elements, std::uint64_t jobs,
+             std::uint64_t points, std::string &why)
+{
+    auto fail = [&why](const char *what, std::uint64_t got,
+                       std::uint64_t limit) {
+        why = std::string(what) + " " + std::to_string(got) +
+              " exceeds limit " + std::to_string(limit);
+        return false;
+    };
+    if (elements > kMaxElements)
+        return fail("elements", elements, kMaxElements);
+    if (elements == 0) {
+        why = "elements must be non-zero";
+        return false;
+    }
+    if (jobs > kMaxJobs)
+        return fail("jobs", jobs, kMaxJobs);
+    if (points > kMaxSweepPoints)
+        return fail("sweep grid of", points, kMaxSweepPoints);
+    if (points == 0) {
+        why = "sweep grid is empty (no workloads/modes/ts/bmf)";
+        return false;
+    }
+    return true;
+}
+
+} // namespace limits
+} // namespace olight
+
+#endif // OLIGHT_CORE_LIMITS_HH

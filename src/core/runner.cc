@@ -38,6 +38,21 @@ configFor(OrderingMode mode, std::uint32_t tsBytes, std::uint32_t bmf,
     return cfg;
 }
 
+std::uint64_t
+fingerprint(const RunOptions &opts)
+{
+    std::ostringstream os;
+    os << "run;workload=" << opts.workload << ";elements="
+       << opts.elements << ";verify=" << (opts.verify ? 1 : 0)
+       << ";oracle=" << (opts.oracle ? 1 : 0) << ";gpuBaseline="
+       << (opts.runGpuBaseline ? 1 : 0) << ";";
+    SystemConfig cfg =
+        configFor(opts.mode, opts.tsBytes, opts.bmf, opts.base);
+    cfg.verifyOracle = opts.oracle || cfg.verifyOracle;
+    cfg.canonicalize(os);
+    return fnv1a64(os.str());
+}
+
 RunResult
 runWorkload(const RunOptions &opts)
 {

@@ -68,6 +68,16 @@ SystemConfig configFor(OrderingMode mode, std::uint32_t tsBytes,
 RunResult runWorkload(const RunOptions &opts);
 
 /**
+ * Content fingerprint of one run request: the derived
+ * configuration's fingerprint (configFor applies mode/TS/BMF to the
+ * base) plus the run-level knobs that change the result payload
+ * (workload, elements, verify, oracle, GPU baseline). Identical
+ * fingerprints mean runWorkload() returns identical simulated
+ * results — the key the serving daemon caches replies under.
+ */
+std::uint64_t fingerprint(const RunOptions &opts);
+
+/**
  * GPU host-execution time for a workload in milliseconds:
  * max(simulated memory-stream time, compute roofline).
  */

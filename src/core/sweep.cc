@@ -2,6 +2,7 @@
 
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <utility>
 
 #include "sim/json.hh"
@@ -53,8 +54,43 @@ enumeratePoints(const SweepSpec &spec)
 
 } // namespace
 
+std::string
+progressLine(const SweepRow &row)
+{
+    std::ostringstream os;
+    os << row.workload << "/" << toString(row.mode) << "/ts"
+       << row.tsBytes << "/bmf" << row.bmf << ": "
+       << row.metrics.execMs << " ms";
+    if (row.verified)
+        os << (row.correct ? " [ok]" : " [WRONG]");
+    return os.str();
+}
+
+std::uint64_t
+fingerprint(const SweepSpec &spec)
+{
+    std::ostringstream os;
+    os << "sweep;elements=" << spec.elements << ";verify="
+       << (spec.verify ? 1 : 0) << ";gpuBaseline="
+       << (spec.gpuBaseline ? 1 : 0) << ";workloads=";
+    for (const auto &w : spec.workloads)
+        os << w << ',';
+    os << ";modes=";
+    for (OrderingMode m : spec.modes)
+        os << modeFlagName(m) << ',';
+    os << ";ts=";
+    for (std::uint32_t t : spec.tsSizes)
+        os << t << ',';
+    os << ";bmf=";
+    for (std::uint32_t b : spec.bmfs)
+        os << b << ',';
+    os << ";base=";
+    spec.base.canonicalize(os);
+    return fnv1a64(os.str());
+}
+
 std::vector<SweepRow>
-runSweep(const SweepSpec &spec, std::ostream *progress)
+runSweep(const SweepSpec &spec, const SweepProgress &progress)
 {
     const std::vector<SweepPoint> points = enumeratePoints(spec);
     std::vector<SweepRow> rows(points.size());
@@ -111,18 +147,15 @@ runSweep(const SweepSpec &spec, std::ostream *progress)
         row.correct = r.correct;
         row.hostSeconds = r.hostSeconds;
         row.eventsExecuted = r.eventsExecuted;
+        row.configFingerprint = fingerprint(
+            configFor(pt.mode, pt.tsBytes, pt.bmf, spec.base));
         if (spec.gpuBaseline)
             row.gpuMs =
                 gpu_cache.at({workload, spec.elements});
 
         if (progress) {
             std::lock_guard<std::mutex> lock(progress_mutex);
-            *progress << workload << "/" << toString(pt.mode)
-                      << "/ts" << pt.tsBytes << "/bmf" << pt.bmf
-                      << ": " << r.metrics.execMs << " ms";
-            if (r.verified)
-                *progress << (r.correct ? " [ok]" : " [WRONG]");
-            *progress << "\n";
+            progress(row);
         }
     });
 
@@ -162,30 +195,39 @@ writeCsv(std::ostream &os, const std::vector<SweepRow> &rows,
 }
 
 void
+writeJsonRow(std::ostream &os, const SweepRow &row,
+             bool timingColumns)
+{
+    os << "{\"workload\":";
+    jsonString(os, row.workload);
+    os << ",\"mode\":";
+    jsonString(os, toString(row.mode));
+    os << ",\"ts_bytes\":" << row.tsBytes << ",\"bmf\":" << row.bmf
+       << ",\"config_fingerprint\":";
+    jsonString(os, fingerprintHex(row.configFingerprint));
+    os << ",\"verified\":" << (row.verified ? "true" : "false")
+       << ",\"correct\":" << (row.correct ? "true" : "false")
+       << ",\"gpu_ms\":";
+    jsonNumber(os, row.gpuMs);
+    os << ",\"metrics\":";
+    row.metrics.writeJson(os);
+    if (timingColumns) {
+        os << ",\"host_seconds\":";
+        jsonNumber(os, row.hostSeconds);
+        os << ",\"events_per_second\":";
+        jsonNumber(os, row.eventsPerSecond());
+    }
+    os << "}";
+}
+
+void
 writeJsonRows(std::ostream &os, const std::vector<SweepRow> &rows,
               bool timingColumns)
 {
     os << "[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
-        const SweepRow &row = rows[i];
-        os << (i ? ",\n" : "\n") << "{\"workload\":";
-        jsonString(os, row.workload);
-        os << ",\"mode\":";
-        jsonString(os, toString(row.mode));
-        os << ",\"ts_bytes\":" << row.tsBytes
-           << ",\"bmf\":" << row.bmf << ",\"verified\":"
-           << (row.verified ? "true" : "false") << ",\"correct\":"
-           << (row.correct ? "true" : "false") << ",\"gpu_ms\":";
-        jsonNumber(os, row.gpuMs);
-        os << ",\"metrics\":";
-        row.metrics.writeJson(os);
-        if (timingColumns) {
-            os << ",\"host_seconds\":";
-            jsonNumber(os, row.hostSeconds);
-            os << ",\"events_per_second\":";
-            jsonNumber(os, row.eventsPerSecond());
-        }
-        os << "}";
+        os << (i ? ",\n" : "\n");
+        writeJsonRow(os, rows[i], timingColumns);
     }
     os << "\n]\n";
 }

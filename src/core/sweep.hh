@@ -19,6 +19,7 @@
 #ifndef OLIGHT_CORE_SWEEP_HH
 #define OLIGHT_CORE_SWEEP_HH
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -71,6 +72,10 @@ struct SweepRow
     double hostSeconds = 0.0;
     std::uint64_t eventsExecuted = 0;
 
+    /** Fingerprint of this point's derived configuration
+     *  (configFor(mode, ts, bmf, base)); see core/config.hh. */
+    std::uint64_t configFingerprint = 0;
+
     double
     eventsPerSecond() const
     {
@@ -81,14 +86,37 @@ struct SweepRow
 };
 
 /**
+ * Per-point progress sink: invoked once per completed grid point,
+ * in completion order, serialized through a mutex when the sweep is
+ * parallel — so one call never interleaves with another, and each
+ * call site (CLI stderr, server stats counter, test capture) owns
+ * its own sink instead of sharing a raw std::ostream*.
+ */
+using SweepProgress = std::function<void(const SweepRow &row)>;
+
+/**
  * Run the full grid (row-major: workload, mode, ts, bmf) on
  * SweepSpec::jobs workers. Row order and all simulated metrics are
- * identical for every jobs value. When @p progress is non-null, one
- * line per completed point is written (completion order; serialized
- * through a mutex when parallel).
+ * identical for every jobs value. When @p progress is non-empty it
+ * is called once per completed point (see SweepProgress).
  */
 std::vector<SweepRow> runSweep(const SweepSpec &spec,
-                               std::ostream *progress = nullptr);
+                               const SweepProgress &progress = {});
+
+/**
+ * One-line human progress rendering of a completed row, exactly the
+ * format olight_sweep has always printed:
+ * `Add/OrderLight/ts256/bmf16: 1.234 ms [ok]`.
+ */
+std::string progressLine(const SweepRow &row);
+
+/**
+ * Content fingerprint of a whole sweep request: grid axes, problem
+ * size, verification knobs and the base configuration. jobs is
+ * deliberately excluded — the worker count never changes simulated
+ * results, so the daemon's cache hits across different jobs values.
+ */
+std::uint64_t fingerprint(const SweepSpec &spec);
 
 /**
  * Emit rows as CSV (with header). Fields containing commas, quotes,
@@ -107,6 +135,14 @@ void writeCsv(std::ostream &os, const std::vector<SweepRow> &rows,
 void writeJsonRows(std::ostream &os,
                    const std::vector<SweepRow> &rows,
                    bool timingColumns = false);
+
+/**
+ * Emit one row's JSON object (no surrounding array, no newlines) —
+ * the element format of writeJsonRows, shared with the serving
+ * daemon's single-line replies.
+ */
+void writeJsonRow(std::ostream &os, const SweepRow &row,
+                  bool timingColumns = false);
 
 } // namespace olight
 

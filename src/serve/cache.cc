@@ -1,0 +1,66 @@
+#include "serve/cache.hh"
+
+namespace olight
+{
+namespace serve
+{
+
+bool
+ResultCache::get(std::uint64_t key, std::string &body)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++misses_;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    body = it->second.body;
+    ++hits_;
+    return true;
+}
+
+void
+ResultCache::put(std::uint64_t key, const std::string &body)
+{
+    if (maxEntries_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        // Deterministic simulations make a differing body for the
+        // same fingerprint impossible; still, last write wins.
+        bytes_ -= it->second.body.size();
+        bytes_ += body.size();
+        it->second.body = body;
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        return;
+    }
+    while (map_.size() >= maxEntries_) {
+        std::uint64_t victim = lru_.back();
+        lru_.pop_back();
+        auto vit = map_.find(victim);
+        bytes_ -= vit->second.body.size();
+        map_.erase(vit);
+        ++evictions_;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{body, lru_.begin()});
+    bytes_ += body.size();
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = map_.size();
+    s.bytes = bytes_;
+    return s;
+}
+
+} // namespace serve
+} // namespace olight

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Content-addressed result cache for the serving daemon.
+ *
+ * Keys are 64-bit request fingerprints (core/config.hh): a stable
+ * hash over the canonical serialization of everything that
+ * determines the simulated result. Since every simulation is
+ * deterministic, a fingerprint match means the cached reply body is
+ * byte-identical to what a fresh run would produce — so a repeated
+ * grid point costs a map lookup instead of a full System run.
+ *
+ * Bounded LRU: entries hold serialized JSON bodies (a few KiB
+ * each); when the entry cap is hit, the least-recently-hit entry is
+ * evicted. Thread-safe — sessions on different connections share
+ * one cache.
+ */
+
+#ifndef OLIGHT_SERVE_CACHE_HH
+#define OLIGHT_SERVE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace olight
+{
+namespace serve
+{
+
+class ResultCache
+{
+  public:
+    /** @param maxEntries 0 disables caching entirely. */
+    explicit ResultCache(std::size_t maxEntries)
+        : maxEntries_(maxEntries)
+    {}
+
+    /**
+     * Look up @p key; on a hit copies the body into @p body,
+     * refreshes recency, and counts a hit. Counts a miss otherwise.
+     */
+    bool get(std::uint64_t key, std::string &body);
+
+    /** Insert/overwrite @p key, evicting LRU entries over the cap. */
+    void put(std::uint64_t key, const std::string &body);
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        std::size_t bytes = 0; ///< sum of cached body sizes
+    };
+
+    Stats stats() const;
+
+  private:
+    using LruList = std::list<std::uint64_t>; // front = most recent
+
+    struct Entry
+    {
+        std::string body;
+        LruList::iterator lru;
+    };
+
+    mutable std::mutex mutex_;
+    std::size_t maxEntries_;
+    std::unordered_map<std::uint64_t, Entry> map_;
+    LruList lru_;
+    std::size_t bytes_ = 0;
+    std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+} // namespace serve
+} // namespace olight
+
+#endif // OLIGHT_SERVE_CACHE_HH

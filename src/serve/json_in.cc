@@ -1,0 +1,329 @@
+#include "serve/json_in.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace olight
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Hand-rolled recursive-descent parser with a depth bound. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &err)
+        : text_(text), err_(err)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after JSON value");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 32;
+
+    bool
+    fail(const std::string &why)
+    {
+        err_ = "offset " + std::to_string(pos_) + ": " + why;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting deeper than 32 levels");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.string);
+          case '[':
+            return array(out, depth);
+          case '{':
+            return object(out, depth);
+          default:
+            return number(out);
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            unsigned char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += char(c);
+                ++pos_;
+                continue;
+            }
+            if (++pos_ >= text_.size())
+                return fail("unterminated escape");
+            switch (text_[pos_]) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 >= text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 1; i <= 4; ++i) {
+                    char h = text_[pos_ + i];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                pos_ += 4;
+                // UTF-8 encode the BMP code point; surrogate pairs
+                // are beyond what the protocol needs, so a lone
+                // surrogate encodes as-is (never round-trips back
+                // into a request field the daemon interprets).
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xc0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3f));
+                } else {
+                    out += char(0xe0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3f));
+                    out += char(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+            ++pos_;
+        }
+    }
+
+    bool
+    digit()
+    {
+        return pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9';
+    }
+
+    // Strict JSON grammar (stricter than strtod alone):
+    // -? (0 | [1-9][0-9]*) (. [0-9]+)? ([eE] [+-]? [0-9]+)?
+    bool
+    number(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (!digit()) {
+            pos_ = start;
+            return fail("expected a JSON value");
+        }
+        if (text_[pos_] == '0')
+            ++pos_; // a leading zero must stand alone
+        else
+            while (digit())
+                ++pos_;
+        if (digit()) {
+            pos_ = start;
+            return fail("number has a leading zero");
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digit()) {
+                pos_ = start;
+                return fail("expected digits after decimal point");
+            }
+            while (digit())
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digit()) {
+                pos_ = start;
+                return fail("expected digits in exponent");
+            }
+            while (digit())
+                ++pos_;
+        }
+        std::string tok = text_.substr(start, pos_ - start);
+        double v = std::strtod(tok.c_str(), nullptr);
+        if (!std::isfinite(v)) {
+            pos_ = start;
+            return fail("number out of range");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool
+    array(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        out.kind = JsonValue::Kind::Array;
+        out.array.clear();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            out.array.emplace_back();
+            skipWs();
+            if (!value(out.array.back(), depth + 1))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    object(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        out.kind = JsonValue::Kind::Object;
+        out.object.clear();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected string key in object");
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            skipWs();
+            if (!value(out.object[key], depth + 1))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &text_;
+    std::string &err_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+bool
+JsonValue::asU64(std::uint64_t &out) const
+{
+    if (kind != Kind::Number || number < 0.0 ||
+        number != std::floor(number) || number > 9007199254740992.0)
+        return false;
+    out = std::uint64_t(number);
+    return true;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &err)
+{
+    return Parser(text, err).parse(out);
+}
+
+} // namespace serve
+} // namespace olight

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal JSON *parser* for the serving daemon's wire protocol.
+ *
+ * The simulator proper only ever writes JSON (sim/json.hh); the
+ * daemon is the one component that must read it — from untrusted
+ * clients, one request object per line. This is a small
+ * recursive-descent parser over the full JSON grammar with strict
+ * error reporting and a nesting-depth bound, so a malformed or
+ * adversarial request becomes a structured `bad_json` reply instead
+ * of unbounded recursion or a crash.
+ */
+
+#ifndef OLIGHT_SERVE_JSON_IN_HH
+#define OLIGHT_SERVE_JSON_IN_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace olight
+{
+namespace serve
+{
+
+/** A parsed JSON value (tree-owning; copies are deep). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /// Insertion order is irrelevant to the protocol; a map keeps
+    /// duplicate keys out (last wins, like every lenient parser).
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * Non-negative integer coercion for protocol fields: true only
+     * for a Number that is integral, >= 0, and exactly
+     * representable (<= 2^53); fills @p out.
+     */
+    bool asU64(std::uint64_t &out) const;
+};
+
+/**
+ * Parse one complete JSON document from @p text. Trailing
+ * whitespace is allowed, trailing garbage is not. On failure
+ * returns false and fills @p err with a byte offset and reason.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &err);
+
+} // namespace serve
+} // namespace olight
+
+#endif // OLIGHT_SERVE_JSON_IN_HH

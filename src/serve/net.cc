@@ -1,0 +1,212 @@
+#include "serve/net.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace olight
+{
+namespace serve
+{
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+namespace
+{
+
+std::string
+errnoText(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+Fd
+listenUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        err = "unix socket path must be 1.." +
+              std::to_string(sizeof(addr.sun_path) - 1) +
+              " bytes: " + path;
+        return Fd();
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        err = errnoText("socket");
+        return Fd();
+    }
+    ::unlink(path.c_str()); // stale socket from a previous run
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        err = errnoText(("bind " + path).c_str());
+        return Fd();
+    }
+    if (::listen(fd.get(), 64) != 0) {
+        err = errnoText("listen");
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+listenTcp(std::uint16_t port, std::uint16_t &boundPort,
+          std::string &err)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        err = errnoText("socket");
+        return Fd();
+    }
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        err = errnoText("bind");
+        return Fd();
+    }
+    if (::listen(fd.get(), 64) != 0) {
+        err = errnoText("listen");
+        return Fd();
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        err = errnoText("getsockname");
+        return Fd();
+    }
+    boundPort = ntohs(addr.sin_port);
+    return fd;
+}
+
+Fd
+connectUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        err = "unix socket path too long: " + path;
+        return Fd();
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        err = errnoText("socket");
+        return Fd();
+    }
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = errnoText(("connect " + path).c_str());
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+connectTcp(const std::string &host, std::uint16_t port,
+           std::string &err)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        err = "not an IPv4 address: " + host;
+        return Fd();
+    }
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        err = errnoText("socket");
+        return Fd();
+    }
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = errnoText("connect");
+        return Fd();
+    }
+    return fd;
+}
+
+ReadStatus
+readLine(int fd, std::string &line, std::string &carry,
+         const std::atomic<bool> *stop, int pollMs,
+         std::size_t maxLine)
+{
+    while (true) {
+        std::size_t nl = carry.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(carry, 0, nl);
+            carry.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return ReadStatus::Line;
+        }
+        if (carry.size() > maxLine)
+            return ReadStatus::TooLong;
+        // A drain must not cut off a request already in flight on
+        // the wire, so the stop flag only applies between requests.
+        if (stop && carry.empty() &&
+            stop->load(std::memory_order_acquire))
+            return ReadStatus::Stopped;
+
+        pollfd pfd{fd, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, pollMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadStatus::Error;
+        }
+        if (ready == 0)
+            continue; // timeout slice; re-check the stop flag
+        char buf[4096];
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n == 0)
+            return ReadStatus::Closed;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadStatus::Error;
+        }
+        carry.append(buf, std::size_t(n));
+    }
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+} // namespace serve
+} // namespace olight

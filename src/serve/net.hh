@@ -1,0 +1,102 @@
+/**
+ * @file
+ * POSIX socket plumbing for the serving daemon and its client:
+ * Unix-domain and loopback-TCP listeners/connectors and
+ * line-delimited I/O. The protocol is one JSON document per
+ * newline-terminated line in each direction, so the only framing
+ * anyone needs is readLine()/writeAll().
+ *
+ * All reads poll with a short timeout and consult an optional stop
+ * flag, which is how sessions blocked on an idle connection notice
+ * a drain request without the daemon resorting to thread
+ * cancellation.
+ */
+
+#ifndef OLIGHT_SERVE_NET_HH
+#define OLIGHT_SERVE_NET_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace olight
+{
+namespace serve
+{
+
+/** Owning file descriptor (close-on-destroy, move-only). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind + listen on a Unix-domain socket at @p path (unlinking any
+ * stale socket first). Returns an invalid Fd and fills @p err on
+ * failure (e.g. path longer than sun_path).
+ */
+Fd listenUnix(const std::string &path, std::string &err);
+
+/**
+ * Bind + listen on loopback TCP. @p port 0 picks an ephemeral port;
+ * the bound port is returned through @p boundPort.
+ */
+Fd listenTcp(std::uint16_t port, std::uint16_t &boundPort,
+             std::string &err);
+
+Fd connectUnix(const std::string &path, std::string &err);
+Fd connectTcp(const std::string &host, std::uint16_t port,
+              std::string &err);
+
+/** Outcome of readLine(). */
+enum class ReadStatus : std::uint8_t
+{
+    Line,     ///< one complete line in @p line (newline stripped)
+    Closed,   ///< peer closed (any unterminated tail is discarded)
+    Stopped,  ///< stop flag observed while idle
+    TooLong,  ///< line exceeded the limit (connection should close)
+    Error,    ///< read error
+};
+
+/**
+ * Read one newline-terminated line. @p carry holds bytes read past
+ * the previous newline and must persist across calls on the same
+ * connection. Polls in @p pollMs slices; between slices, returns
+ * Stopped if @p stop is set and no partial line is pending.
+ * @p maxLine bounds memory a client can pin (default 1 MiB).
+ */
+ReadStatus readLine(int fd, std::string &line, std::string &carry,
+                    const std::atomic<bool> *stop = nullptr,
+                    int pollMs = 100,
+                    std::size_t maxLine = 1 << 20);
+
+/** Write the whole buffer, retrying on short writes/EINTR. */
+bool writeAll(int fd, const std::string &data);
+
+} // namespace serve
+} // namespace olight
+
+#endif // OLIGHT_SERVE_NET_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Wire protocol of the serving daemon (documented for clients in
+ * docs/INTERNALS.md §11).
+ *
+ * Transport: newline-delimited JSON, one request object per line,
+ * one reply object per line, strictly in request order per
+ * connection.
+ *
+ * Requests: {"cmd":"run"|...}, optional "id" echoed back verbatim.
+ *   run    one experiment point  -> RunOptions
+ *   sweep  a grid                -> SweepSpec
+ *   stats  daemon counters
+ *   drain  reply, then graceful shutdown
+ *   ping   liveness probe
+ *
+ * Replies: {"ok":true,...} or
+ * {"ok":false,"error":{"code":...,"message":...}}. Error codes:
+ *   bad_json        request line is not valid JSON
+ *   bad_request     valid JSON, invalid fields/values
+ *   limit_exceeded  request over the core/limits.hh bounds
+ *   unknown_cmd     unrecognized "cmd"
+ *   busy            admission queue full; carries retry_after_ms
+ *   internal_error  execution failed (not cached)
+ *
+ * Every `olight_fatal` reachable from request inputs (unknown
+ * workloads, invalid configurations, oversized grids) is caught
+ * here at validation time and becomes a structured error reply —
+ * parsing and validating a request never terminates the daemon.
+ */
+
+#ifndef OLIGHT_SERVE_PROTOCOL_HH
+#define OLIGHT_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+
+namespace olight
+{
+namespace serve
+{
+
+enum class Cmd : std::uint8_t
+{
+    Ping,
+    Run,
+    Sweep,
+    Stats,
+    Drain,
+};
+
+const char *toString(Cmd cmd);
+
+/** A validated request, ready to execute. */
+struct Request
+{
+    Cmd cmd = Cmd::Ping;
+    /** Raw JSON rendering of the request's "id" member (string or
+     *  number), empty when absent; echoed into the reply. */
+    std::string id;
+    RunOptions run;  ///< when cmd == Run
+    SweepSpec sweep; ///< when cmd == Sweep
+};
+
+/**
+ * Parse and validate one request line. On success fills @p out and
+ * returns true. On any failure returns false and fills
+ * @p errorReply with the complete single-line JSON error reply to
+ * send (code bad_json / bad_request / limit_exceeded /
+ * unknown_cmd).
+ */
+bool parseRequest(const std::string &line, Request &out,
+                  std::string &errorReply);
+
+/** Build an error reply; @p retryAfterMs < 0 omits the field. */
+std::string errorReply(const std::string &id, const char *code,
+                       const std::string &message,
+                       int retryAfterMs = -1);
+
+/**
+ * Build a success envelope around a cached/fresh result body:
+ * {"ok":true,"cmd":...,"id":...,"fingerprint":"0x...",
+ *  "cached":...,"result":<body>}. The body is byte-identical
+ * between a cold run and a cache hit; only the envelope's "cached"
+ * token differs.
+ */
+std::string okReply(const std::string &id, Cmd cmd,
+                    std::uint64_t fingerprint, bool cached,
+                    const std::string &body);
+
+/**
+ * Serialize a run result as a deterministic single-line JSON object
+ * — simulated metrics only, never wall-clock self-measurement, so
+ * the body is cacheable by fingerprint.
+ */
+std::string runBody(const RunOptions &opts, const RunResult &r);
+
+/** Same for a sweep: {"points":N,"rows":[...]} (no timing). */
+std::string sweepBody(const std::vector<SweepRow> &rows);
+
+} // namespace serve
+} // namespace olight
+
+#endif // OLIGHT_SERVE_PROTOCOL_HH

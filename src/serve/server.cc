@@ -1,0 +1,356 @@
+#include "serve/server.hh"
+
+#include <condition_variable>
+#include <poll.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+namespace serve
+{
+
+Server::Server(const ServeOptions &opts)
+    : opts_(opts),
+      jobs_(opts.jobs ? opts.jobs : ThreadPool::defaultThreads()),
+      admitLimit_(opts.admitLimit ? opts.admitLimit
+                                  : std::size_t(2) * jobs_),
+      pool_(jobs_), cache_(opts.cacheEntries)
+{}
+
+Server::~Server()
+{
+    if (started_.load() && !joined_.load()) {
+        requestDrain();
+        join();
+    }
+}
+
+bool
+Server::start(std::string &err)
+{
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+        err = "pipe failed";
+        return false;
+    }
+    drainPipeRead_ = Fd(pipe_fds[0]);
+    drainPipeWrite_ = Fd(pipe_fds[1]);
+
+    if (!opts_.unixPath.empty()) {
+        listenFd_ = listenUnix(opts_.unixPath, err);
+    } else {
+        listenFd_ = listenTcp(opts_.tcpPort, boundPort_, err);
+    }
+    if (!listenFd_.valid())
+        return false;
+
+    started_.store(true);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::requestDrain()
+{
+    // Only async-signal-safe operations: one atomic store and one
+    // write(2). The accept thread owns all the actual teardown.
+    draining_.store(true, std::memory_order_release);
+    char byte = 'd';
+    [[maybe_unused]] ssize_t n =
+        ::write(drainPipeWrite_.get(), &byte, 1);
+}
+
+void
+Server::join()
+{
+    if (!started_.load() || joined_.exchange(true))
+        return;
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    std::list<SessionSlot> sessions;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        sessions.swap(sessions_);
+    }
+    for (auto &slot : sessions)
+        slot.thread.join();
+    pool_.wait();
+}
+
+void
+Server::acceptLoop()
+{
+    while (!draining_.load(std::memory_order_acquire)) {
+        // Reap finished sessions so past connections don't pin a
+        // joinable thread each. done=true means the session body
+        // has returned, so join() completes immediately.
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            for (auto it = sessions_.begin();
+                 it != sessions_.end();) {
+                if (it->done.load(std::memory_order_acquire)) {
+                    it->thread.join();
+                    it = sessions_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+
+        pollfd pfds[2] = {{listenFd_.get(), POLLIN, 0},
+                          {drainPipeRead_.get(), POLLIN, 0}};
+        int ready = ::poll(pfds, 2, 500);
+        if (ready < 0)
+            continue; // EINTR
+        if (pfds[1].revents & POLLIN)
+            break; // drain byte — flag is already set
+        if (!(pfds[0].revents & POLLIN))
+            continue;
+        int conn = ::accept(listenFd_.get(), nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        Fd fd(conn);
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        sessions_.emplace_back();
+        SessionSlot &slot = sessions_.back();
+        slot.thread = std::thread(
+            [this, &slot, moved = std::move(fd)]() mutable {
+                session(std::move(moved));
+                slot.done.store(true, std::memory_order_release);
+            });
+    }
+    // New connections are refused from here on; existing sessions
+    // finish their in-flight request and close.
+    listenFd_.reset();
+}
+
+void
+Server::session(Fd fd)
+{
+    std::string line, carry;
+    while (true) {
+        ReadStatus st =
+            readLine(fd.get(), line, carry, &draining_);
+        if (st == ReadStatus::Stopped ||
+            st == ReadStatus::Closed || st == ReadStatus::Error)
+            break;
+        if (st == ReadStatus::TooLong) {
+            writeAll(fd.get(),
+                     errorReply("", "bad_request",
+                                "request line exceeds 1 MiB") +
+                         "\n");
+            break;
+        }
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        std::string reply = handleLine(line);
+        // Counted before the write: an observer that has read the
+        // reply must never see a counter that excludes it.
+        replies_.fetch_add(1, std::memory_order_relaxed);
+        if (!writeAll(fd.get(), reply + "\n"))
+            break;
+    }
+}
+
+bool
+Server::tryAdmit()
+{
+    std::uint64_t cur = inflight_.load(std::memory_order_relaxed);
+    do {
+        if (cur >= admitLimit_) {
+            busyRejected_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+    } while (!inflight_.compare_exchange_weak(
+        cur, cur + 1, std::memory_order_relaxed));
+    std::uint64_t now = cur + 1;
+    std::uint64_t peak = peakInflight_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peakInflight_.compare_exchange_weak(
+               peak, now, std::memory_order_relaxed)) {
+    }
+    return true;
+}
+
+void
+Server::release()
+{
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::string
+Server::handleLine(const std::string &line)
+{
+    Request req;
+    std::string error;
+    if (!parseRequest(line, req, error)) {
+        parseErrors_.fetch_add(1, std::memory_order_relaxed);
+        if (opts_.verbose)
+            inform("serve: rejected request: ", error);
+        return error;
+    }
+
+    switch (req.cmd) {
+      case Cmd::Ping: {
+        std::string reply = "{\"ok\":true,\"cmd\":\"ping\"";
+        if (!req.id.empty())
+            reply += ",\"id\":" + req.id;
+        return reply + "}";
+      }
+      case Cmd::Stats: {
+        ServeSnapshot s = snapshot();
+        std::ostringstream os;
+        os << "{\"ok\":true,\"cmd\":\"stats\"";
+        if (!req.id.empty())
+            os << ",\"id\":" << req.id;
+        os << ",\"stats\":{\"jobs\":" << jobs_
+           << ",\"admit_limit\":" << admitLimit_
+           << ",\"draining\":" << (s.draining ? "true" : "false")
+           << ",\"connections\":" << s.connections
+           << ",\"requests\":" << s.requests
+           << ",\"replies\":" << s.replies
+           << ",\"parse_errors\":" << s.parseErrors
+           << ",\"busy_rejected\":" << s.busyRejected
+           << ",\"internal_errors\":" << s.internalErrors
+           << ",\"runs_executed\":" << s.runsExecuted
+           << ",\"sweeps_executed\":" << s.sweepsExecuted
+           << ",\"sweep_points_done\":" << s.sweepPointsDone
+           << ",\"inflight\":" << s.inflight
+           << ",\"peak_inflight\":" << s.peakInflight
+           << ",\"cache\":{\"entries\":" << s.cache.entries
+           << ",\"bytes\":" << s.cache.bytes
+           << ",\"hits\":" << s.cache.hits
+           << ",\"misses\":" << s.cache.misses
+           << ",\"evictions\":" << s.cache.evictions << "}}}";
+        return os.str();
+      }
+      case Cmd::Drain: {
+        requestDrain();
+        std::string reply =
+            "{\"ok\":true,\"cmd\":\"drain\",\"draining\":true";
+        if (!req.id.empty())
+            reply += ",\"id\":" + req.id;
+        return reply + "}";
+      }
+      case Cmd::Run:
+      case Cmd::Sweep:
+        return execute(req);
+    }
+    return errorReply(req.id, "internal_error", "unhandled cmd");
+}
+
+std::string
+Server::execute(const Request &req)
+{
+    const std::uint64_t fp = req.cmd == Cmd::Run
+                                 ? fingerprint(req.run)
+                                 : fingerprint(req.sweep);
+
+    std::string body;
+    if (cache_.get(fp, body)) {
+        if (opts_.verbose)
+            inform("serve: cache hit ", fingerprintHex(fp));
+        return okReply(req.id, req.cmd, fp, true, body);
+    }
+
+    if (!tryAdmit()) {
+        return errorReply(req.id, "busy",
+                          "admission queue full (" +
+                              std::to_string(admitLimit_) +
+                              " in flight)",
+                          opts_.retryAfterMs);
+    }
+
+    // The session thread parks here while a pool worker simulates;
+    // per-request completion signalling, not ThreadPool::wait(),
+    // because other sessions share the pool.
+    struct Completion
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        bool ok = false;
+        std::string body;
+        std::string error;
+    } c;
+
+    pool_.submit([this, &req, &c] {
+        std::string out, err;
+        bool ok = false;
+        try {
+            if (req.cmd == Cmd::Run) {
+                RunResult r = runWorkload(req.run);
+                out = runBody(req.run, r);
+                runsExecuted_.fetch_add(1,
+                                        std::memory_order_relaxed);
+            } else {
+                auto rows = runSweep(
+                    req.sweep, [this](const SweepRow &) {
+                        sweepPointsDone_.fetch_add(
+                            1, std::memory_order_relaxed);
+                    });
+                out = sweepBody(rows);
+                sweepsExecuted_.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+            ok = true;
+        } catch (const std::exception &e) {
+            err = e.what();
+        } catch (...) {
+            err = "unknown execution failure";
+        }
+        std::lock_guard<std::mutex> lock(c.m);
+        c.ok = ok;
+        c.body = std::move(out);
+        c.error = std::move(err);
+        c.done = true;
+        c.cv.notify_one();
+    });
+
+    {
+        std::unique_lock<std::mutex> lock(c.m);
+        c.cv.wait(lock, [&c] { return c.done; });
+    }
+    release();
+
+    if (!c.ok) {
+        internalErrors_.fetch_add(1, std::memory_order_relaxed);
+        return errorReply(req.id, "internal_error", c.error);
+    }
+    cache_.put(fp, c.body);
+    if (opts_.verbose)
+        inform("serve: simulated ", toString(req.cmd), " ",
+               fingerprintHex(fp));
+    return okReply(req.id, req.cmd, fp, false, c.body);
+}
+
+ServeSnapshot
+Server::snapshot() const
+{
+    ServeSnapshot s;
+    s.connections = connections_.load(std::memory_order_relaxed);
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.replies = replies_.load(std::memory_order_relaxed);
+    s.parseErrors = parseErrors_.load(std::memory_order_relaxed);
+    s.busyRejected = busyRejected_.load(std::memory_order_relaxed);
+    s.internalErrors =
+        internalErrors_.load(std::memory_order_relaxed);
+    s.runsExecuted = runsExecuted_.load(std::memory_order_relaxed);
+    s.sweepsExecuted =
+        sweepsExecuted_.load(std::memory_order_relaxed);
+    s.sweepPointsDone =
+        sweepPointsDone_.load(std::memory_order_relaxed);
+    s.inflight = inflight_.load(std::memory_order_relaxed);
+    s.peakInflight =
+        peakInflight_.load(std::memory_order_relaxed);
+    s.cache = cache_.stats();
+    s.draining = draining_.load(std::memory_order_acquire);
+    return s;
+}
+
+} // namespace serve
+} // namespace olight

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The serving daemon's core: a long-running simulation service with
+ * a content-addressed result cache, bounded admission, and graceful
+ * drain — the request-scheduling shape of an inference-serving
+ * stack, applied to deterministic simulations.
+ *
+ * Threading model:
+ *  - one accept thread (poll on the listen fd + a self-pipe that
+ *    requestDrain() writes to — the only async-signal-safe entry);
+ *  - one session thread per connection, handling its requests
+ *    strictly in order;
+ *  - one shared ThreadPool executing the simulations. A session
+ *    admits its request (bounded: admitted = queued + running),
+ *    submits the job, and blocks until that job completes. Over
+ *    the admission bound the request is rejected immediately with
+ *    a `busy` reply carrying retry_after_ms — the same
+ *    reject-don't-buffer backpressure discipline the simulator's
+ *    own noc/port.hh enforces at every pipe boundary, applied at
+ *    the service edge.
+ *
+ * Drain (SIGTERM or a `drain` request): stop accepting, let every
+ * in-flight request complete and flush its reply, close idle
+ * connections, then join() returns. Nothing in flight is dropped.
+ */
+
+#ifndef OLIGHT_SERVE_SERVER_HH
+#define OLIGHT_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hh"
+#include "serve/net.hh"
+#include "serve/protocol.hh"
+#include "sim/thread_pool.hh"
+
+namespace olight
+{
+namespace serve
+{
+
+struct ServeOptions
+{
+    /** Non-empty: Unix-domain socket at this path. */
+    std::string unixPath;
+    /** Otherwise: loopback TCP; 0 picks an ephemeral port. */
+    std::uint16_t tcpPort = 0;
+
+    unsigned jobs = 0; ///< simulation workers (0 = one per core)
+    /** Admission bound: max queued+running simulations before
+     *  requests bounce with `busy` (0 = 2x workers). */
+    std::size_t admitLimit = 0;
+    std::size_t cacheEntries = 1024; ///< result cache cap (0 = off)
+    int retryAfterMs = 100;          ///< hint in `busy` replies
+    bool verbose = false;            ///< inform() per request
+};
+
+/** Point-in-time counters (all since start). */
+struct ServeSnapshot
+{
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;      ///< lines received
+    std::uint64_t replies = 0;       ///< reply lines composed
+    std::uint64_t parseErrors = 0;   ///< bad_json/bad_request/...
+    std::uint64_t busyRejected = 0;
+    std::uint64_t internalErrors = 0;
+    std::uint64_t runsExecuted = 0;  ///< cache misses simulated
+    std::uint64_t sweepsExecuted = 0;
+    std::uint64_t sweepPointsDone = 0; ///< via the progress sink
+    std::uint64_t inflight = 0;
+    std::uint64_t peakInflight = 0;
+    ResultCache::Stats cache;
+    bool draining = false;
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServeOptions &opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind + listen + spawn the accept thread. False + @p err on
+     *  bind failure. */
+    bool start(std::string &err);
+
+    /**
+     * Begin a graceful drain. Async-signal-safe (a single write to
+     * the self-pipe), so SIGTERM handlers may call it directly.
+     * Idempotent.
+     */
+    void requestDrain();
+
+    /** Block until drained: accept thread, sessions, and pool all
+     *  finished; every in-flight reply flushed. */
+    void join();
+
+    /** Bound TCP port (after start(), TCP mode only). */
+    std::uint16_t tcpPort() const { return boundPort_; }
+
+    ServeSnapshot snapshot() const;
+
+    unsigned jobs() const { return jobs_; }
+    std::size_t admitLimit() const { return admitLimit_; }
+
+  private:
+    void acceptLoop();
+    void session(Fd fd);
+
+    /** Handle one request line; returns the reply line (no \n). */
+    std::string handleLine(const std::string &line);
+    std::string execute(const Request &req);
+
+    bool tryAdmit();
+    void release();
+
+    ServeOptions opts_;
+    unsigned jobs_;
+    std::size_t admitLimit_;
+
+    Fd listenFd_;
+    std::uint16_t boundPort_ = 0;
+    Fd drainPipeRead_, drainPipeWrite_;
+
+    ThreadPool pool_;
+    ResultCache cache_;
+
+    /** One per live connection; reaped by the accept loop once the
+     *  session thread flags itself done (a long-running daemon must
+     *  not accumulate a joinable thread per past connection). */
+    struct SessionSlot
+    {
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    std::thread acceptThread_;
+    std::mutex sessionsMutex_;
+    std::list<SessionSlot> sessions_;
+
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> started_{false};
+    std::atomic<bool> joined_{false};
+
+    // Counters (relaxed; read coherently only via snapshot()).
+    std::atomic<std::uint64_t> connections_{0}, requests_{0},
+        replies_{0}, parseErrors_{0}, busyRejected_{0},
+        internalErrors_{0}, runsExecuted_{0}, sweepsExecuted_{0},
+        sweepPointsDone_{0}, inflight_{0}, peakInflight_{0};
+};
+
+} // namespace serve
+} // namespace olight
+
+#endif // OLIGHT_SERVE_SERVER_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Config-fingerprint tests (core/config.hh): the canonical
+ * serialization is a golden, embedded verbatim — if it ever drifts
+ * (a field added without extending canonicalize(), a rename, a
+ * reorder), cached results and published JSON stop being
+ * comparable across versions, so the golden must be updated
+ * *deliberately* here. Plus sensitivity: every configuration field
+ * must perturb the fingerprint, and the run/sweep fingerprints must
+ * react to exactly the knobs that change simulated results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config.hh"
+#include "core/runner.hh"
+#include "core/sweep.hh"
+
+using namespace olight;
+
+namespace
+{
+
+std::string
+canonical(const SystemConfig &cfg)
+{
+    std::ostringstream os;
+    cfg.canonicalize(os);
+    return os.str();
+}
+
+// The default configuration's canonical form, embedded verbatim.
+// Regenerate ONLY for a deliberate format change (and note that
+// doing so invalidates every previously published fingerprint).
+const char *kGoldenCanonical =
+    "numSms=8;warpsPerSm=2;collectorUnits=8;collectorLatency=4;"
+    "collectorJitter=8;smQueueSize=16;interconnectLatency=120;"
+    "l2ToDramLatency=100;ackLatency=40;l2SubPartitions=2;"
+    "l2QueueSize=64;subPartJitter=8;numChannels=16;"
+    "banksPerChannel=16;rowBufferBytes=2048;busWidthBytes=32;"
+    "channelInterleaveBytes=256;readQueueSize=64;writeQueueSize=64;"
+    "writeDrainWatermark=48;writeDrainLow=16;"
+    "schedulerSlackCycles=8;timing.ccd=1;timing.ccdl=2;"
+    "timing.rrd=3;timing.rcdw=9;timing.rcdr=12;timing.ras=28;"
+    "timing.rp=12;timing.cl=12;timing.wl=2;timing.cdlr=3;"
+    "timing.wr=10;timing.wtp=9;timing.rtp=2;"
+    "timing.refreshEnabled=1;timing.refi=3315;timing.rfc=221;"
+    "bmf=16;tsBytes=256;orderingMode=orderlight;arbitration=fine;"
+    "numMemGroups=4;seqNumCredits=32;hostWindowPerChannel=256;"
+    "totalSms=80;seed=1;verifyOracle=0;";
+
+const char *kGoldenFingerprint = "0xe154fea7131b4f60";
+
+} // namespace
+
+TEST(Fingerprint, Fnv1a64KnownAnswers)
+{
+    // FNV-1a reference vectors.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fingerprint, GoldenCanonicalFormIsStable)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(canonical(cfg), kGoldenCanonical);
+    EXPECT_EQ(fingerprintHex(fingerprint(cfg)), kGoldenFingerprint);
+    // Stable across repeated serializations of the same object.
+    EXPECT_EQ(canonical(cfg), canonical(cfg));
+    EXPECT_EQ(fingerprint(cfg), fingerprint(SystemConfig{}));
+}
+
+TEST(Fingerprint, EveryConfigFieldPerturbsTheFingerprint)
+{
+    const std::uint64_t base = fingerprint(SystemConfig{});
+    int mutations = 0;
+    auto differs = [&](auto mutate) {
+        SystemConfig cfg;
+        mutate(cfg);
+        ++mutations;
+        EXPECT_NE(fingerprint(cfg), base)
+            << "mutation #" << mutations
+            << " did not change the fingerprint; canonicalize() is "
+               "missing a field";
+    };
+#define MUTATE(stmt) differs([](SystemConfig &c) { c.stmt; })
+    MUTATE(numSms += 1);
+    MUTATE(warpsPerSm += 1);
+    MUTATE(collectorUnits += 1);
+    MUTATE(collectorLatency += 1);
+    MUTATE(collectorJitter += 1);
+    MUTATE(smQueueSize += 1);
+    MUTATE(interconnectLatency += 1);
+    MUTATE(l2ToDramLatency += 1);
+    MUTATE(ackLatency += 1);
+    MUTATE(l2SubPartitions += 1);
+    MUTATE(l2QueueSize += 1);
+    MUTATE(subPartJitter += 1);
+    MUTATE(numChannels += 16);
+    MUTATE(banksPerChannel += 16);
+    MUTATE(rowBufferBytes += 2048);
+    MUTATE(busWidthBytes += 32);
+    MUTATE(channelInterleaveBytes += 256);
+    MUTATE(readQueueSize += 1);
+    MUTATE(writeQueueSize += 1);
+    MUTATE(writeDrainWatermark += 1);
+    MUTATE(writeDrainLow += 1);
+    MUTATE(schedulerSlackCycles += 1);
+    MUTATE(timing.ccd += 1);
+    MUTATE(timing.ccdl += 1);
+    MUTATE(timing.rrd += 1);
+    MUTATE(timing.rcdw += 1);
+    MUTATE(timing.rcdr += 1);
+    MUTATE(timing.ras += 1);
+    MUTATE(timing.rp += 1);
+    MUTATE(timing.cl += 1);
+    MUTATE(timing.wl += 1);
+    MUTATE(timing.cdlr += 1);
+    MUTATE(timing.wr += 1);
+    MUTATE(timing.wtp += 1);
+    MUTATE(timing.rtp += 1);
+    MUTATE(timing.refreshEnabled = false);
+    MUTATE(timing.refi += 1);
+    MUTATE(timing.rfc += 1);
+    MUTATE(bmf += 16);
+    MUTATE(tsBytes += 256);
+    MUTATE(orderingMode = OrderingMode::Fence);
+    MUTATE(arbitration = ArbitrationGranularity::Coarse);
+    MUTATE(numMemGroups += 1);
+    MUTATE(seqNumCredits += 1);
+    MUTATE(hostWindowPerChannel += 1);
+    MUTATE(totalSms += 1);
+    MUTATE(seed += 1);
+    MUTATE(verifyOracle = true);
+#undef MUTATE
+}
+
+TEST(Fingerprint, RunOptionsSensitivity)
+{
+    RunOptions a;
+    EXPECT_EQ(fingerprint(a), fingerprint(RunOptions{}));
+
+    auto expectDiffers = [&](auto mutate) {
+        RunOptions b;
+        mutate(b);
+        EXPECT_NE(fingerprint(b), fingerprint(a));
+    };
+    expectDiffers([](RunOptions &o) { o.workload = "Triad"; });
+    expectDiffers([](RunOptions &o) { o.elements *= 2; });
+    expectDiffers([](RunOptions &o) {
+        o.mode = OrderingMode::Fence;
+    });
+    expectDiffers([](RunOptions &o) { o.tsBytes = 512; });
+    expectDiffers([](RunOptions &o) { o.bmf = 8; });
+    expectDiffers([](RunOptions &o) { o.verify = !o.verify; });
+    expectDiffers([](RunOptions &o) { o.oracle = true; });
+    expectDiffers([](RunOptions &o) { o.runGpuBaseline = true; });
+    expectDiffers([](RunOptions &o) { o.base.seed += 1; });
+}
+
+TEST(Fingerprint, SweepSpecIgnoresWorkerCount)
+{
+    SweepSpec a, b;
+    b.jobs = 8; // jobs never changes simulated results
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+
+    SweepSpec c;
+    c.tsSizes.push_back(2048);
+    EXPECT_NE(fingerprint(c), fingerprint(a));
+    SweepSpec d;
+    d.workloads = {"Copy"};
+    EXPECT_NE(fingerprint(d), fingerprint(a));
+    SweepSpec e;
+    e.elements *= 2;
+    EXPECT_NE(fingerprint(e), fingerprint(a));
+    SweepSpec f;
+    f.base.numChannels = 32;
+    EXPECT_NE(fingerprint(f), fingerprint(a));
+}
+
+TEST(Fingerprint, SweepRowsCarryDerivedConfigFingerprint)
+{
+    SweepSpec spec;
+    spec.workloads = {"Copy"};
+    spec.modes = {OrderingMode::OrderLight, OrderingMode::Fence};
+    spec.tsSizes = {256};
+    spec.bmfs = {16};
+    spec.elements = 4096;
+    auto rows = runSweep(spec);
+    ASSERT_EQ(rows.size(), 2u);
+    for (const SweepRow &row : rows) {
+        EXPECT_EQ(row.configFingerprint,
+                  fingerprint(configFor(row.mode, row.tsBytes,
+                                        row.bmf, spec.base)));
+    }
+    // Different derived configs -> different per-row fingerprints.
+    EXPECT_NE(rows[0].configFingerprint, rows[1].configFingerprint);
+
+    // And the JSON row rendering exposes it as "0x...".
+    std::ostringstream os;
+    writeJsonRow(os, rows[0]);
+    EXPECT_NE(os.str().find("\"config_fingerprint\":\"" +
+                            fingerprintHex(
+                                rows[0].configFingerprint) +
+                            "\""),
+              std::string::npos)
+        << os.str();
+}

@@ -83,11 +83,15 @@ TEST(ParallelSweep, ProgressLinesStayWholeUnderParallelism)
     spec.verify = false;
     spec.jobs = 4;
     std::ostringstream progress;
-    auto rows = runSweep(spec, &progress);
+    auto rows = runSweep(spec, [&progress](const SweepRow &row) {
+        progress << progressLine(row) << "\n";
+    });
     ASSERT_EQ(rows.size(), spec.points());
 
     // One complete line per point; every line carries the " ms"
-    // suffix, so no interleaved/torn writes.
+    // suffix, so no interleaved/torn writes. The sink is a plain
+    // ostringstream with no locking of its own: the callback
+    // serialization is what keeps the lines whole.
     std::istringstream in(progress.str());
     std::string line;
     std::size_t lines = 0;

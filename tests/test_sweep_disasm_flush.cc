@@ -29,7 +29,9 @@ TEST(Sweep, RunsFullGridAndEmitsCsv)
     spec.verify = true;
 
     std::ostringstream progress;
-    auto rows = runSweep(spec, &progress);
+    auto rows = runSweep(spec, [&progress](const SweepRow &row) {
+        progress << progressLine(row) << "\n";
+    });
     ASSERT_EQ(rows.size(), spec.points());
     ASSERT_EQ(rows.size(), 8u);
 

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/limits.hh"
+
 namespace olight
 {
 namespace cli
@@ -56,18 +58,7 @@ bool
 tryParseMode(const std::string &text, bool allowSeqnum,
              OrderingMode &out)
 {
-    if (text == "none") {
-        out = OrderingMode::None;
-    } else if (text == "fence") {
-        out = OrderingMode::Fence;
-    } else if (text == "orderlight") {
-        out = OrderingMode::OrderLight;
-    } else if (allowSeqnum && text == "seqnum") {
-        out = OrderingMode::SeqNum;
-    } else {
-        return false;
-    }
-    return true;
+    return modeFromName(text, allowSeqnum, out);
 }
 
 OrderingMode
@@ -84,13 +75,18 @@ parseMode(const std::string &text)
 const char *
 modeName(OrderingMode mode)
 {
-    switch (mode) {
-      case OrderingMode::None: return "none";
-      case OrderingMode::Fence: return "fence";
-      case OrderingMode::OrderLight: return "orderlight";
-      case OrderingMode::SeqNum: return "seqnum";
+    return modeFlagName(mode);
+}
+
+void
+enforceLimits(const char *tool, std::uint64_t elements,
+              std::uint64_t jobs, std::uint64_t points)
+{
+    std::string why;
+    if (!limits::checkRequest(elements, jobs, points, why)) {
+        std::cerr << tool << ": " << why << "\n";
+        std::exit(2);
     }
-    return "?";
 }
 
 } // namespace cli

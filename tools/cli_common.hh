@@ -56,5 +56,15 @@ OrderingMode parseMode(const std::string &text);
 /** Canonical lowercase flag spelling of a mode (none/fence/...). */
 const char *modeName(OrderingMode mode);
 
+/**
+ * Enforce the shared request-size bounds (core/limits.hh) the
+ * serving daemon also applies: on violation prints
+ * "<tool>: <why>" to stderr and exits 2 — a clean diagnostic
+ * instead of an OOM or an olight_fatal deep inside the simulator.
+ * @p points is the sweep grid size (1 for single-run tools).
+ */
+void enforceLimits(const char *tool, std::uint64_t elements,
+                   std::uint64_t jobs, std::uint64_t points);
+
 } // namespace cli
 } // namespace olight

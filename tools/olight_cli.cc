@@ -152,6 +152,8 @@ main(int argc, char **argv)
         }
     }
 
+    cli::enforceLimits("olight_cli", elements, jobs, 1);
+
     SystemConfig base = cpu_host ? cpuHostBase() : SystemConfig{};
     base.numChannels = channels;
     SystemConfig cfg = configFor(mode, ts, bmf, base);
@@ -291,7 +293,9 @@ main(int argc, char **argv)
     }
 
     if (stats_json_file.is_open()) {
-        stats_json_file << "{\"metrics\":";
+        stats_json_file << "{\"config_fingerprint\":\""
+                        << fingerprintHex(fingerprint(cfg))
+                        << "\",\"metrics\":";
         m.writeJson(stats_json_file);
         stats_json_file << ",\"stats\":";
         sys.stats().dumpJson(stats_json_file);

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * `olight_client` — thin CLI for the olight_served daemon.
+ *
+ * Submits newline-delimited JSON requests and prints one reply line
+ * per request to stdout. Requests come from repeated --request
+ * flags, or from stdin (one per line) when none are given.
+ *
+ *   olight_client --socket /tmp/olight.sock \
+ *       --request '{"cmd":"run","workload":"Add","elements":16384}'
+ *   echo '{"cmd":"stats"}' | olight_client --tcp 7077
+ *
+ * Exit status: 0 when every request got a reply (including error
+ * replies — inspect "ok" yourself), 1 on transport failure,
+ * 2 on usage errors.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/net.hh"
+
+using namespace olight;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "usage: olight_client (--socket PATH | --tcp PORT "
+        "[--host IP]) [--request JSON]...\n"
+        "Requests come from --request flags (repeatable) or stdin\n"
+        "lines; each reply prints on its own stdout line.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string unix_path, host = "127.0.0.1";
+    std::uint16_t port = 0;
+    bool have_tcp = false;
+    std::vector<std::string> requests;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            unix_path = next();
+        } else if (arg == "--tcp") {
+            port = std::uint16_t(std::stoul(next()));
+            have_tcp = true;
+        } else if (arg == "--host") {
+            host = next();
+        } else if (arg == "--request") {
+            requests.push_back(next());
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+    if (unix_path.empty() && !have_tcp) {
+        std::cerr << "olight_client: need --socket PATH or "
+                     "--tcp PORT\n";
+        return 2;
+    }
+
+    if (requests.empty()) {
+        std::string line;
+        while (std::getline(std::cin, line))
+            if (!line.empty())
+                requests.push_back(line);
+    }
+    if (requests.empty())
+        return 0;
+
+    std::string err;
+    serve::Fd fd = unix_path.empty()
+                       ? serve::connectTcp(host, port, err)
+                       : serve::connectUnix(unix_path, err);
+    if (!fd.valid()) {
+        std::cerr << "olight_client: " << err << "\n";
+        return 1;
+    }
+
+    std::string carry;
+    for (const std::string &request : requests) {
+        if (!serve::writeAll(fd.get(), request + "\n")) {
+            std::cerr << "olight_client: send failed\n";
+            return 1;
+        }
+        std::string reply;
+        serve::ReadStatus st =
+            serve::readLine(fd.get(), reply, carry);
+        if (st != serve::ReadStatus::Line) {
+            std::cerr << "olight_client: connection closed before "
+                         "a reply\n";
+            return 1;
+        }
+        std::cout << reply << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * `olight_served` — the long-running simulation service.
+ *
+ * Accepts newline-delimited JSON requests (run / sweep / stats /
+ * drain / ping) over a Unix-domain or loopback-TCP socket, executes
+ * them on a bounded worker pool, and serves repeated grid points
+ * from a content-addressed result cache (byte-identical replies
+ * without re-simulating). SIGTERM/SIGINT drain gracefully: every
+ * in-flight request completes and flushes its reply before exit.
+ *
+ *   olight_served --socket /tmp/olight.sock --jobs 4
+ *   olight_served --tcp 7077 --queue 16 --cache 4096
+ *
+ * Wire protocol: docs/INTERNALS.md §11. Companion client:
+ * olight_client.
+ */
+
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "cli_common.hh"
+#include "core/limits.hh"
+#include "serve/server.hh"
+
+using namespace olight;
+
+namespace
+{
+
+serve::Server *g_server = nullptr;
+
+/** SIGTERM/SIGINT → graceful drain (async-signal-safe: the handler
+ *  only flips an atomic and writes one byte to a self-pipe). */
+void
+onSignal(int)
+{
+    if (g_server)
+        g_server->requestDrain();
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: olight_served [options]\n"
+        "  --socket PATH   listen on a Unix-domain socket\n"
+        "  --tcp PORT      listen on loopback TCP (0 = ephemeral;\n"
+        "                  the bound port is printed on startup)\n"
+        "  --jobs N        simulation workers (0 = auto, default)\n"
+        "  --queue N       admission bound: max queued+running\n"
+        "                  requests before `busy` replies\n"
+        "                  (default 2x jobs)\n"
+        "  --cache N       result-cache entries (default 1024,\n"
+        "                  0 disables caching)\n"
+        "  --retry-ms N    retry_after_ms hint in busy replies\n"
+        "                  (default 100)\n"
+        "  --verbose       log one line per served request\n"
+        "Drain with SIGTERM (or a {\"cmd\":\"drain\"} request):\n"
+        "in-flight requests complete, then the daemon exits 0.\n";
+}
+
+std::uint64_t
+parseNumber(const std::string &flag, const std::string &value)
+{
+    return cli::parseNumber("olight_served", flag, value);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServeOptions opts;
+    bool have_endpoint = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opts.unixPath = next();
+            have_endpoint = true;
+        } else if (arg == "--tcp") {
+            opts.tcpPort =
+                std::uint16_t(parseNumber(arg, next()));
+            have_endpoint = true;
+        } else if (arg == "--jobs" || arg == "-j") {
+            opts.jobs = unsigned(parseNumber(arg, next()));
+        } else if (arg == "--queue") {
+            opts.admitLimit = std::size_t(parseNumber(arg, next()));
+        } else if (arg == "--cache") {
+            opts.cacheEntries =
+                std::size_t(parseNumber(arg, next()));
+        } else if (arg == "--retry-ms") {
+            opts.retryAfterMs = int(parseNumber(arg, next()));
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    if (!have_endpoint) {
+        std::cerr << "olight_served: need --socket PATH or "
+                     "--tcp PORT\n";
+        return 2;
+    }
+    if (opts.jobs > limits::kMaxJobs) {
+        std::cerr << "olight_served: --jobs " << opts.jobs
+                  << " exceeds limit " << limits::kMaxJobs << "\n";
+        return 2;
+    }
+
+    serve::Server server(opts);
+    std::string err;
+    if (!server.start(err)) {
+        std::cerr << "olight_served: " << err << "\n";
+        return 1;
+    }
+
+    g_server = &server;
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    if (!opts.unixPath.empty())
+        std::cerr << "olight_served: listening on "
+                  << opts.unixPath;
+    else
+        std::cerr << "olight_served: listening on 127.0.0.1:"
+                  << server.tcpPort();
+    std::cerr << " (" << server.jobs() << " workers, admit "
+              << server.admitLimit() << ")\n";
+
+    server.join(); // returns once drained
+
+    serve::ServeSnapshot s = server.snapshot();
+    std::cerr << "olight_served: drained after " << s.requests
+              << " requests (" << s.cache.hits << " cache hits, "
+              << s.busyRejected << " busy-rejected)\n";
+    return 0;
+}

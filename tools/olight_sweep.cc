@@ -103,11 +103,18 @@ main(int argc, char **argv)
         }
     }
 
+    cli::enforceLimits("olight_sweep", spec.elements, spec.jobs,
+                       spec.points());
+
     std::cerr << "sweeping " << spec.points() << " points ("
               << (spec.jobs ? spec.jobs
                             : ThreadPool::defaultThreads())
               << " workers)...\n";
-    auto rows = runSweep(spec, &std::cerr);
+    // Progress sink owned by this call site (see SweepProgress):
+    // one whole line per completed point on stderr, as always.
+    auto rows = runSweep(spec, [](const SweepRow &row) {
+        std::cerr << progressLine(row) << "\n";
+    });
 
     if (out_path.empty()) {
         writeCsv(std::cout, rows, timing);
