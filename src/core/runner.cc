@@ -73,7 +73,11 @@ runWorkload(const RunOptions &opts)
         }
     }
 
-    System sys(cfg);
+    ExecPolicy policy;
+    policy.simJobs = opts.simJobs ? opts.simJobs : 1;
+    policy.profileDomains = opts.profileDomains;
+
+    System sys(cfg, policy);
     workload->initMemory(sys.mem());
     sys.loadPimKernel(workload->streams());
     auto wall_start = std::chrono::steady_clock::now();
@@ -82,7 +86,13 @@ runWorkload(const RunOptions &opts)
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - wall_start)
             .count();
-    result.eventsExecuted = sys.eq().numExecuted();
+    result.eventsExecuted = sys.eventsExecuted();
+
+    if (sys.partitioned() && opts.profileDomains) {
+        std::ostringstream os;
+        sys.writeDomainProfile(os);
+        result.domainProfileJson = os.str();
+    }
 
     if (const OrderingOracle *oracle = sys.oracle()) {
         result.oracleViolations = oracle->violationCount();

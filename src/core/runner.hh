@@ -33,6 +33,14 @@ struct RunOptions
     bool oracle = false;         ///< ordering oracle inside the pipe
     bool runGpuBaseline = false; ///< also time host execution
     SystemConfig base{};         ///< remaining configuration knobs
+
+    /** Intra-run event-execution workers (ExecPolicy::simJobs).
+     *  Never part of the fingerprint: worker counts do not change
+     *  simulated results. */
+    unsigned simJobs = 1;
+    /** Collect per-domain self-profiling into
+     *  RunResult::domainProfileJson (partitioned runs only). */
+    bool profileDomains = false;
 };
 
 /** What happened. */
@@ -54,6 +62,10 @@ struct RunResult
     /// Simulator self-measurement (wall clock, not simulated time).
     double hostSeconds = 0.0;          ///< wall time of System::run()
     std::uint64_t eventsExecuted = 0;  ///< events the run processed
+
+    /** Per-domain profile JSON (RunOptions::profileDomains on a
+     *  partitioned run; empty otherwise). */
+    std::string domainProfileJson;
 };
 
 /**

@@ -135,6 +135,7 @@ runSweep(const SweepSpec &spec, const SweepProgress &progress)
         opts.elements = spec.elements;
         opts.verify = spec.verify;
         opts.base = spec.base;
+        opts.simJobs = spec.simJobs ? spec.simJobs : 1;
         RunResult r = runWorkload(opts);
 
         SweepRow &row = rows[i];

@@ -48,6 +48,14 @@ struct SweepSpec
      */
     unsigned jobs = 1;
 
+    /**
+     * Intra-run event-execution workers per point (channel-
+     * partitioned simulation; see core/system.hh). Orthogonal to
+     * `jobs`: `jobs` parallelizes across grid points, `simJobs`
+     * inside one simulation. Like jobs, never fingerprinted.
+     */
+    unsigned simJobs = 1;
+
     std::size_t
     points() const
     {

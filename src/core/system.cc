@@ -1,5 +1,7 @@
 #include "core/system.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -7,23 +9,63 @@
 namespace olight
 {
 
-System::System(const SystemConfig &cfg)
-    : cfg_(cfg), map_(cfg)
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+System::System(const SystemConfig &cfg, ExecPolicy policy)
+    : cfg_(cfg),
+      policy_(policy),
+      partitioned_(policy.simJobs > 1),
+      eq_(hostHeapHint(cfg)),
+      map_(cfg_)
 {
     cfg_.validate();
+    if (policy_.simJobs == 0)
+        policy_.simJobs = 1;
+
+    profiles_.resize(std::size_t(cfg_.numChannels) + 1);
+
+    // Channel domains exist in every mode: the canonical event order
+    // is the multi-queue merge key, realized by the sequential merge
+    // driver (one thread, stepSim) and the windowed driver (worker
+    // gang) alike, so results are bit-identical for every simJobs.
+    for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+        chEqs_.push_back(std::make_unique<EventQueue>(
+            channelHeapHint(cfg_)));
+        chEqs_[ch]->setSourceId(std::uint16_t(ch + 1));
+    }
+    if (partitioned_) {
+        creditCtxs_.reserve(cfg_.numChannels);
+        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch)
+            mailboxes_.push_back(std::make_unique<DomainMailbox>());
+    }
 
     std::vector<L2Slice *> slice_ptrs;
     for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+        // Channel-side components live on the channel's own event
+        // domain; everything host-side (SMs, interconnect, host
+        // stream) stays on eq_.
+        EventQueue &domEq = *chEqs_[ch];
         std::string ch_str = std::to_string(ch);
         timings_.push_back(std::make_unique<ChannelTiming>(
             cfg_, "dram" + ch_str, stats_));
         pims_.push_back(std::make_unique<PimUnit>(
             cfg_, map_, mem_, ch, "pim" + ch_str, stats_));
         mcs_.push_back(std::make_unique<MemoryController>(
-            cfg_, map_, ch, eq_, *timings_[ch], *pims_[ch],
+            cfg_, map_, ch, domEq, *timings_[ch], *pims_[ch],
             "mc" + ch_str, stats_));
         slices_.push_back(
-            std::make_unique<L2Slice>(cfg_, ch, eq_, stats_));
+            std::make_unique<L2Slice>(cfg_, ch, domEq, stats_));
         slices_[ch]->setDownstream(mcs_[ch].get());
         slice_ptrs.push_back(slices_[ch].get());
     }
@@ -42,22 +84,72 @@ System::System(const SystemConfig &cfg)
         slice_inputs.push_back(&slice->input());
     host_->connect(std::move(slice_inputs));
 
-    for (auto &mc : mcs_) {
-        mc->setAckFn([this](const Packet &pkt) {
-            if (pkt.smId < sms_.size())
-                sms_[pkt.smId]->onAck(pkt);
+    for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+        MemoryController *mc = mcs_[ch].get();
+        if (!partitioned_) {
+            mc->setAckFn([this](const Packet &pkt) {
+                if (pkt.smId < sms_.size())
+                    sms_[pkt.smId]->onAck(pkt);
+            });
+            mc->setHostDoneFn([this](const Packet &pkt) {
+                host_->onDone(pkt);
+            });
+            continue;
+        }
+
+        // Reverse (channel -> host) edges have zero minimum latency,
+        // so they cross domains through the channel's mailbox: the
+        // wrapper records the effect at the channel's current tick
+        // and the host replays it as an ordinary event.
+        mc->setAckFn([this, ch](const Packet &pkt) {
+            CrossMsg m;
+            m.kind = CrossMsg::Kind::Ack;
+            m.channel = ch;
+            m.applyTick = chEqs_[ch]->now();
+            m.stamp = chEqs_[ch]->currentStamp();
+            m.prio = chEqs_[ch]->currentPrio();
+            m.pkt = pkt;
+            mailboxes_[ch]->push(m);
         });
-        mc->setHostDoneFn([this](const Packet &pkt) {
-            host_->onDone(pkt);
+        mc->setHostDoneFn([this, ch](const Packet &pkt) {
+            CrossMsg m;
+            m.kind = CrossMsg::Kind::HostDone;
+            m.channel = ch;
+            m.applyTick = chEqs_[ch]->now();
+            m.stamp = chEqs_[ch]->currentStamp();
+            m.prio = chEqs_[ch]->currentPrio();
+            m.pkt = pkt;
+            mailboxes_[ch]->push(m);
         });
+
+        // Credit releases on the L2 input queue are host-visible
+        // state (host-side senders poll tryReserve and park on the
+        // waiter list), so every release defers through the mailbox
+        // and takes effect at the host's own clock.
+        creditCtxs_.push_back(CreditCtx{this, ch});
+        slices_[ch]->input().setCreditHook(
+            [](void *p) {
+                auto *c = static_cast<CreditCtx *>(p);
+                c->sys->onCreditRelease(c->channel);
+            },
+            &creditCtxs_.back());
     }
 
     if (cfg_.verifyOracle) {
         oracle_ = std::make_unique<OrderingOracle>(cfg_);
-        for (auto &mc : mcs_)
-            mc->setObserver(oracle_.get());
-        for (auto &slice : slices_)
-            slice->setObserver(oracle_.get());
+        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+            PipeObserver *chObs = oracle_.get();
+            if (partitioned_) {
+                // The oracle is host-owned; channel-side hooks are
+                // recorded in the mailbox and replayed by the host.
+                relays_.push_back(std::make_unique<ObserverRelay>(
+                    *mailboxes_[ch], *chEqs_[ch],
+                    std::uint16_t(ch)));
+                chObs = relays_.back().get();
+            }
+            mcs_[ch]->setObserver(chObs);
+            slices_[ch]->setObserver(chObs);
+        }
         icnt_->setObserver(oracle_.get());
         for (auto &sm : sms_)
             sm->setObserver(oracle_.get());
@@ -103,6 +195,9 @@ System::setCoherenceFlush(std::vector<HostArraySpec> arrays)
 void
 System::enableTrace(std::ostream &os, TraceFormat format)
 {
+    if (partitioned_)
+        olight_fatal("packet tracing serializes the pipe; run with "
+                     "simJobs=1");
     trace_ = std::make_unique<TraceWriter>(os, format);
     for (auto &mc : mcs_)
         mc->setTrace(trace_.get());
@@ -116,6 +211,9 @@ System::enableTrace(std::ostream &os, TraceFormat format)
 void
 System::enableSampling(std::ostream &os, Tick interval)
 {
+    if (partitioned_)
+        olight_fatal("probe sampling polls every channel in step; "
+                     "run with simJobs=1");
     if (sampler_)
         olight_fatal("sampling is already enabled on this system");
     std::vector<Sampler::Probe> probes;
@@ -157,12 +255,81 @@ System::enableSampling(std::ostream &os, Tick interval)
 }
 
 bool
-System::stepSim()
+System::stepSim(bool burst)
 {
-    if (!eq_.step())
+    // Canonical-order merge across the channel queues and the host
+    // queue: execute the earliest head under (tick, priority, stamp,
+    // source); a full tie falls to the scan order — channels first,
+    // in channel order, then the host — mirroring the phase order of
+    // the windowed driver. Full ties only arise between events with
+    // no ordering constraint (e.g. one host event delivering into
+    // two different channels), so the pick never changes results.
+    // `second` tracks the runner-up head so the burst loop below can
+    // keep executing from `best` without re-reading 17 heap fronts
+    // per event.
+    EventQueue *best = nullptr;
+    const EventQueue *second = nullptr;
+    auto consider = [&](EventQueue *q) {
+        if (q->empty())
+            return;
+        if (!best) {
+            best = q;
+        } else if (q->frontBefore(*best)) {
+            second = best;
+            best = q;
+        } else if (!second || q->frontBefore(*second)) {
+            second = q;
+        }
+    };
+    for (auto &q : chEqs_)
+        consider(q.get());
+    consider(&eq_);
+    if (!best)
         return false;
-    if (sampler_)
-        sampler_->poll();
+
+    // Only the executing queue runs on its own clock and stamps with
+    // its own source id; every other queue reads the merged clock
+    // and records (merged tick, source 0) on anything scheduled into
+    // it — the windowed driver's setExternalSource discipline for
+    // host->channel deliveries, and a no-op for the host queue whose
+    // own id is 0. The routing also wires crossMin_ so the earliest
+    // key pushed into any non-executing queue is visible below.
+    if (best != mergedExec_) {
+        if (mergedExec_)
+            mergedExec_->setExternalNow(&mergedNow_, 0, &crossMin_,
+                                        &crossMinValid_);
+        best->clearExternalNow();
+        mergedExec_ = best;
+    }
+    // The scan above read every live front, so accumulated pushes
+    // are already accounted for; start the burst bound fresh.
+    crossMinValid_ = false;
+
+    // Burst: events cluster by domain (an SM's collect chain on the
+    // host queue, a DRAM timing cascade on a channel queue), so keep
+    // stepping `best` while its head still sorts strictly before the
+    // runner-up captured above AND before the earliest key pushed
+    // into any other queue since the scan (crossMin_). Most
+    // cross-domain pushes carry the interconnect latency and land
+    // far in the future, so they don't end the burst — only a push
+    // that could actually preempt does. Any such push, tie, or
+    // exhaustion falls back to a full rescan on the next call; the
+    // executed sequence is identical to the one-event-per-scan
+    // driver, just cheaper to find. The merged clock needs no
+    // per-event broadcast either: non-executing queues *read* their
+    // time through mergedNow_ (see EventQueue::now).
+    for (;;) {
+        mergedNow_ = best->nextTick();
+        best->step();
+        if (sampler_)
+            sampler_->poll();
+        if (!burst || best->empty())
+            break;
+        if (crossMinValid_ && !best->frontBefore(crossMin_))
+            break;
+        if (second && !best->frontBefore(*second))
+            break;
+    }
     return true;
 }
 
@@ -198,12 +365,31 @@ System::pimFinishTick() const
     return latest;
 }
 
+std::uint64_t
+System::eventsExecuted() const
+{
+    std::uint64_t n = eq_.numExecuted();
+    for (const auto &q : chEqs_)
+        n += q->numExecuted();
+    return n;
+}
+
 RunMetrics
 System::run()
 {
     if (ran_)
         olight_fatal("System::run() may only be called once");
     ran_ = true;
+    return partitioned_ ? runPartitioned() : runSequential();
+}
+
+RunMetrics
+System::runSequential()
+{
+    eq_.setExternalNow(&mergedNow_, 0, &crossMin_, &crossMinValid_);
+    for (auto &q : chEqs_)
+        q->setExternalNow(&mergedNow_, 0, &crossMin_,
+                          &crossMinValid_);
 
     bool cga_phase =
         cfg_.arbitration == ArbitrationGranularity::Coarse &&
@@ -213,7 +399,9 @@ System::run()
         // Section 5.4: flush dirty PIM operands to memory before
         // launching the PIM kernel.
         host_->start();
-        while (!host_->done() && stepSim()) {
+        // No bursting here: the host-done poll must see every event
+        // boundary, or the kernel would launch at a later tick.
+        while (!host_->done() && stepSim(false)) {
         }
         if (!host_->done())
             olight_panic("coherence flush did not complete");
@@ -231,7 +419,10 @@ System::run()
             mc->setHostBlocked(true);
     }
 
-    while (stepSim()) {
+    // Under CGA the drain poll below must run between single events
+    // (host admission happens at the exact tick the kernel drains);
+    // otherwise bursts are safe — nothing external is polled.
+    while (stepSim(!cga_phase)) {
         if (cga_phase && pimDrained()) {
             // PIM kernel complete: admit the host's memory traffic.
             cga_phase = false;
@@ -257,7 +448,257 @@ System::run()
         pimDoneTick_ = pimFinishTick();
 
     Tick finish = std::max(eq_.now(), pimDoneTick_);
+    for (const auto &q : chEqs_)
+        finish = std::max(finish, q->now());
     return collectMetrics(stats_, cfg_, finish, host_->finishTick());
+}
+
+/*
+ * Channel-partitioned driver.
+ *
+ * Window protocol (see sim/event_domain.hh for the model):
+ *
+ *   next = min pending tick across all domains
+ *   end  = next + lookahead            (lookahead = min host->channel
+ *                                       latency: icnt traversal)
+ *   1. channel phase: workers claim channels from an atomic cursor
+ *      and run each channel queue to `end`. Channels only touch
+ *      channel-owned state; host-bound effects go to the mailbox.
+ *   2. barrier, then the host drains the mailboxes in channel order,
+ *      scheduling each message on the host queue at its applyTick
+ *      under the sending domain's (stamp, source id).
+ *   3. host phase: the host queue runs to `end`. Host->channel
+ *      deliveries go through pipe stages whose queues belong to the
+ *      channels; those queues stamp with the host tick via
+ *      setExternalSource. Every such arrival carries >= lookahead of
+ *      wire latency, so it lands at or after `end` — the channels
+ *      never miss an input produced inside their own window.
+ *
+ * Safety: within a window the host trails the channels (it consumes
+ * their mailbox output), and the channels never see host work of the
+ * same window. Determinism: all cross-domain events merge by
+ * (tick, priority, stamp, source, sequence), independent of worker
+ * count and scheduling interleavings.
+ */
+RunMetrics
+System::runPartitioned()
+{
+    if (trace_ || sampler_)
+        olight_fatal("trace/sampling require simJobs=1");
+    if (hasFlush_)
+        olight_fatal("the coherence-flush prologue polls the host "
+                     "stream per event; run with simJobs=1");
+    if (cfg_.arbitration == ArbitrationGranularity::Coarse &&
+        hasKernel_ && hasHostTraffic_) {
+        olight_fatal("coarse-grained arbitration polls PIM drain per "
+                     "event; run with simJobs=1");
+    }
+
+    if (hasKernel_) {
+        for (auto &sm : sms_)
+            sm->start();
+    }
+    if (hasHostTraffic_)
+        host_->start();
+
+    lookahead_ = Tick(cfg_.interconnectLatency) * corePeriod;
+    unsigned workers =
+        std::min<unsigned>(policy_.simJobs, cfg_.numChannels);
+
+    PhaseCtx ctx;
+    ctx.sys = this;
+    WorkerGang gang(workers - 1, &System::channelPhaseBody, &ctx);
+
+    while (true) {
+        Tick next = minNextTick();
+        if (next == maxTick)
+            break;
+        Tick end = next + lookahead_;
+        ctx.nextChannel.store(0, std::memory_order_relaxed);
+        ctx.windowEnd = end;
+        gang.round();
+        drainMailboxes();
+        hostPhase(end);
+        ++windows_;
+    }
+
+    // Harvest the allocation counters into the profiles.
+    profiles_[0].heapRegrows = eq_.heapRegrows();
+    for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+        profiles_[ch + 1].heapRegrows = chEqs_[ch]->heapRegrows();
+        profiles_[ch + 1].arenaGrows =
+            mailboxes_[ch]->arena().grows();
+    }
+
+    checkCompletion();
+    if (oracle_)
+        oracle_->finalize();
+    pimDoneTick_ = pimFinishTick();
+
+    Tick finish = std::max(eq_.now(), pimDoneTick_);
+    for (const auto &q : chEqs_)
+        finish = std::max(finish, q->now());
+    return collectMetrics(stats_, cfg_, finish, host_->finishTick());
+}
+
+Tick
+System::minNextTick() const
+{
+    Tick next = maxTick;
+    if (!eq_.empty())
+        next = eq_.nextTick();
+    for (const auto &q : chEqs_)
+        if (!q->empty())
+            next = std::min(next, q->nextTick());
+    return next;
+}
+
+void
+System::channelPhaseBody(void *p)
+{
+    auto *ctx = static_cast<PhaseCtx *>(p);
+    System *sys = ctx->sys;
+    for (;;) {
+        std::uint32_t ch = ctx->nextChannel.fetch_add(
+            1, std::memory_order_relaxed);
+        if (ch >= sys->cfg_.numChannels)
+            return;
+        sys->runChannelWindow(std::uint16_t(ch), ctx->windowEnd);
+    }
+}
+
+void
+System::runChannelWindow(std::uint16_t ch, Tick end)
+{
+    EventQueue &eq = *chEqs_[ch];
+    DomainMailbox &box = *mailboxes_[ch];
+    DomainProfile &prof = profiles_[std::size_t(ch) + 1];
+
+    // The previous window's messages were consumed during the host
+    // phase (every applyTick lies inside that window), so the arena
+    // can be recycled wholesale here.
+    box.reset();
+
+    bool inWindow = !eq.empty() && eq.nextTick() < end;
+    std::uint64_t before = eq.numExecuted();
+
+    if (policy_.profileDomains) {
+        auto t0 = std::chrono::steady_clock::now();
+        eq.runUntil(end);
+        prof.execSeconds += secondsSince(t0);
+    } else {
+        eq.runUntil(end);
+    }
+
+    prof.events += eq.numExecuted() - before;
+    ++prof.windows;
+    if (!inWindow && !eq.empty())
+        ++prof.stallWindows;
+    prof.msgsOut += box.size();
+}
+
+void
+System::drainMailboxes()
+{
+    for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+        DomainMailbox &box = *mailboxes_[ch];
+        for (std::size_t i = 0; i < box.size(); ++i) {
+            const CrossMsg *m = &box[i];
+            EventQueue::ExternalScope scope(
+                eq_, m->stamp, std::uint16_t(ch + 1));
+            // The message outlives the callback: arena storage is
+            // recycled only at the *next* window's channel phase,
+            // after every applyTick of this window has executed.
+            eq_.schedule(m->applyTick,
+                         [this, m] { applyCrossMsg(*m); }, m->prio);
+        }
+    }
+}
+
+void
+System::hostPhase(Tick end)
+{
+    // While the host runs, channel queues are quiescent; stamp any
+    // host->channel arrival with the host tick that produced it.
+    for (auto &q : chEqs_)
+        q->setExternalSource(&eq_, 0);
+
+    DomainProfile &prof = profiles_[0];
+    bool inWindow = !eq_.empty() && eq_.nextTick() < end;
+    std::uint64_t before = eq_.numExecuted();
+
+    if (policy_.profileDomains) {
+        auto t0 = std::chrono::steady_clock::now();
+        eq_.runUntil(end);
+        prof.execSeconds += secondsSince(t0);
+    } else {
+        eq_.runUntil(end);
+    }
+
+    prof.events += eq_.numExecuted() - before;
+    ++prof.windows;
+    if (!inWindow && !eq_.empty())
+        ++prof.stallWindows;
+
+    for (auto &q : chEqs_)
+        q->clearExternalSource();
+}
+
+void
+System::applyCrossMsg(const CrossMsg &m)
+{
+    switch (m.kind) {
+    case CrossMsg::Kind::Ack:
+        if (m.pkt.smId < sms_.size())
+            sms_[m.pkt.smId]->onAck(m.pkt);
+        return;
+    case CrossMsg::Kind::HostDone:
+        host_->onDone(m.pkt);
+        return;
+    case CrossMsg::Kind::CreditWake:
+        slices_[m.channel]->input().applyCreditRelease();
+        return;
+    case CrossMsg::Kind::StageEgress:
+        oracle_->onStageEgress(*m.name, m.pkt, m.a, m.b);
+        return;
+    case CrossMsg::Kind::OlReplicate:
+        oracle_->onOlReplicate(*m.name, m.pkt, m.extra);
+        return;
+    case CrossMsg::Kind::OlMergeIn:
+        oracle_->onOlMergeIn(*m.name, m.extra, m.pkt);
+        return;
+    case CrossMsg::Kind::OlMergeOut:
+        oracle_->onOlMergeOut(*m.name, m.pkt, m.extra);
+        return;
+    case CrossMsg::Kind::McAdmit:
+        oracle_->onMcAdmit(m.channel, m.pkt);
+        return;
+    case CrossMsg::Kind::McOrderLight:
+        oracle_->onMcOrderLight(m.channel, m.pkt);
+        return;
+    case CrossMsg::Kind::McCommit:
+        oracle_->onMcCommit(m.channel, m.pkt, m.a);
+        return;
+    }
+    olight_panic("unhandled cross-domain message kind");
+}
+
+void
+System::onCreditRelease(std::uint16_t ch)
+{
+    CrossMsg m;
+    m.kind = CrossMsg::Kind::CreditWake;
+    m.channel = ch;
+    m.applyTick = chEqs_[ch]->now();
+    m.stamp = chEqs_[ch]->currentStamp();
+    m.prio = chEqs_[ch]->currentPrio();
+    mailboxes_[ch]->push(m);
+}
+
+void
+System::writeDomainProfile(std::ostream &os) const
+{
+    writeDomainProfileJson(os, lookahead_, windows_, profiles_);
 }
 
 void

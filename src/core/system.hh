@@ -10,7 +10,9 @@
 #ifndef OLIGHT_CORE_SYSTEM_HH
 #define OLIGHT_CORE_SYSTEM_HH
 
+#include <atomic>
 #include <memory>
+#include <ostream>
 #include <vector>
 
 #include "core/config.hh"
@@ -25,6 +27,7 @@
 #include "noc/interconnect.hh"
 #include "noc/l2_slice.hh"
 #include "pim/pim_unit.hh"
+#include "sim/event_domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/sampler.hh"
 #include "sim/stats.hh"
@@ -38,7 +41,16 @@ namespace olight
 class System
 {
   public:
-    explicit System(const SystemConfig &cfg);
+    /**
+     * @param policy intra-run execution policy. simJobs > 1 selects
+     * channel-partitioned execution: each channel's L2 slice, memory
+     * controller, DRAM timing engine and PIM unit live in their own
+     * event domain advanced in parallel under conservative lookahead
+     * (see sim/event_domain.hh); results are bit-identical to
+     * simJobs=1 for every worker count. The policy never enters
+     * SystemConfig (fingerprints must not depend on worker counts).
+     */
+    explicit System(const SystemConfig &cfg, ExecPolicy policy = {});
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 
@@ -48,6 +60,13 @@ class System
     StatSet &stats() { return stats_; }
     const StatSet &stats() const { return stats_; }
     EventQueue &eq() { return eq_; }
+
+    /** Whether the channel-partitioned driver will be / was used. */
+    bool partitioned() const { return partitioned_; }
+
+    /** Events executed across every domain queue (equals the host
+     *  queue's count in sequential mode). */
+    std::uint64_t eventsExecuted() const;
 
     /**
      * Load the PIM kernel: one instruction stream per memory
@@ -105,6 +124,18 @@ class System
     /** Last tick at which any PIM unit executed a command. */
     Tick pimFinishTick() const;
 
+    /** Per-domain self-profiling (index 0 = host domain, 1+ch =
+     *  channel ch). Populated by a partitioned run; counters are
+     *  always filled, wall-clock timing only when
+     *  ExecPolicy::profileDomains was set. */
+    const std::vector<DomainProfile> &domainProfiles() const
+    {
+        return profiles_;
+    }
+
+    /** JSON rendering of the domain profiles (--profile-domains). */
+    void writeDomainProfile(std::ostream &os) const;
+
     HostStream &hostStream() { return *host_; }
 
     PimUnit &pimUnit(std::uint16_t channel)
@@ -117,16 +148,73 @@ class System
     }
 
   private:
+    struct PhaseCtx
+    {
+        System *sys = nullptr;
+        std::atomic<std::uint32_t> nextChannel{0};
+        Tick windowEnd = 0;
+    };
+    struct CreditCtx
+    {
+        System *sys = nullptr;
+        std::uint16_t channel = 0;
+    };
+
     bool smsDone() const;
     bool pimDrained() const;
-    bool stepSim();
+    bool stepSim(bool burst = true);
     void checkCompletion() const;
 
+    // Partitioned driver (core/system.cc has the window protocol).
+    RunMetrics runSequential();
+    RunMetrics runPartitioned();
+    Tick minNextTick() const;
+    static void channelPhaseBody(void *ctx);
+    void runChannelWindow(std::uint16_t ch, Tick end);
+    void drainMailboxes();
+    void hostPhase(Tick end);
+    void applyCrossMsg(const CrossMsg &msg);
+    void onCreditRelease(std::uint16_t ch);
+
+    /** Event-heap reservation: channels x banks bounds the number of
+     *  concurrently pending DRAM-side events; x8 covers the pipe
+     *  stages and wakeups layered on top plus the window-barrier
+     *  spike, when every channel's mailbox replays into the host
+     *  queue at once (the no-regrow tests pin this). */
+    static std::size_t
+    hostHeapHint(const SystemConfig &cfg)
+    {
+        return std::size_t(cfg.numChannels) * cfg.banksPerChannel * 8;
+    }
+    static std::size_t
+    channelHeapHint(const SystemConfig &cfg)
+    {
+        return std::size_t(cfg.banksPerChannel) * 16;
+    }
+
     SystemConfig cfg_;
-    EventQueue eq_;
+    ExecPolicy policy_;
+    bool partitioned_ = false;
+    EventQueue eq_; ///< host-domain queue (SMs, icnt, host stream)
     StatSet stats_;
     SparseMemory mem_;
     AddressMap map_;
+
+    std::vector<std::unique_ptr<EventQueue>> chEqs_;
+    std::vector<std::unique_ptr<DomainMailbox>> mailboxes_;
+    std::vector<std::unique_ptr<ObserverRelay>> relays_;
+    std::vector<CreditCtx> creditCtxs_;
+    std::vector<DomainProfile> profiles_;
+    Tick lookahead_ = 0;
+    std::uint64_t windows_ = 0;
+
+    // Sequential merge driver state (see stepSim). Non-executing
+    // queues read mergedNow_ as their clock and fold the key of
+    // anything scheduled into them into crossMin_.
+    Tick mergedNow_ = 0;
+    EventQueue *mergedExec_ = nullptr;
+    EventQueue::FrontKey crossMin_{};
+    bool crossMinValid_ = false;
 
     std::vector<std::unique_ptr<ChannelTiming>> timings_;
     std::vector<std::unique_ptr<PimUnit>> pims_;

@@ -12,14 +12,20 @@ SparseMemory::block(std::uint64_t addr)
 {
     if (addr % blockBytes != 0)
         olight_panic("unaligned block access: 0x", std::hex, addr);
-    return blocks_[addr / blockBytes];
+    std::uint64_t num = addr / blockBytes;
+    Shard &s = shardOf(num);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.blocks[num];
 }
 
 const SparseMemory::Block &
 SparseMemory::blockOrZero(std::uint64_t addr) const
 {
-    auto it = blocks_.find(addr / blockBytes);
-    return it == blocks_.end() ? zeroBlock_ : it->second;
+    std::uint64_t num = addr / blockBytes;
+    const Shard &s = shardOf(num);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.blocks.find(num);
+    return it == s.blocks.end() ? zeroBlock_ : it->second;
 }
 
 void
@@ -46,7 +52,7 @@ SparseMemory::write(std::uint64_t addr, const void *in, std::size_t n)
         std::uint64_t base = addr - addr % blockBytes;
         std::size_t off = addr % blockBytes;
         std::size_t take = std::min<std::size_t>(n, blockBytes - off);
-        Block &b = blocks_[base / blockBytes];
+        Block &b = block(base);
         std::memcpy(b.data() + off, src, take);
         src += take;
         addr += take;
@@ -94,6 +100,33 @@ void
 SparseMemory::writeFloats(std::uint64_t addr, const std::vector<float> &v)
 {
     write(addr, v.data(), v.size() * sizeof(float));
+}
+
+std::size_t
+SparseMemory::numBlocks() const
+{
+    std::size_t n = 0;
+    for (const Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        n += s.blocks.size();
+    }
+    return n;
+}
+
+void
+SparseMemory::clear()
+{
+    for (Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.blocks.clear();
+    }
+}
+
+void
+SparseMemory::copyFrom(const SparseMemory &other)
+{
+    for (std::uint32_t i = 0; i < kShards; ++i)
+        shards_[i].blocks = other.shards_[i].blocks;
 }
 
 } // namespace olight

@@ -7,6 +7,16 @@
  * wrong results (the "functionally incorrect" bar of Figure 5).
  * Storage is sparse — 32 B blocks allocated on first touch — so the
  * multi-terabyte aligned layouts the allocator produces cost nothing.
+ *
+ * Under channel-partitioned execution the per-channel PIM units
+ * touch the store concurrently. Channels operate on disjoint
+ * channel-interleaved address ranges, so block *contents* never
+ * race; only the sparse index does (a first-touch insert rehashes
+ * the table another thread is probing). The index is therefore
+ * sharded by block number with one mutex per shard — block
+ * references stay stable across inserts (node-based map), so a
+ * returned Block& can be used lock-free, and the full store remains
+ * value-deterministic regardless of insertion interleaving.
  */
 
 #ifndef OLIGHT_DRAM_STORAGE_HH
@@ -15,6 +25,7 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,8 +40,21 @@ class SparseMemory
 
     using Block = std::array<std::uint8_t, blockBytes>;
 
+    SparseMemory() = default;
+    SparseMemory(const SparseMemory &other) { copyFrom(other); }
+    SparseMemory &
+    operator=(const SparseMemory &other)
+    {
+        if (this != &other) {
+            clear();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
     /** Mutable reference to the block containing @p addr (zero-filled
-     *  on first touch). @p addr must be block-aligned. */
+     *  on first touch). @p addr must be block-aligned. The reference
+     *  is stable: later inserts never move it. */
     Block &block(std::uint64_t addr);
 
     /** Read-only block access; returns zeros for untouched blocks. */
@@ -53,11 +77,33 @@ class SparseMemory
                                   std::size_t count) const;
     void writeFloats(std::uint64_t addr, const std::vector<float> &v);
 
-    std::size_t numBlocks() const { return blocks_.size(); }
-    void clear() { blocks_.clear(); }
+    std::size_t numBlocks() const;
+    void clear();
 
   private:
-    std::unordered_map<std::uint64_t, Block> blocks_;
+    /** Shard count: a power of two well above any channel count, so
+     *  concurrent channels rarely contend on one index mutex. */
+    static constexpr std::uint32_t kShards = 64;
+
+    struct Shard
+    {
+        std::unordered_map<std::uint64_t, Block> blocks;
+        mutable std::mutex mu;
+    };
+
+    Shard &shardOf(std::uint64_t blockNum)
+    {
+        return shards_[blockNum & (kShards - 1)];
+    }
+    const Shard &shardOf(std::uint64_t blockNum) const
+    {
+        return shards_[blockNum & (kShards - 1)];
+    }
+
+    /** Bulk copy (single-threaded contexts only: golden snapshots). */
+    void copyFrom(const SparseMemory &other);
+
+    std::array<Shard, kShards> shards_;
     static const Block zeroBlock_;
 };
 

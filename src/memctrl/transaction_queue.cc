@@ -10,6 +10,7 @@ TransactionQueue::TransactionQueue(std::uint32_t capacity)
 {
     if (capacity == 0)
         olight_fatal("transaction queue needs capacity > 0");
+    ring_.resize(capacity);
 }
 
 bool
@@ -24,38 +25,31 @@ TransactionQueue::reserve()
 void
 TransactionQueue::push(Transaction txn)
 {
-    if (entries_.size() >= capacity_)
+    if (count_ >= capacity_)
         olight_panic("transaction queue overflow");
-    entries_.push_back(std::move(txn));
-}
-
-std::optional<std::size_t>
-TransactionQueue::pick(
-    const std::function<bool(const Transaction &)> &eligible,
-    const std::function<bool(std::uint16_t, std::uint32_t)> &rowHit)
-    const
-{
-    std::optional<std::size_t> oldest;
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const Transaction &txn = entries_[i];
-        if (!eligible(txn))
-            continue;
-        if (!oldest)
-            oldest = i;
-        if (txn.pkt.instr.isMemAccess() && rowHit(txn.bank, txn.row))
-            return i; // oldest eligible row hit
-    }
-    return oldest;
+    ring_[slot(count_)] = std::move(txn);
+    ++count_;
 }
 
 Transaction
 TransactionQueue::pop(std::size_t index)
 {
-    if (index >= entries_.size())
+    if (index >= count_)
         olight_panic("transaction pop out of range");
-    Transaction txn = std::move(entries_[index]);
-    entries_.erase(entries_.begin() +
-                   static_cast<std::ptrdiff_t>(index));
+    Transaction txn = std::move(ring_[slot(index)]);
+    if (index < count_ - 1 - index) {
+        // Closer to the head: shift the older entries up one slot
+        // and advance the head.
+        for (std::size_t i = index; i > 0; --i)
+            ring_[slot(i)] = std::move(ring_[slot(i - 1)]);
+        if (++head_ == ring_.size())
+            head_ = 0;
+    } else {
+        // Closer to the tail: shift the younger entries down.
+        for (std::size_t i = index; i + 1 < count_; ++i)
+            ring_[slot(i)] = std::move(ring_[slot(i + 1)]);
+    }
+    --count_;
     if (reserved_ == 0)
         olight_panic("transaction queue credit underflow");
     --reserved_;

@@ -3,17 +3,24 @@
  * Bounded transaction queue of the memory controller (one for reads,
  * one for writes — Table 1: R/W queue size 64), with the FR-FCFS
  * candidate search used by the scheduler.
+ *
+ * Storage is a fixed ring of `capacity` slots sized at construction:
+ * the credit protocol bounds occupancy, so the steady state touches
+ * the allocator exactly never — a deque here used to churn block
+ * allocations on every 512-byte boundary crossing of the push/pop
+ * cycle. Mid-queue removal (FR-FCFS picks any eligible entry) shifts
+ * the shorter side of the ring, bounded by the queue depth.
  */
 
 #ifndef OLIGHT_MEMCTRL_TRANSACTION_QUEUE_HH
 #define OLIGHT_MEMCTRL_TRANSACTION_QUEUE_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
+#include <vector>
 
 #include "core/pim_isa.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace olight
@@ -29,7 +36,8 @@ struct Transaction
     std::uint32_t row = 0;
 };
 
-/** Bounded FIFO with FR-FCFS search over eligible entries. */
+/** Bounded FIFO (fixed ring) with FR-FCFS search over eligible
+ *  entries. Logical index 0 is the oldest entry. */
 class TransactionQueue
 {
   public:
@@ -43,31 +51,63 @@ class TransactionQueue
     /**
      * FR-FCFS pick: the oldest *eligible* row-hit transaction, or the
      * oldest eligible transaction when no eligible entry hits an
-     * open row.
+     * open row. Templated over the predicates so the scheduler's
+     * `[this]` lambdas inline — no std::function machinery on the
+     * hottest loop in the simulator.
      *
      * @param eligible      scheduling predicate (ordering, CGA, ...)
      * @param rowHit        open-row predicate for (bank, row)
-     * @return index into the queue, or nullopt
+     * @return logical index into the queue, or nullopt
      */
+    template <class Eligible, class RowHit>
     std::optional<std::size_t>
-    pick(const std::function<bool(const Transaction &)> &eligible,
-         const std::function<bool(std::uint16_t, std::uint32_t)>
-             &rowHit) const;
+    pick(const Eligible &eligible, const RowHit &rowHit) const
+    {
+        std::optional<std::size_t> oldest;
+        for (std::size_t i = 0; i < count_; ++i) {
+            const Transaction &txn = ring_[slot(i)];
+            if (!eligible(txn))
+                continue;
+            if (!oldest)
+                oldest = i;
+            if (txn.pkt.instr.isMemAccess() &&
+                rowHit(txn.bank, txn.row))
+                return i; // oldest eligible row hit
+        }
+        return oldest;
+    }
 
     /** Remove and return entry @p index (releases its credit). */
     Transaction pop(std::size_t index);
 
-    bool empty() const { return entries_.empty(); }
-    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
     std::uint32_t reserved() const { return reserved_; }
     std::uint32_t capacity() const { return capacity_; }
 
-    const Transaction &at(std::size_t i) const { return entries_.at(i); }
+    const Transaction &
+    at(std::size_t i) const
+    {
+        if (i >= count_)
+            olight_panic("transaction index out of range");
+        return ring_[slot(i)];
+    }
 
   private:
+    std::size_t
+    slot(std::size_t i) const
+    {
+        std::size_t s = head_ + i;
+        if (s >= ring_.size())
+            s -= ring_.size();
+        return s;
+    }
+
     std::uint32_t capacity_;
     std::uint32_t reserved_ = 0; ///< credits out (incl. queued)
-    std::deque<Transaction> entries_;
+    std::size_t head_ = 0;       ///< ring slot of the oldest entry
+    std::size_t count_ = 0;
+    std::vector<Transaction> ring_; ///< fixed `capacity` slots
 };
 
 } // namespace olight

@@ -95,6 +95,36 @@ class PipeStage final : public AcceptPort
      *  packet (nullptr disables). */
     void setObserver(PipeObserver *obs) { observer_ = obs; }
 
+    /**
+     * Domain-boundary credit hook (partitioned execution): when set,
+     * *every* credit release calls `hook(ctx)` instead of freeing the
+     * slot. The hook side posts a mailbox message carrying the
+     * release tick; the domain that owns the *senders* replays it via
+     * applyCreditRelease() when its own clock reaches that tick. The
+     * deferral is not just about waking parked waiters: producers
+     * also poll tryReserve(), and a release performed eagerly while
+     * this stage's domain runs ahead of theirs would let them observe
+     * — and act on — future queue state, diverging from the global
+     * sequential order.
+     */
+    void
+    setCreditHook(void (*hook)(void *), void *ctx)
+    {
+        creditHook_ = hook;
+        creditCtx_ = ctx;
+    }
+
+    /** The deferred half of the credit-hook protocol: free the slot
+     *  and fire parked space waiters, at the sender domain's clock. */
+    void
+    applyCreditRelease()
+    {
+        if (reserved_ == 0)
+            olight_panic("pipe stage ", name_, ": credit underflow");
+        --reserved_;
+        spaceWaiters_.wakeAll();
+    }
+
     // AcceptPort (receiving side)
     bool
     tryReserve(const Packet &) override
@@ -217,10 +247,11 @@ class PipeStage final : public AcceptPort
     void
     releaseCredit()
     {
-        if (reserved_ == 0)
-            olight_panic("pipe stage ", name_, ": credit underflow");
-        --reserved_;
-        spaceWaiters_.wakeAll();
+        if (creditHook_) {
+            creditHook_(creditCtx_);
+            return;
+        }
+        applyCreditRelease();
     }
 
     EventQueue &eq_;
@@ -229,6 +260,8 @@ class PipeStage final : public AcceptPort
     Forwarder<Downstream> fwd_;
     TraceWriter *trace_ = nullptr;
     PipeObserver *observer_ = nullptr;
+    void (*creditHook_)(void *) = nullptr;
+    void *creditCtx_ = nullptr;
 
     std::vector<Entry> ring_;      ///< fixed ring of `capacity` slots
     std::uint32_t head_ = 0;

@@ -283,7 +283,17 @@ Server::execute(const Request &req)
         bool ok = false;
         try {
             if (req.cmd == Cmd::Run) {
-                RunResult r = runWorkload(req.run);
+                // A lone large request should still use the whole
+                // machine: hand the pool's idle capacity to the
+                // channel-partitioned driver. Results are
+                // bit-identical for every simJobs value, so the
+                // content-addressed cache is unaffected.
+                RunOptions run = req.run;
+                std::uint64_t busy =
+                    inflight_.load(std::memory_order_relaxed);
+                run.simJobs =
+                    busy < jobs_ ? unsigned(jobs_ - busy) + 1 : 1;
+                RunResult r = runWorkload(run);
                 out = runBody(req.run, r);
                 runsExecuted_.fetch_add(1,
                                         std::memory_order_relaxed);

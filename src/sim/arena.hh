@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Per-domain bump allocator for transient cross-domain state.
+ *
+ * The partitioned execution driver (core/system.cc) moves packets,
+ * acknowledgements and observer hook records between domains in
+ * mailbox messages whose lifetime is exactly one synchronization
+ * window: produced during a domain's phase, consumed at the next
+ * barrier, dead afterwards. A general-purpose heap is the wrong tool
+ * for that shape — every message would be a malloc/free pair on the
+ * hot path. The Arena hands out storage by bumping a pointer through
+ * preallocated chunks and frees everything wholesale with reset() at
+ * the window barrier.
+ *
+ * Growth discipline: the arena starts with one chunk and allocates
+ * further chunks only when a window's traffic outgrows the storage
+ * retained so far. Chunks are *kept* across reset(), so a steady
+ * state reuses the same memory window after window and the heap is
+ * touched exactly zero times — the property the operator-new
+ * counting tests pin down. grows() exposes how often fresh chunks
+ * were needed (visible in --profile-domains output).
+ *
+ * Single-threaded by design: each arena belongs to one domain and is
+ * only touched during that domain's phase or at a barrier.
+ */
+
+#ifndef OLIGHT_SIM_ARENA_HH
+#define OLIGHT_SIM_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+/** Chunked bump allocator; everything dies together at reset(). */
+class Arena
+{
+  public:
+    /** @param chunkBytes granularity of backing chunks. */
+    explicit Arena(std::size_t chunkBytes = 64 * 1024)
+        : chunkBytes_(chunkBytes ? chunkBytes : 1)
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Allocate @p bytes with @p align alignment (POD storage only:
+     *  no destructors run at reset). */
+    void *
+    alloc(std::size_t bytes, std::size_t align)
+    {
+        std::size_t offset = (cursor_ + align - 1) & ~(align - 1);
+        if (chunk_ >= chunks_.size() ||
+            offset + bytes > chunkBytes_) {
+            if (bytes + align > chunkBytes_)
+                olight_fatal("arena allocation of ", bytes,
+                             " bytes exceeds the chunk size ",
+                             chunkBytes_);
+            nextChunk();
+            offset = (cursor_ + align - 1) & ~(align - 1);
+        }
+        cursor_ = offset + bytes;
+        return chunks_[chunk_].get() + offset;
+    }
+
+    /** Typed helper: uninitialized storage for @p n objects of T. */
+    template <typename T>
+    T *
+    allocArray(std::size_t n)
+    {
+        return static_cast<T *>(alloc(n * sizeof(T), alignof(T)));
+    }
+
+    /** Drop every allocation; retained chunks are reused. */
+    void
+    reset()
+    {
+        chunk_ = std::size_t(-1);
+        cursor_ = chunkBytes_;
+    }
+
+    /** Bytes currently handed out (since the last reset). */
+    std::size_t
+    bytesUsed() const
+    {
+        return chunk_ == std::size_t(-1)
+                   ? 0
+                   : chunk_ * chunkBytes_ + cursor_;
+    }
+
+    /** Bytes of backing storage acquired over the arena's lifetime. */
+    std::size_t bytesReserved() const
+    {
+        return chunks_.size() * chunkBytes_;
+    }
+
+    /** Times a fresh chunk had to come from the heap. */
+    std::uint64_t grows() const { return grows_; }
+
+  private:
+    void
+    nextChunk()
+    {
+        ++chunk_; // size_t(-1) wraps to 0 on the first use
+        if (chunk_ >= chunks_.size()) {
+            chunks_.push_back(
+                std::make_unique<std::uint8_t[]>(chunkBytes_));
+            ++grows_;
+        }
+        cursor_ = 0;
+    }
+
+    std::size_t chunkBytes_;
+    std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+    std::size_t chunk_ = std::size_t(-1); ///< active chunk index
+    std::size_t cursor_ = 0;              ///< bump offset in chunk_
+    std::uint64_t grows_ = 0;
+};
+
+/**
+ * Minimal growable sequence whose storage comes from an Arena.
+ *
+ * push_back never moves existing elements (chunked segments), so
+ * references stay valid until the owning arena resets. Elements must
+ * be trivially destructible — clear()/reset drops them without
+ * running destructors.
+ */
+template <typename T, std::size_t kSegment = 128>
+class ArenaVector
+{
+  public:
+    explicit ArenaVector(Arena &arena) : arena_(arena) {}
+
+    ArenaVector(const ArenaVector &) = delete;
+    ArenaVector &operator=(const ArenaVector &) = delete;
+
+    T &
+    push_back(const T &v)
+    {
+        if (size_ % kSegment == 0) {
+            if (segUsed_ == segs_.size())
+                segs_.push_back(arena_.allocArray<T>(kSegment));
+            ++segUsed_;
+        }
+        T *slot =
+            segs_[segUsed_ - 1] + (size_ % kSegment);
+        ::new (slot) T(v);
+        ++size_;
+        return *slot;
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return segs_[i / kSegment][i % kSegment];
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Forget the contents AND the segment pointers: must be paired
+     *  with (or followed by) the owning arena's reset(). The segment
+     *  pointer directory itself is a std::vector that keeps its
+     *  capacity, so a steady state allocates nothing. */
+    void
+    clear()
+    {
+        size_ = 0;
+        segUsed_ = 0;
+        segs_.clear();
+    }
+
+  private:
+    Arena &arena_;
+    std::vector<T *> segs_;
+    std::size_t segUsed_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_ARENA_HH

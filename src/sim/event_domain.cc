@@ -1,0 +1,93 @@
+#include "sim/event_domain.hh"
+
+#include "sim/json.hh"
+
+namespace olight
+{
+
+WorkerGang::WorkerGang(unsigned extraWorkers, Body body, void *ctx)
+    : body_(body), ctx_(ctx)
+{
+    threads_.reserve(extraWorkers);
+    for (unsigned i = 0; i < extraWorkers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerGang::~WorkerGang()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    startCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WorkerGang::round()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++generation_;
+        running_ = unsigned(threads_.size());
+    }
+    startCv_.notify_all();
+
+    // The caller is a participant: it runs the same claim loop the
+    // workers do, so jobs=N means N channel executors, not N+1.
+    body_(ctx_);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [this] { return running_ == 0; });
+}
+
+void
+WorkerGang::workerLoop()
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            startCv_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        body_(ctx_);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--running_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+void
+writeDomainProfileJson(std::ostream &os, Tick lookahead,
+                       std::uint64_t windows,
+                       const std::vector<DomainProfile> &profiles)
+{
+    os << "{\"lookahead_ticks\":" << lookahead
+       << ",\"windows\":" << windows << ",\"domains\":[";
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const DomainProfile &p = profiles[i];
+        os << (i ? ",\n" : "\n") << "{\"domain\":";
+        if (i == 0)
+            os << "\"host\"";
+        else
+            os << "\"ch" << (i - 1) << "\"";
+        os << ",\"exec_seconds\":";
+        jsonNumber(os, p.execSeconds);
+        os << ",\"events\":" << p.events << ",\"windows\":"
+           << p.windows << ",\"stall_windows\":" << p.stallWindows
+           << ",\"mailbox_msgs\":" << p.msgsOut << ",\"arena_grows\":"
+           << p.arenaGrows << ",\"heap_regrows\":" << p.heapRegrows
+           << "}";
+    }
+    os << "\n]}";
+}
+
+} // namespace olight

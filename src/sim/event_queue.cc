@@ -10,6 +10,23 @@ namespace olight
 void
 EventQueue::push(Entry entry)
 {
+    if (extMinPush_) {
+        FrontKey &k = *extMinPush_;
+        const bool better =
+            !*extMinPushValid_ || entry.when < k.when ||
+            (entry.when == k.when &&
+             (entry.prio < k.prio ||
+              (entry.prio == k.prio &&
+               (entry.stamp < k.stamp ||
+                (entry.stamp == k.stamp && entry.src < k.src)))));
+        if (better) {
+            k = FrontKey{entry.when, entry.stamp, entry.src,
+                         entry.prio};
+            *extMinPushValid_ = true;
+        }
+    }
+    if (heap_.size() == heap_.capacity())
+        ++regrows_;
     // Hole-based sift-up: move parents down into the hole until the
     // new entry's slot is found; one move per level instead of the
     // three a swap would cost.
@@ -65,7 +82,8 @@ EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
     if (when < now_)
         olight_fatal("event scheduled in the past: when=", when,
                      " now=", now_);
-    push(Entry{when, makeOrder(prio, nextSeq_++), std::move(cb)});
+    push(Entry{when, scheduleStamp(), nextSeq_++, scheduleSrc(),
+               std::uint8_t(static_cast<int>(prio)), std::move(cb)});
 }
 
 void
@@ -75,7 +93,8 @@ EventQueue::scheduleAt(Tick when, RawFn fn, void *ctx,
     if (when < now_)
         olight_fatal("event scheduled in the past: when=", when,
                      " now=", now_);
-    push(Entry{when, makeOrder(prio, nextSeq_++),
+    push(Entry{when, scheduleStamp(), nextSeq_++, scheduleSrc(),
+               std::uint8_t(static_cast<int>(prio)),
                Callback(fn, ctx)});
 }
 
@@ -95,6 +114,8 @@ EventQueue::step()
         return false;
     Entry entry = popTop();
     now_ = entry.when;
+    execStamp_ = entry.stamp;
+    execPrio_ = entry.prio;
     ++numExecuted_;
     entry.cb();
     return true;

@@ -2,16 +2,31 @@
  * @file
  * Discrete-event simulation core.
  *
- * A single global-order EventQueue drives the whole system. Events
- * are callbacks scheduled at absolute ticks; same-tick events are
- * ordered by (priority, insertion sequence) which keeps simulations
- * fully deterministic.
+ * Every System owns one EventQueue per channel domain plus one for
+ * the host domain, in every execution mode. Events are callbacks
+ * scheduled at absolute ticks; the canonical execution order across
+ * all queues is (tick, priority, stamp, source id, per-queue
+ * sequence), where the stamp is the scheduling-domain tick of the
+ * event that caused the schedule. Two drivers realize that same
+ * order: sequentially, System::stepSim merges the queues on one
+ * thread (non-executing queues read the executing queue's clock via
+ * setExternalNow and report preempting pushes through a shared
+ * minimum-key sink, so the driver can burst-execute one queue
+ * without rescanning after every event); in parallel, a worker gang
+ * advances the channel queues in conservative lookahead windows with
+ * cross-domain handoffs carrying the (stamp, source) pair through
+ * mailboxes. Results are bit-identical for every worker count.
+ * docs/INTERNALS.md section 12 has the full determinism argument.
  *
  * The hot path is allocation-free: callbacks are small-buffer
  * optimized (sim/callback.hh) and the pending set is a hand-rolled
  * 4-ary heap over a reserved vector — shallower than a binary heap
  * and sifted with moves into a hole instead of element swaps, which
- * matters when every element carries an inline capture buffer.
+ * matters when every element carries an inline capture buffer. The
+ * initial reservation is a constructor parameter (the System sizes
+ * it from the configuration: channels x banks, the natural bound on
+ * concurrently pending DRAM events); mid-run regrows move every
+ * inline capture buffer, so they are counted and exposed.
  */
 
 #ifndef OLIGHT_SIM_EVENT_QUEUE_HH
@@ -37,12 +52,14 @@ enum class EventPriority : int
 };
 
 /**
- * The global event queue.
+ * The event queue of one execution domain.
  *
- * Each System owns one. Components capture a reference and schedule
- * closures; there is no threading within one System, so no locking
- * is required. (Distinct Systems on distinct threads are fine: the
- * queue has no global state.)
+ * A sequential System owns exactly one; a partitioned System owns
+ * one per channel domain plus one for the host domain. Components
+ * capture a reference and schedule closures; a queue is only ever
+ * advanced by one thread at a time (the phase barriers in the
+ * partitioned driver guarantee exclusivity), so no locking is
+ * required.
  */
 class EventQueue
 {
@@ -50,15 +67,68 @@ class EventQueue
     using Callback = EventCallback;
     using RawFn = EventCallback::RawFn;
 
-    EventQueue() { heap_.reserve(1024); }
+    /** @param reserveHint initial heap reservation (event slots). */
+    explicit EventQueue(std::size_t reserveHint = 1024)
+    {
+        heap_.reserve(reserveHint ? reserveHint : 1);
+    }
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
-    /** Current simulated time. */
-    Tick now() const { return now_; }
+    /** Current simulated time. While the merge driver has this
+     *  queue routed to its merged clock (setExternalNow), that clock
+     *  *is* the queue's time: components invoked synchronously
+     *  across a domain boundary read the same tick a single global
+     *  queue would show, with no per-event clock broadcast. */
+    Tick now() const { return extNowPtr_ ? *extNowPtr_ : now_; }
+
+    /**
+     * Stamp of the event currently executing (its scheduling-domain
+     * tick). Cross-domain relays record this, not now(), as the
+     * merge stamp: a relayed effect must sort where the *original*
+     * event would have — e.g. an MC ack scheduled at T-680 but
+     * firing at T still merges before host events stamped inside
+     * (T-680, T], exactly as in a single global queue.
+     */
+    Tick currentStamp() const { return execStamp_; }
+
+    /**
+     * Priority of the event currently executing. The other half of
+     * the relay key: a synchronous effect of a DramTiming-priority
+     * event (an MC ack fired from the command-bus commit) precedes
+     * every same-tick Default-priority event in a global queue, so
+     * its replay must be scheduled at the original priority, not
+     * EventPriority::Default.
+     */
+    EventPriority
+    currentPrio() const
+    {
+        return static_cast<EventPriority>(execPrio_);
+    }
 
     /** Number of events executed so far (for stats / debugging). */
     std::uint64_t numExecuted() const { return numExecuted_; }
+
+    /** Times the heap outgrew its reservation (each regrow copies
+     *  every pending event, inline capture buffers included). */
+    std::uint64_t heapRegrows() const { return regrows_; }
+
+    /** Monotone count of events ever scheduled here (the insertion-
+     *  sequence high-water mark). */
+    std::uint64_t scheduleCount() const { return nextSeq_; }
+
+    /** Canonical merge key of one event, without the per-queue
+     *  sequence (sequences are not comparable across queues). The
+     *  merge driver accumulates the minimum key pushed into any
+     *  non-executing queue to know when a cross-domain schedule
+     *  could preempt the current execution burst. */
+    struct FrontKey
+    {
+        Tick when = 0;
+        Tick stamp = 0;
+        std::uint16_t src = 0;
+        std::uint8_t prio = 0;
+    };
 
     /** True when no events remain. */
     bool empty() const { return heap_.empty(); }
@@ -68,6 +138,61 @@ class EventQueue
 
     /** Tick of the earliest pending event. @pre !empty() */
     Tick nextTick() const { return heap_.front().when; }
+
+    /**
+     * Merge comparison for the sequential multi-queue driver: does
+     * this queue's earliest event sort strictly before @p other's
+     * under the canonical (tick, priority, stamp, source) key?
+     * Sequence numbers are per-queue counters and not comparable
+     * across queues; a full tie returns false so the caller's fixed
+     * scan order decides (channels first, host last — the same
+     * precedence the windowed driver's phases impose).
+     * @pre neither queue is empty.
+     */
+    bool
+    frontBefore(const EventQueue &other) const
+    {
+        const Entry &a = heap_.front();
+        const Entry &b = other.heap_.front();
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.prio != b.prio)
+            return a.prio < b.prio;
+        if (a.stamp != b.stamp)
+            return a.stamp < b.stamp;
+        return a.src < b.src;
+    }
+
+    /** Does this queue's earliest event sort strictly before key
+     *  @p k under the same canonical order? @pre !empty(). */
+    bool
+    frontBefore(const FrontKey &k) const
+    {
+        const Entry &a = heap_.front();
+        if (a.when != k.when)
+            return a.when < k.when;
+        if (a.prio != k.prio)
+            return a.prio < k.prio;
+        if (a.stamp != k.stamp)
+            return a.stamp < k.stamp;
+        return a.src < k.src;
+    }
+
+    /** Raise the queue's own clock to @p t without running anything
+     *  (the external-now routing above covers the merge driver; this
+     *  is for tests and explicit clock hand-off). @pre no pending
+     *  event < t. */
+    void
+    advanceTo(Tick t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
+    /** Stable id stamped on events this queue schedules for itself
+     *  (the partitioned driver gives each domain a distinct id; a
+     *  sequential queue keeps the default 0). */
+    void setSourceId(std::uint16_t id) { ownSrc_ = id; }
 
     /**
      * Schedule @p cb to run at absolute tick @p when.
@@ -94,12 +219,91 @@ class EventQueue
                          void *ctx,
                          EventPriority prio = EventPriority::Wakeup);
 
-    /** Schedule @p cb @p delta ticks from now. */
+    /** Schedule @p cb @p delta ticks from now() — the routed merged
+     *  clock when one is active, so cross-domain deliveries compute
+     *  their latency from the true current tick. */
     void
     scheduleIn(Tick delta, Callback cb,
                EventPriority prio = EventPriority::Default)
     {
-        schedule(now_ + delta, std::move(cb), prio);
+        schedule(now() + delta, std::move(cb), prio);
+    }
+
+    /**
+     * Scope for scheduling events on behalf of *another* domain:
+     * while active, scheduled events carry the given (stamp, source)
+     * instead of this queue's (now, own id). The partitioned driver
+     * wraps every cross-domain handoff in one of these so same-tick
+     * arrivals merge in the sending domain's scheduling order — the
+     * same order a single global queue would have recorded.
+     */
+    class ExternalScope
+    {
+      public:
+        ExternalScope(EventQueue &eq, Tick stamp, std::uint16_t src)
+            : eq_(eq)
+        {
+            eq_.extActive_ = true;
+            eq_.extStamp_ = stamp;
+            eq_.extSrc_ = src;
+        }
+        ~ExternalScope() { eq_.extActive_ = false; }
+        ExternalScope(const ExternalScope &) = delete;
+        ExternalScope &operator=(const ExternalScope &) = delete;
+
+      private:
+        EventQueue &eq_;
+    };
+
+    /**
+     * Route (stamp, source) from another queue: while set, events
+     * scheduled here carry @p src and the *current* tick of @p eq.
+     * The partitioned driver points every quiescent channel queue at
+     * the host queue for the duration of the host phase — arbitrarily
+     * deep host call chains (SM -> interconnect -> slice input) then
+     * stamp their cross-domain arrivals with the host tick that
+     * produced them, without threading a scope through the pipe.
+     */
+    void
+    setExternalSource(const EventQueue *eq, std::uint16_t src)
+    {
+        extQueue_ = eq;
+        extQueueSrc_ = src;
+    }
+    void clearExternalSource() { extQueue_ = nullptr; }
+
+    /**
+     * Merge-driver variant of the external source: while set, the
+     * queue reads its time through @p now, and events scheduled here
+     * carry @p src and that tick as their stamp. The sequential
+     * driver keeps every non-executing queue pointed at its merged
+     * clock with source 0 (the id of whichever foreign domain's code
+     * is running), so a host-side delivery into a channel queue gets
+     * the same (stamp, source) the windowed driver's
+     * setExternalSource path would record. @p minPush /
+     * @p minPushValid, when given, accumulate the minimum canonical
+     * key pushed into this queue — one shared sink across all
+     * non-executing queues tells the driver whether any cross-domain
+     * schedule could preempt its current burst, without re-reading
+     * any fronts (most cross-domain pushes carry the interconnect
+     * latency and land far in the future).
+     */
+    void
+    setExternalNow(const Tick *now, std::uint16_t src,
+                   FrontKey *minPush = nullptr,
+                   bool *minPushValid = nullptr)
+    {
+        extNowPtr_ = now;
+        extNowSrc_ = src;
+        extMinPush_ = minPush;
+        extMinPushValid_ = minPushValid;
+    }
+    void
+    clearExternalNow()
+    {
+        extNowPtr_ = nullptr;
+        extMinPush_ = nullptr;
+        extMinPushValid_ = nullptr;
     }
 
     /**
@@ -109,6 +313,16 @@ class EventQueue
      */
     Tick run(Tick limit = maxTick);
 
+    /** Run every event with when < @p horizon (exclusive bound —
+     *  the conservative-lookahead window edge of the partitioned
+     *  driver). now() is left at the last executed event. */
+    void
+    runUntil(Tick horizon)
+    {
+        while (!heap_.empty() && heap_.front().when < horizon)
+            step();
+    }
+
     /** Run a single event; returns false if the queue was empty. */
     bool step();
 
@@ -116,7 +330,10 @@ class EventQueue
     struct Entry
     {
         Tick when;
-        std::uint64_t order; ///< (priority << 56) | sequence
+        Tick stamp;         ///< scheduling-domain tick at schedule time
+        std::uint64_t seq;  ///< per-queue insertion sequence
+        std::uint16_t src;  ///< scheduling domain id
+        std::uint8_t prio;
         Callback cb;
 
         bool
@@ -124,32 +341,65 @@ class EventQueue
         {
             if (when != other.when)
                 return when < other.when;
-            return order < other.order;
+            if (prio != other.prio)
+                return prio < other.prio;
+            if (stamp != other.stamp)
+                return stamp < other.stamp;
+            if (src != other.src)
+                return src < other.src;
+            return seq < other.seq;
         }
     };
-
-    static std::uint64_t
-    makeOrder(EventPriority prio, std::uint64_t seq)
-    {
-        // The sequence must stay out of the priority bits, or
-        // same-tick ordering silently degrades to sequence-only once
-        // seq reaches 2^56 (~7e16 events). Fail loudly instead.
-        if (seq >> 56)
-            olight_fatal("event sequence counter overflowed into "
-                         "the priority bits: seq=", seq);
-        return (std::uint64_t(static_cast<int>(prio)) << 56) | seq;
-    }
 
     void push(Entry entry);
     Entry popTop();
 
-    /** 4-ary min-heap on (when, order) over heap_. */
+    /** The (stamp, src) to record on an event scheduled now. */
+    Tick
+    scheduleStamp() const
+    {
+        if (extActive_)
+            return extStamp_;
+        if (extQueue_)
+            return extQueue_->now();
+        if (extNowPtr_)
+            return *extNowPtr_;
+        return now_;
+    }
+    std::uint16_t
+    scheduleSrc() const
+    {
+        if (extActive_)
+            return extSrc_;
+        if (extQueue_)
+            return extQueueSrc_;
+        if (extNowPtr_)
+            return extNowSrc_;
+        return ownSrc_;
+    }
+
+    /** 4-ary min-heap on (when, prio, stamp, src, seq) over heap_. */
     static constexpr std::size_t kArity = 4;
 
     std::vector<Entry> heap_;
     Tick now_ = 0;
+    Tick execStamp_ = 0;
+    std::uint8_t execPrio_ =
+        std::uint8_t(static_cast<int>(EventPriority::Default));
     std::uint64_t nextSeq_ = 0;
     std::uint64_t numExecuted_ = 0;
+    std::uint64_t regrows_ = 0;
+    std::uint16_t ownSrc_ = 0;
+
+    bool extActive_ = false;
+    Tick extStamp_ = 0;
+    std::uint16_t extSrc_ = 0;
+    const EventQueue *extQueue_ = nullptr;
+    std::uint16_t extQueueSrc_ = 0;
+    const Tick *extNowPtr_ = nullptr;
+    std::uint16_t extNowSrc_ = 0;
+    FrontKey *extMinPush_ = nullptr;
+    bool *extMinPushValid_ = nullptr;
 };
 
 } // namespace olight

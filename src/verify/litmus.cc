@@ -237,10 +237,12 @@ litmusConfig(OrderingMode mode, std::uint64_t seed)
 
 LitmusResult
 runLitmus(const std::string &name, OrderingMode mode,
-          std::uint64_t seed)
+          std::uint64_t seed, unsigned simJobs)
 {
     SystemConfig cfg = litmusConfig(mode, seed);
-    System sys(cfg);
+    ExecPolicy policy;
+    policy.simJobs = simJobs;
+    System sys(cfg, policy);
     LitmusProgram prog =
         buildProgram(name, sys.config(), sys.map());
     sys.loadPimKernel(std::move(prog.streams));

@@ -60,10 +60,12 @@ SystemConfig litmusConfig(OrderingMode mode, std::uint64_t seed);
 
 /**
  * Run litmus pattern @p name under @p mode with schedule seed
- * @p seed. Fatals on an unknown pattern name.
+ * @p seed. Fatals on an unknown pattern name. @p simJobs selects
+ * the execution policy (1 = sequential merge driver, >1 = channel
+ * partitioning) — the verdict must not depend on it.
  */
 LitmusResult runLitmus(const std::string &name, OrderingMode mode,
-                       std::uint64_t seed);
+                       std::uint64_t seed, unsigned simJobs = 1);
 
 } // namespace olight
 

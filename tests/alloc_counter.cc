@@ -1,0 +1,66 @@
+#include "alloc_counter.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Count every global operator new in the test binary so the
+// steady-state tests can assert their hot paths do not allocate.
+// Counting is cheap and the remaining tests are unaffected.
+namespace
+{
+std::atomic<std::uint64_t> g_news{0};
+}
+
+namespace olight::test_alloc
+{
+
+std::uint64_t
+newCount()
+{
+    return g_news.load();
+}
+
+} // namespace olight::test_alloc
+
+void *
+operator new(std::size_t n)
+{
+    ++g_news;
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    ++g_news;
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}

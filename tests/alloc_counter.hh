@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Global operator-new counter shared by the allocation-free
+ * steady-state tests (test_forwarder.cc, test_partitioned.cc).
+ *
+ * The replacement operators are defined once in alloc_counter.cc —
+ * global replacement is per-binary, so any test that wants to count
+ * allocations includes this header instead of defining its own.
+ */
+
+#ifndef OLIGHT_TESTS_ALLOC_COUNTER_HH
+#define OLIGHT_TESTS_ALLOC_COUNTER_HH
+
+#include <cstdint>
+
+namespace olight::test_alloc
+{
+
+/** Total global operator new / new[] calls in this binary so far. */
+std::uint64_t newCount();
+
+} // namespace olight::test_alloc
+
+#endif // OLIGHT_TESTS_ALLOC_COUNTER_HH

@@ -8,63 +8,9 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
-
+#include "alloc_counter.hh"
 #include "noc/forwarder.hh"
 #include "noc/pipe_stage.hh"
-
-// Count every global operator new in the test binary so the
-// steady-state tests below can assert the backpressure path does
-// not allocate. Counting is cheap and the remaining tests are
-// unaffected.
-namespace
-{
-std::atomic<std::uint64_t> g_news{0};
-}
-
-void *
-operator new(std::size_t n)
-{
-    ++g_news;
-    if (void *p = std::malloc(n ? n : 1))
-        return p;
-    throw std::bad_alloc();
-}
-
-void *
-operator new[](std::size_t n)
-{
-    ++g_news;
-    if (void *p = std::malloc(n ? n : 1))
-        return p;
-    throw std::bad_alloc();
-}
-
-void
-operator delete(void *p) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete(void *p, std::size_t) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void *p) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void *p, std::size_t) noexcept
-{
-    std::free(p);
-}
 
 namespace olight
 {
@@ -260,13 +206,13 @@ TEST(Forwarder, SteadyStateBackpressureAllocatesNothing)
     // No gtest macros inside the counted region — count raw
     // outcomes and assert afterwards.
     std::uint64_t parked = 0, woken = 0, reserved = 0;
-    std::uint64_t before = g_news.load();
+    std::uint64_t before = test_alloc::newCount();
     for (int i = 0; i < 100000; ++i) {
         parked += fwd.tryReserve(mkPkt()) ? 0 : 1; // parks
         woken += port.release(1);                  // wakes
         reserved += fwd.tryReserve(mkPkt()) ? 1 : 0;
     }
-    EXPECT_EQ(g_news.load() - before, 0u)
+    EXPECT_EQ(test_alloc::newCount() - before, 0u)
         << "park/wake cycles must not allocate";
     EXPECT_EQ(parked, 100000u);
     EXPECT_EQ(woken, 100000u);
@@ -312,9 +258,9 @@ TEST(Forwarder, SaturatedPipeSteadyStateAllocatesNothing)
 
     drain(32); // warm-up: event-queue storage reaches steady depth
 
-    std::uint64_t before = g_news.load();
+    std::uint64_t before = test_alloc::newCount();
     drain(96);
-    EXPECT_EQ(g_news.load() - before, 0u)
+    EXPECT_EQ(test_alloc::newCount() - before, 0u)
         << "steady-state pipe movement must not allocate";
     EXPECT_EQ(sink.delivered, 96u);
 }

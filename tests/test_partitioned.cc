@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Channel-partitioned execution tests: the ISSUE-level determinism
+ * guarantees (golden workload stats, sweep CSV, litmus verdicts and
+ * oracle outcomes byte-identical for every simJobs value) and the
+ * steady-state memory discipline of the domain infrastructure
+ * (arena-backed mailboxes and sized event heaps allocate nothing
+ * once warm).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alloc_counter.hh"
+#include "core/runner.hh"
+#include "core/sweep.hh"
+#include "core/system.hh"
+#include "sim/event_domain.hh"
+#include "sim/event_queue.hh"
+#include "verify/litmus.hh"
+#include "workloads/registry.hh"
+
+namespace olight
+{
+namespace
+{
+
+/** Render the deterministic per-run outputs of @p r as one string
+ *  (metrics JSON plus verification and oracle outcomes; wall-clock
+ *  fields deliberately excluded). */
+std::string
+deterministicOutputs(const RunResult &r)
+{
+    std::ostringstream os;
+    r.metrics.writeJson(os);
+    os << "\nverified=" << r.verified << " correct=" << r.correct
+       << " why=" << r.why << "\noracle=" << r.oracleViolations
+       << "/" << r.oracleChecks << "\n"
+       << r.oracleReport;
+    return os.str();
+}
+
+RunResult
+goldenRun(const std::string &workload, unsigned simJobs)
+{
+    RunOptions opts;
+    opts.workload = workload;
+    opts.elements = 1ull << 12;
+    opts.mode = OrderingMode::OrderLight;
+    opts.verify = true;
+    opts.oracle = true;
+    opts.simJobs = simJobs;
+    return runWorkload(opts);
+}
+
+/** The acceptance-level guarantee: a verified, oracle-attached
+ *  golden workload produces byte-identical deterministic outputs at
+ *  simJobs 1 (merge driver), 2 and 4 (windowed partitioned driver).
+ *  KMeans is the historical canary — its host/channel credit
+ *  interleaving is what shook out the stamp/priority/credit rules
+ *  documented in sim/event_domain.hh. */
+TEST(Partitioned, GoldenWorkloadByteIdenticalAcrossSimJobs)
+{
+    for (const char *wl : {"KMeans", "Triad"}) {
+        SCOPED_TRACE(wl);
+        const std::string at1 = deterministicOutputs(goldenRun(wl, 1));
+        const std::string at2 = deterministicOutputs(goldenRun(wl, 2));
+        const std::string at4 = deterministicOutputs(goldenRun(wl, 4));
+        EXPECT_EQ(at1, at2);
+        EXPECT_EQ(at1, at4);
+        EXPECT_NE(at1.find("\"finish_tick\""), std::string::npos)
+            << "metrics JSON should carry the tick columns: " << at1;
+    }
+}
+
+/** Oracle verdicts (not just counts) must match across drivers. */
+TEST(Partitioned, OracleVerdictsIndependentOfSimJobs)
+{
+    RunResult seq = goldenRun("Daxpy", 1);
+    RunResult par = goldenRun("Daxpy", 4);
+    EXPECT_TRUE(seq.correct);
+    EXPECT_TRUE(par.correct);
+    EXPECT_EQ(seq.oracleViolations, par.oracleViolations);
+    EXPECT_EQ(seq.oracleChecks, par.oracleChecks);
+    EXPECT_EQ(seq.oracleReport, par.oracleReport);
+    EXPECT_GT(par.oracleChecks, 0u);
+}
+
+/** Sweep CSV (the artifact results/ commits) is byte-identical for
+ *  every simJobs value, including with grid-level workers on top. */
+TEST(Partitioned, SweepCsvByteIdenticalAcrossSimJobs)
+{
+    SweepSpec spec;
+    spec.workloads = {"Scale", "KMeans"};
+    spec.modes = {OrderingMode::Fence, OrderingMode::OrderLight};
+    spec.tsSizes = {256};
+    spec.bmfs = {16};
+    spec.elements = 1ull << 12;
+    spec.verify = true;
+
+    std::string csvBySimJobs[3];
+    unsigned simJobs[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+        SweepSpec s = spec;
+        s.simJobs = simJobs[i];
+        s.jobs = (i == 2) ? 2 : 1; // grid workers on top, once
+        std::ostringstream os;
+        writeCsv(os, runSweep(s));
+        csvBySimJobs[i] = os.str();
+    }
+    EXPECT_EQ(csvBySimJobs[0], csvBySimJobs[1]);
+    EXPECT_EQ(csvBySimJobs[0], csvBySimJobs[2]);
+}
+
+/** Every litmus-table entry reaches the same verdict (violations,
+ *  checks, report text) under every driver, for the mode that must
+ *  stay clean and the mode that must trip. */
+TEST(Partitioned, LitmusVerdictsIndependentOfSimJobs)
+{
+    for (const LitmusSpec &spec : litmusTable()) {
+        for (OrderingMode mode :
+             {OrderingMode::None, OrderingMode::Fence,
+              OrderingMode::OrderLight}) {
+            for (std::uint64_t seed : {1ull, 7ull}) {
+                SCOPED_TRACE(std::string(spec.name) + " mode=" +
+                             std::to_string(int(mode)) + " seed=" +
+                             std::to_string(seed));
+                LitmusResult r1 =
+                    runLitmus(spec.name, mode, seed, 1);
+                LitmusResult r2 =
+                    runLitmus(spec.name, mode, seed, 2);
+                LitmusResult r4 =
+                    runLitmus(spec.name, mode, seed, 4);
+                EXPECT_EQ(r1.violations, r2.violations);
+                EXPECT_EQ(r1.violations, r4.violations);
+                EXPECT_EQ(r1.checks, r2.checks);
+                EXPECT_EQ(r1.checks, r4.checks);
+                EXPECT_EQ(r1.report, r2.report);
+                EXPECT_EQ(r1.report, r4.report);
+            }
+        }
+    }
+}
+
+/** Run @p workload partitioned and return the domain profiles. */
+std::vector<DomainProfile>
+profilesFor(const char *workload, std::uint64_t elements)
+{
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
+    auto wl = makeWorkload(workload);
+    wl->build(cfg, elements);
+    ExecPolicy policy;
+    policy.simJobs = 4;
+    System sys(cfg, policy);
+    wl->initMemory(sys.mem());
+    sys.loadPimKernel(wl->streams());
+    sys.run();
+    EXPECT_TRUE(sys.partitioned());
+    return sys.domainProfiles();
+}
+
+/** Steady-state memory discipline at the System level: the per-run
+ *  allocation sources the profiles count — event-heap regrows and
+ *  arena chunk acquisitions — must not scale with run length. A 4x
+ *  longer run executes 4x the events and crosses 4x the window
+ *  barriers with the *same* heap reservations and the same arena
+ *  high-water chunks: the windowed hot path reuses, never grows. */
+TEST(Partitioned, DomainHeapAndArenaGrowthIndependentOfRunLength)
+{
+    auto small = profilesFor("Triad", 1ull << 12);
+    auto large = profilesFor("Triad", 1ull << 18);
+    ASSERT_EQ(small.size(), large.size());
+    std::uint64_t smallEvents = 0, largeEvents = 0;
+    for (std::size_t d = 0; d < small.size(); ++d) {
+        SCOPED_TRACE(d);
+        smallEvents += small[d].events;
+        largeEvents += large[d].events;
+        EXPECT_EQ(small[d].heapRegrows, 0u);
+        EXPECT_EQ(large[d].heapRegrows, 0u);
+        EXPECT_EQ(small[d].arenaGrows, large[d].arenaGrows);
+    }
+    EXPECT_GT(largeEvents, 2 * smallEvents)
+        << "the large run should be several times the work";
+}
+
+/** Steady-state window cycle of the cross-domain machinery itself —
+ *  mailbox pushes from a channel queue's executing context, barrier
+ *  drain into the host queue, arena reset — allocates nothing once
+ *  the first windows have sized the arena and the heaps. */
+TEST(Partitioned, CrossDomainWindowCycleAllocatesNothing)
+{
+    EventQueue hostQ(256);
+    EventQueue chQ(256);
+    chQ.setSourceId(1);
+    DomainMailbox box;
+
+    std::uint64_t applied = 0;
+    auto window = [&](Tick base, int depth) {
+        // Channel phase: each event records one cross-domain
+        // message, as the partitioned ack/credit wrappers do.
+        for (int i = 0; i < depth; ++i)
+            chQ.schedule(base + Tick(i), [&] {
+                CrossMsg m;
+                m.kind = CrossMsg::Kind::Ack;
+                m.channel = 0;
+                m.applyTick = chQ.now();
+                m.stamp = chQ.currentStamp();
+                m.prio = chQ.currentPrio();
+                box.push(m);
+            });
+        chQ.runUntil(base + Tick(depth));
+        // Barrier: drain in order, replay into the host queue with
+        // the recorded (stamp, source), then wholesale-free.
+        for (std::size_t i = 0; i < box.size(); ++i) {
+            const CrossMsg &m = box[i];
+            EventQueue::ExternalScope scope(hostQ, m.stamp, 1);
+            hostQ.schedule(m.applyTick, [&] { ++applied; }, m.prio);
+        }
+        hostQ.runUntil(base + Tick(depth));
+        box.reset();
+    };
+
+    Tick base = 0;
+    const int kDepth = 64;
+    for (int w = 0; w < 4; ++w, base += kDepth) // warm up
+        window(base, kDepth);
+
+    const std::uint64_t before = test_alloc::newCount();
+    for (int w = 0; w < 32; ++w, base += kDepth)
+        window(base, kDepth);
+    EXPECT_EQ(test_alloc::newCount() - before, 0u)
+        << "steady-state window cycles must not allocate";
+    EXPECT_EQ(applied, 36u * kDepth);
+}
+
+/** The merge key the sequential driver uses across queues matches
+ *  the intra-queue entry order: ties on (tick, priority) fall to the
+ *  stamp, then the source id, and a full tie reports "not before" so
+ *  the caller's scan order decides. */
+TEST(Partitioned, FrontBeforeFollowsCanonicalKey)
+{
+    auto noop = [] {};
+
+    { // earlier tick wins regardless of priority
+        EventQueue a(8), b(8);
+        a.schedule(5, noop, EventPriority::Stats);
+        b.schedule(6, noop, EventPriority::DramTiming);
+        EXPECT_TRUE(a.frontBefore(b));
+        EXPECT_FALSE(b.frontBefore(a));
+    }
+    { // same tick: priority decides
+        EventQueue a(8), b(8);
+        a.schedule(5, noop, EventPriority::Wakeup);
+        b.schedule(5, noop, EventPriority::DramTiming);
+        EXPECT_TRUE(b.frontBefore(a));
+        EXPECT_FALSE(a.frontBefore(b));
+    }
+    { // same (tick, prio): the earlier scheduling stamp decides
+        EventQueue a(8), b(8);
+        EventQueue clock(8);
+        clock.schedule(1, noop);
+        clock.step(); // clock.now() == 1
+        a.setExternalSource(&clock, 3);
+        a.schedule(5, noop); // stamp 1
+        a.clearExternalSource();
+        b.schedule(5, noop); // stamp 0 (own now)
+        EXPECT_TRUE(b.frontBefore(a));
+        EXPECT_FALSE(a.frontBefore(b));
+    }
+    { // full (tick, prio, stamp, src) tie: neither sorts first
+        EventQueue a(8), b(8);
+        a.schedule(5, noop);
+        b.schedule(5, noop);
+        EXPECT_FALSE(a.frontBefore(b));
+        EXPECT_FALSE(b.frontBefore(a));
+    }
+}
+
+/** advanceTo raises the clock without running events, and the
+ *  merge-driver external-now routing stamps foreign schedules with
+ *  the merged clock and source. */
+TEST(Partitioned, AdvanceToAndExternalNowStamping)
+{
+    EventQueue q(8);
+    q.advanceTo(42);
+    EXPECT_EQ(q.now(), 42u);
+    q.advanceTo(7); // never moves backwards
+    EXPECT_EQ(q.now(), 42u);
+
+    // Two same-tick deliveries into q: one stamped through the
+    // merged clock (stamp 50), one scheduled later but from an
+    // earlier-stamped context (stamp 45 via ExternalScope). The
+    // earlier stamp must run first — exactly how the merge driver
+    // keeps cross-domain arrivals in global-queue order.
+    Tick merged = 50;
+    std::vector<int> order;
+    q.setExternalNow(&merged, 9);
+    q.schedule(60, [&] { order.push_back(1); });
+    q.clearExternalNow();
+    {
+        EventQueue::ExternalScope scope(q, 45, 2);
+        q.schedule(60, [&] { order.push_back(2); });
+    }
+    while (q.step()) {
+    }
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2);
+    EXPECT_EQ(order[1], 1);
+}
+
+} // namespace
+} // namespace olight

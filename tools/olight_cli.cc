@@ -11,6 +11,7 @@
  *   olight_cli --list
  */
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -50,6 +51,12 @@ usage()
         "  --energy          print the energy breakdown\n"
         "  --jobs N          worker threads for verification and\n"
         "                    baseline runs (0 = auto, default 1)\n"
+        "  --sim-jobs N      intra-run event workers: channel-\n"
+        "                    partitioned simulation (0 = auto,\n"
+        "                    default 1; results are bit-identical\n"
+        "                    for every value)\n"
+        "  --profile-domains FILE  write per-domain self-profiling\n"
+        "                    JSON (needs --sim-jobs > 1)\n"
         "  --trace FILE      write a CSV packet trace\n"
         "  --trace-json FILE write a Chrome trace_event JSON trace\n"
         "                    (open in Perfetto / chrome://tracing)\n"
@@ -82,9 +89,9 @@ main(int argc, char **argv)
     bool cpu_host = false, verify = false, gpu_baseline = false;
     bool dump_stats = false, energy = false, flush = false;
     std::size_t dump_kernel = 0;
-    unsigned jobs = 1;
+    unsigned jobs = 1, sim_jobs = 1;
     std::string trace_path, trace_json_path, stats_json_path;
-    std::string sample_path;
+    std::string sample_path, profile_path;
     std::uint64_t sample_interval_cycles = 1000;
 
     for (int i = 1; i < argc; ++i) {
@@ -120,6 +127,10 @@ main(int argc, char **argv)
             energy = true;
         else if (arg == "--jobs" || arg == "-j")
             jobs = unsigned(parseNumber(arg, next()));
+        else if (arg == "--sim-jobs")
+            sim_jobs = unsigned(parseNumber(arg, next()));
+        else if (arg == "--profile-domains")
+            profile_path = next();
         else if (arg == "--trace")
             trace_path = next();
         else if (arg == "--trace-json")
@@ -152,7 +163,25 @@ main(int argc, char **argv)
         }
     }
 
-    cli::enforceLimits("olight_cli", elements, jobs, 1);
+    cli::enforceLimits("olight_cli", elements,
+                       std::max<std::uint64_t>(jobs, sim_jobs), 1);
+
+    if (sim_jobs == 0)
+        sim_jobs = ThreadPool::defaultThreads();
+    if (sim_jobs > 1 &&
+        (!trace_path.empty() || !trace_json_path.empty() ||
+         !sample_path.empty() || flush)) {
+        // These features poll or serialize the whole pipe per event;
+        // they need the classic single-queue driver.
+        std::cerr << "olight_cli: --trace/--sample/--flush require "
+                     "the sequential driver; forcing --sim-jobs 1\n";
+        sim_jobs = 1;
+    }
+    if (!profile_path.empty() && sim_jobs <= 1) {
+        std::cerr << "olight_cli: --profile-domains needs "
+                     "--sim-jobs > 1\n";
+        return 2;
+    }
 
     SystemConfig base = cpu_host ? cpuHostBase() : SystemConfig{};
     base.numChannels = channels;
@@ -183,7 +212,10 @@ main(int argc, char **argv)
     if (!stats_json_path.empty())
         open_out(stats_json_file, stats_json_path);
 
-    System sys(cfg);
+    ExecPolicy policy;
+    policy.simJobs = sim_jobs;
+    policy.profileDomains = !profile_path.empty();
+    System sys(cfg, policy);
     if (!trace_path.empty()) {
         open_out(trace_file, trace_path);
         sys.enableTrace(trace_file, TraceFormat::Csv);
@@ -290,6 +322,13 @@ main(int argc, char **argv)
     if (dump_stats) {
         std::cout << "\n";
         sys.stats().dump(std::cout);
+    }
+
+    if (!profile_path.empty()) {
+        std::ofstream profile_file;
+        open_out(profile_file, profile_path);
+        sys.writeDomainProfile(profile_file);
+        profile_file << "\n";
     }
 
     if (stats_json_file.is_open()) {

@@ -12,6 +12,7 @@
  * is byte-identical for every worker count.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -85,6 +86,8 @@ main(int argc, char **argv)
             json_path = next();
         } else if (arg == "--jobs" || arg == "-j") {
             spec.jobs = unsigned(parseNumber(arg, next()));
+        } else if (arg == "--sim-jobs") {
+            spec.simJobs = unsigned(parseNumber(arg, next()));
         } else if (arg == "--timing") {
             timing = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -95,7 +98,8 @@ main(int argc, char **argv)
                    "[--elements N] [--verify]\n"
                    "  [--gpu-baseline] [--out FILE] "
                    "[--stats-json FILE]\n"
-                   "  [--jobs N (0 = auto)] [--timing]\n";
+                   "  [--jobs N (0 = auto)] [--sim-jobs N "
+                   "(0 = auto, intra-run workers)] [--timing]\n";
             return 0;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
@@ -103,8 +107,12 @@ main(int argc, char **argv)
         }
     }
 
-    cli::enforceLimits("olight_sweep", spec.elements, spec.jobs,
+    cli::enforceLimits("olight_sweep", spec.elements,
+                       std::max<std::uint64_t>(spec.jobs,
+                                               spec.simJobs),
                        spec.points());
+    if (spec.simJobs == 0)
+        spec.simJobs = ThreadPool::defaultThreads();
 
     std::cerr << "sweeping " << spec.points() << " points ("
               << (spec.jobs ? spec.jobs
