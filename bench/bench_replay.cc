@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Record/replay benchmark: the acceptance claim of the offline
+ * inference path is that perturbing a recorded schedule is orders of
+ * magnitude cheaper than re-simulating, so a litmus sensitivity sweep
+ * can trade 32 full simulations for thousands of perturbed-schedule
+ * re-checks of one log. This measures both sides on the same litmus
+ * pattern and writes BENCH_replay.json with the wall times and the
+ * pass/fail of the claim (perturbations must finish in less wall
+ * time than the simulations).
+ *
+ * Environment:
+ *   OLIGHT_BENCH_SIMS      full litmus simulations to time (default 32)
+ *   OLIGHT_BENCH_PERTURB   perturbed schedules to time (default 1000)
+ *   OLIGHT_BENCH_JSON      output path (default BENCH_replay.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "verify/infer.hh"
+#include "verify/litmus.hh"
+
+using namespace olight;
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    if (const char *env = std::getenv(name))
+        return std::strtoull(env, nullptr, 0);
+    return fallback;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t sims = envU64("OLIGHT_BENCH_SIMS", 32);
+    const std::uint64_t perturb =
+        envU64("OLIGHT_BENCH_PERTURB", 1000);
+    const char *kPattern = "store_buffer";
+
+    // Record the log the offline side analyzes: one store-buffer run
+    // under mode=none, the sensitivity canary of the litmus table.
+    const std::string logPath = "bench_replay.olog";
+    LitmusResult recorded = runLitmus(kPattern, OrderingMode::None,
+                                      /*seed=*/2, /*simJobs=*/1,
+                                      logPath);
+    LogData log;
+    std::string error;
+    if (readCommitLog(logPath, log, &error) != LogReadStatus::Ok) {
+        std::cerr << "cannot read " << logPath << ": " << error
+                  << "\n";
+        return 1;
+    }
+
+    // Side A: the status quo — a fresh full simulation per seed.
+    auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t simViolating = 0;
+    for (std::uint64_t s = 0; s < sims; ++s)
+        if (runLitmus(kPattern, OrderingMode::None, s + 1).violations)
+            ++simViolating;
+    const double simSeconds = secondsSince(t0);
+
+    // Side B: perturbed re-checks of the one recorded log.
+    t0 = std::chrono::steady_clock::now();
+    const PerturbSummary sum =
+        perturbAndCheck(log, perturb, /*seed=*/1,
+                        /*windowTicks=*/1000);
+    const double perturbSeconds = secondsSince(t0);
+
+    const bool pass =
+        perturbSeconds < simSeconds && !sum.validationMismatches;
+    std::cout << kPattern << " mode=none: " << sims
+              << " simulations in " << simSeconds << " s ("
+              << simViolating << " violating), " << sum.schedules
+              << " perturbed schedules in " << perturbSeconds
+              << " s (" << sum.violating << " violating)\n"
+              << "schedules/s: perturbed "
+              << double(sum.schedules) / perturbSeconds
+              << " vs simulated " << double(sims) / simSeconds
+              << " -> " << (pass ? "PASS" : "FAIL") << "\n";
+    std::remove(logPath.c_str());
+
+    const char *json_env = std::getenv("OLIGHT_BENCH_JSON");
+    const std::string json_path =
+        json_env ? json_env : "BENCH_replay.json";
+    std::ofstream json(json_path);
+    if (!json) {
+        std::cerr << "cannot open " << json_path << "\n";
+        return 1;
+    }
+    json << "{\n"
+         << "  \"pattern\": \"" << kPattern << "\",\n"
+         << "  \"mode\": \"none\",\n"
+         << "  \"log_records\": " << log.footer.records << ",\n"
+         << "  \"recorded_violations\": " << recorded.violations
+         << ",\n"
+         << "  \"simulations\": " << sims << ",\n"
+         << "  \"simulations_violating\": " << simViolating << ",\n"
+         << "  \"simulation_seconds\": " << simSeconds << ",\n"
+         << "  \"perturbed_schedules\": " << sum.schedules << ",\n"
+         << "  \"perturbed_violating\": " << sum.violating << ",\n"
+         << "  \"perturbed_violated_edges\": "
+         << sum.totalViolations << ",\n"
+         << "  \"perturbed_commits_moved\": " << sum.shuffledCommits
+         << ",\n"
+         << "  \"oracle_cross_checked\": " << sum.validated << ",\n"
+         << "  \"oracle_mismatches\": " << sum.validationMismatches
+         << ",\n"
+         << "  \"perturb_seconds\": " << perturbSeconds << ",\n"
+         << "  \"schedules_per_sim_second\": "
+         << (double(sum.schedules) / perturbSeconds) /
+                (double(sims) / simSeconds)
+         << ",\n"
+         << "  \"perturb_faster_than_sims\": "
+         << (pass ? "true" : "false") << "\n"
+         << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+    return pass ? 0 : 1;
+}

@@ -58,7 +58,8 @@ runWorkload(const RunOptions &opts)
 {
     SystemConfig cfg =
         configFor(opts.mode, opts.tsBytes, opts.bmf, opts.base);
-    cfg.verifyOracle = opts.oracle || cfg.verifyOracle;
+    cfg.verifyOracle = opts.oracle || cfg.verifyOracle ||
+                       !opts.recordPath.empty();
 
     auto workload = makeWorkload(opts.workload);
     workload->build(cfg, opts.elements);
@@ -77,7 +78,13 @@ runWorkload(const RunOptions &opts)
     policy.simJobs = opts.simJobs ? opts.simJobs : 1;
     policy.profileDomains = opts.profileDomains;
 
+    std::unique_ptr<CommitLogWriter> logWriter;
     System sys(cfg, policy);
+    if (!opts.recordPath.empty()) {
+        logWriter = std::make_unique<CommitLogWriter>(
+            opts.recordPath, cfg, /*seed=*/0);
+        sys.enableRecording(*logWriter);
+    }
     workload->initMemory(sys.mem());
     sys.loadPimKernel(workload->streams());
     auto wall_start = std::chrono::steady_clock::now();
@@ -101,6 +108,13 @@ runWorkload(const RunOptions &opts)
             std::ostringstream os;
             oracle->report(os);
             result.oracleReport = os.str();
+        }
+        if (logWriter) {
+            const ReplayVerdict live = harvestVerdict(*oracle);
+            if (!logWriter->finish(live.violations, live.checks,
+                                   live.reportHash, live.clean))
+                olight_fatal("failed to write commit log: ",
+                             opts.recordPath);
         }
     }
 

@@ -38,6 +38,12 @@ struct RunOptions
      *  Never part of the fingerprint: worker counts do not change
      *  simulated results. */
     unsigned simJobs = 1;
+    /** When non-empty, record the full observer hook stream into a
+     *  binary commit log at this path (forces the oracle on — the
+     *  footer carries its verdict for replay to diff against). Like
+     *  simJobs, never part of the fingerprint: recording observes the
+     *  run, it does not change it. */
+    std::string recordPath;
     /** Collect per-domain self-profiling into
      *  RunResult::domainProfileJson (partitioned runs only). */
     bool profileDomains = false;

@@ -26,7 +26,8 @@ System::System(const SystemConfig &cfg, ExecPolicy policy)
     : cfg_(cfg),
       policy_(policy),
       partitioned_(policy.simJobs > 1),
-      eq_(hostHeapHint(cfg)),
+      collapsed_(policy.simJobs <= 1 && policy.collapseSequential),
+      eq_(masterHeapHint(cfg, policy)),
       map_(cfg_)
 {
     cfg_.validate();
@@ -39,10 +40,17 @@ System::System(const SystemConfig &cfg, ExecPolicy policy)
     // is the multi-queue merge key, realized by the sequential merge
     // driver (one thread, stepSim) and the windowed driver (worker
     // gang) alike, so results are bit-identical for every simJobs.
+    if (collapsed_)
+        eq_.setOwnRank(cfg_.numChannels);
     for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+        // Collapsed facades never hold events (every schedule lands
+        // in the master heap, which masterHeapHint sized for the sum)
+        // so they skip the per-channel reservation.
         chEqs_.push_back(std::make_unique<EventQueue>(
-            channelHeapHint(cfg_)));
+            collapsed_ ? 1 : channelHeapHint(cfg_)));
         chEqs_[ch]->setSourceId(std::uint16_t(ch + 1));
+        if (collapsed_)
+            chEqs_[ch]->collapseInto(&eq_, ch);
     }
     if (partitioned_) {
         creditCtxs_.reserve(cfg_.numChannels);
@@ -153,7 +161,34 @@ System::System(const SystemConfig &cfg, ExecPolicy policy)
         icnt_->setObserver(oracle_.get());
         for (auto &sm : sms_)
             sm->setObserver(oracle_.get());
+        hostObs_ = oracle_.get();
     }
+}
+
+void
+System::enableRecording(CommitLogWriter &writer)
+{
+    if (!oracle_)
+        olight_fatal("recording requires the ordering oracle "
+                     "(SystemConfig::verifyOracle)");
+    if (ran_)
+        olight_fatal("enableRecording must be called before run()");
+    recorder_ =
+        std::make_unique<RecordingObserver>(writer, oracle_.get());
+    hostObs_ = recorder_.get();
+    // Re-point every hook source that feeds the oracle directly. In
+    // partitioned mode the channel-side sources (MCs, slices) keep
+    // their mailbox relays — applyCrossMsg routes through hostObs_,
+    // so their records are appended on the host thread only.
+    if (!partitioned_) {
+        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
+            mcs_[ch]->setObserver(recorder_.get());
+            slices_[ch]->setObserver(recorder_.get());
+        }
+    }
+    icnt_->setObserver(recorder_.get());
+    for (auto &sm : sms_)
+        sm->setObserver(recorder_.get());
 }
 
 void
@@ -267,6 +302,24 @@ System::stepSim(bool burst)
     // `second` tracks the runner-up head so the burst loop below can
     // keep executing from `best` without re-reading 17 heap fronts
     // per event.
+    // Collapsed mode: one heap already holds the canonical order, so
+    // stepping is exactly the classic single-queue loop — no scan, no
+    // runner-up, no preemption bound, no merged-clock broadcast (the
+    // facades read the master's own clock via clockPtr). The
+    // single-step form exists for the CGA drain poll, which must see
+    // every event boundary.
+    if (collapsed_) {
+        if (!eq_.step())
+            return false;
+        if (sampler_)
+            sampler_->poll();
+        while (burst && eq_.step()) {
+            if (sampler_)
+                sampler_->poll();
+        }
+        return true;
+    }
+
     EventQueue *best = nullptr;
     const EventQueue *second = nullptr;
     auto consider = [&](EventQueue *q) {
@@ -386,10 +439,21 @@ System::run()
 RunMetrics
 System::runSequential()
 {
-    eq_.setExternalNow(&mergedNow_, 0, &crossMin_, &crossMinValid_);
-    for (auto &q : chEqs_)
-        q->setExternalNow(&mergedNow_, 0, &crossMin_,
-                          &crossMinValid_);
+    if (collapsed_) {
+        // One heap holds everything; the facades only need their
+        // clock routed to the master's own tick. No min-push sink: a
+        // push into the master is just a heap insert the drive loop
+        // will pop in order, not a cross-queue preemption.
+        eq_.beginCollapsedRun();
+        for (auto &q : chEqs_)
+            q->setExternalNow(eq_.clockPtr(), 0);
+    } else {
+        eq_.setExternalNow(&mergedNow_, 0, &crossMin_,
+                           &crossMinValid_);
+        for (auto &q : chEqs_)
+            q->setExternalNow(&mergedNow_, 0, &crossMin_,
+                              &crossMinValid_);
+    }
 
     bool cga_phase =
         cfg_.arbitration == ArbitrationGranularity::Coarse &&
@@ -659,25 +723,25 @@ System::applyCrossMsg(const CrossMsg &m)
         slices_[m.channel]->input().applyCreditRelease();
         return;
     case CrossMsg::Kind::StageEgress:
-        oracle_->onStageEgress(*m.name, m.pkt, m.a, m.b);
+        hostObs_->onStageEgress(*m.name, m.pkt, m.a, m.b);
         return;
     case CrossMsg::Kind::OlReplicate:
-        oracle_->onOlReplicate(*m.name, m.pkt, m.extra);
+        hostObs_->onOlReplicate(*m.name, m.pkt, m.extra);
         return;
     case CrossMsg::Kind::OlMergeIn:
-        oracle_->onOlMergeIn(*m.name, m.extra, m.pkt);
+        hostObs_->onOlMergeIn(*m.name, m.extra, m.pkt);
         return;
     case CrossMsg::Kind::OlMergeOut:
-        oracle_->onOlMergeOut(*m.name, m.pkt, m.extra);
+        hostObs_->onOlMergeOut(*m.name, m.pkt, m.extra);
         return;
     case CrossMsg::Kind::McAdmit:
-        oracle_->onMcAdmit(m.channel, m.pkt);
+        hostObs_->onMcAdmit(m.channel, m.pkt);
         return;
     case CrossMsg::Kind::McOrderLight:
-        oracle_->onMcOrderLight(m.channel, m.pkt);
+        hostObs_->onMcOrderLight(m.channel, m.pkt);
         return;
     case CrossMsg::Kind::McCommit:
-        oracle_->onMcCommit(m.channel, m.pkt, m.a);
+        hostObs_->onMcCommit(m.channel, m.pkt, m.a);
         return;
     }
     olight_panic("unhandled cross-domain message kind");

@@ -32,6 +32,7 @@
 #include "sim/sampler.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
+#include "verify/log_events.hh"
 #include "verify/oracle.hh"
 
 namespace olight
@@ -102,6 +103,16 @@ class System
     /** The ordering oracle, when cfg.verifyOracle is set (else
      *  nullptr). Finalized automatically at the end of run(). */
     const OrderingOracle *oracle() const { return oracle_.get(); }
+
+    /**
+     * Tee every PipeObserver hook into @p writer (then on to the
+     * oracle, which recording requires — cfg.verifyOracle must be
+     * set). Call before run(). The recorder always runs on the host
+     * thread: under the partitioned driver, channel-side hooks reach
+     * it through the mailbox relays, so a multi-worker recording is
+     * race-free and byte-identical to a simJobs=1 one.
+     */
+    void enableRecording(CommitLogWriter &writer);
 
     /**
      * Model the coherence flush of Section 5.4: before the PIM
@@ -192,9 +203,22 @@ class System
         return std::size_t(cfg.banksPerChannel) * 16;
     }
 
+    /** Host-queue reservation: the collapsed driver holds every
+     *  domain's pending events in the one master heap, so it gets
+     *  the sum of what the per-domain queues would have reserved. */
+    static std::size_t
+    masterHeapHint(const SystemConfig &cfg, const ExecPolicy &policy)
+    {
+        std::size_t n = hostHeapHint(cfg);
+        if (policy.simJobs <= 1 && policy.collapseSequential)
+            n += std::size_t(cfg.numChannels) * channelHeapHint(cfg);
+        return n;
+    }
+
     SystemConfig cfg_;
     ExecPolicy policy_;
     bool partitioned_ = false;
+    bool collapsed_ = false;
     EventQueue eq_; ///< host-domain queue (SMs, icnt, host stream)
     StatSet stats_;
     SparseMemory mem_;
@@ -227,6 +251,10 @@ class System
     std::unique_ptr<TraceWriter> trace_;
     std::unique_ptr<Sampler> sampler_;
     std::unique_ptr<OrderingOracle> oracle_;
+    std::unique_ptr<RecordingObserver> recorder_;
+    /** Host-thread hook sink: the recorder when recording, else the
+     *  oracle. Mailbox-relayed hooks land here. */
+    PipeObserver *hostObs_ = nullptr;
     std::vector<std::vector<PimInstr>> streams_;
     bool hasKernel_ = false;
     bool hasHostTraffic_ = false;

@@ -1,0 +1,296 @@
+#include "sim/commit_log.hh"
+
+#include <cstring>
+
+#include "core/config.hh"
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+const char *
+toString(LogRecordKind kind)
+{
+    switch (kind) {
+      case LogRecordKind::Invalid: return "invalid";
+      case LogRecordKind::WarpIssue: return "warp-issue";
+      case LogRecordKind::OrderPoint: return "order-point";
+      case LogRecordKind::OlInject: return "ol-inject";
+      case LogRecordKind::CollectorInject: return "collector-inject";
+      case LogRecordKind::StageEgress: return "stage-egress";
+      case LogRecordKind::OlReplicate: return "ol-replicate";
+      case LogRecordKind::OlMergeIn: return "ol-merge-in";
+      case LogRecordKind::OlMergeOut: return "ol-merge-out";
+      case LogRecordKind::McAdmit: return "mc-admit";
+      case LogRecordKind::McOrderLight: return "mc-orderlight";
+      case LogRecordKind::McCommit: return "mc-commit";
+      case LogRecordKind::Ack: return "ack";
+    }
+    return "?";
+}
+
+const char *
+toString(LogReadStatus status)
+{
+    switch (status) {
+      case LogReadStatus::Ok: return "ok";
+      case LogReadStatus::IoError: return "io-error";
+      case LogReadStatus::BadMagic: return "bad-magic";
+      case LogReadStatus::BadVersion: return "bad-version";
+      case LogReadStatus::Truncated: return "truncated";
+      case LogReadStatus::Corrupt: return "corrupt";
+    }
+    return "?";
+}
+
+std::uint64_t
+fnv1a64Bytes(const void *data, std::size_t n, std::uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+CommitLogWriter::CommitLogWriter(const std::string &path,
+                                 const SystemConfig &cfg,
+                                 std::uint64_t seed)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        olight_fatal("cannot open commit log for writing: ", path);
+    // The chunk is the only buffer: whole-chunk fwrites go straight
+    // to the kernel, so stdio never mallocs a buffer mid-run.
+    std::setvbuf(file_, nullptr, _IONBF, 0);
+    chunk_.resize(kChunkRecords);
+
+    LogHeader h{};
+    std::memcpy(h.magic, kLogMagic, sizeof(h.magic));
+    h.configFingerprint = fingerprint(cfg);
+    h.numChannels = std::uint16_t(cfg.numChannels);
+    h.numMemGroups = std::uint16_t(cfg.numMemGroups);
+    h.orderingMode = std::uint8_t(cfg.orderingMode);
+    h.seed = seed;
+    writeBytes(&h, sizeof(h));
+}
+
+CommitLogWriter::~CommitLogWriter()
+{
+    if (!finished_ && file_)
+        finish(0, 0, 0, true);
+}
+
+std::uint16_t
+CommitLogWriter::intern(const std::string &name)
+{
+    auto it = nameIds_.find(name);
+    if (it != nameIds_.end())
+        return it->second;
+    if (names_.size() >= 0xffff)
+        olight_fatal("commit-log string table overflow");
+    names_.push_back(name);
+    std::uint16_t id = std::uint16_t(names_.size()); // 1-based
+    nameIds_.emplace(name, id);
+    return id;
+}
+
+void
+CommitLogWriter::writeBytes(const void *data, std::size_t n)
+{
+    if (!ok_ || n == 0)
+        return;
+    if (std::fwrite(data, 1, n, file_) != n)
+        ok_ = false;
+}
+
+void
+CommitLogWriter::flushChunk()
+{
+    writeBytes(chunk_.data(), fill_ * sizeof(LogRecord));
+    fill_ = 0;
+}
+
+bool
+CommitLogWriter::finish(std::uint64_t violations, std::uint64_t checks,
+                        std::uint64_t reportHash, bool clean)
+{
+    if (finished_)
+        olight_fatal("commit log finished twice: ", path_);
+    finished_ = true;
+    flushChunk();
+
+    // String table: u32 count, then (u16 length, bytes) per name.
+    std::uint64_t stringBytes = 4;
+    std::uint32_t count = std::uint32_t(names_.size());
+    writeBytes(&count, sizeof(count));
+    for (const std::string &s : names_) {
+        std::uint16_t len = std::uint16_t(s.size());
+        writeBytes(&len, sizeof(len));
+        writeBytes(s.data(), s.size());
+        stringBytes += 2 + s.size();
+    }
+
+    LogFooter f{};
+    std::memcpy(f.magic, kFooterMagic, sizeof(f.magic));
+    f.records = records_;
+    f.recordsHash = hash_;
+    f.stringBytes = stringBytes;
+    f.violations = violations;
+    f.checks = checks;
+    f.reportHash = reportHash;
+    f.clean = clean ? 1 : 0;
+    writeBytes(&f, sizeof(f));
+
+    if (std::fclose(file_) != 0)
+        ok_ = false;
+    file_ = nullptr;
+    return ok_;
+}
+
+const std::string &
+LogData::stringAt(std::uint16_t id) const
+{
+    static const std::string empty;
+    if (id == 0 || id > strings.size())
+        return empty;
+    return strings[id - 1];
+}
+
+namespace
+{
+
+LogReadStatus
+fail(LogReadStatus status, std::string *error, std::string message)
+{
+    if (error)
+        *error = std::move(message);
+    return status;
+}
+
+} // namespace
+
+LogReadStatus
+readCommitLog(const std::string &path, LogData &out,
+              std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return fail(LogReadStatus::IoError, error,
+                    "cannot open " + path);
+    struct Closer
+    {
+        std::FILE *f;
+        ~Closer() { std::fclose(f); }
+    } closer{f};
+
+    if (std::fseek(f, 0, SEEK_END) != 0)
+        return fail(LogReadStatus::IoError, error, "seek failed");
+    long sizeL = std::ftell(f);
+    if (sizeL < 0)
+        return fail(LogReadStatus::IoError, error, "tell failed");
+    std::uint64_t size = std::uint64_t(sizeL);
+
+    if (size < sizeof(LogHeader) + sizeof(LogFooter))
+        return fail(LogReadStatus::Truncated, error,
+                    "file smaller than header + footer");
+
+    std::rewind(f);
+    if (std::fread(&out.header, sizeof(out.header), 1, f) != 1)
+        return fail(LogReadStatus::IoError, error, "short header read");
+    if (std::memcmp(out.header.magic, kLogMagic,
+                    sizeof(kLogMagic)) != 0)
+        return fail(LogReadStatus::BadMagic, error,
+                    "not a commit log (bad magic)");
+    if (out.header.version != kLogVersion)
+        return fail(LogReadStatus::BadVersion, error,
+                    "unsupported log version " +
+                        std::to_string(out.header.version));
+    if (out.header.recordBytes != sizeof(LogRecord))
+        return fail(LogReadStatus::BadVersion, error,
+                    "record width mismatch: file has " +
+                        std::to_string(out.header.recordBytes));
+
+    if (std::fseek(f, -long(sizeof(LogFooter)), SEEK_END) != 0)
+        return fail(LogReadStatus::IoError, error, "footer seek failed");
+    if (std::fread(&out.footer, sizeof(out.footer), 1, f) != 1)
+        return fail(LogReadStatus::IoError, error, "short footer read");
+    if (std::memcmp(out.footer.magic, kFooterMagic,
+                    sizeof(kFooterMagic)) != 0)
+        return fail(LogReadStatus::Truncated, error,
+                    "missing footer (file truncated?)");
+
+    std::uint64_t body = size - sizeof(LogHeader) - sizeof(LogFooter);
+    if (out.footer.stringBytes > body)
+        return fail(LogReadStatus::Corrupt, error,
+                    "string table larger than file body");
+    std::uint64_t recordBytes = body - out.footer.stringBytes;
+    if (recordBytes % sizeof(LogRecord) != 0)
+        return fail(LogReadStatus::Corrupt, error,
+                    "record region is not a whole number of records");
+    std::uint64_t n = recordBytes / sizeof(LogRecord);
+    if (n != out.footer.records)
+        return fail(LogReadStatus::Truncated, error,
+                    "footer promises " +
+                        std::to_string(out.footer.records) +
+                        " records, file holds " + std::to_string(n));
+
+    std::fseek(f, long(sizeof(LogHeader)), SEEK_SET);
+    out.records.resize(std::size_t(n));
+    if (n && std::fread(out.records.data(), sizeof(LogRecord),
+                        std::size_t(n), f) != std::size_t(n))
+        return fail(LogReadStatus::IoError, error, "short record read");
+
+    std::uint64_t hash = fnv1a64Bytes(out.records.data(),
+                                      out.records.size() *
+                                          sizeof(LogRecord));
+    if (hash != out.footer.recordsHash)
+        return fail(LogReadStatus::Corrupt, error,
+                    "record hash mismatch (corrupted log)");
+
+    // String table.
+    std::uint32_t count = 0;
+    if (out.footer.stringBytes < 4 ||
+        std::fread(&count, sizeof(count), 1, f) != 1)
+        return fail(LogReadStatus::Corrupt, error,
+                    "unreadable string table");
+    std::uint64_t consumed = 4;
+    out.strings.clear();
+    out.strings.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint16_t len = 0;
+        if (consumed + 2 > out.footer.stringBytes ||
+            std::fread(&len, sizeof(len), 1, f) != 1)
+            return fail(LogReadStatus::Corrupt, error,
+                        "string table truncated");
+        consumed += 2;
+        if (consumed + len > out.footer.stringBytes)
+            return fail(LogReadStatus::Corrupt, error,
+                        "string entry overruns table");
+        std::string s(len, '\0');
+        if (len && std::fread(s.data(), 1, len, f) != len)
+            return fail(LogReadStatus::Corrupt, error,
+                        "string table truncated");
+        consumed += len;
+        out.strings.push_back(std::move(s));
+    }
+    if (consumed != out.footer.stringBytes)
+        return fail(LogReadStatus::Corrupt, error,
+                    "string table has trailing bytes");
+
+    // Per-record sanity: a kind outside the enum means the region
+    // was overwritten even though the sizes line up.
+    for (const LogRecord &r : out.records) {
+        if (r.kind == 0 || r.kind > std::uint8_t(LogRecordKind::Ack))
+            return fail(LogReadStatus::Corrupt, error,
+                        "record with invalid kind");
+        if (r.name > out.strings.size())
+            return fail(LogReadStatus::Corrupt, error,
+                        "record names a missing string");
+    }
+    return LogReadStatus::Ok;
+}
+
+} // namespace olight

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Compact binary commit log: the record/replay substrate.
+ *
+ * A recorded run appends one fixed-width LogRecord per PipeObserver
+ * hook — the full observation stream, not just commits — so an
+ * offline replayer can re-drive the OrderingOracle and reproduce its
+ * verdict byte-identically without the timing model (see
+ * verify/log_events.hh). The file layout is
+ *
+ *     [LogHeader][LogRecord x N][string table][LogFooter]
+ *
+ * with both ends self-describing: the header pins the record width,
+ * channel/group geometry, ordering mode and the config content
+ * fingerprint; the fixed-width footer at EOF carries the record
+ * count, an FNV-1a golden hash over the raw record bytes, the string
+ * table size (so the reader can locate it from the end) and the live
+ * run's oracle verdict for the replayer to diff against. Stage and
+ * convergence-point names are interned into a u16 string table —
+ * records stay fixed-width and the name set is small and bounded by
+ * the pipe topology.
+ *
+ * The append path is zero-alloc in steady state, like the pipes
+ * (proven by the operator-new counters in tests/alloc_counter):
+ * records accumulate in a fixed chunk flushed through an unbuffered
+ * cstdio stream, the running hash is folded in per record, and
+ * string interning only allocates while the name set is still being
+ * discovered (warmup).
+ */
+
+#ifndef OLIGHT_SIM_COMMIT_LOG_HH
+#define OLIGHT_SIM_COMMIT_LOG_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace olight
+{
+
+struct SystemConfig;
+
+/** Which PipeObserver hook a record captures. */
+enum class LogRecordKind : std::uint8_t
+{
+    Invalid = 0,
+    WarpIssue,
+    OrderPoint,
+    OlInject,
+    CollectorInject,
+    StageEgress,
+    OlReplicate,
+    OlMergeIn,
+    OlMergeOut,
+    McAdmit,
+    McOrderLight,
+    McCommit,
+    Ack,
+};
+
+const char *toString(LogRecordKind kind);
+
+/**
+ * One observation, fixed width. Carries the complete Packet payload
+ * (every field Packet::describe() and the oracle's invariants read)
+ * plus the hook's own arguments: tickA/tickB hold begin/end spans or
+ * the commit's DRAM column tick, `name` is a string-table id for
+ * stage/point hooks (0 = none), `extra` holds copy/path counts.
+ */
+struct LogRecord
+{
+    std::uint64_t pktId = 0;
+    std::uint64_t addr = 0;
+    std::uint64_t createdAt = 0;
+    std::uint64_t tickA = 0; ///< begin span / MC commit column tick
+    std::uint64_t tickB = 0; ///< end span
+    std::uint32_t smId = 0;
+    std::uint32_t warpId = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t extra = 0; ///< OL copies / merge path index
+    float scalar = 0.0f;
+    float scalar2 = 0.0f;
+    std::uint32_t olPktNumber = 0;
+    std::uint16_t channel = 0;
+    std::uint16_t name = 0; ///< string-table id, 0 = none
+    std::uint16_t aux = 0;
+    std::uint8_t kind = 0;  ///< LogRecordKind
+    std::uint8_t pktKind = 0;
+    std::uint8_t group = 0;
+    std::int8_t group2 = -1; ///< dual ordering point, -1 = none
+    std::uint8_t instrType = 0;
+    std::uint8_t alu = 0;
+    std::uint8_t dstSlot = 0;
+    std::uint8_t srcSlot = 0;
+    std::uint8_t memGroup = 0;
+    std::uint8_t olChannelId = 0;
+    std::uint8_t olMemGroupId = 0;
+    std::uint8_t olMemGroupId2 = 0;
+    std::uint8_t olFlags = 0; ///< bit 0: hasSecondGroup
+    std::uint8_t pad = 0;
+};
+static_assert(sizeof(LogRecord) == 88,
+              "LogRecord must stay fixed-width; bump kLogVersion and "
+              "the reader together when it changes");
+
+inline constexpr std::uint32_t kLogVersion = 1;
+inline constexpr char kLogMagic[8] = {'O', 'L', 'C', 'L',
+                                      'O', 'G', '0', '1'};
+inline constexpr char kFooterMagic[8] = {'O', 'L', 'C', 'F',
+                                         'O', 'O', 'T', '1'};
+
+/** Leading file header (fixed 64 bytes). */
+struct LogHeader
+{
+    char magic[8];
+    std::uint32_t version = kLogVersion;
+    std::uint32_t recordBytes = sizeof(LogRecord);
+    std::uint64_t configFingerprint = 0;
+    std::uint16_t numChannels = 0;
+    std::uint16_t numMemGroups = 0;
+    std::uint8_t orderingMode = 0;
+    std::uint8_t pad[3] = {0, 0, 0};
+    std::uint64_t seed = 0; ///< scenario seed (litmus), 0 otherwise
+    std::uint8_t reserved[24] = {};
+};
+static_assert(sizeof(LogHeader) == 64, "header is part of the format");
+
+/** Trailing file footer (fixed 64 bytes, readable by seeking EOF-64).
+ *  Carries the golden hash over the record bytes and the live run's
+ *  oracle verdict: replay must reproduce `violations`/`checks` and a
+ *  report whose FNV-1a equals `reportHash`, byte for byte. */
+struct LogFooter
+{
+    char magic[8];
+    std::uint64_t records = 0;
+    std::uint64_t recordsHash = 0; ///< FNV-1a over all record bytes
+    std::uint64_t stringBytes = 0; ///< string-table size on disk
+    std::uint64_t violations = 0;  ///< live violationCount()
+    std::uint64_t checks = 0;      ///< live checksPerformed()
+    std::uint64_t reportHash = 0;  ///< FNV-1a of the live report text
+    std::uint8_t clean = 0;        ///< live clean() verdict
+    std::uint8_t pad[7] = {};
+};
+static_assert(sizeof(LogFooter) == 64, "footer is part of the format");
+
+/** FNV-1a 64 over raw bytes (same constants as config fingerprints),
+ *  resumable: pass the previous hash as @p h. */
+std::uint64_t fnv1a64Bytes(const void *data, std::size_t n,
+                           std::uint64_t h = 0xcbf29ce484222325ull);
+
+/**
+ * Appends LogRecords to a file. Construction writes the header;
+ * finish() flushes the chunk, serializes the string table and writes
+ * the footer. I/O failures set ok()=false (checked by callers at
+ * finish) instead of throwing mid-run.
+ */
+class CommitLogWriter
+{
+  public:
+    /** @param seed scenario seed recorded in the header (0 = none).
+     *  Fatal when @p path cannot be opened for writing. */
+    CommitLogWriter(const std::string &path, const SystemConfig &cfg,
+                    std::uint64_t seed);
+    ~CommitLogWriter();
+    CommitLogWriter(const CommitLogWriter &) = delete;
+    CommitLogWriter &operator=(const CommitLogWriter &) = delete;
+
+    /** Intern a stage / convergence-point name (1-based id; steady
+     *  state is a hash lookup, insertion only on first sight). */
+    std::uint16_t intern(const std::string &name);
+
+    /** Append one record (zero-alloc; flushes full chunks through
+     *  the unbuffered stream). */
+    void
+    append(const LogRecord &rec)
+    {
+        chunk_[fill_++] = rec;
+        hash_ = fnv1a64Bytes(&rec, sizeof(rec), hash_);
+        ++records_;
+        if (fill_ == kChunkRecords)
+            flushChunk();
+    }
+
+    /** Write string table + footer carrying the live verdict, then
+     *  close. Must be called exactly once; @return ok(). */
+    bool finish(std::uint64_t violations, std::uint64_t checks,
+                std::uint64_t reportHash, bool clean);
+
+    std::uint64_t records() const { return records_; }
+    std::uint64_t recordsHash() const { return hash_; }
+    bool ok() const { return ok_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    void flushChunk();
+    void writeBytes(const void *data, std::size_t n);
+
+    /** 256 records x 88 B = 22 KiB per flush: large enough that the
+     *  write syscall amortizes, small enough to sit in the writer. */
+    static constexpr std::size_t kChunkRecords = 256;
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::vector<LogRecord> chunk_;
+    std::size_t fill_ = 0;
+    std::uint64_t records_ = 0;
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, std::uint16_t> nameIds_;
+    bool finished_ = false;
+    bool ok_ = true;
+};
+
+/** Outcome of parsing a log file. */
+enum class LogReadStatus
+{
+    Ok,
+    IoError,    ///< cannot open / read
+    BadMagic,   ///< not a commit log
+    BadVersion, ///< format version / record width mismatch
+    Truncated,  ///< file shorter than header+footer promise
+    Corrupt,    ///< golden hash or structural check failed
+};
+
+const char *toString(LogReadStatus status);
+
+/** A fully loaded log. */
+struct LogData
+{
+    LogHeader header{};
+    LogFooter footer{};
+    std::vector<LogRecord> records;
+    std::vector<std::string> strings; ///< 1-based via stringAt()
+
+    /** Resolve a record's interned name (empty for id 0). */
+    const std::string &stringAt(std::uint16_t id) const;
+};
+
+/**
+ * Read and structurally validate @p path: magic, version, record
+ * width, size arithmetic, string table bounds and the golden record
+ * hash. Never crashes on malformed input — every failure returns a
+ * status and a one-line diagnostic in @p error.
+ */
+LogReadStatus readCommitLog(const std::string &path, LogData &out,
+                            std::string *error = nullptr);
+
+} // namespace olight
+
+#endif // OLIGHT_SIM_COMMIT_LOG_HH

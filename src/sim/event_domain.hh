@@ -85,6 +85,13 @@ struct ExecPolicy
     /** Collect per-domain self-profiling (execution time, lookahead
      *  stalls, mailbox traffic) for --profile-domains output. */
     bool profileDomains = false;
+
+    /** simJobs==1 only: collapse every channel domain into the host
+     *  queue (EventQueue::collapseInto) so a sequential run pops the
+     *  canonical order from one heap instead of merging 17. Results
+     *  are bit-identical either way; tests set this false to pin the
+     *  multi-queue merge driver against the collapsed fast path. */
+    bool collapseSequential = true;
 };
 
 /** Self-profiling counters of one event domain (padded: each domain

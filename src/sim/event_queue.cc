@@ -15,13 +15,10 @@ EventQueue::push(Entry entry)
         const bool better =
             !*extMinPushValid_ || entry.when < k.when ||
             (entry.when == k.when &&
-             (entry.prio < k.prio ||
-              (entry.prio == k.prio &&
-               (entry.stamp < k.stamp ||
-                (entry.stamp == k.stamp && entry.src < k.src)))));
+             (entry.order < k.order ||
+              (entry.order == k.order && entry.src() < k.src)));
         if (better) {
-            k = FrontKey{entry.when, entry.stamp, entry.src,
-                         entry.prio};
+            k = FrontKey{entry.when, entry.order, entry.src()};
             *extMinPushValid_ = true;
         }
     }
@@ -76,25 +73,40 @@ EventQueue::popTop()
 void
 EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
 {
+    if (collapse_) {
+        collapse_->collapsedPush(when, std::move(cb), prio,
+                                 collapseRank_, ownSrc_);
+        return;
+    }
     // olight_fatal, not a debug-only assert: scheduling in the past
     // would silently misorder the simulation, so the check must stay
     // visible in release builds too.
     if (when < now_)
         olight_fatal("event scheduled in the past: when=", when,
                      " now=", now_);
-    push(Entry{when, scheduleStamp(), nextSeq_++, scheduleSrc(),
-               std::uint8_t(static_cast<int>(prio)), std::move(cb)});
+    push(Entry{when,
+               packOrder(std::uint8_t(static_cast<int>(prio)),
+                         scheduleStamp()),
+               packOrder2(scheduleSrc(), ownRank_, nextSeq_++),
+               std::move(cb)});
 }
 
 void
 EventQueue::scheduleAt(Tick when, RawFn fn, void *ctx,
                        EventPriority prio)
 {
+    if (collapse_) {
+        collapse_->collapsedPush(when, Callback(fn, ctx), prio,
+                                 collapseRank_, ownSrc_);
+        return;
+    }
     if (when < now_)
         olight_fatal("event scheduled in the past: when=", when,
                      " now=", now_);
-    push(Entry{when, scheduleStamp(), nextSeq_++, scheduleSrc(),
-               std::uint8_t(static_cast<int>(prio)),
+    push(Entry{when,
+               packOrder(std::uint8_t(static_cast<int>(prio)),
+                         scheduleStamp()),
+               packOrder2(scheduleSrc(), ownRank_, nextSeq_++),
                Callback(fn, ctx)});
 }
 
@@ -102,9 +114,25 @@ void
 EventQueue::scheduleAtBatch(const Tick *whens, std::size_t n,
                             RawFn fn, void *ctx, EventPriority prio)
 {
-    heap_.reserve(heap_.size() + n);
+    if (!collapse_)
+        heap_.reserve(heap_.size() + n);
     for (std::size_t i = 0; i < n; ++i)
         scheduleAt(whens[i], fn, ctx, prio);
+}
+
+void
+EventQueue::collapsedPush(Tick when, Callback cb, EventPriority prio,
+                          std::uint16_t rank, std::uint16_t facadeSrc)
+{
+    if (when < now_)
+        olight_fatal("event scheduled in the past: when=", when,
+                     " now=", now_);
+    const std::uint16_t src =
+        (execDom_ == rank || execDom_ == kConstructing) ? facadeSrc
+                                                        : 0;
+    push(Entry{when,
+               packOrder(std::uint8_t(static_cast<int>(prio)), now_),
+               packOrder2(src, rank, nextSeq_++), std::move(cb)});
 }
 
 bool
@@ -114,10 +142,15 @@ EventQueue::step()
         return false;
     Entry entry = popTop();
     now_ = entry.when;
-    execStamp_ = entry.stamp;
-    execPrio_ = entry.prio;
+    execStamp_ = entry.stamp();
+    execPrio_ = entry.prio();
+    execDom_ = entry.dom();
     ++numExecuted_;
     entry.cb();
+    // Anything that runs between events (drain polls, CGA unblock,
+    // sampler) is host-driver code; facade pushes it performs must
+    // record the host context, not the last event's domain.
+    execDom_ = ownRank_;
     return true;
 }
 

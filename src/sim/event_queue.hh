@@ -5,17 +5,22 @@
  * Every System owns one EventQueue per channel domain plus one for
  * the host domain, in every execution mode. Events are callbacks
  * scheduled at absolute ticks; the canonical execution order across
- * all queues is (tick, priority, stamp, source id, per-queue
- * sequence), where the stamp is the scheduling-domain tick of the
- * event that caused the schedule. Two drivers realize that same
- * order: sequentially, System::stepSim merges the queues on one
- * thread (non-executing queues read the executing queue's clock via
- * setExternalNow and report preempting pushes through a shared
- * minimum-key sink, so the driver can burst-execute one queue
- * without rescanning after every event); in parallel, a worker gang
- * advances the channel queues in conservative lookahead windows with
- * cross-domain handoffs carrying the (stamp, source) pair through
- * mailboxes. Results are bit-identical for every worker count.
+ * all queues is (tick, priority, stamp, source id, domain rank,
+ * per-queue sequence), where the stamp is the scheduling-domain tick
+ * of the event that caused the schedule and the domain rank encodes
+ * the fixed cross-queue tie-break (channels in channel order, host
+ * last). Three drivers realize that same order: a sequential run
+ * collapses every domain into the host queue (collapseInto) so one
+ * heap pops the canonical order directly with no per-event merge; the
+ * multi-queue merge driver, System::stepSim, keeps the domains on
+ * separate heaps and merges them on one thread (non-executing queues
+ * read the executing queue's clock via setExternalNow and report
+ * preempting pushes through a shared minimum-key sink, so the driver
+ * can burst-execute one queue without rescanning after every event);
+ * in parallel, a worker gang advances the channel queues in
+ * conservative lookahead windows with cross-domain handoffs carrying
+ * the (stamp, source) pair through mailboxes. Results are
+ * bit-identical for every driver and worker count.
  * docs/INTERNALS.md section 12 has the full determinism argument.
  *
  * The hot path is allocation-free: callbacks are small-buffer
@@ -26,7 +31,12 @@
  * initial reservation is a constructor parameter (the System sizes
  * it from the configuration: channels x banks, the natural bound on
  * concurrently pending DRAM events); mid-run regrows move every
- * inline capture buffer, so they are counted and exposed.
+ * inline capture buffer, so they are counted and exposed. The
+ * six-field canonical key is packed into two words next to the tick
+ * (Entry::order / order2), so a heap compare is at most three
+ * branches over 24 contiguous bytes and an entry stays 40 bytes —
+ * what keeps the collapsed single-heap driver at the speed of the
+ * original single-queue simulator despite the richer key.
  */
 
 #ifndef OLIGHT_SIM_EVENT_QUEUE_HH
@@ -82,6 +92,12 @@ class EventQueue
      *  queue would show, with no per-event clock broadcast. */
     Tick now() const { return extNowPtr_ ? *extNowPtr_ : now_; }
 
+    /** The queue's own clock word, for routing facades directly at a
+     *  collapse master (step() raises it before the callback runs, so
+     *  a facade pointed here always reads the executing tick with no
+     *  per-event broadcast). */
+    const Tick *clockPtr() const { return &now_; }
+
     /**
      * Stamp of the event currently executing (its scheduling-domain
      * tick). Cross-domain relays record this, not now(), as the
@@ -121,13 +137,13 @@ class EventQueue
      *  sequence (sequences are not comparable across queues). The
      *  merge driver accumulates the minimum key pushed into any
      *  non-executing queue to know when a cross-domain schedule
-     *  could preempt the current execution burst. */
+     *  could preempt the current execution burst. `order` is the
+     *  packed (priority, stamp) word of Entry::order. */
     struct FrontKey
     {
         Tick when = 0;
-        Tick stamp = 0;
+        std::uint64_t order = 0;
         std::uint16_t src = 0;
-        std::uint8_t prio = 0;
     };
 
     /** True when no events remain. */
@@ -156,11 +172,9 @@ class EventQueue
         const Entry &b = other.heap_.front();
         if (a.when != b.when)
             return a.when < b.when;
-        if (a.prio != b.prio)
-            return a.prio < b.prio;
-        if (a.stamp != b.stamp)
-            return a.stamp < b.stamp;
-        return a.src < b.src;
+        if (a.order != b.order)
+            return a.order < b.order;
+        return a.src() < b.src();
     }
 
     /** Does this queue's earliest event sort strictly before key
@@ -171,11 +185,9 @@ class EventQueue
         const Entry &a = heap_.front();
         if (a.when != k.when)
             return a.when < k.when;
-        if (a.prio != k.prio)
-            return a.prio < k.prio;
-        if (a.stamp != k.stamp)
-            return a.stamp < k.stamp;
-        return a.src < k.src;
+        if (a.order != k.order)
+            return a.order < k.order;
+        return a.src() < k.src;
     }
 
     /** Raise the queue's own clock to @p t without running anything
@@ -192,7 +204,42 @@ class EventQueue
     /** Stable id stamped on events this queue schedules for itself
      *  (the partitioned driver gives each domain a distinct id; a
      *  sequential queue keeps the default 0). */
-    void setSourceId(std::uint16_t id) { ownSrc_ = id; }
+    void setSourceId(std::uint16_t id) { ownSrc_ = checkRank8(id); }
+
+    /**
+     * Collapsed sequential mode: turn this queue into a forwarding
+     * facade of @p master. Every schedule is pushed into the master
+     * heap carrying @p rank as its domain rank, so one heap pops the
+     * exact order the multi-queue merge driver would have produced:
+     * the rank reproduces the driver's fixed scan-order tie-break
+     * (channel queues in channel order, host queue last) and the
+     * master synthesizes the (stamp, source) pair a push into this
+     * queue would have recorded (see collapsedPush). A facade never
+     * holds events; its clock is routed to the master's merged clock
+     * via setExternalNow exactly as in merge mode.
+     */
+    void
+    collapseInto(EventQueue *master, std::uint16_t rank)
+    {
+        collapse_ = master;
+        collapseRank_ = checkRank8(rank);
+    }
+
+    /** Master side of a collapse: the domain rank recorded on events
+     *  this queue schedules for itself (the host queue ranks after
+     *  every channel facade, matching the merge driver's scan). */
+    void setOwnRank(std::uint16_t rank) { ownRank_ = checkRank8(rank); }
+
+    /**
+     * Master side of a collapse: construction is over, execution
+     * begins. Code that runs outside any event from here on (SM /
+     * host-stream start, drain polls) is host-driver code, so facade
+     * pushes it performs must record source 0 — the value merge mode's
+     * external-now routing would have stamped. Before this call such
+     * pushes keep the facade's own source id, mirroring a
+     * construction-time schedule into a not-yet-routed channel queue.
+     */
+    void beginCollapsedRun() { execDom_ = ownRank_; }
 
     /**
      * Schedule @p cb to run at absolute tick @p when.
@@ -245,7 +292,7 @@ class EventQueue
         {
             eq_.extActive_ = true;
             eq_.extStamp_ = stamp;
-            eq_.extSrc_ = src;
+            eq_.extSrc_ = checkRank8(src);
         }
         ~ExternalScope() { eq_.extActive_ = false; }
         ExternalScope(const ExternalScope &) = delete;
@@ -268,7 +315,7 @@ class EventQueue
     setExternalSource(const EventQueue *eq, std::uint16_t src)
     {
         extQueue_ = eq;
-        extQueueSrc_ = src;
+        extQueueSrc_ = checkRank8(src);
     }
     void clearExternalSource() { extQueue_ = nullptr; }
 
@@ -294,7 +341,7 @@ class EventQueue
                    bool *minPushValid = nullptr)
     {
         extNowPtr_ = now;
-        extNowSrc_ = src;
+        extNowSrc_ = checkRank8(src);
         extMinPush_ = minPush;
         extMinPushValid_ = minPushValid;
     }
@@ -327,32 +374,104 @@ class EventQueue
     bool step();
 
   private:
+    /** Stamp field width inside Entry::order: 56 bits of tick.
+     *  Overflow is a fatal, not a silent misorder — and unreachable
+     *  in practice (at one event per tick and millions of events per
+     *  second it is centuries of wall time away). */
+    static constexpr int kStampBits = 56;
+
+    /** Sequence field width inside Entry::order2. The truncation is
+     *  sound without a guard: two entries compare down to their
+     *  sequences only when (when, prio, stamp, src, dom) all tie,
+     *  and an equal stamp means both were pushed at the same tick —
+     *  a wrap-straddling pair would need 2^48 pushes into one queue
+     *  at a single tick with both entries still pending. */
+    static constexpr int kSeqBits = 48;
+
+    /**
+     * One pending event. The canonical six-field key is packed into
+     * two words so a heap compare is at most three branches and the
+     * whole entry (key + small-buffer callback) stays 40 bytes:
+     *
+     *   order  = priority(8) | stamp(56)
+     *   order2 = src(8) | dom(8) | seq(48)
+     *
+     * Field precedence is preserved exactly: lexicographic order on
+     * (when, order, order2) equals order on (when, prio, stamp, src,
+     * dom, seq). Source ids and domain ranks are bounded to 8 bits
+     * at their setters (checkRank8) — channels beyond 254 are out of
+     * scope for the modeled systems.
+     */
     struct Entry
     {
         Tick when;
-        Tick stamp;         ///< scheduling-domain tick at schedule time
-        std::uint64_t seq;  ///< per-queue insertion sequence
-        std::uint16_t src;  ///< scheduling domain id
-        std::uint8_t prio;
+        std::uint64_t order;  ///< (prio << kStampBits) | stamp
+        std::uint64_t order2; ///< (src << 56) | (dom << 48) | seq
         Callback cb;
+
+        std::uint8_t prio() const { return std::uint8_t(order >> kStampBits); }
+        Tick stamp() const { return order & ((1ull << kStampBits) - 1); }
+        std::uint16_t src() const { return std::uint16_t(order2 >> 56); }
+        std::uint16_t dom() const
+        {
+            return std::uint16_t((order2 >> kSeqBits) & 0xff);
+        }
 
         bool
         before(const Entry &other) const
         {
             if (when != other.when)
                 return when < other.when;
-            if (prio != other.prio)
-                return prio < other.prio;
-            if (stamp != other.stamp)
-                return stamp < other.stamp;
-            if (src != other.src)
-                return src < other.src;
-            return seq < other.seq;
+            if (order != other.order)
+                return order < other.order;
+            return order2 < other.order2;
         }
     };
 
+    /** Pack the (priority, stamp) compare word; fatal on a stamp too
+     *  large for its field rather than misordering silently. */
+    static std::uint64_t
+    packOrder(std::uint8_t prio, Tick stamp)
+    {
+        if (stamp >> kStampBits) [[unlikely]]
+            olight_fatal("event stamp overflows its packed key: ",
+                         stamp);
+        return (std::uint64_t(prio) << kStampBits) | stamp;
+    }
+
+    /** Pack the (source, domain rank, sequence) tie-break word. */
+    static std::uint64_t
+    packOrder2(std::uint16_t src, std::uint16_t dom, std::uint64_t seq)
+    {
+        return (std::uint64_t(src) << 56) |
+               (std::uint64_t(dom) << kSeqBits) |
+               (seq & ((1ull << kSeqBits) - 1));
+    }
+
+    /** Construction-time bound for ids packed into Entry::order2. */
+    static std::uint16_t
+    checkRank8(std::uint16_t id)
+    {
+        if (id > 0xff)
+            olight_fatal("source/domain id exceeds packed key width: ",
+                         id);
+        return id;
+    }
+
     void push(Entry entry);
     Entry popTop();
+
+    /** Record a facade's schedule in this (master) heap. The source
+     *  is synthesized to match what a push into the facade would have
+     *  recorded under the merge driver: the facade's own id when the
+     *  currently executing event belongs to the same domain (merge
+     *  mode clears the executing queue's external routing) or when
+     *  still constructing, else 0 (the external-now source every
+     *  non-executing queue carries). The stamp is this queue's
+     *  current tick — identical to the merged clock the facade would
+     *  have read. */
+    void collapsedPush(Tick when, Callback cb, EventPriority prio,
+                       std::uint16_t rank, std::uint16_t facadeSrc);
 
     /** The (stamp, src) to record on an event scheduled now. */
     Tick
@@ -378,7 +497,7 @@ class EventQueue
         return ownSrc_;
     }
 
-    /** 4-ary min-heap on (when, prio, stamp, src, seq) over heap_. */
+    /** 4-ary min-heap on (when, order, order2) over heap_. */
     static constexpr std::size_t kArity = 4;
 
     std::vector<Entry> heap_;
@@ -390,6 +509,15 @@ class EventQueue
     std::uint64_t numExecuted_ = 0;
     std::uint64_t regrows_ = 0;
     std::uint16_t ownSrc_ = 0;
+
+    /** Sentinel for execDom_ while the System is still being built
+     *  (no event has run and beginCollapsedRun was not called). */
+    static constexpr std::uint16_t kConstructing = 0xffff;
+
+    EventQueue *collapse_ = nullptr; ///< master heap when a facade
+    std::uint16_t collapseRank_ = 0; ///< this facade's domain rank
+    std::uint16_t ownRank_ = 0;      ///< rank on own events (master)
+    std::uint16_t execDom_ = kConstructing; ///< executing event's rank
 
     bool extActive_ = false;
     Tick extStamp_ = 0;

@@ -1,0 +1,558 @@
+#include "verify/infer.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/config.hh"
+#include "verify/oracle.hh"
+
+namespace olight
+{
+
+const char *
+toString(HbEdge::Kind kind)
+{
+    switch (kind) {
+      case HbEdge::Kind::Epoch: return "epoch";
+      case HbEdge::Kind::CrossGroup: return "cross-group";
+      case HbEdge::Kind::TsRaw: return "ts-raw";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Commit position of a packet that never reached the MC: sorts
+ *  after every real commit, so a pre-marker packet that is still
+ *  outstanding violates every post-marker edge — the same reading
+ *  the oracle's outstanding-epoch check gives it. */
+constexpr std::uint64_t kNeverCommitted = ~0ull;
+
+/** Ordering points are synthesized nodes in the happens-before
+ *  graph; their ids carry this tag so they can never collide with
+ *  packet ids (which the workloads allocate densely from 0). */
+constexpr std::uint64_t kOpNodeTag = 1ull << 63;
+
+constexpr std::uint32_t kNoPkt = ~0u;
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Star-edge bookkeeping of one ordering-point node within one
+ *  (channel, group) chain. */
+struct ChainLink
+{
+    std::size_t node;       ///< index into the node table
+    std::uint32_t preEpoch; ///< epochs <= preEpoch are "before"
+};
+
+/** Per-(channel, group) issue-side state. Packets are dense graph
+ *  indices, not ids — the perturbation path needs array lookups. */
+struct Chain
+{
+    std::uint32_t epoch = 0;
+    /** packet indices issued per epoch, in stream order. */
+    std::vector<std::vector<std::uint32_t>> epochPkts;
+    std::vector<ChainLink> links;
+
+    std::vector<std::uint32_t> &
+    pkts(std::uint32_t e)
+    {
+        if (epochPkts.size() <= e)
+            epochPkts.resize(e + 1);
+        return epochPkts[e];
+    }
+};
+
+/** One synthesized ordering-point node. A dual marker is a single
+ *  node member of both groups' chains — the shared node is what
+ *  carries the cross-group ordering transitively. */
+struct OpNode
+{
+    std::uint64_t id;
+    std::uint16_t channel;
+    bool dual;
+    struct Member
+    {
+        std::uint32_t key;
+        std::uint8_t group;
+        std::uint32_t preEpoch;
+        std::uint64_t maxPre = 0; ///< latest pre-side commit position
+        std::uint64_t minPost = kNeverCommitted; ///< earliest post
+    };
+    Member members[2];
+    int memberCount = 0;
+};
+
+struct RawDep
+{
+    std::uint32_t writer;
+    std::uint32_t reader;
+    std::uint16_t channel;
+    std::uint8_t group;
+};
+
+/** One MC commit record in stream order: which slot in the command
+ *  stream it is, which packet originally occupied it, and the keys
+ *  the perturbation windows group by. */
+struct CommitSlot
+{
+    std::uint64_t streamPos; ///< 1-based record position in the log
+    std::uint32_t pkt;       ///< graph index, kNoPkt if untracked
+    std::uint16_t channel;
+    Tick colTick;
+};
+
+/**
+ * Everything the inference reads out of one walk of the log: the
+ * epoch chains and ordering-point nodes per (channel, group), the TS
+ * RAW dependencies, the packet table, and the MC commit stream. Both
+ * the one-shot inference and every perturbed re-check evaluate the
+ * same graph — only the commit-position vector differs.
+ */
+struct IssueGraph
+{
+    std::unordered_map<std::uint32_t, Chain> chains;
+    std::vector<OpNode> nodes;
+    std::vector<RawDep> rawDeps;
+    std::vector<std::uint64_t> pktIds;  ///< graph index -> packet id
+    std::vector<std::uint64_t> basePos; ///< recorded first-commit pos
+    std::vector<CommitSlot> commitSlots;
+    std::uint64_t commits = 0; ///< tracked first commits
+};
+
+IssueGraph
+buildIssueGraph(const LogData &log)
+{
+    const std::uint32_t numGroups =
+        log.header.numMemGroups ? log.header.numMemGroups : 1;
+
+    IssueGraph g;
+    std::unordered_map<std::uint64_t, std::uint32_t> pktIndex;
+    std::vector<std::uint32_t> pktEpoch;
+    std::vector<std::uint8_t> pktGroup;
+    /** (channel * 256 + TS slot) -> last program-order writer. */
+    std::unordered_map<std::uint32_t, std::uint32_t> slotWriter;
+
+    std::vector<std::uint8_t> reads, writes;
+    std::uint64_t pos = 0;
+    for (const LogRecord &rec : log.records) {
+        ++pos;
+        switch (LogRecordKind(rec.kind)) {
+          case LogRecordKind::WarpIssue: {
+            const Packet pkt = unpackRecord(rec);
+            if (!pkt.instr.isPimCommand())
+                break;
+            const std::uint32_t key =
+                std::uint32_t(pkt.channel) * numGroups +
+                pkt.instr.memGroup;
+            Chain &chain = g.chains[key];
+            const std::uint32_t idx =
+                std::uint32_t(g.pktIds.size());
+            chain.pkts(chain.epoch).push_back(idx);
+
+            // Mirror the oracle's RAW registration: the program-order
+            // writer of each slot this command reads must commit
+            // first whenever an ordering point of their shared group
+            // separates them.
+            slotUse(pkt.instr, reads, writes);
+            for (std::uint8_t slot : reads) {
+                auto it = slotWriter.find(
+                    std::uint32_t(pkt.channel) * 256 + slot);
+                if (it == slotWriter.end())
+                    continue;
+                const std::uint32_t w = it->second;
+                if (pktGroup[w] == pkt.instr.memGroup &&
+                    pktEpoch[w] < chain.epoch)
+                    g.rawDeps.push_back({w, idx, pkt.channel,
+                                         pkt.instr.memGroup});
+            }
+            for (std::uint8_t slot : writes)
+                slotWriter[std::uint32_t(pkt.channel) * 256 + slot] =
+                    idx;
+
+            pktIndex.emplace(pkt.id, idx);
+            g.pktIds.push_back(pkt.id);
+            g.basePos.push_back(kNeverCommitted);
+            pktEpoch.push_back(chain.epoch);
+            pktGroup.push_back(pkt.instr.memGroup);
+            break;
+          }
+          case LogRecordKind::OrderPoint: {
+            OpNode node;
+            node.id = kOpNodeTag | g.nodes.size();
+            node.channel = rec.channel;
+            node.dual = rec.group2 >= 0;
+            const std::uint8_t groups[2] = {
+                rec.group, std::uint8_t(rec.group2)};
+            const int n = node.dual ? 2 : 1;
+            for (int i = 0; i < n; ++i) {
+                const std::uint32_t key =
+                    std::uint32_t(rec.channel) * numGroups +
+                    groups[i];
+                Chain &chain = g.chains[key];
+                node.members[i] =
+                    OpNode::Member{key, groups[i], chain.epoch};
+                chain.links.push_back(
+                    ChainLink{g.nodes.size(), chain.epoch});
+                ++chain.epoch;
+            }
+            node.memberCount = n;
+            g.nodes.push_back(node);
+            break;
+          }
+          case LogRecordKind::McCommit: {
+            auto it = pktIndex.find(rec.pktId);
+            const std::uint32_t idx =
+                it == pktIndex.end() ? kNoPkt : it->second;
+            if (idx != kNoPkt &&
+                g.basePos[idx] == kNeverCommitted) {
+                g.basePos[idx] = pos;
+                ++g.commits;
+            }
+            g.commitSlots.push_back(
+                CommitSlot{pos, idx, std::uint16_t(rec.extra),
+                           Tick(rec.tickA)});
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return g;
+}
+
+/**
+ * Fill every node member's maxPre/minPost for the commit positions
+ * in @p pos. Walking the links forward folds a running maximum
+ * commit position over every epoch at or below a node's marker (a
+ * pre-side packet of ANY earlier epoch bounds it, not just the
+ * adjacent one); walking backward folds the running minimum over
+ * every later epoch. A dual node then takes the worst bound across
+ * both its chains — that is exactly the ordering the shared node
+ * carries.
+ */
+void
+computeNodeBounds(IssueGraph &g, const std::vector<std::uint64_t> &pos)
+{
+    for (auto &[key, chain] : g.chains) {
+        std::uint64_t running = 0;
+        std::uint32_t e = 0;
+        for (ChainLink &link : chain.links) {
+            for (; e <= link.preEpoch; ++e) {
+                if (e >= chain.epochPkts.size())
+                    continue;
+                for (std::uint32_t idx : chain.epochPkts[e])
+                    running = std::max(running, pos[idx]);
+            }
+            OpNode &node = g.nodes[link.node];
+            for (int i = 0; i < node.memberCount; ++i)
+                if (node.members[i].key == key)
+                    node.members[i].maxPre = running;
+        }
+        std::uint64_t runningMin = kNeverCommitted;
+        std::uint32_t f = chain.epoch;
+        for (std::size_t li = chain.links.size(); li-- > 0;) {
+            const ChainLink &link = chain.links[li];
+            for (; f > link.preEpoch; --f) {
+                if (f >= chain.epochPkts.size())
+                    continue;
+                for (std::uint32_t idx : chain.epochPkts[f]) {
+                    const std::uint64_t p = pos[idx];
+                    if (p != kNeverCommitted)
+                        runningMin = std::min(runningMin, p);
+                }
+            }
+            OpNode &node = g.nodes[link.node];
+            for (int i = 0; i < node.memberCount; ++i)
+                if (node.members[i].key == key)
+                    node.members[i].minPost = runningMin;
+        }
+    }
+}
+
+/** Count the edges of @p g violated under the commit positions in
+ *  @p pos — the same judgement inferHappensBefore() renders per
+ *  edge, without materializing the edge list. */
+std::uint64_t
+countViolatedEdges(IssueGraph &g, const std::vector<std::uint64_t> &pos)
+{
+    computeNodeBounds(g, pos);
+    std::uint64_t violated = 0;
+    for (const OpNode &node : g.nodes) {
+        std::uint64_t maxPre = 0;
+        std::uint64_t minPost = kNeverCommitted;
+        for (int i = 0; i < node.memberCount; ++i) {
+            maxPre = std::max(maxPre, node.members[i].maxPre);
+            minPost = std::min(minPost, node.members[i].minPost);
+        }
+        for (int i = 0; i < node.memberCount; ++i) {
+            const OpNode::Member &m = node.members[i];
+            Chain &chain = g.chains[m.key];
+            for (std::uint32_t idx : chain.pkts(m.preEpoch))
+                if (pos[idx] > minPost)
+                    ++violated;
+            for (std::uint32_t idx : chain.pkts(m.preEpoch + 1))
+                if (pos[idx] < maxPre)
+                    ++violated;
+        }
+    }
+    for (const RawDep &dep : g.rawDeps) {
+        const std::uint64_t r = pos[dep.reader];
+        if (r != kNeverCommitted && pos[dep.writer] > r)
+            ++violated;
+    }
+    return violated;
+}
+
+} // namespace
+
+bool
+InferredOrder::consistentWith(const ReplayVerdict &verdict) const
+{
+    // The happens-before classes of the oracle's report. The other
+    // kinds (OL sequence, conservation, ack conservation) are not
+    // ordering edges, so they do not bind the comparison. The report
+    // stores the first 64 violations; a run whose HB violations all
+    // fall past that cap would read as inconsistent — acceptable for
+    // the litmus-scale logs this is used on.
+    const bool oracleHb =
+        verdict.report.find("[commit-order]") != std::string::npos ||
+        verdict.report.find("[cross-group-order]") !=
+            std::string::npos ||
+        verdict.report.find("[ts-raw]") != std::string::npos;
+    return (violatedEdges > 0) == oracleHb;
+}
+
+InferredOrder
+inferHappensBefore(const LogData &log)
+{
+    IssueGraph g = buildIssueGraph(log);
+    computeNodeBounds(g, g.basePos);
+
+    InferredOrder out;
+    out.orderingPoints = g.nodes.size();
+    out.commits = g.commits;
+
+    // Emit the minimal star: n_before edges into each node plus
+    // n_after edges out of it, instead of the n_before x n_after
+    // closure. Violations are judged against the node's combined
+    // bounds so cross-group and transitive breaks surface on the
+    // adjacent edges.
+    for (const OpNode &node : g.nodes) {
+        std::uint64_t maxPre = 0;
+        std::uint64_t minPost = kNeverCommitted;
+        for (int i = 0; i < node.memberCount; ++i) {
+            maxPre = std::max(maxPre, node.members[i].maxPre);
+            minPost = std::min(minPost, node.members[i].minPost);
+        }
+        const HbEdge::Kind kind = node.dual ? HbEdge::Kind::CrossGroup
+                                            : HbEdge::Kind::Epoch;
+        for (int i = 0; i < node.memberCount; ++i) {
+            const OpNode::Member &m = node.members[i];
+            Chain &chain = g.chains[m.key];
+            for (std::uint32_t idx : chain.pkts(m.preEpoch)) {
+                HbEdge edge;
+                edge.from = g.pktIds[idx];
+                edge.to = node.id;
+                edge.channel = node.channel;
+                edge.group = m.group;
+                edge.kind = kind;
+                edge.violated = g.basePos[idx] > minPost;
+                out.edges.push_back(edge);
+            }
+            for (std::uint32_t idx : chain.pkts(m.preEpoch + 1)) {
+                HbEdge edge;
+                edge.from = node.id;
+                edge.to = g.pktIds[idx];
+                edge.channel = node.channel;
+                edge.group = m.group;
+                edge.kind = kind;
+                edge.violated = g.basePos[idx] < maxPre;
+                out.edges.push_back(edge);
+            }
+        }
+    }
+
+    for (const RawDep &dep : g.rawDeps) {
+        HbEdge edge;
+        edge.from = g.pktIds[dep.writer];
+        edge.to = g.pktIds[dep.reader];
+        edge.channel = dep.channel;
+        edge.group = dep.group;
+        edge.kind = HbEdge::Kind::TsRaw;
+        const std::uint64_t r = g.basePos[dep.reader];
+        // The oracle checks at the reader's commit: a writer that has
+        // not committed by then (including never) is the hazard.
+        edge.violated = r != kNeverCommitted &&
+                        g.basePos[dep.writer] > r;
+        out.edges.push_back(edge);
+    }
+
+    for (const HbEdge &edge : out.edges) {
+        switch (edge.kind) {
+          case HbEdge::Kind::Epoch: ++out.epochEdges; break;
+          case HbEdge::Kind::CrossGroup:
+            ++out.crossGroupEdges;
+            break;
+          case HbEdge::Kind::TsRaw: ++out.rawEdges; break;
+        }
+        if (edge.violated)
+            ++out.violatedEdges;
+    }
+    return out;
+}
+
+PerturbSummary
+perturbAndCheck(const LogData &log, std::uint64_t count,
+                std::uint64_t seed, Tick windowTicks)
+{
+    IssueGraph g = buildIssueGraph(log);
+
+    // Shuffle groups: commits of one channel whose column ticks fall
+    // within windowTicks of the window opener may swap command-bus
+    // slots — the offline analogue of the partitioned driver's
+    // conservative lookahead. Each slot keeps its column tick and
+    // channel; only the packet occupying it moves.
+    struct Window
+    {
+        std::vector<std::uint32_t> slots; ///< commitSlots indices
+    };
+    std::vector<Window> windows;
+    std::vector<bool> inWindow(g.commitSlots.size(), false);
+    std::unordered_map<std::uint16_t, std::pair<Tick, std::size_t>>
+        open;
+    for (std::uint32_t i = 0; i < g.commitSlots.size(); ++i) {
+        const CommitSlot &slot = g.commitSlots[i];
+        auto it = open.find(slot.channel);
+        if (it == open.end() ||
+            slot.colTick >= it->second.first + windowTicks) {
+            windows.push_back(Window{});
+            open[slot.channel] = {slot.colTick, windows.size() - 1};
+            it = open.find(slot.channel);
+        }
+        windows[it->second.second].slots.push_back(i);
+    }
+    windows.erase(std::remove_if(windows.begin(), windows.end(),
+                                 [](const Window &w) {
+                                     return w.slots.size() < 2;
+                                 }),
+                  windows.end());
+    for (const Window &w : windows)
+        for (std::uint32_t s : w.slots)
+            inWindow[s] = true;
+
+    // Packets whose commits sit outside every window never move:
+    // fold their positions once.
+    std::vector<std::uint64_t> fixedPos(g.pktIds.size(),
+                                        kNeverCommitted);
+    for (std::uint32_t i = 0; i < g.commitSlots.size(); ++i) {
+        const CommitSlot &slot = g.commitSlots[i];
+        if (!inWindow[i] && slot.pkt != kNoPkt)
+            fixedPos[slot.pkt] =
+                std::min(fixedPos[slot.pkt], slot.streamPos);
+    }
+
+    // How many perturbed streams to cross-validate with a full
+    // oracle replay: the compiled edge check and the oracle must
+    // agree on whether each perturbed schedule breaks an ordering
+    // constraint, or the fast path is lying.
+    const std::uint64_t kValidate = std::min<std::uint64_t>(count, 3);
+
+    PerturbSummary sum;
+    std::vector<std::uint32_t> perm;  ///< slot -> original slot
+    std::vector<std::uint64_t> pos;   ///< graph index -> commit pos
+    LogData work;
+    work.header = log.header;
+    work.footer = log.footer;
+    work.strings = log.strings;
+    for (std::uint64_t p = 0; p < count; ++p) {
+        perm.resize(g.commitSlots.size());
+        for (std::uint32_t i = 0; i < perm.size(); ++i)
+            perm[i] = i;
+        std::uint64_t state =
+            seed ^ (0x9E3779B97F4A7C15ull * (p + 1));
+        for (const Window &w : windows) {
+            for (std::size_t j = w.slots.size() - 1; j > 0; --j) {
+                const std::size_t k =
+                    std::size_t(splitMix64(state) % (j + 1));
+                if (k != j)
+                    std::swap(perm[w.slots[j]], perm[w.slots[k]]);
+            }
+            for (std::uint32_t s : w.slots)
+                if (g.commitSlots[perm[s]].pkt !=
+                    g.commitSlots[s].pkt)
+                    ++sum.shuffledCommits;
+        }
+
+        // Commit positions under the permutation: fixed slots keep
+        // their fold, window slots deliver whichever packet landed
+        // in them at the slot's own stream position.
+        pos = fixedPos;
+        for (const Window &w : windows)
+            for (std::uint32_t s : w.slots) {
+                const std::uint32_t idx = g.commitSlots[perm[s]].pkt;
+                if (idx != kNoPkt)
+                    pos[idx] = std::min(pos[idx],
+                                        g.commitSlots[s].streamPos);
+            }
+
+        const std::uint64_t violated = countViolatedEdges(g, pos);
+        ++sum.schedules;
+        if (violated == 0)
+            ++sum.clean;
+        else
+            ++sum.violating;
+        sum.totalViolations += violated;
+
+        if (p < kValidate) {
+            // Rebuild the perturbed record stream (each window slot
+            // takes the record of the packet now occupying it, but
+            // keeps its own column tick) and replay it through a
+            // fresh oracle, skipping ack records: ack timing is a
+            // downstream effect of the commit schedule the
+            // perturbation replaced, so inheriting the recorded ack
+            // stream would report phantom ack-conservation
+            // violations instead of ordering facts about the new
+            // schedule.
+            work.records = log.records;
+            const auto recIdx = [&](std::uint32_t s) {
+                return std::size_t(g.commitSlots[s].streamPos - 1);
+            };
+            for (const Window &w : windows)
+                for (std::uint32_t s : w.slots) {
+                    LogRecord &dst = work.records[recIdx(s)];
+                    dst = log.records[recIdx(perm[s])];
+                    dst.tickA = log.records[recIdx(s)].tickA;
+                }
+            SystemConfig cfg;
+            cfg.numChannels = work.header.numChannels;
+            cfg.numMemGroups = work.header.numMemGroups;
+            cfg.orderingMode =
+                OrderingMode(work.header.orderingMode);
+            OrderingOracle oracle(cfg);
+            for (const LogRecord &rec : work.records) {
+                if (LogRecordKind(rec.kind) == LogRecordKind::Ack)
+                    continue;
+                replayRecord(rec, work, oracle);
+            }
+            oracle.finalize();
+            const ReplayVerdict verdict = harvestVerdict(oracle);
+            InferredOrder probe;
+            probe.violatedEdges = violated;
+            ++sum.validated;
+            if (!probe.consistentWith(verdict))
+                ++sum.validationMismatches;
+        }
+    }
+    return sum;
+}
+
+} // namespace olight

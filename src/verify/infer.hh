@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Offline ordering inference over a commit log.
+ *
+ * Two capabilities on top of record/replay (`olight_infer`):
+ *
+ *  1. Happens-before reconstruction: from the SM-side program order
+ *     (WarpIssue / OrderPoint records) rebuild the minimal
+ *     happens-before relation the paper's primitive promises — the
+ *     epoch structure per (channel, memory group), modeled as star
+ *     edges through each ordering-point node (n_before + n_after
+ *     edges instead of the n_before x n_after transitive closure),
+ *     plus cross-group edges for dual ordering points and TS RAW
+ *     writer->reader edges. Each edge is then checked against the
+ *     MC commit stream: an edge whose sink committed before its
+ *     source is a violated constraint, and the summary must agree
+ *     with the replayed oracle verdict (violated edges > 0 iff the
+ *     oracle reported commit-order / cross-group / TS-RAW
+ *     violations).
+ *
+ *  2. Schedule perturbation: re-check the log under thousands of
+ *     perturbed per-channel MC schedules without re-simulating. A
+ *     perturbation shuffles which packet commits in which command-bus
+ *     slot among commits of the same channel whose column ticks fall
+ *     in the same lookahead window (seeded, splitMix64), then
+ *     re-evaluates the compiled happens-before graph against the
+ *     permuted commit positions — O(edges + commits) per schedule,
+ *     not a full O(records) oracle replay. The first few schedules
+ *     of every batch ARE additionally replayed through a fresh
+ *     oracle as cross-validation of the fast path. This scales the
+ *     litmus sensitivity sweep from tens of simulated seeds to
+ *     thousands of plausible schedules per log: every shuffle is a
+ *     schedule the MC could have picked under the same arrival
+ *     pattern.
+ */
+
+#ifndef OLIGHT_VERIFY_INFER_HH
+#define OLIGHT_VERIFY_INFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/commit_log.hh"
+#include "verify/log_events.hh"
+
+namespace olight
+{
+
+/** One happens-before edge: packet `from` must commit before `to`. */
+struct HbEdge
+{
+    std::uint64_t from = 0;
+    std::uint64_t to = 0;
+    std::uint16_t channel = 0;
+    std::uint8_t group = 0;
+    enum class Kind : std::uint8_t
+    {
+        Epoch,      ///< same-group, separated by an ordering point
+        CrossGroup, ///< dual ordering point across two groups
+        TsRaw,      ///< TS slot writer -> ordered reader
+    } kind = Kind::Epoch;
+    bool violated = false; ///< sink committed before source
+};
+
+const char *toString(HbEdge::Kind kind);
+
+/** The reconstructed relation plus its check against the commits. */
+struct InferredOrder
+{
+    std::vector<HbEdge> edges;
+    std::uint64_t epochEdges = 0;
+    std::uint64_t crossGroupEdges = 0;
+    std::uint64_t rawEdges = 0;
+    std::uint64_t violatedEdges = 0;
+    std::uint64_t orderingPoints = 0;
+    std::uint64_t commits = 0;
+
+    /** Does the inference agree with the replayed oracle verdict on
+     *  whether an ordering constraint was broken? (The oracle also
+     *  checks non-HB invariants — OL sequence, conservation — so the
+     *  comparison only binds when it reported HB-class kinds.) */
+    bool consistentWith(const ReplayVerdict &verdict) const;
+};
+
+/** Rebuild and check the minimal happens-before relation of @p log. */
+InferredOrder inferHappensBefore(const LogData &log);
+
+/** Outcome of one batch of perturbed-schedule re-checks. */
+struct PerturbSummary
+{
+    std::uint64_t schedules = 0; ///< perturbations checked
+    std::uint64_t violating = 0; ///< schedules with >= 1 violated edge
+    std::uint64_t clean = 0;
+    std::uint64_t totalViolations = 0; ///< violated edges summed
+    std::uint64_t shuffledCommits = 0; ///< commits moved in total
+    /** Cross-validation: the first few perturbed streams are also
+     *  replayed through a full oracle; a mismatch means the compiled
+     *  edge check and the oracle disagree on whether that schedule
+     *  breaks an ordering constraint. Must be zero. */
+    std::uint64_t validated = 0;
+    std::uint64_t validationMismatches = 0;
+};
+
+/**
+ * Re-check @p log under @p count perturbed schedules derived from
+ * @p seed. @p windowTicks bounds each shuffle: only commits of the
+ * same channel within the same window of column ticks may swap
+ * command-bus slots (the offline analogue of the partitioned
+ * driver's conservative lookahead).
+ */
+PerturbSummary perturbAndCheck(const LogData &log, std::uint64_t count,
+                               std::uint64_t seed, Tick windowTicks);
+
+} // namespace olight
+
+#endif // OLIGHT_VERIFY_INFER_HH

@@ -237,12 +237,19 @@ litmusConfig(OrderingMode mode, std::uint64_t seed)
 
 LitmusResult
 runLitmus(const std::string &name, OrderingMode mode,
-          std::uint64_t seed, unsigned simJobs)
+          std::uint64_t seed, unsigned simJobs,
+          const std::string &recordPath)
 {
     SystemConfig cfg = litmusConfig(mode, seed);
     ExecPolicy policy;
     policy.simJobs = simJobs;
+    std::unique_ptr<CommitLogWriter> logWriter;
     System sys(cfg, policy);
+    if (!recordPath.empty()) {
+        logWriter =
+            std::make_unique<CommitLogWriter>(recordPath, cfg, seed);
+        sys.enableRecording(*logWriter);
+    }
     LitmusProgram prog =
         buildProgram(name, sys.config(), sys.map());
     sys.loadPimKernel(std::move(prog.streams));
@@ -258,6 +265,12 @@ runLitmus(const std::string &name, OrderingMode mode,
         std::ostringstream os;
         oracle->report(os);
         res.report = os.str();
+    }
+    if (logWriter) {
+        const ReplayVerdict live = harvestVerdict(*oracle);
+        if (!logWriter->finish(live.violations, live.checks,
+                               live.reportHash, live.clean))
+            olight_fatal("failed to write commit log: ", recordPath);
     }
     return res;
 }

@@ -62,10 +62,14 @@ SystemConfig litmusConfig(OrderingMode mode, std::uint64_t seed);
  * Run litmus pattern @p name under @p mode with schedule seed
  * @p seed. Fatals on an unknown pattern name. @p simJobs selects
  * the execution policy (1 = sequential merge driver, >1 = channel
- * partitioning) — the verdict must not depend on it.
+ * partitioning) — the verdict must not depend on it. A non-empty
+ * @p recordPath records the run's hook stream into a commit log
+ * (the way to capture a *violating* log: mode None on a sensitive
+ * seed), with the seed stamped into the log header.
  */
 LitmusResult runLitmus(const std::string &name, OrderingMode mode,
-                       std::uint64_t seed, unsigned simJobs = 1);
+                       std::uint64_t seed, unsigned simJobs = 1,
+                       const std::string &recordPath = {});
 
 } // namespace olight
 

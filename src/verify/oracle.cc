@@ -20,14 +20,6 @@ toString(ViolationKind kind)
     return "?";
 }
 
-namespace
-{
-
-/** TS slots a PIM command reads / writes. The destination of an ALU
- *  command counts as read too: accumulating ops (DotAcc, MaxAcc...)
- *  consume it, and claiming the extra dependence is sound — every
- *  cross-ordering-point same-group dependence is enforced whether or
- *  not the value is actually consumed. */
 void
 slotUse(const PimInstr &instr, std::vector<std::uint8_t> &reads,
         std::vector<std::uint8_t> &writes)
@@ -57,8 +49,6 @@ slotUse(const PimInstr &instr, std::vector<std::uint8_t> &reads,
         break; // host requests do not touch the TS
     }
 }
-
-} // namespace
 
 OrderingOracle::OrderingOracle(const SystemConfig &cfg)
     : numGroups_(cfg.numMemGroups), historyLimit_(16)

@@ -63,6 +63,16 @@ enum class ViolationKind : std::uint8_t
 
 const char *toString(ViolationKind kind);
 
+/** TS slots a PIM command reads / writes — the oracle's hazard model,
+ *  shared with offline inference (verify/infer.cc) so both derive
+ *  RAW dependences from the same slot-use table. The destination of
+ *  an ALU command counts as read too: accumulating ops (DotAcc,
+ *  MaxAcc...) consume it, and claiming the extra dependence is sound
+ *  — every cross-ordering-point same-group dependence is enforced
+ *  whether or not the value is actually consumed. */
+void slotUse(const PimInstr &instr, std::vector<std::uint8_t> &reads,
+             std::vector<std::uint8_t> &writes);
+
 /** One detected invariant violation. */
 struct Violation
 {

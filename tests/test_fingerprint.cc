@@ -161,6 +161,37 @@ TEST(Fingerprint, RunOptionsSensitivity)
     expectDiffers([](RunOptions &o) { o.base.seed += 1; });
 }
 
+TEST(Fingerprint, RunOptionsIgnoresExecutionPolicyKnobs)
+{
+    // simJobs picks the event-execution driver and recordPath tees
+    // the observer stream to disk; neither changes the simulated
+    // result payload, so both must miss the cache key — otherwise
+    // identical runs at different worker counts (or with recording
+    // on) bypass the serve daemon's content-addressed cache.
+    RunOptions a;
+    RunOptions b;
+    b.simJobs = 8;
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+
+    RunOptions c;
+    c.recordPath = "/tmp/some.olog";
+    EXPECT_EQ(fingerprint(a), fingerprint(c));
+
+    RunOptions d;
+    d.simJobs = 4;
+    d.recordPath = "/tmp/other.olog";
+    d.profileDomains = true;
+    EXPECT_EQ(fingerprint(a), fingerprint(d));
+
+    // Sanity: the same mutations on top of a *result-changing* knob
+    // still differ from the base (policy knobs don't mask payload
+    // knobs).
+    RunOptions e;
+    e.simJobs = 8;
+    e.elements *= 2;
+    EXPECT_NE(fingerprint(e), fingerprint(a));
+}
+
 TEST(Fingerprint, SweepSpecIgnoresWorkerCount)
 {
     SweepSpec a, b;

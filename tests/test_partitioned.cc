@@ -76,6 +76,51 @@ TEST(Partitioned, GoldenWorkloadByteIdenticalAcrossSimJobs)
     }
 }
 
+/** Run @p workload sequentially (simJobs 1) with the given collapse
+ *  policy and render every deterministic output as one string. */
+std::string
+sequentialOutputs(const char *workload, bool collapse)
+{
+    SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
+    cfg.verifyOracle = true;
+    auto wl = makeWorkload(workload);
+    wl->build(cfg, 1ull << 12);
+    ExecPolicy policy;
+    policy.simJobs = 1;
+    policy.collapseSequential = collapse;
+    System sys(cfg, policy);
+    wl->initMemory(sys.mem());
+    sys.loadPimKernel(wl->streams());
+    RunMetrics metrics = sys.run();
+    EXPECT_FALSE(sys.partitioned());
+
+    std::ostringstream os;
+    metrics.writeJson(os);
+    os << "\nevents=" << sys.eventsExecuted() << "\noracle="
+       << sys.oracle()->violationCount() << "/"
+       << sys.oracle()->checksPerformed() << "\n";
+    sys.oracle()->report(os);
+    return os.str();
+}
+
+/** The collapsed single-heap fast path (PR 7's jobs=1 recovery) and
+ *  the 17-queue merge driver it bypasses are the same simulation:
+ *  metrics, event counts and oracle verdicts byte-identical. This is
+ *  the pin that keeps the fast path honest — any divergence in the
+ *  canonical pop order shows up here, not in a downstream golden. */
+TEST(Partitioned, CollapsedAndMergeDriversByteIdentical)
+{
+    for (const char *wl : {"KMeans", "Triad"}) {
+        SCOPED_TRACE(wl);
+        const std::string collapsed = sequentialOutputs(wl, true);
+        const std::string merged = sequentialOutputs(wl, false);
+        EXPECT_EQ(collapsed, merged);
+        EXPECT_NE(collapsed.find("oracle=0/"), std::string::npos)
+            << "the oracle should attach and stay clean: "
+            << collapsed;
+    }
+}
+
 /** Oracle verdicts (not just counts) must match across drivers. */
 TEST(Partitioned, OracleVerdictsIndependentOfSimJobs)
 {

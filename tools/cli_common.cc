@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "core/limits.hh"
+#include "sim/thread_pool.hh"
 
 namespace olight
 {
@@ -87,6 +88,15 @@ enforceLimits(const char *tool, std::uint64_t elements,
         std::cerr << tool << ": " << why << "\n";
         std::exit(2);
     }
+}
+
+unsigned
+parseSimJobs(const char *tool, const std::string &value)
+{
+    std::uint64_t n = parseNumber(tool, "--sim-jobs", value);
+    if (n == 0)
+        return ThreadPool::defaultThreads();
+    return unsigned(n);
 }
 
 } // namespace cli

@@ -66,5 +66,14 @@ const char *modeName(OrderingMode mode);
 void enforceLimits(const char *tool, std::uint64_t elements,
                    std::uint64_t jobs, std::uint64_t points);
 
+/**
+ * Parse a `--sim-jobs` value the same way in every driver: strict
+ * number (fatal with the tool's uniform diagnostic otherwise), with
+ * 0 resolved to the machine's worker-thread default. The returned
+ * count feeds ExecPolicy::simJobs — results are bit-identical for
+ * every value, so the flag is pure throughput tuning.
+ */
+unsigned parseSimJobs(const char *tool, const std::string &value);
+
 } // namespace cli
 } // namespace olight

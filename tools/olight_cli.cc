@@ -57,6 +57,9 @@ usage()
         "                    for every value)\n"
         "  --profile-domains FILE  write per-domain self-profiling\n"
         "                    JSON (needs --sim-jobs > 1)\n"
+        "  --record FILE     record the observer hook stream into a\n"
+        "                    binary commit log (forces the ordering\n"
+        "                    oracle on; replay with olight_replay)\n"
         "  --trace FILE      write a CSV packet trace\n"
         "  --trace-json FILE write a Chrome trace_event JSON trace\n"
         "                    (open in Perfetto / chrome://tracing)\n"
@@ -91,7 +94,7 @@ main(int argc, char **argv)
     std::size_t dump_kernel = 0;
     unsigned jobs = 1, sim_jobs = 1;
     std::string trace_path, trace_json_path, stats_json_path;
-    std::string sample_path, profile_path;
+    std::string sample_path, profile_path, record_path;
     std::uint64_t sample_interval_cycles = 1000;
 
     for (int i = 1; i < argc; ++i) {
@@ -128,7 +131,9 @@ main(int argc, char **argv)
         else if (arg == "--jobs" || arg == "-j")
             jobs = unsigned(parseNumber(arg, next()));
         else if (arg == "--sim-jobs")
-            sim_jobs = unsigned(parseNumber(arg, next()));
+            sim_jobs = cli::parseSimJobs("olight_cli", next());
+        else if (arg == "--record")
+            record_path = next();
         else if (arg == "--profile-domains")
             profile_path = next();
         else if (arg == "--trace")
@@ -166,8 +171,6 @@ main(int argc, char **argv)
     cli::enforceLimits("olight_cli", elements,
                        std::max<std::uint64_t>(jobs, sim_jobs), 1);
 
-    if (sim_jobs == 0)
-        sim_jobs = ThreadPool::defaultThreads();
     if (sim_jobs > 1 &&
         (!trace_path.empty() || !trace_json_path.empty() ||
          !sample_path.empty() || flush)) {
@@ -186,7 +189,9 @@ main(int argc, char **argv)
     SystemConfig base = cpu_host ? cpuHostBase() : SystemConfig{};
     base.numChannels = channels;
     SystemConfig cfg = configFor(mode, ts, bmf, base);
-    cfg.verifyOracle = verify; // end-to-end check + live invariants
+    // End-to-end check + live invariants; a recorded log carries the
+    // oracle's verdict in its footer, so --record forces it on.
+    cfg.verifyOracle = verify || !record_path.empty();
     cfg.print(std::cout);
 
     auto w = makeWorkload(workload);
@@ -215,7 +220,13 @@ main(int argc, char **argv)
     ExecPolicy policy;
     policy.simJobs = sim_jobs;
     policy.profileDomains = !profile_path.empty();
+    std::unique_ptr<CommitLogWriter> log_writer;
     System sys(cfg, policy);
+    if (!record_path.empty()) {
+        log_writer = std::make_unique<CommitLogWriter>(record_path,
+                                                       cfg, 0);
+        sys.enableRecording(*log_writer);
+    }
     if (!trace_path.empty()) {
         open_out(trace_file, trace_path);
         sys.enableTrace(trace_file, TraceFormat::Csv);
@@ -266,6 +277,18 @@ main(int argc, char **argv)
     RunMetrics m = sys.run();
     if (overlap)
         pool.wait();
+
+    if (log_writer) {
+        const ReplayVerdict live = harvestVerdict(*sys.oracle());
+        if (!log_writer->finish(live.violations, live.checks,
+                                live.reportHash, live.clean)) {
+            std::cerr << "olight_cli: failed to write commit log "
+                      << record_path << "\n";
+            return 2;
+        }
+        std::cout << "  commit log: " << record_path << " ("
+                  << log_writer->records() << " records)\n";
+    }
 
     std::cout << "\n" << workload << " / " << toString(mode) << " / "
               << tsLabel(cfg) << " / BMF " << bmf << ":\n  ";

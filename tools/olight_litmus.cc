@@ -39,6 +39,16 @@ usage(std::ostream &os)
           "all three)\n"
           "  --seeds N        schedule seeds per pattern "
           "(default 32)\n"
+          "  --seed N         run exactly one schedule seed\n"
+          "  --sim-jobs N     intra-run event workers (0 = auto, "
+          "default 1;\n"
+          "                   the verdict is identical for every "
+          "value)\n"
+          "  --record PATH    record the run's hook stream into a "
+          "binary\n"
+          "                   commit log (needs --pattern, --mode "
+          "and --seed;\n"
+          "                   replay with olight_replay)\n"
           "  --list           print the litmus table and exit\n"
           "  --verbose        print every per-seed result and the "
           "first violation report\n";
@@ -73,6 +83,11 @@ main(int argc, char **argv)
                                        OrderingMode::Fence,
                                        OrderingMode::OrderLight};
     std::uint64_t seeds = 32;
+    std::uint64_t firstSeed = 1;
+    bool singleSeed = false;
+    bool modeChosen = false;
+    unsigned simJobs = 1;
+    std::string recordPath;
     bool verbose = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -94,10 +109,19 @@ main(int argc, char **argv)
             if (!cli::tryParseMode(v, false, m))
                 badFlag(v, "unknown mode");
             modes = {m};
+            modeChosen = true;
         } else if (arg == "--seeds") {
             seeds = parseCount("--seeds", next("--seeds"));
             if (seeds == 0)
                 badFlag("--seeds 0", "need at least one seed for");
+        } else if (arg == "--seed") {
+            firstSeed = parseCount("--seed", next("--seed"));
+            singleSeed = true;
+        } else if (arg == "--sim-jobs") {
+            simJobs =
+                cli::parseSimJobs("olight_litmus", next("--sim-jobs"));
+        } else if (arg == "--record") {
+            recordPath = next("--record");
         } else if (arg == "--list") {
             for (const LitmusSpec &spec : litmusTable())
                 std::cout << spec.name << "\n    "
@@ -113,6 +137,13 @@ main(int argc, char **argv)
         }
     }
 
+    if (!recordPath.empty() &&
+        (pattern.empty() || !modeChosen || !singleSeed))
+        badFlag("--record",
+                "--pattern, --mode and --seed are required for");
+
+    const std::uint64_t lastSeed =
+        singleSeed ? firstSeed : firstSeed + seeds - 1;
     bool failed = false;
     for (OrderingMode mode : modes) {
         for (const LitmusSpec &spec : litmusTable()) {
@@ -121,8 +152,9 @@ main(int argc, char **argv)
             std::uint64_t violating_seeds = 0;
             std::uint64_t total_violations = 0;
             std::string first_report;
-            for (std::uint64_t s = 1; s <= seeds; ++s) {
-                LitmusResult res = runLitmus(spec.name, mode, s);
+            for (std::uint64_t s = firstSeed; s <= lastSeed; ++s) {
+                LitmusResult res = runLitmus(spec.name, mode, s,
+                                             simJobs, recordPath);
                 if (res.violations > 0) {
                     ++violating_seeds;
                     total_violations += res.violations;
@@ -141,7 +173,8 @@ main(int argc, char **argv)
                           ? violating_seeds > 0
                           : violating_seeds == 0;
             std::cout << modeName(mode) << "/" << spec.name << ": "
-                      << violating_seeds << "/" << seeds
+                      << violating_seeds << "/"
+                      << (singleSeed ? 1 : seeds)
                       << " seeds violating (" << total_violations
                       << " total) -> "
                       << (ok ? "ok"

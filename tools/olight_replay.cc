@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic commit-log replayer.
+ *
+ * Reads a binary commit log (recorded with olight_cli --record,
+ * olight_litmus --record, or RunOptions::recordPath), re-drives a
+ * fresh OrderingOracle with the captured hook stream — no timing
+ * model in the loop — and diffs the replayed verdict against the
+ * live verdict the footer recorded. The two must agree byte for
+ * byte: same violation count, same check count, same report text
+ * (compared by FNV-1a hash).
+ *
+ * Exit status: 0 = verdict reproduced, 1 = replay diverged from the
+ * footer, 2 = unreadable / corrupt log or bad usage. Malformed input
+ * always produces a one-line diagnostic, never a crash.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/config.hh"
+#include "sim/commit_log.hh"
+#include "verify/log_events.hh"
+
+using namespace olight;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: olight_replay [options] LOG\n"
+          "  --report   print the replayed oracle report (when the\n"
+          "             run had violations)\n"
+          "  --quiet    only the verdict line\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool showReport = false;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--report") {
+            showReport = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "olight_replay: unknown flag: " << arg
+                      << "\n";
+            usage(std::cerr);
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::cerr << "olight_replay: one log at a time\n";
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    LogData log;
+    std::string error;
+    LogReadStatus status = readCommitLog(path, log, &error);
+    if (status != LogReadStatus::Ok) {
+        std::cerr << "olight_replay: " << path << ": "
+                  << toString(status) << ": " << error << "\n";
+        return 2;
+    }
+
+    if (!quiet) {
+        std::cout << path << ": " << log.footer.records
+                  << " records, " << log.header.numChannels
+                  << " channels x " << log.header.numMemGroups
+                  << " groups, mode "
+                  << toString(OrderingMode(log.header.orderingMode))
+                  << ", config "
+                  << fingerprintHex(log.header.configFingerprint);
+        if (log.header.seed)
+            std::cout << ", seed " << log.header.seed;
+        std::cout << "\n";
+        std::cout << "live verdict:   " << log.footer.violations
+                  << " violation(s), " << log.footer.checks
+                  << " checks, "
+                  << (log.footer.clean ? "clean" : "VIOLATED")
+                  << "\n";
+    }
+
+    const ReplayVerdict replay = replayLog(log);
+    const bool match = replay.matchesFooter(log.footer);
+    std::cout << "replay verdict: " << replay.violations
+              << " violation(s), " << replay.checks << " checks, "
+              << (replay.clean ? "clean" : "VIOLATED") << " -> "
+              << (match ? "matches the live run byte-identically"
+                        : "DIVERGED from the live run")
+              << "\n";
+    if (!match) {
+        std::cout << "  live:   violations=" << log.footer.violations
+                  << " checks=" << log.footer.checks
+                  << " reportHash="
+                  << fingerprintHex(log.footer.reportHash) << "\n"
+                  << "  replay: violations=" << replay.violations
+                  << " checks=" << replay.checks << " reportHash="
+                  << fingerprintHex(replay.reportHash) << "\n";
+    }
+    if (showReport && !replay.report.empty())
+        std::cout << replay.report;
+    return match ? 0 : 1;
+}
