@@ -27,10 +27,11 @@ main(int argc, char **argv)
     std::cout << std::left << std::setw(9) << "Kernel"
               << std::setw(9) << "TS" << std::right << std::setw(12)
               << "Fence(ms)" << std::setw(12) << "OL(ms)"
-              << std::setw(11) << "Speedup" << std::setw(12)
-              << "Ord/Instr" << "\n";
+              << std::setw(12) << "Louvre(ms)" << std::setw(10)
+              << "OL-spd" << std::setw(10) << "Lv-spd"
+              << std::setw(12) << "Ord/Instr" << "\n";
 
-    std::vector<double> speedups;
+    std::vector<double> speedups, louvre_speedups;
     double min_speedup = 1e30, max_speedup = 0.0;
     for (const auto &kernel : appWorkloadNames()) {
         for (std::uint32_t ts : bench::tsSizes()) {
@@ -38,9 +39,14 @@ main(int argc, char **argv)
                 kernel, OrderingMode::Fence, ts, 16, elements);
             RunResult ol = bench::runPoint(
                 kernel, OrderingMode::OrderLight, ts, 16, elements);
+            RunResult louvre = bench::runPoint(
+                kernel, OrderingMode::Louvre, ts, 16, elements);
             double speedup =
                 fence.metrics.execMs / ol.metrics.execMs;
+            double louvre_speedup =
+                fence.metrics.execMs / louvre.metrics.execMs;
             speedups.push_back(speedup);
+            louvre_speedups.push_back(louvre_speedup);
             min_speedup = std::min(min_speedup, speedup);
             max_speedup = std::max(max_speedup, speedup);
             std::cout << std::left << std::setw(9) << kernel
@@ -48,8 +54,11 @@ main(int argc, char **argv)
                       << std::right << std::fixed
                       << std::setprecision(4) << std::setw(12)
                       << fence.metrics.execMs << std::setw(12)
-                      << ol.metrics.execMs << std::setprecision(2)
-                      << std::setw(10) << speedup << "x"
+                      << ol.metrics.execMs << std::setw(12)
+                      << louvre.metrics.execMs
+                      << std::setprecision(2) << std::setw(9)
+                      << speedup << "x" << std::setw(9)
+                      << louvre_speedup << "x"
                       << std::setprecision(3) << std::setw(12)
                       << ol.metrics.orderingPerPimInstr()
                       << std::defaultfloat << "\n";
@@ -60,6 +69,12 @@ main(int argc, char **argv)
               << bench::geomean(speedups) << "x, range "
               << min_speedup << "x-" << max_speedup
               << "x (paper: 5.5x-8.5x).\n"
+              << "Louvre over Fence: geomean "
+              << bench::geomean(louvre_speedups)
+              << "x — versioned releases also skip the drain, so "
+                 "the two lightweight\nprimitives track each other; "
+                 "the comparison isolates the cost of version "
+                 "bookkeeping.\n"
               << "FC / KMeans / Gen_Fil keep high ordering-primitive "
                  "rates at large TS, so they benefit\nfrom "
                  "OrderLight even at 1/2 RB (paper Section 7.2).\n\n"

@@ -67,13 +67,44 @@ main(int argc, char **argv)
     std::cout << std::defaultfloat
               << "\nPaper: fences slow vector_add down by 4.5x-25x "
                  "and wait 165-245 cycles per fence;\nthe No-Fence "
-                 "point is fast but functionally incorrect.\n\n";
+                 "point is fast but functionally incorrect.\n";
+
+    // Three-backend comparison: the same kernel under each enforcing
+    // primitive (drain-and-count OrderLight vs versioned Louvre),
+    // normalized to Fence at the same TS.
+    std::cout << "\n" << std::left << std::setw(9) << "TS"
+              << std::right << std::setw(12) << "Fence(ms)"
+              << std::setw(12) << "OL(ms)" << std::setw(12)
+              << "Louvre(ms)" << std::setw(11) << "OL-spd"
+              << std::setw(11) << "Lv-spd" << "\n";
+    for (std::uint32_t ts : bench::tsSizes()) {
+        RunResult fence = bench::runPoint(
+            "Add", OrderingMode::Fence, ts, 16, elements);
+        RunResult ol = bench::runPoint(
+            "Add", OrderingMode::OrderLight, ts, 16, elements);
+        RunResult louvre = bench::runPoint(
+            "Add", OrderingMode::Louvre, ts, 16, elements);
+        std::cout << std::left << std::setw(9) << bench::tsName(ts)
+                  << std::right << std::fixed << std::setprecision(4)
+                  << std::setw(12) << fence.metrics.execMs
+                  << std::setw(12) << ol.metrics.execMs
+                  << std::setw(12) << louvre.metrics.execMs
+                  << std::setprecision(2) << std::setw(10)
+                  << fence.metrics.execMs / ol.metrics.execMs << "x"
+                  << std::setw(10)
+                  << fence.metrics.execMs / louvre.metrics.execMs
+                  << "x" << std::defaultfloat << "\n";
+    }
+    std::cout << "\n";
 
     bench::registerSimBenchmark("sim/Add/None", "Add",
                                 OrderingMode::None, 256, 16,
                                 elements);
     bench::registerSimBenchmark("sim/Add/Fence/ts128", "Add",
                                 OrderingMode::Fence, 128, 16,
+                                elements);
+    bench::registerSimBenchmark("sim/Add/Louvre/ts128", "Add",
+                                OrderingMode::Louvre, 128, 16,
                                 elements);
     return bench::runBenchmarkMain(argc, argv);
 }

@@ -56,7 +56,8 @@ benchSpec(unsigned jobs, unsigned simJobs)
 {
     SweepSpec spec;
     spec.workloads = {"Add", "Scale", "Copy", "Daxpy"};
-    spec.modes = {OrderingMode::Fence, OrderingMode::OrderLight};
+    spec.modes = {OrderingMode::Fence, OrderingMode::OrderLight,
+                  OrderingMode::Louvre};
     spec.tsSizes = {128, 512};
     spec.bmfs = {16};
     spec.elements = benchElements();
@@ -72,6 +73,7 @@ struct Sample
     double seconds;
     std::uint64_t events;
     std::string csv;
+    std::vector<SweepRow> rows;
 };
 
 Sample
@@ -91,6 +93,7 @@ timeSweep(unsigned jobs, unsigned simJobs)
     std::ostringstream csv;
     writeCsv(csv, rows);
     s.csv = csv.str();
+    s.rows = std::move(rows);
     return s;
 }
 
@@ -101,6 +104,47 @@ printSample(const Sample &s)
               << ": " << s.seconds << " s, "
               << double(s.events) / s.seconds / 1e6
               << " M events/s\n";
+}
+
+/** Simulated-time comparison of the three enforcing backends per
+ *  grid point (workload x TS), normalized to Fence. The rows come
+ *  from the deterministic sweep, so these numbers are stable across
+ *  machines — unlike the wall-clock samples around them. */
+void
+writeBackendComparison(std::ostream &os,
+                       const std::vector<SweepRow> &rows)
+{
+    auto execMs = [&](const std::string &workload, std::uint32_t ts,
+                      OrderingMode mode) {
+        for (const SweepRow &row : rows)
+            if (row.workload == workload && row.tsBytes == ts &&
+                row.mode == mode)
+                return row.metrics.execMs;
+        return 0.0;
+    };
+    bool first = true;
+    for (const std::string &workload : benchSpec(1, 1).workloads) {
+        for (std::uint32_t ts : benchSpec(1, 1).tsSizes) {
+            double fence =
+                execMs(workload, ts, OrderingMode::Fence);
+            double ol =
+                execMs(workload, ts, OrderingMode::OrderLight);
+            double louvre =
+                execMs(workload, ts, OrderingMode::Louvre);
+            os << (first ? "" : ",\n")
+               << "    {\"workload\": \"" << workload
+               << "\", \"ts\": " << ts
+               << ", \"fence_ms\": " << fence
+               << ", \"orderlight_ms\": " << ol
+               << ", \"louvre_ms\": " << louvre
+               << ", \"orderlight_speedup\": "
+               << (ol > 0.0 ? fence / ol : 0.0)
+               << ", \"louvre_speedup\": "
+               << (louvre > 0.0 ? fence / louvre : 0.0) << "}";
+            first = false;
+        }
+    }
+    os << "\n";
 }
 
 void
@@ -186,10 +230,15 @@ main()
     json << "{\n"
          << "  \"points\": " << benchSpec(1, 1).points() << ",\n"
          << "  \"elements\": " << benchElements() << ",\n"
+         << "  \"modes\": [\"fence\", \"orderlight\", "
+            "\"louvre\"],\n"
          << "  \"hardware_threads\": " << hw << ",\n"
          << "  \"events_total\": " << grid.front().events << ",\n"
          << "  \"csv_identical\": "
          << (identical ? "true" : "false") << ",\n"
+         << "  \"backend_comparison\": [\n";
+    writeBackendComparison(json, grid.front().rows);
+    json << "  ],\n"
          << "  \"runs\": [\n";
     writeRuns(json, grid);
     json << "  ],\n"

@@ -9,20 +9,65 @@
 namespace olight
 {
 
+const std::vector<ModeInfo> &
+modeRegistry()
+{
+    static const std::vector<ModeInfo> table = {
+        {OrderingMode::None, "none", "None", true},
+        {OrderingMode::Fence, "fence", "Fence", true},
+        {OrderingMode::OrderLight, "orderlight", "OrderLight", true},
+        {OrderingMode::SeqNum, "seqnum", "SeqNum", false},
+        {OrderingMode::Louvre, "louvre", "Louvre", true},
+    };
+    return table;
+}
+
+namespace
+{
+
+const ModeInfo &
+modeInfo(OrderingMode mode)
+{
+    for (const ModeInfo &info : modeRegistry())
+        if (info.mode == mode)
+            return info;
+    olight_fatal("OrderingMode ", unsigned(mode),
+                 " missing from modeRegistry()");
+}
+
+} // namespace
+
+std::string
+modeNamesJoined(bool allowSeqnum, char sep)
+{
+    std::string out;
+    for (const ModeInfo &info : modeRegistry()) {
+        if (!allowSeqnum && info.mode == OrderingMode::SeqNum)
+            continue;
+        if (!out.empty())
+            out += sep;
+        out += info.flagName;
+    }
+    return out;
+}
+
+const std::vector<OrderingMode> &
+litmusModes()
+{
+    static const std::vector<OrderingMode> modes = [] {
+        std::vector<OrderingMode> out;
+        for (const ModeInfo &info : modeRegistry())
+            if (info.litmusCapable)
+                out.push_back(info.mode);
+        return out;
+    }();
+    return modes;
+}
+
 const char *
 toString(OrderingMode mode)
 {
-    switch (mode) {
-      case OrderingMode::None:
-        return "None";
-      case OrderingMode::Fence:
-        return "Fence";
-      case OrderingMode::OrderLight:
-        return "OrderLight";
-      case OrderingMode::SeqNum:
-        return "SeqNum";
-    }
-    return "?";
+    return modeInfo(mode).displayName;
 }
 
 bool
@@ -108,31 +153,22 @@ SystemConfig::print(std::ostream &os) const
 const char *
 modeFlagName(OrderingMode mode)
 {
-    switch (mode) {
-      case OrderingMode::None: return "none";
-      case OrderingMode::Fence: return "fence";
-      case OrderingMode::OrderLight: return "orderlight";
-      case OrderingMode::SeqNum: return "seqnum";
-    }
-    return "?";
+    return modeInfo(mode).flagName;
 }
 
 bool
 modeFromName(const std::string &text, bool allowSeqnum,
              OrderingMode &out)
 {
-    if (text == "none") {
-        out = OrderingMode::None;
-    } else if (text == "fence") {
-        out = OrderingMode::Fence;
-    } else if (text == "orderlight") {
-        out = OrderingMode::OrderLight;
-    } else if (allowSeqnum && text == "seqnum") {
-        out = OrderingMode::SeqNum;
-    } else {
-        return false;
+    for (const ModeInfo &info : modeRegistry()) {
+        if (!allowSeqnum && info.mode == OrderingMode::SeqNum)
+            continue;
+        if (text == info.flagName) {
+            out = info.mode;
+            return true;
+        }
     }
-    return true;
+    return false;
 }
 
 void

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace olight
 {
@@ -23,7 +24,44 @@ enum class OrderingMode : std::uint8_t
     OrderLight, ///< memory-centric: OrderLight packets (this paper)
     SeqNum,     ///< per-channel sequence numbers with credit-based
                 ///< buffering at the MC (Kim et al., Section 8.1)
+    Louvre,     ///< versioned release consistency: per-(channel,
+                ///< group) version counters at the MC; OrderPoints
+                ///< lower to release packets carrying the closed
+                ///< window's request count instead of SM drains
+                ///< (Kumar et al.)
 };
+
+/**
+ * One row of the mode registry: the single place that knows a
+ * mode's spellings and which surfaces may offer it. Every parser
+ * (CLI tools, serve request decoding, the litmus harness) and every
+ * printer goes through this table, so adding a backend is one edit
+ * here plus its implementation.
+ */
+struct ModeInfo
+{
+    OrderingMode mode;
+    const char *flagName;    ///< canonical lowercase spelling
+    const char *displayName; ///< CamelCase for tables and reports
+    /** Usable in the litmus harness: the backend issues real
+     *  ordering traffic litmus patterns can exercise. SeqNum is
+     *  only meaningful for full workloads, so it stays out. */
+    bool litmusCapable;
+};
+
+/** The registry, in enum order (one row per OrderingMode). */
+const std::vector<ModeInfo> &modeRegistry();
+
+/**
+ * Accepted flag spellings joined for diagnostics, e.g.
+ * "none|fence|orderlight|seqnum|louvre". @p allowSeqnum mirrors
+ * modeFromName so error strings list exactly the accepted set.
+ */
+std::string modeNamesJoined(bool allowSeqnum, char sep = '|');
+
+/** Modes the litmus harness sweeps by default: None (sensitivity)
+ *  plus every litmus-capable enforcing backend (soundness). */
+const std::vector<OrderingMode> &litmusModes();
 
 const char *toString(OrderingMode mode);
 

@@ -52,6 +52,9 @@ decodeOrderLight(std::uint64_t wire, OrderLightPacket &out)
     out.memGroupId2 = (wire >> memGrp2Shift) & ((1u << memGrpBits) - 1);
     out.hasSecondGroup = (id == PacketId::Extended);
     out.pktNumber = static_cast<std::uint32_t>(wire);
+    // The louvre counts are not part of the 46-bit format.
+    out.verCount = 0;
+    out.verCount2 = 0;
     return true;
 }
 

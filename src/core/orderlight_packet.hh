@@ -41,6 +41,18 @@ struct OrderLightPacket
     bool hasSecondGroup = false;
     std::uint32_t pktNumber = 0; ///< 32 bits
 
+    /**
+     * Louvre release payload: how many requests the closed window
+     * of memGroupId (and memGroupId2 for Extended packets) issued.
+     * The MC's VersionTracker needs the count because louvre does
+     * not drain the SM before a release, so window-V requests may
+     * still be in flight when release #V arrives. Not part of the
+     * paper's 46-bit OrderLight wire format (encode/decode below
+     * ignore them); zero in every other ordering mode.
+     */
+    std::uint32_t verCount = 0;
+    std::uint32_t verCount2 = 0;
+
     bool operator==(const OrderLightPacket &o) const = default;
 };
 

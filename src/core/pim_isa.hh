@@ -214,7 +214,9 @@ struct Packet
     std::uint32_t warpId = 0; ///< global warp id (ack routing)
     std::uint16_t channel = 0;
     std::uint32_t seq = 0;    ///< per-channel sequence number
-                              ///< (SeqNum ordering baseline)
+                              ///< (SeqNum baseline) or the request's
+                              ///< window version (Louvre) — the two
+                              ///< uses are mutually exclusive by mode
     PimInstr instr;           ///< valid when kind == Request
     OrderLightPacket ol;      ///< valid when kind == OrderLight
     Tick createdAt = 0;

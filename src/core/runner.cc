@@ -31,7 +31,7 @@ configFor(OrderingMode mode, std::uint32_t tsBytes, std::uint32_t bmf,
         cfg.warpsPerSm = 8;
         cfg.numSms = std::max(1u, cfg.numChannels / 8u);
     } else {
-        // OrderLight, SeqNum and None issue at full rate.
+        // OrderLight, SeqNum, Louvre and None issue at full rate.
         cfg.warpsPerSm = 2;
         cfg.numSms = std::max(1u, cfg.numChannels / 2u);
     }

@@ -205,6 +205,14 @@ Sm::tryIssue(Warp &warp)
         instr.isPimCommand())
         pkt.seq = warp.nextSeq();
 
+    // Louvre: the seq field carries the request's window version
+    // (the two uses are mutually exclusive by mode). Counting into
+    // the window must also wait for guaranteed allocation — the
+    // release packet reports the count to the MC.
+    if (cfg_.orderingMode == OrderingMode::Louvre &&
+        instr.isPimCommand())
+        pkt.seq = warp.louvreTagRequest(instr.memGroup);
+
     if (!collector_->tryAllocate(pkt))
         olight_panic("collector refused after hasFreeUnit()");
     if (observer_)
@@ -267,6 +275,51 @@ Sm::issueOrderPoint(Warp &warp)
             return false;
         }
         pkt.ol.pktNumber = warp.nextOlNumber(instr.memGroup);
+        if (observer_) {
+            observer_->onOrderPoint(warp.channel(), instr.memGroup,
+                                    group2);
+            observer_->onOlInject(pkt);
+        }
+        injectFwd_.deliver(std::move(pkt), eq_.now());
+        releaseBlocked(warp, false);
+        ++statOlIssued_;
+        warp.advance();
+        return true;
+      }
+
+      case OrderingMode::Louvre: {
+        // Versioned release consistency: unlike OrderLight there is
+        // no collector drain — the release injects immediately and
+        // younger requests may overtake older ones in flight. The
+        // packet closes the affected window(s) and carries their
+        // request counts so the MC's VersionTracker can hold
+        // window-V requests until every earlier window has fully
+        // scheduled, even with stragglers still in the pipe.
+        int group2 = instr.secondOrderGroup();
+        Packet pkt;
+        pkt.kind = PacketKind::OrderLight;
+        pkt.id = nextPacketId(warp);
+        pkt.smId = id_;
+        pkt.warpId = warp.globalId();
+        pkt.channel = warp.channel();
+        pkt.ol.channelId = warp.channel() & 0xf;
+        pkt.ol.memGroupId = instr.memGroup;
+        if (group2 >= 0) {
+            pkt.ol.hasSecondGroup = true;
+            pkt.ol.memGroupId2 = std::uint8_t(group2);
+        }
+        pkt.createdAt = eq_.now();
+        if (!injectFwd_.tryReserve(pkt)) {
+            markBlocked(warp);
+            return false;
+        }
+        // Like the pktNumber, window closure must only happen once
+        // injection is guaranteed.
+        pkt.ol.pktNumber = warp.nextOlNumber(instr.memGroup);
+        pkt.ol.verCount = warp.louvreCloseWindow(instr.memGroup);
+        if (group2 >= 0)
+            pkt.ol.verCount2 =
+                warp.louvreCloseWindow(std::uint8_t(group2));
         if (observer_) {
             observer_->onOrderPoint(warp.channel(), instr.memGroup,
                                     group2);

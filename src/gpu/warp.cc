@@ -8,7 +8,7 @@ namespace olight
 Warp::Warp(std::uint32_t globalId, std::uint16_t channel,
            const std::vector<PimInstr> *stream)
     : globalId_(globalId), channel_(channel), stream_(stream),
-      olNumbers_(16, 0)
+      olNumbers_(16, 0), louvreVersions_(16, 0), louvreCounts_(16, 0)
 {
     if (!stream)
         olight_panic("warp created without an instruction stream");
@@ -20,6 +20,26 @@ Warp::nextOlNumber(std::uint8_t group)
     if (group >= olNumbers_.size())
         olight_panic("memory group out of range: ", unsigned(group));
     return olNumbers_[group]++;
+}
+
+std::uint32_t
+Warp::louvreTagRequest(std::uint8_t group)
+{
+    if (group >= louvreVersions_.size())
+        olight_panic("memory group out of range: ", unsigned(group));
+    ++louvreCounts_[group];
+    return louvreVersions_[group];
+}
+
+std::uint32_t
+Warp::louvreCloseWindow(std::uint8_t group)
+{
+    if (group >= louvreVersions_.size())
+        olight_panic("memory group out of range: ", unsigned(group));
+    ++louvreVersions_[group];
+    std::uint32_t count = louvreCounts_[group];
+    louvreCounts_[group] = 0;
+    return count;
 }
 
 } // namespace olight

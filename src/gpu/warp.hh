@@ -48,6 +48,23 @@ class Warp
     /** Next per-channel sequence number (SeqNum baseline). */
     std::uint32_t nextSeq() { return seq_++; }
 
+    // --- Louvre versioned release consistency ---
+    //
+    // Each memory group has an open *window*: the requests issued
+    // since the group's last release. A release closes the window
+    // (version V, request count C) and the next window opens as
+    // V+1. Requests carry their window index as the version tag;
+    // the MC holds a window-V request until every earlier window of
+    // the group has fully scheduled (memctrl/version_tracker.hh).
+
+    /** Tag a request of @p group: returns the open window's version
+     *  and counts the request into the window. */
+    std::uint32_t louvreTagRequest(std::uint8_t group);
+
+    /** Close @p group's window at a release: returns the closed
+     *  window's request count and opens the next window. */
+    std::uint32_t louvreCloseWindow(std::uint8_t group);
+
   private:
     std::uint32_t globalId_;
     std::uint16_t channel_;
@@ -55,6 +72,8 @@ class Warp
     std::size_t pc_ = 0;
     std::uint32_t seq_ = 0;
     std::vector<std::uint32_t> olNumbers_;
+    std::vector<std::uint32_t> louvreVersions_;
+    std::vector<std::uint32_t> louvreCounts_;
 };
 
 } // namespace olight

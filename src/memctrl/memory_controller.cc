@@ -35,6 +35,7 @@ MemoryController::MemoryController(const SystemConfig &cfg,
       readQ_(cfg.readQueueSize),
       writeQ_(cfg.writeQueueSize),
       tracker_(cfg.numMemGroups),
+      versions_(cfg.numMemGroups),
       expectedOlNumber_(cfg.numMemGroups, 0),
       statOlPackets_(stats.scalar(name + ".olPackets",
                                   "OrderLight packets received")),
@@ -108,10 +109,21 @@ MemoryController::arrive(Packet pkt)
                          expectedOlNumber_[group], ")");
         }
         ++expectedOlNumber_[group];
-        if (pkt.ol.hasSecondGroup) {
-            if (pkt.ol.memGroupId2 >= tracker_.numGroups())
-                olight_panic(name_,
-                             ": OrderLight group2 out of range");
+        if (pkt.ol.hasSecondGroup &&
+            pkt.ol.memGroupId2 >= tracker_.numGroups())
+            olight_panic(name_, ": OrderLight group2 out of range");
+        if (cfg_.orderingMode == OrderingMode::Louvre) {
+            // A release can complete a window outright (e.g. all of
+            // its requests already scheduled, or an empty window),
+            // unblocking queued younger-window requests — wake.
+            if (pkt.ol.hasSecondGroup)
+                versions_.onDualRelease(group, pkt.ol.verCount,
+                                        pkt.ol.memGroupId2,
+                                        pkt.ol.verCount2);
+            else
+                versions_.onRelease(group, pkt.ol.verCount);
+            wake();
+        } else if (pkt.ol.hasSecondGroup) {
             tracker_.onDualOrderLightArrive(group,
                                             pkt.ol.memGroupId2);
         } else {
@@ -127,7 +139,13 @@ MemoryController::arrive(Packet pkt)
         observer_->onMcAdmit(channel_, pkt);
 
     Transaction txn;
-    txn.epoch = tracker_.onRequestArrive(group);
+    // Louvre requests carry their window version from the SM (seq
+    // field); arrival order means nothing without drains, so the
+    // arrival-epoch tracker is bypassed. Host requests are untagged
+    // (version 0) and never blocked — they obey no PIM ordering.
+    txn.epoch = cfg_.orderingMode == OrderingMode::Louvre
+                    ? pkt.seq
+                    : tracker_.onRequestArrive(group);
     txn.arrival = eq_.now();
     if (pkt.instr.isMemAccess()) {
         DramCoord c = map_.decode(pkt.instr.addr);
@@ -170,6 +188,10 @@ MemoryController::wake()
         if (cfg_.orderingMode == OrderingMode::SeqNum &&
             txn.pkt.instr.isPimCommand())
             return txn.pkt.seq == nextExpectedSeq_;
+        if (cfg_.orderingMode == OrderingMode::Louvre)
+            return !txn.pkt.instr.isPimCommand() ||
+                   versions_.eligible(txn.pkt.instr.memGroup,
+                                      txn.epoch);
         return tracker_.eligible(txn.pkt.instr.memGroup, txn.epoch);
     };
     auto row_hit = [this](std::uint16_t bank, std::uint32_t row) {
@@ -225,7 +247,14 @@ MemoryController::issue(Transaction txn)
                      pkt.id, pkt.describe());
     }
     std::uint32_t group = pkt.instr.memGroup;
-    tracker_.onScheduled(group, txn.epoch);
+    if (cfg_.orderingMode == OrderingMode::Louvre) {
+        // Host requests are outside the louvre window discipline:
+        // untagged, never held, never counted against a release.
+        if (pkt.instr.isPimCommand())
+            versions_.onScheduled(group, txn.epoch);
+    } else {
+        tracker_.onScheduled(group, txn.epoch);
+    }
     if (cfg_.orderingMode == OrderingMode::SeqNum &&
         pkt.instr.isPimCommand())
         ++nextExpectedSeq_;
@@ -250,9 +279,11 @@ MemoryController::issue(Transaction txn)
     if (pkt.instr.isPimCommand()) {
         ++statPimScheduled_;
         PimInstr instr = pkt.instr;
+        std::uint32_t version =
+            cfg_.orderingMode == OrderingMode::Louvre ? pkt.seq : 0;
         eq_.schedule(col_tick,
-                     [this, instr, col_tick] {
-                         pim_.execute(instr, col_tick);
+                     [this, instr, col_tick, version] {
+                         pim_.execute(instr, col_tick, version);
                      },
                      EventPriority::DramTiming);
         // Fence ack: the request has been issued to memory in a

@@ -34,6 +34,7 @@
 #include "dram/channel_timing.hh"
 #include "memctrl/ordering_tracker.hh"
 #include "memctrl/transaction_queue.hh"
+#include "memctrl/version_tracker.hh"
 #include "noc/port.hh"
 #include "pim/pim_unit.hh"
 #include "sim/event_queue.hh"
@@ -89,6 +90,9 @@ class MemoryController final : public AcceptPort
 
     const OrderingTracker &tracker() const { return tracker_; }
 
+    /** Louvre version state (only advanced in mode=louvre). */
+    const VersionTracker &versions() const { return versions_; }
+
   private:
     void arrive(Packet pkt);
     void wake();
@@ -114,6 +118,7 @@ class MemoryController final : public AcceptPort
     bool drainingWrites_ = false; ///< write-mode hysteresis
     std::uint32_t nextExpectedSeq_ = 0; ///< SeqNum in-order issue
     OrderingTracker tracker_;
+    VersionTracker versions_; ///< Louvre release/acquire state
     bool hostBlocked_ = false;
 
     AckFn ackFn_;

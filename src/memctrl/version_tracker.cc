@@ -1,0 +1,117 @@
+#include "memctrl/version_tracker.hh"
+
+#include "sim/logging.hh"
+
+namespace olight
+{
+
+VersionTracker::VersionTracker(std::uint32_t numGroups)
+    : groups_(numGroups)
+{
+    if (numGroups == 0)
+        olight_fatal("VersionTracker needs at least one group");
+}
+
+void
+VersionTracker::advance(std::uint32_t group)
+{
+    GroupState &g = groups_.at(group);
+    while (g.complete < g.released) {
+        auto exp = g.expected.find(g.complete);
+        if (exp == g.expected.end())
+            olight_panic("louvre window ", g.complete, " of group ",
+                         group, " released without an expected "
+                         "count");
+        auto sch = g.scheduled.find(g.complete);
+        std::uint32_t done = sch == g.scheduled.end() ? 0 : sch->second;
+        if (done > exp->second)
+            olight_panic("louvre window ", g.complete, " of group ",
+                         group, " scheduled ", done, " requests but "
+                         "its release reported ", exp->second);
+        if (done < exp->second)
+            return;
+        g.expected.erase(exp);
+        if (sch != g.scheduled.end())
+            g.scheduled.erase(sch);
+        ++g.complete;
+    }
+}
+
+void
+VersionTracker::onRelease(std::uint32_t group, std::uint32_t count)
+{
+    GroupState &g = groups_.at(group);
+    g.expected[g.released] = count;
+    ++g.released;
+    advance(group);
+}
+
+void
+VersionTracker::onDualRelease(std::uint32_t groupA,
+                              std::uint32_t countA,
+                              std::uint32_t groupB,
+                              std::uint32_t countB)
+{
+    if (groupA == groupB) {
+        // Degenerate: behaves like a single-group release (both
+        // counts belong to the same window closure; the SM closes
+        // the window twice, so fold the second, empty closure in).
+        onRelease(groupA, countA);
+        onRelease(groupA, countB);
+        return;
+    }
+    GroupState &ga = groups_.at(groupA);
+    GroupState &gb = groups_.at(groupB);
+    // Bounds are the post-release versions: the other group's
+    // windows up to and including the one this release closes.
+    std::uint32_t a_bound = ga.released + 1;
+    std::uint32_t b_bound = gb.released + 1;
+    onRelease(groupA, countA);
+    onRelease(groupB, countB);
+    ga.crossDeps.push_back({a_bound, groupB, b_bound});
+    gb.crossDeps.push_back({b_bound, groupA, a_bound});
+}
+
+bool
+VersionTracker::eligible(std::uint32_t group, std::uint32_t version)
+{
+    GroupState &g = groups_.at(group);
+    if (g.complete < version)
+        return false;
+    bool ok = true;
+    std::erase_if(g.crossDeps, [&](const CrossDep &dep) {
+        const GroupState &other = groups_.at(dep.otherGroup);
+        if (other.complete >= dep.otherBound)
+            return true; // permanently satisfied: completion is
+                         // monotone, so the dep can never re-block
+        if (version >= dep.sinceVersion)
+            ok = false;
+        return false;
+    });
+    return ok;
+}
+
+void
+VersionTracker::onScheduled(std::uint32_t group, std::uint32_t version)
+{
+    GroupState &g = groups_.at(group);
+    if (version < g.complete)
+        olight_panic("louvre request of already-complete window ",
+                     version, " scheduled for group ", group);
+    ++g.scheduled[version];
+    advance(group);
+}
+
+std::uint32_t
+VersionTracker::released(std::uint32_t group) const
+{
+    return groups_.at(group).released;
+}
+
+std::uint32_t
+VersionTracker::complete(std::uint32_t group) const
+{
+    return groups_.at(group).complete;
+}
+
+} // namespace olight

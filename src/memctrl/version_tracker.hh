@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Memory-controller-side enforcement for the Louvre ordering
+ * backend: versioned release consistency with per-(channel, group)
+ * version counters (Kumar et al.), the alternative design point the
+ * paper's fence/OrderLight comparison is extended with.
+ *
+ * Louvre replaces both the fence drain and OrderLight's SM-side
+ * collector drain: the warp tags every request with its group's
+ * current *window version* (releases issued so far) and injects a
+ * release packet at each ordering point without waiting for
+ * anything. Because younger requests can therefore overtake older
+ * ones in flight, arrival order at the MC carries no information —
+ * instead each release carries the closed window's request count,
+ * and the tracker holds a window-V request until every window
+ * below V is *complete*: its release has arrived (so the expected
+ * count is known) and exactly that many requests have been
+ * scheduled.
+ *
+ * Acquire-sees-latest-release falls out of the same rule: window V
+ * cannot start scheduling before releases #0..#V-1 have reached the
+ * MC, so the version a request observes is always the latest
+ * released one.
+ *
+ * Deadlock safety: a stalled elder request only blocks younger
+ * *scheduling*, never younger *admission* — queues keep filling.
+ * The amount of younger traffic that can sit ahead of an elder
+ * request is bounded by the reorder window before the MC (operand
+ * collector units plus sub-partition jitter, ~tens of requests),
+ * well below the 64-entry transaction queues, so the elder request
+ * always finds queue space (validated empirically by the litmus
+ * fuzz harness; see docs/INTERNALS.md §14).
+ */
+
+#ifndef OLIGHT_MEMCTRL_VERSION_TRACKER_HH
+#define OLIGHT_MEMCTRL_VERSION_TRACKER_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace olight
+{
+
+/** Per-channel louvre version state for all memory groups. */
+class VersionTracker
+{
+  public:
+    explicit VersionTracker(std::uint32_t numGroups);
+
+    /** Record a release closing @p group's next window, which
+     *  issued @p count requests. */
+    void onRelease(std::uint32_t group, std::uint32_t count);
+
+    /**
+     * Record an Extended (dual-group) release: closes one window of
+     * each group and cross-orders them — requests of either group's
+     * new window also wait for the other group's pre-release
+     * windows to complete (the paper's "partial results from two
+     * different PIM kernels" example, under release semantics).
+     */
+    void onDualRelease(std::uint32_t groupA, std::uint32_t countA,
+                       std::uint32_t groupB, std::uint32_t countB);
+
+    /** May a request tagged (@p group, window @p version) be
+     *  scheduled now? Prunes permanently-satisfied cross deps. */
+    bool eligible(std::uint32_t group, std::uint32_t version);
+
+    /** Record that a request of (@p group, @p version) was
+     *  scheduled. */
+    void onScheduled(std::uint32_t group, std::uint32_t version);
+
+    /** Windows of @p group closed by releases so far. */
+    std::uint32_t released(std::uint32_t group) const;
+
+    /** Windows of @p group fully scheduled (prefix [0, complete)). */
+    std::uint32_t complete(std::uint32_t group) const;
+
+    std::uint32_t numGroups() const
+    {
+        return static_cast<std::uint32_t>(groups_.size());
+    }
+
+  private:
+    /** Requests of the owning group with version >= sinceVersion
+     *  wait until the other group's windows below otherBound are
+     *  complete. */
+    struct CrossDep
+    {
+        std::uint32_t sinceVersion;
+        std::uint32_t otherGroup;
+        std::uint32_t otherBound;
+    };
+
+    struct GroupState
+    {
+        std::uint32_t released = 0;
+        std::uint32_t complete = 0;
+        /** window -> expected count (closed windows >= complete). */
+        std::map<std::uint32_t, std::uint32_t> expected;
+        /** window -> scheduled count (windows >= complete; entries
+         *  for the open window accumulate until its release). */
+        std::map<std::uint32_t, std::uint32_t> scheduled;
+        std::vector<CrossDep> crossDeps;
+    };
+
+    /** Advance the complete prefix after a release or schedule. */
+    void advance(std::uint32_t group);
+
+    std::vector<GroupState> groups_;
+};
+
+} // namespace olight
+
+#endif // OLIGHT_MEMCTRL_VERSION_TRACKER_HH

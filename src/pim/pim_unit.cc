@@ -17,6 +17,7 @@ PimUnit::PimUnit(const SystemConfig &cfg, const AddressMap &map,
       ts_(cfg.bmf, cfg.tsBytes),
       laneStride_(map.laneStride()),
       lanes_(cfg.bmf),
+      lastVersion_(cfg.numMemGroups, 0),
       statCommands_(stats.scalar(name + ".commands",
                                  "PIM commands executed")),
       statMemCommands_(stats.scalar(name + ".memCommands",
@@ -27,13 +28,26 @@ PimUnit::PimUnit(const SystemConfig &cfg, const AddressMap &map,
 }
 
 void
-PimUnit::execute(const PimInstr &instr, Tick when)
+PimUnit::execute(const PimInstr &instr, Tick when,
+                 std::uint32_t version)
 {
     if (when < lastExecTick_)
         olight_panic("PIM unit ", channel_,
                      ": command executed out of bus order (", when,
                      " < ", lastExecTick_, ")");
     lastExecTick_ = when;
+    // Louvre: the MC hands over the request's window version; the
+    // in-order command bus must deliver non-decreasing versions per
+    // group, or the VersionTracker's hold logic is broken.
+    if (instr.memGroup < lastVersion_.size()) {
+        std::uint32_t &floor = lastVersion_[instr.memGroup];
+        if (version < floor)
+            olight_panic("PIM unit ", channel_,
+                         ": louvre version regressed for group ",
+                         unsigned(instr.memGroup), " (", version,
+                         " < ", floor, ")");
+        floor = version;
+    }
     ++commands_;
     ++statCommands_;
 

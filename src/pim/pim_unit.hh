@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/config.hh"
 #include "core/pim_isa.hh"
@@ -44,8 +45,20 @@ class PimUnit
      * Execute one PIM command functionally at @p when (the column
      * command's issue tick). Calls must be made in non-decreasing
      * tick order — the command bus is in-order.
+     *
+     * @p version is the command's louvre window version (0 outside
+     * mode=louvre): the unit asserts it is non-decreasing per
+     * memory group, the version-monotonicity property the MC's
+     * VersionTracker guarantees at the MC/PIM boundary.
      */
-    void execute(const PimInstr &instr, Tick when);
+    void execute(const PimInstr &instr, Tick when,
+                 std::uint32_t version = 0);
+
+    /** Latest louvre version seen per group (probe for tests). */
+    std::uint32_t lastVersion(std::uint32_t group) const
+    {
+        return lastVersion_.at(group);
+    }
 
     TsBuffer &ts() { return ts_; }
     const TsBuffer &ts() const { return ts_; }
@@ -65,6 +78,8 @@ class PimUnit
 
     Tick lastExecTick_ = 0;
     std::uint64_t commands_ = 0;
+    /** Per-group floor of louvre versions executed (monotonic). */
+    std::vector<std::uint32_t> lastVersion_;
 
     Scalar &statCommands_;
     Scalar &statMemCommands_;

@@ -200,8 +200,8 @@ parseModeField(Fields &f, const char *key, OrderingMode &out)
     if (!f.str(key, name))
         return false;
     if (!name.empty() && !modeFromName(name, true, out)) {
-        f.why = "unknown mode '" + name +
-                "' (none|fence|orderlight|seqnum)";
+        f.why = "unknown mode '" + name + "' (" +
+                modeNamesJoined(true) + ")";
         return false;
     }
     return true;
@@ -426,8 +426,8 @@ parseRequest(const std::string &line, Request &out,
             for (const auto &name : mode_names) {
                 OrderingMode mode;
                 if (!modeFromName(name, true, mode)) {
-                    why = "unknown mode '" + name +
-                          "' (none|fence|orderlight|seqnum)";
+                    why = "unknown mode '" + name + "' (" +
+                          modeNamesJoined(true) + ")";
                     ok = false;
                     break;
                 }

@@ -1,0 +1,229 @@
+#include "verify/litmus_fuzz.hh"
+
+#include <sstream>
+
+#include "core/kernel_builder.hh"
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace olight
+{
+
+namespace
+{
+
+constexpr std::uint8_t kGroupA = 0;
+constexpr std::uint8_t kGroupB = 1;
+constexpr std::uint8_t kHostGroup = 2;
+
+/** Salt separating program-shape randomness from the schedule
+ *  randomness litmusConfig derives from the same case seed. */
+constexpr std::uint64_t kShapeSalt = 0xf022ed5eedULL;
+
+/** Everything one generated case consists of. */
+struct FuzzProgram
+{
+    std::vector<std::vector<PimInstr>> streams;
+    std::vector<HostArraySpec> host;
+};
+
+/** Arrays every case allocates (one allocator walk, so layouts are
+ *  identical across modes and the differential tests line up). */
+struct FuzzArrays
+{
+    PimArray dataA;  ///< group A payload
+    PimArray auxA;   ///< group A second row set (store-buffer probes)
+    PimArray dataB;  ///< group B payload
+    PimArray flagB;  ///< group B flags (message passing)
+    PimArray hostR;  ///< host-read region, third group
+    PimArray hostW;  ///< host-write region, third group
+};
+
+FuzzArrays
+allocArrays(const SystemConfig &cfg, const AddressMap &map)
+{
+    ArrayAllocator alloc(map);
+    FuzzArrays a;
+    std::uint64_t n = 1024 * cfg.numChannels;
+    a.dataA = alloc.alloc("fuzz.dataA", 2 * n, kGroupA);
+    a.auxA = alloc.alloc("fuzz.auxA", n, kGroupA);
+    a.dataB = alloc.alloc("fuzz.dataB", 2 * n, kGroupB);
+    a.flagB = alloc.alloc("fuzz.flagB", n, kGroupB);
+    a.hostR = alloc.alloc("fuzz.hostr", 2 * n, kHostGroup);
+    a.hostW = alloc.alloc("fuzz.hostw", 2 * n, kHostGroup);
+    return a;
+}
+
+/** Per-channel cursor handing out block indices within an array. */
+struct Cursor
+{
+    const KernelBuilder &kb;
+    const PimArray &arr;
+    std::uint64_t next = 0;
+
+    std::uint64_t
+    addr()
+    {
+        std::uint64_t blocks = kb.blocksPerChannel(arr);
+        return kb.blockAddr(arr, next++ % blocks);
+    }
+};
+
+/**
+ * One window of the generated program: a template from the same
+ * vocabulary the declarative table uses, with randomized burst
+ * lengths and slot assignment. Each template crosses every
+ * dependence it creates with an ordering point, so the composed
+ * program is sound by construction under the enforcing modes.
+ */
+void
+emitWindow(Rng &rng, std::vector<PimInstr> &s, Cursor &dataA,
+           Cursor &auxA, Cursor &dataB, Cursor &flagB)
+{
+    std::uint8_t slot = std::uint8_t(rng.nextRange(3));
+    switch (rng.nextRange(4)) {
+    case 0: {
+        // Publish burst: stores, then a closing ordering point.
+        bool onB = rng.nextRange(2) != 0;
+        Cursor &c = onB ? dataB : dataA;
+        std::uint8_t g = onB ? kGroupB : kGroupA;
+        std::uint64_t k = 1 + rng.nextRange(3);
+        for (std::uint64_t i = 0; i < k; ++i)
+            s.push_back(PimInstr::store(slot, c.addr(), g));
+        s.push_back(PimInstr::orderPoint(g));
+        break;
+    }
+    case 1: {
+        // load -> compute -> store chain, every link ordered (the
+        // same TS RAW shape as same_row_chain).
+        bool onB = rng.nextRange(2) != 0;
+        Cursor &c = onB ? dataB : dataA;
+        std::uint8_t g = onB ? kGroupB : kGroupA;
+        s.push_back(PimInstr::load(slot, c.addr(), g));
+        s.push_back(PimInstr::orderPoint(g));
+        s.push_back(PimInstr::compute(AluOp::Copy,
+                                      std::uint8_t(slot + 1), slot));
+        s.back().memGroup = g;
+        s.push_back(PimInstr::orderPoint(g));
+        s.push_back(
+            PimInstr::store(std::uint8_t(slot + 1), c.addr(), g));
+        s.push_back(PimInstr::orderPoint(g));
+        break;
+    }
+    case 2: {
+        // Message passing A -> B through a dual ordering point.
+        std::uint64_t k = 1 + rng.nextRange(2);
+        for (std::uint64_t i = 0; i < k; ++i)
+            s.push_back(
+                PimInstr::store(slot, dataA.addr(), kGroupA));
+        s.push_back(PimInstr::orderPointDual(kGroupA, kGroupB));
+        s.push_back(PimInstr::store(std::uint8_t(slot + 1),
+                                    flagB.addr(), kGroupB));
+        s.push_back(PimInstr::orderPoint(kGroupB));
+        std::uint64_t flag_idx = flagB.next - 1;
+        s.push_back(PimInstr::load(
+            std::uint8_t(slot + 2),
+            flagB.kb.blockAddr(
+                flagB.arr,
+                flag_idx % flagB.kb.blocksPerChannel(flagB.arr)),
+            kGroupB));
+        std::uint64_t data_idx = dataA.next - 1;
+        s.push_back(PimInstr::load(
+            std::uint8_t(slot + 3),
+            dataA.kb.blockAddr(
+                dataA.arr,
+                data_idx % dataA.kb.blocksPerChannel(dataA.arr)),
+            kGroupA));
+        break;
+    }
+    default: {
+        // Store-buffer probe: write one row set, ordering point,
+        // read another of the same group.
+        s.push_back(PimInstr::store(slot, dataA.addr(), kGroupA));
+        s.push_back(PimInstr::orderPoint(kGroupA));
+        s.push_back(PimInstr::load(std::uint8_t(slot + 1),
+                                   auxA.addr(), kGroupA));
+        break;
+    }
+    }
+}
+
+FuzzProgram
+buildFuzzProgram(std::uint64_t caseSeed, const SystemConfig &cfg,
+                 const AddressMap &map, FuzzCaseInfo *info)
+{
+    FuzzArrays arrays = allocArrays(cfg, map);
+    FuzzProgram prog;
+    FuzzCaseInfo shape;
+    for (std::uint16_t ch = 0; ch < cfg.numChannels; ++ch) {
+        KernelBuilder kb(map, ch);
+        Cursor dataA{kb, arrays.dataA};
+        Cursor auxA{kb, arrays.auxA};
+        Cursor dataB{kb, arrays.dataB};
+        Cursor flagB{kb, arrays.flagB};
+        Rng rng(hashMix(caseSeed ^ kShapeSalt, ch + 1));
+        std::uint64_t windows = 3 + rng.nextRange(4);
+        std::vector<PimInstr> s;
+        for (std::uint64_t w = 0; w < windows; ++w)
+            emitWindow(rng, s, dataA, auxA, dataB, flagB);
+        shape.windows += windows;
+        shape.instrs += s.size();
+        prog.streams.push_back(std::move(s));
+    }
+
+    // A quarter of the corpus adds concurrent host traffic on the
+    // third memory group (the host_pim_mix stressor): scheduler
+    // pressure that obeys no PIM ordering discipline.
+    if ((splitMix64(caseSeed ^ kShapeSalt) & 3) == 0) {
+        prog.host.push_back({arrays.hostR.base, arrays.hostR.bytes,
+                             false, kHostGroup});
+        prog.host.push_back({arrays.hostW.base, arrays.hostW.bytes,
+                             true, kHostGroup});
+        shape.hostTraffic = true;
+    }
+    if (info)
+        *info = shape;
+    return prog;
+}
+
+} // namespace
+
+FuzzCaseInfo
+fuzzCaseInfo(std::uint64_t caseSeed)
+{
+    SystemConfig cfg = litmusConfig(OrderingMode::None, caseSeed);
+    AddressMap map(cfg);
+    FuzzCaseInfo info;
+    buildFuzzProgram(caseSeed, cfg, map, &info);
+    return info;
+}
+
+LitmusResult
+runLitmusFuzz(std::uint64_t caseSeed, OrderingMode mode,
+              unsigned simJobs)
+{
+    SystemConfig cfg = litmusConfig(mode, caseSeed);
+    ExecPolicy policy;
+    policy.simJobs = simJobs;
+    System sys(cfg, policy);
+    FuzzProgram prog =
+        buildFuzzProgram(caseSeed, sys.config(), sys.map(), nullptr);
+    sys.loadPimKernel(std::move(prog.streams));
+    if (!prog.host.empty())
+        sys.setHostTraffic(std::move(prog.host));
+    sys.run();
+
+    const OrderingOracle *oracle = sys.oracle();
+    LitmusResult res;
+    res.violations = oracle->violationCount();
+    res.checks = oracle->checksPerformed();
+    if (res.violations > 0) {
+        std::ostringstream os;
+        oracle->report(os);
+        res.report = os.str();
+    }
+    return res;
+}
+
+} // namespace olight

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Seeded litmus fuzzing: synthesized ordering programs.
+ *
+ * The declarative litmus table (verify/litmus.hh) pins four named
+ * patterns; the fuzzer generalizes them. Each case seed expands —
+ * through the repo's SplitMix64 stream, so cases reproduce exactly
+ * from the seed alone — into a program stitched from randomized
+ * window templates (publish bursts, load→compute→store chains,
+ * cross-group message passing with a dual ordering point,
+ * store-buffer probes), with randomized slot assignment, window
+ * counts, per-case schedule knobs, and optional concurrent host
+ * traffic on a third memory group.
+ *
+ * Every generated program follows the ordering discipline by
+ * construction (each template crosses its dependences with an
+ * ordering point), so the litmus meta-assertions carry over:
+ *
+ *  - soundness: under Fence / OrderLight / Louvre no generated case
+ *    may produce an oracle violation;
+ *  - sensitivity: under None the corpus as a whole must violate on
+ *    at least one case (individual cases may be too tame);
+ *  - determinism: the verdict of a case is identical for every
+ *    --sim-jobs value.
+ */
+
+#ifndef OLIGHT_VERIFY_LITMUS_FUZZ_HH
+#define OLIGHT_VERIFY_LITMUS_FUZZ_HH
+
+#include <cstdint>
+
+#include "verify/litmus.hh"
+
+namespace olight
+{
+
+/** Shape summary of one generated case (for failure messages). */
+struct FuzzCaseInfo
+{
+    std::uint64_t windows = 0;  ///< total windows across channels
+    std::uint64_t instrs = 0;   ///< total PIM instructions
+    bool hostTraffic = false;   ///< concurrent host arrays present
+};
+
+/** Describe the program case @p caseSeed expands to, without
+ *  running it (the expansion is deterministic). */
+FuzzCaseInfo fuzzCaseInfo(std::uint64_t caseSeed);
+
+/**
+ * Expand case @p caseSeed and run it under @p mode with @p simJobs
+ * intra-run workers. The schedule knobs derive from the case seed
+ * exactly like litmusConfig does, so one seed fixes program shape
+ * AND schedule; the verdict must not depend on @p simJobs.
+ */
+LitmusResult runLitmusFuzz(std::uint64_t caseSeed, OrderingMode mode,
+                           unsigned simJobs = 1);
+
+} // namespace olight
+
+#endif // OLIGHT_VERIFY_LITMUS_FUZZ_HH

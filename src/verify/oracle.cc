@@ -16,6 +16,8 @@ toString(ViolationKind kind)
       case ViolationKind::CrossGroupMerge: return "cross-group-merge";
       case ViolationKind::TsRaw: return "ts-raw";
       case ViolationKind::AckConservation: return "ack-conservation";
+      case ViolationKind::VersionTag: return "version-tag";
+      case ViolationKind::AcquireRelease: return "acquire-release";
     }
     return "?";
 }
@@ -51,7 +53,8 @@ slotUse(const PimInstr &instr, std::vector<std::uint8_t> &reads,
 }
 
 OrderingOracle::OrderingOracle(const SystemConfig &cfg)
-    : numGroups_(cfg.numMemGroups), historyLimit_(16)
+    : numGroups_(cfg.numMemGroups), historyLimit_(16),
+      mode_(cfg.orderingMode)
 {
 }
 
@@ -310,6 +313,12 @@ OrderingOracle::onMcOrderLight(std::uint16_t channel,
                      os.str());
     }
     gs.nextOlAtMc = std::int64_t(pkt.ol.pktNumber) + 1;
+    // Louvre acquire bound: a dual release affects both groups'
+    // windows, so it counts for both (the pkt-number sequence above
+    // stays a primary-group property, matching the SM's counter).
+    ++gs.releasesAtMc;
+    if (pkt.ol.hasSecondGroup)
+        ++groupState(channel, pkt.ol.memGroupId2).releasesAtMc;
     if (PktState *ps = find(pkt.id))
         ps->committed = true;
     addHistory(pkt.id, 0, 0, "mc" + std::to_string(channel) + ".ol");
@@ -389,6 +398,39 @@ OrderingOracle::onMcCommit(std::uint16_t channel, const Packet &pkt,
                << channel;
             addViolation(ViolationKind::TsRaw, pkt,
                          "pim" + std::to_string(channel) + ".exec",
+                         os.str());
+        }
+    }
+
+    // Louvre-only invariants. The issue-side epoch counts ordering
+    // points exactly like the warp's window version, so the two
+    // must agree on every request (invariant 4), and a window-V
+    // request may only commit once the V releases that close the
+    // earlier windows have reached the MC (invariant 5) — the
+    // acquire side of release consistency.
+    if (mode_ == OrderingMode::Louvre) {
+        ++checks_;
+        if (pkt.seq != ps->epoch) {
+            std::ostringstream os;
+            os << "request carries louvre version " << pkt.seq
+               << " but was issued in window " << ps->epoch
+               << " of (channel " << channel << ", group "
+               << unsigned(pkt.instr.memGroup)
+               << ") — per-location version tagging broke "
+                  "monotonicity";
+            addViolation(ViolationKind::VersionTag, pkt, stage,
+                         os.str());
+        }
+        ++checks_;
+        if (ps->epoch > gs.releasesAtMc) {
+            std::ostringstream os;
+            os << "request of window " << ps->epoch
+               << " committed with only " << gs.releasesAtMc
+               << " release(s) of (channel " << channel << ", group "
+               << unsigned(pkt.instr.memGroup)
+               << ") at the MC — acquire observed a version newer "
+                  "than the latest release";
+            addViolation(ViolationKind::AcquireRelease, pkt, stage,
                          os.str());
         }
     }

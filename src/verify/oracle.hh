@@ -26,6 +26,11 @@
  *    after that writer (commit order == PIM execution order).
  *  - Ack conservation: SM-side ack counters never run ahead of MC
  *    commits (monotone, no phantom acks).
+ *  - Louvre (mode=louvre only): every request's carried version tag
+ *    matches the issue-side window the oracle tracked for it
+ *    (per-location version monotonicity), and a window-V request
+ *    only commits after V releases affecting its group reached the
+ *    MC (acquire-sees-latest-release).
  *
  * Violations are collected, not thrown: each report carries the
  * packet's full pipeline history (the same span data the TraceWriter
@@ -59,6 +64,10 @@ enum class ViolationKind : std::uint8_t
     CrossGroupMerge, ///< mismatched OL copies merged into one packet
     TsRaw,           ///< TS read executed before its ordered writer
     AckConservation, ///< more acks than commits at an SM
+    VersionTag,      ///< louvre: carried version != issue-side
+                     ///< window (per-location monotonicity broken)
+    AcquireRelease,  ///< louvre: window-V request committed before
+                     ///< its group saw V releases at the MC
 };
 
 const char *toString(ViolationKind kind);
@@ -172,6 +181,10 @@ class OrderingOracle : public PipeObserver
         };
         std::vector<CrossDep> crossDeps;
         std::int64_t nextOlAtMc = 0; ///< expected OL pktNumber
+        /** Releases that have reached the MC affecting this group
+         *  (primary or second group of a dual release) — the
+         *  louvre acquire-sees-latest-release bound. */
+        std::uint32_t releasesAtMc = 0;
     };
 
     /** Merge bookkeeping of one replicated OL packet. */
@@ -197,6 +210,9 @@ class OrderingOracle : public PipeObserver
 
     std::uint32_t numGroups_;
     std::size_t historyLimit_;
+    /** Backend under test: the louvre-only invariants (VersionTag,
+     *  AcquireRelease) fire only when it is OrderingMode::Louvre. */
+    OrderingMode mode_;
 
     std::unordered_map<std::uint64_t, PktState> pkts_;
     /** (channel * numGroups + group) -> state. */

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cross-backend differential test: every Table 2 workload runs
+ * under all three enforcing backends (Fence, OrderLight, Louvre)
+ * and must land in *identical* final memory — not merely "each
+ * passes its reference check". The ordering primitive is a
+ * performance mechanism; it must never change simulated results.
+ *
+ * The digest covers every array the workload allocated (inputs and
+ * outputs: enforcement must not corrupt inputs either), read back
+ * from the functional memory after the run and hashed bit-exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "sim/random.hh"
+#include "workloads/registry.hh"
+
+namespace olight
+{
+namespace
+{
+
+constexpr std::uint64_t kElements = 1ull << 16;
+
+/** Bit-exact digest of every array of @p wl in @p mem. */
+std::uint64_t
+memoryDigest(const Workload &wl, SparseMemory &mem)
+{
+    std::uint64_t h = 0x0114e55e;
+    for (const PimArray &arr : wl.arrays()) {
+        std::vector<float> v = mem.readFloats(arr.base, arr.elements);
+        for (float f : v) {
+            std::uint32_t bits;
+            std::memcpy(&bits, &f, sizeof bits);
+            h = hashMix(h, bits);
+        }
+    }
+    return h;
+}
+
+struct BackendRun
+{
+    std::uint64_t digest = 0;
+    bool correct = false;
+    std::string why;
+};
+
+BackendRun
+runBackend(const std::string &workload, OrderingMode mode)
+{
+    SystemConfig cfg = configFor(mode, 256, 16);
+    System sys(cfg);
+    std::unique_ptr<Workload> wl = makeWorkload(workload);
+    wl->build(sys.config(), kElements);
+    wl->initMemory(sys.mem());
+    std::vector<std::vector<PimInstr>> streams = wl->streams();
+    sys.loadPimKernel(std::move(streams));
+    sys.run();
+
+    BackendRun out;
+    out.correct = wl->check(sys.mem(), out.why);
+    out.digest = memoryDigest(*wl, sys.mem());
+    return out;
+}
+
+class BackendEquivalence
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BackendEquivalence, IdenticalFinalMemory)
+{
+    const std::string &workload = GetParam();
+    BackendRun fence = runBackend(workload, OrderingMode::Fence);
+    BackendRun ol = runBackend(workload, OrderingMode::OrderLight);
+    BackendRun louvre = runBackend(workload, OrderingMode::Louvre);
+
+    EXPECT_TRUE(fence.correct) << "fence: " << fence.why;
+    EXPECT_TRUE(ol.correct) << "orderlight: " << ol.why;
+    EXPECT_TRUE(louvre.correct) << "louvre: " << louvre.why;
+
+    EXPECT_EQ(ol.digest, fence.digest)
+        << workload
+        << ": orderlight final memory diverges from fence";
+    EXPECT_EQ(louvre.digest, fence.digest)
+        << workload << ": louvre final memory diverges from fence";
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, BackendEquivalence,
+                         ::testing::ValuesIn(workloadNames()));
+
+} // namespace
+} // namespace olight

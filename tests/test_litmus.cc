@@ -7,8 +7,8 @@
  *    oracle violation across the seed sweep — otherwise the pattern
  *    (or the oracle) is vacuous and proves nothing about Fence /
  *    OrderLight;
- *  - soundness: under Fence and OrderLight no seed of any pattern may
- *    violate.
+ *  - soundness: under Fence, OrderLight and Louvre no seed of any
+ *    pattern may violate.
  *
  * Parameterized per pattern so ctest -j runs the sweeps in parallel.
  */
@@ -69,6 +69,17 @@ TEST_P(LitmusSweep, OrderLightIsSound)
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
         LitmusResult r =
             runLitmus(GetParam(), OrderingMode::OrderLight, seed);
+        EXPECT_GT(r.checks, 0u) << "seed " << seed;
+        EXPECT_EQ(r.violations, 0u)
+            << GetParam() << " seed " << seed << ":\n" << r.report;
+    }
+}
+
+TEST_P(LitmusSweep, LouvreIsSound)
+{
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        LitmusResult r =
+            runLitmus(GetParam(), OrderingMode::Louvre, seed);
         EXPECT_GT(r.checks, 0u) << "seed " << seed;
         EXPECT_EQ(r.violations, 0u)
             << GetParam() << " seed " << seed << ":\n" << r.report;

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Central ordering-mode registry (core/config.hh): one table drives
+ * every user-facing mode surface — CLI flag parsing, the serving
+ * protocol, and the litmus harness's capable-mode set. These tests
+ * pin (a) the registry's internal consistency and (b) that the
+ * surfaces genuinely accept/reject the same strings, so adding a
+ * backend in one place cannot silently leave a surface behind.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cli_common.hh"
+#include "core/config.hh"
+#include "serve/protocol.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(ModeRegistry, CoversEveryModeExactlyOnce)
+{
+    std::set<OrderingMode> modes;
+    std::set<std::string> flags;
+    for (const ModeInfo &info : modeRegistry()) {
+        EXPECT_TRUE(modes.insert(info.mode).second)
+            << info.flagName << " registered twice";
+        EXPECT_TRUE(flags.insert(info.flagName).second)
+            << info.flagName << " flag name collides";
+        EXPECT_STREQ(modeFlagName(info.mode), info.flagName);
+        EXPECT_STREQ(toString(info.mode), info.displayName);
+    }
+    // The five backends of this reproduction, louvre included.
+    EXPECT_EQ(modeRegistry().size(), 5u);
+    EXPECT_TRUE(modes.count(OrderingMode::Louvre));
+}
+
+TEST(ModeRegistry, LitmusModesAreTheCapableSubset)
+{
+    std::vector<OrderingMode> expected;
+    for (const ModeInfo &info : modeRegistry())
+        if (info.litmusCapable)
+            expected.push_back(info.mode);
+    EXPECT_EQ(litmusModes(), expected);
+    // SeqNum has no litmus patterns; everything else does.
+    for (const ModeInfo &info : modeRegistry())
+        EXPECT_EQ(info.litmusCapable,
+                  info.mode != OrderingMode::SeqNum)
+            << info.flagName;
+}
+
+TEST(ModeRegistry, JoinedNamesFollowTheTable)
+{
+    EXPECT_EQ(modeNamesJoined(true, '|'),
+              "none|fence|orderlight|seqnum|louvre");
+    EXPECT_EQ(modeNamesJoined(false, '|'),
+              "none|fence|orderlight|louvre");
+    EXPECT_EQ(modeNamesJoined(true, ','),
+              "none,fence,orderlight,seqnum,louvre");
+}
+
+/** The strings every surface is probed with. */
+const std::vector<std::string> &
+probeStrings()
+{
+    static const std::vector<std::string> probes = {
+        "none",   "fence",  "orderlight", "seqnum", "louvre",
+        "Louvre", "LOUVRE", "order",      "",       "versioned",
+    };
+    return probes;
+}
+
+TEST(ModeRegistry, CliAndCoreAgreeOnEveryProbe)
+{
+    for (const std::string &probe : probeStrings()) {
+        OrderingMode viaCore, viaCli;
+        bool core = modeFromName(probe, true, viaCore);
+        bool cli = cli::tryParseMode(probe, true, viaCli);
+        EXPECT_EQ(cli, core) << probe;
+        if (core && cli) {
+            EXPECT_EQ(viaCli, viaCore) << probe;
+        }
+
+        // The litmus surface (allowSeqnum = false) must reject
+        // exactly seqnum on top of whatever core rejects.
+        OrderingMode viaLitmus;
+        bool litmus = cli::tryParseMode(probe, false, viaLitmus);
+        EXPECT_EQ(litmus, core && probe != "seqnum") << probe;
+    }
+}
+
+TEST(ModeRegistry, ServeProtocolAgreesOnEveryProbe)
+{
+    for (const std::string &probe : probeStrings()) {
+        OrderingMode viaCore;
+        bool core = modeFromName(probe, true, viaCore);
+
+        serve::Request req;
+        std::string err;
+        bool serve = serve::parseRequest(
+            R"({"cmd":"run","id":1,"workload":"Add",)"
+            R"("elements":4096,"mode":")" + probe + R"("})",
+            req, err);
+        if (probe.empty()) {
+            // Protocol semantic: the mode field is optional, and an
+            // empty value means "use the default" — not a parse
+            // error like it is on the CLI surfaces.
+            EXPECT_TRUE(serve) << err;
+            continue;
+        }
+        EXPECT_EQ(serve, core) << probe << " -> " << err;
+        if (serve && core) {
+            EXPECT_EQ(req.run.mode, viaCore) << probe;
+        }
+        if (!serve) {
+            EXPECT_NE(err.find("mode"), std::string::npos)
+                << probe << " -> " << err;
+        }
+    }
+}
+
+} // namespace
+} // namespace olight

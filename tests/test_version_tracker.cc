@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the Louvre MC-side version tracker
+ * (memctrl/version_tracker.hh): complete-prefix window scheduling,
+ * release-carried counts, dual-release cross deps and their
+ * permanent pruning, and the degenerate same-group dual.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memctrl/version_tracker.hh"
+
+namespace olight
+{
+namespace
+{
+
+TEST(VersionTracker, WindowZeroIsOpenFromTheStart)
+{
+    VersionTracker vt(2);
+    // No release yet: window 0 requests schedule freely (there is no
+    // earlier window to wait for), window 1 requests must hold.
+    EXPECT_TRUE(vt.eligible(0, 0));
+    EXPECT_FALSE(vt.eligible(0, 1));
+    EXPECT_EQ(vt.released(0), 0u);
+    EXPECT_EQ(vt.complete(0), 0u);
+}
+
+TEST(VersionTracker, ReleaseAloneCompletesAnEmptyWindow)
+{
+    VersionTracker vt(1);
+    vt.onRelease(0, 0); // ordering point with no requests before it
+    EXPECT_EQ(vt.released(0), 1u);
+    EXPECT_EQ(vt.complete(0), 1u);
+    EXPECT_TRUE(vt.eligible(0, 1));
+}
+
+TEST(VersionTracker, WindowCompletesWhenAllExpectedScheduled)
+{
+    VersionTracker vt(1);
+    // Two requests of window 0 arrive and schedule before the
+    // release does (louvre admits them — no drain).
+    EXPECT_TRUE(vt.eligible(0, 0));
+    vt.onScheduled(0, 0);
+    vt.onScheduled(0, 0);
+    EXPECT_FALSE(vt.eligible(0, 1)) << "release not yet seen";
+
+    vt.onRelease(0, 2);
+    EXPECT_EQ(vt.complete(0), 1u)
+        << "count satisfied at release time";
+    EXPECT_TRUE(vt.eligible(0, 1));
+}
+
+TEST(VersionTracker, ElderWindowHoldsYoungerScheduling)
+{
+    VersionTracker vt(1);
+    vt.onRelease(0, 2); // window 0: two requests expected
+    EXPECT_FALSE(vt.eligible(0, 1));
+    vt.onScheduled(0, 0);
+    EXPECT_FALSE(vt.eligible(0, 1)) << "one of two still missing";
+    vt.onScheduled(0, 0);
+    EXPECT_TRUE(vt.eligible(0, 1));
+    EXPECT_EQ(vt.complete(0), 1u);
+}
+
+TEST(VersionTracker, CompletionAdvancesAcrossMultipleWindows)
+{
+    VersionTracker vt(1);
+    vt.onRelease(0, 1); // window 0 expects 1
+    vt.onRelease(0, 1); // window 1 expects 1
+    // Window 1's request arrives first — admitted (scheduled counts
+    // accumulate) but the prefix cannot advance past window 0.
+    EXPECT_FALSE(vt.eligible(0, 1));
+    vt.onScheduled(0, 0);
+    EXPECT_EQ(vt.complete(0), 1u);
+    EXPECT_TRUE(vt.eligible(0, 1));
+    vt.onScheduled(0, 1);
+    EXPECT_EQ(vt.complete(0), 2u);
+    EXPECT_TRUE(vt.eligible(0, 2));
+}
+
+TEST(VersionTracker, DualReleaseCrossOrdersBothGroups)
+{
+    VersionTracker vt(2);
+    // Group 0 window 0 has one pending request; the dual release
+    // closes window 0 of both groups.
+    vt.onDualRelease(0, 1, 1, 0);
+    EXPECT_EQ(vt.released(0), 1u);
+    EXPECT_EQ(vt.released(1), 1u);
+    // Group 1's window 0 was empty, so its prefix advanced — but its
+    // post-release window must also wait for group 0's pre-release
+    // window (the cross dep), which still has a request in flight.
+    EXPECT_EQ(vt.complete(1), 1u);
+    EXPECT_FALSE(vt.eligible(1, 1))
+        << "acquire must see group 0's pre-release requests done";
+    // Pre-release group-0 traffic is not blocked by the dep.
+    EXPECT_TRUE(vt.eligible(0, 0));
+
+    vt.onScheduled(0, 0);
+    EXPECT_EQ(vt.complete(0), 1u);
+    EXPECT_TRUE(vt.eligible(1, 1)) << "dep satisfied and pruned";
+    EXPECT_TRUE(vt.eligible(0, 1));
+}
+
+TEST(VersionTracker, SatisfiedCrossDepsPrunePermanently)
+{
+    VersionTracker vt(2);
+    vt.onDualRelease(0, 0, 1, 0); // both windows empty -> complete
+    EXPECT_TRUE(vt.eligible(0, 1));
+    EXPECT_TRUE(vt.eligible(1, 1));
+    // After pruning, later same-group traffic stays eligible even as
+    // new windows open on the other group.
+    vt.onRelease(1, 0);
+    EXPECT_TRUE(vt.eligible(0, 1));
+}
+
+TEST(VersionTracker, DegenerateSameGroupDualClosesTwoWindows)
+{
+    VersionTracker vt(1);
+    vt.onScheduled(0, 0);
+    vt.onDualRelease(0, 1, 0, 0);
+    // Folded into two single releases: windows 0 (one request,
+    // already scheduled) and 1 (empty) both complete.
+    EXPECT_EQ(vt.released(0), 2u);
+    EXPECT_EQ(vt.complete(0), 2u);
+    EXPECT_TRUE(vt.eligible(0, 2));
+}
+
+} // namespace
+} // namespace olight

@@ -38,7 +38,7 @@ usage()
     std::cout <<
         "usage: olight_cli [options]\n"
         "  --workload NAME   Table 2 kernel (default Add)\n"
-        "  --mode MODE       none | fence | orderlight | seqnum\n"
+        "  --mode MODE       " + modeNamesJoined(true, '|') + "\n"
         "  --ts BYTES        temporary storage per lane (default 256)\n"
         "  --bmf N           bandwidth multiplication factor (16)\n"
         "  --elements N      fp32 elements per array (default 2^18)\n"

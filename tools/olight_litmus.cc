@@ -9,8 +9,8 @@
  *
  *  - sensitivity: under --mode none every pattern must violate on at
  *    least one seed (an oracle that cannot fail proves nothing);
- *  - soundness: under --mode fence / --mode orderlight no pattern
- *    may violate on any seed.
+ *  - soundness: under the enforcing modes (fence, orderlight,
+ *    louvre) no pattern may violate on any seed.
  *
  * Exit 0 when the selected assertion holds, 1 when it does not,
  * 2 on bad usage.
@@ -35,8 +35,8 @@ usage(std::ostream &os)
 {
     os << "usage: olight_litmus [options]\n"
           "  --pattern NAME   run one pattern (default: all)\n"
-          "  --mode MODE      none | fence | orderlight (default: "
-          "all three)\n"
+          "  --mode MODE      " << modeNamesJoined(false, '|')
+       << " (default: all of them)\n"
           "  --seeds N        schedule seeds per pattern "
           "(default 32)\n"
           "  --seed N         run exactly one schedule seed\n"
@@ -79,9 +79,9 @@ int
 main(int argc, char **argv)
 {
     std::string pattern;
-    std::vector<OrderingMode> modes = {OrderingMode::None,
-                                       OrderingMode::Fence,
-                                       OrderingMode::OrderLight};
+    // Default sweep: the central registry's litmus-capable set —
+    // None for sensitivity plus every enforcing backend.
+    std::vector<OrderingMode> modes = litmusModes();
     std::uint64_t seeds = 32;
     std::uint64_t firstSeed = 1;
     bool singleSeed = false;
@@ -104,8 +104,8 @@ main(int argc, char **argv)
         } else if (arg == "--mode") {
             OrderingMode m;
             std::string v = next("--mode");
-            // The litmus harness has no SeqNum patterns, so the
-            // fourth mode stays a bad flag here.
+            // The litmus harness has no SeqNum patterns, so that
+            // mode stays a bad flag here (registry: litmusCapable).
             if (!cli::tryParseMode(v, false, m))
                 badFlag(v, "unknown mode");
             modes = {m};

@@ -93,7 +93,8 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: olight_sweep [--workloads a,b|all] "
-                   "[--modes fence,orderlight,seqnum,none]\n"
+                   "[--modes " << modeNamesJoined(true, ',')
+                << "]\n"
                    "  [--ts 128,256,...] [--bmf 4,8,16] "
                    "[--elements N] [--verify]\n"
                    "  [--gpu-baseline] [--out FILE] "
