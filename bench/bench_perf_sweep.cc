@@ -5,8 +5,9 @@
  * intra-run driver (`sim_jobs`) in wall clock, and writes
  * BENCH_sweep.json so the speedups are tracked across commits.
  *
- * The grid is 16 points (4 STREAM workloads x 2 modes x 2 TS), each
- * an independent System, so the sweep should scale near-linearly
+ * The grid is 36 points (6 workloads — 4 STREAM plus one txn and
+ * one bitwise representative — x 3 modes x 2 TS), each an
+ * independent System, so the sweep should scale near-linearly
  * with cores until memory bandwidth saturates. The run also checks
  * that every worker count — grid-level AND intra-run — produces
  * byte-identical CSV: the determinism guarantee both drivers make.
@@ -37,6 +38,7 @@
 
 #include "core/runner.hh"
 #include "core/sweep.hh"
+#include "workloads/registry.hh"
 
 using namespace olight;
 
@@ -55,7 +57,12 @@ SweepSpec
 benchSpec(unsigned jobs, unsigned simJobs)
 {
     SweepSpec spec;
-    spec.workloads = {"Add", "Scale", "Copy", "Daxpy"};
+    // Four STREAM kernels plus one representative of each extension
+    // family, so the committed JSON tracks the backend comparison
+    // for every ordering idiom (streaming, transactional
+    // conflict windows, bulk-bitwise row ops).
+    spec.workloads = {"Add",   "Scale",    "Copy",
+                      "Daxpy", "Txn_Xfer", "Bit_Xnor"};
     spec.modes = {OrderingMode::Fence, OrderingMode::OrderLight,
                   OrderingMode::Louvre};
     spec.tsSizes = {128, 512};
@@ -133,6 +140,8 @@ writeBackendComparison(std::ostream &os,
                 execMs(workload, ts, OrderingMode::Louvre);
             os << (first ? "" : ",\n")
                << "    {\"workload\": \"" << workload
+               << "\", \"family\": \""
+               << toString(workloadFamily(workload))
                << "\", \"ts\": " << ts
                << ", \"fence_ms\": " << fence
                << ", \"orderlight_ms\": " << ol

@@ -20,7 +20,7 @@ main(int argc, char **argv)
     SystemConfig cfg = configFor(OrderingMode::OrderLight, 256, 16);
     bench::printHeader("Table 2: summary of workloads", cfg);
 
-    std::cout << std::left << std::setw(9) << "Kernel"
+    std::cout << std::left << std::setw(12) << "Kernel"
               << std::setw(38) << "Description" << std::setw(8)
               << "Ratio" << std::setw(7) << "Multi?" << std::right
               << std::setw(10) << "MemCmds" << std::setw(10)
@@ -43,7 +43,7 @@ main(int argc, char **argv)
                     ++mem;
             }
         }
-        std::cout << std::left << std::setw(9) << info.name
+        std::cout << std::left << std::setw(12) << info.name
                   << std::setw(38) << info.description
                   << std::setw(8) << info.ratio << std::setw(7)
                   << (info.multiStructure ? "yes" : "no")

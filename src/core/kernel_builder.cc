@@ -102,10 +102,82 @@ KernelBuilder::compute(AluOp op, std::uint8_t dst, std::uint8_t src,
 }
 
 KernelBuilder &
+KernelBuilder::rowFetchOp(AluOp op, std::uint8_t dst,
+                          std::uint8_t src, const PimArray &array,
+                          std::uint64_t j)
+{
+    if (!isBitwiseAlu(op))
+        olight_panic("row-wide flavor is defined only for bulk-"
+                     "bitwise ALU ops, got ", toString(op));
+    if (j % map_.colsPerRow() != 0)
+        olight_panic("row-wide op block index ", j,
+                     " is not row-aligned (colsPerRow ",
+                     map_.colsPerRow(), ")");
+    instrs_.push_back(PimInstr::rowFetchOp(
+        op, dst, src, blockAddr(array, j), array.memGroup));
+    return *this;
+}
+
+KernelBuilder &
 KernelBuilder::orderPoint(std::uint8_t memGroup)
 {
     instrs_.push_back(PimInstr::orderPoint(memGroup));
     return *this;
+}
+
+KernelBuilder &
+KernelBuilder::orderPointDual(std::uint8_t group, std::uint8_t group2)
+{
+    instrs_.push_back(PimInstr::orderPointDual(group, group2));
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::loadPhase(const PimArray &array, std::uint64_t j0,
+                         std::uint64_t m, std::uint8_t slot0)
+{
+    for (std::uint64_t k = 0; k < m; ++k)
+        load(std::uint8_t(slot0 + k), array, j0 + k);
+    return orderPoint(array.memGroup);
+}
+
+KernelBuilder &
+KernelBuilder::storePhase(const PimArray &array, std::uint64_t j0,
+                          std::uint64_t m, std::uint8_t slot0)
+{
+    for (std::uint64_t k = 0; k < m; ++k)
+        store(std::uint8_t(slot0 + k), array, j0 + k);
+    return orderPoint(array.memGroup);
+}
+
+KernelBuilder &
+KernelBuilder::fetchPhase(AluOp op, const PimArray &array,
+                          std::uint64_t j0, std::uint64_t m,
+                          float scalar, std::uint8_t slot0)
+{
+    for (std::uint64_t k = 0; k < m; ++k)
+        fetchOp(op, std::uint8_t(slot0 + k), std::uint8_t(slot0 + k),
+                array, j0 + k, scalar);
+    return orderPoint(array.memGroup);
+}
+
+KernelBuilder &
+KernelBuilder::computePhase(AluOp op, std::uint64_t m,
+                            std::uint8_t memGroup, float scalar,
+                            float scalar2, std::uint8_t slot0)
+{
+    for (std::uint64_t k = 0; k < m; ++k)
+        compute(op, std::uint8_t(slot0 + k), std::uint8_t(slot0 + k),
+                memGroup, scalar, scalar2);
+    return orderPoint(memGroup);
+}
+
+KernelBuilder &
+KernelBuilder::residentLoad(std::uint8_t slot, const PimArray &array,
+                            std::uint64_t j, std::uint8_t group)
+{
+    load(slot, array, j);
+    return orderPoint(group);
 }
 
 } // namespace olight

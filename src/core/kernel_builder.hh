@@ -15,6 +15,7 @@
 #ifndef OLIGHT_CORE_KERNEL_BUILDER_HH
 #define OLIGHT_CORE_KERNEL_BUILDER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -83,7 +84,75 @@ class KernelBuilder
                            std::uint8_t src, std::uint8_t memGroup,
                            float scalar = 0.0f, float scalar2 = 0.0f,
                            std::uint16_t aux = 0);
+    /** Row-granular bulk-bitwise fetch-op on the row group whose
+     *  first lane-0 block is @p array block @p j (must be
+     *  row-aligned, i.e. j a multiple of colsPerRow). */
+    KernelBuilder &rowFetchOp(AluOp op, std::uint8_t dst,
+                              std::uint8_t src, const PimArray &array,
+                              std::uint64_t j);
     KernelBuilder &orderPoint(std::uint8_t memGroup);
+    /** Dual-group publish: one OrderPoint covering two groups. */
+    KernelBuilder &orderPointDual(std::uint8_t group,
+                                  std::uint8_t group2);
+
+    // ------------------------------------------------------------
+    // Phase helpers: the stream-emission patterns shared by every
+    // Table 2 kernel. A "phase" is a burst of same-shape commands
+    // closed by one OrderPoint — the placement policy the paper's
+    // kernels all follow (order only at data-dependence edges).
+    // ------------------------------------------------------------
+
+    /** m loads slot0+k <- array[j0+k], then OrderPoint(array). */
+    KernelBuilder &loadPhase(const PimArray &array, std::uint64_t j0,
+                             std::uint64_t m, std::uint8_t slot0 = 0);
+
+    /** m stores slot0+k -> array[j0+k], then OrderPoint(array). */
+    KernelBuilder &storePhase(const PimArray &array, std::uint64_t j0,
+                              std::uint64_t m,
+                              std::uint8_t slot0 = 0);
+
+    /** m in-place fetch-ops slot0+k op= array[j0+k], then
+     *  OrderPoint(array). */
+    KernelBuilder &fetchPhase(AluOp op, const PimArray &array,
+                              std::uint64_t j0, std::uint64_t m,
+                              float scalar = 0.0f,
+                              std::uint8_t slot0 = 0);
+
+    /** m in-place TS computes on slot0+k, then OrderPoint(group). */
+    KernelBuilder &computePhase(AluOp op, std::uint64_t m,
+                                std::uint8_t memGroup,
+                                float scalar = 0.0f,
+                                float scalar2 = 0.0f,
+                                std::uint8_t slot0 = 0);
+
+    /** Load one block resident in a TS slot and publish it before
+     *  the main loop touches @p group (weight/query vectors). */
+    KernelBuilder &residentLoad(std::uint8_t slot,
+                                const PimArray &array,
+                                std::uint64_t j, std::uint8_t group);
+
+    /** Arbitrary burst closed by OrderPoint(group): body(*this). */
+    template <typename Body>
+    KernelBuilder &
+    phase(std::uint8_t group, Body &&body)
+    {
+        body(*this);
+        return orderPoint(group);
+    }
+
+    /** Tiled loop: emit(j0, m) per tile of at most @p tile blocks. */
+    template <typename Emit>
+    KernelBuilder &
+    forEachTile(const PimArray &array, std::uint64_t tile,
+                Emit &&emit)
+    {
+        std::uint64_t blocks = blocksPerChannel(array);
+        for (std::uint64_t j0 = 0; j0 < blocks; j0 += tile) {
+            std::uint64_t m = std::min(tile, blocks - j0);
+            emit(j0, m);
+        }
+        return *this;
+    }
 
     std::size_t size() const { return instrs_.size(); }
     std::vector<PimInstr> take() { return std::move(instrs_); }
@@ -93,6 +162,24 @@ class KernelBuilder
     std::uint16_t channel_;
     std::vector<PimInstr> instrs_;
 };
+
+/**
+ * Per-channel emission loop shared by every workload's buildImpl:
+ * construct a KernelBuilder per channel, run @p emit on it, and move
+ * the accumulated stream into @p streams[channel].
+ */
+template <typename Emit>
+void
+forEachChannel(const AddressMap &map, std::uint32_t numChannels,
+               std::vector<std::vector<PimInstr>> &streams,
+               Emit &&emit)
+{
+    for (std::uint32_t ch = 0; ch < numChannels; ++ch) {
+        KernelBuilder kb(map, std::uint16_t(ch));
+        emit(kb);
+        streams[ch] = kb.take();
+    }
+}
 
 } // namespace olight
 

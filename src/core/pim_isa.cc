@@ -30,6 +30,10 @@ toString(AluOp op)
       case AluOp::MinAcc: return "MinAcc";
       case AluOp::Threshold: return "Threshold";
       case AluOp::Zero: return "Zero";
+      case AluOp::And: return "And";
+      case AluOp::Or: return "Or";
+      case AluOp::Xor: return "Xor";
+      case AluOp::Not: return "Not";
     }
     return "?";
 }
@@ -59,6 +63,20 @@ isThreeOperandCompute(AluOp op)
       case AluOp::SqDiffAcc:
       case AluOp::Popcnt:
       case AluOp::PopcntAcc:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBitwiseAlu(AluOp op)
+{
+    switch (op) {
+      case AluOp::And:
+      case AluOp::Or:
+      case AluOp::Xor:
+      case AluOp::Not:
         return true;
       default:
         return false;

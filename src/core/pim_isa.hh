@@ -48,6 +48,10 @@ enum class AluOp : std::uint8_t
     MinAcc,    ///< dst[0] = min(dst[0], operand[0])
     Threshold, ///< dst = operand >= scalar ? 1 : 0
     Zero,      ///< dst = 0 (full block)
+    And,       ///< dst = src & operand (bulk-bitwise, word lanes)
+    Or,        ///< dst = src | operand
+    Xor,       ///< dst = src ^ operand
+    Not,       ///< dst = ~operand
 };
 
 /**
@@ -56,6 +60,23 @@ enum class AluOp : std::uint8_t
  * distinct TS slots): dst[0] = f(TS[aux], TS[srcSlot]).
  */
 bool isThreeOperandCompute(AluOp op);
+
+/**
+ * True for the bulk-bitwise subset (And/Or/Xor/Not). Only these may
+ * carry the row-wide flavor flag: a histogram BinCount reuses aux
+ * for its bin count, so the flag bit is meaningful only here.
+ */
+bool isBitwiseAlu(AluOp op);
+
+/**
+ * Aux flag bit marking a PimFetchOp as row-granular: the single
+ * command applies its bulk-bitwise ALU op to *every* 32 B column of
+ * the (bank,row) row group containing addr, folding into the TS slot
+ * — the in-DRAM whole-row operation of the bulk-bitwise PIM
+ * literature. The command address must name column 0 / lane 0 of
+ * the row.
+ */
+constexpr std::uint16_t kRowWideFlag = 0x200;
 
 /** Kinds of host-issued instructions in a PIM kernel stream. */
 enum class PimOpType : std::uint8_t
@@ -135,6 +156,20 @@ struct PimInstr
         return i;
     }
 
+    /**
+     * Row-granular bulk-bitwise fetch-op: fold @p op over every
+     * column of the (bank,row) row group at @p addr into the TS.
+     * Only bitwise ALU ops (isBitwiseAlu) have row-wide semantics.
+     */
+    static PimInstr
+    rowFetchOp(AluOp op, std::uint8_t dst, std::uint8_t src,
+               std::uint64_t addr, std::uint8_t group)
+    {
+        PimInstr i = fetchOp(op, dst, src, addr, group);
+        i.aux = kRowWideFlag;
+        return i;
+    }
+
     static PimInstr
     orderPoint(std::uint8_t group)
     {
@@ -166,6 +201,14 @@ struct PimInstr
         return (type == PimOpType::OrderPoint && (aux & 0x100u))
                    ? int(aux & 0xfu)
                    : -1;
+    }
+
+    /** True for a row-granular bulk-bitwise fetch-op. */
+    bool
+    isRowWide() const
+    {
+        return type == PimOpType::PimFetchOp && isBitwiseAlu(alu) &&
+               (aux & kRowWideFlag);
     }
 
     /** True for instruction types that access DRAM. */

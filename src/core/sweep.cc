@@ -7,6 +7,7 @@
 
 #include "sim/json.hh"
 #include "sim/thread_pool.hh"
+#include "workloads/registry.hh"
 
 namespace olight
 {
@@ -140,6 +141,10 @@ runSweep(const SweepSpec &spec, const SweepProgress &progress)
 
         SweepRow &row = rows[i];
         row.workload = workload;
+        row.family = toString(workloadFamily(workload));
+        WorkloadInfo info = makeWorkload(workload)->info();
+        row.ratio = info.ratio;
+        row.multiStructure = info.multiStructure;
         row.mode = pt.mode;
         row.tsBytes = pt.tsBytes;
         row.bmf = pt.bmf;
@@ -204,6 +209,12 @@ writeJsonRow(std::ostream &os, const SweepRow &row,
     os << ",\"mode\":";
     jsonString(os, toString(row.mode));
     os << ",\"ts_bytes\":" << row.tsBytes << ",\"bmf\":" << row.bmf
+       << ",\"family\":";
+    jsonString(os, row.family);
+    os << ",\"ratio\":";
+    jsonString(os, row.ratio);
+    os << ",\"multi_structure\":"
+       << (row.multiStructure ? "true" : "false")
        << ",\"config_fingerprint\":";
     jsonString(os, fingerprintHex(row.configFingerprint));
     os << ",\"verified\":" << (row.verified ? "true" : "false")

@@ -71,6 +71,12 @@ struct SweepRow
     OrderingMode mode;
     std::uint32_t tsBytes = 0;
     std::uint32_t bmf = 0;
+
+    /// Workload metadata from the family-tagged registry (family
+    /// name, Table 2 memory:compute ratio, multi-structure flag).
+    std::string family;
+    std::string ratio;
+    bool multiStructure = false;
     RunMetrics metrics;
     bool verified = false;
     bool correct = false;

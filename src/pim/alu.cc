@@ -224,6 +224,26 @@ aluApply(AluOp op, const AluArgs &args)
       case AluOp::Zero:
         std::memset(args.dst, 0, 32);
         return;
+
+      case AluOp::And:
+      case AluOp::Or:
+      case AluOp::Xor:
+      case AluOp::Not: {
+        // Bulk-bitwise over 32-bit word lanes (8 words per block).
+        std::uint32_t sw[elems], ow[elems], dw[elems];
+        std::memcpy(sw, args.src, 32);
+        std::memcpy(ow, args.operand, 32);
+        for (std::uint32_t i = 0; i < elems; ++i) {
+            switch (op) {
+              case AluOp::And: dw[i] = sw[i] & ow[i]; break;
+              case AluOp::Or: dw[i] = sw[i] | ow[i]; break;
+              case AluOp::Xor: dw[i] = sw[i] ^ ow[i]; break;
+              default: dw[i] = ~ow[i]; break;
+            }
+        }
+        std::memcpy(args.dst, dw, 32);
+        return;
+      }
     }
     olight_panic("unhandled ALU op ", int(op));
 }

@@ -58,8 +58,13 @@ PimUnit::execute(const PimInstr &instr, Tick when,
                          c.channel, " != ", channel_);
         if (c.lane != 0)
             olight_panic("PIM command address must be lane 0");
+        if (instr.isRowWide() && c.col != 0)
+            olight_panic("row-wide PIM command address must name "
+                         "column 0 of its row, got column ", c.col);
         ++statMemCommands_;
-        statBytes_ += double(32u * lanes_);
+        statBytes_ += double(32u * lanes_ *
+                             (instr.isRowWide() ? map_.colsPerRow()
+                                                : 1u));
     }
 
     for (std::uint32_t lane = 0; lane < lanes_; ++lane) {
@@ -77,6 +82,35 @@ PimUnit::execute(const PimInstr &instr, Tick when,
             break;
           }
           case PimOpType::PimFetchOp: {
+            if (instr.isRowWide()) {
+                // Row-granular bulk-bitwise op: fold the ALU op over
+                // every 32 B column of this lane's (bank,row) row
+                // group into the TS slot. Columns of one row group
+                // are contiguous in channel-local space, so the walk
+                // goes through the local<->global mapping rather
+                // than the per-column global addresses.
+                std::uint64_t base_local =
+                    map_.globalToLocal(instr.addr) +
+                    std::uint64_t(lane) * map_.colsPerRow() * 32u;
+                for (std::uint32_t k = 0; k < map_.colsPerRow();
+                     ++k) {
+                    std::uint64_t col_addr = map_.localToGlobal(
+                        base_local + std::uint64_t(k) * 32u,
+                        channel_);
+                    const auto &blk = mem_.blockOrZero(col_addr);
+                    AluArgs args;
+                    args.dst = ts_.slot(lane, instr.dstSlot);
+                    args.src = ts_.slot(lane, instr.srcSlot);
+                    args.operand = blk.data();
+                    args.scalar = instr.scalar;
+                    args.scalar2 = instr.scalar2;
+                    args.aux = instr.aux;
+                    args.dstSpanBytes =
+                        ts_.slotsFrom(instr.dstSlot) * 32;
+                    aluApply(instr.alu, args);
+                }
+                break;
+            }
             const auto &blk = mem_.blockOrZero(lane_addr);
             AluArgs args;
             args.dst = ts_.slot(lane, instr.dstSlot);

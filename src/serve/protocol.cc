@@ -211,7 +211,7 @@ bool
 validateRun(const RunOptions &opts, std::string &why)
 {
     if (!knownWorkload(opts.workload)) {
-        why = "unknown workload '" + opts.workload + "'";
+        why = unknownWorkloadMessage(opts.workload);
         return false;
     }
     SystemConfig cfg =
@@ -224,7 +224,7 @@ validateSweep(const SweepSpec &spec, std::string &why)
 {
     for (const auto &w : spec.workloads) {
         if (!knownWorkload(w)) {
-            why = "unknown workload '" + w + "'";
+            why = unknownWorkloadMessage(w);
             return false;
         }
     }

@@ -160,6 +160,72 @@ hostPimMix(const SystemConfig &cfg, const AddressMap &map)
     return prog;
 }
 
+/**
+ * Transactional conflict windows (the txn kernel family's idiom):
+ * each transaction loads its read set from array a, crosses an
+ * ordering point into the compute window, publishes its write set
+ * to array b, and closes with another ordering point. The next
+ * transaction's read set follows immediately, so a read overtaking
+ * the previous write set is exactly a lost transactional update.
+ */
+LitmusProgram
+txnConflict(const SystemConfig &cfg, const AddressMap &map)
+{
+    ArrayAllocator alloc(map);
+    std::uint64_t elems = 2048 * cfg.numChannels;
+    PimArray a = alloc.alloc("lit.rset", elems, kGroupA);
+    PimArray b = alloc.alloc("lit.wset", elems, kGroupA);
+
+    LitmusProgram prog;
+    for (std::uint16_t ch = 0; ch < cfg.numChannels; ++ch) {
+        KernelBuilder kb(map, ch);
+        std::uint64_t w = windowsFor(kb, a, 2);
+        for (std::uint64_t t = 0; t < w; ++t) {
+            kb.load(0, a, 2 * t).load(1, a, 2 * t + 1);
+            kb.orderPoint(kGroupA);
+            kb.compute(AluOp::Add, 0, 1, kGroupA);
+            kb.orderPoint(kGroupA);
+            kb.store(0, b, 2 * t).store(1, b, 2 * t + 1);
+            kb.orderPoint(kGroupA);
+        }
+        prog.streams.push_back(kb.take());
+    }
+    return prog;
+}
+
+/**
+ * Bulk-bitwise row window (the bitwise kernel family's idiom): a
+ * burst of column stores fills the head of a DRAM row, an ordering
+ * point publishes it, then one row-granular bulk-bitwise command
+ * reads the whole row back. The row-wide read is a single row-hit
+ * command, so without enforcement FR-FCFS serves it ahead of the
+ * still-buffered column writes.
+ */
+LitmusProgram
+bitwiseRow(const SystemConfig &cfg, const AddressMap &map)
+{
+    ArrayAllocator alloc(map);
+    std::uint64_t cols = map.colsPerRow();
+    std::uint64_t elems =
+        kWindows * map.channelSweepBytes() * cols / sizeof(float);
+    PimArray a = alloc.alloc("lit.rows", elems, kGroupA);
+
+    LitmusProgram prog;
+    for (std::uint16_t ch = 0; ch < cfg.numChannels; ++ch) {
+        KernelBuilder kb(map, ch);
+        std::uint64_t w = windowsFor(kb, a, cols);
+        for (std::uint64_t r = 0; r < w; ++r) {
+            for (std::uint64_t k = 0; k < 4; ++k)
+                kb.store(0, a, r * cols + k);
+            kb.orderPoint(kGroupA);
+            kb.rowFetchOp(AluOp::And, 1, 1, a, r * cols);
+            kb.orderPoint(kGroupA);
+        }
+        prog.streams.push_back(kb.take());
+    }
+    return prog;
+}
+
 LitmusProgram
 buildProgram(const std::string &name, const SystemConfig &cfg,
              const AddressMap &map)
@@ -172,6 +238,10 @@ buildProgram(const std::string &name, const SystemConfig &cfg,
         return storeBuffer(cfg, map);
     if (name == "host_pim_mix")
         return hostPimMix(cfg, map);
+    if (name == "txn_conflict")
+        return txnConflict(cfg, map);
+    if (name == "bitwise_row")
+        return bitwiseRow(cfg, map);
     olight_fatal("unknown litmus pattern: ", name);
     return {};
 }
@@ -195,6 +265,13 @@ litmusTable()
         {"host_pim_mix",
          "store_buffer with concurrent host traffic on a third "
          "memory group interleaving at the MC"},
+        {"txn_conflict",
+         "transactional read-set/write-set conflict windows; the "
+         "next transaction's reads must not overtake the previous "
+         "write-set publish"},
+        {"bitwise_row",
+         "column-store burst, ordering point, then one row-granular "
+         "bulk-bitwise command reading the whole row back"},
     };
     return table;
 }

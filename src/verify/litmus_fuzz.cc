@@ -78,11 +78,11 @@ struct Cursor
  * program is sound by construction under the enforcing modes.
  */
 void
-emitWindow(Rng &rng, std::vector<PimInstr> &s, Cursor &dataA,
-           Cursor &auxA, Cursor &dataB, Cursor &flagB)
+emitWindow(Rng &rng, const AddressMap &map, std::vector<PimInstr> &s,
+           Cursor &dataA, Cursor &auxA, Cursor &dataB, Cursor &flagB)
 {
     std::uint8_t slot = std::uint8_t(rng.nextRange(3));
-    switch (rng.nextRange(4)) {
+    switch (rng.nextRange(5)) {
     case 0: {
         // Publish burst: stores, then a closing ordering point.
         bool onB = rng.nextRange(2) != 0;
@@ -137,13 +137,35 @@ emitWindow(Rng &rng, std::vector<PimInstr> &s, Cursor &dataA,
             kGroupA));
         break;
     }
-    default: {
+    case 3: {
         // Store-buffer probe: write one row set, ordering point,
         // read another of the same group.
         s.push_back(PimInstr::store(slot, dataA.addr(), kGroupA));
         s.push_back(PimInstr::orderPoint(kGroupA));
         s.push_back(PimInstr::load(std::uint8_t(slot + 1),
                                    auxA.addr(), kGroupA));
+        break;
+    }
+    default: {
+        // Bulk-bitwise row window: column stores into one row of
+        // dataA, ordering point, then a row-granular bitwise
+        // command reading the whole row back (the bitwise_row
+        // probe).
+        std::uint64_t cols = map.colsPerRow();
+        std::uint64_t rows =
+            dataA.kb.blocksPerChannel(dataA.arr) / cols;
+        std::uint64_t row = rng.nextRange(rows);
+        std::uint64_t k = 1 + rng.nextRange(3);
+        for (std::uint64_t i = 0; i < k; ++i)
+            s.push_back(PimInstr::store(
+                slot, dataA.kb.blockAddr(dataA.arr, row * cols + i),
+                kGroupA));
+        s.push_back(PimInstr::orderPoint(kGroupA));
+        s.push_back(PimInstr::rowFetchOp(
+            AluOp::And, std::uint8_t(slot + 1),
+            std::uint8_t(slot + 1),
+            dataA.kb.blockAddr(dataA.arr, row * cols), kGroupA));
+        s.push_back(PimInstr::orderPoint(kGroupA));
         break;
     }
     }
@@ -166,7 +188,7 @@ buildFuzzProgram(std::uint64_t caseSeed, const SystemConfig &cfg,
         std::uint64_t windows = 3 + rng.nextRange(4);
         std::vector<PimInstr> s;
         for (std::uint64_t w = 0; w < windows; ++w)
-            emitWindow(rng, s, dataA, auxA, dataB, flagB);
+            emitWindow(rng, map, s, dataA, auxA, dataB, flagB);
         shape.windows += windows;
         shape.instrs += s.size();
         prog.streams.push_back(std::move(s));

@@ -24,6 +24,14 @@ std::unique_ptr<Workload> makeSvm();
 std::unique_ptr<Workload> makeHist();
 std::unique_ptr<Workload> makeGenFil();
 
+// Transactional family (PIM-STM-style conflict windows).
+std::unique_ptr<Workload> makeTxnXfer();
+std::unique_ptr<Workload> makeTxnLog();
+
+// Bulk-bitwise family (word-lane and row-granular ops).
+std::unique_ptr<Workload> makeBitXnor();
+std::unique_ptr<Workload> makeBitRowFold();
+
 } // namespace olight
 
 #endif // OLIGHT_WORKLOADS_APPS_HH

@@ -78,31 +78,19 @@ class BnFwd : public Workload
         const PimArray &y = arrays_[1];
 
         std::uint32_t n = cfg_.tsSlots();
-        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
-            KernelBuilder kb(*map_, ch);
-            std::uint64_t blocks = kb.blocksPerChannel(x);
-            for (std::uint64_t j0 = 0; j0 < blocks; j0 += n) {
-                std::uint32_t m = std::uint32_t(
-                    std::min<std::uint64_t>(n, blocks - j0));
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.load(std::uint8_t(k), x, j0 + k);
-                kb.orderPoint(x.memGroup);
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.compute(AluOp::Affine, std::uint8_t(k),
-                               std::uint8_t(k), x.memGroup, bnG1,
-                               bnB1);
-                kb.orderPoint(x.memGroup);
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.compute(AluOp::Affine, std::uint8_t(k),
-                               std::uint8_t(k), x.memGroup, bnG2,
-                               bnB2);
-                kb.orderPoint(x.memGroup);
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.store(std::uint8_t(k), y, j0 + k);
-                kb.orderPoint(x.memGroup);
-            }
-            streams_[ch] = kb.take();
-        }
+        forEachChannel(
+            *map_, cfg_.numChannels, streams_,
+            [&](KernelBuilder &kb) {
+                kb.forEachTile(
+                    x, n, [&](std::uint64_t j0, std::uint64_t m) {
+                        kb.loadPhase(x, j0, m)
+                            .computePhase(AluOp::Affine, m,
+                                          x.memGroup, bnG1, bnB1)
+                            .computePhase(AluOp::Affine, m,
+                                          x.memGroup, bnG2, bnB2)
+                            .storePhase(y, j0, m);
+                    });
+            });
     }
 };
 
@@ -166,31 +154,19 @@ class BnBwd : public Workload
         const PimArray &dx = arrays_[2];
 
         std::uint32_t n = cfg_.tsSlots();
-        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
-            KernelBuilder kb(*map_, ch);
-            std::uint64_t blocks = kb.blocksPerChannel(dy);
-            for (std::uint64_t j0 = 0; j0 < blocks; j0 += n) {
-                std::uint32_t m = std::uint32_t(
-                    std::min<std::uint64_t>(n, blocks - j0));
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.load(std::uint8_t(k), dy, j0 + k);
-                kb.orderPoint(dy.memGroup);
-                // TS = dy + c * x  (x fetched from memory)
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.fetchOp(AluOp::Fma, std::uint8_t(k),
-                               std::uint8_t(k), x, j0 + k, bnC);
-                kb.orderPoint(dy.memGroup);
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.compute(AluOp::Affine, std::uint8_t(k),
-                               std::uint8_t(k), dy.memGroup, bnG,
-                               0.0f);
-                kb.orderPoint(dy.memGroup);
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.store(std::uint8_t(k), dx, j0 + k);
-                kb.orderPoint(dy.memGroup);
-            }
-            streams_[ch] = kb.take();
-        }
+        forEachChannel(
+            *map_, cfg_.numChannels, streams_,
+            [&](KernelBuilder &kb) {
+                kb.forEachTile(
+                    dy, n, [&](std::uint64_t j0, std::uint64_t m) {
+                        // TS = dy + c * x  (x fetched from memory)
+                        kb.loadPhase(dy, j0, m)
+                            .fetchPhase(AluOp::Fma, x, j0, m, bnC)
+                            .computePhase(AluOp::Affine, m,
+                                          dy.memGroup, bnG, 0.0f)
+                            .storePhase(dx, j0, m);
+                    });
+            });
     }
 };
 

@@ -121,23 +121,26 @@ class Fc : public Workload
         const PimArray &xp = arrays_[2];
 
         constexpr std::uint8_t slotX = 0, slotA = 1;
-        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
-            KernelBuilder kb(*map_, ch);
-            kb.load(slotX, xp, 0);
-            kb.orderPoint(w.memGroup);
-            for (std::uint64_t r = 0; r < rows_; ++r) {
-                kb.compute(AluOp::Zero, slotA, slotA, w.memGroup);
-                kb.orderPoint(w.memGroup);
-                for (std::uint64_t t = 0; t < rowBlocksPerChannel;
-                     ++t)
-                    kb.fetchOp(AluOp::DotAcc, slotA, slotX, w,
-                               r * rowBlocksPerChannel + t);
-                kb.orderPoint(w.memGroup);
-                kb.store(slotA, y, r);
-                kb.orderPoint(w.memGroup);
-            }
-            streams_[ch] = kb.take();
-        }
+        forEachChannel(
+            *map_, cfg_.numChannels, streams_,
+            [&](KernelBuilder &kb) {
+                kb.residentLoad(slotX, xp, 0, w.memGroup);
+                for (std::uint64_t r = 0; r < rows_; ++r) {
+                    kb.computePhase(AluOp::Zero, 1, w.memGroup, 0.0f,
+                                    0.0f, slotA)
+                        .phase(w.memGroup,
+                               [&](KernelBuilder &p) {
+                                   for (std::uint64_t t = 0;
+                                        t < rowBlocksPerChannel; ++t)
+                                       p.fetchOp(
+                                           AluOp::DotAcc, slotA,
+                                           slotX, w,
+                                           r * rowBlocksPerChannel +
+                                               t);
+                               })
+                        .storePhase(y, r, 1, slotA);
+                }
+            });
     }
 
   private:

@@ -117,27 +117,36 @@ class GenFil : public Workload
         const PimArray &q = arrays_[2];
 
         constexpr std::uint8_t slotQ = 0, slotA = 1, slotR = 2;
-        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
-            KernelBuilder kb(*map_, ch);
-            kb.load(slotQ, q, 0);
-            kb.orderPoint(g.memGroup);
-            std::uint64_t cands = candidates();
-            for (std::uint64_t t = 0; t < cands; ++t) {
-                std::uint64_t j = candidateBlock(t);
-                kb.fetchOp(AluOp::Popcnt, slotA, slotQ, g, j);
-                kb.orderPoint(g.memGroup);
-                for (std::uint64_t i = 1; i < candidateBlocks; ++i)
-                    kb.fetchOp(AluOp::PopcntAcc, slotA, slotQ, g,
-                               j + i);
-                kb.orderPoint(g.memGroup);
-                kb.compute(AluOp::Threshold, slotR, slotA,
-                           g.memGroup, popcntThreshold);
-                kb.orderPoint(g.memGroup);
-                kb.store(slotR, out, t);
-                kb.orderPoint(g.memGroup);
-            }
-            streams_[ch] = kb.take();
-        }
+        forEachChannel(
+            *map_, cfg_.numChannels, streams_,
+            [&](KernelBuilder &kb) {
+                kb.residentLoad(slotQ, q, 0, g.memGroup);
+                std::uint64_t cands = candidates();
+                for (std::uint64_t t = 0; t < cands; ++t) {
+                    std::uint64_t j = candidateBlock(t);
+                    kb.phase(g.memGroup,
+                             [&](KernelBuilder &p) {
+                                 p.fetchOp(AluOp::Popcnt, slotA,
+                                           slotQ, g, j);
+                             })
+                        .phase(g.memGroup,
+                               [&](KernelBuilder &p) {
+                                   for (std::uint64_t i = 1;
+                                        i < candidateBlocks; ++i)
+                                       p.fetchOp(AluOp::PopcntAcc,
+                                                 slotA, slotQ, g,
+                                                 j + i);
+                               })
+                        .phase(g.memGroup,
+                               [&](KernelBuilder &p) {
+                                   p.compute(AluOp::Threshold,
+                                             slotR, slotA,
+                                             g.memGroup,
+                                             popcntThreshold);
+                               })
+                        .storePhase(out, t, 1, slotR);
+                }
+            });
     }
 
   private:

@@ -123,30 +123,30 @@ class Hist : public Workload
         const PimArray &out = arrays_[1];
         std::uint16_t bins = std::uint16_t(binSlots() * 8);
 
-        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
-            KernelBuilder kb(*map_, ch);
-            std::uint64_t blocks = kb.blocksPerChannel(data);
-            // Bins start zeroed (TS is cleared at reset).
-            std::uint64_t s = 0;
-            for (std::uint64_t lo = 0; lo < blocks;
-                 lo += seg_blocks, ++s) {
-                std::uint64_t hi =
-                    std::min(blocks, lo + seg_blocks);
-                for (std::uint64_t j = lo; j < hi; ++j)
-                    kb.fetchOp(AluOp::BinCount, 0, 0, data, j,
-                               binWidth, 0.0f, bins);
-                kb.orderPoint(data.memGroup);
-                for (std::uint32_t b = 0; b < binSlots(); ++b)
-                    kb.store(std::uint8_t(b), out,
-                             s * binSlots() + b);
-                kb.orderPoint(data.memGroup);
-                for (std::uint32_t b = 0; b < binSlots(); ++b)
-                    kb.compute(AluOp::Zero, std::uint8_t(b),
-                               std::uint8_t(b), data.memGroup);
-                kb.orderPoint(data.memGroup);
-            }
-            streams_[ch] = kb.take();
-        }
+        forEachChannel(
+            *map_, cfg_.numChannels, streams_,
+            [&](KernelBuilder &kb) {
+                // Bins start zeroed (TS is cleared at reset).
+                std::uint64_t s = 0;
+                kb.forEachTile(
+                    data, seg_blocks,
+                    [&](std::uint64_t lo, std::uint64_t m) {
+                        kb.phase(data.memGroup,
+                                 [&](KernelBuilder &p) {
+                                     for (std::uint64_t j = lo;
+                                          j < lo + m; ++j)
+                                         p.fetchOp(AluOp::BinCount,
+                                                   0, 0, data, j,
+                                                   binWidth, 0.0f,
+                                                   bins);
+                                 })
+                            .storePhase(out, s * binSlots(),
+                                        binSlots())
+                            .computePhase(AluOp::Zero, binSlots(),
+                                          data.memGroup);
+                        ++s;
+                    });
+            });
     }
 
   private:

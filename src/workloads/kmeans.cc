@@ -132,26 +132,33 @@ class Kmeans : public Workload
         const PimArray &centers = arrays_[2];
 
         constexpr std::uint8_t slotP = 0, slotD = 1;
-        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
-            KernelBuilder kb(*map_, ch);
-            std::uint64_t blocks = kb.blocksPerChannel(p);
-            for (std::uint64_t j = 0; j < blocks; ++j) {
-                kb.load(slotP, p, j);
-                kb.orderPoint(p.memGroup);
-                // First center resets the accumulator...
-                kb.fetchOp(AluOp::SqDist, slotD, slotP, centers, 0);
-                kb.orderPoint(p.memGroup);
-                // ...the rest accumulate (commutative, safe to
-                // reorder within the phase).
-                for (std::uint32_t c = 1; c < numCenters; ++c)
-                    kb.fetchOp(AluOp::SqDiffAcc, slotD, slotP,
-                               centers, c);
-                kb.orderPoint(p.memGroup);
-                kb.store(slotD, out, j);
-                kb.orderPoint(p.memGroup);
-            }
-            streams_[ch] = kb.take();
-        }
+        forEachChannel(
+            *map_, cfg_.numChannels, streams_,
+            [&](KernelBuilder &kb) {
+                kb.forEachTile(
+                    p, 1, [&](std::uint64_t j, std::uint64_t) {
+                        kb.loadPhase(p, j, 1, slotP)
+                            // First center resets the accumulator...
+                            .phase(p.memGroup,
+                                   [&](KernelBuilder &ph) {
+                                       ph.fetchOp(AluOp::SqDist,
+                                                  slotD, slotP,
+                                                  centers, 0);
+                                   })
+                            // ...the rest accumulate (commutative,
+                            // safe to reorder within the phase).
+                            .phase(p.memGroup,
+                                   [&](KernelBuilder &ph) {
+                                       for (std::uint32_t c = 1;
+                                            c < numCenters; ++c)
+                                           ph.fetchOp(
+                                               AluOp::SqDiffAcc,
+                                               slotD, slotP, centers,
+                                               c);
+                                   })
+                            .storePhase(out, j, 1, slotD);
+                    });
+            });
     }
 };
 

@@ -1,5 +1,7 @@
 #include "workloads/registry.hh"
 
+#include <array>
+
 #include "sim/logging.hh"
 #include "workloads/apps.hh"
 #include "workloads/stream_kernels.hh"
@@ -7,63 +9,146 @@
 namespace olight
 {
 
-const std::vector<std::string> &
-streamWorkloadNames()
+const char *
+toString(WorkloadFamily family)
 {
-    static const std::vector<std::string> names = {
-        "Scale", "Copy", "Daxpy", "Triad", "Add"};
-    return names;
+    switch (family) {
+      case WorkloadFamily::Stream: return "stream";
+      case WorkloadFamily::App: return "app";
+      case WorkloadFamily::Txn: return "txn";
+      case WorkloadFamily::Bitwise: return "bitwise";
+    }
+    return "?";
 }
 
-const std::vector<std::string> &
-appWorkloadNames()
+bool
+familyFromName(const std::string &text, WorkloadFamily &out)
 {
-    static const std::vector<std::string> names = {
-        "BN_Fwd", "BN_Bwd", "FC", "KMeans", "SVM", "Hist",
-        "Gen_Fil"};
-    return names;
+    for (WorkloadFamily family :
+         {WorkloadFamily::Stream, WorkloadFamily::App,
+          WorkloadFamily::Txn, WorkloadFamily::Bitwise}) {
+        if (text == toString(family)) {
+            out = family;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<WorkloadEntry> &
+workloadRegistry()
+{
+    static const std::vector<WorkloadEntry> table = {
+        {"Scale", WorkloadFamily::Stream,
+         [] { return makeStreamWorkload(StreamKernel::Scale); }},
+        {"Copy", WorkloadFamily::Stream,
+         [] { return makeStreamWorkload(StreamKernel::Copy); }},
+        {"Daxpy", WorkloadFamily::Stream,
+         [] { return makeStreamWorkload(StreamKernel::Daxpy); }},
+        {"Triad", WorkloadFamily::Stream,
+         [] { return makeStreamWorkload(StreamKernel::Triad); }},
+        {"Add", WorkloadFamily::Stream,
+         [] { return makeStreamWorkload(StreamKernel::Add); }},
+        {"BN_Fwd", WorkloadFamily::App, makeBnFwd},
+        {"BN_Bwd", WorkloadFamily::App, makeBnBwd},
+        {"FC", WorkloadFamily::App, makeFc},
+        {"KMeans", WorkloadFamily::App, makeKmeans},
+        {"SVM", WorkloadFamily::App, makeSvm},
+        {"Hist", WorkloadFamily::App, makeHist},
+        {"Gen_Fil", WorkloadFamily::App, makeGenFil},
+        {"Txn_Xfer", WorkloadFamily::Txn, makeTxnXfer},
+        {"Txn_Log", WorkloadFamily::Txn, makeTxnLog},
+        {"Bit_Xnor", WorkloadFamily::Bitwise, makeBitXnor},
+        {"Bit_RowFold", WorkloadFamily::Bitwise, makeBitRowFold},
+    };
+    return table;
 }
 
 const std::vector<std::string> &
 workloadNames()
 {
     static const std::vector<std::string> names = [] {
-        std::vector<std::string> all = streamWorkloadNames();
-        for (const auto &name : appWorkloadNames())
-            all.push_back(name);
+        std::vector<std::string> all;
+        for (const WorkloadEntry &e : workloadRegistry())
+            all.push_back(e.name);
         return all;
     }();
     return names;
 }
 
+const std::vector<std::string> &
+workloadNames(WorkloadFamily family)
+{
+    static const std::array<std::vector<std::string>, 4> subsets =
+        [] {
+            std::array<std::vector<std::string>, 4> out;
+            for (const WorkloadEntry &e : workloadRegistry())
+                out[std::size_t(e.family)].push_back(e.name);
+            return out;
+        }();
+    return subsets[std::size_t(family)];
+}
+
+const std::vector<std::string> &
+streamWorkloadNames()
+{
+    return workloadNames(WorkloadFamily::Stream);
+}
+
+const std::vector<std::string> &
+appWorkloadNames()
+{
+    return workloadNames(WorkloadFamily::App);
+}
+
+const WorkloadEntry *
+findWorkload(const std::string &name)
+{
+    for (const WorkloadEntry &e : workloadRegistry())
+        if (name == e.name)
+            return &e;
+    return nullptr;
+}
+
+WorkloadFamily
+workloadFamily(const std::string &name)
+{
+    if (const WorkloadEntry *e = findWorkload(name))
+        return e->family;
+    olight_fatal(unknownWorkloadMessage(name));
+}
+
+std::string
+unknownWorkloadMessage(const std::string &name)
+{
+    std::string msg = "unknown workload '" + name + "' (";
+    bool firstFamily = true;
+    for (WorkloadFamily family :
+         {WorkloadFamily::Stream, WorkloadFamily::App,
+          WorkloadFamily::Txn, WorkloadFamily::Bitwise}) {
+        if (!firstFamily)
+            msg += "; ";
+        firstFamily = false;
+        msg += toString(family);
+        msg += ": ";
+        bool first = true;
+        for (const std::string &w : workloadNames(family)) {
+            if (!first)
+                msg += ", ";
+            first = false;
+            msg += w;
+        }
+    }
+    msg += ")";
+    return msg;
+}
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name)
 {
-    if (name == "Scale")
-        return makeStreamWorkload(StreamKernel::Scale);
-    if (name == "Copy")
-        return makeStreamWorkload(StreamKernel::Copy);
-    if (name == "Daxpy")
-        return makeStreamWorkload(StreamKernel::Daxpy);
-    if (name == "Triad")
-        return makeStreamWorkload(StreamKernel::Triad);
-    if (name == "Add")
-        return makeStreamWorkload(StreamKernel::Add);
-    if (name == "BN_Fwd")
-        return makeBnFwd();
-    if (name == "BN_Bwd")
-        return makeBnBwd();
-    if (name == "FC")
-        return makeFc();
-    if (name == "KMeans")
-        return makeKmeans();
-    if (name == "SVM")
-        return makeSvm();
-    if (name == "Hist")
-        return makeHist();
-    if (name == "Gen_Fil")
-        return makeGenFil();
-    olight_fatal("unknown workload: ", name);
+    if (const WorkloadEntry *e = findWorkload(name))
+        return e->make();
+    olight_fatal(unknownWorkloadMessage(name));
 }
 
 } // namespace olight

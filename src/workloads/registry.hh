@@ -1,6 +1,13 @@
 /**
  * @file
- * Name-based workload registry (the rows of Table 2).
+ * Name-based workload registry (the rows of Table 2 plus the
+ * transactional and bulk-bitwise extension families).
+ *
+ * One family-tagged table drives every name surface: the Table 2
+ * order, the per-family subsets (STREAM for Figure 10, apps for
+ * Figure 12, txn/bitwise for the backend-comparison extensions), the
+ * factory dispatch, and the canonical unknown-workload diagnostic
+ * shared by the CLI tools and the serving protocol.
  */
 
 #ifndef OLIGHT_WORKLOADS_REGISTRY_HH
@@ -15,14 +22,57 @@
 namespace olight
 {
 
-/** Names of all registered workloads, in Table 2 order. */
+/** Workload families (the registry's grouping tag). */
+enum class WorkloadFamily : std::uint8_t
+{
+    Stream,  ///< STREAM kernels (Figure 10)
+    App,     ///< application kernels (Figure 12)
+    Txn,     ///< transactional conflict-window kernels
+    Bitwise, ///< bulk-bitwise / row-granular kernels
+};
+
+/** Canonical lowercase family name (stream/app/txn/bitwise). */
+const char *toString(WorkloadFamily family);
+
+/** Parse a family name; returns false on unknown text. */
+bool familyFromName(const std::string &text, WorkloadFamily &out);
+
+/** One row of the registry table. */
+struct WorkloadEntry
+{
+    const char *name;
+    WorkloadFamily family;
+    std::unique_ptr<Workload> (*make)();
+};
+
+/** The full registry, in Table 2 order then extension families. */
+const std::vector<WorkloadEntry> &workloadRegistry();
+
+/** Names of all registered workloads, in registry order. */
 const std::vector<std::string> &workloadNames();
+
+/** Names of one family's workloads, in registry order. */
+const std::vector<std::string> &workloadNames(WorkloadFamily family);
 
 /** Names of the STREAM subset (Figure 10). */
 const std::vector<std::string> &streamWorkloadNames();
 
 /** Names of the application subset (Figure 12). */
 const std::vector<std::string> &appWorkloadNames();
+
+/** Registry row for @p name, or nullptr if unknown. */
+const WorkloadEntry *findWorkload(const std::string &name);
+
+/** Family of a registered workload; fatal on unknown names. */
+WorkloadFamily workloadFamily(const std::string &name);
+
+/**
+ * The canonical unknown-workload diagnostic: names the offender and
+ * lists every valid name grouped by family. Every user-facing
+ * surface (olight_cli, olight_sweep, the serve protocol) emits this
+ * exact string so tooling can rely on one spelling.
+ */
+std::string unknownWorkloadMessage(const std::string &name);
 
 /** Instantiate a workload by name; fatal on unknown names. */
 std::unique_ptr<Workload> makeWorkload(const std::string &name);

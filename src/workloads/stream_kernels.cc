@@ -154,85 +154,56 @@ class StreamWorkload : public Workload
         const PimArray *c = arrays_.size() > 2 ? &arrays_[2] : nullptr;
 
         std::uint32_t n = cfg_.tsSlots();
-        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
-            KernelBuilder kb(*map_, ch);
-            std::uint64_t blocks = kb.blocksPerChannel(a);
-            for (std::uint64_t j0 = 0; j0 < blocks; j0 += n) {
-                std::uint32_t m = std::uint32_t(
-                    std::min<std::uint64_t>(n, blocks - j0));
-                emitTile(kb, a, b, c, j0, m);
-            }
-            streams_[ch] = kb.take();
-        }
+        forEachChannel(
+            *map_, cfg_.numChannels, streams_,
+            [&](KernelBuilder &kb) {
+                kb.forEachTile(a, n,
+                               [&](std::uint64_t j0, std::uint64_t m) {
+                                   emitTile(kb, a, b, c, j0, m);
+                               });
+            });
     }
 
   private:
     void
     emitTile(KernelBuilder &kb, const PimArray &a, const PimArray *b,
-             const PimArray *c, std::uint64_t j0, std::uint32_t m)
+             const PimArray *c, std::uint64_t j0, std::uint64_t m)
     {
         switch (kernel_) {
           case StreamKernel::Scale:
             // Fetch-and-scale, then write back to the same row.
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.fetchOp(AluOp::Scale, std::uint8_t(k), 0, a,
-                           j0 + k, streamScalar);
-            kb.orderPoint(a.memGroup);
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.store(std::uint8_t(k), a, j0 + k);
-            kb.orderPoint(a.memGroup);
+            kb.phase(a.memGroup,
+                     [&](KernelBuilder &p) {
+                         for (std::uint64_t k = 0; k < m; ++k)
+                             p.fetchOp(AluOp::Scale,
+                                       std::uint8_t(k), 0, a, j0 + k,
+                                       streamScalar);
+                     })
+                .storePhase(a, j0, m);
             return;
 
           case StreamKernel::Copy:
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.load(std::uint8_t(k), a, j0 + k);
-            kb.orderPoint(a.memGroup);
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.store(std::uint8_t(k), *b, j0 + k);
-            kb.orderPoint(a.memGroup);
+            kb.loadPhase(a, j0, m).storePhase(*b, j0, m);
             return;
 
           case StreamKernel::Daxpy:
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.load(std::uint8_t(k), a, j0 + k);
-            kb.orderPoint(a.memGroup);
             // dst = b[i] + scalar * TS(a[i])
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.fetchOp(AluOp::FmaRev, std::uint8_t(k),
-                           std::uint8_t(k), *b, j0 + k,
-                           streamScalar);
-            kb.orderPoint(a.memGroup);
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.store(std::uint8_t(k), *b, j0 + k);
-            kb.orderPoint(a.memGroup);
+            kb.loadPhase(a, j0, m)
+                .fetchPhase(AluOp::FmaRev, *b, j0, m, streamScalar)
+                .storePhase(*b, j0, m);
             return;
 
           case StreamKernel::Triad:
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.load(std::uint8_t(k), a, j0 + k);
-            kb.orderPoint(a.memGroup);
             // dst = TS(a[i]) + scalar * b[i]
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.fetchOp(AluOp::Fma, std::uint8_t(k),
-                           std::uint8_t(k), *b, j0 + k,
-                           streamScalar);
-            kb.orderPoint(a.memGroup);
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.store(std::uint8_t(k), *c, j0 + k);
-            kb.orderPoint(a.memGroup);
+            kb.loadPhase(a, j0, m)
+                .fetchPhase(AluOp::Fma, *b, j0, m, streamScalar)
+                .storePhase(*c, j0, m);
             return;
 
           case StreamKernel::Add:
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.load(std::uint8_t(k), a, j0 + k);
-            kb.orderPoint(a.memGroup);
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.fetchOp(AluOp::Add, std::uint8_t(k),
-                           std::uint8_t(k), *b, j0 + k);
-            kb.orderPoint(a.memGroup);
-            for (std::uint32_t k = 0; k < m; ++k)
-                kb.store(std::uint8_t(k), *c, j0 + k);
-            kb.orderPoint(a.memGroup);
+            kb.loadPhase(a, j0, m)
+                .fetchPhase(AluOp::Add, *b, j0, m)
+                .storePhase(*c, j0, m);
             return;
         }
         olight_panic("unhandled stream kernel");

@@ -113,39 +113,33 @@ class Svm : public Workload
 
         std::uint32_t n = cfg_.tsSlots() - 1;
         std::uint8_t slot_w = std::uint8_t(cfg_.tsSlots() - 1);
-        for (std::uint16_t ch = 0; ch < cfg_.numChannels; ++ch) {
-            KernelBuilder kb(*map_, ch);
-            kb.load(slot_w, wp, 0);
-            kb.orderPoint(x.memGroup);
-            std::uint64_t blocks = kb.blocksPerChannel(x);
-            for (std::uint64_t j0 = 0; j0 < blocks; j0 += n) {
-                std::uint32_t m = std::uint32_t(
-                    std::min<std::uint64_t>(n, blocks - j0));
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.load(std::uint8_t(k), x, j0 + k);
-                kb.orderPoint(x.memGroup);
-                // margin = b + w . x (written into elem 0 of the
-                // sample's slot)
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.compute(AluOp::Dot, std::uint8_t(k), slot_w,
-                               x.memGroup, svmBias, 0.0f,
-                               std::uint16_t(k));
-                kb.orderPoint(x.memGroup);
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.compute(AluOp::Affine, std::uint8_t(k),
-                               std::uint8_t(k), x.memGroup, -1.0f,
-                               1.0f);
-                kb.orderPoint(x.memGroup);
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.compute(AluOp::Relu, std::uint8_t(k),
-                               std::uint8_t(k), x.memGroup);
-                kb.orderPoint(x.memGroup);
-                for (std::uint32_t k = 0; k < m; ++k)
-                    kb.store(std::uint8_t(k), out, j0 + k);
-                kb.orderPoint(x.memGroup);
-            }
-            streams_[ch] = kb.take();
-        }
+        forEachChannel(
+            *map_, cfg_.numChannels, streams_,
+            [&](KernelBuilder &kb) {
+                kb.residentLoad(slot_w, wp, 0, x.memGroup);
+                kb.forEachTile(
+                    x, n, [&](std::uint64_t j0, std::uint64_t m) {
+                        kb.loadPhase(x, j0, m)
+                            // margin = b + w . x (written into elem
+                            // 0 of the sample's slot)
+                            .phase(x.memGroup,
+                                   [&](KernelBuilder &p) {
+                                       for (std::uint64_t k = 0;
+                                            k < m; ++k)
+                                           p.compute(
+                                               AluOp::Dot,
+                                               std::uint8_t(k),
+                                               slot_w, x.memGroup,
+                                               svmBias, 0.0f,
+                                               std::uint16_t(k));
+                                   })
+                            .computePhase(AluOp::Affine, m,
+                                          x.memGroup, -1.0f, 1.0f)
+                            .computePhase(AluOp::Relu, m,
+                                          x.memGroup)
+                            .storePhase(out, j0, m);
+                    });
+            });
     }
 };
 

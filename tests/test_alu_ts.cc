@@ -86,6 +86,83 @@ TEST(Alu, ElementwiseOps)
     EXPECT_EQ(b.f(b.dst, 5), 60.0f);
 }
 
+TEST(Alu, BitwiseWordOps)
+{
+    Blocks b;
+    auto setU = [](std::uint8_t *block, std::uint32_t seed) {
+        for (int i = 0; i < 8; ++i) {
+            std::uint32_t v = seed * 0x9e3779b9u + std::uint32_t(i);
+            std::memcpy(block + 4 * i, &v, 4);
+        }
+    };
+    auto u = [](const std::uint8_t *block, int i) {
+        std::uint32_t v;
+        std::memcpy(&v, block + 4 * i, 4);
+        return v;
+    };
+
+    setU(b.src, 7);
+    setU(b.operand, 13);
+    for (int i = 0; i < 8; ++i) {
+        std::uint32_t s = u(b.src, i), o = u(b.operand, i);
+        aluApply(AluOp::And, b.args());
+        EXPECT_EQ(u(b.dst, i), s & o) << i;
+        aluApply(AluOp::Or, b.args());
+        EXPECT_EQ(u(b.dst, i), s | o) << i;
+        aluApply(AluOp::Xor, b.args());
+        EXPECT_EQ(u(b.dst, i), s ^ o) << i;
+        aluApply(AluOp::Not, b.args());
+        EXPECT_EQ(u(b.dst, i), ~o) << i; // Not ignores src
+    }
+}
+
+TEST(Alu, BitwiseIdentityAndAnnihilatorLanes)
+{
+    Blocks b;
+    auto fill = [](std::uint8_t *block, std::uint8_t byte) {
+        std::memset(block, byte, 32);
+    };
+    auto u = [](const std::uint8_t *block, int i) {
+        std::uint32_t v;
+        std::memcpy(&v, block + 4 * i, 4);
+        return v;
+    };
+
+    // All-ones operand lanes: AND is identity, OR saturates,
+    // XOR complements, NOT annihilates.
+    fill(b.src, 0xa5);
+    fill(b.operand, 0xff);
+    aluApply(AluOp::And, b.args());
+    EXPECT_EQ(u(b.dst, 0), 0xa5a5a5a5u);
+    aluApply(AluOp::Or, b.args());
+    EXPECT_EQ(u(b.dst, 3), 0xffffffffu);
+    aluApply(AluOp::Xor, b.args());
+    EXPECT_EQ(u(b.dst, 7), ~0xa5a5a5a5u);
+    aluApply(AluOp::Not, b.args());
+    EXPECT_EQ(u(b.dst, 5), 0u);
+
+    // All-zeros operand lanes: AND annihilates, OR and XOR are
+    // identity, NOT saturates.
+    fill(b.operand, 0x00);
+    aluApply(AluOp::And, b.args());
+    EXPECT_EQ(u(b.dst, 0), 0u);
+    aluApply(AluOp::Or, b.args());
+    EXPECT_EQ(u(b.dst, 1), 0xa5a5a5a5u);
+    aluApply(AluOp::Xor, b.args());
+    EXPECT_EQ(u(b.dst, 2), 0xa5a5a5a5u);
+    aluApply(AluOp::Not, b.args());
+    EXPECT_EQ(u(b.dst, 6), 0xffffffffu);
+}
+
+TEST(Alu, BitwiseAluClassifier)
+{
+    for (AluOp op : {AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Not})
+        EXPECT_TRUE(isBitwiseAlu(op)) << toString(op);
+    for (AluOp op : {AluOp::Add, AluOp::Copy, AluOp::Zero,
+                     AluOp::Popcnt, AluOp::Threshold})
+        EXPECT_FALSE(isBitwiseAlu(op)) << toString(op);
+}
+
 TEST(Alu, ReluAndThreshold)
 {
     Blocks b;

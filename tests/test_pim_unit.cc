@@ -134,6 +134,60 @@ TEST_F(PimUnitFixture, BmfFourProcessesFourLanes)
     EXPECT_EQ(stats4.findScalar("pim0.bytes")->value(), 2.0 * 32 * 4);
 }
 
+TEST_F(PimUnitFixture, RowWideBitwiseFoldSpansFullRow)
+{
+    // Blocks 0..colsPerRow-1 are the columns of (bank 0, row 0), so
+    // one row-wide command must fold every one of them.
+    std::uint64_t cols = map.colsPerRow();
+    for (std::uint64_t k = 0; k < cols; ++k) {
+        std::uint8_t block[32];
+        for (int i = 0; i < 32; ++i)
+            block[i] = std::uint8_t(0x80 | (k * 7 + i));
+        for (std::uint32_t lane = 0; lane < cfg.bmf; ++lane)
+            mem.write(addr(k) + lane * map.laneStride(), block, 32);
+    }
+    // Seed block `cols` (bank 1, col 0) with the AND identity.
+    std::uint8_t ones[32];
+    std::memset(ones, 0xff, 32);
+    for (std::uint32_t lane = 0; lane < cfg.bmf; ++lane)
+        mem.write(addr(cols) + lane * map.laneStride(), ones, 32);
+
+    Tick t = 0;
+    unit.execute(PimInstr::load(0, addr(cols), 0), t++);
+    unit.execute(PimInstr::load(1, addr(cols + 1), 0), t++); // zeros
+    unit.execute(PimInstr::rowFetchOp(AluOp::And, 0, 0, addr(0), 0),
+                 t++);
+    unit.execute(PimInstr::rowFetchOp(AluOp::Xor, 1, 1, addr(0), 0),
+                 t++);
+
+    for (int i : {0, 13, 31}) {
+        std::uint8_t want_and = 0xff, want_xor = 0x00;
+        for (std::uint64_t k = 0; k < cols; ++k) {
+            std::uint8_t byte = std::uint8_t(0x80 | (k * 7 + i));
+            want_and &= byte;
+            want_xor ^= byte;
+        }
+        for (std::uint32_t lane : {0u, cfg.bmf - 1}) {
+            EXPECT_EQ(unit.ts().slot(lane, 0)[i], want_and)
+                << "lane " << lane << " byte " << i;
+            EXPECT_EQ(unit.ts().slot(lane, 1)[i], want_xor)
+                << "lane " << lane << " byte " << i;
+        }
+    }
+    // The two row-wide commands each count a full row per lane.
+    EXPECT_EQ(stats.findScalar("pim0.bytes")->value(),
+              2.0 * 32 * cfg.bmf + 2.0 * 32 * cfg.bmf * double(cols));
+}
+
+TEST_F(PimUnitFixture, DeathOnRowWideNonRowAlignedAddress)
+{
+    EXPECT_DEATH(
+        unit.execute(PimInstr::rowFetchOp(AluOp::And, 0, 0, addr(1),
+                                          0),
+                     0),
+        "row");
+}
+
 TEST_F(PimUnitFixture, DeathOnOutOfOrderExecution)
 {
     unit.execute(PimInstr::load(0, addr(0), 0), 100);

@@ -122,5 +122,65 @@ TEST_P(BmfSweepCorrectness, CorrectAtEveryBmf)
 INSTANTIATE_TEST_SUITE_P(Bmf, BmfSweepCorrectness,
                          ::testing::Values(4u, 8u, 16u));
 
+/**
+ * The transactional family's structural contract: every transaction
+ * is a read-set / conflict-window / write-set triple, and each part
+ * closes with an ordering point before the next part (or the next
+ * transaction) touches the same TS slots.
+ */
+TEST(TxnKernels, ConflictWindowsAreOrderPointBracketed)
+{
+    SystemConfig cfg;
+    auto w = makeWorkload("Txn_Xfer");
+    w->build(cfg, 1ull << 14);
+    for (const auto &stream : w->streams()) {
+        // Per transaction: 2 loads, OP, 2 computes, OP, 2 stores, OP.
+        ASSERT_EQ(stream.size() % 9, 0u);
+        ASSERT_GT(stream.size(), 0u);
+        for (std::size_t t = 0; t < stream.size(); t += 9) {
+            EXPECT_EQ(stream[t + 0].type, PimOpType::PimLoad);
+            EXPECT_EQ(stream[t + 1].type, PimOpType::PimLoad);
+            EXPECT_EQ(stream[t + 2].type, PimOpType::OrderPoint);
+            EXPECT_EQ(stream[t + 3].type, PimOpType::PimCompute);
+            EXPECT_EQ(stream[t + 4].type, PimOpType::PimCompute);
+            EXPECT_EQ(stream[t + 5].type, PimOpType::OrderPoint);
+            EXPECT_EQ(stream[t + 6].type, PimOpType::PimStore);
+            EXPECT_EQ(stream[t + 7].type, PimOpType::PimStore);
+            EXPECT_EQ(stream[t + 8].type, PimOpType::OrderPoint);
+        }
+    }
+
+    // The cross-group commit variant publishes through dual-group
+    // ordering points on both window edges.
+    auto log = makeWorkload("Txn_Log");
+    log->build(cfg, 1ull << 14);
+    std::uint64_t duals = 0;
+    for (const auto &instr : log->streams()[0])
+        if (instr.secondOrderGroup() >= 0)
+            ++duals;
+    EXPECT_GT(duals, 0u);
+}
+
+/**
+ * The conflict windows are genuinely ordering-sensitive: with no
+ * enforcement the simulated pipe loses updates (detected bit-exactly
+ * by the independent checker) and the in-pipe oracle flags commit-
+ * order violations. This pins that the txn/bitwise families actually
+ * exercise the hazard the enforcing backends must close.
+ */
+TEST(TxnKernels, ConflictWindowsAreSensitiveWithoutEnforcement)
+{
+    for (const char *name : {"Txn_Xfer", "Bit_Xnor"}) {
+        RunOptions opts;
+        opts.workload = name;
+        opts.mode = OrderingMode::None;
+        opts.elements = 1ull << 14;
+        RunResult r = runWorkload(opts);
+        ASSERT_TRUE(r.verified) << name;
+        EXPECT_FALSE(r.correct)
+            << name << " should lose updates under mode=none";
+    }
+}
+
 } // namespace
 } // namespace olight

@@ -50,7 +50,7 @@ shapeOf(const std::string &name, std::uint32_t tsBytes)
 
 TEST(WorkloadStreams, Table2Metadata)
 {
-    EXPECT_EQ(workloadNames().size(), 12u);
+    EXPECT_EQ(workloadNames().size(), 16u);
     for (const auto &name : workloadNames()) {
         auto w = makeWorkload(name);
         WorkloadInfo info = w->info();

@@ -79,6 +79,24 @@ modeName(OrderingMode mode)
     return modeFlagName(mode);
 }
 
+bool
+tryParseFamily(const std::string &text, WorkloadFamily &out)
+{
+    return familyFromName(text, out);
+}
+
+WorkloadFamily
+parseFamily(const std::string &text)
+{
+    WorkloadFamily family;
+    if (!tryParseFamily(text, family)) {
+        std::cerr << "unknown family: " << text
+                  << " (stream, app, txn, bitwise)\n";
+        std::exit(2);
+    }
+    return family;
+}
+
 void
 enforceLimits(const char *tool, std::uint64_t elements,
               std::uint64_t jobs, std::uint64_t points)

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "workloads/registry.hh"
 
 namespace olight
 {
@@ -55,6 +56,13 @@ OrderingMode parseMode(const std::string &text);
 
 /** Canonical lowercase flag spelling of a mode (none/fence/...). */
 const char *modeName(OrderingMode mode);
+
+/** Parse a workload-family name (stream/app/txn/bitwise). */
+bool tryParseFamily(const std::string &text, WorkloadFamily &out);
+
+/** Fatal variant: prints "unknown family: <text> (stream, app,
+ *  txn, bitwise)" and exits 2. */
+WorkloadFamily parseFamily(const std::string &text);
 
 /**
  * Enforce the shared request-size bounds (core/limits.hh) the

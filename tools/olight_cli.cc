@@ -168,6 +168,11 @@ main(int argc, char **argv)
         }
     }
 
+    if (!findWorkload(workload)) {
+        std::cerr << unknownWorkloadMessage(workload) << "\n";
+        return 2;
+    }
+
     cli::enforceLimits("olight_cli", elements,
                        std::max<std::uint64_t>(jobs, sim_jobs), 1);
 
@@ -355,9 +360,16 @@ main(int argc, char **argv)
     }
 
     if (stats_json_file.is_open()) {
+        WorkloadInfo info = w->info();
         stats_json_file << "{\"config_fingerprint\":\""
                         << fingerprintHex(fingerprint(cfg))
-                        << "\",\"metrics\":";
+                        << "\",\"workload\":{\"name\":\""
+                        << info.name << "\",\"family\":\""
+                        << toString(workloadFamily(workload))
+                        << "\",\"ratio\":\"" << info.ratio
+                        << "\",\"multi_structure\":"
+                        << (info.multiStructure ? "true" : "false")
+                        << "},\"metrics\":";
         m.writeJson(stats_json_file);
         stats_json_file << ",\"stats\":";
         sys.stats().dumpJson(stats_json_file);

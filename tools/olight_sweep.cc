@@ -45,6 +45,8 @@ main(int argc, char **argv)
     SweepSpec spec;
     spec.jobs = 0; // one worker per hardware thread
     std::string out_path, json_path;
+    std::vector<WorkloadFamily> families;
+    bool workloads_set = false;
     bool timing = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -60,6 +62,10 @@ main(int argc, char **argv)
             std::string v = next();
             spec.workloads =
                 v == "all" ? workloadNames() : splitCsv(v);
+            workloads_set = true;
+        } else if (arg == "--family") {
+            for (const auto &f : splitCsv(next()))
+                families.push_back(cli::parseFamily(f));
         } else if (arg == "--modes") {
             spec.modes.clear();
             for (const auto &m : splitCsv(next()))
@@ -95,6 +101,8 @@ main(int argc, char **argv)
                 << "usage: olight_sweep [--workloads a,b|all] "
                    "[--modes " << modeNamesJoined(true, ',')
                 << "]\n"
+                   "  [--family stream,app,txn,bitwise (select or "
+                   "filter workloads)]\n"
                    "  [--ts 128,256,...] [--bmf 4,8,16] "
                    "[--elements N] [--verify]\n"
                    "  [--gpu-baseline] [--out FILE] "
@@ -106,6 +114,36 @@ main(int argc, char **argv)
             std::cerr << "unknown option: " << arg << "\n";
             return 2;
         }
+    }
+
+    // Resolve --family: with no explicit --workloads it selects the
+    // named families' workloads; otherwise it filters the given
+    // list. Either way every name must be registered.
+    if (!families.empty() && !workloads_set) {
+        spec.workloads.clear();
+        for (WorkloadFamily family : families)
+            for (const auto &name : workloadNames(family))
+                spec.workloads.push_back(name);
+    }
+    for (const auto &name : spec.workloads) {
+        if (!findWorkload(name)) {
+            std::cerr << unknownWorkloadMessage(name) << "\n";
+            return 2;
+        }
+    }
+    if (!families.empty() && workloads_set) {
+        std::vector<std::string> kept;
+        for (const auto &name : spec.workloads) {
+            WorkloadFamily family = workloadFamily(name);
+            if (std::find(families.begin(), families.end(),
+                          family) != families.end())
+                kept.push_back(name);
+        }
+        spec.workloads = std::move(kept);
+    }
+    if (spec.workloads.empty()) {
+        std::cerr << "olight_sweep: no workloads selected\n";
+        return 2;
     }
 
     cli::enforceLimits("olight_sweep", spec.elements,
