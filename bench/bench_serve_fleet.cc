@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Fleet serving benchmark: SLO-style load against a 3-backend
+ * fleet behind the fingerprint-sharding router — mixed hot/cold
+ * multi-tenant closed-loop traffic, per-request latency
+ * percentiles (p50/p99/p999), per-tier cache hit rates, and a
+ * mid-bench backend restart that must keep the fleet answering
+ * and serve the restarted daemon's prior results byte-identical
+ * from its on-disk CAS. Writes BENCH_serve.json.
+ *
+ * Everything runs in-process (3 Servers + 1 Router on private
+ * Unix sockets), so the numbers measure the serving stack —
+ * socket round-trips, JSON parse, fingerprint, sharding, cache
+ * tiers — with each distinct point simulated exactly once
+ * fleet-wide.
+ *
+ * Environment:
+ *   OLIGHT_BENCH_CLIENTS    client threads = tenants (default 4)
+ *   OLIGHT_BENCH_REQUESTS   requests per client (default 300)
+ *   OLIGHT_BENCH_COLD_EVERY 1/N of requests are cold (default 10)
+ *   OLIGHT_BENCH_JSON       output path (default BENCH_serve.json)
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <ftw.h>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "serve/net.hh"
+#include "serve/router.hh"
+#include "serve/server.hh"
+
+using namespace olight;
+using namespace olight::serve;
+
+namespace
+{
+
+constexpr int kBackends = 3;
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    if (const char *env = std::getenv(name))
+        return std::strtoull(env, nullptr, 0);
+    return fallback;
+}
+
+/** The hot set: 8 distinct run points, all tiny. */
+std::string
+hotRequest(std::size_t i, const std::string &tenant)
+{
+    static const char *kWorkloads[] = {"Copy", "Add", "Scale",
+                                       "Triad"};
+    static const char *kModes[] = {"orderlight", "fence"};
+    return std::string(R"({"cmd":"run","workload":")") +
+           kWorkloads[i % 4] + R"(","elements":4096,"mode":")" +
+           kModes[(i / 4) % 2] + R"(","client":")" + tenant +
+           "\"}";
+}
+
+/** A cold point: a never-repeated seed forces a fresh simulation. */
+std::string
+coldRequest(std::uint64_t seq, const std::string &tenant)
+{
+    return R"({"cmd":"run","workload":"Copy","elements":4096,)"
+           R"("mode":"orderlight","seed":)" +
+           std::to_string(1000000 + seq) + R"(,"client":")" +
+           tenant + "\"}";
+}
+
+bool
+isBusyReply(const std::string &reply)
+{
+    return reply.compare(0, 11, "{\"ok\":false") == 0 &&
+           reply.find("\"code\":\"busy\"") != std::string::npos;
+}
+
+/** One round trip, waiting out `busy` backpressure (bounded). */
+std::string
+roundTrip(int fd, std::string &carry, const std::string &line)
+{
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        if (!writeAll(fd, line + "\n"))
+            return "";
+        std::string reply;
+        if (readLine(fd, reply, carry) != ReadStatus::Line)
+            return "";
+        if (!isBusyReply(reply))
+            return reply;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+    }
+    return "";
+}
+
+/** cached:false -> cached:true, so replies compare across tiers. */
+std::string
+normalized(std::string reply)
+{
+    const std::string coldTok = "\"cached\":false";
+    const std::size_t p = reply.find(coldTok);
+    if (p != std::string::npos)
+        reply.replace(p, coldTok.size(), "\"cached\":true");
+    return reply;
+}
+
+int
+removeOne(const char *path, const struct stat *, int, struct FTW *)
+{
+    return ::remove(path);
+}
+
+void
+removeTree(const std::string &path)
+{
+    ::nftw(path.c_str(), removeOne, 16, FTW_DEPTH | FTW_PHYS);
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double idx = p * double(sorted.size() - 1);
+    const std::size_t lo = std::size_t(idx);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - double(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+struct TierTotals
+{
+    std::uint64_t memoryHits = 0, diskHits = 0, simulations = 0;
+    std::uint64_t busyRejected = 0, fairnessRejected = 0;
+    std::uint64_t diskWrites = 0, quarantined = 0;
+
+    void
+    add(const ServeSnapshot &s)
+    {
+        memoryHits += s.cache.hits;
+        diskHits += s.disk.hits;
+        simulations += s.runsExecuted + s.sweepsExecuted;
+        busyRejected += s.busyRejected;
+        fairnessRejected += s.fairnessRejected;
+        diskWrites += s.disk.writes;
+        quarantined += s.disk.quarantined;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t clients = envU64("OLIGHT_BENCH_CLIENTS", 4);
+    const std::uint64_t perClient =
+        envU64("OLIGHT_BENCH_REQUESTS", 300);
+    const std::uint64_t coldEvery =
+        envU64("OLIGHT_BENCH_COLD_EVERY", 10);
+    const std::uint64_t total = clients * perClient;
+
+    const std::string stem =
+        "/tmp/olight_fleet_" + std::to_string(::getpid());
+    removeTree(stem);
+    ::mkdir(stem.c_str(), 0777);
+
+    // Three backends, each with a private on-disk CAS.
+    std::vector<std::unique_ptr<Server>> backends;
+    RouterOptions ropts;
+    for (int i = 0; i < kBackends; ++i) {
+        ServeOptions opts;
+        opts.unixPath = stem + "/be" + std::to_string(i) + ".sock";
+        opts.casRoot = stem + "/cas" + std::to_string(i);
+        opts.jobs = 1;
+        backends.push_back(std::make_unique<Server>(opts));
+        std::string err;
+        if (!backends.back()->start(err)) {
+            std::cerr << "bench_serve_fleet: " << err << "\n";
+            return 2;
+        }
+        BackendSpec spec;
+        spec.unixPath = opts.unixPath;
+        ropts.backends.push_back(spec);
+    }
+    ropts.unixPath = stem + "/router.sock";
+    ropts.healthIntervalMs = 100;
+    ropts.backoffMs = 200;
+    Router router(ropts);
+    std::string err;
+    if (!router.start(err)) {
+        std::cerr << "bench_serve_fleet: " << err << "\n";
+        return 2;
+    }
+
+    std::cout << "serve fleet: " << kBackends << " backends, "
+              << clients << " tenants x " << perClient
+              << " requests, cold every " << coldEvery << "\n";
+
+    // Reply registry: every request string must always produce the
+    // same normalized reply — across tenants, backends, cache
+    // tiers, and the mid-bench restart.
+    std::mutex replyMutex;
+    std::map<std::string, std::string> firstReply;
+    std::atomic<std::uint64_t> mismatches{0}, failures{0},
+        completed{0}, coldSeq{0};
+
+    std::vector<std::vector<double>> latencies(clients);
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (std::uint64_t t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+            const std::string tenant =
+                "tenant-" + std::to_string(t);
+            std::string cerr2, carry;
+            Fd fd = connectUnix(ropts.unixPath, cerr2);
+            latencies[t].reserve(perClient);
+            for (std::uint64_t i = 0; i < perClient; ++i) {
+                const bool cold =
+                    coldEvery && (i % coldEvery) == coldEvery - 1;
+                const std::string request =
+                    cold ? coldRequest(coldSeq.fetch_add(1) *
+                                               clients +
+                                           t,
+                                       tenant)
+                         : hotRequest(t + i, tenant);
+                auto t0 = std::chrono::steady_clock::now();
+                std::string reply =
+                    roundTrip(fd.get(), carry, request);
+                auto t1 = std::chrono::steady_clock::now();
+                latencies[t].push_back(
+                    std::chrono::duration<double, std::micro>(
+                        t1 - t0)
+                        .count());
+                completed.fetch_add(1, std::memory_order_relaxed);
+                if (reply.empty() ||
+                    reply.find("\"ok\":true") ==
+                        std::string::npos) {
+                    failures.fetch_add(1,
+                                       std::memory_order_relaxed);
+                    continue;
+                }
+                const std::string norm = normalized(reply);
+                std::lock_guard<std::mutex> lock(replyMutex);
+                auto it = firstReply.find(request);
+                if (it == firstReply.end())
+                    firstReply.emplace(request, norm);
+                else if (it->second != norm)
+                    mismatches.fetch_add(
+                        1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    // Mid-bench restart of backend 0: drain it, note its counters,
+    // bring a fresh instance up on the same socket and the same
+    // CAS directory. The router fails over during the gap; the new
+    // instance must serve its predecessor's results from disk.
+    TierTotals preRestart;
+    bool restartByteIdentical = true;
+    std::uint64_t restartDiskHits = 0;
+    {
+        while (completed.load(std::memory_order_relaxed) <
+               total / 2)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+
+        // A distinguished probe pinned to backend 0 by a direct
+        // connection: simulated (and CAS-persisted) now, it must
+        // come back byte-identical from disk after the restart.
+        const std::string probe =
+            R"({"cmd":"run","workload":"Hist","elements":4096,)"
+            R"("mode":"orderlight","client":"probe"})";
+        const std::string bePath = stem + "/be0.sock";
+        const std::string casRoot = stem + "/cas0";
+        std::string carry, cold;
+        {
+            Fd fd = connectUnix(bePath, err);
+            cold = roundTrip(fd.get(), carry, probe);
+        }
+
+        preRestart.add(backends[0]->snapshot());
+        backends[0].reset(); // graceful drain; socket disappears
+        ::unlink(bePath.c_str());
+
+        ServeOptions opts;
+        opts.unixPath = bePath;
+        opts.casRoot = casRoot;
+        opts.jobs = 1;
+        backends[0] = std::make_unique<Server>(opts);
+        if (!backends[0]->start(err)) {
+            std::cerr << "bench_serve_fleet: restart: " << err
+                      << "\n";
+            return 2;
+        }
+
+        std::string warm;
+        {
+            carry.clear();
+            Fd fd = connectUnix(bePath, err);
+            warm = roundTrip(fd.get(), carry, probe);
+        }
+        restartByteIdentical =
+            !cold.empty() &&
+            cold.find("\"cached\":false") != std::string::npos &&
+            warm.find("\"cached\":true") != std::string::npos &&
+            normalized(cold) == warm;
+        restartDiskHits = backends[0]->snapshot().disk.hits;
+    }
+
+    for (std::thread &t : threads)
+        t.join();
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+    router.requestDrain();
+    router.join();
+    RouterSnapshot rs = router.snapshot();
+
+    TierTotals tiers = preRestart;
+    for (auto &backend : backends) {
+        backend->requestDrain();
+        backend->join();
+        tiers.add(backend->snapshot());
+    }
+
+    std::vector<double> all;
+    all.reserve(total);
+    for (const auto &v : latencies)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    const double p50 = percentile(all, 0.50);
+    const double p99 = percentile(all, 0.99);
+    const double p999 = percentile(all, 0.999);
+
+    const std::uint64_t lookups =
+        tiers.memoryHits + tiers.diskHits + tiers.simulations;
+    const double memRate =
+        lookups ? double(tiers.memoryHits) / double(lookups) : 0.0;
+    const double diskRate =
+        lookups ? double(tiers.diskHits) / double(lookups) : 0.0;
+    const double rps = seconds > 0 ? double(total) / seconds : 0;
+
+    const bool ok = failures.load() == 0 &&
+                    mismatches.load() == 0 &&
+                    restartByteIdentical && restartDiskHits >= 1 &&
+                    tiers.quarantined == 0;
+
+    std::cout << "  " << seconds << " s, " << rps
+              << " requests/s\n  latency us: p50 " << p50
+              << ", p99 " << p99 << ", p999 " << p999
+              << "\n  tiers: " << tiers.memoryHits << " memory + "
+              << tiers.diskHits << " disk hits, "
+              << tiers.simulations << " simulations ("
+              << memRate << " / " << diskRate
+              << " hit rates)\n  restart: byte-identical "
+              << (restartByteIdentical ? "yes" : "NO") << ", "
+              << restartDiskHits << " disk hits; " << rs.failovers
+              << " failovers, " << mismatches.load()
+              << " mismatches, " << failures.load()
+              << " failures\n";
+
+    const char *json_env = std::getenv("OLIGHT_BENCH_JSON");
+    std::string json_path =
+        json_env ? json_env : "BENCH_serve.json";
+    std::ofstream json(json_path);
+    if (!json) {
+        std::cerr << "cannot open " << json_path << "\n";
+        return 2;
+    }
+    json << "{\n"
+         << "  \"backends\": " << kBackends << ",\n"
+         << "  \"clients\": " << clients << ",\n"
+         << "  \"requests\": " << total << ",\n"
+         << "  \"host_seconds\": " << seconds << ",\n"
+         << "  \"requests_per_second\": " << rps << ",\n"
+         << "  \"latency_us\": {\"p50\": " << p50
+         << ", \"p99\": " << p99 << ", \"p999\": " << p999
+         << "},\n"
+         << "  \"tiers\": {\"memory_hits\": " << tiers.memoryHits
+         << ", \"disk_hits\": " << tiers.diskHits
+         << ", \"simulations\": " << tiers.simulations
+         << ", \"memory_hit_rate\": " << memRate
+         << ", \"disk_hit_rate\": " << diskRate
+         << ", \"disk_writes\": " << tiers.diskWrites
+         << ", \"quarantined\": " << tiers.quarantined << "},\n"
+         << "  \"admission\": {\"busy_rejected\": "
+         << tiers.busyRejected << ", \"fairness_rejected\": "
+         << tiers.fairnessRejected << "},\n"
+         << "  \"router\": {\"failovers\": " << rs.failovers
+         << ", \"sub_requests\": " << rs.subRequests
+         << ", \"busy_retried\": " << rs.busyRetried << "},\n"
+         << "  \"restart\": {\"performed\": true, "
+         << "\"byte_identical\": "
+         << (restartByteIdentical ? "true" : "false")
+         << ", \"disk_hits\": " << restartDiskHits << "},\n"
+         << "  \"cache_hit_rate\": " << memRate + diskRate << ",\n"
+         << "  \"ok\": " << (ok ? "true" : "false") << "\n"
+         << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+
+    backends.clear();
+    removeTree(stem);
+    return ok ? 0 : 1;
+}

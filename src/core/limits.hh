@@ -31,6 +31,9 @@ inline constexpr std::uint64_t kMaxJobs = 256;
 /** Max grid points in one sweep (each point is a full System run). */
 inline constexpr std::uint64_t kMaxSweepPoints = 4096;
 
+/** Max backend daemons one router may shard across. */
+inline constexpr std::uint64_t kMaxBackends = 64;
+
 /**
  * Check a request's size knobs against the bounds above. Returns
  * false and fills @p why (e.g. "elements 134217728 exceeds limit

@@ -90,6 +90,22 @@ fingerprint(const SweepSpec &spec)
     return fnv1a64(os.str());
 }
 
+std::vector<SweepSpec>
+singlePointSpecs(const SweepSpec &spec)
+{
+    std::vector<SweepSpec> out;
+    out.reserve(spec.points());
+    for (const SweepPoint &pt : enumeratePoints(spec)) {
+        SweepSpec one = spec;
+        one.workloads = {spec.workloads[pt.workloadIdx]};
+        one.modes = {pt.mode};
+        one.tsSizes = {pt.tsBytes};
+        one.bmfs = {pt.bmf};
+        out.push_back(std::move(one));
+    }
+    return out;
+}
+
 std::vector<SweepRow>
 runSweep(const SweepSpec &spec, const SweepProgress &progress)
 {

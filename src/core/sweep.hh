@@ -133,6 +133,18 @@ std::string progressLine(const SweepRow &row);
 std::uint64_t fingerprint(const SweepSpec &spec);
 
 /**
+ * Decompose a grid into single-point sub-grids, one per point, in
+ * the exact row-major order runSweep() emits rows (workload, mode,
+ * ts, bmf). Each returned spec has one-element axes and inherits
+ * elements/verify/gpuBaseline/base verbatim, so running all of them
+ * independently and concatenating the single rows reproduces
+ * runSweep(spec) bit-identically. This is how the fleet router fans
+ * a sweep out across daemons (serve/router.hh): each sub-grid is an
+ * independently fingerprintable, cacheable unit of work.
+ */
+std::vector<SweepSpec> singlePointSpecs(const SweepSpec &spec);
+
+/**
  * Emit rows as CSV (with header). Fields containing commas, quotes,
  * or newlines are RFC-4180 quoted. @p timingColumns appends the
  * non-deterministic host_seconds / events_per_second columns.

@@ -1,0 +1,63 @@
+#include "serve/admission.hh"
+
+#include <algorithm>
+
+namespace olight
+{
+namespace serve
+{
+
+Admission::Admission(std::size_t limit, std::size_t clientShare)
+    : limit_(std::max<std::size_t>(1, limit)),
+      clientShare_(clientShare
+                       ? std::min(clientShare, limit_)
+                       : std::max<std::size_t>(1, (limit_ + 1) / 2))
+{}
+
+Admission::Verdict
+Admission::tryAdmit(const std::string &client)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inflight_ >= limit_) {
+        ++busyRejected_;
+        return Verdict::RejectedBusy;
+    }
+    std::size_t &held = held_[client];
+    if (held >= clientShare_) {
+        ++fairnessRejected_;
+        return Verdict::RejectedShare;
+    }
+    ++held;
+    ++inflight_;
+    peakInflight_ = std::max(peakInflight_, inflight_);
+    return Verdict::Admitted;
+}
+
+void
+Admission::release(const std::string &client)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = held_.find(client);
+    if (it == held_.end())
+        return;
+    if (--it->second == 0)
+        held_.erase(it); // keep the map bounded by live clients
+    if (inflight_)
+        --inflight_;
+}
+
+Admission::Stats
+Admission::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.inflight = inflight_;
+    s.peakInflight = peakInflight_;
+    s.busyRejected = busyRejected_;
+    s.fairnessRejected = fairnessRejected_;
+    s.activeClients = held_.size();
+    return s;
+}
+
+} // namespace serve
+} // namespace olight

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bounded, per-client-fair admission for the serving daemon.
+ *
+ * The global bound is PR 5's reject-don't-buffer discipline: at
+ * most `limit` requests queued-or-running at once, and anything
+ * over that bounces immediately with `busy` + retry_after_ms
+ * instead of being buffered unboundedly.
+ *
+ * This class adds the fairness dimension: each admission carries a
+ * client identity (the request's `"client"` field, or a
+ * per-connection fallback), and no single client may hold more
+ * than `clientShare` of the `limit` slots. With the default share
+ * of half the slots (and the default limit of 2x the worker pool),
+ * a lone tenant can still keep every simulation worker busy — but
+ * under overload a hot tenant saturates its share and starts
+ * eating `busy` replies while the remaining slots stay reachable
+ * for everyone else. Starvation by volume is structurally
+ * impossible; capacity is only left idle when a second tenant
+ * could have used it.
+ */
+
+#ifndef OLIGHT_SERVE_ADMISSION_HH
+#define OLIGHT_SERVE_ADMISSION_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace olight
+{
+namespace serve
+{
+
+class Admission
+{
+  public:
+    /**
+     * @param limit        global queued+running bound (>= 1)
+     * @param clientShare  max slots one client may hold; 0 picks
+     *                     the default of half the limit, rounded
+     *                     up, never below 1
+     */
+    Admission(std::size_t limit, std::size_t clientShare);
+
+    enum class Verdict : std::uint8_t
+    {
+        Admitted,
+        RejectedBusy,  ///< global bound reached
+        RejectedShare, ///< this client's share exhausted
+    };
+
+    /** Try to take a slot for @p client. */
+    Verdict tryAdmit(const std::string &client);
+
+    /** Return @p client's slot (must pair with an Admitted). */
+    void release(const std::string &client);
+
+    std::size_t limit() const { return limit_; }
+    std::size_t clientShare() const { return clientShare_; }
+
+    struct Stats
+    {
+        std::uint64_t inflight = 0;
+        std::uint64_t peakInflight = 0;
+        std::uint64_t busyRejected = 0;     ///< global bound
+        std::uint64_t fairnessRejected = 0; ///< per-client share
+        std::uint64_t activeClients = 0;    ///< clients holding slots
+    };
+
+    Stats stats() const;
+
+  private:
+    const std::size_t limit_;
+    const std::size_t clientShare_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::size_t> held_;
+    std::uint64_t inflight_ = 0, peakInflight_ = 0;
+    std::uint64_t busyRejected_ = 0, fairnessRejected_ = 0;
+};
+
+} // namespace serve
+} // namespace olight
+
+#endif // OLIGHT_SERVE_ADMISSION_HH

@@ -1,0 +1,317 @@
+#include "serve/cas_store.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "core/config.hh"
+
+namespace olight
+{
+namespace serve
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'O', 'L', 'C', 'A', 'S', '0', '0', '1'};
+constexpr std::size_t kHeaderBytes = 24; // magic + key + body size
+constexpr std::size_t kFooterBytes = 8;  // fnv1a64(body)
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+std::uint64_t
+getU64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(std::uint8_t(p[i])) << (8 * i);
+    return v;
+}
+
+bool
+makeDir(const std::string &path)
+{
+    return ::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST;
+}
+
+/** 16-hex-digit rendering without the 0x prefix. */
+std::string
+hex16(std::uint64_t key)
+{
+    std::string hex = fingerprintHex(key); // "0x%016x"
+    return hex.substr(2);
+}
+
+} // namespace
+
+CasStore::CasStore(const CasOptions &opts)
+    : root_(opts.root), maxBytes_(opts.maxBytes)
+{
+    if (root_.empty())
+        return;
+    while (root_.size() > 1 && root_.back() == '/')
+        root_.pop_back();
+    if (!makeDir(root_) || !makeDir(root_ + "/tmp") ||
+        !makeDir(root_ + "/quarantine")) {
+        // An unusable root degrades to "store disabled" rather than
+        // taking the daemon down; the caller can see enabled().
+        root_.clear();
+        return;
+    }
+    indexExisting();
+}
+
+std::string
+CasStore::entryPath(std::uint64_t key) const
+{
+    const std::string hex = hex16(key);
+    return root_ + "/" + hex.substr(0, 2) + "/" + hex.substr(2, 2) +
+           "/" + hex + ".cas";
+}
+
+void
+CasStore::indexExisting()
+{
+    // Walk root/xx/yy/*.cas and seed the index (and the LRU, in
+    // walk order — good enough recency for entries that predate
+    // this process). Anything that doesn't parse as a well-named
+    // entry is ignored here; content is verified lazily on get().
+    DIR *top = ::opendir(root_.c_str());
+    if (!top)
+        return;
+    while (dirent *lvl1 = ::readdir(top)) {
+        if (std::strlen(lvl1->d_name) != 2)
+            continue;
+        std::string d1 = root_ + "/" + lvl1->d_name;
+        DIR *mid = ::opendir(d1.c_str());
+        if (!mid)
+            continue;
+        while (dirent *lvl2 = ::readdir(mid)) {
+            if (std::strlen(lvl2->d_name) != 2)
+                continue;
+            std::string d2 = d1 + "/" + lvl2->d_name;
+            DIR *leaf = ::opendir(d2.c_str());
+            if (!leaf)
+                continue;
+            while (dirent *ent = ::readdir(leaf)) {
+                std::string name = ent->d_name;
+                if (name.size() != 20 ||
+                    name.substr(16) != ".cas")
+                    continue;
+                std::uint64_t key = 0;
+                bool valid = true;
+                for (char c : name.substr(0, 16)) {
+                    int digit;
+                    if (c >= '0' && c <= '9')
+                        digit = c - '0';
+                    else if (c >= 'a' && c <= 'f')
+                        digit = 10 + (c - 'a');
+                    else {
+                        valid = false;
+                        break;
+                    }
+                    key = (key << 4) | std::uint64_t(digit);
+                }
+                if (!valid)
+                    continue;
+                struct stat st;
+                if (::stat((d2 + "/" + name).c_str(), &st) != 0)
+                    continue;
+                std::uint64_t total = std::uint64_t(st.st_size);
+                std::uint64_t body =
+                    total >= kHeaderBytes + kFooterBytes
+                        ? total - kHeaderBytes - kFooterBytes
+                        : 0;
+                lru_.push_back(key);
+                index_[key] = IndexEntry{body, std::prev(lru_.end())};
+                bytes_ += body;
+            }
+            ::closedir(leaf);
+        }
+        ::closedir(mid);
+    }
+    ::closedir(top);
+}
+
+void
+CasStore::touchLocked(std::uint64_t key)
+{
+    auto it = index_.find(key);
+    if (it != index_.end())
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+}
+
+void
+CasStore::quarantineLocked(std::uint64_t key, const std::string &path)
+{
+    // Preserve the defective bytes out of the lookup path; a unique
+    // suffix keeps repeat offenders from overwriting each other.
+    std::string dest = root_ + "/quarantine/" + hex16(key) + "." +
+                       std::to_string(quarantined_);
+    if (::rename(path.c_str(), dest.c_str()) != 0)
+        ::unlink(path.c_str()); // cross-device etc: drop it instead
+    ++quarantined_;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        bytes_ -= it->second.bodyBytes;
+        lru_.erase(it->second.lru);
+        index_.erase(it);
+    }
+}
+
+bool
+CasStore::get(std::uint64_t key, std::string &body)
+{
+    if (!enabled())
+        return false;
+    const std::string path = entryPath(key);
+
+    std::string data;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++misses_;
+            return false;
+        }
+        std::ostringstream os;
+        os << in.rdbuf();
+        data = os.str();
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto corrupt = [&]() {
+        quarantineLocked(key, path);
+        ++misses_;
+        return false;
+    };
+    if (data.size() < kHeaderBytes + kFooterBytes)
+        return corrupt();
+    if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0)
+        return corrupt();
+    if (getU64(data.data() + 8) != key)
+        return corrupt();
+    const std::uint64_t bodyLen = getU64(data.data() + 16);
+    if (bodyLen != data.size() - kHeaderBytes - kFooterBytes)
+        return corrupt();
+    body.assign(data, kHeaderBytes, bodyLen);
+    if (fnv1a64(body) != getU64(data.data() + kHeaderBytes + bodyLen)) {
+        body.clear();
+        return corrupt();
+    }
+
+    // A hit found on disk but absent from the index (written by a
+    // sibling daemon sharing the store) gets indexed now.
+    if (!index_.count(key)) {
+        lru_.push_front(key);
+        index_[key] = IndexEntry{bodyLen, lru_.begin()};
+        bytes_ += bodyLen;
+    } else {
+        touchLocked(key);
+    }
+    ++hits_;
+    return true;
+}
+
+void
+CasStore::evictForLocked(std::uint64_t incomingBytes)
+{
+    if (maxBytes_ == 0)
+        return;
+    while (bytes_ + incomingBytes > maxBytes_ && !lru_.empty()) {
+        std::uint64_t victim = lru_.back();
+        auto it = index_.find(victim);
+        ::unlink(entryPath(victim).c_str());
+        bytes_ -= it->second.bodyBytes;
+        lru_.pop_back();
+        index_.erase(it);
+        ++evictions_;
+    }
+}
+
+void
+CasStore::put(std::uint64_t key, const std::string &body)
+{
+    if (!enabled())
+        return;
+    std::string blob;
+    blob.reserve(kHeaderBytes + body.size() + kFooterBytes);
+    blob.append(kMagic, sizeof(kMagic));
+    putU64(blob, key);
+    putU64(blob, body.size());
+    blob += body;
+    putU64(blob, fnv1a64(body));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (maxBytes_ != 0 && body.size() > maxBytes_)
+        return; // larger than the whole store: not cacheable
+    evictForLocked(index_.count(key) ? 0 : body.size());
+
+    const std::string tmp = root_ + "/tmp/" +
+                            std::to_string(::getpid()) + "_" +
+                            std::to_string(tmpSeq_++) + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out || !out.write(blob.data(),
+                               std::streamsize(blob.size()))) {
+            ++writeErrors_;
+            ::unlink(tmp.c_str());
+            return;
+        }
+    }
+    // rename(2) is atomic within a filesystem: readers (this
+    // process or a sibling daemon) see either the old complete
+    // entry or the new complete entry, never a torn one.
+    const std::string path = entryPath(key);
+    const std::string hex = hex16(key);
+    makeDir(root_ + "/" + hex.substr(0, 2));
+    makeDir(root_ + "/" + hex.substr(0, 2) + "/" + hex.substr(2, 2));
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ++writeErrors_;
+        ::unlink(tmp.c_str());
+        return;
+    }
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        lru_.push_front(key);
+        index_[key] = IndexEntry{body.size(), lru_.begin()};
+        bytes_ += body.size();
+    } else {
+        bytes_ -= it->second.bodyBytes;
+        bytes_ += body.size();
+        it->second.bodyBytes = body.size();
+        touchLocked(key);
+    }
+    ++writes_;
+}
+
+CasStore::Stats
+CasStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.writes = writes_;
+    s.writeErrors = writeErrors_;
+    s.evictions = evictions_;
+    s.quarantined = quarantined_;
+    s.entries = index_.size();
+    s.bytes = bytes_;
+    return s;
+}
+
+} // namespace serve
+} // namespace olight

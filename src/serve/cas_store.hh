@@ -1,0 +1,133 @@
+/**
+ * @file
+ * On-disk content-addressed store (CAS) for serialized result
+ * bodies — the persistent tier under the in-memory ResultCache.
+ *
+ * Every simulation here is deterministic, so a result body is fully
+ * determined by its 64-bit request fingerprint (core/config.hh).
+ * That makes results safe to persist and share: a fingerprint match
+ * on disk is byte-identical to what a fresh run would produce, so
+ * cache hits survive daemon restarts and multiple daemon instances
+ * can share one store directory.
+ *
+ * Layout: `root/ab/cd/<16-hex-fingerprint>.cas` — a two-level hex
+ * fanout (256 x 256 directories) so even millions of entries keep
+ * per-directory counts small. Writers serialize into
+ * `root/tmp/<unique>.tmp` and rename(2) into place: concurrent
+ * writers of the same fingerprint are idempotent (same bytes, last
+ * rename wins atomically) and readers never observe a torn file.
+ *
+ * Entry format (all integers little-endian):
+ *   8 B   magic "OLCAS001"
+ *   8 B   fingerprint (must match the filename-derived key)
+ *   8 B   body size in bytes
+ *   N B   body
+ *   8 B   FNV-1a 64 checksum over the body bytes
+ *
+ * Integrity discipline: a wrong answer is never served. Any
+ * structural defect on read — short file, bad magic, key mismatch,
+ * size mismatch, checksum mismatch — is treated as a miss AND the
+ * file is moved to `root/quarantine/` so the defect is preserved
+ * for inspection instead of being retried on every lookup.
+ *
+ * A byte cap (`maxBytes`) bounds the store: when an insert would
+ * exceed it, least-recently-used entries (recency seeded from the
+ * startup scan, then tracked live) are deleted first.
+ */
+
+#ifndef OLIGHT_SERVE_CAS_STORE_HH
+#define OLIGHT_SERVE_CAS_STORE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace olight
+{
+namespace serve
+{
+
+struct CasOptions
+{
+    /** Store directory (created if absent). Empty disables the
+     *  store entirely: every call becomes a cheap no-op miss. */
+    std::string root;
+    /** Total body-byte cap; 0 = unbounded. Oldest entries are
+     *  evicted to make room for new writes. */
+    std::uint64_t maxBytes = 0;
+};
+
+class CasStore
+{
+  public:
+    explicit CasStore(const CasOptions &opts);
+
+    CasStore(const CasStore &) = delete;
+    CasStore &operator=(const CasStore &) = delete;
+
+    bool enabled() const { return !root_.empty(); }
+    const std::string &root() const { return root_; }
+
+    /**
+     * Look up @p key. On a verified hit fills @p body and returns
+     * true. A structurally invalid entry is quarantined and counted
+     * as a miss — never returned.
+     */
+    bool get(std::uint64_t key, std::string &body);
+
+    /**
+     * Persist @p body under @p key (temp + atomic rename). Evicts
+     * LRU entries first when the byte cap would be exceeded; bodies
+     * larger than the whole cap are not stored.
+     */
+    void put(std::uint64_t key, const std::string &body);
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t writeErrors = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t quarantined = 0;
+        std::size_t entries = 0;
+        std::uint64_t bytes = 0; ///< sum of indexed body sizes
+    };
+
+    Stats stats() const;
+
+    /** Entry path for @p key (exposed for tests/tools). */
+    std::string entryPath(std::uint64_t key) const;
+
+  private:
+    void indexExisting();
+    void touchLocked(std::uint64_t key);
+    void evictForLocked(std::uint64_t incomingBytes);
+    void quarantineLocked(std::uint64_t key, const std::string &path);
+
+    using LruList = std::list<std::uint64_t>; // front = most recent
+
+    struct IndexEntry
+    {
+        std::uint64_t bodyBytes = 0;
+        LruList::iterator lru;
+    };
+
+    std::string root_;
+    std::uint64_t maxBytes_ = 0;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, IndexEntry> index_;
+    LruList lru_;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t tmpSeq_ = 0;
+    std::uint64_t hits_ = 0, misses_ = 0, writes_ = 0,
+                  writeErrors_ = 0, evictions_ = 0, quarantined_ = 0;
+};
+
+} // namespace serve
+} // namespace olight
+
+#endif // OLIGHT_SERVE_CAS_STORE_HH

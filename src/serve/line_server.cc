@@ -1,0 +1,166 @@
+#include "serve/line_server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+
+namespace olight
+{
+namespace serve
+{
+
+LineServer::LineServer(const NetOptions &net) : net_(net) {}
+
+LineServer::~LineServer()
+{
+    if (started_.load() && !joined_.load()) {
+        requestDrain();
+        join();
+    }
+}
+
+bool
+LineServer::start(std::string &err)
+{
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+        err = "pipe failed";
+        return false;
+    }
+    drainPipeRead_ = Fd(pipe_fds[0]);
+    drainPipeWrite_ = Fd(pipe_fds[1]);
+
+    if (!net_.unixPath.empty()) {
+        listenFd_ = listenUnix(net_.unixPath, err);
+    } else {
+        listenFd_ = listenTcp(net_.tcpPort, boundPort_, err);
+    }
+    if (!listenFd_.valid())
+        return false;
+
+    started_.store(true);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+LineServer::requestDrain()
+{
+    // Only async-signal-safe operations: one atomic store and one
+    // write(2). The accept thread owns all the actual teardown.
+    draining_.store(true, std::memory_order_release);
+    char byte = 'd';
+    [[maybe_unused]] ssize_t n =
+        ::write(drainPipeWrite_.get(), &byte, 1);
+}
+
+void
+LineServer::join()
+{
+    if (!started_.load() || joined_.exchange(true))
+        return;
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    std::list<SessionSlot> sessions;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        sessions.swap(sessions_);
+    }
+    for (auto &slot : sessions)
+        slot.thread.join();
+}
+
+void
+LineServer::acceptLoop()
+{
+    while (!draining_.load(std::memory_order_acquire)) {
+        // Reap finished sessions so past connections don't pin a
+        // joinable thread each. done=true means the session body
+        // has returned, so join() completes immediately.
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            for (auto it = sessions_.begin();
+                 it != sessions_.end();) {
+                if (it->done.load(std::memory_order_acquire)) {
+                    it->thread.join();
+                    it = sessions_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+
+        pollfd pfds[2] = {{listenFd_.get(), POLLIN, 0},
+                          {drainPipeRead_.get(), POLLIN, 0}};
+        int ready = ::poll(pfds, 2, 500);
+        if (ready < 0)
+            continue; // EINTR
+        if (pfds[1].revents & POLLIN)
+            break; // drain byte — flag is already set
+        if (!(pfds[0].revents & POLLIN))
+            continue;
+        int conn = ::accept(listenFd_.get(), nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        std::uint64_t connId =
+            connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+        Fd fd(conn);
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        sessions_.emplace_back();
+        SessionSlot &slot = sessions_.back();
+        slot.thread = std::thread([this, &slot, connId,
+                                   moved = std::move(fd)]() mutable {
+            session(std::move(moved), connId);
+            slot.done.store(true, std::memory_order_release);
+        });
+    }
+    // New connections are refused from here on; existing sessions
+    // finish their in-flight request and close.
+    listenFd_.reset();
+}
+
+void
+LineServer::session(Fd fd, std::uint64_t connId)
+{
+    std::string line, carry;
+    while (true) {
+        ReadStatus st =
+            readLine(fd.get(), line, carry, &draining_,
+                     /*pollMs=*/100, /*maxLine=*/1 << 20,
+                     /*stallTimeoutMs=*/net_.ioTimeoutMs);
+        if (st == ReadStatus::Stopped ||
+            st == ReadStatus::Closed || st == ReadStatus::Error)
+            break;
+        if (st == ReadStatus::TimedOut) {
+            // A peer stalled mid-request: reclaim the slot. The
+            // error reply is best-effort (the peer is hung).
+            sessionTimeouts_.fetch_add(1, std::memory_order_relaxed);
+            writeAll(fd.get(),
+                     errorReply("", "bad_request",
+                                "request read timed out") +
+                         "\n",
+                     net_.ioTimeoutMs);
+            break;
+        }
+        if (st == ReadStatus::TooLong) {
+            writeAll(fd.get(),
+                     errorReply("", "bad_request",
+                                "request line exceeds 1 MiB") +
+                         "\n",
+                     net_.ioTimeoutMs);
+            break;
+        }
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        std::string reply = handleLine(line, connId);
+        // Counted before the write: an observer that has read the
+        // reply must never see a counter that excludes it.
+        replies_.fetch_add(1, std::memory_order_relaxed);
+        if (!writeAll(fd.get(), reply + "\n", net_.ioTimeoutMs))
+            break;
+    }
+}
+
+} // namespace serve
+} // namespace olight

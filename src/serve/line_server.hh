@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared skeleton of every NDJSON line service in the fleet: the
+ * backend daemon (serve/server.hh) and the fingerprint-sharding
+ * front tier (serve/router.hh) differ only in what a request line
+ * *means*, so the listen/accept/session/drain machinery lives here
+ * once.
+ *
+ * Threading model (identical for both services):
+ *  - one accept thread (poll on the listen fd + a self-pipe that
+ *    requestDrain() writes to — the only async-signal-safe entry);
+ *  - one session thread per connection, handling its requests
+ *    strictly in order via the subclass's handleLine().
+ *
+ * Session hygiene: a hung peer must never wedge a connection slot.
+ * Reads apply a mid-line stall timeout (a peer that sends half a
+ * request and stops is cut off), writes apply the same bound (a
+ * peer that stops draining its socket is cut off); idle
+ * connections may wait indefinitely between requests and are
+ * reaped by drain.
+ *
+ * Drain (SIGTERM or a `drain` request): stop accepting, let every
+ * in-flight request complete and flush its reply, close idle
+ * connections, then join() returns. Nothing in flight is dropped.
+ */
+
+#ifndef OLIGHT_SERVE_LINE_SERVER_HH
+#define OLIGHT_SERVE_LINE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/net.hh"
+
+namespace olight
+{
+namespace serve
+{
+
+class LineServer
+{
+  public:
+    struct NetOptions
+    {
+        /** Non-empty: Unix-domain socket at this path. */
+        std::string unixPath;
+        /** Otherwise: loopback TCP; 0 picks an ephemeral port. */
+        std::uint16_t tcpPort = 0;
+        /**
+         * Session I/O timeout in ms (0 = unlimited): bounds a
+         * mid-request read stall and any reply write. Idle
+         * connections between requests are exempt.
+         */
+        int ioTimeoutMs = 30000;
+    };
+
+    virtual ~LineServer();
+
+    LineServer(const LineServer &) = delete;
+    LineServer &operator=(const LineServer &) = delete;
+
+    /** Bind + listen + spawn the accept thread. False + @p err on
+     *  bind failure. */
+    bool start(std::string &err);
+
+    /**
+     * Begin a graceful drain. Async-signal-safe (a single write to
+     * the self-pipe), so SIGTERM handlers may call it directly.
+     * Idempotent.
+     */
+    void requestDrain();
+
+    /** Block until drained: accept thread and sessions finished;
+     *  every in-flight reply flushed. */
+    void join();
+
+    /** Bound TCP port (after start(), TCP mode only). */
+    std::uint16_t tcpPort() const { return boundPort_; }
+
+  protected:
+    explicit LineServer(const NetOptions &net);
+
+    /** Handle one request line; returns the reply line (no \n).
+     *  @p connId identifies the connection (1-based, stable for
+     *  the connection's lifetime). */
+    virtual std::string handleLine(const std::string &line,
+                                   std::uint64_t connId) = 0;
+
+    bool
+    draining() const
+    {
+        return draining_.load(std::memory_order_acquire);
+    }
+
+    // Transport counters (relaxed; subclasses fold them into their
+    // own snapshots).
+    std::atomic<std::uint64_t> connections_{0}, requests_{0},
+        replies_{0}, sessionTimeouts_{0};
+
+  private:
+    void acceptLoop();
+    void session(Fd fd, std::uint64_t connId);
+
+    NetOptions net_;
+    Fd listenFd_;
+    std::uint16_t boundPort_ = 0;
+    Fd drainPipeRead_, drainPipeWrite_;
+
+    /** One per live connection; reaped by the accept loop once the
+     *  session thread flags itself done (a long-running daemon must
+     *  not accumulate a joinable thread per past connection). */
+    struct SessionSlot
+    {
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    std::thread acceptThread_;
+    std::mutex sessionsMutex_;
+    std::list<SessionSlot> sessions_;
+
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> started_{false};
+    std::atomic<bool> joined_{false};
+};
+
+} // namespace serve
+} // namespace olight
+
+#endif // OLIGHT_SERVE_LINE_SERVER_HH

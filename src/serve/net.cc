@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <poll.h>
@@ -150,8 +151,18 @@ connectTcp(const std::string &host, std::uint16_t port,
 ReadStatus
 readLine(int fd, std::string &line, std::string &carry,
          const std::atomic<bool> *stop, int pollMs,
-         std::size_t maxLine)
+         std::size_t maxLine, int stallTimeoutMs, int idleTimeoutMs)
 {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    // The stall clock restarts whenever a fresh line begins; the
+    // idle clock runs from call entry until the first byte lands.
+    Clock::time_point lineStart = start;
+    auto elapsedMs = [](Clock::time_point since) {
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+                   Clock::now() - since)
+            .count();
+    };
     while (true) {
         std::size_t nl = carry.find('\n');
         if (nl != std::string::npos) {
@@ -168,6 +179,14 @@ readLine(int fd, std::string &line, std::string &carry,
         if (stop && carry.empty() &&
             stop->load(std::memory_order_acquire))
             return ReadStatus::Stopped;
+        if (carry.empty()) {
+            if (idleTimeoutMs > 0 && elapsedMs(start) >= idleTimeoutMs)
+                return ReadStatus::TimedOut;
+        } else {
+            if (stallTimeoutMs > 0 &&
+                elapsedMs(lineStart) >= stallTimeoutMs)
+                return ReadStatus::TimedOut;
+        }
 
         pollfd pfd{fd, POLLIN, 0};
         int ready = ::poll(&pfd, 1, pollMs);
@@ -177,7 +196,7 @@ readLine(int fd, std::string &line, std::string &carry,
             return ReadStatus::Error;
         }
         if (ready == 0)
-            continue; // timeout slice; re-check the stop flag
+            continue; // timeout slice; re-check stop flag + clocks
         char buf[4096];
         ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
         if (n == 0)
@@ -187,23 +206,44 @@ readLine(int fd, std::string &line, std::string &carry,
                 continue;
             return ReadStatus::Error;
         }
+        if (carry.empty())
+            lineStart = Clock::now(); // a new line begins
         carry.append(buf, std::size_t(n));
     }
 }
 
 bool
-writeAll(int fd, const std::string &data)
+writeAll(int fd, const std::string &data, int timeoutMs)
 {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
     std::size_t off = 0;
     while (off < data.size()) {
+        // Non-blocking sends gated on POLLOUT so a peer that stops
+        // reading (full socket buffer) hits the timeout instead of
+        // parking this thread in a blocking send() forever.
         ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                           MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
+                           MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+            off += std::size_t(n);
+            continue;
         }
-        off += std::size_t(n);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)
+            return false;
+        if (timeoutMs > 0) {
+            auto spent = std::chrono::duration_cast<
+                             std::chrono::milliseconds>(Clock::now() -
+                                                        start)
+                             .count();
+            if (spent >= timeoutMs)
+                return false;
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        int ready = ::poll(&pfd, 1, 100);
+        if (ready < 0 && errno != EINTR)
+            return false;
     }
     return true;
 }

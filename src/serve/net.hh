@@ -78,6 +78,7 @@ enum class ReadStatus : std::uint8_t
     Closed,   ///< peer closed (any unterminated tail is discarded)
     Stopped,  ///< stop flag observed while idle
     TooLong,  ///< line exceeded the limit (connection should close)
+    TimedOut, ///< a timeout below expired (connection should close)
     Error,    ///< read error
 };
 
@@ -87,14 +88,28 @@ enum class ReadStatus : std::uint8_t
  * connection. Polls in @p pollMs slices; between slices, returns
  * Stopped if @p stop is set and no partial line is pending.
  * @p maxLine bounds memory a client can pin (default 1 MiB).
+ *
+ * Two independent timeouts (0 = unlimited), both returning
+ * TimedOut so a hung peer cannot wedge the calling thread forever:
+ *  - @p stallTimeoutMs bounds how long a *partial* line may sit
+ *    without its newline arriving (a peer that stalls mid-request);
+ *  - @p idleTimeoutMs bounds how long the call waits for the first
+ *    byte of the next line (a peer expected to speak — a client
+ *    awaiting its reply — that never does).
  */
 ReadStatus readLine(int fd, std::string &line, std::string &carry,
                     const std::atomic<bool> *stop = nullptr,
                     int pollMs = 100,
-                    std::size_t maxLine = 1 << 20);
+                    std::size_t maxLine = 1 << 20,
+                    int stallTimeoutMs = 0, int idleTimeoutMs = 0);
 
-/** Write the whole buffer, retrying on short writes/EINTR. */
-bool writeAll(int fd, const std::string &data);
+/**
+ * Write the whole buffer, retrying on short writes/EINTR. With
+ * @p timeoutMs > 0, gives up (returns false) when the peer stops
+ * draining its socket for that long — a reader that never reads
+ * must not pin a session thread in send() forever.
+ */
+bool writeAll(int fd, const std::string &data, int timeoutMs = 0);
 
 } // namespace serve
 } // namespace olight

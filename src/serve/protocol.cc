@@ -377,8 +377,8 @@ parseRequest(const std::string &line, Request &out,
         RunOptions &opts = out.run;
         opts = RunOptions{};
         opts.verify = false; // opt-in over the wire
-        bool cpu_host = false;
         bool ok = f.str("workload", opts.workload) &&
+                  f.str("client", out.client) &&
                   f.u64("elements", opts.elements) &&
                   parseModeField(f, "mode", opts.mode) &&
                   f.u32("ts", opts.tsBytes) &&
@@ -386,7 +386,7 @@ parseRequest(const std::string &line, Request &out,
                   f.boolean("verify", opts.verify) &&
                   f.boolean("oracle", opts.oracle) &&
                   f.boolean("gpu_baseline", opts.runGpuBaseline) &&
-                  parseBase(f, opts.base, cpu_host) &&
+                  parseBase(f, opts.base, out.cpuHost) &&
                   f.noUnknown();
         if (!ok) {
             reply = errorReply(out.id, "bad_request", why);
@@ -408,10 +408,10 @@ parseRequest(const std::string &line, Request &out,
         SweepSpec &spec = out.sweep;
         spec = SweepSpec{};
         spec.jobs = 1; // concurrency comes from concurrent requests
-        bool cpu_host = false;
         std::vector<std::string> mode_names;
         std::uint64_t jobs = spec.jobs;
         bool ok = f.strList("workloads", spec.workloads) &&
+                  f.str("client", out.client) &&
                   f.strList("modes", mode_names) &&
                   f.u32List("ts", spec.tsSizes) &&
                   f.u32List("bmf", spec.bmfs) &&
@@ -419,7 +419,7 @@ parseRequest(const std::string &line, Request &out,
                   f.boolean("verify", spec.verify) &&
                   f.boolean("gpu_baseline", spec.gpuBaseline) &&
                   f.u64("jobs", jobs) &&
-                  parseBase(f, spec.base, cpu_host) &&
+                  parseBase(f, spec.base, out.cpuHost) &&
                   f.noUnknown();
         if (ok && !mode_names.empty()) {
             spec.modes.clear();

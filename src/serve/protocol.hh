@@ -61,6 +61,14 @@ struct Request
     /** Raw JSON rendering of the request's "id" member (string or
      *  number), empty when absent; echoed into the reply. */
     std::string id;
+    /** Optional tenant identity ("client" field) for per-client
+     *  fair admission; empty = identify by connection. Never part
+     *  of any fingerprint — identity does not change content. */
+    std::string client;
+    /** Whether the request selected the CPU-host base config
+     *  ("cpu_host":true). Retained so the router can re-render
+     *  byte-equivalent per-point sub-requests. */
+    bool cpuHost = false;
     RunOptions run;  ///< when cmd == Run
     SweepSpec sweep; ///< when cmd == Sweep
 };

@@ -1,0 +1,567 @@
+#include "serve/router.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/config.hh"
+#include "core/limits.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/thread_pool.hh"
+
+namespace olight
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Probes must be fast even against a wedged backend. */
+constexpr int kProbeTimeoutMs = 2000;
+
+std::int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+LineServer::NetOptions
+netOptions(const RouterOptions &opts)
+{
+    LineServer::NetOptions net;
+    net.unixPath = opts.unixPath;
+    net.tcpPort = opts.tcpPort;
+    net.ioTimeoutMs = opts.ioTimeoutMs;
+    return net;
+}
+
+std::string
+defaultName(const BackendSpec &spec)
+{
+    if (!spec.unixPath.empty())
+        return "unix:" + spec.unixPath;
+    return spec.host + ":" + std::to_string(spec.port);
+}
+
+/**
+ * Re-render one single-point sub-grid as the sweep request line its
+ * backend will parse. parseRequest() is idempotent over these
+ * fields — cpu_host selects the base, then channels/seed overwrite
+ * the knobs parseBase() can touch — so the backend reconstructs
+ * exactly this SweepSpec, and with it this point's fingerprint.
+ * Sub-requests carry no "id": nothing user-controlled may sit in
+ * front of the "rows":[ marker extractRow() scans for.
+ */
+std::string
+renderPointRequest(const SweepSpec &one, bool cpuHost)
+{
+    std::ostringstream os;
+    os << "{\"cmd\":\"sweep\",\"workloads\":[";
+    jsonString(os, one.workloads[0]);
+    os << "],\"modes\":[\"" << modeFlagName(one.modes[0])
+       << "\"],\"ts\":[" << one.tsSizes[0] << "],\"bmf\":["
+       << one.bmfs[0] << "],\"elements\":" << one.elements
+       << ",\"verify\":" << (one.verify ? "true" : "false")
+       << ",\"gpu_baseline\":" << (one.gpuBaseline ? "true" : "false");
+    if (cpuHost)
+        os << ",\"cpu_host\":true";
+    os << ",\"channels\":" << one.base.numChannels
+       << ",\"seed\":" << one.base.seed << "}";
+    return os.str();
+}
+
+/**
+ * Pull the single row out of a single-point sweep sub-reply:
+ * {"ok":true,...,"cached":X,"result":{"points":1,"rows":[ROW]}}.
+ * Textual extraction, no re-serialization — the row stays the
+ * exact bytes the backend's writeJsonRow() produced.
+ */
+bool
+extractRow(const std::string &reply, std::string &row, bool &cached)
+{
+    static const std::string ok_prefix = "{\"ok\":true";
+    static const std::string rows_marker = "\"rows\":[";
+    if (reply.compare(0, ok_prefix.size(), ok_prefix) != 0)
+        return false;
+    const std::size_t open = reply.find(rows_marker);
+    if (open == std::string::npos)
+        return false;
+    const std::size_t begin = open + rows_marker.size();
+    // ...ROW]}} — rows-close, result-close, envelope-close.
+    if (reply.size() < begin + 3 ||
+        reply.compare(reply.size() - 3, 3, "]}}") != 0)
+        return false;
+    row = reply.substr(begin, reply.size() - 3 - begin);
+    const std::size_t c = reply.find("\"cached\":");
+    cached = c != std::string::npos && c < open &&
+             reply.compare(c + 9, 4, "true") == 0;
+    return true;
+}
+
+bool
+isBusyReply(const std::string &reply)
+{
+    return reply.compare(0, 11, "{\"ok\":false") == 0 &&
+           reply.find("\"code\":\"busy\"") != std::string::npos;
+}
+
+/** retry_after_ms hint from a busy reply (fallback 100). */
+int
+retryAfterHint(const std::string &reply)
+{
+    const std::size_t p = reply.find("\"retry_after_ms\":");
+    if (p == std::string::npos)
+        return 100;
+    const int ms = std::atoi(reply.c_str() + p + 17);
+    return ms > 0 ? ms : 100;
+}
+
+} // namespace
+
+Router::Router(const RouterOptions &opts)
+    : LineServer(netOptions(opts)), opts_(opts)
+{
+    for (const BackendSpec &spec : opts.backends) {
+        backends_.emplace_back(new Backend);
+        backends_.back()->spec = spec;
+        if (backends_.back()->spec.name.empty())
+            backends_.back()->spec.name = defaultName(spec);
+    }
+}
+
+Router::~Router()
+{
+    requestDrain();
+    join();
+}
+
+bool
+Router::start(std::string &err)
+{
+    if (backends_.empty()) {
+        err = "router needs at least one --backend";
+        return false;
+    }
+    if (backends_.size() > limits::kMaxBackends) {
+        err = "backends " + std::to_string(backends_.size()) +
+              " exceeds limit " +
+              std::to_string(limits::kMaxBackends);
+        return false;
+    }
+    for (std::size_t i = 0; i < backends_.size(); ++i)
+        for (std::size_t j = i + 1; j < backends_.size(); ++j)
+            if (backends_[i]->spec.name == backends_[j]->spec.name) {
+                err = "duplicate backend name '" +
+                      backends_[i]->spec.name +
+                      "' (names shard the keyspace)";
+                return false;
+            }
+    if (!LineServer::start(err))
+        return false;
+    if (opts_.healthIntervalMs > 0)
+        healthThread_ = std::thread([this] { healthLoop(); });
+    return true;
+}
+
+void
+Router::join()
+{
+    LineServer::join();
+    if (healthThread_.joinable())
+        healthThread_.join();
+}
+
+std::vector<std::size_t>
+Router::rendezvousOrder(std::uint64_t fp) const
+{
+    const std::string key = fingerprintHex(fp) + "|";
+    std::vector<std::pair<std::uint64_t, std::size_t>> scored;
+    scored.reserve(backends_.size());
+    for (std::size_t i = 0; i < backends_.size(); ++i)
+        scored.emplace_back(fnv1a64(key + backends_[i]->spec.name),
+                            i);
+    std::sort(scored.begin(), scored.end(),
+              [this](const std::pair<std::uint64_t, std::size_t> &a,
+                     const std::pair<std::uint64_t, std::size_t> &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return backends_[a.second]->spec.name <
+                         backends_[b.second]->spec.name;
+              });
+    std::vector<std::size_t> order;
+    order.reserve(scored.size());
+    for (const auto &s : scored)
+        order.push_back(s.second);
+    return order;
+}
+
+bool
+Router::eligible(const Backend &b) const
+{
+    if (b.healthy.load(std::memory_order_acquire))
+        return true;
+    return nowMs() -
+               b.lastFailureMs.load(std::memory_order_acquire) >=
+           opts_.backoffMs;
+}
+
+bool
+Router::forward(Backend &b, const std::string &line,
+                std::string &reply)
+{
+    std::string err;
+    Fd fd = b.spec.unixPath.empty()
+                ? connectTcp(b.spec.host, b.spec.port, err)
+                : connectUnix(b.spec.unixPath, err);
+    auto fail = [this, &b] {
+        b.failures.fetch_add(1, std::memory_order_relaxed);
+        b.lastFailureMs.store(nowMs(), std::memory_order_release);
+        b.healthy.store(false, std::memory_order_release);
+        if (opts_.verbose)
+            inform("router: backend ", b.spec.name, " down");
+        return false;
+    };
+    if (!fd.valid())
+        return fail();
+
+    // Reuse the one connection across busy-retries: the backend
+    // keeps the session open after shedding a request.
+    std::string carry;
+    for (int attempt = 0;; ++attempt) {
+        if (!writeAll(fd.get(), line + "\n", opts_.backendTimeoutMs))
+            return fail();
+        b.forwarded.fetch_add(1, std::memory_order_relaxed);
+        ReadStatus st =
+            readLine(fd.get(), reply, carry, nullptr, /*pollMs=*/100,
+                     /*maxLine=*/1 << 20,
+                     /*stallTimeoutMs=*/opts_.backendTimeoutMs,
+                     /*idleTimeoutMs=*/opts_.backendTimeoutMs);
+        if (st != ReadStatus::Line)
+            return fail();
+        if (!isBusyReply(reply) || attempt >= opts_.busyRetries)
+            break;
+        busyRetried_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(retryAfterHint(reply)));
+    }
+    b.healthy.store(true, std::memory_order_release);
+    return true;
+}
+
+bool
+Router::forwardByFingerprint(std::uint64_t fp,
+                             const std::string &line,
+                             std::string &reply)
+{
+    std::size_t attempts = 0, skipped = 0;
+    for (std::size_t idx : rendezvousOrder(fp)) {
+        Backend &b = *backends_[idx];
+        if (!eligible(b)) {
+            ++skipped;
+            continue;
+        }
+        ++attempts;
+        if (forward(b, line, reply)) {
+            if (attempts > 1 || skipped > 0)
+                failovers_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+Router::handleLine(const std::string &line, std::uint64_t connId)
+{
+    (void)connId;
+    Request req;
+    std::string error;
+    if (!parseRequest(line, req, error)) {
+        parseErrors_.fetch_add(1, std::memory_order_relaxed);
+        if (opts_.verbose)
+            inform("router: rejected request: ", error);
+        return error;
+    }
+
+    switch (req.cmd) {
+      case Cmd::Ping: {
+        std::string reply = "{\"ok\":true,\"cmd\":\"ping\"";
+        if (!req.id.empty())
+            reply += ",\"id\":" + req.id;
+        return reply + "}";
+      }
+      case Cmd::Stats:
+        return statsReply(req);
+      case Cmd::Drain: {
+        requestDrain();
+        std::string reply =
+            "{\"ok\":true,\"cmd\":\"drain\",\"draining\":true";
+        if (!req.id.empty())
+            reply += ",\"id\":" + req.id;
+        return reply + "}";
+      }
+      case Cmd::Run:
+        return handleRun(req, line);
+      case Cmd::Sweep:
+        return handleSweep(req);
+    }
+    return errorReply(req.id, "internal_error", "unhandled cmd");
+}
+
+std::string
+Router::handleRun(const Request &req, const std::string &line)
+{
+    // Pure passthrough: the backend's reply (id echo, fingerprint,
+    // cached, body) is already byte-identical to what a direct
+    // connection would have seen, so forward the raw line.
+    std::string reply;
+    if (!forwardByFingerprint(fingerprint(req.run), line, reply)) {
+        unavailable_.fetch_add(1, std::memory_order_relaxed);
+        return errorReply(req.id, "backend_unavailable",
+                          "no reachable backend (" +
+                              std::to_string(backends_.size()) +
+                              " configured)");
+    }
+    runsForwarded_.fetch_add(1, std::memory_order_relaxed);
+    return reply;
+}
+
+std::string
+Router::handleSweep(const Request &req)
+{
+    const std::uint64_t fp = fingerprint(req.sweep);
+    const std::vector<SweepSpec> points =
+        singlePointSpecs(req.sweep);
+
+    // Dedupe within the request: duplicate axis values enumerate to
+    // points with equal fingerprints, whose rows are guaranteed
+    // byte-identical — forward each distinct point once and reuse
+    // its row text. (Cross-request dedupe is the backends' cache
+    // tiers doing their job.)
+    std::vector<std::uint64_t> pointFp(points.size());
+    std::vector<std::size_t> firstOf(points.size());
+    std::vector<std::size_t> unique;
+    std::unordered_map<std::uint64_t, std::size_t> seen;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        pointFp[i] = fingerprint(points[i]);
+        auto it = seen.find(pointFp[i]);
+        if (it == seen.end()) {
+            seen.emplace(pointFp[i], i);
+            firstOf[i] = i;
+            unique.push_back(i);
+        } else {
+            firstOf[i] = it->second;
+            pointsDeduped_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    std::vector<std::string> rowText(points.size());
+    std::vector<char> rowCached(points.size(), 0);
+    std::vector<std::string> subError(points.size());
+    std::atomic<std::uint64_t> unreachable{0};
+
+    const unsigned jobs =
+        opts_.fanoutJobs
+            ? opts_.fanoutJobs
+            : unsigned(std::min<std::size_t>(
+                  2 * backends_.size(), unique.size() ? unique.size()
+                                                      : 1));
+    subRequests_.fetch_add(unique.size(),
+                           std::memory_order_relaxed);
+    parallelFor(jobs, unique.size(), [&](std::size_t u) {
+        const std::size_t i = unique[u];
+        const std::string subLine =
+            renderPointRequest(points[i], req.cpuHost);
+        std::string reply;
+        if (!forwardByFingerprint(pointFp[i], subLine, reply)) {
+            unreachable.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        std::string row;
+        bool cached = false;
+        if (extractRow(reply, row, cached)) {
+            rowText[i] = std::move(row);
+            rowCached[i] = cached ? 1 : 0;
+        } else {
+            subError[i] = reply;
+        }
+    });
+
+    if (unreachable.load() > 0) {
+        unavailable_.fetch_add(1, std::memory_order_relaxed);
+        return errorReply(req.id, "backend_unavailable",
+                          "no reachable backend for " +
+                              std::to_string(unreachable.load()) +
+                              " of " +
+                              std::to_string(unique.size()) +
+                              " sweep points");
+    }
+    for (std::size_t i : unique) {
+        if (subError[i].empty())
+            continue;
+        // A structured backend error (e.g. busy after the retry
+        // budget, internal_error): surface it as our own, keeping
+        // the code a client dispatches on when we can.
+        if (isBusyReply(subError[i]))
+            return errorReply(req.id, "busy",
+                              "backend busy while fanning out "
+                              "sweep point " +
+                                  std::to_string(i),
+                              retryAfterHint(subError[i]));
+        std::string detail = subError[i];
+        if (detail.size() > 256)
+            detail.resize(256);
+        return errorReply(req.id, "internal_error",
+                          "backend error for sweep point " +
+                              std::to_string(i) + ": " + detail);
+    }
+
+    // Reassemble in grid order. Byte-identical to a single daemon
+    // running the whole grid: same rows (writeJsonRow on the same
+    // deterministic results), same body framing as sweepBody(),
+    // same envelope (whole-grid fingerprint, id echo). "cached" is
+    // true only when every distinct point was served from a cache.
+    bool allCached = true;
+    for (std::size_t i : unique)
+        allCached = allCached && rowCached[i];
+    std::string body =
+        "{\"points\":" + std::to_string(points.size()) +
+        ",\"rows\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i)
+            body += ",";
+        body += rowText[firstOf[i]];
+    }
+    body += "]}";
+    sweepsFanned_.fetch_add(1, std::memory_order_relaxed);
+    return okReply(req.id, Cmd::Sweep, fp, allCached, body);
+}
+
+std::string
+Router::statsReply(const Request &req)
+{
+    RouterSnapshot s = snapshot();
+    std::ostringstream os;
+    os << "{\"ok\":true,\"cmd\":\"stats\"";
+    if (!req.id.empty())
+        os << ",\"id\":" << req.id;
+    os << ",\"stats\":{\"role\":\"router\",\"draining\":"
+       << (s.draining ? "true" : "false")
+       << ",\"connections\":" << s.connections
+       << ",\"requests\":" << s.requests
+       << ",\"replies\":" << s.replies
+       << ",\"parse_errors\":" << s.parseErrors
+       << ",\"session_timeouts\":" << s.sessionTimeouts
+       << ",\"runs_forwarded\":" << s.runsForwarded
+       << ",\"sweeps_fanned\":" << s.sweepsFanned
+       << ",\"sub_requests\":" << s.subRequests
+       << ",\"points_deduped\":" << s.pointsDeduped
+       << ",\"failovers\":" << s.failovers
+       << ",\"unavailable\":" << s.unavailable
+       << ",\"busy_retried\":" << s.busyRetried
+       << ",\"backends\":[";
+    for (std::size_t i = 0; i < s.backends.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"name\":";
+        jsonString(os, s.backends[i].name);
+        os << ",\"healthy\":"
+           << (s.backends[i].healthy ? "true" : "false")
+           << ",\"forwarded\":" << s.backends[i].forwarded
+           << ",\"failures\":" << s.backends[i].failures << "}";
+    }
+    os << "]}}";
+    return os.str();
+}
+
+bool
+Router::probe(Backend &b)
+{
+    std::string err;
+    Fd fd = b.spec.unixPath.empty()
+                ? connectTcp(b.spec.host, b.spec.port, err)
+                : connectUnix(b.spec.unixPath, err);
+    if (!fd.valid())
+        return false;
+    if (!writeAll(fd.get(), "{\"cmd\":\"ping\"}\n", kProbeTimeoutMs))
+        return false;
+    std::string reply, carry;
+    ReadStatus st =
+        readLine(fd.get(), reply, carry, nullptr, /*pollMs=*/100,
+                 /*maxLine=*/1 << 20,
+                 /*stallTimeoutMs=*/kProbeTimeoutMs,
+                 /*idleTimeoutMs=*/kProbeTimeoutMs);
+    return st == ReadStatus::Line &&
+           reply.compare(0, 10, "{\"ok\":true") == 0;
+}
+
+void
+Router::healthLoop()
+{
+    std::int64_t lastSweep = 0;
+    while (!draining()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+        const std::int64_t now = nowMs();
+        if (now - lastSweep < opts_.healthIntervalMs)
+            continue;
+        lastSweep = now;
+        for (auto &bp : backends_) {
+            Backend &b = *bp;
+            const bool wasHealthy =
+                b.healthy.load(std::memory_order_acquire);
+            if (!wasHealthy && !eligible(b))
+                continue; // still in backoff
+            const bool up = probe(b);
+            if (up != wasHealthy && opts_.verbose)
+                inform("router: backend ", b.spec.name,
+                       up ? " up" : " down");
+            if (!up) {
+                b.failures.fetch_add(1, std::memory_order_relaxed);
+                b.lastFailureMs.store(now,
+                                      std::memory_order_release);
+            }
+            b.healthy.store(up, std::memory_order_release);
+        }
+    }
+}
+
+RouterSnapshot
+Router::snapshot() const
+{
+    RouterSnapshot s;
+    s.connections = connections_.load(std::memory_order_relaxed);
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.replies = replies_.load(std::memory_order_relaxed);
+    s.parseErrors = parseErrors_.load(std::memory_order_relaxed);
+    s.sessionTimeouts =
+        sessionTimeouts_.load(std::memory_order_relaxed);
+    s.runsForwarded =
+        runsForwarded_.load(std::memory_order_relaxed);
+    s.sweepsFanned = sweepsFanned_.load(std::memory_order_relaxed);
+    s.subRequests = subRequests_.load(std::memory_order_relaxed);
+    s.pointsDeduped =
+        pointsDeduped_.load(std::memory_order_relaxed);
+    s.failovers = failovers_.load(std::memory_order_relaxed);
+    s.unavailable = unavailable_.load(std::memory_order_relaxed);
+    s.busyRetried = busyRetried_.load(std::memory_order_relaxed);
+    s.draining = draining();
+    for (const auto &bp : backends_) {
+        RouterSnapshot::Backend b;
+        b.name = bp->spec.name;
+        b.healthy = bp->healthy.load(std::memory_order_relaxed);
+        b.forwarded = bp->forwarded.load(std::memory_order_relaxed);
+        b.failures = bp->failures.load(std::memory_order_relaxed);
+        s.backends.push_back(std::move(b));
+    }
+    return s;
+}
+
+} // namespace serve
+} // namespace olight

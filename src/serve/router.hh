@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Fleet front tier: a fingerprint-sharding router that speaks the
+ * same NDJSON protocol as the backend daemon (serve/protocol.hh)
+ * and spreads work across N `olight_served` instances.
+ *
+ * Sharding. Every run request and every sweep point has a content
+ * fingerprint; the router ranks backends for a fingerprint by
+ * rendezvous (highest-random-weight) hashing — score(fp, backend) =
+ * fnv1a64(fingerprintHex(fp) + "|" + name) — and forwards to the
+ * highest-ranked backend that is up. The same fingerprint always
+ * lands on the same live backend, so each backend's cache tiers
+ * concentrate their own shard of the keyspace, and losing one
+ * backend only re-homes that backend's shard (classic rendezvous
+ * stability; no ring to rebalance).
+ *
+ * Health. A probe thread pings each backend every healthIntervalMs.
+ * A failed ping or a failed forward marks the backend down; a down
+ * backend is not retried until backoffMs has passed, after which
+ * the next probe or forward that succeeds marks it up again.
+ * Forwarding fails over down the rendezvous order, so a dead
+ * backend costs one connect attempt, not an outage.
+ *
+ * Sweep fan-out. A sweep is decomposed into its row-major
+ * single-point sub-grids (core/sweep.hh singlePointSpecs), each an
+ * independently fingerprintable unit: duplicate points are deduped
+ * within the request, every distinct point is forwarded as a
+ * single-point `sweep` sub-request to its rendezvous backend (hot
+ * points hit that backend's cache tiers; cold points simulate), and
+ * the returned rows are reassembled in grid order. Because backends
+ * serialize rows with the same writeJsonRow used by a local sweep,
+ * the reassembled reply is byte-identical to the same sweep run on
+ * a single daemon — envelope included ("cached" is true iff every
+ * sub-reply was cached).
+ *
+ * ping / stats / drain are answered locally; drain stops the
+ * router without draining the backends (daemons outlive their
+ * front tier and are drained individually by the operator).
+ */
+
+#ifndef OLIGHT_SERVE_ROUTER_HH
+#define OLIGHT_SERVE_ROUTER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/line_server.hh"
+#include "serve/protocol.hh"
+
+namespace olight
+{
+namespace serve
+{
+
+/** Address of one backend daemon. */
+struct BackendSpec
+{
+    /** Non-empty: Unix-domain socket at this path. */
+    std::string unixPath;
+    /** Otherwise TCP. */
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** Identity in the rendezvous hash and in stats; defaults to
+     *  the address. Renaming a backend re-homes its shard. */
+    std::string name;
+};
+
+struct RouterOptions
+{
+    /** Non-empty: listen on a Unix-domain socket at this path. */
+    std::string unixPath;
+    /** Otherwise: loopback TCP; 0 picks an ephemeral port. */
+    std::uint16_t tcpPort = 0;
+
+    std::vector<BackendSpec> backends;
+
+    int healthIntervalMs = 1000; ///< probe period (0 = no prober)
+    /** How long a failed backend stays quarantined before it may
+     *  be probed or tried again. */
+    int backoffMs = 2000;
+    /** Client-facing session I/O timeout (see LineServer). */
+    int ioTimeoutMs = 30000;
+    /** Per-forward bound on waiting for a backend's reply — covers
+     *  the backend's whole simulation, so it is generous. */
+    int backendTimeoutMs = 120000;
+    /** Max busy-retries per forward when a backend sheds load
+     *  (each waits the reply's retry_after_ms). */
+    int busyRetries = 200;
+    /** Concurrent sub-requests while fanning out one sweep
+     *  (0 = 2x the backend count). */
+    unsigned fanoutJobs = 0;
+    bool verbose = false;
+};
+
+/** Point-in-time router counters (all since start). */
+struct RouterSnapshot
+{
+    struct Backend
+    {
+        std::string name;
+        bool healthy = true;
+        std::uint64_t forwarded = 0; ///< requests sent (incl. pings)
+        std::uint64_t failures = 0;  ///< transport failures
+    };
+
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t replies = 0;
+    std::uint64_t parseErrors = 0;
+    std::uint64_t sessionTimeouts = 0;
+    std::uint64_t runsForwarded = 0;
+    std::uint64_t sweepsFanned = 0;
+    std::uint64_t subRequests = 0;   ///< sweep points forwarded
+    std::uint64_t pointsDeduped = 0; ///< duplicate points reused
+    std::uint64_t failovers = 0;     ///< forwards that re-homed
+    std::uint64_t unavailable = 0;   ///< backend_unavailable replies
+    std::uint64_t busyRetried = 0;   ///< busy replies waited out
+    bool draining = false;
+    std::vector<Backend> backends;
+};
+
+class Router : public LineServer
+{
+  public:
+    explicit Router(const RouterOptions &opts);
+    /** Drains + joins (sessions and the health prober) before
+     *  members are torn down under a live session's feet. */
+    ~Router() override;
+
+    /** Validates the backend list, then starts the listener and
+     *  the health prober. */
+    bool start(std::string &err);
+    /** join(), plus the health prober. */
+    void join();
+
+    RouterSnapshot snapshot() const;
+
+  protected:
+    std::string handleLine(const std::string &line,
+                           std::uint64_t connId) override;
+
+  private:
+    struct Backend
+    {
+        BackendSpec spec;
+        std::atomic<bool> healthy{true};
+        /** steady-clock ms of the last failure; gates backoff. */
+        std::atomic<std::int64_t> lastFailureMs{0};
+        std::atomic<std::uint64_t> forwarded{0}, failures{0};
+    };
+
+    /** Backend indices ranked by rendezvous score for @p fp. */
+    std::vector<std::size_t> rendezvousOrder(std::uint64_t fp) const;
+    /** May this backend be tried now (up, or backoff expired)? */
+    bool eligible(const Backend &b) const;
+
+    /**
+     * One request/one reply against @p b on a fresh connection,
+     * waiting out `busy` replies (bounded). False = transport
+     * failure (marks the backend down).
+     */
+    bool forward(Backend &b, const std::string &line,
+                 std::string &reply);
+    /**
+     * Forward down the rendezvous order for @p fp with failover.
+     * False = no backend reachable (reply is unset).
+     */
+    bool forwardByFingerprint(std::uint64_t fp,
+                              const std::string &line,
+                              std::string &reply);
+
+    std::string handleRun(const Request &req,
+                          const std::string &line);
+    std::string handleSweep(const Request &req);
+    std::string statsReply(const Request &req);
+
+    bool probe(Backend &b);
+    void healthLoop();
+
+    RouterOptions opts_;
+    /** Stable storage: Backend holds atomics, so the vector is
+     *  sized once in the constructor and never resized. */
+    std::vector<std::unique_ptr<Backend>> backends_;
+    std::thread healthThread_;
+
+    std::atomic<std::uint64_t> parseErrors_{0}, runsForwarded_{0},
+        sweepsFanned_{0}, subRequests_{0}, pointsDeduped_{0},
+        failovers_{0}, unavailable_{0}, busyRetried_{0};
+};
+
+} // namespace serve
+} // namespace olight
+
+#endif // OLIGHT_SERVE_ROUTER_HH

@@ -1,10 +1,8 @@
 #include "serve/server.hh"
 
 #include <condition_variable>
-#include <poll.h>
+#include <mutex>
 #include <sstream>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include "sim/logging.hh"
 
@@ -13,177 +11,60 @@ namespace olight
 namespace serve
 {
 
+namespace
+{
+
+LineServer::NetOptions
+netOptions(const ServeOptions &opts)
+{
+    LineServer::NetOptions net;
+    net.unixPath = opts.unixPath;
+    net.tcpPort = opts.tcpPort;
+    net.ioTimeoutMs = opts.ioTimeoutMs;
+    return net;
+}
+
+void
+appendCacheJson(std::ostringstream &os, const ServeSnapshot &s)
+{
+    os << "\"cache\":{\"memory\":{\"entries\":" << s.cache.entries
+       << ",\"bytes\":" << s.cache.bytes
+       << ",\"hits\":" << s.cache.hits
+       << ",\"misses\":" << s.cache.misses
+       << ",\"evictions\":" << s.cache.evictions
+       << "},\"disk\":{\"enabled\":"
+       << (s.diskEnabled ? "true" : "false")
+       << ",\"entries\":" << s.disk.entries
+       << ",\"bytes\":" << s.disk.bytes
+       << ",\"hits\":" << s.disk.hits
+       << ",\"misses\":" << s.disk.misses
+       << ",\"writes\":" << s.disk.writes
+       << ",\"write_errors\":" << s.disk.writeErrors
+       << ",\"evictions\":" << s.disk.evictions
+       << ",\"quarantined\":" << s.disk.quarantined << "}}";
+}
+
+} // namespace
+
 Server::Server(const ServeOptions &opts)
-    : opts_(opts),
+    : LineServer(netOptions(opts)), opts_(opts),
       jobs_(opts.jobs ? opts.jobs : ThreadPool::defaultThreads()),
-      admitLimit_(opts.admitLimit ? opts.admitLimit
-                                  : std::size_t(2) * jobs_),
-      pool_(jobs_), cache_(opts.cacheEntries)
+      pool_(jobs_), cache_(opts.cacheEntries),
+      disk_(CasOptions{opts.casRoot, opts.casMaxBytes}),
+      admission_(opts.admitLimit ? opts.admitLimit
+                                 : std::size_t(2) * jobs_,
+                 opts.clientShare)
 {}
 
 Server::~Server()
 {
-    if (started_.load() && !joined_.load()) {
-        requestDrain();
-        join();
-    }
-}
-
-bool
-Server::start(std::string &err)
-{
-    int pipe_fds[2];
-    if (::pipe(pipe_fds) != 0) {
-        err = "pipe failed";
-        return false;
-    }
-    drainPipeRead_ = Fd(pipe_fds[0]);
-    drainPipeWrite_ = Fd(pipe_fds[1]);
-
-    if (!opts_.unixPath.empty()) {
-        listenFd_ = listenUnix(opts_.unixPath, err);
-    } else {
-        listenFd_ = listenTcp(opts_.tcpPort, boundPort_, err);
-    }
-    if (!listenFd_.valid())
-        return false;
-
-    started_.store(true);
-    acceptThread_ = std::thread([this] { acceptLoop(); });
-    return true;
-}
-
-void
-Server::requestDrain()
-{
-    // Only async-signal-safe operations: one atomic store and one
-    // write(2). The accept thread owns all the actual teardown.
-    draining_.store(true, std::memory_order_release);
-    char byte = 'd';
-    [[maybe_unused]] ssize_t n =
-        ::write(drainPipeWrite_.get(), &byte, 1);
-}
-
-void
-Server::join()
-{
-    if (!started_.load() || joined_.exchange(true))
-        return;
-    if (acceptThread_.joinable())
-        acceptThread_.join();
-    std::list<SessionSlot> sessions;
-    {
-        std::lock_guard<std::mutex> lock(sessionsMutex_);
-        sessions.swap(sessions_);
-    }
-    for (auto &slot : sessions)
-        slot.thread.join();
+    requestDrain();
+    join();
     pool_.wait();
 }
 
-void
-Server::acceptLoop()
-{
-    while (!draining_.load(std::memory_order_acquire)) {
-        // Reap finished sessions so past connections don't pin a
-        // joinable thread each. done=true means the session body
-        // has returned, so join() completes immediately.
-        {
-            std::lock_guard<std::mutex> lock(sessionsMutex_);
-            for (auto it = sessions_.begin();
-                 it != sessions_.end();) {
-                if (it->done.load(std::memory_order_acquire)) {
-                    it->thread.join();
-                    it = sessions_.erase(it);
-                } else {
-                    ++it;
-                }
-            }
-        }
-
-        pollfd pfds[2] = {{listenFd_.get(), POLLIN, 0},
-                          {drainPipeRead_.get(), POLLIN, 0}};
-        int ready = ::poll(pfds, 2, 500);
-        if (ready < 0)
-            continue; // EINTR
-        if (pfds[1].revents & POLLIN)
-            break; // drain byte — flag is already set
-        if (!(pfds[0].revents & POLLIN))
-            continue;
-        int conn = ::accept(listenFd_.get(), nullptr, nullptr);
-        if (conn < 0)
-            continue;
-        connections_.fetch_add(1, std::memory_order_relaxed);
-        Fd fd(conn);
-        std::lock_guard<std::mutex> lock(sessionsMutex_);
-        sessions_.emplace_back();
-        SessionSlot &slot = sessions_.back();
-        slot.thread = std::thread(
-            [this, &slot, moved = std::move(fd)]() mutable {
-                session(std::move(moved));
-                slot.done.store(true, std::memory_order_release);
-            });
-    }
-    // New connections are refused from here on; existing sessions
-    // finish their in-flight request and close.
-    listenFd_.reset();
-}
-
-void
-Server::session(Fd fd)
-{
-    std::string line, carry;
-    while (true) {
-        ReadStatus st =
-            readLine(fd.get(), line, carry, &draining_);
-        if (st == ReadStatus::Stopped ||
-            st == ReadStatus::Closed || st == ReadStatus::Error)
-            break;
-        if (st == ReadStatus::TooLong) {
-            writeAll(fd.get(),
-                     errorReply("", "bad_request",
-                                "request line exceeds 1 MiB") +
-                         "\n");
-            break;
-        }
-        requests_.fetch_add(1, std::memory_order_relaxed);
-        std::string reply = handleLine(line);
-        // Counted before the write: an observer that has read the
-        // reply must never see a counter that excludes it.
-        replies_.fetch_add(1, std::memory_order_relaxed);
-        if (!writeAll(fd.get(), reply + "\n"))
-            break;
-    }
-}
-
-bool
-Server::tryAdmit()
-{
-    std::uint64_t cur = inflight_.load(std::memory_order_relaxed);
-    do {
-        if (cur >= admitLimit_) {
-            busyRejected_.fetch_add(1, std::memory_order_relaxed);
-            return false;
-        }
-    } while (!inflight_.compare_exchange_weak(
-        cur, cur + 1, std::memory_order_relaxed));
-    std::uint64_t now = cur + 1;
-    std::uint64_t peak = peakInflight_.load(std::memory_order_relaxed);
-    while (now > peak &&
-           !peakInflight_.compare_exchange_weak(
-               peak, now, std::memory_order_relaxed)) {
-    }
-    return true;
-}
-
-void
-Server::release()
-{
-    inflight_.fetch_sub(1, std::memory_order_relaxed);
-}
-
 std::string
-Server::handleLine(const std::string &line)
+Server::handleLine(const std::string &line, std::uint64_t connId)
 {
     Request req;
     std::string error;
@@ -208,24 +89,25 @@ Server::handleLine(const std::string &line)
         if (!req.id.empty())
             os << ",\"id\":" << req.id;
         os << ",\"stats\":{\"jobs\":" << jobs_
-           << ",\"admit_limit\":" << admitLimit_
+           << ",\"admit_limit\":" << admission_.limit()
+           << ",\"client_share\":" << admission_.clientShare()
            << ",\"draining\":" << (s.draining ? "true" : "false")
            << ",\"connections\":" << s.connections
            << ",\"requests\":" << s.requests
            << ",\"replies\":" << s.replies
            << ",\"parse_errors\":" << s.parseErrors
+           << ",\"session_timeouts\":" << s.sessionTimeouts
            << ",\"busy_rejected\":" << s.busyRejected
+           << ",\"fairness_rejected\":" << s.fairnessRejected
            << ",\"internal_errors\":" << s.internalErrors
            << ",\"runs_executed\":" << s.runsExecuted
            << ",\"sweeps_executed\":" << s.sweepsExecuted
            << ",\"sweep_points_done\":" << s.sweepPointsDone
            << ",\"inflight\":" << s.inflight
            << ",\"peak_inflight\":" << s.peakInflight
-           << ",\"cache\":{\"entries\":" << s.cache.entries
-           << ",\"bytes\":" << s.cache.bytes
-           << ",\"hits\":" << s.cache.hits
-           << ",\"misses\":" << s.cache.misses
-           << ",\"evictions\":" << s.cache.evictions << "}}}";
+           << ",\"active_clients\":" << s.activeClients << ",";
+        appendCacheJson(os, s);
+        os << "}}";
         return os.str();
       }
       case Cmd::Drain: {
@@ -238,31 +120,56 @@ Server::handleLine(const std::string &line)
       }
       case Cmd::Run:
       case Cmd::Sweep:
-        return execute(req);
+        return execute(req, connId);
     }
     return errorReply(req.id, "internal_error", "unhandled cmd");
 }
 
 std::string
-Server::execute(const Request &req)
+Server::execute(const Request &req, std::uint64_t connId)
 {
     const std::uint64_t fp = req.cmd == Cmd::Run
                                  ? fingerprint(req.run)
                                  : fingerprint(req.sweep);
 
+    // Tier 1: memory. Tier 2: disk (promoted into memory on hit).
+    // Either tier serves the byte-identical body; only the
+    // envelope's "cached" token distinguishes hit from cold.
     std::string body;
     if (cache_.get(fp, body)) {
         if (opts_.verbose)
-            inform("serve: cache hit ", fingerprintHex(fp));
+            inform("serve: memory hit ", fingerprintHex(fp));
+        return okReply(req.id, req.cmd, fp, true, body);
+    }
+    if (disk_.get(fp, body)) {
+        cache_.put(fp, body);
+        if (opts_.verbose)
+            inform("serve: disk hit ", fingerprintHex(fp));
         return okReply(req.id, req.cmd, fp, true, body);
     }
 
-    if (!tryAdmit()) {
+    // Identity for fairness: the request's "client" field when the
+    // tenant names itself, else this connection.
+    const std::string client =
+        req.client.empty() ? "conn:" + std::to_string(connId)
+                           : req.client;
+    switch (admission_.tryAdmit(client)) {
+      case Admission::Verdict::RejectedBusy:
         return errorReply(req.id, "busy",
                           "admission queue full (" +
-                              std::to_string(admitLimit_) +
+                              std::to_string(admission_.limit()) +
                               " in flight)",
                           opts_.retryAfterMs);
+      case Admission::Verdict::RejectedShare:
+        return errorReply(
+            req.id, "busy",
+            "client share exhausted (" +
+                std::to_string(admission_.clientShare()) +
+                " of " + std::to_string(admission_.limit()) +
+                " slots)",
+            opts_.retryAfterMs);
+      case Admission::Verdict::Admitted:
+        break;
     }
 
     // The session thread parks here while a pool worker simulates;
@@ -289,8 +196,7 @@ Server::execute(const Request &req)
                 // bit-identical for every simJobs value, so the
                 // content-addressed cache is unaffected.
                 RunOptions run = req.run;
-                std::uint64_t busy =
-                    inflight_.load(std::memory_order_relaxed);
+                std::uint64_t busy = admission_.stats().inflight;
                 run.simJobs =
                     busy < jobs_ ? unsigned(jobs_ - busy) + 1 : 1;
                 RunResult r = runWorkload(run);
@@ -325,13 +231,14 @@ Server::execute(const Request &req)
         std::unique_lock<std::mutex> lock(c.m);
         c.cv.wait(lock, [&c] { return c.done; });
     }
-    release();
+    admission_.release(client);
 
     if (!c.ok) {
         internalErrors_.fetch_add(1, std::memory_order_relaxed);
         return errorReply(req.id, "internal_error", c.error);
     }
     cache_.put(fp, c.body);
+    disk_.put(fp, c.body);
     if (opts_.verbose)
         inform("serve: simulated ", toString(req.cmd), " ",
                fingerprintHex(fp));
@@ -346,7 +253,14 @@ Server::snapshot() const
     s.requests = requests_.load(std::memory_order_relaxed);
     s.replies = replies_.load(std::memory_order_relaxed);
     s.parseErrors = parseErrors_.load(std::memory_order_relaxed);
-    s.busyRejected = busyRejected_.load(std::memory_order_relaxed);
+    s.sessionTimeouts =
+        sessionTimeouts_.load(std::memory_order_relaxed);
+    Admission::Stats a = admission_.stats();
+    s.busyRejected = a.busyRejected;
+    s.fairnessRejected = a.fairnessRejected;
+    s.inflight = a.inflight;
+    s.peakInflight = a.peakInflight;
+    s.activeClients = a.activeClients;
     s.internalErrors =
         internalErrors_.load(std::memory_order_relaxed);
     s.runsExecuted = runsExecuted_.load(std::memory_order_relaxed);
@@ -354,11 +268,10 @@ Server::snapshot() const
         sweepsExecuted_.load(std::memory_order_relaxed);
     s.sweepPointsDone =
         sweepPointsDone_.load(std::memory_order_relaxed);
-    s.inflight = inflight_.load(std::memory_order_relaxed);
-    s.peakInflight =
-        peakInflight_.load(std::memory_order_relaxed);
     s.cache = cache_.stats();
-    s.draining = draining_.load(std::memory_order_acquire);
+    s.disk = disk_.stats();
+    s.diskEnabled = disk_.enabled();
+    s.draining = draining();
     return s;
 }
 

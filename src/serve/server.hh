@@ -1,27 +1,29 @@
 /**
  * @file
- * The serving daemon's core: a long-running simulation service with
- * a content-addressed result cache, bounded admission, and graceful
- * drain — the request-scheduling shape of an inference-serving
- * stack, applied to deterministic simulations.
+ * The serving daemon's core: a long-running simulation service
+ * with a two-tier content-addressed result cache, bounded
+ * per-client-fair admission, and graceful drain — the
+ * request-scheduling shape of an inference-serving stack, applied
+ * to deterministic simulations.
  *
- * Threading model:
- *  - one accept thread (poll on the listen fd + a self-pipe that
- *    requestDrain() writes to — the only async-signal-safe entry);
- *  - one session thread per connection, handling its requests
- *    strictly in order;
- *  - one shared ThreadPool executing the simulations. A session
- *    admits its request (bounded: admitted = queued + running),
- *    submits the job, and blocks until that job completes. Over
- *    the admission bound the request is rejected immediately with
- *    a `busy` reply carrying retry_after_ms — the same
- *    reject-don't-buffer backpressure discipline the simulator's
- *    own noc/port.hh enforces at every pipe boundary, applied at
- *    the service edge.
+ * Listen/accept/session/drain machinery is inherited from
+ * LineServer (shared with the fleet router); this class supplies
+ * the meaning of a request line:
  *
- * Drain (SIGTERM or a `drain` request): stop accepting, let every
- * in-flight request complete and flush its reply, close idle
- * connections, then join() returns. Nothing in flight is dropped.
+ *  - Cache tiers. Tier 1 is the in-memory LRU ResultCache; tier 2
+ *    is the on-disk CasStore (fingerprint -> file), so hits
+ *    survive restarts and daemon instances sharing one store
+ *    directory share each other's work. A disk hit is promoted
+ *    into memory. Both tiers key on the same request fingerprint,
+ *    and both serve byte-identical bodies — determinism makes the
+ *    tiers interchangeable.
+ *
+ *  - Admission. A cache miss must admit before simulating:
+ *    bounded (admitted = queued + running) and per-client fair —
+ *    no client may hold more than its share of the slots, so a
+ *    hot tenant saturates its share and bounces with `busy` while
+ *    other tenants' slots stay reachable (serve/admission.hh).
+ *    Cache hits bypass admission entirely.
  */
 
 #ifndef OLIGHT_SERVE_SERVER_HH
@@ -29,14 +31,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <list>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "serve/admission.hh"
 #include "serve/cache.hh"
-#include "serve/net.hh"
+#include "serve/cas_store.hh"
+#include "serve/line_server.hh"
 #include "serve/protocol.hh"
 #include "sim/thread_pool.hh"
 
@@ -56,9 +56,20 @@ struct ServeOptions
     /** Admission bound: max queued+running simulations before
      *  requests bounce with `busy` (0 = 2x workers). */
     std::size_t admitLimit = 0;
-    std::size_t cacheEntries = 1024; ///< result cache cap (0 = off)
-    int retryAfterMs = 100;          ///< hint in `busy` replies
-    bool verbose = false;            ///< inform() per request
+    /** Max admission slots one client may hold (0 = half the
+     *  admit limit, rounded up — a lone tenant still saturates
+     *  the worker pool, but can never starve a second tenant). */
+    std::size_t clientShare = 0;
+    std::size_t cacheEntries = 1024; ///< memory-tier cap (0 = off)
+    /** Disk tier: root directory of the content-addressed store
+     *  (empty = no disk tier). Shareable between daemons. */
+    std::string casRoot;
+    std::uint64_t casMaxBytes = 0; ///< disk tier byte cap (0 = inf)
+    int retryAfterMs = 100;        ///< hint in `busy` replies
+    /** Session I/O timeout (mid-request read stall / reply write);
+     *  0 = unlimited. */
+    int ioTimeoutMs = 30000;
+    bool verbose = false; ///< inform() per request
 };
 
 /** Point-in-time counters (all since start). */
@@ -68,93 +79,57 @@ struct ServeSnapshot
     std::uint64_t requests = 0;      ///< lines received
     std::uint64_t replies = 0;       ///< reply lines composed
     std::uint64_t parseErrors = 0;   ///< bad_json/bad_request/...
-    std::uint64_t busyRejected = 0;
+    std::uint64_t sessionTimeouts = 0;
+    std::uint64_t busyRejected = 0;     ///< global admission bound
+    std::uint64_t fairnessRejected = 0; ///< per-client share
     std::uint64_t internalErrors = 0;
-    std::uint64_t runsExecuted = 0;  ///< cache misses simulated
+    std::uint64_t runsExecuted = 0; ///< cache misses simulated
     std::uint64_t sweepsExecuted = 0;
     std::uint64_t sweepPointsDone = 0; ///< via the progress sink
     std::uint64_t inflight = 0;
     std::uint64_t peakInflight = 0;
-    ResultCache::Stats cache;
+    std::uint64_t activeClients = 0;
+    ResultCache::Stats cache; ///< memory tier
+    CasStore::Stats disk;     ///< disk tier
+    bool diskEnabled = false;
     bool draining = false;
 };
 
-class Server
+class Server : public LineServer
 {
   public:
     explicit Server(const ServeOptions &opts);
-    ~Server();
-
-    Server(const Server &) = delete;
-    Server &operator=(const Server &) = delete;
-
-    /** Bind + listen + spawn the accept thread. False + @p err on
-     *  bind failure. */
-    bool start(std::string &err);
-
-    /**
-     * Begin a graceful drain. Async-signal-safe (a single write to
-     * the self-pipe), so SIGTERM handlers may call it directly.
-     * Idempotent.
-     */
-    void requestDrain();
-
-    /** Block until drained: accept thread, sessions, and pool all
-     *  finished; every in-flight reply flushed. */
-    void join();
-
-    /** Bound TCP port (after start(), TCP mode only). */
-    std::uint16_t tcpPort() const { return boundPort_; }
+    /** Drains + joins before members (pool, caches) are torn down
+     *  under a live session's feet. */
+    ~Server() override;
 
     ServeSnapshot snapshot() const;
 
     unsigned jobs() const { return jobs_; }
-    std::size_t admitLimit() const { return admitLimit_; }
+    std::size_t admitLimit() const { return admission_.limit(); }
+    std::size_t clientShare() const
+    {
+        return admission_.clientShare();
+    }
+
+  protected:
+    std::string handleLine(const std::string &line,
+                           std::uint64_t connId) override;
 
   private:
-    void acceptLoop();
-    void session(Fd fd);
-
-    /** Handle one request line; returns the reply line (no \n). */
-    std::string handleLine(const std::string &line);
-    std::string execute(const Request &req);
-
-    bool tryAdmit();
-    void release();
+    std::string execute(const Request &req, std::uint64_t connId);
 
     ServeOptions opts_;
     unsigned jobs_;
-    std::size_t admitLimit_;
-
-    Fd listenFd_;
-    std::uint16_t boundPort_ = 0;
-    Fd drainPipeRead_, drainPipeWrite_;
 
     ThreadPool pool_;
-    ResultCache cache_;
-
-    /** One per live connection; reaped by the accept loop once the
-     *  session thread flags itself done (a long-running daemon must
-     *  not accumulate a joinable thread per past connection). */
-    struct SessionSlot
-    {
-        std::thread thread;
-        std::atomic<bool> done{false};
-    };
-
-    std::thread acceptThread_;
-    std::mutex sessionsMutex_;
-    std::list<SessionSlot> sessions_;
-
-    std::atomic<bool> draining_{false};
-    std::atomic<bool> started_{false};
-    std::atomic<bool> joined_{false};
+    ResultCache cache_; ///< tier 1: in-memory LRU
+    CasStore disk_;     ///< tier 2: on-disk CAS
+    Admission admission_;
 
     // Counters (relaxed; read coherently only via snapshot()).
-    std::atomic<std::uint64_t> connections_{0}, requests_{0},
-        replies_{0}, parseErrors_{0}, busyRejected_{0},
-        internalErrors_{0}, runsExecuted_{0}, sweepsExecuted_{0},
-        sweepPointsDone_{0}, inflight_{0}, peakInflight_{0};
+    std::atomic<std::uint64_t> parseErrors_{0}, internalErrors_{0},
+        runsExecuted_{0}, sweepsExecuted_{0}, sweepPointsDone_{0};
 };
 
 } // namespace serve

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * On-disk content-addressed store tests (serve/cas_store.hh): the
+ * persistence guarantees the fleet leans on — restart survival with
+ * byte-identical bodies, atomic concurrent writes, corrupt/truncated
+ * entries quarantined instead of served, and byte-cap eviction.
+ * Suites are named Serve* so `ctest -R serve_tsan` runs them under
+ * TSan too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <ftw.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "serve/cas_store.hh"
+
+using namespace olight;
+using namespace olight::serve;
+
+namespace
+{
+
+int
+removeOne(const char *path, const struct stat *, int,
+          struct FTW *)
+{
+    return ::remove(path);
+}
+
+/** Unique store directory, recursively removed on test exit. */
+class ServeCasTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = "/tmp/olight_cas_" + std::to_string(::getpid()) +
+                "_" + std::to_string(counter_++);
+    }
+
+    void
+    TearDown() override
+    {
+        ::nftw(root_.c_str(), removeOne, 16,
+               FTW_DEPTH | FTW_PHYS);
+    }
+
+    CasOptions
+    options(std::uint64_t maxBytes = 0) const
+    {
+        CasOptions o;
+        o.root = root_;
+        o.maxBytes = maxBytes;
+        return o;
+    }
+
+    static int counter_;
+    std::string root_;
+};
+
+int ServeCasTest::counter_ = 0;
+
+} // namespace
+
+TEST_F(ServeCasTest, RoundTripSurvivesRestartByteIdentical)
+{
+    const std::string body = "{\"result\":{\"metric\":42}}";
+    {
+        CasStore store(options());
+        ASSERT_TRUE(store.enabled());
+        store.put(0xabcdef0123456789ull, body);
+        std::string out;
+        ASSERT_TRUE(store.get(0xabcdef0123456789ull, out));
+        EXPECT_EQ(out, body);
+        EXPECT_EQ(store.stats().writes, 1u);
+        EXPECT_EQ(store.stats().hits, 1u);
+    }
+    // A new store over the same directory — the restart — must
+    // index the entry and serve the exact same bytes.
+    CasStore reopened(options());
+    EXPECT_EQ(reopened.stats().entries, 1u);
+    EXPECT_EQ(reopened.stats().bytes, body.size());
+    std::string out;
+    ASSERT_TRUE(reopened.get(0xabcdef0123456789ull, out));
+    EXPECT_EQ(out, body);
+    EXPECT_FALSE(reopened.get(0x1111111111111111ull, out));
+    EXPECT_EQ(reopened.stats().misses, 1u);
+}
+
+TEST_F(ServeCasTest, EmptyRootDisablesStore)
+{
+    CasStore store(CasOptions{});
+    EXPECT_FALSE(store.enabled());
+    store.put(1, "x");
+    std::string out;
+    EXPECT_FALSE(store.get(1, out));
+    EXPECT_EQ(store.stats().writes, 0u);
+    EXPECT_EQ(store.stats().misses, 0u); // no-op, not a miss
+}
+
+TEST_F(ServeCasTest, SiblingWriteIsVisibleWithoutReindex)
+{
+    // Two stores over one directory — two daemons sharing a CAS.
+    CasStore a(options());
+    CasStore b(options());
+    a.put(7, "written-by-a");
+    std::string out;
+    ASSERT_TRUE(b.get(7, out)); // b never wrote or indexed key 7
+    EXPECT_EQ(out, "written-by-a");
+    EXPECT_EQ(b.stats().entries, 1u);
+}
+
+TEST_F(ServeCasTest, CorruptedEntryIsQuarantinedNotServed)
+{
+    CasStore store(options());
+    const std::string body(64, 'r');
+    store.put(0x42, body);
+
+    // Flip one body byte on disk; the checksum must catch it.
+    const std::string path = store.entryPath(0x42);
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekp(24 + 10); // header is 24 bytes; offset 10 of body
+        f.put('X');
+    }
+
+    std::string out;
+    EXPECT_FALSE(store.get(0x42, out));
+    EXPECT_TRUE(out.empty());
+    CasStore::Stats s = store.stats();
+    EXPECT_EQ(s.quarantined, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.entries, 0u);
+    // The defective file left the lookup path (the next get is a
+    // plain miss, not another quarantine) and was preserved.
+    EXPECT_FALSE(store.get(0x42, out));
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    std::ifstream gone(path, std::ios::binary);
+    EXPECT_FALSE(gone.good());
+    std::ifstream kept(root_ +
+                           "/quarantine/0000000000000042.0",
+                       std::ios::binary);
+    EXPECT_TRUE(kept.good());
+}
+
+TEST_F(ServeCasTest, TruncatedEntryIsQuarantinedNotServed)
+{
+    CasStore store(options());
+    store.put(0x99, std::string(128, 't'));
+    ::truncate(store.entryPath(0x99).c_str(), 24 + 5);
+
+    std::string out;
+    EXPECT_FALSE(store.get(0x99, out));
+    EXPECT_EQ(store.stats().quarantined, 1u);
+
+    // Same for a key-mismatch (an entry renamed to the wrong
+    // fingerprint — e.g. a bad copy between stores).
+    store.put(0x100, std::string(16, 'k'));
+    ::rename(store.entryPath(0x100).c_str(),
+             store.entryPath(0x200).c_str());
+    EXPECT_FALSE(store.get(0x200, out));
+    EXPECT_EQ(store.stats().quarantined, 2u);
+}
+
+TEST_F(ServeCasTest, ConcurrentWritersAgreeAndNeverTear)
+{
+    // Many threads hammer the same keys (identical bodies, as
+    // determinism guarantees) plus their own key. temp+rename means
+    // every final file is complete regardless of interleaving.
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 16;
+    CasStore store(options());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int r = 0; r < kRounds; ++r) {
+                store.put(0x5005, "shared-body-all-agree");
+                store.put(0x6000 + std::uint64_t(t),
+                          "private-" + std::to_string(t));
+                std::string out;
+                if (store.get(0x5005, out))
+                    EXPECT_EQ(out, "shared-body-all-agree");
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    CasStore::Stats s = store.stats();
+    EXPECT_EQ(s.writeErrors, 0u);
+    EXPECT_EQ(s.quarantined, 0u);
+    EXPECT_EQ(s.entries, 1u + kThreads);
+    std::string out;
+    ASSERT_TRUE(store.get(0x5005, out));
+    EXPECT_EQ(out, "shared-body-all-agree");
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_TRUE(store.get(0x6000 + std::uint64_t(t), out));
+        EXPECT_EQ(out, "private-" + std::to_string(t));
+    }
+}
+
+TEST_F(ServeCasTest, ByteCapEvictsLeastRecentlyUsed)
+{
+    CasStore store(options(/*maxBytes=*/100));
+    store.put(1, std::string(40, 'a'));
+    store.put(2, std::string(40, 'b'));
+    std::string out;
+    ASSERT_TRUE(store.get(1, out)); // 1 is now most recent
+    store.put(3, std::string(40, 'c')); // evicts 2, the LRU entry
+
+    EXPECT_TRUE(store.get(1, out));
+    EXPECT_FALSE(store.get(2, out));
+    EXPECT_TRUE(store.get(3, out));
+    CasStore::Stats s = store.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_LE(s.bytes, 100u);
+    // The evicted entry is gone from disk too, not just the index.
+    std::ifstream gone(store.entryPath(2), std::ios::binary);
+    EXPECT_FALSE(gone.good());
+
+    // A body larger than the whole cap is refused outright.
+    store.put(4, std::string(200, 'd'));
+    EXPECT_FALSE(store.get(4, out));
+}

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Fleet router tests (serve/router.hh): live 3-backend fleets with
+ * real sockets — rendezvous sharding, run passthrough, sweep
+ * fan-out reassembled byte-identical to a single daemon, in-request
+ * dedupe, failover around a killed backend, backend_unavailable
+ * when the whole fleet is down, and health probing. Suites are
+ * named Serve* so `ctest -R serve_tsan` runs them under TSan too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "serve/json_in.hh"
+#include "serve/net.hh"
+#include "serve/router.hh"
+#include "serve/server.hh"
+
+using namespace olight;
+using namespace olight::serve;
+
+namespace
+{
+
+/** A blocking request/reply client over one connection. */
+class Client
+{
+  public:
+    static Client overUnix(const std::string &path)
+    {
+        std::string err;
+        Client c;
+        c.fd_ = connectUnix(path, err);
+        EXPECT_TRUE(c.fd_.valid()) << err;
+        return c;
+    }
+
+    std::string
+    roundTrip(const std::string &request)
+    {
+        if (!writeAll(fd_.get(), request + "\n"))
+            return "";
+        std::string reply;
+        if (readLine(fd_.get(), reply, carry_) != ReadStatus::Line)
+            return "";
+        return reply;
+    }
+
+  private:
+    Fd fd_;
+    std::string carry_;
+};
+
+/** A 3-backend fleet behind one router, all in-process. */
+class ServeRouterTest : public ::testing::Test
+{
+  protected:
+    static constexpr int kBackends = 3;
+
+    void
+    SetUp() override
+    {
+        const std::string stem =
+            "/tmp/olight_rt_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++);
+        RouterOptions ropts;
+        for (int i = 0; i < kBackends; ++i) {
+            backendPaths_.push_back(stem + "_be" +
+                                    std::to_string(i) + ".sock");
+            ServeOptions opts;
+            opts.unixPath = backendPaths_.back();
+            opts.jobs = 1;
+            backends_.push_back(std::make_unique<Server>(opts));
+            std::string err;
+            ASSERT_TRUE(backends_.back()->start(err)) << err;
+            BackendSpec spec;
+            spec.unixPath = backendPaths_.back();
+            ropts.backends.push_back(spec);
+        }
+        routerPath_ = stem + "_router.sock";
+        ropts.unixPath = routerPath_;
+        ropts.healthIntervalMs = 0; // probe-free by default:
+        ropts.backoffMs = 0;        // deterministic eligibility
+        router_ = std::make_unique<Router>(ropts);
+        std::string err;
+        ASSERT_TRUE(router_->start(err)) << err;
+    }
+
+    void
+    TearDown() override
+    {
+        router_.reset(); // drains in its destructor
+        backends_.clear();
+        ::unlink(routerPath_.c_str());
+        for (const std::string &p : backendPaths_)
+            ::unlink(p.c_str());
+    }
+
+    /** Simulate a crash: stop backend @p i and remove its socket. */
+    void
+    killBackend(int i)
+    {
+        backends_[i].reset();
+        ::unlink(backendPaths_[i].c_str());
+    }
+
+    /** Which backend executed at least one request? */
+    int
+    executingBackend() const
+    {
+        for (int i = 0; i < kBackends; ++i) {
+            if (!backends_[i])
+                continue;
+            ServeSnapshot s = backends_[i]->snapshot();
+            if (s.runsExecuted + s.sweepsExecuted > 0)
+                return i;
+        }
+        return -1;
+    }
+
+    static int counter_;
+    std::vector<std::string> backendPaths_;
+    std::string routerPath_;
+    std::vector<std::unique_ptr<Server>> backends_;
+    std::unique_ptr<Router> router_;
+};
+
+int ServeRouterTest::counter_ = 0;
+
+const char *kRunRequest =
+    R"({"cmd":"run","workload":"Copy","elements":4096,)"
+    R"("mode":"orderlight"})";
+
+const char *kSweepRequest =
+    R"({"cmd":"sweep","id":11,"workloads":["Copy","Add"],)"
+    R"("modes":["fence","orderlight"],"ts":[256],"bmf":[16],)"
+    R"("elements":4096})";
+
+} // namespace
+
+TEST_F(ServeRouterTest, PingAndStatsAnsweredLocally)
+{
+    Client c = Client::overUnix(routerPath_);
+    EXPECT_EQ(c.roundTrip(R"({"cmd":"ping","id":3})"),
+              "{\"ok\":true,\"cmd\":\"ping\",\"id\":3}");
+
+    std::string stats = c.roundTrip(R"({"cmd":"stats"})");
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(stats, v, err)) << stats;
+    EXPECT_TRUE(v.find("ok")->boolean);
+    EXPECT_EQ(v.find("stats")->find("role")->string, "router");
+    ASSERT_EQ(v.find("stats")->find("backends")->array.size(),
+              std::size_t(kBackends));
+    for (const JsonValue &b :
+         v.find("stats")->find("backends")->array)
+        EXPECT_TRUE(b.find("healthy")->boolean);
+    // Nothing was forwarded for ping/stats.
+    for (int i = 0; i < kBackends; ++i)
+        EXPECT_EQ(backends_[i]->snapshot().requests, 0u);
+}
+
+TEST_F(ServeRouterTest, RunPassthroughShardsAndCaches)
+{
+    Client c = Client::overUnix(routerPath_);
+    std::string cold = c.roundTrip(kRunRequest);
+    ASSERT_NE(cold.find("\"ok\":true"), std::string::npos) << cold;
+    EXPECT_NE(cold.find("\"cached\":false"), std::string::npos);
+
+    // Exactly one backend owns this fingerprint's shard.
+    int owner = executingBackend();
+    ASSERT_GE(owner, 0);
+    for (int i = 0; i < kBackends; ++i)
+        EXPECT_EQ(backends_[i]->snapshot().runsExecuted,
+                  i == owner ? 1u : 0u);
+
+    // The repeat lands on the same backend and hits its cache; the
+    // reply differs from the cold one only in the cached token.
+    std::string warm = c.roundTrip(kRunRequest);
+    std::string patched = cold;
+    patched.replace(patched.find("\"cached\":false"),
+                    std::string("\"cached\":false").size(),
+                    "\"cached\":true");
+    EXPECT_EQ(patched, warm);
+    EXPECT_EQ(backends_[owner]->snapshot().runsExecuted, 1u);
+    EXPECT_EQ(router_->snapshot().runsForwarded, 2u);
+}
+
+TEST_F(ServeRouterTest, SweepFanoutByteIdenticalToSingleDaemon)
+{
+    // The same grid, cold, on a lone daemon...
+    ServeOptions opts;
+    opts.unixPath = routerPath_ + ".lone";
+    opts.jobs = 1;
+    {
+        Server lone(opts);
+        std::string err;
+        ASSERT_TRUE(lone.start(err)) << err;
+        Client direct = Client::overUnix(opts.unixPath);
+        std::string single = direct.roundTrip(kSweepRequest);
+        ASSERT_NE(single.find("\"ok\":true"), std::string::npos)
+            << single;
+
+        // ...must equal the router's fanned-out reassembly, byte
+        // for byte: same rows, same envelope, same id echo.
+        Client c = Client::overUnix(routerPath_);
+        std::string fanned = c.roundTrip(kSweepRequest);
+        EXPECT_EQ(single, fanned);
+
+        RouterSnapshot s = router_->snapshot();
+        EXPECT_EQ(s.sweepsFanned, 1u);
+        EXPECT_EQ(s.subRequests, 4u); // 2 workloads x 2 modes
+
+        // Warm repeat: every point now sits in a backend cache, so
+        // the fleet-level reply flips to cached:true — and is
+        // otherwise byte-identical again.
+        std::string warm = c.roundTrip(kSweepRequest);
+        std::string patched = fanned;
+        patched.replace(patched.find("\"cached\":false"),
+                        std::string("\"cached\":false").size(),
+                        "\"cached\":true");
+        EXPECT_EQ(patched, warm);
+    }
+    ::unlink(opts.unixPath.c_str());
+}
+
+TEST_F(ServeRouterTest, DuplicateSweepPointsForwardOnce)
+{
+    Client c = Client::overUnix(routerPath_);
+    // ts [256,256]: the grid enumerates 4 points but only 2 are
+    // distinct; the router must forward 2 and reuse their rows.
+    std::string reply = c.roundTrip(
+        R"({"cmd":"sweep","workloads":["Copy"],)"
+        R"("modes":["fence","orderlight"],"ts":[256,256],)"
+        R"("bmf":[16],"elements":4096})");
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(reply, v, err)) << reply;
+    EXPECT_TRUE(v.find("ok")->boolean);
+    EXPECT_EQ(v.find("result")->find("points")->number, 4.0);
+    ASSERT_EQ(v.find("result")->find("rows")->array.size(), 4u);
+
+    RouterSnapshot s = router_->snapshot();
+    EXPECT_EQ(s.subRequests, 2u);
+    EXPECT_EQ(s.pointsDeduped, 2u);
+    std::uint64_t executed = 0;
+    for (int i = 0; i < kBackends; ++i)
+        executed += backends_[i]->snapshot().sweepsExecuted;
+    EXPECT_EQ(executed, 2u);
+}
+
+TEST_F(ServeRouterTest, FailoverReHomesAKilledBackendsShard)
+{
+    Client c = Client::overUnix(routerPath_);
+    std::string cold = c.roundTrip(kRunRequest);
+    ASSERT_NE(cold.find("\"ok\":true"), std::string::npos) << cold;
+    int owner = executingBackend();
+    ASSERT_GE(owner, 0);
+
+    // Crash the shard owner. The same request must re-home to a
+    // surviving backend — structurally fine (cold there), never an
+    // error reply.
+    killBackend(owner);
+    std::string rehomed = c.roundTrip(kRunRequest);
+    EXPECT_NE(rehomed.find("\"ok\":true"), std::string::npos)
+        << rehomed;
+    EXPECT_NE(rehomed.find("\"cached\":false"), std::string::npos);
+    EXPECT_EQ(cold, rehomed); // both cold: byte-identical bodies
+
+    RouterSnapshot s = router_->snapshot();
+    EXPECT_GE(s.failovers, 1u);
+    int down = 0;
+    for (const RouterSnapshot::Backend &b : s.backends)
+        down += b.healthy ? 0 : 1;
+    EXPECT_EQ(down, 1);
+
+    // Sweeps keep working against the 2-backend fleet too.
+    std::string sweep = c.roundTrip(kSweepRequest);
+    EXPECT_NE(sweep.find("\"ok\":true"), std::string::npos)
+        << sweep;
+}
+
+TEST_F(ServeRouterTest, WholeFleetDownIsStructuredUnavailable)
+{
+    for (int i = 0; i < kBackends; ++i)
+        killBackend(i);
+    Client c = Client::overUnix(routerPath_);
+    std::string reply = c.roundTrip(kRunRequest);
+    EXPECT_NE(reply.find("\"backend_unavailable\""),
+              std::string::npos)
+        << reply;
+    std::string sweep = c.roundTrip(kSweepRequest);
+    EXPECT_NE(sweep.find("\"backend_unavailable\""),
+              std::string::npos)
+        << sweep;
+    EXPECT_EQ(router_->snapshot().unavailable, 2u);
+    // The router itself is healthy and still answers locally.
+    EXPECT_NE(c.roundTrip(R"({"cmd":"ping"})").find("\"ok\":true"),
+              std::string::npos);
+}
+
+TEST_F(ServeRouterTest, DrainStopsTheRouterNotTheBackends)
+{
+    Client c = Client::overUnix(routerPath_);
+    std::string drain = c.roundTrip(R"({"cmd":"drain"})");
+    EXPECT_NE(drain.find("\"draining\":true"), std::string::npos);
+    router_->join(); // must return: drain request shuts us down
+    EXPECT_TRUE(router_->snapshot().draining);
+    // Backends outlive their front tier.
+    Client b = Client::overUnix(backendPaths_[0]);
+    EXPECT_NE(b.roundTrip(R"({"cmd":"ping"})").find("\"ok\":true"),
+              std::string::npos);
+}
+
+TEST(ServeRouterConfig, RejectsEmptyAndDuplicateBackends)
+{
+    {
+        RouterOptions opts;
+        opts.tcpPort = 0;
+        Router r(opts);
+        std::string err;
+        EXPECT_FALSE(r.start(err));
+        EXPECT_NE(err.find("--backend"), std::string::npos);
+    }
+    {
+        RouterOptions opts;
+        opts.tcpPort = 0;
+        BackendSpec b;
+        b.unixPath = "/tmp/same.sock";
+        opts.backends = {b, b};
+        Router r(opts);
+        std::string err;
+        EXPECT_FALSE(r.start(err));
+        EXPECT_NE(err.find("duplicate"), std::string::npos);
+    }
+}
+
+TEST(ServeRouterHealth, ProberMarksDeadBackendDown)
+{
+    const std::string stem = "/tmp/olight_rth_" +
+                             std::to_string(::getpid()) + ".sock";
+    ServeOptions opts;
+    opts.unixPath = stem + ".be";
+    opts.jobs = 1;
+    auto backend = std::make_unique<Server>(opts);
+    std::string err;
+    ASSERT_TRUE(backend->start(err)) << err;
+
+    RouterOptions ropts;
+    ropts.unixPath = stem + ".rt";
+    BackendSpec spec;
+    spec.unixPath = opts.unixPath;
+    ropts.backends.push_back(spec);
+    ropts.healthIntervalMs = 50;
+    ropts.backoffMs = 50;
+    Router router(ropts);
+    ASSERT_TRUE(router.start(err)) << err;
+
+    // Crash the backend; within a few probe periods the router's
+    // stats must reflect it.
+    backend.reset();
+    ::unlink(opts.unixPath.c_str());
+    bool down = false;
+    for (int i = 0; i < 100 && !down; ++i) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+        down = !router.snapshot().backends[0].healthy;
+    }
+    EXPECT_TRUE(down);
+    ::unlink(ropts.unixPath.c_str());
+}

@@ -10,12 +10,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <ftw.h>
 #include <thread>
 #include <unistd.h>
 #include <vector>
 
 #include "core/limits.hh"
+#include "serve/admission.hh"
 #include "serve/cache.hh"
 #include "serve/json_in.hh"
 #include "serve/net.hh"
@@ -192,6 +195,85 @@ TEST(ServeProtocol, SharedLimitsMatchCliBounds)
         1, 1, limits::kMaxSweepPoints + 1, why));
     EXPECT_FALSE(limits::checkRequest(0, 1, 1, why));
     EXPECT_FALSE(limits::checkRequest(1, 1, 0, why));
+}
+
+TEST(ServeProtocol, ParsesClientIdentityAndCpuHost)
+{
+    Request req;
+    std::string err;
+    ASSERT_TRUE(parseRequest(
+        R"({"cmd":"run","workload":"Copy","elements":4096,)"
+        R"("client":"tenant-a","cpu_host":true})",
+        req, err))
+        << err;
+    EXPECT_EQ(req.client, "tenant-a");
+    EXPECT_TRUE(req.cpuHost);
+
+    // The identity never reaches the fingerprint: two tenants
+    // asking the same question share one cache entry.
+    Request other;
+    ASSERT_TRUE(parseRequest(
+        R"({"cmd":"run","workload":"Copy","elements":4096,)"
+        R"("client":"tenant-b","cpu_host":true})",
+        other, err))
+        << err;
+    EXPECT_EQ(fingerprint(req.run), fingerprint(other.run));
+}
+
+// ---------------------------------------------------------------
+// Per-client fair admission
+// ---------------------------------------------------------------
+
+TEST(ServeAdmission, GlobalBoundStillRejectsBusy)
+{
+    Admission a(2, 2);
+    EXPECT_EQ(a.tryAdmit("x"), Admission::Verdict::Admitted);
+    EXPECT_EQ(a.tryAdmit("y"), Admission::Verdict::Admitted);
+    EXPECT_EQ(a.tryAdmit("z"), Admission::Verdict::RejectedBusy);
+    a.release("x");
+    EXPECT_EQ(a.tryAdmit("z"), Admission::Verdict::Admitted);
+
+    Admission::Stats s = a.stats();
+    EXPECT_EQ(s.inflight, 2u);
+    EXPECT_EQ(s.peakInflight, 2u);
+    EXPECT_EQ(s.busyRejected, 1u);
+    EXPECT_EQ(s.fairnessRejected, 0u);
+    EXPECT_EQ(s.activeClients, 2u);
+}
+
+TEST(ServeAdmission, ClientShareCapsAHotTenant)
+{
+    // 4 slots, 2 per client: a hot tenant stalls at 2 while a
+    // second tenant's slots stay reachable.
+    Admission a(4, 2);
+    EXPECT_EQ(a.tryAdmit("hot"), Admission::Verdict::Admitted);
+    EXPECT_EQ(a.tryAdmit("hot"), Admission::Verdict::Admitted);
+    EXPECT_EQ(a.tryAdmit("hot"),
+              Admission::Verdict::RejectedShare);
+    EXPECT_EQ(a.tryAdmit("cold"), Admission::Verdict::Admitted);
+    EXPECT_EQ(a.tryAdmit("cold"), Admission::Verdict::Admitted);
+    // All 4 slots now held: the global bound outranks the share
+    // check (a full house is `busy`, not a fairness complaint).
+    EXPECT_EQ(a.tryAdmit("cold"), Admission::Verdict::RejectedBusy);
+    EXPECT_EQ(a.stats().fairnessRejected, 1u);
+    EXPECT_EQ(a.stats().busyRejected, 1u);
+
+    // Releases reopen the client's share, and a fully released
+    // client leaves the active set.
+    a.release("hot");
+    EXPECT_EQ(a.tryAdmit("hot"), Admission::Verdict::Admitted);
+    a.release("cold");
+    a.release("cold");
+    EXPECT_EQ(a.stats().activeClients, 1u);
+}
+
+TEST(ServeAdmission, DefaultShareIsHalfTheLimitRoundedUp)
+{
+    EXPECT_EQ(Admission(4, 0).clientShare(), 2u);
+    EXPECT_EQ(Admission(5, 0).clientShare(), 3u);
+    EXPECT_EQ(Admission(1, 0).clientShare(), 1u);
+    // An explicit share can never exceed the global limit.
+    EXPECT_EQ(Admission(4, 99).clientShare(), 4u);
 }
 
 // ---------------------------------------------------------------
@@ -505,7 +587,148 @@ TEST_F(ServeServerTest, MultiClientStress)
     ServeSnapshot s = server_->snapshot();
     EXPECT_EQ(s.requests, std::uint64_t(kClients * kRequests));
     EXPECT_EQ(s.replies, std::uint64_t(kClients * kRequests));
-    EXPECT_EQ(s.busyRejected, std::uint64_t(busy.load()));
+    EXPECT_EQ(s.busyRejected + s.fairnessRejected,
+              std::uint64_t(busy.load()));
     EXPECT_GE(s.cache.hits + s.cache.misses, 1u);
     EXPECT_EQ(s.internalErrors, 0u);
+}
+
+TEST_F(ServeServerTest, StatsCarryTierAndFairnessCounters)
+{
+    Client c = Client::overUnix(path_);
+    std::string stats = c.roundTrip(R"({"cmd":"stats"})");
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(stats, v, err)) << stats;
+    const JsonValue *s = v.find("stats");
+    ASSERT_NE(s, nullptr);
+    // Fairness knobs and counters.
+    EXPECT_EQ(s->find("client_share")->number, 2.0); // half of 4
+    EXPECT_EQ(s->find("fairness_rejected")->number, 0.0);
+    EXPECT_EQ(s->find("session_timeouts")->number, 0.0);
+    EXPECT_EQ(s->find("active_clients")->number, 0.0);
+    // Per-tier cache counters: memory always, disk off here.
+    const JsonValue *cache = s->find("cache");
+    ASSERT_NE(cache, nullptr);
+    ASSERT_NE(cache->find("memory"), nullptr);
+    EXPECT_EQ(cache->find("memory")->find("hits")->number, 0.0);
+    ASSERT_NE(cache->find("disk"), nullptr);
+    EXPECT_FALSE(cache->find("disk")->find("enabled")->boolean);
+    EXPECT_EQ(cache->find("disk")->find("quarantined")->number,
+              0.0);
+}
+
+namespace
+{
+
+int
+removeCasFile(const char *path, const struct stat *, int,
+              struct FTW *)
+{
+    return ::remove(path);
+}
+
+} // namespace
+
+TEST_F(ServeServerTest, DiskTierServesAcrossRestartByteIdentical)
+{
+    const std::string cas =
+        path_ + ".cas"; // unique per test instance
+    std::string cold, warm;
+    {
+        ServeOptions opts;
+        opts.unixPath = path_ + ".a";
+        opts.jobs = 1;
+        opts.casRoot = cas;
+        Server first(opts);
+        std::string err;
+        ASSERT_TRUE(first.start(err)) << err;
+        Client c = Client::overUnix(opts.unixPath);
+        cold = c.roundTrip(kRunRequest);
+        ASSERT_NE(cold.find("\"cached\":false"), std::string::npos)
+            << cold;
+        EXPECT_EQ(first.snapshot().disk.writes, 1u);
+        ::unlink(opts.unixPath.c_str());
+    } // daemon gone; memory tier gone with it
+
+    {
+        ServeOptions opts;
+        opts.unixPath = path_ + ".b";
+        opts.jobs = 1;
+        opts.casRoot = cas;
+        Server second(opts);
+        std::string err;
+        ASSERT_TRUE(second.start(err)) << err;
+        Client c = Client::overUnix(opts.unixPath);
+        warm = c.roundTrip(kRunRequest);
+        ServeSnapshot s = second.snapshot();
+        EXPECT_EQ(s.runsExecuted, 0u); // served, not re-simulated
+        EXPECT_EQ(s.disk.hits, 1u);
+        // The disk hit was promoted into the memory tier.
+        EXPECT_EQ(s.cache.entries, 1u);
+        ::unlink(opts.unixPath.c_str());
+    }
+
+    // Byte-identical across the restart, modulo the cached token.
+    std::string patched = cold;
+    patched.replace(patched.find("\"cached\":false"),
+                    std::string("\"cached\":false").size(),
+                    "\"cached\":true");
+    EXPECT_EQ(patched, warm);
+    ::nftw(cas.c_str(), removeCasFile, 16, FTW_DEPTH | FTW_PHYS);
+}
+
+TEST_F(ServeServerTest, HotTenantCannotStarveASecondTenant)
+{
+    // One worker, two slots, one-slot share: tenant A occupies its
+    // whole share with a slow run, a second A request bounces on
+    // fairness, while tenant B's request still admits and runs.
+    ServeOptions opts;
+    opts.unixPath = path_ + ".fair";
+    opts.jobs = 1;
+    opts.admitLimit = 2;
+    opts.clientShare = 1;
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    const std::string slow =
+        R"({"cmd":"run","workload":"Hist","elements":262144,)"
+        R"("mode":"fence","client":"a"})";
+    std::thread holder([&] {
+        Client c = Client::overUnix(opts.unixPath);
+        std::string reply = c.roundTrip(slow);
+        EXPECT_NE(reply.find("\"ok\":true"), std::string::npos)
+            << reply;
+    });
+    // Wait until the slow run holds tenant A's slot.
+    for (int i = 0; i < 200; ++i) {
+        if (server.snapshot().inflight > 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_GT(server.snapshot().inflight, 0u);
+
+    Client c2 = Client::overUnix(opts.unixPath);
+    std::string rejected = c2.roundTrip(
+        R"({"cmd":"run","workload":"Copy","elements":8192,)"
+        R"("client":"a"})");
+    EXPECT_NE(rejected.find("\"busy\""), std::string::npos)
+        << rejected;
+    EXPECT_NE(rejected.find("share"), std::string::npos)
+        << rejected;
+    EXPECT_NE(rejected.find("retry_after_ms"), std::string::npos);
+
+    Client c3 = Client::overUnix(opts.unixPath);
+    std::string admitted = c3.roundTrip(
+        R"({"cmd":"run","workload":"Copy","elements":8192,)"
+        R"("client":"b"})");
+    EXPECT_NE(admitted.find("\"ok\":true"), std::string::npos)
+        << admitted;
+
+    holder.join();
+    ServeSnapshot s = server.snapshot();
+    EXPECT_GE(s.fairnessRejected, 1u);
+    EXPECT_EQ(s.busyRejected, 0u);
+    ::unlink(opts.unixPath.c_str());
 }

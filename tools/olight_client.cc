@@ -1,6 +1,7 @@
 /**
  * @file
- * `olight_client` — thin CLI for the olight_served daemon.
+ * `olight_client` — thin CLI for the olight_served daemon and the
+ * olight_router front tier (same protocol, same client).
  *
  * Submits newline-delimited JSON requests and prints one reply line
  * per request to stdout. Requests come from repeated --request
@@ -10,13 +11,20 @@
  *       --request '{"cmd":"run","workload":"Add","elements":16384}'
  *   echo '{"cmd":"stats"}' | olight_client --tcp 7077
  *
+ * Load-shedding cooperation: a `busy` reply carries retry_after_ms,
+ * and the client waits that long and resends, up to --retries times
+ * per request, before printing the busy reply as the final answer.
+ *
  * Exit status: 0 when every request got a reply (including error
- * replies — inspect "ok" yourself), 1 on transport failure,
- * 2 on usage errors.
+ * replies — inspect "ok" yourself), 1 on transport failure or
+ * timeout, 2 on usage errors.
  */
 
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/net.hh"
@@ -33,7 +41,30 @@ usage()
         "usage: olight_client (--socket PATH | --tcp PORT "
         "[--host IP]) [--request JSON]...\n"
         "Requests come from --request flags (repeatable) or stdin\n"
-        "lines; each reply prints on its own stdout line.\n";
+        "lines; each reply prints on its own stdout line.\n"
+        "  --timeout-ms N  per-reply wait and per-send bound\n"
+        "                  (default 120000, 0 = unlimited)\n"
+        "  --retries N     resends per request on `busy` replies,\n"
+        "                  each after the reply's retry_after_ms\n"
+        "                  (default 3, 0 = print busy immediately)\n";
+}
+
+bool
+isBusyReply(const std::string &reply)
+{
+    return reply.compare(0, 11, "{\"ok\":false") == 0 &&
+           reply.find("\"code\":\"busy\"") != std::string::npos;
+}
+
+/** retry_after_ms hint from a busy reply (fallback 100). */
+int
+retryAfterHint(const std::string &reply)
+{
+    const std::size_t p = reply.find("\"retry_after_ms\":");
+    if (p == std::string::npos)
+        return 100;
+    const int ms = std::atoi(reply.c_str() + p + 17);
+    return ms > 0 ? ms : 100;
 }
 
 } // namespace
@@ -44,6 +75,8 @@ main(int argc, char **argv)
     std::string unix_path, host = "127.0.0.1";
     std::uint16_t port = 0;
     bool have_tcp = false;
+    int timeout_ms = 120000;
+    int retries = 3;
     std::vector<std::string> requests;
 
     for (int i = 1; i < argc; ++i) {
@@ -62,6 +95,10 @@ main(int argc, char **argv)
             have_tcp = true;
         } else if (arg == "--host") {
             host = next();
+        } else if (arg == "--timeout-ms") {
+            timeout_ms = std::atoi(next().c_str());
+        } else if (arg == "--retries") {
+            retries = std::atoi(next().c_str());
         } else if (arg == "--request") {
             requests.push_back(next());
         } else if (arg == "--help" || arg == "-h") {
@@ -99,17 +136,32 @@ main(int argc, char **argv)
 
     std::string carry;
     for (const std::string &request : requests) {
-        if (!serve::writeAll(fd.get(), request + "\n")) {
-            std::cerr << "olight_client: send failed\n";
-            return 1;
-        }
         std::string reply;
-        serve::ReadStatus st =
-            serve::readLine(fd.get(), reply, carry);
-        if (st != serve::ReadStatus::Line) {
-            std::cerr << "olight_client: connection closed before "
-                         "a reply\n";
-            return 1;
+        for (int attempt = 0;; ++attempt) {
+            if (!serve::writeAll(fd.get(), request + "\n",
+                                 timeout_ms)) {
+                std::cerr << "olight_client: send failed\n";
+                return 1;
+            }
+            serve::ReadStatus st = serve::readLine(
+                fd.get(), reply, carry, nullptr, /*pollMs=*/100,
+                /*maxLine=*/1 << 20,
+                /*stallTimeoutMs=*/timeout_ms,
+                /*idleTimeoutMs=*/timeout_ms);
+            if (st == serve::ReadStatus::TimedOut) {
+                std::cerr << "olight_client: no reply within "
+                          << timeout_ms << " ms\n";
+                return 1;
+            }
+            if (st != serve::ReadStatus::Line) {
+                std::cerr << "olight_client: connection closed "
+                             "before a reply\n";
+                return 1;
+            }
+            if (!isBusyReply(reply) || attempt >= retries)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                retryAfterHint(reply)));
         }
         std::cout << reply << "\n";
     }

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * `olight_router` — the fleet's front tier.
+ *
+ * Listens on the same NDJSON protocol as olight_served and shards
+ * work across N backend daemons by content fingerprint (rendezvous
+ * hashing): runs are forwarded whole, sweeps are fanned out point
+ * by point, deduped, and reassembled byte-identical to a
+ * single-daemon reply. Backends are health-checked and failed over
+ * automatically; SIGTERM/SIGINT drain the router gracefully
+ * (backends keep running — drain them individually).
+ *
+ *   olight_router --socket /tmp/olr.sock \
+ *       --backend /tmp/be0.sock --backend /tmp/be1.sock \
+ *       --backend 127.0.0.1:7077
+ *
+ * Wire protocol: docs/INTERNALS.md §11; fleet architecture: §16.
+ */
+
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "cli_common.hh"
+#include "serve/router.hh"
+
+using namespace olight;
+
+namespace
+{
+
+serve::Router *g_router = nullptr;
+
+/** SIGTERM/SIGINT → graceful drain (async-signal-safe). */
+void
+onSignal(int)
+{
+    if (g_router)
+        g_router->requestDrain();
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: olight_router [options] --backend ADDR...\n"
+        "  --socket PATH   listen on a Unix-domain socket\n"
+        "  --tcp PORT      listen on loopback TCP (0 = ephemeral;\n"
+        "                  the bound port is printed on startup)\n"
+        "  --backend ADDR  a backend daemon (repeatable): either a\n"
+        "                  Unix socket path or HOST:PORT\n"
+        "  --health-ms N   backend probe period (default 1000,\n"
+        "                  0 disables probing)\n"
+        "  --backoff-ms N  quarantine after a backend failure\n"
+        "                  before it is tried again (default 2000)\n"
+        "  --io-timeout-ms N     client session I/O timeout\n"
+        "                  (default 30000, 0 = unlimited)\n"
+        "  --backend-timeout-ms N  per-forward reply bound; covers\n"
+        "                  a whole simulation (default 120000)\n"
+        "  --fanout N      concurrent sub-requests per sweep\n"
+        "                  (default 2x the backend count)\n"
+        "  --verbose       log forwards and health transitions\n"
+        "Drain with SIGTERM (or a {\"cmd\":\"drain\"} request).\n";
+}
+
+/** "HOST:PORT" (a colon and all-digit port) is TCP; anything else
+ *  is a Unix socket path. */
+serve::BackendSpec
+parseBackend(const std::string &addr)
+{
+    serve::BackendSpec spec;
+    const std::size_t colon = addr.rfind(':');
+    if (colon != std::string::npos && colon + 1 < addr.size()) {
+        bool digits = true;
+        for (std::size_t i = colon + 1; i < addr.size(); ++i)
+            digits = digits && addr[i] >= '0' && addr[i] <= '9';
+        if (digits) {
+            spec.host = addr.substr(0, colon);
+            spec.port = std::uint16_t(
+                std::stoul(addr.substr(colon + 1)));
+            return spec;
+        }
+    }
+    spec.unixPath = addr;
+    return spec;
+}
+
+std::uint64_t
+parseNumber(const std::string &flag, const std::string &value)
+{
+    return cli::parseNumber("olight_router", flag, value);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::RouterOptions opts;
+    bool have_endpoint = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opts.unixPath = next();
+            have_endpoint = true;
+        } else if (arg == "--tcp") {
+            opts.tcpPort = std::uint16_t(parseNumber(arg, next()));
+            have_endpoint = true;
+        } else if (arg == "--backend") {
+            opts.backends.push_back(parseBackend(next()));
+        } else if (arg == "--health-ms") {
+            opts.healthIntervalMs = int(parseNumber(arg, next()));
+        } else if (arg == "--backoff-ms") {
+            opts.backoffMs = int(parseNumber(arg, next()));
+        } else if (arg == "--io-timeout-ms") {
+            opts.ioTimeoutMs = int(parseNumber(arg, next()));
+        } else if (arg == "--backend-timeout-ms") {
+            opts.backendTimeoutMs = int(parseNumber(arg, next()));
+        } else if (arg == "--fanout") {
+            opts.fanoutJobs = unsigned(parseNumber(arg, next()));
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    if (!have_endpoint) {
+        std::cerr << "olight_router: need --socket PATH or "
+                     "--tcp PORT\n";
+        return 2;
+    }
+
+    serve::Router router(opts);
+    std::string err;
+    if (!router.start(err)) {
+        std::cerr << "olight_router: " << err << "\n";
+        return opts.backends.empty() ? 2 : 1;
+    }
+
+    g_router = &router;
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    if (!opts.unixPath.empty())
+        std::cerr << "olight_router: listening on "
+                  << opts.unixPath;
+    else
+        std::cerr << "olight_router: listening on 127.0.0.1:"
+                  << router.tcpPort();
+    std::cerr << " (" << opts.backends.size() << " backends)\n";
+
+    router.join(); // returns once drained
+
+    serve::RouterSnapshot s = router.snapshot();
+    std::cerr << "olight_router: drained after " << s.requests
+              << " requests (" << s.runsForwarded
+              << " runs forwarded, " << s.sweepsFanned
+              << " sweeps fanned, " << s.failovers
+              << " failovers)\n";
+    return 0;
+}

@@ -52,10 +52,20 @@ usage()
         "  --queue N       admission bound: max queued+running\n"
         "                  requests before `busy` replies\n"
         "                  (default 2x jobs)\n"
+        "  --share N       max admission slots one client may hold\n"
+        "                  (default half the queue, rounded up)\n"
         "  --cache N       result-cache entries (default 1024,\n"
         "                  0 disables caching)\n"
+        "  --cas DIR       on-disk content-addressed store: cache\n"
+        "                  hits survive restarts and may be shared\n"
+        "                  between daemons (default: none)\n"
+        "  --cas-max-bytes N  disk-store size cap, LRU-evicted\n"
+        "                  (default unlimited)\n"
         "  --retry-ms N    retry_after_ms hint in busy replies\n"
         "                  (default 100)\n"
+        "  --io-timeout-ms N  session I/O timeout: mid-request read\n"
+        "                  stalls and reply writes (default 30000,\n"
+        "                  0 = unlimited)\n"
         "  --verbose       log one line per served request\n"
         "Drain with SIGTERM (or a {\"cmd\":\"drain\"} request):\n"
         "in-flight requests complete, then the daemon exits 0.\n";
@@ -95,11 +105,20 @@ main(int argc, char **argv)
             opts.jobs = unsigned(parseNumber(arg, next()));
         } else if (arg == "--queue") {
             opts.admitLimit = std::size_t(parseNumber(arg, next()));
+        } else if (arg == "--share") {
+            opts.clientShare =
+                std::size_t(parseNumber(arg, next()));
         } else if (arg == "--cache") {
             opts.cacheEntries =
                 std::size_t(parseNumber(arg, next()));
+        } else if (arg == "--cas") {
+            opts.casRoot = next();
+        } else if (arg == "--cas-max-bytes") {
+            opts.casMaxBytes = parseNumber(arg, next());
         } else if (arg == "--retry-ms") {
             opts.retryAfterMs = int(parseNumber(arg, next()));
+        } else if (arg == "--io-timeout-ms") {
+            opts.ioTimeoutMs = int(parseNumber(arg, next()));
         } else if (arg == "--verbose") {
             opts.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -143,7 +162,11 @@ main(int argc, char **argv)
         std::cerr << "olight_served: listening on 127.0.0.1:"
                   << server.tcpPort();
     std::cerr << " (" << server.jobs() << " workers, admit "
-              << server.admitLimit() << ")\n";
+              << server.admitLimit() << ", share "
+              << server.clientShare() << ")\n";
+    if (!opts.casRoot.empty() && !server.snapshot().diskEnabled)
+        std::cerr << "olight_served: warning: --cas " << opts.casRoot
+                  << " unusable; disk tier disabled\n";
 
     server.join(); // returns once drained
 
